@@ -1,0 +1,192 @@
+//! A Galton–Watson branching process — the population-biology workload
+//! (the paper notes MONC "was actively applied ... to solve various
+//! problems in the population biology").
+//!
+//! Each individual independently leaves `Poisson(m)` offspring. One
+//! realization runs the population for up to `max_generations`
+//! generations (capped at `max_population` to bound work) and records a
+//! 1×2 matrix: `[extinct_indicator, generations_survived]`.
+//!
+//! The extinction probability `q` is the smallest fixed point of the
+//! offspring PGF, `q = e^{m(q−1)}` for Poisson offspring: `q = 1` iff
+//! `m ≤ 1` (critical/subcritical), `q < 1` for `m > 1`.
+
+use parmonc::{Realize, RealizationStream};
+use parmonc_rng::distributions::poisson;
+use parmonc_rng::UniformSource;
+
+/// The Galton–Watson workload with Poisson offspring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaltonWatson {
+    /// Mean offspring count `m`.
+    pub mean_offspring: f64,
+    /// Generations to simulate before declaring survival.
+    pub max_generations: usize,
+    /// Population cap (a population this large at supercritical `m`
+    /// survives with overwhelming probability).
+    pub max_population: u64,
+}
+
+impl GaltonWatson {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_offspring > 0`, `max_generations > 0` and
+    /// `max_population > 0`.
+    #[must_use]
+    pub fn new(mean_offspring: f64, max_generations: usize, max_population: u64) -> Self {
+        assert!(mean_offspring > 0.0, "mean offspring must be positive");
+        assert!(max_generations > 0, "need at least one generation");
+        assert!(max_population > 0, "population cap must be positive");
+        Self {
+            mean_offspring,
+            max_generations,
+            max_population,
+        }
+    }
+
+    /// Solves `q = e^{m(q−1)}` for the extinction probability by fixed-
+    /// point iteration from 0 (converges monotonically to the smallest
+    /// root).
+    #[must_use]
+    pub fn exact_extinction_probability(&self) -> f64 {
+        if self.mean_offspring <= 1.0 {
+            return 1.0;
+        }
+        let m = self.mean_offspring;
+        let mut q = 0.0f64;
+        for _ in 0..10_000 {
+            let next = (m * (q - 1.0)).exp();
+            if (next - q).abs() < 1e-15 {
+                return next;
+            }
+            q = next;
+        }
+        q
+    }
+
+    /// Simulates one lineage from a single ancestor; returns
+    /// `(extinct, generations_survived)`.
+    ///
+    /// The next generation size is the sum of `population` i.i.d.
+    /// `Poisson(m)` offspring counts, which is exactly
+    /// `Poisson(m · population)` — sampled in one draw per generation.
+    pub fn simulate<R: UniformSource + ?Sized>(&self, rng: &mut R) -> (bool, usize) {
+        let mut population = 1u64;
+        for generation in 0..self.max_generations {
+            if population == 0 {
+                return (true, generation);
+            }
+            if population >= self.max_population {
+                // Effectively escaped to infinity.
+                return (false, self.max_generations);
+            }
+            population = poisson_fast(rng, self.mean_offspring * population as f64);
+        }
+        (population == 0, self.max_generations)
+    }
+}
+
+/// Poisson sampler that switches to the normal approximation
+/// `round(N(λ, λ))` above λ = 64, where its relative error is far below
+/// Monte Carlo noise; exact Knuth product method below.
+fn poisson_fast<R: UniformSource + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 64.0 {
+        poisson(rng, lambda)
+    } else {
+        let z = parmonc_rng::distributions::standard_normal(rng);
+        (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+impl Realize for GaltonWatson {
+    /// Output: 1×2 matrix `[extinct, generations_survived]`.
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        let (extinct, gens) = self.simulate(rng);
+        out[0] = f64::from(u8::from(extinct));
+        out[1] = gens as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    fn extinction_rate(gw: &GaltonWatson, trials: usize) -> f64 {
+        let mut rng = Lcg128::new();
+        let extinct = (0..trials).filter(|_| gw.simulate(&mut rng).0).count();
+        extinct as f64 / trials as f64
+    }
+
+    #[test]
+    fn subcritical_always_dies() {
+        let gw = GaltonWatson::new(0.7, 100, 10_000);
+        assert_eq!(gw.exact_extinction_probability(), 1.0);
+        let rate = extinction_rate(&gw, 5_000);
+        assert!(rate > 0.995, "rate {rate}");
+    }
+
+    #[test]
+    fn supercritical_extinction_matches_fixed_point() {
+        // m = 1.5: q solves q = e^{1.5(q-1)} ≈ 0.4172.
+        let gw = GaltonWatson::new(1.5, 200, 100_000);
+        let q = gw.exact_extinction_probability();
+        assert!((q - 0.417).abs() < 0.01, "fixed point {q}");
+        let rate = extinction_rate(&gw, 20_000);
+        assert!((rate - q).abs() < 0.02, "simulated {rate} vs exact {q}");
+    }
+
+    #[test]
+    fn strongly_supercritical_rarely_dies() {
+        let gw = GaltonWatson::new(3.0, 100, 100_000);
+        let q = gw.exact_extinction_probability();
+        // q = e^{3(q-1)} ≈ 0.0595.
+        assert!((q - 0.0595).abs() < 0.01, "fixed point {q}");
+        let rate = extinction_rate(&gw, 20_000);
+        assert!((rate - q).abs() < 0.02, "simulated {rate}");
+    }
+
+    #[test]
+    fn critical_case_returns_one() {
+        let gw = GaltonWatson::new(1.0, 10, 100);
+        assert_eq!(gw.exact_extinction_probability(), 1.0);
+    }
+
+    #[test]
+    fn extinct_lineages_die_early_at_low_mean() {
+        let gw = GaltonWatson::new(0.5, 100, 10_000);
+        let mut rng = Lcg128::new();
+        let mut gens_sum = 0usize;
+        let trials = 2_000;
+        for _ in 0..trials {
+            let (extinct, gens) = gw.simulate(&mut rng);
+            assert!(extinct);
+            gens_sum += gens;
+        }
+        // Mean extinction time for m = 0.5 is small (≈ 1.6 generations).
+        let mean = gens_sum as f64 / trials as f64;
+        assert!(mean < 4.0, "mean extinction generation {mean}");
+    }
+
+    #[test]
+    fn realize_interface() {
+        use parmonc::Realize;
+        use parmonc_rng::{StreamHierarchy, StreamId};
+        let gw = GaltonWatson::new(1.2, 50, 10_000);
+        let mut s = StreamHierarchy::default()
+            .realization_stream(StreamId::new(0, 0, 0))
+            .unwrap();
+        let mut out = [0.0; 2];
+        gw.realize(&mut s, &mut out);
+        assert!(out[0] == 0.0 || out[0] == 1.0);
+        assert!(out[1] >= 0.0 && out[1] <= 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean offspring")]
+    fn rejects_zero_mean() {
+        let _ = GaltonWatson::new(0.0, 10, 100);
+    }
+}

@@ -1,0 +1,194 @@
+//! Financial mathematics: Monte Carlo pricing of a European call under
+//! geometric Brownian motion, validated against the Black–Scholes
+//! closed form (paper Section 2.1 lists "financial mathematics" among
+//! Monte Carlo's domains).
+//!
+//! One realization samples the terminal stock price directly from the
+//! exact GBM solution
+//! `S_T = S_0 exp((r − σ²/2)T + σ √T Z)` and returns the discounted
+//! payoff `e^{−rT} max(S_T − K, 0)` — the estimator whose expectation
+//! *is* the Black–Scholes price.
+
+use parmonc::{Realize, RealizationStream};
+use parmonc_rng::distributions::standard_normal;
+use parmonc_rng::UniformSource;
+
+/// A European call option under Black–Scholes dynamics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EuropeanCall {
+    /// Spot price `S_0`.
+    pub spot: f64,
+    /// Strike `K`.
+    pub strike: f64,
+    /// Risk-free rate `r` (continuous compounding).
+    pub rate: f64,
+    /// Volatility `σ`.
+    pub volatility: f64,
+    /// Maturity `T` in years.
+    pub maturity: f64,
+}
+
+impl EuropeanCall {
+    /// Creates the option.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless spot, strike, volatility and maturity are
+    /// strictly positive.
+    #[must_use]
+    pub fn new(spot: f64, strike: f64, rate: f64, volatility: f64, maturity: f64) -> Self {
+        assert!(spot > 0.0, "spot must be positive");
+        assert!(strike > 0.0, "strike must be positive");
+        assert!(volatility > 0.0, "volatility must be positive");
+        assert!(maturity > 0.0, "maturity must be positive");
+        Self {
+            spot,
+            strike,
+            rate,
+            volatility,
+            maturity,
+        }
+    }
+
+    /// Samples one discounted payoff.
+    pub fn sample_payoff<R: UniformSource + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z = standard_normal(rng);
+        let drift = (self.rate - 0.5 * self.volatility * self.volatility) * self.maturity;
+        let diffusion = self.volatility * self.maturity.sqrt() * z;
+        let terminal = self.spot * (drift + diffusion).exp();
+        (-self.rate * self.maturity).exp() * (terminal - self.strike).max(0.0)
+    }
+
+    /// The Black–Scholes price
+    /// `S_0 Φ(d₁) − K e^{−rT} Φ(d₂)`.
+    #[must_use]
+    pub fn black_scholes_price(&self) -> f64 {
+        let sqrt_t = self.maturity.sqrt();
+        let d1 = ((self.spot / self.strike).ln()
+            + (self.rate + 0.5 * self.volatility * self.volatility) * self.maturity)
+            / (self.volatility * sqrt_t);
+        let d2 = d1 - self.volatility * sqrt_t;
+        self.spot * normal_cdf(d1)
+            - self.strike * (-self.rate * self.maturity).exp() * normal_cdf(d2)
+    }
+}
+
+impl Realize for EuropeanCall {
+    /// Output: 1×1 matrix holding the discounted payoff.
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        out[0] = self.sample_payoff(rng);
+    }
+}
+
+/// Standard normal CDF via `erf` (Abramowitz–Stegun 7.1.26 rational
+/// approximation, |error| < 1.5e-7 — far below Monte Carlo noise).
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / core::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+    use parmonc_stats::ScalarAccumulator;
+
+    fn atm() -> EuropeanCall {
+        EuropeanCall::new(100.0, 100.0, 0.05, 0.2, 1.0)
+    }
+
+    #[test]
+    fn black_scholes_reference_value() {
+        // Textbook value: S=K=100, r=5%, sigma=20%, T=1 → C ≈ 10.4506.
+        let c = atm().black_scholes_price();
+        assert!((c - 10.4506).abs() < 1e-3, "{c}");
+    }
+
+    #[test]
+    fn put_call_parity_via_prices() {
+        // C − P = S − K e^{−rT}; compute the put from a reflected call
+        // using parity, then re-derive with distinct strikes to ensure
+        // monotonicity: lower strike → pricier call.
+        let lo = EuropeanCall::new(100.0, 90.0, 0.05, 0.2, 1.0).black_scholes_price();
+        let hi = EuropeanCall::new(100.0, 110.0, 0.05, 0.2, 1.0).black_scholes_price();
+        assert!(lo > atm().black_scholes_price());
+        assert!(hi < atm().black_scholes_price());
+    }
+
+    #[test]
+    fn monte_carlo_price_converges_to_black_scholes() {
+        let option = atm();
+        let mut rng = Lcg128::new();
+        let acc: ScalarAccumulator = (0..400_000)
+            .map(|_| option.sample_payoff(&mut rng))
+            .collect();
+        let eps = acc.abs_error();
+        assert!(
+            (acc.mean() - option.black_scholes_price()).abs() <= eps + 0.01,
+            "MC {} ± {eps} vs BS {}",
+            acc.mean(),
+            option.black_scholes_price()
+        );
+    }
+
+    #[test]
+    fn deep_in_the_money_approaches_forward_value() {
+        // K → 0: the call is worth S_0 (the discounted forward).
+        let option = EuropeanCall::new(100.0, 0.01, 0.05, 0.2, 1.0);
+        assert!((option.black_scholes_price() - 100.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn payoffs_are_non_negative() {
+        let option = atm();
+        let mut rng = Lcg128::new();
+        for _ in 0..10_000 {
+            assert!(option.sample_payoff(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn higher_volatility_costs_more() {
+        let calm = EuropeanCall::new(100.0, 100.0, 0.05, 0.1, 1.0);
+        let wild = EuropeanCall::new(100.0, 100.0, 0.05, 0.4, 1.0);
+        assert!(wild.black_scholes_price() > calm.black_scholes_price() + 5.0);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.0) - 0.158_655).abs() < 1e-4);
+    }
+
+    #[test]
+    fn realize_interface() {
+        use parmonc::Realize;
+        use parmonc_rng::{StreamHierarchy, StreamId};
+        let mut s = StreamHierarchy::default()
+            .realization_stream(StreamId::new(0, 0, 0))
+            .unwrap();
+        let mut out = [0.0];
+        atm().realize(&mut s, &mut out);
+        assert!(out[0] >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "volatility must be positive")]
+    fn rejects_zero_vol() {
+        let _ = EuropeanCall::new(100.0, 100.0, 0.05, 0.0, 1.0);
+    }
+}

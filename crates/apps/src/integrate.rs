@@ -1,0 +1,170 @@
+//! Monte Carlo integration workloads.
+
+use parmonc::{Realize, RealizationStream};
+
+/// Estimates π by the classic quarter-circle rejection test: one
+/// realization is `ζ = 4·1{x² + y² < 1}` with `x, y ~ U(0,1)`, so
+/// `Eζ = π`.
+///
+/// Output shape: 1×1.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc::{Parmonc, ParmoncError};
+/// use parmonc_apps::PiEstimator;
+///
+/// # fn main() -> Result<(), ParmoncError> {
+/// let dir = std::env::temp_dir().join("parmonc-doc-pi");
+/// let report = Parmonc::builder(1, 1)
+///     .max_sample_volume(20_000)
+///     .output_dir(&dir)
+///     .run(PiEstimator)?;
+/// assert!((report.summary.means[0] - std::f64::consts::PI).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PiEstimator;
+
+impl Realize for PiEstimator {
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        let x = rng.next_f64();
+        let y = rng.next_f64();
+        out[0] = if x * x + y * y < 1.0 { 4.0 } else { 0.0 };
+    }
+}
+
+/// Estimates the volume of the unit ball in `dim` dimensions by
+/// rejection from the enclosing cube `[-1, 1]^dim`:
+/// `ζ = 2^dim · 1{‖x‖ < 1}`.
+///
+/// Output shape: 1×1. The exact volume is
+/// `π^{d/2} / Γ(d/2 + 1)` (see [`BallVolume::exact`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BallVolume {
+    dim: usize,
+}
+
+impl BallVolume {
+    /// Creates the estimator for dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim }
+    }
+
+    /// The dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Exact unit-ball volume `π^{d/2} / Γ(d/2 + 1)` via the recurrence
+    /// `V_d = V_{d-2} · 2π / d`, `V_1 = 2`, `V_2 = π`.
+    #[must_use]
+    pub fn exact(&self) -> f64 {
+        let mut v = if self.dim % 2 == 1 {
+            2.0
+        } else {
+            core::f64::consts::PI
+        };
+        let mut d = if self.dim % 2 == 1 { 1 } else { 2 };
+        while d < self.dim {
+            d += 2;
+            v *= 2.0 * core::f64::consts::PI / d as f64;
+        }
+        v
+    }
+}
+
+impl Realize for BallVolume {
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        let mut norm_sq = 0.0;
+        for _ in 0..self.dim {
+            let x = 2.0 * rng.next_f64() - 1.0;
+            norm_sq += x * x;
+        }
+        out[0] = if norm_sq < 1.0 {
+            (1u64 << self.dim) as f64
+        } else {
+            0.0
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::{StreamHierarchy, StreamId};
+    use parmonc_stats::ScalarAccumulator;
+
+    fn estimate<R: Realize>(r: &R, trials: u64) -> ScalarAccumulator {
+        let h = StreamHierarchy::default();
+        let mut acc = ScalarAccumulator::new();
+        let mut out = [0.0];
+        for k in 0..trials {
+            let mut s = h.realization_stream(StreamId::new(0, 0, k)).unwrap();
+            r.realize(&mut s, &mut out);
+            acc.add(out[0]);
+        }
+        acc
+    }
+
+    #[test]
+    fn pi_estimate_converges() {
+        let acc = estimate(&PiEstimator, 100_000);
+        let err = 3.0 * acc.variance().sqrt() / (acc.count() as f64).sqrt();
+        assert!(
+            (acc.mean() - std::f64::consts::PI).abs() < err + 0.01,
+            "mean {} ± {err}",
+            acc.mean()
+        );
+    }
+
+    #[test]
+    fn pi_variance_matches_bernoulli_formula() {
+        // ζ/4 is Bernoulli(π/4): Var ζ = 16 · p(1-p).
+        let acc = estimate(&PiEstimator, 100_000);
+        let p = std::f64::consts::PI / 4.0;
+        let exact_var = 16.0 * p * (1.0 - p);
+        assert!((acc.variance() - exact_var).abs() < 0.1, "{}", acc.variance());
+    }
+
+    #[test]
+    fn ball_volume_exact_values() {
+        assert!((BallVolume::new(1).exact() - 2.0).abs() < 1e-12);
+        assert!((BallVolume::new(2).exact() - std::f64::consts::PI).abs() < 1e-12);
+        assert!((BallVolume::new(3).exact() - 4.0 / 3.0 * std::f64::consts::PI).abs() < 1e-12);
+        // V_5 = 8π²/15.
+        assert!(
+            (BallVolume::new(5).exact() - 8.0 * std::f64::consts::PI.powi(2) / 15.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn ball_volume_estimates_match_exact_in_3d_and_5d() {
+        for dim in [3, 5] {
+            let bv = BallVolume::new(dim);
+            let acc = estimate(&bv, 200_000);
+            let err = 3.0 * acc.variance().sqrt() / (acc.count() as f64).sqrt();
+            assert!(
+                (acc.mean() - bv.exact()).abs() < err + 0.02,
+                "dim {dim}: {} vs {}",
+                acc.mean(),
+                bv.exact()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        let _ = BallVolume::new(0);
+    }
+}

@@ -1,0 +1,191 @@
+//! A 2-D Ising model with Metropolis sampling — the statistical-physics
+//! workload (paper Section 2.1 cites "the Metropolis method, the Ising
+//! model" as canonical Monte Carlo).
+//!
+//! Spins `s ∈ {−1, +1}` live on an `n × n` torus with energy
+//! `E = −J Σ_<ij> s_i s_j`. One *realization* is an independent chain:
+//! start from a random configuration, run `sweeps` Metropolis sweeps at
+//! inverse temperature β, then record the per-site energy and the
+//! absolute magnetization per site as a 1×2 matrix. Averaging
+//! realizations across PARMONC processors gives independent-chain
+//! estimates with honest error bars — exactly the "independent
+//! realizations of a random object" model of the paper.
+
+use parmonc::{Realize, RealizationStream};
+use parmonc_rng::distributions::uniform_index;
+use parmonc_rng::UniformSource;
+
+/// The 2-D Ising workload configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsingModel {
+    /// Lattice side `n` (n×n torus).
+    pub side: usize,
+    /// Inverse temperature `β = J / (k_B T)` (coupling folded in).
+    pub beta: f64,
+    /// Metropolis sweeps per realization.
+    pub sweeps: usize,
+}
+
+impl IsingModel {
+    /// The critical inverse temperature of the infinite 2-D Ising model,
+    /// `β_c = ln(1 + √2) / 2 ≈ 0.4407`.
+    pub const BETA_CRITICAL: f64 = 0.440_686_793_509_772;
+
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side < 2`, `beta < 0`, or `sweeps == 0`.
+    #[must_use]
+    pub fn new(side: usize, beta: f64, sweeps: usize) -> Self {
+        assert!(side >= 2, "lattice side must be at least 2");
+        assert!(beta >= 0.0, "inverse temperature must be non-negative");
+        assert!(sweeps > 0, "need at least one sweep");
+        Self { side, beta, sweeps }
+    }
+
+    fn idx(&self, r: usize, c: usize) -> usize {
+        r * self.side + c
+    }
+
+    fn neighbour_sum(&self, spins: &[i8], r: usize, c: usize) -> i32 {
+        let n = self.side;
+        let up = spins[self.idx((r + n - 1) % n, c)] as i32;
+        let down = spins[self.idx((r + 1) % n, c)] as i32;
+        let left = spins[self.idx(r, (c + n - 1) % n)] as i32;
+        let right = spins[self.idx(r, (c + 1) % n)] as i32;
+        up + down + left + right
+    }
+
+    /// Runs one independent chain, returning
+    /// `(energy_per_site, |magnetization|_per_site)`.
+    pub fn sample_chain<R: UniformSource + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
+        let n = self.side;
+        let sites = n * n;
+        // Random initial configuration.
+        let mut spins: Vec<i8> = (0..sites)
+            .map(|_| if rng.next_f64() < 0.5 { -1 } else { 1 })
+            .collect();
+
+        for _ in 0..self.sweeps {
+            for _ in 0..sites {
+                let site = uniform_index(rng, sites as u64) as usize;
+                let (r, c) = (site / n, site % n);
+                let delta_e = 2.0 * f64::from(spins[site]) * f64::from(self.neighbour_sum(&spins, r, c));
+                if delta_e <= 0.0 || rng.next_f64() < (-self.beta * delta_e).exp() {
+                    spins[site] = -spins[site];
+                }
+            }
+        }
+
+        let mut energy = 0i64;
+        let mut mag = 0i64;
+        for r in 0..n {
+            for c in 0..n {
+                let s = i64::from(spins[self.idx(r, c)]);
+                // Count each bond once: right and down neighbours.
+                let right = i64::from(spins[self.idx(r, (c + 1) % n)]);
+                let down = i64::from(spins[self.idx((r + 1) % n, c)]);
+                energy -= s * (right + down);
+                mag += s;
+            }
+        }
+        (
+            energy as f64 / sites as f64,
+            (mag as f64 / sites as f64).abs(),
+        )
+    }
+}
+
+impl Realize for IsingModel {
+    /// Output: 1×2 matrix `[energy_per_site, |m|]`.
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        let (e, m) = self.sample_chain(rng);
+        out[0] = e;
+        out[1] = m;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    fn mean_of_chains(model: &IsingModel, chains: usize) -> (f64, f64) {
+        let mut rng = Lcg128::new();
+        let (mut e_sum, mut m_sum) = (0.0, 0.0);
+        for _ in 0..chains {
+            let (e, m) = model.sample_chain(&mut rng);
+            e_sum += e;
+            m_sum += m;
+        }
+        (e_sum / chains as f64, m_sum / chains as f64)
+    }
+
+    #[test]
+    fn infinite_temperature_limit() {
+        // β = 0: spins are free; E/site → 0, |m| → O(1/n) (CLT).
+        let model = IsingModel::new(16, 0.0, 10);
+        let (e, m) = mean_of_chains(&model, 200);
+        assert!(e.abs() < 0.1, "energy {e}");
+        assert!(m < 0.15, "magnetization {m}");
+    }
+
+    #[test]
+    fn low_temperature_orders() {
+        // β well above critical: nearly all spins aligned; E/site → -2,
+        // |m| → 1.
+        let model = IsingModel::new(8, 1.0, 200);
+        let (e, m) = mean_of_chains(&model, 30);
+        assert!(e < -1.7, "energy {e}");
+        assert!(m > 0.9, "magnetization {m}");
+    }
+
+    #[test]
+    fn magnetization_grows_through_transition() {
+        // |m| at β = 0.6 (ordered) must exceed |m| at β = 0.2
+        // (disordered) — the qualitative phase-transition signature.
+        let hot = IsingModel::new(12, 0.2, 60);
+        let cold = IsingModel::new(12, 0.6, 60);
+        let (_, m_hot) = mean_of_chains(&hot, 40);
+        let (_, m_cold) = mean_of_chains(&cold, 40);
+        assert!(m_cold > m_hot + 0.3, "cold {m_cold} vs hot {m_hot}");
+    }
+
+    #[test]
+    fn energy_bounds() {
+        let model = IsingModel::new(6, 0.4, 20);
+        let mut rng = Lcg128::new();
+        for _ in 0..50 {
+            let (e, m) = model.sample_chain(&mut rng);
+            assert!((-2.0..=2.0).contains(&e), "energy {e}");
+            assert!((0.0..=1.0).contains(&m), "magnetization {m}");
+        }
+    }
+
+    #[test]
+    fn realize_interface() {
+        use parmonc::Realize;
+        use parmonc_rng::{StreamHierarchy, StreamId};
+        let model = IsingModel::new(4, 0.3, 5);
+        let mut s = StreamHierarchy::default()
+            .realization_stream(StreamId::new(0, 0, 0))
+            .unwrap();
+        let mut out = [9.0; 2];
+        model.realize(&mut s, &mut out);
+        assert!(out[0] >= -2.0 && out[0] <= 2.0);
+        assert!(out[1] >= 0.0 && out[1] <= 1.0);
+    }
+
+    #[test]
+    fn critical_beta_constant() {
+        let exact = (1.0 + 2f64.sqrt()).ln() / 2.0;
+        assert!((IsingModel::BETA_CRITICAL - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice side")]
+    fn rejects_tiny_lattice() {
+        let _ = IsingModel::new(1, 0.4, 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Monte Carlo application workloads for the PARMONC reproduction.
+//!
+//! The paper's introduction motivates PARMONC with the breadth of
+//! stochastic-simulation domains: radiation transfer, statistical
+//! physics (Metropolis/Ising), physical and chemical kinetics, queueing
+//! theory, financial mathematics, and population biology. This crate
+//! implements one representative workload per domain, each as a
+//! [`parmonc::Realize`] routine ready to hand to the runner, and each
+//! with a closed-form (or well-known) answer that the test suite checks
+//! the estimator pipeline against:
+//!
+//! * [`integrate`] — MC integration: π by rejection, unit-ball volumes;
+//! * [`transport`] — 1-D slab radiation transport with
+//!   absorption/scattering; pure-absorption transmission is `e^{-Σ L}`;
+//! * [`ising`] — a 2-D Ising Metropolis sampler (energy/magnetization
+//!   at high temperature approach their free-spin limits);
+//! * [`queue`] — an M/M/1 queue; mean waiting time is
+//!   `ρ / (μ − λ)` by Pollaczek–Khinchine;
+//! * [`branching`] — a Galton–Watson branching process; the extinction
+//!   probability solves `q = f(q)` for the offspring PGF `f`;
+//! * [`kinetics`] — exact Gillespie SSA for an immigration–death
+//!   reaction network (Poissonian closed form);
+//! * [`coagulation`] — Marcus–Lushnikov direct simulation of
+//!   Smoluchowski coagulation (constant kernel, mean-field closed
+//!   form);
+//! * [`finance`] — European option pricing under GBM against the
+//!   Black–Scholes formula.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod branching;
+pub mod coagulation;
+pub mod finance;
+pub mod integrate;
+pub mod ising;
+pub mod kinetics;
+pub mod queue;
+pub mod transport;
+
+pub use branching::GaltonWatson;
+pub use coagulation::ConstantKernelCoagulation;
+pub use finance::EuropeanCall;
+pub use integrate::{BallVolume, PiEstimator};
+pub use ising::IsingModel;
+pub use kinetics::ImmigrationDeath;
+pub use queue::MM1Queue;
+pub use transport::SlabTransport;

@@ -1,0 +1,178 @@
+//! An M/M/1 queue — the queueing-theory workload
+//! (paper Section 2.1 lists "the queuing theory" among Monte Carlo's
+//! domains).
+//!
+//! Customers arrive as a Poisson process of rate `λ` at a single server
+//! with exponential service times of rate `μ > λ`. One realization
+//! simulates `customers` arrivals by Lindley's recursion
+//! `W_{k+1} = max(0, W_k + S_k − A_{k+1})` and records the mean waiting
+//! time and the fraction of delayed customers as a 1×2 matrix.
+//!
+//! Steady-state theory gives `E W = ρ / (μ − λ)` with `ρ = λ/μ`, and
+//! `P(wait > 0) = ρ`, which the tests check against long simulations.
+
+use parmonc::{Realize, RealizationStream};
+use parmonc_rng::distributions::exponential;
+use parmonc_rng::UniformSource;
+
+/// The M/M/1 queue workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1Queue {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate μ (must exceed λ for stability).
+    pub mu: f64,
+    /// Customers per realization.
+    pub customers: usize,
+    /// Customers discarded as warm-up before recording.
+    pub warmup: usize,
+}
+
+impl MM1Queue {
+    /// Creates a stable queue workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lambda < mu` and
+    /// `customers > warmup`.
+    #[must_use]
+    pub fn new(lambda: f64, mu: f64, customers: usize, warmup: usize) -> Self {
+        assert!(lambda > 0.0, "arrival rate must be positive");
+        assert!(mu > lambda, "stability requires mu > lambda");
+        assert!(
+            customers > warmup,
+            "need customers after the warm-up period"
+        );
+        Self {
+            lambda,
+            mu,
+            customers,
+            warmup,
+        }
+    }
+
+    /// Utilization `ρ = λ / μ`.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Exact steady-state mean waiting time `ρ / (μ − λ)`.
+    #[must_use]
+    pub fn exact_mean_wait(&self) -> f64 {
+        self.rho() / (self.mu - self.lambda)
+    }
+
+    /// Simulates one realization, returning
+    /// `(mean_wait, fraction_delayed)` over the recorded customers.
+    pub fn simulate<R: UniformSource + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
+        let mut w = 0.0f64; // waiting time of current customer
+        let mut wait_sum = 0.0;
+        let mut delayed = 0usize;
+        let recorded = self.customers - self.warmup;
+        for k in 0..self.customers {
+            if k >= self.warmup {
+                wait_sum += w;
+                if w > 0.0 {
+                    delayed += 1;
+                }
+            }
+            let service = exponential(rng, self.mu);
+            let interarrival = exponential(rng, self.lambda);
+            w = (w + service - interarrival).max(0.0);
+        }
+        (wait_sum / recorded as f64, delayed as f64 / recorded as f64)
+    }
+}
+
+impl Realize for MM1Queue {
+    /// Output: 1×2 matrix `[mean_wait, fraction_delayed]`.
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        let (w, d) = self.simulate(rng);
+        out[0] = w;
+        out[1] = d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    fn long_run(q: &MM1Queue, realizations: usize) -> (f64, f64) {
+        let mut rng = Lcg128::new();
+        let (mut w, mut d) = (0.0, 0.0);
+        for _ in 0..realizations {
+            let (wi, di) = q.simulate(&mut rng);
+            w += wi;
+            d += di;
+        }
+        (w / realizations as f64, d / realizations as f64)
+    }
+
+    #[test]
+    fn mean_wait_matches_theory_moderate_load() {
+        let q = MM1Queue::new(0.5, 1.0, 20_000, 2_000);
+        let (w, d) = long_run(&q, 20);
+        assert!(
+            (w - q.exact_mean_wait()).abs() < 0.1 * q.exact_mean_wait() + 0.02,
+            "wait {w} vs {}",
+            q.exact_mean_wait()
+        );
+        assert!((d - q.rho()).abs() < 0.05, "delayed {d} vs rho {}", q.rho());
+    }
+
+    #[test]
+    fn mean_wait_matches_theory_high_load() {
+        let q = MM1Queue::new(0.8, 1.0, 100_000, 20_000);
+        let (w, _) = long_run(&q, 10);
+        // E W = 0.8/0.2 = 4; heavy traffic converges slowly, allow 15%.
+        assert!(
+            (w - 4.0).abs() < 0.6,
+            "wait {w} vs 4.0"
+        );
+    }
+
+    #[test]
+    fn light_load_rarely_waits() {
+        let q = MM1Queue::new(0.1, 1.0, 10_000, 1_000);
+        let (w, d) = long_run(&q, 10);
+        assert!(w < 0.2, "wait {w}");
+        assert!(d < 0.15, "delayed {d}");
+    }
+
+    #[test]
+    fn heavier_load_waits_longer() {
+        let light = MM1Queue::new(0.3, 1.0, 20_000, 2_000);
+        let heavy = MM1Queue::new(0.7, 1.0, 20_000, 2_000);
+        let (w_light, _) = long_run(&light, 10);
+        let (w_heavy, _) = long_run(&heavy, 10);
+        assert!(w_heavy > 3.0 * w_light, "{w_heavy} vs {w_light}");
+    }
+
+    #[test]
+    fn realize_interface() {
+        use parmonc::Realize;
+        use parmonc_rng::{StreamHierarchy, StreamId};
+        let q = MM1Queue::new(0.5, 1.0, 1_000, 100);
+        let mut s = StreamHierarchy::default()
+            .realization_stream(StreamId::new(0, 0, 0))
+            .unwrap();
+        let mut out = [0.0; 2];
+        q.realize(&mut s, &mut out);
+        assert!(out[0] >= 0.0);
+        assert!((0.0..=1.0).contains(&out[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mu > lambda")]
+    fn rejects_unstable_queue() {
+        let _ = MM1Queue::new(1.0, 1.0, 100, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "after the warm-up")]
+    fn rejects_all_warmup() {
+        let _ = MM1Queue::new(0.5, 1.0, 100, 100);
+    }
+}

@@ -1,0 +1,205 @@
+//! 1-D slab radiation transport — the founding application of Monte
+//! Carlo (paper Section 2.1: "Monte Carlo method ... was developed to
+//! solve problems of radiation transfer").
+//!
+//! A particle enters a slab `[0, L]` travelling in the +x direction.
+//! Free paths are exponential with total cross-section `Σ_t`; at each
+//! collision the particle is absorbed with probability `Σ_a / Σ_t` or
+//! scattered isotropically (new direction cosine `μ ~ U(-1, 1)`).
+//! The realization records `(transmitted, reflected, absorbed)` as a
+//! 1×3 indicator matrix, plus the collision count in no estimator —
+//! PARMONC averages the indicators into probabilities.
+//!
+//! For a purely absorbing slab the transmission probability is exactly
+//! `e^{-Σ_t L}`, which the tests verify.
+
+use parmonc::{Realize, RealizationStream};
+use parmonc_rng::distributions::{exponential, uniform};
+
+/// The slab transport problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlabTransport {
+    /// Slab thickness `L`.
+    pub thickness: f64,
+    /// Total cross-section `Σ_t` (collisions per unit length).
+    pub sigma_total: f64,
+    /// Absorption cross-section `Σ_a ≤ Σ_t`.
+    pub sigma_absorb: f64,
+}
+
+/// Fate of one transported particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Left through the far face (`x ≥ L`).
+    Transmitted,
+    /// Left back through the entry face (`x ≤ 0`).
+    Reflected,
+    /// Absorbed inside the slab.
+    Absorbed,
+}
+
+impl SlabTransport {
+    /// Creates a slab problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `thickness > 0`, `sigma_total > 0` and
+    /// `0 ≤ sigma_absorb ≤ sigma_total`.
+    #[must_use]
+    pub fn new(thickness: f64, sigma_total: f64, sigma_absorb: f64) -> Self {
+        assert!(thickness > 0.0, "thickness must be positive");
+        assert!(sigma_total > 0.0, "total cross-section must be positive");
+        assert!(
+            (0.0..=sigma_total).contains(&sigma_absorb),
+            "absorption cross-section must lie in [0, sigma_total]"
+        );
+        Self {
+            thickness,
+            sigma_total,
+            sigma_absorb,
+        }
+    }
+
+    /// A purely absorbing slab (no scattering): transmission is exactly
+    /// `e^{-Σ_t L}`.
+    #[must_use]
+    pub fn purely_absorbing(thickness: f64, sigma_total: f64) -> Self {
+        Self::new(thickness, sigma_total, sigma_total)
+    }
+
+    /// The exact transmission probability when the slab is purely
+    /// absorbing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab scatters (`sigma_absorb < sigma_total`).
+    #[must_use]
+    pub fn exact_transmission_pure_absorption(&self) -> f64 {
+        assert!(
+            self.sigma_absorb == self.sigma_total,
+            "closed form only holds without scattering"
+        );
+        (-self.sigma_total * self.thickness).exp()
+    }
+
+    /// Transports one particle and returns its fate.
+    pub fn transport<R: parmonc_rng::UniformSource + ?Sized>(&self, rng: &mut R) -> Fate {
+        let mut x = 0.0;
+        let mut mu: f64 = 1.0; // direction cosine, +1 = forward
+        loop {
+            let path = exponential(rng, self.sigma_total);
+            x += mu * path;
+            if x >= self.thickness {
+                return Fate::Transmitted;
+            }
+            if x <= 0.0 {
+                return Fate::Reflected;
+            }
+            // Collision: absorb or scatter isotropically.
+            if rng.next_f64() < self.sigma_absorb / self.sigma_total {
+                return Fate::Absorbed;
+            }
+            mu = uniform(rng, -1.0, 1.0);
+        }
+    }
+}
+
+impl Realize for SlabTransport {
+    /// Output: 1×3 indicators `[transmitted, reflected, absorbed]`.
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        match self.transport(rng) {
+            Fate::Transmitted => out[0] = 1.0,
+            Fate::Reflected => out[1] = 1.0,
+            Fate::Absorbed => out[2] = 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    fn rates(slab: &SlabTransport, trials: u32) -> (f64, f64, f64) {
+        let mut rng = Lcg128::new();
+        let (mut t, mut r, mut a) = (0u32, 0u32, 0u32);
+        for _ in 0..trials {
+            match slab.transport(&mut rng) {
+                Fate::Transmitted => t += 1,
+                Fate::Reflected => r += 1,
+                Fate::Absorbed => a += 1,
+            }
+        }
+        let n = f64::from(trials);
+        (f64::from(t) / n, f64::from(r) / n, f64::from(a) / n)
+    }
+
+    #[test]
+    fn pure_absorption_matches_beer_lambert() {
+        for (len, sigma) in [(1.0, 1.0), (2.0, 0.5), (0.5, 3.0)] {
+            let slab = SlabTransport::purely_absorbing(len, sigma);
+            let (t, r, _a) = rates(&slab, 200_000);
+            let exact = slab.exact_transmission_pure_absorption();
+            assert!(
+                (t - exact).abs() < 0.005,
+                "L={len} sigma={sigma}: {t} vs {exact}"
+            );
+            assert_eq!(r, 0.0, "no scattering means no reflection");
+        }
+    }
+
+    #[test]
+    fn fates_partition_unity() {
+        let slab = SlabTransport::new(2.0, 1.0, 0.3);
+        let (t, r, a) = rates(&slab, 50_000);
+        assert!((t + r + a - 1.0).abs() < 1e-12);
+        assert!(t > 0.0 && r > 0.0 && a > 0.0);
+    }
+
+    #[test]
+    fn scattering_increases_reflection() {
+        let absorbing = SlabTransport::purely_absorbing(1.0, 1.0);
+        let scattering = SlabTransport::new(1.0, 1.0, 0.2);
+        let (_, r_abs, _) = rates(&absorbing, 50_000);
+        let (_, r_scat, _) = rates(&scattering, 50_000);
+        assert_eq!(r_abs, 0.0);
+        assert!(r_scat > 0.05, "scattering slab reflects: {r_scat}");
+    }
+
+    #[test]
+    fn thicker_slab_transmits_less() {
+        let thin = SlabTransport::new(0.5, 1.0, 0.5);
+        let thick = SlabTransport::new(3.0, 1.0, 0.5);
+        let (t_thin, ..) = rates(&thin, 50_000);
+        let (t_thick, ..) = rates(&thick, 50_000);
+        assert!(t_thin > t_thick + 0.1, "{t_thin} vs {t_thick}");
+    }
+
+    #[test]
+    fn realize_writes_one_indicator() {
+        use parmonc::Realize;
+        use parmonc_rng::{StreamHierarchy, StreamId};
+        let slab = SlabTransport::new(1.0, 1.0, 0.5);
+        let h = StreamHierarchy::default();
+        for k in 0..100 {
+            let mut s = h.realization_stream(StreamId::new(0, 0, k)).unwrap();
+            let mut out = [0.0; 3];
+            slab.realize(&mut s, &mut out);
+            assert_eq!(out.iter().sum::<f64>(), 1.0);
+            assert!(out.iter().all(|x| *x == 0.0 || *x == 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, sigma_total]")]
+    fn rejects_absorption_above_total() {
+        let _ = SlabTransport::new(1.0, 1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only holds without scattering")]
+    fn exact_formula_guarded() {
+        let slab = SlabTransport::new(1.0, 1.0, 0.5);
+        let _ = slab.exact_transmission_pure_absorption();
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 2 as a Criterion target: each panel's full sweep on the
+//! discrete-event model, so `cargo bench` regenerates every figure of
+//! the paper's evaluation. The `T_comp` values themselves are printed
+//! by the `fig2_sim` binary; here Criterion tracks the cost of the
+//! regeneration itself and pins the shape assertion.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmonc_simcluster::figure2::{panel_series, Panel};
+use parmonc_simcluster::{simulate, ClusterConfig};
+
+fn bench_panels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_panel");
+    for panel in Panel::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(panel.letter()),
+            &panel,
+            |b, &panel| {
+                b.iter(|| {
+                    let series = panel_series(black_box(panel));
+                    // Shape assertion: every curve pair scales by its
+                    // processor ratio within 7% (the paper's "direct
+                    // proportion" claim).
+                    for w in series.windows(2) {
+                        let ratio_m = w[1].processors as f64 / w[0].processors as f64;
+                        for (i, &(_, t_small)) in w[0].points.iter().enumerate() {
+                            let ratio_t = t_small / w[1].points[i].1;
+                            assert!(
+                                (ratio_t - ratio_m).abs() < 0.07 * ratio_m,
+                                "panel {} deviates from linear speedup",
+                                panel.letter()
+                            );
+                        }
+                    }
+                    black_box(series)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_point(c: &mut Criterion) {
+    // The heaviest single configuration: M = 512, L = 75 000.
+    c.bench_function("simulate_m512_l75000", |b| {
+        let config = ClusterConfig::paper_testbed(512);
+        b.iter(|| black_box(simulate(&config, 75_000).t_comp))
+    });
+}
+
+criterion_group!(benches, bench_panels, bench_single_point);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Jump-ahead costs (DESIGN.md ablation #2): binary-exponentiation
+//! leaps vs sequential stepping, and full stream-creation cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmonc_rng::{Lcg128, StreamHierarchy, StreamId};
+
+fn bench_jump_vs_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advance_n_steps");
+    for exp in [8u32, 16, 20] {
+        let n = 1u128 << exp;
+        group.bench_with_input(BenchmarkId::new("jump", exp), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Lcg128::new();
+                rng.jump(black_box(n));
+                black_box(rng.state())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("step", exp), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Lcg128::new();
+                for _ in 0..n {
+                    rng.next_raw();
+                }
+                black_box(rng.state())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_jump_large_exponents(c: &mut Criterion) {
+    // Leaps at the hierarchy's own scale — only reachable by
+    // exponentiation.
+    let mut group = c.benchmark_group("jump_large");
+    for exp in [43u32, 98, 115] {
+        group.bench_with_input(BenchmarkId::from_parameter(exp), &exp, |b, &exp| {
+            b.iter(|| {
+                let mut rng = Lcg128::new();
+                rng.jump(black_box(1u128 << exp));
+                black_box(rng.state())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_creation(c: &mut Criterion) {
+    let hierarchy = StreamHierarchy::default();
+    c.bench_function("realization_stream_creation", |b| {
+        let mut r = 0u64;
+        b.iter(|| {
+            r = (r + 1) % (1 << 20);
+            black_box(
+                hierarchy
+                    .realization_stream(StreamId::new(1, 3, r))
+                    .expect("within capacity"),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_jump_vs_step,
+    bench_jump_large_exponents,
+    bench_stream_creation
+);
+criterion_main!(benches);

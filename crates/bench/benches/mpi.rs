@@ -1,0 +1,82 @@
+//! Message-passing substrate costs: subtotal encode/decode at the
+//! paper's message size, point-to-point round trip, and the gather
+//! pattern the collector runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use parmonc::messages::Subtotal;
+use parmonc_mpi::{Tag, World};
+use parmonc_stats::MatrixAccumulator;
+
+fn paper_subtotal() -> Subtotal {
+    let mut acc = MatrixAccumulator::new(1000, 2).unwrap();
+    acc.add(&vec![0.5; 2000]).unwrap();
+    Subtotal {
+        acc,
+        compute_seconds: 7.7,
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let subtotal = paper_subtotal();
+    let encoded = subtotal.encode();
+
+    let mut group = c.benchmark_group("subtotal_codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_1000x2", |b| {
+        b.iter(|| black_box(subtotal.encode()))
+    });
+    group.bench_function("decode_1000x2", |b| {
+        b.iter(|| black_box(Subtotal::decode(encoded.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    c.bench_function("ping_pong_120kb", |b| {
+        b.iter(|| {
+            let payload = paper_subtotal().encode();
+            let results = World::run(2, move |comm| {
+                if comm.rank() == 0 {
+                    comm.send_bytes(1, Tag(1), payload.clone())?;
+                    let back = comm.recv(Some(1), Some(Tag(2)))?;
+                    Ok(back.len())
+                } else {
+                    let msg = comm.recv(Some(0), Some(Tag(1)))?;
+                    comm.send_bytes(0, Tag(2), msg.payload)?;
+                    Ok(0)
+                }
+            })
+            .unwrap();
+            black_box(results)
+        })
+    });
+}
+
+fn bench_gather_pattern(c: &mut Criterion) {
+    // 8 workers each send 16 subtotal messages to rank 0 — a burst of
+    // the collector's steady-state load.
+    c.bench_function("collector_gather_8x16", |b| {
+        b.iter(|| {
+            let results = World::run(9, |comm| {
+                if comm.rank() == 0 {
+                    let mut bytes = 0usize;
+                    for _ in 0..8 * 16 {
+                        bytes += comm.recv(None, None)?.len();
+                    }
+                    Ok(bytes)
+                } else {
+                    let payload = paper_subtotal().encode();
+                    for _ in 0..16 {
+                        comm.send_bytes(0, Tag(1), payload.clone())?;
+                    }
+                    Ok(0)
+                }
+            })
+            .unwrap();
+            black_box(results)
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_ping_pong, bench_gather_pattern);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! RNG throughput: the PARMONC 128-bit generator (native `u128` and
+//! paper-faithful 64-bit-limb paths — DESIGN.md ablation #1) against
+//! the 40-bit LCG the paper cites, xorshift64*, splitmix64 and rand's
+//! StdRng.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use parmonc_rng::baseline::{Lcg40, SplitMix64, XorShift64Star};
+use parmonc_rng::limbs::{limb_step, U128Limbs};
+use parmonc_rng::{Lcg128, UniformSource, DEFAULT_MULTIPLIER};
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+const BATCH: u64 = 10_000;
+
+fn bench_f64_sources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("next_f64");
+    group.throughput(Throughput::Elements(BATCH));
+
+    group.bench_function("lcg128_u128", |b| {
+        let mut rng = Lcg128::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..BATCH {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("lcg128_limbs", |b| {
+        // The paper's 64-bit-arithmetic implementation strategy.
+        let a = U128Limbs::from_u128(DEFAULT_MULTIPLIER);
+        let mut u = U128Limbs::from_u128(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..BATCH {
+                u = limb_step(u, a);
+                acc += ((u.to_u128() >> 75) as u64 as f64 + 0.5) / (1u64 << 53) as f64;
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("lcg40_paper_baseline", |b| {
+        let mut rng = Lcg40::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..BATCH {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("xorshift64star", |b| {
+        let mut rng = XorShift64Star::new(0xDEAD_BEEF);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..BATCH {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("splitmix64", |b| {
+        let mut rng = SplitMix64::new(42);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..BATCH {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("rand_stdrng", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..BATCH {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_normal_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normal_pair");
+    group.throughput(Throughput::Elements(BATCH));
+    group.bench_function("box_muller_pair", |b| {
+        let mut rng = Lcg128::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..BATCH / 2 {
+                let (z1, z2) = parmonc_rng::distributions::standard_normal_pair(&mut rng);
+                acc += z1 + z2;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("polar", |b| {
+        let mut rng = Lcg128::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..BATCH {
+                acc += parmonc_rng::distributions::standard_normal_polar(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_f64_sources, bench_normal_sampling);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Estimator costs (DESIGN.md ablation #4): raw-sum accumulation vs
+//! Welford, matrix add/merge at the paper's 1000×2 shape, and summary
+//! extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use parmonc_rng::Lcg128;
+use parmonc_stats::running::WelfordAccumulator;
+use parmonc_stats::{MatrixAccumulator, ScalarAccumulator};
+
+fn bench_scalar_accumulation(c: &mut Criterion) {
+    let mut rng = Lcg128::new();
+    let data: Vec<f64> = (0..10_000).map(|_| rng.next_f64()).collect();
+
+    let mut group = c.benchmark_group("scalar_add");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("raw_sums", |b| {
+        b.iter(|| {
+            let mut acc = ScalarAccumulator::new();
+            for &x in &data {
+                acc.add(x);
+            }
+            black_box(acc.mean())
+        })
+    });
+    group.bench_function("welford", |b| {
+        b.iter(|| {
+            let mut acc = WelfordAccumulator::new();
+            for &x in &data {
+                acc.add(x);
+            }
+            black_box(acc.mean())
+        })
+    });
+    group.finish();
+}
+
+fn bench_matrix_paper_shape(c: &mut Criterion) {
+    // The performance test's realization: a 1000×2 matrix.
+    let mut rng = Lcg128::new();
+    let realization: Vec<f64> = (0..2000).map(|_| rng.next_f64()).collect();
+
+    let mut group = c.benchmark_group("matrix_1000x2");
+    group.bench_function("add_realization", |b| {
+        let mut acc = MatrixAccumulator::new(1000, 2).unwrap();
+        b.iter(|| acc.add(black_box(&realization)).unwrap())
+    });
+    group.bench_function("merge", |b| {
+        let mut left = MatrixAccumulator::new(1000, 2).unwrap();
+        left.add(&realization).unwrap();
+        let mut right = MatrixAccumulator::new(1000, 2).unwrap();
+        right.add(&realization).unwrap();
+        b.iter(|| {
+            let mut l = left.clone();
+            l.merge(black_box(&right)).unwrap();
+            black_box(l.count())
+        })
+    });
+    group.bench_function("summary", |b| {
+        let mut acc = MatrixAccumulator::new(1000, 2).unwrap();
+        for _ in 0..100 {
+            acc.add(&realization).unwrap();
+        }
+        b.iter(|| black_box(acc.summary().eps_max))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar_accumulation, bench_matrix_paper_shape);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! `genparam ne np nr` — writes `parmonc_genparam.dat` into the
+//! current working directory (paper Section 3.5).
+
+use std::process::ExitCode;
+
+use parmonc_cli::parse_genparam_args;
+
+fn main() -> ExitCode {
+    let args = match parse_genparam_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parmonc::genparam::write_genparam(".", args.ne, args.np, args.nr) {
+        Ok(config) => {
+            println!(
+                "wrote {}: ne = {}, np = {}, nr = {}",
+                parmonc::genparam::GENPARAM_FILE,
+                config.ne(),
+                config.np(),
+                config.nr()
+            );
+            println!(
+                "capacities: {} experiments x {} processors x 2^{} realizations",
+                config.experiments(),
+                config.processors(),
+                config.realizations_exponent()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("genparam: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `manaver [dir]` — manually averages the worker subtotal files left
+//! by a terminated job (paper Section 3.4).
+
+use std::process::ExitCode;
+
+use parmonc_cli::parse_manaver_args;
+
+fn main() -> ExitCode {
+    let args = match parse_manaver_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parmonc::manaver::manaver(&args.dir) {
+        Ok(report) => {
+            println!(
+                "manaver: folded {} worker files, recovered {} realizations",
+                report.workers_found, report.recovered_volume
+            );
+            println!(
+                "total sample volume = {}, eps_max = {:.6e}, rho_max = {:.4}%",
+                report.total_volume, report.summary.eps_max, report.summary.rho_max
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("manaver: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

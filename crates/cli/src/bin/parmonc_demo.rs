@@ -1,0 +1,64 @@
+//! `parmonc-demo <pi|transport|queue> [volume] [processors] [dir]` —
+//! runs a bundled workload through the full PARMONC pipeline and
+//! prints the averaged results.
+
+use std::process::ExitCode;
+
+use parmonc::{Parmonc, ParmoncError, RunReport};
+use parmonc_apps::{MM1Queue, PiEstimator, SlabTransport};
+use parmonc_cli::{parse_demo_args, DemoArgs, DemoWorkload};
+
+fn run(args: &DemoArgs) -> Result<(RunReport, Vec<&'static str>), ParmoncError> {
+    let builder = |ncol: usize| {
+        Parmonc::builder(1, ncol)
+            .max_sample_volume(args.volume)
+            .processors(args.processors)
+            .output_dir(&args.dir)
+    };
+    match args.workload {
+        DemoWorkload::Pi => Ok((builder(1).run(PiEstimator)?, vec!["pi"])),
+        DemoWorkload::Transport => Ok((
+            builder(3).run(SlabTransport::new(2.0, 1.0, 0.3))?,
+            vec!["P(transmit)", "P(reflect)", "P(absorb)"],
+        )),
+        DemoWorkload::Queue => Ok((
+            builder(2).run(MM1Queue::new(0.5, 1.0, 5_000, 500))?,
+            vec!["E[wait]", "P(delayed)"],
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_demo_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok((report, labels)) => {
+            println!(
+                "L = {} realizations on {} processors in {:.2?} (tau = {:.3e} s)",
+                report.total_volume,
+                report.processors,
+                report.elapsed,
+                report.mean_time_per_realization
+            );
+            for (j, label) in labels.iter().enumerate() {
+                println!(
+                    "{label:>12} = {:.6} ± {:.6} ({:.3}%)",
+                    report.summary.means[j],
+                    report.summary.abs_errors[j],
+                    report.summary.rel_errors_percent[j]
+                );
+            }
+            println!("results in {}", report.results_dir.root().display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("parmonc-demo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

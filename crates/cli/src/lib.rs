@@ -1,0 +1,209 @@
+//! Shared plumbing for the PARMONC command-line tools.
+//!
+//! The paper ships two stand-alone executables (Sections 3.4, 3.5):
+//!
+//! * `genparam ne np nr` — writes `parmonc_genparam.dat` with
+//!   user-chosen leap exponents;
+//! * `manaver` — re-averages the subtotal files of a terminated job.
+//!
+//! This crate provides their argument parsing as a library (so it is
+//! testable) and the binaries as thin wrappers; it also ships
+//! `parmonc-demo`, a small driver that runs the bundled workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::path::PathBuf;
+
+/// Parsed `genparam` arguments: the three leap exponents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenparamArgs {
+    /// Exponent of the "experiments" leap.
+    pub ne: u32,
+    /// Exponent of the "processors" leap.
+    pub np: u32,
+    /// Exponent of the "realizations" leap.
+    pub nr: u32,
+}
+
+/// Parses `genparam ne np nr`.
+///
+/// # Errors
+///
+/// Returns a usage string if the argument count or values are
+/// malformed (range validation happens in
+/// [`parmonc::genparam::write_genparam`]).
+pub fn parse_genparam_args<I, S>(args: I) -> Result<GenparamArgs, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    if values.len() != 3 {
+        return Err(format!(
+            "usage: genparam ne np nr   (got {} arguments)",
+            values.len()
+        ));
+    }
+    let parse = |name: &str, v: &str| -> Result<u32, String> {
+        v.parse::<u32>()
+            .map_err(|_| format!("{name} must be a non-negative integer, got {v:?}"))
+    };
+    Ok(GenparamArgs {
+        ne: parse("ne", &values[0])?,
+        np: parse("np", &values[1])?,
+        nr: parse("nr", &values[2])?,
+    })
+}
+
+/// Parsed `manaver` arguments: the working directory (defaults to
+/// `.`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManaverArgs {
+    /// Directory containing `parmonc_data/`.
+    pub dir: PathBuf,
+}
+
+/// Parses `manaver [dir]`.
+///
+/// # Errors
+///
+/// Returns a usage string on more than one argument.
+pub fn parse_manaver_args<I, S>(args: I) -> Result<ManaverArgs, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    match values.len() {
+        0 => Ok(ManaverArgs {
+            dir: PathBuf::from("."),
+        }),
+        1 => Ok(ManaverArgs {
+            dir: PathBuf::from(&values[0]),
+        }),
+        n => Err(format!("usage: manaver [dir]   (got {n} arguments)")),
+    }
+}
+
+/// The demo workloads `parmonc-demo` can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemoWorkload {
+    /// π by rejection sampling.
+    Pi,
+    /// 1-D slab transport.
+    Transport,
+    /// M/M/1 queue.
+    Queue,
+}
+
+/// Parsed `parmonc-demo` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemoArgs {
+    /// Which workload.
+    pub workload: DemoWorkload,
+    /// Total sample volume.
+    pub volume: u64,
+    /// Processor count.
+    pub processors: usize,
+    /// Output directory.
+    pub dir: PathBuf,
+}
+
+/// Parses `parmonc-demo <pi|transport|queue> [volume] [processors] [dir]`.
+///
+/// # Errors
+///
+/// Returns a usage string for unknown workloads or malformed numbers.
+pub fn parse_demo_args<I, S>(args: I) -> Result<DemoArgs, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    const USAGE: &str = "usage: parmonc-demo <pi|transport|queue> [volume] [processors] [dir]";
+    let values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    let Some(first) = values.first() else {
+        return Err(USAGE.to_string());
+    };
+    let workload = match first.as_str() {
+        "pi" => DemoWorkload::Pi,
+        "transport" => DemoWorkload::Transport,
+        "queue" => DemoWorkload::Queue,
+        other => return Err(format!("unknown workload {other:?}\n{USAGE}")),
+    };
+    let volume = match values.get(1) {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("volume must be an integer, got {v:?}"))?,
+        None => 100_000,
+    };
+    let processors = match values.get(2) {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("processors must be an integer, got {v:?}"))?,
+        None => 4,
+    };
+    let dir = values
+        .get(3)
+        .map_or_else(|| PathBuf::from("parmonc-demo-out"), PathBuf::from);
+    Ok(DemoArgs {
+        workload,
+        volume,
+        processors,
+        dir,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genparam_happy_path() {
+        let a = parse_genparam_args(["115", "98", "43"]).unwrap();
+        assert_eq!(a, GenparamArgs { ne: 115, np: 98, nr: 43 });
+    }
+
+    #[test]
+    fn genparam_wrong_arity() {
+        assert!(parse_genparam_args(["1", "2"]).unwrap_err().contains("usage"));
+        assert!(parse_genparam_args(["1", "2", "3", "4"]).is_err());
+    }
+
+    #[test]
+    fn genparam_bad_number() {
+        let err = parse_genparam_args(["x", "98", "43"]).unwrap_err();
+        assert!(err.contains("ne"));
+    }
+
+    #[test]
+    fn manaver_defaults_to_cwd() {
+        assert_eq!(
+            parse_manaver_args(Vec::<String>::new()).unwrap().dir,
+            PathBuf::from(".")
+        );
+        assert_eq!(
+            parse_manaver_args(["/tmp/run"]).unwrap().dir,
+            PathBuf::from("/tmp/run")
+        );
+        assert!(parse_manaver_args(["a", "b"]).is_err());
+    }
+
+    #[test]
+    fn demo_parsing() {
+        let a = parse_demo_args(["pi"]).unwrap();
+        assert_eq!(a.workload, DemoWorkload::Pi);
+        assert_eq!(a.volume, 100_000);
+        assert_eq!(a.processors, 4);
+
+        let a = parse_demo_args(["queue", "5000", "8", "/tmp/q"]).unwrap();
+        assert_eq!(a.workload, DemoWorkload::Queue);
+        assert_eq!(a.volume, 5000);
+        assert_eq!(a.processors, 8);
+        assert_eq!(a.dir, PathBuf::from("/tmp/q"));
+
+        assert!(parse_demo_args(Vec::<String>::new()).is_err());
+        assert!(parse_demo_args(["juggling"]).is_err());
+        assert!(parse_demo_args(["pi", "lots"]).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the command-line binaries, exercising the same
+//! flows a cluster user would type (paper Sections 3.4–3.5).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parmonc-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn genparam_writes_the_dat_file() {
+    let dir = tempdir("genparam");
+    let out = Command::new(env!("CARGO_BIN_EXE_genparam"))
+        .args(["110", "90", "40"])
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ne = 110"));
+    assert!(dir.join("parmonc_genparam.dat").is_file());
+    // The library loads exactly what the tool wrote.
+    let cfg = parmonc::genparam::load_genparam(&dir).unwrap();
+    assert_eq!((cfg.ne(), cfg.np(), cfg.nr()), (110, 90, 40));
+}
+
+#[test]
+fn genparam_rejects_bad_arguments() {
+    for args in [vec!["1"], vec!["40", "90", "110"], vec!["x", "y", "z"]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_genparam"))
+            .args(&args)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "args {args:?} should fail");
+    }
+}
+
+#[test]
+fn demo_then_manaver_flow() {
+    let dir = tempdir("flow");
+    // Run the pi demo.
+    let out = Command::new(env!("CARGO_BIN_EXE_parmonc-demo"))
+        .args(["pi", "20000", "2", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pi ="), "{stdout}");
+    assert!(dir.join("parmonc_data/results/func.dat").is_file());
+
+    // Fake a crashed job by planting a worker subtotal, then manaver.
+    let rd = parmonc::ResultsDir::open(&dir).unwrap();
+    let mut acc = parmonc::MatrixAccumulator::new(1, 1).unwrap();
+    for _ in 0..100 {
+        acc.add(&[3.0]).unwrap();
+    }
+    rd.save_worker_subtotal(
+        0,
+        &parmonc::messages::Subtotal {
+            acc,
+            compute_seconds: 0.5,
+        },
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_manaver"))
+        .arg(dir.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("recovered 100 realizations"), "{stdout}");
+}
+
+#[test]
+fn manaver_fails_cleanly_without_data() {
+    let dir = tempdir("nodata");
+    let out = Command::new(env!("CARGO_BIN_EXE_manaver"))
+        .arg(dir.join("missing").to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("manaver:"));
+}
+
+#[test]
+fn demo_rejects_unknown_workload() {
+    let out = Command::new(env!("CARGO_BIN_EXE_parmonc-demo"))
+        .arg("juggling")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}

@@ -1,0 +1,380 @@
+//! Run configuration: the arguments of `parmoncc`/`parmoncf`
+//! (paper Section 3.2) plus the knobs this reproduction adds.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use parmonc_rng::LeapConfig;
+
+use crate::error::ParmoncError;
+
+/// The resumption flag `res` of `parmoncc`/`parmoncf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Resume {
+    /// `res = 0`: a new simulation; brand-new result files are created.
+    #[default]
+    New,
+    /// `res = 1`: resume the previous simulation; its results are loaded
+    /// from the files and averaged in by formula (5). Requires a fresh
+    /// `seqnum`.
+    Resume,
+}
+
+/// When workers ship subtotals to rank 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Exchange {
+    /// Ship after every completed realization — the "strictest
+    /// conditions" of the paper's performance test (Section 4).
+    EveryRealization,
+    /// Ship when `perpass` has elapsed since the last send (the normal
+    /// production mode, Section 3.2).
+    #[default]
+    Periodic,
+}
+
+/// Validated run configuration. Build one with [`crate::Parmonc::builder`].
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Realization matrix rows (`nrow`).
+    pub nrow: usize,
+    /// Realization matrix columns (`ncol`).
+    pub ncol: usize,
+    /// Maximal total sample volume (`maxsv`).
+    pub max_sample_volume: u64,
+    /// Resumption flag (`res`).
+    pub resume: Resume,
+    /// The "experiments" subsequence number (`seqnum`).
+    pub seqnum: u64,
+    /// Number of processors `M` (ranks; rank 0 both simulates and
+    /// collects, as in the paper's performance test).
+    pub processors: usize,
+    /// Period of data passing from workers (`perpass`). Ignored when
+    /// `exchange` is [`Exchange::EveryRealization`].
+    pub pass_period: Duration,
+    /// Period of averaging/saving on rank 0 (`peraver`).
+    pub averaging_period: Duration,
+    /// Exchange mode.
+    pub exchange: Exchange,
+    /// Wall-clock budget, emulating the cluster job time limit; `None`
+    /// means run until `max_sample_volume`.
+    pub deadline: Option<Duration>,
+    /// Stop early once `eps_max` (the largest absolute stochastic
+    /// error over the matrix) falls to or below this target — the
+    /// error control that Section 2.2 motivates periodic averaging
+    /// with. `None` disables error-targeted stopping. Checked on
+    /// rank 0 at every averaging point; workers are told to stop via a
+    /// broadcast and still send their final subtotals.
+    pub target_abs_error: Option<f64>,
+    /// Root of the output tree; `parmonc_data/` is created inside.
+    pub output_dir: PathBuf,
+    /// Leap configuration (`genparam` override or default).
+    pub leaps: LeapConfig,
+    /// Whether `leaps` was set explicitly through the builder; when
+    /// `false`, [`ParmoncBuilder::build`] consults
+    /// `parmonc_genparam.dat` in the output directory, as the paper's
+    /// routines do (Section 3.5).
+    pub leaps_explicit: bool,
+}
+
+impl RunConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Config`] for zero dimensions, zero
+    /// volume, zero processors, a processor count exceeding the leap
+    /// capacity, or a seqnum exceeding the experiment capacity.
+    pub fn validate(&self) -> Result<(), ParmoncError> {
+        if self.nrow == 0 || self.ncol == 0 {
+            return Err(ParmoncError::Config(format!(
+                "matrix dimensions must be positive, got {}x{}",
+                self.nrow, self.ncol
+            )));
+        }
+        if self.max_sample_volume == 0 {
+            return Err(ParmoncError::Config(
+                "max_sample_volume must be positive".into(),
+            ));
+        }
+        if self.processors == 0 {
+            return Err(ParmoncError::Config("processors must be at least 1".into()));
+        }
+        if self.processors as u64 > self.leaps.processors() {
+            return Err(ParmoncError::Config(format!(
+                "{} processors exceed the leap capacity of {} per experiment",
+                self.processors,
+                self.leaps.processors()
+            )));
+        }
+        if let Some(target) = self.target_abs_error {
+            if target <= 0.0 || target.is_nan() {
+                return Err(ParmoncError::Config(format!(
+                    "target_abs_error must be positive, got {target}"
+                )));
+            }
+        }
+        if self.seqnum >= self.leaps.experiments() {
+            return Err(ParmoncError::Config(format!(
+                "seqnum {} exceeds the experiment capacity {}",
+                self.seqnum,
+                self.leaps.experiments()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Per-worker realization quota: worker `m` of `M` simulates
+    /// `maxsv / M` realizations plus one of the first `maxsv % M`
+    /// remainders — so the quotas sum exactly to `maxsv`.
+    #[must_use]
+    pub fn quota(&self, worker: usize) -> u64 {
+        let m = self.processors as u64;
+        let base = self.max_sample_volume / m;
+        let extra = u64::from((worker as u64) < self.max_sample_volume % m);
+        base + extra
+    }
+}
+
+/// Builder for a PARMONC run (C-BUILDER): configure, then
+/// [`ParmoncBuilder::run`].
+#[derive(Debug, Clone)]
+pub struct ParmoncBuilder {
+    config: RunConfig,
+}
+
+impl ParmoncBuilder {
+    pub(crate) fn new(nrow: usize, ncol: usize) -> Self {
+        Self {
+            config: RunConfig {
+                nrow,
+                ncol,
+                max_sample_volume: 1,
+                resume: Resume::New,
+                seqnum: 0,
+                processors: 1,
+                pass_period: Duration::from_secs(600),
+                averaging_period: Duration::from_secs(1200),
+                exchange: Exchange::Periodic,
+                deadline: None,
+                target_abs_error: None,
+                output_dir: PathBuf::from("."),
+                leaps: LeapConfig::default(),
+                leaps_explicit: false,
+            },
+        }
+    }
+
+    /// Sets `maxsv`, the maximal total sample volume.
+    #[must_use]
+    pub fn max_sample_volume(mut self, maxsv: u64) -> Self {
+        self.config.max_sample_volume = maxsv;
+        self
+    }
+
+    /// Sets the resumption flag `res`.
+    #[must_use]
+    pub fn resume(mut self, resume: Resume) -> Self {
+        self.config.resume = resume;
+        self
+    }
+
+    /// Sets `seqnum`, the "experiments" subsequence number.
+    #[must_use]
+    pub fn seqnum(mut self, seqnum: u64) -> Self {
+        self.config.seqnum = seqnum;
+        self
+    }
+
+    /// Sets the number of processors `M`.
+    #[must_use]
+    pub fn processors(mut self, m: usize) -> Self {
+        self.config.processors = m;
+        self
+    }
+
+    /// Sets `perpass`, the period of data passing.
+    #[must_use]
+    pub fn pass_period(mut self, period: Duration) -> Self {
+        self.config.pass_period = period;
+        self
+    }
+
+    /// Sets `peraver`, the period of averaging and saving.
+    #[must_use]
+    pub fn averaging_period(mut self, period: Duration) -> Self {
+        self.config.averaging_period = period;
+        self
+    }
+
+    /// Sets the exchange mode (periodic vs after every realization).
+    #[must_use]
+    pub fn exchange(mut self, exchange: Exchange) -> Self {
+        self.config.exchange = exchange;
+        self
+    }
+
+    /// Sets a wall-clock budget emulating the cluster job time limit.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Stops the simulation early once the largest absolute stochastic
+    /// error `eps_max` reaches `target` (error-controlled stopping,
+    /// Section 2.2's motivation for periodic averaging).
+    #[must_use]
+    pub fn target_abs_error(mut self, target: f64) -> Self {
+        self.config.target_abs_error = Some(target);
+        self
+    }
+
+    /// Sets the output directory (where `parmonc_data/` is created).
+    #[must_use]
+    pub fn output_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.config.output_dir = dir.as_ref().to_path_buf();
+        self
+    }
+
+    /// Overrides the leap configuration explicitly, bypassing any
+    /// `parmonc_genparam.dat` in the output directory.
+    #[must_use]
+    pub fn leaps(mut self, leaps: LeapConfig) -> Self {
+        self.config.leaps = leaps;
+        self.config.leaps_explicit = true;
+        self
+    }
+
+    /// Finalizes the configuration without running (for inspection and
+    /// tests).
+    ///
+    /// Unless [`ParmoncBuilder::leaps`] was called, this consults
+    /// `parmonc_genparam.dat` in the output directory — the paper's
+    /// lookup path for `genparam` overrides (Section 3.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Config`] if validation fails or the
+    /// genparam file is malformed.
+    pub fn build(mut self) -> Result<RunConfig, ParmoncError> {
+        if !self.config.leaps_explicit {
+            self.config.leaps = crate::genparam::load_genparam(&self.config.output_dir)?;
+        }
+        self.config.validate()?;
+        Ok(self.config)
+    }
+
+    /// Validates and runs the simulation with the user realization
+    /// routine; equivalent to the `parmoncc` call of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, I/O, and transport errors.
+    pub fn run<R>(self, realize: R) -> Result<crate::runner::RunReport, ParmoncError>
+    where
+        R: crate::realize::Realize + Sync,
+    {
+        crate::runner::run(self.build()?, realize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Parmonc;
+
+    #[test]
+    fn builder_defaults_mirror_paper() {
+        let cfg = Parmonc::builder(10, 2).max_sample_volume(100).build().unwrap();
+        assert_eq!(cfg.nrow, 10);
+        assert_eq!(cfg.ncol, 2);
+        assert_eq!(cfg.resume, Resume::New);
+        assert_eq!(cfg.exchange, Exchange::Periodic);
+        assert_eq!(cfg.processors, 1);
+        assert_eq!(cfg.leaps, LeapConfig::default());
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(Parmonc::builder(0, 2).max_sample_volume(1).build().is_err());
+        assert!(Parmonc::builder(2, 0).max_sample_volume(1).build().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_volume_and_processors() {
+        assert!(Parmonc::builder(1, 1).max_sample_volume(0).build().is_err());
+        assert!(Parmonc::builder(1, 1)
+            .max_sample_volume(1)
+            .processors(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_seqnum_beyond_capacity() {
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(1)
+            .seqnum(1 << 10) // capacity is 2^10
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("seqnum"));
+    }
+
+    #[test]
+    fn rejects_processor_count_beyond_capacity() {
+        let tiny = LeapConfig::new(12, 8, 4).unwrap(); // 2^4 = 16 processors
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(1)
+            .leaps(tiny)
+            .processors(17)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn build_picks_up_genparam_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "parmonc-config-genparam-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        crate::genparam::write_genparam(&dir, 105, 85, 42).unwrap();
+
+        // Implicit: the file wins.
+        let cfg = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .output_dir(&dir)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.leaps.ne(), cfg.leaps.np(), cfg.leaps.nr()), (105, 85, 42));
+
+        // Explicit: the builder wins.
+        let cfg = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .output_dir(&dir)
+            .leaps(LeapConfig::default())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.leaps, LeapConfig::default());
+    }
+
+    #[test]
+    fn quotas_sum_to_maxsv() {
+        for (maxsv, m) in [(100u64, 8usize), (7, 3), (1, 4), (1000, 1), (13, 13)] {
+            let cfg = Parmonc::builder(1, 1)
+                .max_sample_volume(maxsv)
+                .processors(m)
+                .build()
+                .unwrap();
+            let total: u64 = (0..m).map(|w| cfg.quota(w)).sum();
+            assert_eq!(total, maxsv, "maxsv={maxsv} m={m}");
+            // Quotas are balanced within 1.
+            let quotas: Vec<u64> = (0..m).map(|w| cfg.quota(w)).collect();
+            let min = quotas.iter().min().unwrap();
+            let max = quotas.iter().max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Error type of the PARMONC runtime.
+
+use core::fmt;
+
+use parmonc_mpi::MpiError;
+use parmonc_rng::HierarchyError;
+use parmonc_stats::{report::ParseError, StatsError};
+
+/// Errors produced by the PARMONC runtime.
+#[derive(Debug)]
+pub enum ParmoncError {
+    /// A configuration value was invalid.
+    Config(String),
+    /// The message-passing substrate failed.
+    Mpi(MpiError),
+    /// The statistics layer rejected data (shape mismatch etc.).
+    Stats(StatsError),
+    /// The stream hierarchy rejected an address.
+    Hierarchy(HierarchyError),
+    /// Filesystem I/O failed.
+    Io {
+        /// What the runtime was doing.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A result file could not be parsed.
+    Parse {
+        /// Which file.
+        file: String,
+        /// The underlying parse error.
+        source: ParseError,
+    },
+    /// `res = 1` (resume) was requested but no previous results exist.
+    NothingToResume {
+        /// The directory that was searched.
+        dir: std::path::PathBuf,
+    },
+    /// The `seqnum` was already used by a previous experiment in this
+    /// directory (the paper requires a fresh subsequence on resume).
+    SeqnumAlreadyUsed {
+        /// The offending seqnum.
+        seqnum: u64,
+    },
+    /// `manaver` found no worker subtotal files to average.
+    NoWorkerData {
+        /// The directory that was searched.
+        dir: std::path::PathBuf,
+    },
+    /// The previous results have a different matrix shape.
+    ResumeShapeMismatch {
+        /// Shape found on disk.
+        on_disk: (usize, usize),
+        /// Shape requested now.
+        requested: (usize, usize),
+    },
+}
+
+impl fmt::Display for ParmoncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Mpi(e) => write!(f, "message passing failed: {e}"),
+            Self::Stats(e) => write!(f, "statistics error: {e}"),
+            Self::Hierarchy(e) => write!(f, "stream hierarchy error: {e}"),
+            Self::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            Self::Parse { file, source } => write!(f, "cannot parse {file}: {source}"),
+            Self::NothingToResume { dir } => {
+                write!(f, "res = 1 but no previous results in {}", dir.display())
+            }
+            Self::NoWorkerData { dir } => {
+                write!(f, "no worker subtotal files to average in {}", dir.display())
+            }
+            Self::SeqnumAlreadyUsed { seqnum } => write!(
+                f,
+                "seqnum {seqnum} was already used; resuming requires a fresh experiments subsequence"
+            ),
+            Self::ResumeShapeMismatch { on_disk, requested } => write!(
+                f,
+                "previous results are {}x{} but this run asks for {}x{}",
+                on_disk.0, on_disk.1, requested.0, requested.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParmoncError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Mpi(e) => Some(e),
+            Self::Stats(e) => Some(e),
+            Self::Hierarchy(e) => Some(e),
+            Self::Io { source, .. } => Some(source),
+            Self::Parse { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<MpiError> for ParmoncError {
+    fn from(e: MpiError) -> Self {
+        Self::Mpi(e)
+    }
+}
+
+impl From<StatsError> for ParmoncError {
+    fn from(e: StatsError) -> Self {
+        Self::Stats(e)
+    }
+}
+
+impl From<HierarchyError> for ParmoncError {
+    fn from(e: HierarchyError) -> Self {
+        Self::Hierarchy(e)
+    }
+}
+
+/// Attaches filesystem context to an `io::Result`.
+pub(crate) trait IoContext<T> {
+    fn io_ctx(self, context: impl Into<String>) -> Result<T, ParmoncError>;
+}
+
+impl<T> IoContext<T> for std::io::Result<T> {
+    fn io_ctx(self, context: impl Into<String>) -> Result<T, ParmoncError> {
+        self.map_err(|source| ParmoncError::Io {
+            context: context.into(),
+            source,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ParmoncError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e = ParmoncError::from(MpiError::Disconnected);
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ParmoncError::SeqnumAlreadyUsed { seqnum: 2 };
+        assert!(e.to_string().contains("seqnum 2"));
+        let e = ParmoncError::ResumeShapeMismatch {
+            on_disk: (10, 2),
+            requested: (5, 2),
+        };
+        assert!(e.to_string().contains("10x2"));
+    }
+
+    #[test]
+    fn io_ctx_attaches_context() {
+        let r: std::io::Result<()> = Err(std::io::Error::other("boom"));
+        let e = r.io_ctx("writing func.dat").unwrap_err();
+        assert!(e.to_string().contains("writing func.dat"));
+    }
+}

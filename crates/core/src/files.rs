@@ -1,0 +1,630 @@
+//! The on-disk layout of simulation results (paper Section 3.6).
+//!
+//! When a job starts, PARMONC creates `parmonc_data/` in the user's
+//! working directory:
+//!
+//! ```text
+//! <output_dir>/parmonc_data/
+//!     results/func.dat        matrix of sample means
+//!     results/func_ci.dat     means + absolute/relative errors + variances
+//!     results/func_log.dat    volume, mean time per realization, upper bounds
+//!     results/checkpoint.dat  raw sums (exact resumption state)
+//!     parmonc_exp.dat         journal of experiments started here
+//!     workers/worker_NNNN.dat per-processor cumulative subtotals (manaver input)
+//! ```
+//!
+//! `func*.dat` match the paper's files; `checkpoint.dat` holds the raw
+//! `(Σζ, Σζ², l)` sums so `res = 1` resumption is exact rather than
+//! reconstructed from rounded means, and `workers/` is what the
+//! `manaver` command averages after an aborted job (Section 3.4).
+//!
+//! All writes go through a temp-file-then-rename so a crash mid-write
+//! never corrupts a save-point.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use parmonc_stats::report::{self, LogReport};
+use parmonc_stats::{MatrixAccumulator, MatrixSummary};
+
+use crate::error::{IoContext, ParmoncError};
+use crate::messages::Subtotal;
+
+/// Name of the data directory created in the working directory.
+pub const DATA_DIR: &str = "parmonc_data";
+
+/// Handle to a `parmonc_data` directory tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultsDir {
+    root: PathBuf,
+}
+
+/// One line of the experiment journal `parmonc_exp.dat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentRecord {
+    /// The "experiments" subsequence number used.
+    pub seqnum: u64,
+    /// The `maxsv` of the run.
+    pub max_sample_volume: u64,
+    /// Processor count.
+    pub processors: usize,
+    /// Whether the run was a resumption.
+    pub resumed: bool,
+    /// Total sample volume already on disk when the run started.
+    pub volume_before: u64,
+}
+
+impl ResultsDir {
+    /// Creates (or opens) the `parmonc_data` tree under `output_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] if the directories cannot be
+    /// created.
+    pub fn create(output_dir: impl AsRef<Path>) -> Result<Self, ParmoncError> {
+        let root = output_dir.as_ref().join(DATA_DIR);
+        fs::create_dir_all(root.join("results"))
+            .io_ctx(format!("creating {}", root.join("results").display()))?;
+        fs::create_dir_all(root.join("workers"))
+            .io_ctx(format!("creating {}", root.join("workers").display()))?;
+        Ok(Self { root })
+    }
+
+    /// Opens an existing `parmonc_data` tree under `output_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::NothingToResume`] if the tree does not
+    /// exist.
+    pub fn open(output_dir: impl AsRef<Path>) -> Result<Self, ParmoncError> {
+        let root = output_dir.as_ref().join(DATA_DIR);
+        if !root.is_dir() {
+            return Err(ParmoncError::NothingToResume { dir: root });
+        }
+        Ok(Self { root })
+    }
+
+    /// The root of the tree (`.../parmonc_data`).
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of `results/func.dat`.
+    #[must_use]
+    pub fn func_path(&self) -> PathBuf {
+        self.root.join("results/func.dat")
+    }
+
+    /// Path of `results/func_ci.dat`.
+    #[must_use]
+    pub fn func_ci_path(&self) -> PathBuf {
+        self.root.join("results/func_ci.dat")
+    }
+
+    /// Path of `results/func_log.dat`.
+    #[must_use]
+    pub fn func_log_path(&self) -> PathBuf {
+        self.root.join("results/func_log.dat")
+    }
+
+    /// Path of `results/checkpoint.dat`.
+    #[must_use]
+    pub fn checkpoint_path(&self) -> PathBuf {
+        self.root.join("results/checkpoint.dat")
+    }
+
+    /// Path of `results/baseline.dat` — the state carried over from
+    /// completed previous runs, against which `manaver` re-averages the
+    /// worker subtotals of a crashed job.
+    #[must_use]
+    pub fn baseline_path(&self) -> PathBuf {
+        self.root.join("results/baseline.dat")
+    }
+
+    /// Path of the experiment journal `parmonc_exp.dat`.
+    #[must_use]
+    pub fn journal_path(&self) -> PathBuf {
+        self.root.join("parmonc_exp.dat")
+    }
+
+    /// Path of worker `m`'s subtotal file.
+    #[must_use]
+    pub fn worker_path(&self, worker: usize) -> PathBuf {
+        self.root.join(format!("workers/worker_{worker:04}.dat"))
+    }
+
+    fn write_atomic(path: &Path, contents: &str) -> Result<(), ParmoncError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f =
+                fs::File::create(&tmp).io_ctx(format!("creating {}", tmp.display()))?;
+            f.write_all(contents.as_bytes())
+                .io_ctx(format!("writing {}", tmp.display()))?;
+            f.sync_all().io_ctx(format!("syncing {}", tmp.display()))?;
+        }
+        fs::rename(&tmp, path).io_ctx(format!("renaming into {}", path.display()))
+    }
+
+    /// Writes the three human-readable result files from a summary and
+    /// run metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] on write failure.
+    pub fn save_results(
+        &self,
+        summary: &MatrixSummary,
+        log: &LogReport,
+    ) -> Result<(), ParmoncError> {
+        Self::write_atomic(&self.func_path(), &report::render_func(summary))?;
+        Self::write_atomic(&self.func_ci_path(), &report::render_func_ci(summary))?;
+        Self::write_atomic(&self.func_log_path(), &report::render_func_log(log))
+    }
+
+    /// Writes the exact resumption state (raw sums).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] on write failure.
+    pub fn save_checkpoint(&self, acc: &MatrixAccumulator) -> Result<(), ParmoncError> {
+        Self::write_atomic(&self.checkpoint_path(), &encode_checkpoint(acc, 0.0))
+    }
+
+    /// Loads the resumption state, or `None` if no checkpoint exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Parse`] for a corrupt checkpoint or
+    /// [`ParmoncError::Io`] for unreadable files.
+    pub fn load_checkpoint(&self) -> Result<Option<MatrixAccumulator>, ParmoncError> {
+        Self::load_acc_file(&self.checkpoint_path())
+    }
+
+    /// Writes the baseline state (sums carried over from completed
+    /// previous runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] on write failure.
+    pub fn save_baseline(&self, acc: &MatrixAccumulator) -> Result<(), ParmoncError> {
+        Self::write_atomic(&self.baseline_path(), &encode_checkpoint(acc, 0.0))
+    }
+
+    /// Loads the baseline state, or `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Parse`] / [`ParmoncError::Io`] as for
+    /// [`ResultsDir::load_checkpoint`].
+    pub fn load_baseline(&self) -> Result<Option<MatrixAccumulator>, ParmoncError> {
+        Self::load_acc_file(&self.baseline_path())
+    }
+
+    fn load_acc_file(path: &Path) -> Result<Option<MatrixAccumulator>, ParmoncError> {
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(path).io_ctx(format!("reading {}", path.display()))?;
+        let (acc, _secs) = decode_checkpoint(&text, path)?;
+        Ok(Some(acc))
+    }
+
+    /// Appends one record to the experiment journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] on write failure.
+    pub fn append_experiment(&self, rec: &ExperimentRecord) -> Result<(), ParmoncError> {
+        let line = format!(
+            "seqnum={} maxsv={} processors={} res={} volume_before={}\n",
+            rec.seqnum,
+            rec.max_sample_volume,
+            rec.processors,
+            u8::from(rec.resumed),
+            rec.volume_before
+        );
+        let path = self.journal_path();
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .io_ctx(format!("opening {}", path.display()))?;
+        f.write_all(line.as_bytes())
+            .io_ctx(format!("appending to {}", path.display()))
+    }
+
+    /// Reads the experiment journal (empty if none exists).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] for unreadable files; malformed
+    /// lines are skipped (the journal is informational).
+    pub fn read_experiments(&self) -> Result<Vec<ExperimentRecord>, ParmoncError> {
+        let path = self.journal_path();
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let text = fs::read_to_string(&path).io_ctx(format!("reading {}", path.display()))?;
+        let mut records = Vec::new();
+        for line in text.lines() {
+            let mut seqnum = None;
+            let mut maxsv = None;
+            let mut procs = None;
+            let mut res = None;
+            let mut before = None;
+            for field in line.split_whitespace() {
+                if let Some((k, v)) = field.split_once('=') {
+                    match k {
+                        "seqnum" => seqnum = v.parse().ok(),
+                        "maxsv" => maxsv = v.parse().ok(),
+                        "processors" => procs = v.parse().ok(),
+                        "res" => res = v.parse::<u8>().ok(),
+                        "volume_before" => before = v.parse().ok(),
+                        _ => {}
+                    }
+                }
+            }
+            if let (Some(seqnum), Some(maxsv), Some(procs), Some(res), Some(before)) =
+                (seqnum, maxsv, procs, res, before)
+            {
+                records.push(ExperimentRecord {
+                    seqnum,
+                    max_sample_volume: maxsv,
+                    processors: procs,
+                    resumed: res != 0,
+                    volume_before: before,
+                });
+            }
+        }
+        Ok(records)
+    }
+
+    /// Writes worker `m`'s cumulative subtotal (the `manaver` input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] on write failure.
+    pub fn save_worker_subtotal(
+        &self,
+        worker: usize,
+        subtotal: &Subtotal,
+    ) -> Result<(), ParmoncError> {
+        Self::write_atomic(
+            &self.worker_path(worker),
+            &encode_checkpoint(&subtotal.acc, subtotal.compute_seconds),
+        )
+    }
+
+    /// Loads every worker subtotal present on disk, sorted by worker
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] / [`ParmoncError::Parse`] on
+    /// unreadable or corrupt files.
+    pub fn load_worker_subtotals(&self) -> Result<Vec<(usize, Subtotal)>, ParmoncError> {
+        let dir = self.root.join("workers");
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&dir).io_ctx(format!("listing {}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.io_ctx("reading directory entry")?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(idx) = name
+                .strip_prefix("worker_")
+                .and_then(|s| s.strip_suffix(".dat"))
+                .and_then(|s| s.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let path = entry.path();
+            let text =
+                fs::read_to_string(&path).io_ctx(format!("reading {}", path.display()))?;
+            let (acc, compute_seconds) = decode_checkpoint(&text, &path)?;
+            out.push((
+                idx,
+                Subtotal {
+                    acc,
+                    compute_seconds,
+                },
+            ));
+        }
+        out.sort_by_key(|(idx, _)| *idx);
+        Ok(out)
+    }
+
+    /// Removes all worker subtotal files (done when a run completes
+    /// cleanly and they are folded into the checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] on removal failure.
+    pub fn clear_worker_subtotals(&self) -> Result<(), ParmoncError> {
+        let dir = self.root.join("workers");
+        let entries = fs::read_dir(&dir).io_ctx(format!("listing {}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.io_ctx("reading directory entry")?;
+            fs::remove_file(entry.path())
+                .io_ctx(format!("removing {}", entry.path().display()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Encodes an accumulator (plus compute seconds) as the checkpoint /
+/// worker-file text format:
+///
+/// ```text
+/// nrow ncol count compute_seconds
+/// sum sum_sq          (one line per matrix entry, row-major)
+/// ```
+fn encode_checkpoint(acc: &MatrixAccumulator, compute_seconds: f64) -> String {
+    let (nrow, ncol) = acc.shape();
+    let mut out = format!("{} {} {} {:.16e}\n", nrow, ncol, acc.count(), compute_seconds);
+    for (s, q) in acc.sums().iter().zip(acc.sums_sq()) {
+        out.push_str(&format!("{s:.16e} {q:.16e}\n"));
+    }
+    out
+}
+
+fn decode_checkpoint(
+    text: &str,
+    path: &Path,
+) -> Result<(MatrixAccumulator, f64), ParmoncError> {
+    use parmonc_stats::report::ParseError;
+    let parse_err = |source: ParseError| ParmoncError::Parse {
+        file: path.display().to_string(),
+        source,
+    };
+
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(ParseError::Empty))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 4 {
+        return Err(parse_err(ParseError::FieldCount {
+            line: 1,
+            expected: 4,
+            got: fields.len(),
+        }));
+    }
+    let bad = |line: usize, token: &str| {
+        parse_err(ParseError::BadNumber {
+            line,
+            token: token.to_string(),
+        })
+    };
+    let nrow: usize = fields[0].parse().map_err(|_| bad(1, fields[0]))?;
+    let ncol: usize = fields[1].parse().map_err(|_| bad(1, fields[1]))?;
+    let count: u64 = fields[2].parse().map_err(|_| bad(1, fields[2]))?;
+    let secs: f64 = fields[3].parse().map_err(|_| bad(1, fields[3]))?;
+
+    let mut sums = Vec::with_capacity(nrow * ncol);
+    let mut sums_sq = Vec::with_capacity(nrow * ncol);
+    for (lineno, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 2 {
+            return Err(parse_err(ParseError::FieldCount {
+                line: lineno + 1,
+                expected: 2,
+                got: fields.len(),
+            }));
+        }
+        sums.push(
+            fields[0]
+                .parse::<f64>()
+                .map_err(|_| bad(lineno + 1, fields[0]))?,
+        );
+        sums_sq.push(
+            fields[1]
+                .parse::<f64>()
+                .map_err(|_| bad(lineno + 1, fields[1]))?,
+        );
+    }
+    let acc = MatrixAccumulator::from_parts(nrow, ncol, sums, sums_sq, count)?;
+    Ok((acc, secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "parmonc-files-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_acc() -> MatrixAccumulator {
+        let mut acc = MatrixAccumulator::new(2, 3).unwrap();
+        acc.add(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        acc.add(&[0.5, -1.5, 2.5, 0.0, 1e-9, 1e9]).unwrap();
+        acc
+    }
+
+    #[test]
+    fn create_builds_tree() {
+        let dir = tempdir("create");
+        let rd = ResultsDir::create(&dir).unwrap();
+        assert!(rd.root().is_dir());
+        assert!(rd.root().join("results").is_dir());
+        assert!(rd.root().join("workers").is_dir());
+        // Creating again is idempotent.
+        ResultsDir::create(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_reports_nothing_to_resume() {
+        let dir = tempdir("open-missing");
+        let err = ResultsDir::open(dir.join("nope")).unwrap_err();
+        assert!(matches!(err, ParmoncError::NothingToResume { .. }));
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_exact() {
+        let dir = tempdir("ckpt");
+        let rd = ResultsDir::create(&dir).unwrap();
+        assert!(rd.load_checkpoint().unwrap().is_none());
+        let acc = sample_acc();
+        rd.save_checkpoint(&acc).unwrap();
+        let loaded = rd.load_checkpoint().unwrap().unwrap();
+        assert_eq!(loaded.shape(), acc.shape());
+        assert_eq!(loaded.count(), acc.count());
+        // Bitwise equality: checkpoints must be exact for resumption.
+        for (a, b) in loaded.sums().iter().zip(acc.sums()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in loaded.sums_sq().iter().zip(acc.sums_sq()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn results_files_written_and_parseable() {
+        let dir = tempdir("results");
+        let rd = ResultsDir::create(&dir).unwrap();
+        let summary = sample_acc().summary();
+        let log = LogReport {
+            sample_volume: 2,
+            mean_time_per_realization: 0.5,
+            eps_max: summary.eps_max,
+            rho_max: summary.rho_max,
+            sigma2_max: summary.sigma2_max,
+            processors: 4,
+            seqnum: 1,
+        };
+        rd.save_results(&summary, &log).unwrap();
+        let func = fs::read_to_string(rd.func_path()).unwrap();
+        let (nrow, ncol, means) = report::parse_func(&func).unwrap();
+        assert_eq!((nrow, ncol), (2, 3));
+        assert_eq!(means, summary.means);
+        let parsed_log =
+            report::parse_func_log(&fs::read_to_string(rd.func_log_path()).unwrap()).unwrap();
+        assert_eq!(parsed_log, log);
+        let ci = fs::read_to_string(rd.func_ci_path()).unwrap();
+        assert_eq!(report::parse_func_ci(&ci).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn journal_append_and_read() {
+        let dir = tempdir("journal");
+        let rd = ResultsDir::create(&dir).unwrap();
+        assert!(rd.read_experiments().unwrap().is_empty());
+        let rec1 = ExperimentRecord {
+            seqnum: 0,
+            max_sample_volume: 100,
+            processors: 4,
+            resumed: false,
+            volume_before: 0,
+        };
+        let rec2 = ExperimentRecord {
+            seqnum: 2,
+            max_sample_volume: 200,
+            processors: 8,
+            resumed: true,
+            volume_before: 100,
+        };
+        rd.append_experiment(&rec1).unwrap();
+        rd.append_experiment(&rec2).unwrap();
+        assert_eq!(rd.read_experiments().unwrap(), vec![rec1, rec2]);
+    }
+
+    #[test]
+    fn worker_subtotals_round_trip_and_clear() {
+        let dir = tempdir("workers");
+        let rd = ResultsDir::create(&dir).unwrap();
+        let sub = Subtotal {
+            acc: sample_acc(),
+            compute_seconds: 3.25,
+        };
+        rd.save_worker_subtotal(3, &sub).unwrap();
+        rd.save_worker_subtotal(1, &sub).unwrap();
+        let loaded = rd.load_worker_subtotals().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0, 1); // sorted
+        assert_eq!(loaded[1].0, 3);
+        assert_eq!(loaded[0].1.compute_seconds, 3.25);
+        assert_eq!(loaded[0].1.acc.count(), 2);
+        rd.clear_worker_subtotals().unwrap();
+        assert!(rd.load_worker_subtotals().unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_parse_error() {
+        let dir = tempdir("corrupt");
+        let rd = ResultsDir::create(&dir).unwrap();
+        fs::write(rd.checkpoint_path(), "2 3 nonsense 0.0\n").unwrap();
+        let err = rd.load_checkpoint().unwrap_err();
+        assert!(matches!(err, ParmoncError::Parse { .. }));
+    }
+
+    #[test]
+    fn checkpoint_text_codec_is_bitwise_for_arbitrary_floats() {
+        use proptest::prelude::*;
+        let mut runner = proptest::test_runner::TestRunner::default();
+        runner
+            .run(
+                &(
+                    proptest::collection::vec(any::<f64>(), 6),
+                    proptest::collection::vec(any::<f64>(), 6),
+                    any::<u64>(),
+                ),
+                |(sums, sums_sq, count)| {
+                    // NaN payloads don't round-trip equality; keep finite
+                    // and infinite values, which is what accumulators hold.
+                    let clean = |v: &Vec<f64>| -> Vec<f64> {
+                        v.iter()
+                            .map(|x| if x.is_nan() { 0.0 } else { *x })
+                            .collect()
+                    };
+                    let sums = clean(&sums);
+                    let sums_sq = clean(&sums_sq);
+                    let acc = MatrixAccumulator::from_parts(
+                        2,
+                        3,
+                        sums.clone(),
+                        sums_sq.clone(),
+                        count,
+                    )
+                    .unwrap();
+                    let text = encode_checkpoint(&acc, 1.25);
+                    let (decoded, secs) =
+                        decode_checkpoint(&text, Path::new("prop.dat")).unwrap();
+                    prop_assert_eq!(decoded.count(), count);
+                    prop_assert_eq!(secs, 1.25);
+                    for (a, b) in decoded.sums().iter().zip(&sums) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    for (a, b) in decoded.sums_sq().iter().zip(&sums_sq) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn overwriting_checkpoint_keeps_latest() {
+        let dir = tempdir("overwrite");
+        let rd = ResultsDir::create(&dir).unwrap();
+        let mut acc = MatrixAccumulator::new(1, 1).unwrap();
+        acc.add(&[1.0]).unwrap();
+        rd.save_checkpoint(&acc).unwrap();
+        acc.add(&[2.0]).unwrap();
+        rd.save_checkpoint(&acc).unwrap();
+        let loaded = rd.load_checkpoint().unwrap().unwrap();
+        assert_eq!(loaded.count(), 2);
+    }
+}

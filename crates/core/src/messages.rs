@@ -1,0 +1,144 @@
+//! Wire format of the worker → collector subtotal messages
+//! (paper Section 2.2).
+//!
+//! Each message carries the worker's *cumulative* sums so far: the two
+//! matrices `[Σζ_ij]`, `[Σζ²_ij]`, the sample volume `l_m`, and the
+//! worker's accumulated compute time (used for the mean-time-per-
+//! realization statistic in `func_log.dat`). Because the sums are
+//! cumulative, the collector keeps only the *latest* message per worker
+//! and replaces rather than adds — making message loss-free retrying
+//! idempotent.
+
+use bytes::Bytes;
+use parmonc_mpi::envelope::{PayloadReader, PayloadWriter};
+use parmonc_mpi::{MpiError, Tag};
+use parmonc_stats::MatrixAccumulator;
+
+use crate::error::ParmoncError;
+
+/// Tag of an intermediate subtotal message.
+pub const TAG_SUBTOTAL: Tag = Tag(1);
+/// Tag of a worker's final subtotal message (its quota is done or the
+/// deadline hit).
+pub const TAG_FINAL: Tag = Tag(2);
+/// Tag of the collector's stop broadcast (error-controlled stopping:
+/// the target `eps_max` has been reached).
+pub const TAG_STOP: Tag = Tag(3);
+
+/// A subtotal snapshot from one worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subtotal {
+    /// Cumulative accumulator state (sums, sums of squares, volume).
+    pub acc: MatrixAccumulator,
+    /// Total compute seconds the worker has spent simulating.
+    pub compute_seconds: f64,
+}
+
+impl Subtotal {
+    /// Serializes into a message payload.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let (nrow, ncol) = self.acc.shape();
+        let n = nrow * ncol;
+        let mut w = PayloadWriter::with_capacity(48 + 16 * n);
+        w.put_u64(nrow as u64);
+        w.put_u64(ncol as u64);
+        w.put_u64(self.acc.count());
+        w.put_f64(self.compute_seconds);
+        w.put_f64_slice(self.acc.sums());
+        w.put_f64_slice(self.acc.sums_sq());
+        w.finish()
+    }
+
+    /// Deserializes from a message payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Mpi`] on a truncated payload or
+    /// [`ParmoncError::Stats`] if the decoded shape is inconsistent.
+    pub fn decode(payload: Bytes) -> Result<Self, ParmoncError> {
+        let mut r = PayloadReader::new(payload);
+        let nrow = r.get_u64()? as usize;
+        let ncol = r.get_u64()? as usize;
+        let count = r.get_u64()?;
+        let compute_seconds = r.get_f64()?;
+        let sums = r.get_f64_vec()?;
+        let sums_sq = r.get_f64_vec()?;
+        if r.remaining() != 0 {
+            return Err(ParmoncError::Mpi(MpiError::MalformedPayload {
+                what: "trailing bytes after subtotal",
+            }));
+        }
+        let acc = MatrixAccumulator::from_parts(nrow, ncol, sums, sums_sq, count)?;
+        Ok(Self {
+            acc,
+            compute_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Subtotal {
+        let mut acc = MatrixAccumulator::new(3, 2).unwrap();
+        acc.add(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        acc.add(&[-1.0, 0.5, 0.0, 2.0, 8.0, 1.0]).unwrap();
+        Subtotal {
+            acc,
+            compute_seconds: 12.75,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        let decoded = Subtotal::decode(s.encode()).unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let s = sample();
+        let full = s.encode();
+        for cut in [0, 8, 20, full.len() - 1] {
+            let err = Subtotal::decode(full.slice(..cut));
+            assert!(err.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let s = sample();
+        let mut bytes = s.encode().to_vec();
+        bytes.push(0);
+        assert!(Subtotal::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        // Claim 2x2 but provide 6 sums.
+        let mut w = PayloadWriter::new();
+        w.put_u64(2);
+        w.put_u64(2);
+        w.put_u64(1);
+        w.put_f64(0.0);
+        w.put_f64_slice(&[0.0; 6]);
+        w.put_f64_slice(&[0.0; 6]);
+        assert!(Subtotal::decode(w.finish()).is_err());
+    }
+
+    #[test]
+    fn paper_message_size_order() {
+        // 1000x2 matrices: the performance test's periodic payload.
+        let acc = MatrixAccumulator::new(1000, 2).unwrap();
+        let payload = Subtotal {
+            acc,
+            compute_seconds: 0.0,
+        }
+        .encode();
+        // Two 2000-entry f64 matrices ≈ 32 KB plus framing.
+        assert!(payload.len() >= 32_000 && payload.len() <= 33_000);
+    }
+}

@@ -1,0 +1,153 @@
+//! The user-supplied realization routine (paper Sections 2.3, 3.2).
+//!
+//! The paper's contract: a sequential routine that draws base random
+//! numbers from `rnd128()` and returns one realization of the random
+//! object — a matrix `[ζ_ij]`. Here the routine receives the positioned
+//! [`RealizationStream`] (its private `rnd128`) and fills the row-major
+//! output slice.
+
+use parmonc_rng::RealizationStream;
+
+/// A user routine that simulates a single realization of a random
+/// object.
+///
+/// Implementations must be deterministic functions of the stream: all
+/// randomness must come from `rng`. That is what makes the simulation
+/// reproducible and resumable.
+///
+/// The trait is object safe, so heterogeneous workloads can be stored
+/// as `Box<dyn Realize>`.
+pub trait Realize {
+    /// Simulates one realization, writing the `nrow × ncol` matrix into
+    /// `out` (row-major). `out` arrives zeroed.
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]);
+}
+
+/// Adapter turning a closure into a [`Realize`] implementation.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc::RealizeFn;
+/// use parmonc::{StreamHierarchy, StreamId};
+///
+/// let pi_estimator = RealizeFn::new(|rng, out| {
+///     let (x, y) = (rng.next_f64(), rng.next_f64());
+///     out[0] = if x * x + y * y < 1.0 { 4.0 } else { 0.0 };
+/// });
+///
+/// # use parmonc::Realize;
+/// let mut stream = StreamHierarchy::default()
+///     .realization_stream(StreamId::new(0, 0, 0)).unwrap();
+/// let mut out = [0.0];
+/// pi_estimator.realize(&mut stream, &mut out);
+/// assert!(out[0] == 0.0 || out[0] == 4.0);
+/// ```
+pub struct RealizeFn<F> {
+    f: F,
+}
+
+impl<F> RealizeFn<F>
+where
+    F: Fn(&mut RealizationStream, &mut [f64]),
+{
+    /// Wraps the closure.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F> Realize for RealizeFn<F>
+where
+    F: Fn(&mut RealizationStream, &mut [f64]),
+{
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        (self.f)(rng, out)
+    }
+}
+
+impl<F> core::fmt::Debug for RealizeFn<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RealizeFn").finish_non_exhaustive()
+    }
+}
+
+impl<T: Realize + ?Sized> Realize for &T {
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        (**self).realize(rng, out)
+    }
+}
+
+impl<T: Realize + ?Sized> Realize for Box<T> {
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        (**self).realize(rng, out)
+    }
+}
+
+impl<T: Realize + ?Sized> Realize for std::sync::Arc<T> {
+    fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        (**self).realize(rng, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::{StreamHierarchy, StreamId};
+
+    fn stream() -> RealizationStream {
+        StreamHierarchy::default()
+            .realization_stream(StreamId::new(0, 0, 0))
+            .unwrap()
+    }
+
+    #[test]
+    fn closure_adapter_runs() {
+        let r = RealizeFn::new(|rng, out| out[0] = rng.next_f64());
+        let mut out = [0.0];
+        r.realize(&mut stream(), &mut out);
+        assert!(out[0] > 0.0 && out[0] < 1.0);
+    }
+
+    #[test]
+    fn same_stream_same_realization() {
+        let r = RealizeFn::new(|rng, out| {
+            for o in out.iter_mut() {
+                *o = rng.next_f64();
+            }
+        });
+        let mut a = [0.0; 4];
+        let mut b = [0.0; 4];
+        r.realize(&mut stream(), &mut a);
+        r.realize(&mut stream(), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Realize> = Box::new(RealizeFn::new(|rng, out| {
+            out[0] = rng.next_f64();
+        }));
+        let mut out = [0.0];
+        boxed.realize(&mut stream(), &mut out);
+        assert!(out[0] > 0.0);
+    }
+
+    #[test]
+    fn blanket_impls() {
+        let inner = RealizeFn::new(|_rng: &mut RealizationStream, out: &mut [f64]| out[0] = 1.0);
+        let mut out = [0.0];
+        Realize::realize(&&inner, &mut stream(), &mut out);
+        assert_eq!(out[0], 1.0);
+        let arc = std::sync::Arc::new(inner);
+        out[0] = 0.0;
+        arc.realize(&mut stream(), &mut out);
+        assert_eq!(out[0], 1.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let r = RealizeFn::new(|_: &mut RealizationStream, _: &mut [f64]| {});
+        assert!(format!("{r:?}").contains("RealizeFn"));
+    }
+}

@@ -1,0 +1,877 @@
+//! The parallel runner: the `parmoncc`/`parmoncf` engine
+//! (paper Sections 2.2, 3.2).
+//!
+//! Every rank simulates realizations on its own leapfrogged processor
+//! subsequence; rank 0 additionally plays the collector, draining
+//! asynchronously arriving subtotal messages, averaging them by
+//! formula (5) every `peraver`, and saving the result files as periodic
+//! save-points. Workers ship their *cumulative* sums every `perpass`
+//! (or after every realization in the performance-test mode) and always
+//! finish with a final message, so the run terminates deterministically
+//! when the total sample volume reaches `maxsv` or the wall-clock
+//! deadline passes.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use parmonc_mpi::{Communicator, MpiError, World};
+use parmonc_rng::{StreamHierarchy, StreamId};
+use parmonc_stats::report::LogReport;
+use parmonc_stats::{MatrixAccumulator, MatrixSummary};
+
+use crate::config::{Exchange, ParmoncBuilder, Resume, RunConfig};
+use crate::error::ParmoncError;
+use crate::files::{ExperimentRecord, ResultsDir};
+use crate::messages::{Subtotal, TAG_FINAL, TAG_STOP, TAG_SUBTOTAL};
+use crate::realize::Realize;
+
+/// Entry point type: `Parmonc::builder(nrow, ncol)` starts configuring
+/// a run, mirroring the argument list of `parmoncc`.
+#[derive(Debug)]
+pub struct Parmonc;
+
+impl Parmonc {
+    /// Starts building a run for realizations shaped `nrow × ncol`.
+    #[must_use]
+    pub fn builder(nrow: usize, ncol: usize) -> ParmoncBuilder {
+        ParmoncBuilder::new(nrow, ncol)
+    }
+}
+
+/// What a completed run reports back (everything `func_log.dat`
+/// records, plus handles for inspection).
+#[derive(Debug)]
+pub struct RunReport {
+    /// Averaged estimates with errors — the contents of
+    /// `func.dat`/`func_ci.dat`.
+    pub summary: MatrixSummary,
+    /// Total sample volume on disk after the run (previous + new).
+    pub total_volume: u64,
+    /// Realizations simulated by *this* run.
+    pub new_volume: u64,
+    /// Volume inherited from the resumed previous simulation.
+    pub resumed_volume: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Mean compute time per realization, seconds (the paper's τ_ζ).
+    pub mean_time_per_realization: f64,
+    /// Number of processors used.
+    pub processors: usize,
+    /// Per-worker realization counts (index = rank).
+    pub worker_volumes: Vec<u64>,
+    /// The results directory of the run.
+    pub results_dir: ResultsDir,
+}
+
+/// Collector-side state: the latest cumulative subtotal per rank.
+struct CollectorState {
+    baseline: MatrixAccumulator,
+    latest: Vec<Option<Subtotal>>,
+}
+
+impl CollectorState {
+    fn new(baseline: MatrixAccumulator, ranks: usize) -> Self {
+        Self {
+            baseline,
+            latest: vec![None; ranks],
+        }
+    }
+
+    fn update(&mut self, rank: usize, subtotal: Subtotal) {
+        self.latest[rank] = Some(subtotal);
+    }
+
+    /// Formula (5): total = baseline + Σ_m latest_m (cumulative sums, so
+    /// replace-then-sum, never double counting).
+    fn total(&self) -> Result<MatrixAccumulator, ParmoncError> {
+        let mut total = self.baseline.clone();
+        for sub in self.latest.iter().flatten() {
+            total.merge(&sub.acc)?;
+        }
+        Ok(total)
+    }
+
+    fn new_volume(&self) -> u64 {
+        self.latest
+            .iter()
+            .flatten()
+            .map(|s| s.acc.count())
+            .sum()
+    }
+
+    fn compute_seconds(&self) -> f64 {
+        self.latest
+            .iter()
+            .flatten()
+            .map(|s| s.compute_seconds)
+            .sum()
+    }
+}
+
+/// Validates resume preconditions and returns the baseline accumulator
+/// plus its volume.
+fn resume_baseline(
+    config: &RunConfig,
+    dir: &ResultsDir,
+) -> Result<MatrixAccumulator, ParmoncError> {
+    match config.resume {
+        Resume::New => Ok(MatrixAccumulator::new(config.nrow, config.ncol)?),
+        Resume::Resume => {
+            let previous = dir
+                .load_checkpoint()?
+                .ok_or_else(|| ParmoncError::NothingToResume {
+                    dir: dir.root().to_path_buf(),
+                })?;
+            if previous.shape() != (config.nrow, config.ncol) {
+                return Err(ParmoncError::ResumeShapeMismatch {
+                    on_disk: previous.shape(),
+                    requested: (config.nrow, config.ncol),
+                });
+            }
+            // The paper requires a fresh "experiments" subsequence on
+            // resumption, otherwise the new realizations would repeat
+            // the old base random numbers.
+            if dir
+                .read_experiments()?
+                .iter()
+                .any(|rec| rec.seqnum == config.seqnum)
+            {
+                return Err(ParmoncError::SeqnumAlreadyUsed {
+                    seqnum: config.seqnum,
+                });
+            }
+            Ok(previous)
+        }
+    }
+}
+
+/// Runs the simulation. This is the body behind
+/// [`ParmoncBuilder::run`](crate::config::ParmoncBuilder::run).
+///
+/// # Errors
+///
+/// Propagates configuration, resume, I/O and transport errors.
+pub fn run<R>(config: RunConfig, realize: R) -> Result<RunReport, ParmoncError>
+where
+    R: Realize + Sync,
+{
+    let start = Instant::now();
+    let dir = ResultsDir::create(&config.output_dir)?;
+    let baseline = resume_baseline(&config, &dir)?;
+    let resumed_volume = baseline.count();
+
+    dir.append_experiment(&ExperimentRecord {
+        seqnum: config.seqnum,
+        max_sample_volume: config.max_sample_volume,
+        processors: config.processors,
+        resumed: config.resume == Resume::Resume,
+        volume_before: resumed_volume,
+    })?;
+    dir.save_baseline(&baseline)?;
+    dir.clear_worker_subtotals()?;
+
+    let hierarchy = StreamHierarchy::new(config.leaps);
+    let comms = World::communicators(config.processors)?;
+
+    // Shared slot for an error raised inside a rank (first one wins).
+    let failure: Mutex<Option<ParmoncError>> = Mutex::new(None);
+    let config = Arc::new(config);
+    let realize = &realize;
+
+    let collector_out: Mutex<Option<CollectorState>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for comm in comms {
+            let config = Arc::clone(&config);
+            let hierarchy = hierarchy.clone();
+            let dir = dir.clone();
+            let baseline = baseline.clone();
+            let failure = &failure;
+            let collector_out = &collector_out;
+            handles.push(scope.spawn(move || {
+                let result = if comm.rank() == 0 {
+                    rank0_loop(comm, &config, &hierarchy, &dir, baseline, realize, start)
+                        .map(|state| {
+                            *collector_out.lock() = Some(state);
+                        })
+                } else {
+                    worker_loop(comm, &config, &hierarchy, &dir, realize, start)
+                };
+                if let Err(e) = result {
+                    failure.lock().get_or_insert(e);
+                }
+            }));
+        }
+        for h in handles {
+            if h.join().is_err() {
+                failure.lock().get_or_insert(ParmoncError::Mpi(
+                    MpiError::RankPanicked {
+                        rank: usize::MAX,
+                        message: "a rank panicked".into(),
+                    },
+                ));
+            }
+        }
+    });
+
+    if let Some(e) = failure.into_inner() {
+        return Err(e);
+    }
+    let state = collector_out
+        .into_inner()
+        .expect("rank 0 always produces collector state on success");
+
+    // Final averaging and save.
+    let total = state.total()?;
+    let summary = total.summary();
+    let new_volume = state.new_volume();
+    let elapsed = start.elapsed();
+    let mean_time = if new_volume == 0 {
+        0.0
+    } else {
+        state.compute_seconds() / new_volume as f64
+    };
+    let log = LogReport {
+        sample_volume: total.count(),
+        mean_time_per_realization: mean_time,
+        eps_max: summary.eps_max,
+        rho_max: summary.rho_max,
+        sigma2_max: summary.sigma2_max,
+        processors: config.processors,
+        seqnum: config.seqnum,
+    };
+    dir.save_results(&summary, &log)?;
+    dir.save_checkpoint(&total)?;
+    dir.clear_worker_subtotals()?;
+
+    let worker_volumes = state
+        .latest
+        .iter()
+        .map(|s| s.as_ref().map_or(0, |s| s.acc.count()))
+        .collect();
+
+    Ok(RunReport {
+        total_volume: total.count(),
+        new_volume,
+        resumed_volume,
+        summary,
+        elapsed,
+        mean_time_per_realization: mean_time,
+        processors: config.processors,
+        worker_volumes,
+        results_dir: dir,
+    })
+}
+
+/// How often, at most, a worker rewrites its on-disk subtotal file.
+const WORKER_FILE_PERIOD: Duration = Duration::from_millis(500);
+
+/// The simulation loop common to every rank: simulate the quota,
+/// periodically emitting cumulative subtotals via `emit`.
+#[allow(clippy::too_many_arguments)] // internal: one call site per rank kind
+fn simulate_quota<R: Realize + ?Sized>(
+    rank: usize,
+    config: &RunConfig,
+    hierarchy: &StreamHierarchy,
+    dir: &ResultsDir,
+    realize: &R,
+    start: Instant,
+    mut emit: impl FnMut(&Subtotal, bool) -> Result<(), ParmoncError>,
+    mut should_stop: impl FnMut() -> bool,
+) -> Result<Subtotal, ParmoncError> {
+    let quota = config.quota(rank);
+    let mut acc = MatrixAccumulator::new(config.nrow, config.ncol)?;
+    let mut out = vec![0.0f64; config.nrow * config.ncol];
+    let mut compute_seconds = 0.0f64;
+    let mut last_pass = Instant::now();
+    let mut last_file_write: Option<Instant> = None;
+
+    for r in 0..quota {
+        if let Some(deadline) = config.deadline {
+            if start.elapsed() >= deadline {
+                break;
+            }
+        }
+        if should_stop() {
+            break;
+        }
+        out.fill(0.0);
+        let mut stream = hierarchy.realization_stream(StreamId::new(
+            config.seqnum,
+            rank as u64,
+            r,
+        ))?;
+        let t0 = Instant::now();
+        realize.realize(&mut stream, &mut out);
+        compute_seconds += t0.elapsed().as_secs_f64();
+        acc.add(&out)?;
+
+        let due = match config.exchange {
+            Exchange::EveryRealization => true,
+            Exchange::Periodic => last_pass.elapsed() >= config.pass_period,
+        };
+        if due && r + 1 < quota {
+            let subtotal = Subtotal {
+                acc: acc.clone(),
+                compute_seconds,
+            };
+            emit(&subtotal, false)?;
+            if last_file_write.is_none_or(|t| t.elapsed() >= WORKER_FILE_PERIOD) {
+                dir.save_worker_subtotal(rank, &subtotal)?;
+                last_file_write = Some(Instant::now());
+            }
+            last_pass = Instant::now();
+        }
+    }
+
+    let final_subtotal = Subtotal {
+        acc,
+        compute_seconds,
+    };
+    dir.save_worker_subtotal(rank, &final_subtotal)?;
+    emit(&final_subtotal, true)?;
+    Ok(final_subtotal)
+}
+
+fn worker_loop<R: Realize + ?Sized>(
+    comm: Communicator,
+    config: &RunConfig,
+    hierarchy: &StreamHierarchy,
+    dir: &ResultsDir,
+    realize: &R,
+    start: Instant,
+) -> Result<(), ParmoncError> {
+    let rank = comm.rank();
+    // `emit` only needs `&Communicator` (sends), while the stop probe
+    // needs `&mut`; a RefCell arbitrates between the two closures,
+    // which never run concurrently.
+    let comm = std::cell::RefCell::new(comm);
+    simulate_quota(
+        rank,
+        config,
+        hierarchy,
+        dir,
+        realize,
+        start,
+        |sub, is_final| {
+            let tag = if is_final { TAG_FINAL } else { TAG_SUBTOTAL };
+            comm.borrow().send_bytes(0, tag, sub.encode())?;
+            Ok(())
+        },
+        || {
+            comm.borrow_mut()
+                .try_recv(Some(0), Some(TAG_STOP))
+                .is_some()
+        },
+    )?;
+    Ok(())
+}
+
+fn rank0_loop<R: Realize + ?Sized>(
+    mut comm: Communicator,
+    config: &RunConfig,
+    hierarchy: &StreamHierarchy,
+    dir: &ResultsDir,
+    baseline: MatrixAccumulator,
+    realize: &R,
+    start: Instant,
+) -> Result<CollectorState, ParmoncError> {
+    let size = comm.size();
+    let mut state = CollectorState::new(baseline, size);
+    let mut finals = vec![false; size];
+    let mut last_average = Instant::now();
+
+    // Rank 0 simulates its own quota inline, draining asynchronously
+    // arriving worker messages between realizations and writing
+    // periodic save-points every `peraver`.
+    let quota = config.quota(0);
+    let mut acc = MatrixAccumulator::new(config.nrow, config.ncol)?;
+    let mut out = vec![0.0f64; config.nrow * config.ncol];
+    let mut compute_seconds = 0.0f64;
+    let mut last_pass = Instant::now();
+    let mut last_file_write: Option<Instant> = None;
+    let mut stop_broadcast = false;
+
+    for r in 0..quota {
+        if let Some(deadline) = config.deadline {
+            if start.elapsed() >= deadline {
+                break;
+            }
+        }
+        if stop_broadcast {
+            break;
+        }
+        out.fill(0.0);
+        let mut stream =
+            hierarchy.realization_stream(StreamId::new(config.seqnum, 0, r))?;
+        let t0 = Instant::now();
+        realize.realize(&mut stream, &mut out);
+        compute_seconds += t0.elapsed().as_secs_f64();
+        acc.add(&out)?;
+
+        let due = match config.exchange {
+            Exchange::EveryRealization => true,
+            Exchange::Periodic => last_pass.elapsed() >= config.pass_period,
+        };
+        if due {
+            state.update(
+                0,
+                Subtotal {
+                    acc: acc.clone(),
+                    compute_seconds,
+                },
+            );
+            if last_file_write.is_none_or(|t| t.elapsed() >= WORKER_FILE_PERIOD) {
+                dir.save_worker_subtotal(
+                    0,
+                    &Subtotal {
+                        acc: acc.clone(),
+                        compute_seconds,
+                    },
+                )?;
+                last_file_write = Some(Instant::now());
+            }
+            last_pass = Instant::now();
+        }
+        drain_messages(&mut comm, &mut state, &mut finals)?;
+        if last_average.elapsed() >= config.averaging_period {
+            // The running rank-0 subtotal must be visible to the
+            // save-point (and to the error-control check below) even
+            // between passes.
+            state.update(
+                0,
+                Subtotal {
+                    acc: acc.clone(),
+                    compute_seconds,
+                },
+            );
+            let eps_max = save_point(dir, config, &state, start)?;
+            last_average = Instant::now();
+            if let Some(target) = config.target_abs_error {
+                if eps_max <= target && !stop_broadcast {
+                    for dest in 1..size {
+                        // A worker that already sent its final and
+                        // exited has dropped its inbox; that is not an
+                        // error for a stop notification.
+                        match comm.send(dest, TAG_STOP, &[]) {
+                            Ok(()) | Err(MpiError::Disconnected) => {}
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    stop_broadcast = true;
+                }
+            }
+        }
+    }
+    let own_final = Subtotal {
+        acc,
+        compute_seconds,
+    };
+    dir.save_worker_subtotal(0, &own_final)?;
+    state.update(0, own_final);
+    finals[0] = true;
+
+    // Block until every worker's final message arrives.
+    while finals.iter().any(|f| !f) {
+        let env = comm.recv(None, None)?;
+        let sub = Subtotal::decode(env.payload)?;
+        if env.tag == TAG_FINAL {
+            finals[env.source] = true;
+        }
+        state.update(env.source, sub);
+        if last_average.elapsed() >= config.averaging_period {
+            let eps_max = save_point(dir, config, &state, start)?;
+            last_average = Instant::now();
+            if let Some(target) = config.target_abs_error {
+                if eps_max <= target && !stop_broadcast {
+                    for dest in 1..size {
+                        // A worker that already sent its final and
+                        // exited has dropped its inbox; that is not an
+                        // error for a stop notification.
+                        match comm.send(dest, TAG_STOP, &[]) {
+                            Ok(()) | Err(MpiError::Disconnected) => {}
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    stop_broadcast = true;
+                }
+            }
+        }
+    }
+    // Drain any stragglers (a worker may have sent subtotals after the
+    // message we processed last; cumulative semantics make the newest
+    // message authoritative).
+    while let Some(env) = comm.try_recv(None, None) {
+        let sub = Subtotal::decode(env.payload)?;
+        state.update(env.source, sub);
+    }
+    Ok(state)
+}
+
+fn drain_messages(
+    comm: &mut Communicator,
+    state: &mut CollectorState,
+    finals: &mut [bool],
+) -> Result<(), ParmoncError> {
+    while let Some(env) = comm.try_recv(None, None) {
+        let sub = Subtotal::decode(env.payload)?;
+        if env.tag == TAG_FINAL {
+            finals[env.source] = true;
+        }
+        state.update(env.source, sub);
+    }
+    Ok(())
+}
+
+/// Periodic save-point: average everything received so far and rewrite
+/// the result files (the paper's "periodically calculates and saves in
+/// files the subtotal results"). Returns the current `eps_max` so the
+/// caller can apply error-controlled stopping.
+fn save_point(
+    dir: &ResultsDir,
+    config: &RunConfig,
+    state: &CollectorState,
+    start: Instant,
+) -> Result<f64, ParmoncError> {
+    let total = state.total()?;
+    let summary = total.summary();
+    let new_volume = state.new_volume();
+    let mean_time = if new_volume == 0 {
+        0.0
+    } else {
+        state.compute_seconds() / new_volume as f64
+    };
+    let _ = start; // wall-clock kept for symmetry with the final report
+    let log = LogReport {
+        sample_volume: total.count(),
+        mean_time_per_realization: mean_time,
+        eps_max: summary.eps_max,
+        rho_max: summary.rho_max,
+        sigma2_max: summary.sigma2_max,
+        processors: config.processors,
+        seqnum: config.seqnum,
+    };
+    dir.save_results(&summary, &log)?;
+    dir.save_checkpoint(&total)?;
+    // A near-empty sample reports eps_max = 0 vacuously; never let it
+    // trigger error-controlled stopping.
+    Ok(if total.count() < 2 {
+        f64::INFINITY
+    } else {
+        summary.eps_max
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realize::RealizeFn;
+    use std::path::PathBuf;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "parmonc-runner-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn uniform_mean() -> RealizeFn<impl Fn(&mut parmonc_rng::RealizationStream, &mut [f64])> {
+        RealizeFn::new(|rng, out| {
+            for o in out.iter_mut() {
+                *o = rng.next_f64();
+            }
+        })
+    }
+
+    #[test]
+    fn single_processor_run_estimates_uniform_mean() {
+        let dir = tempdir("single");
+        let report = Parmonc::builder(2, 2)
+            .max_sample_volume(4000)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        assert_eq!(report.total_volume, 4000);
+        assert_eq!(report.new_volume, 4000);
+        assert_eq!(report.resumed_volume, 0);
+        assert_eq!(report.worker_volumes, vec![4000]);
+        for m in &report.summary.means {
+            assert!((m - 0.5).abs() < 0.03, "mean {m}");
+        }
+        assert!(report.summary.eps_max > 0.0);
+    }
+
+    #[test]
+    fn multi_processor_volume_is_exact() {
+        let dir = tempdir("multi");
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(1003)
+            .processors(4)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        assert_eq!(report.total_volume, 1003);
+        assert_eq!(report.worker_volumes.iter().sum::<u64>(), 1003);
+        assert_eq!(report.worker_volumes.len(), 4);
+        // Quota balancing: 251, 251, 251, 250.
+        assert_eq!(*report.worker_volumes.iter().max().unwrap(), 251);
+    }
+
+    #[test]
+    fn parallel_run_matches_merged_streams_deterministically() {
+        // The estimate must be a pure function of (seqnum, M, maxsv):
+        // run twice and compare bitwise.
+        let d1 = tempdir("det1");
+        let d2 = tempdir("det2");
+        let r1 = Parmonc::builder(2, 1)
+            .max_sample_volume(500)
+            .processors(3)
+            .seqnum(5)
+            .output_dir(&d1)
+            .run(uniform_mean())
+            .unwrap();
+        let r2 = Parmonc::builder(2, 1)
+            .max_sample_volume(500)
+            .processors(3)
+            .seqnum(5)
+            .output_dir(&d2)
+            .run(uniform_mean())
+            .unwrap();
+        assert_eq!(r1.summary.means, r2.summary.means);
+        assert_eq!(r1.summary.variances, r2.summary.variances);
+    }
+
+    #[test]
+    fn files_exist_after_run() {
+        let dir = tempdir("files");
+        let report = Parmonc::builder(2, 2)
+            .max_sample_volume(100)
+            .processors(2)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        let rd = &report.results_dir;
+        assert!(rd.func_path().is_file());
+        assert!(rd.func_ci_path().is_file());
+        assert!(rd.func_log_path().is_file());
+        assert!(rd.checkpoint_path().is_file());
+        assert!(rd.journal_path().is_file());
+        // Worker files are folded into the checkpoint on clean exit.
+        assert!(rd.load_worker_subtotals().unwrap().is_empty());
+    }
+
+    #[test]
+    fn resume_accumulates_previous_results() {
+        let dir = tempdir("resume");
+        let first = Parmonc::builder(1, 1)
+            .max_sample_volume(600)
+            .processors(2)
+            .seqnum(0)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        let second = Parmonc::builder(1, 1)
+            .max_sample_volume(400)
+            .processors(2)
+            .seqnum(1)
+            .resume(Resume::Resume)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        assert_eq!(second.resumed_volume, 600);
+        assert_eq!(second.new_volume, 400);
+        assert_eq!(second.total_volume, 1000);
+        // The resumed mean is the volume-weighted average of both runs.
+        let expected =
+            (first.summary.means[0] * 600.0 + (second.total_volume as f64 * second.summary.means[0]
+                - first.summary.means[0] * 600.0))
+                / 1000.0;
+        assert!((second.summary.means[0] - expected).abs() < 1e-12);
+        // And the error bound shrank with the larger volume.
+        assert!(second.summary.eps_max < first.summary.eps_max);
+    }
+
+    #[test]
+    fn resume_requires_existing_results() {
+        let dir = tempdir("resume-missing");
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .resume(Resume::Resume)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap_err();
+        assert!(matches!(err, ParmoncError::NothingToResume { .. }));
+    }
+
+    #[test]
+    fn resume_rejects_reused_seqnum() {
+        let dir = tempdir("resume-seqnum");
+        Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .seqnum(3)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .seqnum(3)
+            .resume(Resume::Resume)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap_err();
+        assert!(matches!(err, ParmoncError::SeqnumAlreadyUsed { seqnum: 3 }));
+    }
+
+    #[test]
+    fn resume_rejects_shape_change() {
+        let dir = tempdir("resume-shape");
+        Parmonc::builder(2, 2)
+            .max_sample_volume(10)
+            .seqnum(0)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        let err = Parmonc::builder(3, 2)
+            .max_sample_volume(10)
+            .seqnum(1)
+            .resume(Resume::Resume)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap_err();
+        assert!(matches!(err, ParmoncError::ResumeShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn every_realization_exchange_mode_works() {
+        let dir = tempdir("strict");
+        let report = Parmonc::builder(1, 2)
+            .max_sample_volume(300)
+            .processors(4)
+            .exchange(Exchange::EveryRealization)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        assert_eq!(report.total_volume, 300);
+        for m in &report.summary.means {
+            assert!((m - 0.5).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn deadline_stops_early() {
+        let dir = tempdir("deadline");
+        let slow = RealizeFn::new(|rng, out| {
+            std::thread::sleep(Duration::from_millis(5));
+            out[0] = rng.next_f64();
+        });
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(1_000_000)
+            .processors(2)
+            .deadline(Duration::from_millis(150))
+            .output_dir(&dir)
+            .run(slow)
+            .unwrap();
+        assert!(report.new_volume > 0, "some realizations completed");
+        assert!(
+            report.new_volume < 1_000_000,
+            "deadline must stop the run early"
+        );
+        // The files still reflect what was simulated.
+        assert!(report.results_dir.checkpoint_path().is_file());
+    }
+
+    #[test]
+    fn mean_time_per_realization_is_positive() {
+        let dir = tempdir("tau");
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(200)
+            .processors(2)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        assert!(report.mean_time_per_realization >= 0.0);
+        assert!(report.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn error_controlled_stopping_halts_before_maxsv() {
+        // eps for U(0,1) is 3*sqrt(1/12)/sqrt(L) ≈ 0.866/sqrt(L):
+        // target 0.02 needs L ≈ 1900 — far below maxsv = 10^6.
+        let dir = tempdir("error-stop");
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(1_000_000)
+            .processors(2)
+            .target_abs_error(0.02)
+            .pass_period(Duration::ZERO)
+            .averaging_period(Duration::ZERO)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        assert!(
+            report.new_volume < 1_000_000,
+            "must stop early, got {}",
+            report.new_volume
+        );
+        assert!(report.new_volume >= 1_000, "needs enough data for the target");
+        assert!(
+            report.summary.eps_max <= 0.021,
+            "target met: eps {}",
+            report.summary.eps_max
+        );
+    }
+
+    #[test]
+    fn error_target_unreachable_runs_to_maxsv() {
+        let dir = tempdir("error-stop-never");
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(2_000)
+            .processors(2)
+            .target_abs_error(1e-12)
+            .pass_period(Duration::ZERO)
+            .averaging_period(Duration::ZERO)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        assert_eq!(report.new_volume, 2_000);
+    }
+
+    #[test]
+    fn invalid_error_target_rejected() {
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .target_abs_error(0.0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("target_abs_error"));
+    }
+
+    #[test]
+    fn m1_equals_sum_of_stream_contributions() {
+        // With M=2 the estimate uses processor streams 0 and 1;
+        // verify against manually accumulating those same streams.
+        let dir = tempdir("crosscheck");
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(100)
+            .processors(2)
+            .seqnum(7)
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+
+        let h = StreamHierarchy::default();
+        let mut manual = MatrixAccumulator::new(1, 1).unwrap();
+        for rank in 0..2u64 {
+            for r in 0..50u64 {
+                let mut s = h.realization_stream(StreamId::new(7, rank, r)).unwrap();
+                manual.add(&[s.next_f64()]).unwrap();
+            }
+        }
+        let expected = manual.summary();
+        assert!((report.summary.means[0] - expected.means[0]).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,271 @@
+//! Collective operations built on the point-to-point layer.
+//!
+//! PARMONC itself only needs the asynchronous gather pattern, but a
+//! credible MPI subset ships the classic collectives; the runner uses
+//! [`barrier`] at start-up and the tests use [`gather`] and
+//! [`reduce_sum`] to validate the substrate against closed-form
+//! answers.
+
+use crate::comm::Communicator;
+use crate::envelope::{PayloadReader, PayloadWriter, Tag};
+use crate::error::MpiError;
+
+/// Tag space reserved for collectives (high bit set so user tags in the
+/// low range never collide).
+const COLLECTIVE_BASE: u32 = 0x8000_0000;
+
+const TAG_BARRIER_IN: Tag = Tag(COLLECTIVE_BASE);
+const TAG_BARRIER_OUT: Tag = Tag(COLLECTIVE_BASE + 1);
+const TAG_BCAST: Tag = Tag(COLLECTIVE_BASE + 2);
+const TAG_GATHER: Tag = Tag(COLLECTIVE_BASE + 3);
+const TAG_REDUCE: Tag = Tag(COLLECTIVE_BASE + 4);
+
+/// Blocks until every rank has entered the barrier (flat tree rooted at
+/// rank 0: gather-in then broadcast-out).
+///
+/// # Errors
+///
+/// Propagates transport errors ([`MpiError::Disconnected`]).
+pub fn barrier(comm: &mut Communicator) -> Result<(), MpiError> {
+    if comm.rank() == 0 {
+        for _ in 1..comm.size() {
+            comm.recv(None, Some(TAG_BARRIER_IN))?;
+        }
+        for dest in 1..comm.size() {
+            comm.send(dest, TAG_BARRIER_OUT, &[])?;
+        }
+    } else {
+        comm.send(0, TAG_BARRIER_IN, &[])?;
+        comm.recv(Some(0), Some(TAG_BARRIER_OUT))?;
+    }
+    Ok(())
+}
+
+/// Broadcasts `value` (a slice of f64 on the root, ignored elsewhere)
+/// from `root` to all ranks; every rank returns the broadcast vector.
+///
+/// # Errors
+///
+/// Propagates transport errors, and [`MpiError::InvalidRank`] for a bad
+/// root.
+pub fn broadcast_f64(
+    comm: &mut Communicator,
+    root: usize,
+    value: &[f64],
+) -> Result<Vec<f64>, MpiError> {
+    if root >= comm.size() {
+        return Err(MpiError::InvalidRank {
+            rank: root,
+            size: comm.size(),
+        });
+    }
+    if comm.rank() == root {
+        let mut w = PayloadWriter::with_capacity(8 + value.len() * 8);
+        w.put_f64_slice(value);
+        let payload = w.finish();
+        for dest in 0..comm.size() {
+            if dest != root {
+                comm.send_bytes(dest, TAG_BCAST, payload.clone())?;
+            }
+        }
+        Ok(value.to_vec())
+    } else {
+        let env = comm.recv(Some(root), Some(TAG_BCAST))?;
+        PayloadReader::new(env.payload).get_f64_vec()
+    }
+}
+
+/// Gathers each rank's `value` vector on `root`; the root returns
+/// `Some(values_by_rank)`, other ranks return `None`.
+///
+/// # Errors
+///
+/// Propagates transport errors, and [`MpiError::InvalidRank`] for a bad
+/// root.
+pub fn gather(
+    comm: &mut Communicator,
+    root: usize,
+    value: &[f64],
+) -> Result<Option<Vec<Vec<f64>>>, MpiError> {
+    if root >= comm.size() {
+        return Err(MpiError::InvalidRank {
+            rank: root,
+            size: comm.size(),
+        });
+    }
+    if comm.rank() == root {
+        let mut by_rank: Vec<Vec<f64>> = vec![Vec::new(); comm.size()];
+        by_rank[root] = value.to_vec();
+        for _ in 0..comm.size() - 1 {
+            let env = comm.recv(None, Some(TAG_GATHER))?;
+            let source = env.source;
+            by_rank[source] = PayloadReader::new(env.payload).get_f64_vec()?;
+        }
+        Ok(Some(by_rank))
+    } else {
+        let mut w = PayloadWriter::with_capacity(8 + value.len() * 8);
+        w.put_f64_slice(value);
+        comm.send_bytes(root, TAG_GATHER, w.finish())?;
+        Ok(None)
+    }
+}
+
+/// Reduces each rank's `value` vector by entrywise summation on `root`;
+/// the root returns `Some(sums)`, other ranks return `None`.
+///
+/// This is the collective formulation of the paper's formula (5): the
+/// averaged estimate is the reduce-sum of per-processor `(Σζ, Σζ², l)`
+/// divided through by the total volume.
+///
+/// # Errors
+///
+/// Propagates transport errors; [`MpiError::MalformedPayload`] if rank
+/// contributions have mismatched lengths.
+pub fn reduce_sum(
+    comm: &mut Communicator,
+    root: usize,
+    value: &[f64],
+) -> Result<Option<Vec<f64>>, MpiError> {
+    if root >= comm.size() {
+        return Err(MpiError::InvalidRank {
+            rank: root,
+            size: comm.size(),
+        });
+    }
+    if comm.rank() == root {
+        let mut acc = value.to_vec();
+        for _ in 0..comm.size() - 1 {
+            let env = comm.recv(None, Some(TAG_REDUCE))?;
+            let contribution = PayloadReader::new(env.payload).get_f64_vec()?;
+            if contribution.len() != acc.len() {
+                return Err(MpiError::MalformedPayload {
+                    what: "reduce contributions have mismatched lengths",
+                });
+            }
+            for (a, c) in acc.iter_mut().zip(&contribution) {
+                *a += c;
+            }
+        }
+        Ok(Some(acc))
+    } else {
+        let mut w = PayloadWriter::with_capacity(8 + value.len() * 8);
+        w.put_f64_slice(value);
+        comm.send_bytes(root, TAG_REDUCE, w.finish())?;
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::World;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_synchronizes() {
+        // Count how many ranks arrived before anyone left; with a
+        // correct barrier, every rank observes all `size` arrivals.
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let arrived2 = Arc::clone(&arrived);
+        let results = World::run(8, move |comm| {
+            arrived2.fetch_add(1, Ordering::SeqCst);
+            barrier(comm)?;
+            Ok(arrived2.load(Ordering::SeqCst))
+        })
+        .unwrap();
+        for r in results {
+            assert_eq!(r.unwrap(), 8);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let results = World::run(5, |comm| {
+            let data = if comm.rank() == 2 {
+                vec![1.5, -2.5, 3.5]
+            } else {
+                Vec::new()
+            };
+            broadcast_f64(comm, 2, &data)
+        })
+        .unwrap();
+        for r in results {
+            assert_eq!(r.unwrap(), vec![1.5, -2.5, 3.5]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let results = World::run(4, |comm| {
+            let mine = vec![comm.rank() as f64; comm.rank() + 1];
+            gather(comm, 0, &mine)
+        })
+        .unwrap();
+        let gathered = results[0].as_ref().unwrap().as_ref().unwrap();
+        assert_eq!(gathered.len(), 4);
+        for (rank, v) in gathered.iter().enumerate() {
+            assert_eq!(v.len(), rank + 1);
+            assert!(v.iter().all(|x| *x == rank as f64));
+        }
+        for r in &results[1..] {
+            assert!(r.as_ref().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn reduce_sums_entrywise() {
+        let results = World::run(6, |comm| {
+            let mine = vec![comm.rank() as f64, 1.0];
+            reduce_sum(comm, 0, &mine)
+        })
+        .unwrap();
+        let sums = results[0].as_ref().unwrap().as_ref().unwrap();
+        assert_eq!(sums, &vec![(0..6).sum::<usize>() as f64, 6.0]);
+    }
+
+    #[test]
+    fn invalid_root_rejected() {
+        let mut comms = World::communicators(2).unwrap();
+        assert!(matches!(
+            broadcast_f64(&mut comms[0], 7, &[]),
+            Err(MpiError::InvalidRank { rank: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn collectives_compose_with_user_traffic() {
+        // User messages with low tags must not be consumed by
+        // collectives thanks to the reserved tag space.
+        let results = World::run(3, |comm| {
+            if comm.rank() == 1 {
+                comm.send(0, Tag(5), b"user")?;
+            }
+            barrier(comm)?;
+            if comm.rank() == 0 {
+                let env = comm.recv(Some(1), Some(Tag(5)))?;
+                Ok(env.payload.to_vec())
+            } else {
+                Ok(Vec::new())
+            }
+        })
+        .unwrap();
+        assert_eq!(results[0].as_ref().unwrap(), b"user");
+    }
+
+    #[test]
+    fn single_rank_collectives_are_trivial() {
+        let results = World::run(1, |comm| {
+            barrier(comm)?;
+            let b = broadcast_f64(comm, 0, &[1.0])?;
+            let g = gather(comm, 0, &[2.0])?;
+            let r = reduce_sum(comm, 0, &[3.0])?;
+            Ok((b, g, r))
+        })
+        .unwrap();
+        let (b, g, r) = results[0].as_ref().unwrap();
+        assert_eq!(b, &vec![1.0]);
+        assert_eq!(g.as_ref().unwrap(), &vec![vec![2.0]]);
+        assert_eq!(r.as_ref().unwrap(), &vec![3.0]);
+    }
+}

@@ -1,0 +1,443 @@
+//! The world launcher and per-rank communicator.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+use crate::envelope::{Envelope, Tag};
+use crate::error::MpiError;
+
+/// The per-rank handle: knows its rank, the world size, and how to
+/// reach every other rank.
+///
+/// Matching semantics mirror MPI: [`Communicator::recv`] takes optional
+/// source and tag filters; messages that arrive but do not match are
+/// buffered and delivered to a later matching receive, preserving
+/// per-(source, tag) order.
+#[derive(Debug)]
+pub struct Communicator {
+    rank: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    inbox: Receiver<Envelope>,
+    /// Messages received from the channel but not yet matched.
+    pending: VecDeque<Envelope>,
+}
+
+impl Communicator {
+    /// This rank's number (0-based).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends `payload` to rank `dest` with tag `tag`. Asynchronous and
+    /// non-blocking (buffered send): the call returns once the message
+    /// is enqueued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::InvalidRank`] for an out-of-range
+    /// destination, or [`MpiError::Disconnected`] if the destination has
+    /// already been torn down.
+    pub fn send(&self, dest: usize, tag: Tag, payload: &[u8]) -> Result<(), MpiError> {
+        self.send_bytes(dest, tag, Bytes::copy_from_slice(payload))
+    }
+
+    /// Zero-copy variant of [`Communicator::send`] for payloads already
+    /// in [`Bytes`] form.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Communicator::send`].
+    pub fn send_bytes(&self, dest: usize, tag: Tag, payload: Bytes) -> Result<(), MpiError> {
+        let sender = self.senders.get(dest).ok_or(MpiError::InvalidRank {
+            rank: dest,
+            size: self.size(),
+        })?;
+        sender
+            .send(Envelope {
+                source: self.rank,
+                tag,
+                payload,
+            })
+            .map_err(|_| MpiError::Disconnected)
+    }
+
+    fn matches(env: &Envelope, source: Option<usize>, tag: Option<Tag>) -> bool {
+        source.is_none_or(|s| env.source == s) && tag.is_none_or(|t| env.tag == t)
+    }
+
+    fn take_pending(&mut self, source: Option<usize>, tag: Option<Tag>) -> Option<Envelope> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|e| Self::matches(e, source, tag))?;
+        self.pending.remove(idx)
+    }
+
+    /// Blocking receive of the next message matching the optional
+    /// `source` and `tag` filters (`None` = wildcard, MPI's
+    /// `MPI_ANY_SOURCE` / `MPI_ANY_TAG`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::Disconnected`] if all possible senders have
+    /// been dropped while no matching message is buffered.
+    pub fn recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Result<Envelope, MpiError> {
+        if let Some(env) = self.take_pending(source, tag) {
+            return Ok(env);
+        }
+        loop {
+            let env = self.inbox.recv().map_err(|_| MpiError::Disconnected)?;
+            if Self::matches(&env, source, tag) {
+                return Ok(env);
+            }
+            self.pending.push_back(env);
+        }
+    }
+
+    /// Blocking receive with a timeout; `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::Disconnected`] if all senders are gone.
+    pub fn recv_timeout(
+        &mut self,
+        source: Option<usize>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, MpiError> {
+        if let Some(env) = self.take_pending(source, tag) {
+            return Ok(Some(env));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.inbox.recv_timeout(remaining) {
+                Ok(env) => {
+                    if Self::matches(&env, source, tag) {
+                        return Ok(Some(env));
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => return Err(MpiError::Disconnected),
+            }
+        }
+    }
+
+    /// Non-blocking receive: returns a matching message if one is
+    /// already available (MPI's `MPI_Iprobe` + `MPI_Recv` pattern the
+    /// collector loop uses).
+    pub fn try_recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Option<Envelope> {
+        if let Some(env) = self.take_pending(source, tag) {
+            return Some(env);
+        }
+        loop {
+            match self.inbox.try_recv() {
+                Ok(env) => {
+                    if Self::matches(&env, source, tag) {
+                        return Some(env);
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => return None,
+            }
+        }
+    }
+
+    /// Whether a matching message is available without consuming it.
+    pub fn iprobe(&mut self, source: Option<usize>, tag: Option<Tag>) -> bool {
+        if self.pending.iter().any(|e| Self::matches(e, source, tag)) {
+            return true;
+        }
+        // Drain whatever is in the channel into the pending buffer so
+        // the probe sees it.
+        while let Ok(env) = self.inbox.try_recv() {
+            self.pending.push_back(env);
+        }
+        self.pending.iter().any(|e| Self::matches(e, source, tag))
+    }
+}
+
+/// The world launcher: the `mpirun` analogue.
+#[derive(Debug)]
+pub struct World;
+
+impl World {
+    /// Builds the communicators for a world of `size` ranks without
+    /// spawning threads (used by the runner when it wants to drive the
+    /// ranks itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::EmptyWorld`] if `size == 0`.
+    pub fn communicators(size: usize) -> Result<Vec<Communicator>, MpiError> {
+        if size == 0 {
+            return Err(MpiError::EmptyWorld);
+        }
+        let mut senders = Vec::with_capacity(size);
+        let mut inboxes = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            inboxes.push(rx);
+        }
+        let senders = Arc::new(senders);
+        Ok(inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| Communicator {
+                rank,
+                senders: Arc::clone(&senders),
+                inbox,
+                pending: VecDeque::new(),
+            })
+            .collect())
+    }
+
+    /// Spawns `size` ranks, runs `f` on each with its communicator, and
+    /// returns every rank's result, index = rank.
+    ///
+    /// The closure returns `Result<T, MpiError>` — the typical failure
+    /// is a blocked `recv` discovering its peers exited.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::EmptyWorld`] if `size == 0`, or
+    /// [`MpiError::RankPanicked`] if any rank's closure panicked
+    /// (results from non-panicking ranks are discarded in that case).
+    pub fn run<T, F>(size: usize, f: F) -> Result<Vec<Result<T, MpiError>>, MpiError>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Communicator) -> Result<T, MpiError> + Send + Sync + 'static,
+    {
+        let comms = Self::communicators(size)?;
+        let f = Arc::new(f);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                let f = Arc::clone(&f);
+                std::thread::Builder::new()
+                    .name(format!("rank-{}", comm.rank()))
+                    .spawn(move || f(&mut comm))
+                    .expect("spawning a rank thread")
+            })
+            .collect();
+
+        let mut results = Vec::with_capacity(size);
+        let mut panic: Option<MpiError> = None;
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(res) => results.push(res),
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                    panic.get_or_insert(MpiError::RankPanicked { rank, message });
+                    results.push(Err(MpiError::Disconnected));
+                }
+            }
+        }
+        if let Some(p) = panic {
+            return Err(p);
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_rejects_zero_ranks() {
+        assert!(matches!(
+            World::communicators(0),
+            Err(MpiError::EmptyWorld)
+        ));
+    }
+
+    #[test]
+    fn rank_and_size() {
+        let comms = World::communicators(3).unwrap();
+        for (i, c) in comms.iter().enumerate() {
+            assert_eq!(c.rank(), i);
+            assert_eq!(c.size(), 3);
+        }
+    }
+
+    #[test]
+    fn ping_pong() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Tag(1), b"ping")?;
+                let reply = comm.recv(Some(1), Some(Tag(2)))?;
+                Ok(reply.payload.to_vec())
+            } else {
+                let msg = comm.recv(Some(0), Some(Tag(1)))?;
+                assert_eq!(&msg.payload[..], b"ping");
+                comm.send(0, Tag(2), b"pong")?;
+                Ok(Vec::new())
+            }
+        })
+        .unwrap();
+        assert_eq!(results[0].as_ref().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn send_to_invalid_rank_errors() {
+        let mut comms = World::communicators(2).unwrap();
+        let c = &mut comms[0];
+        assert!(matches!(
+            c.send(5, Tag(0), b""),
+            Err(MpiError::InvalidRank { rank: 5, size: 2 })
+        ));
+    }
+
+    #[test]
+    fn self_send_and_receive() {
+        let mut comms = World::communicators(1).unwrap();
+        let c = &mut comms[0];
+        c.send(0, Tag(9), b"hello").unwrap();
+        let env = c.recv(Some(0), Some(Tag(9))).unwrap();
+        assert_eq!(&env.payload[..], b"hello");
+    }
+
+    #[test]
+    fn tag_matching_buffers_non_matching_messages() {
+        let mut comms = World::communicators(1).unwrap();
+        let c = &mut comms[0];
+        c.send(0, Tag(1), b"first").unwrap();
+        c.send(0, Tag(2), b"second").unwrap();
+        // Ask for tag 2 first: tag-1 message must be buffered, not lost.
+        let env2 = c.recv(None, Some(Tag(2))).unwrap();
+        assert_eq!(&env2.payload[..], b"second");
+        let env1 = c.recv(None, Some(Tag(1))).unwrap();
+        assert_eq!(&env1.payload[..], b"first");
+    }
+
+    #[test]
+    fn per_source_order_is_preserved() {
+        let mut comms = World::communicators(1).unwrap();
+        let c = &mut comms[0];
+        for i in 0..10u8 {
+            c.send(0, Tag(0), &[i]).unwrap();
+        }
+        for i in 0..10u8 {
+            let env = c.recv(Some(0), Some(Tag(0))).unwrap();
+            assert_eq!(env.payload[0], i);
+        }
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let mut comms = World::communicators(2).unwrap();
+        assert!(comms[0].try_recv(None, None).is_none());
+    }
+
+    #[test]
+    fn iprobe_sees_waiting_message_without_consuming() {
+        let mut comms = World::communicators(1).unwrap();
+        let c = &mut comms[0];
+        assert!(!c.iprobe(None, None));
+        c.send(0, Tag(3), b"x").unwrap();
+        assert!(c.iprobe(None, Some(Tag(3))));
+        assert!(c.iprobe(None, Some(Tag(3)))); // still there
+        let env = c.try_recv(None, Some(Tag(3))).unwrap();
+        assert_eq!(&env.payload[..], b"x");
+        assert!(!c.iprobe(None, None));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let mut comms = World::communicators(2).unwrap();
+        let got = comms[0]
+            .recv_timeout(Some(1), None, Duration::from_millis(20))
+            .unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn recv_timeout_delivers_buffered_message() {
+        let mut comms = World::communicators(1).unwrap();
+        let c = &mut comms[0];
+        c.send(0, Tag(1), b"now").unwrap();
+        let got = c
+            .recv_timeout(None, Some(Tag(1)), Duration::from_millis(1))
+            .unwrap();
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn many_to_one_gather_pattern() {
+        // The PARMONC collector pattern: rank 0 receives from everyone
+        // in arrival order with wildcard matching.
+        let results = World::run(8, |comm| {
+            if comm.rank() == 0 {
+                let mut total = 0u64;
+                for _ in 1..comm.size() {
+                    let env = comm.recv(None, None)?;
+                    total += u64::from_le_bytes(env.payload[..8].try_into().unwrap());
+                }
+                Ok(total)
+            } else {
+                comm.send(0, Tag(0), &(comm.rank() as u64).to_le_bytes())?;
+                Ok(0)
+            }
+        })
+        .unwrap();
+        assert_eq!(*results[0].as_ref().unwrap(), (1..8).sum::<u64>());
+    }
+
+    #[test]
+    fn panicking_rank_is_reported() {
+        let err = World::run(2, |comm| -> Result<(), MpiError> {
+            if comm.rank() == 1 {
+                panic!("worker exploded");
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            MpiError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("exploded"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stress_many_ranks_many_messages() {
+        let results = World::run(16, |comm| {
+            if comm.rank() == 0 {
+                let mut sum = 0u64;
+                let expected = (comm.size() - 1) * 50;
+                for _ in 0..expected {
+                    let env = comm.recv(None, None)?;
+                    sum += u64::from_le_bytes(env.payload[..8].try_into().unwrap());
+                }
+                Ok(sum)
+            } else {
+                for i in 0..50u64 {
+                    comm.send(0, Tag(0), &i.to_le_bytes())?;
+                }
+                Ok(0)
+            }
+        })
+        .unwrap();
+        assert_eq!(*results[0].as_ref().unwrap(), 15 * (0..50).sum::<u64>());
+    }
+}

@@ -1,0 +1,252 @@
+//! Message envelopes and the binary payload codec.
+//!
+//! PARMONC worker→collector traffic is a fixed record: the two sum
+//! matrices `[Σζ_ij]`, `[Σζ²_ij]` and the sample volume `l_m`
+//! (paper Section 2.2) — roughly 120 KB for the performance test's
+//! 1000×2 matrices plus framing. The codec here is a minimal
+//! little-endian binary layout over [`bytes::Bytes`]; it exists so the
+//! substrate moves *serialized* payloads exactly like MPI would, letting
+//! the benches measure realistic per-message costs.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::MpiError;
+
+/// A message tag, used for matching like MPI's `tag` argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tag(pub u32);
+
+impl core::fmt::Display for Tag {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "tag({})", self.0)
+    }
+}
+
+/// A delivered message: source rank, tag and the raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The sending rank.
+    pub source: usize,
+    /// The message tag.
+    pub tag: Tag,
+    /// The serialized payload.
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    /// Payload size in bytes (what the cluster simulator charges the
+    /// network for).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+/// Incrementally encodes a payload.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_mpi::envelope::{PayloadReader, PayloadWriter};
+///
+/// let mut w = PayloadWriter::new();
+/// w.put_u64(42);
+/// w.put_f64_slice(&[1.0, 2.5]);
+/// let mut r = PayloadReader::new(w.finish());
+/// assert_eq!(r.get_u64()?, 42);
+/// assert_eq!(r.get_f64_vec()?, vec![1.0, 2.5]);
+/// # Ok::<(), parmonc_mpi::MpiError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct PayloadWriter {
+    buf: BytesMut,
+}
+
+impl PayloadWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with pre-reserved capacity.
+    #[must_use]
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            buf: BytesMut::with_capacity(bytes),
+        }
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends an `f64` (little-endian bits).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Appends a length-prefixed slice of `f64`s.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.buf.put_u64_le(vs.len() as u64);
+        for v in vs {
+            self.buf.put_f64_le(*v);
+        }
+    }
+
+    /// Finalizes into an immutable payload.
+    #[must_use]
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Incrementally decodes a payload written by [`PayloadWriter`].
+#[derive(Debug)]
+pub struct PayloadReader {
+    buf: Bytes,
+}
+
+impl PayloadReader {
+    /// Wraps a payload for reading.
+    #[must_use]
+    pub fn new(buf: Bytes) -> Self {
+        Self { buf }
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::MalformedPayload`] if fewer than 8 bytes
+    /// remain.
+    pub fn get_u64(&mut self) -> Result<u64, MpiError> {
+        if self.buf.remaining() < 8 {
+            return Err(MpiError::MalformedPayload { what: "truncated u64" });
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::MalformedPayload`] if fewer than 8 bytes
+    /// remain.
+    pub fn get_f64(&mut self) -> Result<f64, MpiError> {
+        if self.buf.remaining() < 8 {
+            return Err(MpiError::MalformedPayload { what: "truncated f64" });
+        }
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads a length-prefixed `Vec<f64>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::MalformedPayload`] on a truncated or
+    /// oversized length prefix.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, MpiError> {
+        let len = self.get_u64()? as usize;
+        if self.buf.remaining() < len.saturating_mul(8) {
+            return Err(MpiError::MalformedPayload {
+                what: "truncated f64 vector",
+            });
+        }
+        Ok((0..len).map(|_| self.buf.get_f64_le()).collect())
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_mixed_payload() {
+        let mut w = PayloadWriter::new();
+        w.put_u64(7);
+        w.put_f64(-1.25);
+        w.put_f64_slice(&[0.0, 1.0, f64::INFINITY]);
+        let mut r = PayloadReader::new(w.finish());
+        assert_eq!(r.get_u64().unwrap(), 7);
+        assert_eq!(r.get_f64().unwrap(), -1.25);
+        assert_eq!(r.get_f64_vec().unwrap(), vec![0.0, 1.0, f64::INFINITY]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut r = PayloadReader::new(Bytes::from_static(&[0, 1, 2]));
+        assert!(matches!(
+            r.get_u64(),
+            Err(MpiError::MalformedPayload { .. })
+        ));
+        let mut w = PayloadWriter::new();
+        w.put_u64(100); // claims 100 f64s, provides none
+        let mut r = PayloadReader::new(w.finish());
+        assert!(matches!(
+            r.get_f64_vec(),
+            Err(MpiError::MalformedPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn envelope_len() {
+        let mut w = PayloadWriter::new();
+        w.put_u64(1);
+        let env = Envelope {
+            source: 3,
+            tag: Tag(5),
+            payload: w.finish(),
+        };
+        assert_eq!(env.len(), 8);
+        assert!(!env.is_empty());
+    }
+
+    #[test]
+    fn tag_display() {
+        assert_eq!(Tag(5).to_string(), "tag(5)");
+    }
+
+    #[test]
+    fn performance_test_message_size() {
+        // The paper's performance-test message: two 1000x2 sum matrices
+        // plus the sample volume — sanity-check the ~120 KB claim's
+        // order of magnitude (ours is 2*2000*8 ≈ 32 KB of sums; the
+        // paper's 120 KB includes additional bookkeeping).
+        let mut w = PayloadWriter::new();
+        w.put_u64(1); // sample volume
+        w.put_f64_slice(&vec![0.0; 2000]);
+        w.put_f64_slice(&vec![0.0; 2000]);
+        let payload = w.finish();
+        assert!(payload.len() > 32_000 && payload.len() < 40_000);
+    }
+
+    proptest! {
+        #[test]
+        fn f64_vec_round_trips(vs in proptest::collection::vec(any::<f64>(), 0..500)) {
+            let mut w = PayloadWriter::new();
+            w.put_f64_slice(&vs);
+            let mut r = PayloadReader::new(w.finish());
+            let decoded = r.get_f64_vec().unwrap();
+            prop_assert_eq!(decoded.len(), vs.len());
+            for (a, b) in decoded.iter().zip(&vs) {
+                prop_assert!(a.to_bits() == b.to_bits());
+            }
+        }
+    }
+}

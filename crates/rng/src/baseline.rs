@@ -1,0 +1,240 @@
+//! Baseline generators the PARMONC RNG is compared against.
+//!
+//! * [`Lcg40`] — the "well known RNG with special parameters r = 40 and
+//!   A = 5^17" whose period `2^38 ≈ 2.75·10^11` the paper (Section 2.2)
+//!   calls *insufficient* for up-to-date computations. Implementing it
+//!   lets the benches and statistical battery demonstrate the claim
+//!   (period exhaustion, detectable structure).
+//! * [`XorShift64Star`] and [`SplitMix64`] — standard non-LCG baselines
+//!   for the throughput benches.
+
+use crate::stream::UniformSource;
+
+/// The 40-bit multiplicative congruential generator the paper cites:
+/// `u_{k+1} = u_k · 5^17 (mod 2^40)`, period `2^38`.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::baseline::Lcg40;
+/// use parmonc_rng::UniformSource;
+///
+/// let mut rng = Lcg40::new();
+/// let a = rng.next_f64();
+/// assert!(a > 0.0 && a < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lcg40 {
+    state: u64,
+}
+
+impl Lcg40 {
+    /// The multiplier `5^17 mod 2^40` (5^17 = 762939453125 already
+    /// fits in 40 bits, so the reduction is the identity).
+    pub const MULTIPLIER: u64 = 762_939_453_125;
+
+    /// Modulus bits `r = 40`.
+    pub const MODULUS_BITS: u32 = 40;
+
+    /// Period exponent: the period is `2^38` (formula (7) with r = 40).
+    pub const PERIOD_EXPONENT: u32 = Self::MODULUS_BITS - 2;
+
+    /// Creates the generator at `u_0 = 1`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: 1 }
+    }
+
+    /// Creates the generator at a given odd state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is even or does not fit in 40 bits.
+    #[must_use]
+    pub fn with_state(state: u64) -> Self {
+        assert!(state & 1 == 1, "state must be odd");
+        assert!(state < 1 << 40, "state must fit in 40 bits");
+        Self { state }
+    }
+
+    /// Advances the recurrence and returns the new 40-bit state.
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(Self::MULTIPLIER) & ((1 << 40) - 1);
+        self.state
+    }
+}
+
+impl Default for Lcg40 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UniformSource for Lcg40 {
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // alpha = u * 2^-40, strictly in (0,1) because u is odd.
+        self.next_raw() as f64 / (1u64 << 40) as f64
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // Two 40-bit states give 64 usable high bits (32 from each).
+        let hi = (self.next_raw() >> 8) << 32;
+        hi | (self.next_raw() >> 8)
+    }
+}
+
+/// The xorshift64* generator (Vigna), a fast non-linear-congruential
+/// baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates the generator from a non-zero seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed == 0` (zero is a fixed point of xorshift).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        assert!(seed != 0, "xorshift seed must be non-zero");
+        Self { state: seed }
+    }
+}
+
+impl UniformSource for XorShift64Star {
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// The splitmix64 generator, used widely for seeding; a second
+/// throughput baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from any seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl UniformSource for SplitMix64 {
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg40_period_is_2_pow_38() {
+        // Walk u -> u^2 (squaring halves the cycle each time) to find the
+        // multiplicative order of the multiplier, as in the 128-bit case.
+        let mut x = Lcg40::MULTIPLIER;
+        let mut t = 0;
+        while x != 1 {
+            x = x.wrapping_mul(x) & ((1 << 40) - 1);
+            t += 1;
+        }
+        assert_eq!(t, Lcg40::PERIOD_EXPONENT);
+    }
+
+    #[test]
+    fn lcg40_multiplier_is_5_pow_17_mod_2_40() {
+        assert_eq!(Lcg40::MULTIPLIER, 5u64.pow(17) % (1 << 40));
+        assert_eq!(Lcg40::MULTIPLIER % 8, 5);
+    }
+
+    #[test]
+    fn lcg40_outputs_in_open_interval() {
+        let mut r = Lcg40::new();
+        for _ in 0..10_000 {
+            let a = UniformSource::next_f64(&mut r);
+            assert!(a > 0.0 && a < 1.0);
+        }
+    }
+
+    #[test]
+    fn lcg40_mean_near_half() {
+        let mut r = Lcg40::new();
+        let mean = (0..100_000).map(|_| r.next_f64()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn lcg40_rejects_even_state() {
+        let _ = Lcg40::with_state(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "40 bits")]
+    fn lcg40_rejects_wide_state() {
+        let _ = Lcg40::with_state((1 << 41) | 1);
+    }
+
+    #[test]
+    fn xorshift_mean_near_half() {
+        let mut r = XorShift64Star::new(0x1234_5678);
+        let mean = (0..100_000).map(|_| r.next_f64()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn xorshift_rejects_zero_seed() {
+        let _ = XorShift64Star::new(0);
+    }
+
+    #[test]
+    fn splitmix_mean_near_half() {
+        let mut r = SplitMix64::new(42);
+        let mean = (0..100_000).map(|_| r.next_f64()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn baselines_are_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,163 @@
+//! Interop with the `rand` crate ecosystem.
+//!
+//! The PARMONC generator can drive any `rand`-based sampler via
+//! [`RandAdapter`], and conversely any [`rand::RngCore`] can act as a
+//! [`UniformSource`] via [`FromRand`]. This is what lets the benches
+//! compare `rnd128` with `rand::rngs::StdRng` on identical workloads.
+
+use rand::RngCore;
+
+use crate::stream::UniformSource;
+
+/// Wraps a [`UniformSource`] so it implements [`rand::RngCore`].
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::{compat::RandAdapter, Lcg128};
+/// use rand::RngCore;
+///
+/// let mut rng = RandAdapter::new(Lcg128::new());
+/// let x = rng.next_u32();
+/// let _ = x;
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandAdapter<S> {
+    source: S,
+}
+
+impl<S: UniformSource> RandAdapter<S> {
+    /// Wraps `source`.
+    pub fn new(source: S) -> Self {
+        Self { source }
+    }
+
+    /// Returns the wrapped source.
+    pub fn into_inner(self) -> S {
+        self.source
+    }
+
+    /// Borrows the wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.source
+    }
+}
+
+impl<S: UniformSource> RngCore for RandAdapter<S> {
+    fn next_u32(&mut self) -> u32 {
+        (self.source.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.source.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.source.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.source.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Wraps a [`rand::RngCore`] so it implements [`UniformSource`].
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::{compat::FromRand, UniformSource};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut src = FromRand::new(StdRng::seed_from_u64(1));
+/// let a = src.next_f64();
+/// assert!(a > 0.0 && a < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FromRand<R> {
+    rng: R,
+}
+
+impl<R: RngCore> FromRand<R> {
+    /// Wraps `rng`.
+    pub fn new(rng: R) -> Self {
+        Self { rng }
+    }
+
+    /// Returns the wrapped rng.
+    pub fn into_inner(self) -> R {
+        self.rng
+    }
+}
+
+impl<R: RngCore> UniformSource for FromRand<R> {
+    fn next_f64(&mut self) -> f64 {
+        ((self.rng.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcg128::Lcg128;
+    use rand::Rng;
+
+    #[test]
+    fn adapter_next_u64_passthrough() {
+        let mut direct = Lcg128::new();
+        let mut adapted = RandAdapter::new(Lcg128::new());
+        for _ in 0..100 {
+            assert_eq!(Lcg128::next_u64(&mut direct), RngCore::next_u64(&mut adapted));
+        }
+    }
+
+    #[test]
+    fn adapter_fill_bytes_all_lengths() {
+        for len in 0..=17 {
+            let mut adapted = RandAdapter::new(Lcg128::new());
+            let mut buf = vec![0u8; len];
+            adapted.fill_bytes(&mut buf);
+            if len >= 8 {
+                // At least one full u64 was written; not all zero.
+                assert!(buf.iter().any(|b| *b != 0), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn adapter_drives_rand_distributions() {
+        let mut adapted = RandAdapter::new(Lcg128::new());
+        let x: f64 = adapted.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn from_rand_produces_open_interval() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut src = FromRand::new(StdRng::seed_from_u64(7));
+        for _ in 0..1_000 {
+            let a = src.next_f64();
+            assert!(a > 0.0 && a < 1.0);
+        }
+    }
+
+    #[test]
+    fn into_inner_round_trip() {
+        let adapted = RandAdapter::new(Lcg128::new());
+        let rng = adapted.into_inner();
+        assert_eq!(rng.state(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Transformations of base random numbers into the distributions the
+//! workloads need.
+//!
+//! The paper (formula (2)) represents a complex random variable as a
+//! function `zeta = zeta(alpha_1, ..., alpha_k)` of i.i.d. `U(0,1)` base
+//! random numbers; this module supplies the standard transformations
+//! used by the SDE substrate and the application workloads: normal
+//! (Box–Muller and Marsaglia polar), exponential, Poisson, Bernoulli,
+//! integer ranges, and discrete distributions by inverse CDF.
+
+use crate::stream::UniformSource;
+
+/// Samples a standard normal `N(0, 1)` using the Box–Muller transform.
+///
+/// Consumes exactly two base random numbers and discards the second
+/// variate, matching how a FORTRAN Monte Carlo code with a scalar
+/// `gauss()` routine typically behaves — reproducibility counts draws.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::{distributions::standard_normal, Lcg128};
+///
+/// let mut rng = Lcg128::new();
+/// let z = standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: UniformSource + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = rng.next_f64();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+}
+
+/// Samples a *pair* of independent standard normals with one Box–Muller
+/// transform (two base random numbers, no waste).
+pub fn standard_normal_pair<R: UniformSource + ?Sized>(rng: &mut R) -> (f64, f64) {
+    let u1 = rng.next_f64();
+    let u2 = rng.next_f64();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * core::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Samples a standard normal with the Marsaglia polar method
+/// (rejection-based; consumes a random *number* of base draws).
+pub fn standard_normal_polar<R: UniformSource + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let x = 2.0 * rng.next_f64() - 1.0;
+        let y = 2.0 * rng.next_f64() - 1.0;
+        let s = x * x + y * y;
+        if s > 0.0 && s < 1.0 {
+            return x * ((-2.0 * s.ln()) / s).sqrt();
+        }
+    }
+}
+
+/// Samples `N(mean, std_dev^2)`.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `std_dev` is negative.
+pub fn normal<R: UniformSource + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples `Exp(rate)` by inversion: `-ln(u) / rate`.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+pub fn exponential<R: UniformSource + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+    -rng.next_f64().ln() / rate
+}
+
+/// Samples `Uniform(lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform<R: UniformSource + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo < hi, "uniform bounds must satisfy lo < hi, got [{lo}, {hi})");
+    lo + (hi - lo) * rng.next_f64()
+}
+
+/// Samples a Bernoulli trial with success probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn bernoulli<R: UniformSource + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    rng.next_f64() < p
+}
+
+/// Samples `Poisson(lambda)` by Knuth's product-of-uniforms method.
+///
+/// Fine for the moderate rates the workloads use; O(lambda) draws.
+///
+/// # Panics
+///
+/// Panics if `lambda` is not strictly positive.
+pub fn poisson<R: UniformSource + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda > 0.0, "Poisson rate must be positive, got {lambda}");
+    let threshold = (-lambda).exp();
+    let mut k = 0u64;
+    let mut product = 1.0;
+    loop {
+        product *= rng.next_f64();
+        if product <= threshold {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples an integer uniformly from `0..n` using rejection-free
+/// fixed-point multiplication on the high 64 bits.
+///
+/// The modulo bias of this method is below `n / 2^64`, negligible for
+/// every workload in this repository.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn uniform_index<R: UniformSource + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    ((u128::from(rng.next_u64()) * u128::from(n)) >> 64) as u64
+}
+
+/// Samples an index from a discrete distribution given by (unnormalized)
+/// non-negative `weights`, by inverse CDF over the running sum.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative entry, or sums to
+/// zero.
+pub fn discrete<R: UniformSource + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "discrete distribution needs weights");
+    let mut total = 0.0;
+    for (i, w) in weights.iter().enumerate() {
+        assert!(*w >= 0.0, "weight {i} is negative: {w}");
+        total += w;
+    }
+    assert!(total > 0.0, "weights sum to zero");
+    let target = rng.next_f64() * total;
+    let mut acc = 0.0;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w;
+        if target < acc {
+            return i;
+        }
+    }
+    weights.len() - 1 // numerical edge: target == total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcg128::Lcg128;
+
+    fn rng() -> Lcg128 {
+        Lcg128::new()
+    }
+
+    fn sample_stats(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut r)).collect();
+        let (mean, var) = sample_stats(&xs);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_pair_components_uncorrelated() {
+        let mut r = rng();
+        let pairs: Vec<(f64, f64)> = (0..100_000).map(|_| standard_normal_pair(&mut r)).collect();
+        let n = pairs.len() as f64;
+        let cov = pairs.iter().map(|(a, b)| a * b).sum::<f64>() / n;
+        assert!(cov.abs() < 0.02, "cov {cov}");
+    }
+
+    #[test]
+    fn polar_normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100_000).map(|_| standard_normal_polar(&mut r)).collect();
+        let (mean, var) = sample_stats(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn shifted_normal() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100_000).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let (mean, var) = sample_stats(&xs);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..200_000).map(|_| exponential(&mut r, 2.0)).collect();
+        let (mean, var) = sample_stats(&xs);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100_000).map(|_| uniform(&mut r, -2.0, 4.0)).collect();
+        assert!(xs.iter().all(|x| (-2.0..4.0).contains(x)));
+        let (mean, _) = sample_stats(&xs);
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut r = rng();
+        let hits = (0..100_000).filter(|_| bernoulli(&mut r, 0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_match_lambda() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| poisson(&mut r, 4.0) as f64).collect();
+        let (mean, var) = sample_stats(&xs);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn uniform_index_covers_range_uniformly() {
+        let mut r = rng();
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[uniform_index(&mut r, 7) as usize] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (*c as f64 - 10_000.0).abs() < 500.0,
+                "bucket {i} count {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_follows_weights() {
+        let mut r = rng();
+        let weights = [1.0, 2.0, 7.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..100_000 {
+            counts[discrete(&mut r, &weights)] += 1;
+        }
+        assert!((counts[0] as f64 / 100_000.0 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / 100_000.0 - 0.2).abs() < 0.01);
+        assert!((counts[2] as f64 / 100_000.0 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = uniform(&mut rng(), 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn bernoulli_rejects_bad_probability() {
+        let _ = bernoulli(&mut rng(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_index_rejects_zero() {
+        let _ = uniform_index(&mut rng(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn discrete_rejects_zero_mass() {
+        let _ = discrete(&mut rng(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // Same stream position → identical variates: the reproducibility
+        // contract resumption relies on.
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

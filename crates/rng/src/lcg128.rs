@@ -1,0 +1,361 @@
+//! The base 128-bit multiplicative congruential generator.
+//!
+//! Paper formula (6):
+//!
+//! ```text
+//! u_0 = 1,  u_{k+1} = u_k · A (mod 2^128),  alpha_k = u_k · 2^{-128}
+//! ```
+//!
+//! The state is an odd 128-bit integer; the sequence of states walks a
+//! cycle of length `2^126` (formula (7)), of which the paper recommends
+//! using the first half (`2^125` numbers).
+
+use crate::multiplier::{modpow, DEFAULT_MULTIPLIER, MODULUS_BITS};
+#[cfg(test)]
+use crate::multiplier::PERIOD_EXPONENT;
+
+/// Scale factor turning the top 53 bits of the state into a double in
+/// the *open* interval (0, 1): `alpha = (top53 + 0.5) · 2^-53`.
+const F64_SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// The base 128-bit multiplicative congruential generator (paper
+/// formula (6)) with multiplier `A = 5^101 mod 2^128`.
+///
+/// `Lcg128` is deliberately small and `Copy`-free: cloning one is an
+/// explicit act of forking the stream, which in PARMONC is only ever
+/// done through the leapfrog hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::Lcg128;
+///
+/// let mut rng = Lcg128::new();
+/// let a = rng.next_f64();
+/// assert!(a > 0.0 && a < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lcg128 {
+    state: u128,
+    multiplier: u128,
+}
+
+impl Lcg128 {
+    /// Creates the generator at the head of the general sequence
+    /// (`u_0 = 1`, default multiplier).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_state(1)
+    }
+
+    /// Creates the generator at a given state with the default
+    /// multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is even: even states are outside the group of
+    /// units modulo `2^128` and would collapse to a shorter cycle.
+    #[must_use]
+    pub fn with_state(state: u128) -> Self {
+        Self::with_state_and_multiplier(state, DEFAULT_MULTIPLIER)
+    }
+
+    /// Creates the generator at a given state with a caller-supplied
+    /// multiplier (for `genparam`-style overrides and for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `multiplier` is even.
+    #[must_use]
+    pub fn with_state_and_multiplier(state: u128, multiplier: u128) -> Self {
+        assert!(state & 1 == 1, "LCG state must be odd, got {state:#x}");
+        assert!(
+            multiplier & 1 == 1,
+            "LCG multiplier must be odd, got {multiplier:#x}"
+        );
+        Self { state, multiplier }
+    }
+
+    /// Creates the generator positioned `k` steps into the general
+    /// sequence, i.e. at state `u_k = A^k mod 2^128`, in `O(log k)`
+    /// multiplications.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parmonc_rng::Lcg128;
+    ///
+    /// let mut stepped = Lcg128::new();
+    /// for _ in 0..1000 {
+    ///     stepped.next_raw();
+    /// }
+    /// let jumped = Lcg128::at_position(1000);
+    /// assert_eq!(stepped.state(), jumped.state());
+    /// ```
+    #[must_use]
+    pub fn at_position(k: u128) -> Self {
+        Self::with_state(modpow(DEFAULT_MULTIPLIER, k))
+    }
+
+    /// Current 128-bit state `u_k`.
+    #[must_use]
+    pub fn state(&self) -> u128 {
+        self.state
+    }
+
+    /// The multiplier `A` this generator steps with.
+    #[must_use]
+    pub fn multiplier(&self) -> u128 {
+        self.multiplier
+    }
+
+    /// Advances the recurrence once and returns the new raw state
+    /// `u_{k+1}`.
+    #[inline]
+    pub fn next_raw(&mut self) -> u128 {
+        self.state = self.state.wrapping_mul(self.multiplier);
+        self.state
+    }
+
+    /// Returns the next base random number `alpha ∈ (0, 1)`.
+    ///
+    /// The paper defines `alpha_k = u_k · 2^-128`; converting the full
+    /// 128-bit state to `f64` could round up to exactly `1.0`, so we take
+    /// the top 53 bits and centre within the bin:
+    /// `alpha = (⌊u/2^75⌋ + 0.5) · 2^-53`, which is always strictly inside
+    /// `(0, 1)` and differs from the exact value by less than `2^-53`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        let u = self.next_raw();
+        ((u >> (MODULUS_BITS - 53)) as u64 as f64 + 0.5) * F64_SCALE
+    }
+
+    /// Returns the next 64 high bits of the state as a `u64`.
+    ///
+    /// High bits of an MCG modulo a power of two have the best
+    /// equidistribution (the low bit never changes); all integer output
+    /// is therefore taken from the top.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next_raw() >> 64) as u64
+    }
+
+    /// Returns the next 32 high bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_raw() >> 96) as u32
+    }
+
+    /// Jumps the generator forward by `n` steps in `O(log n)`
+    /// multiplications (paper formula (8): multiply the state by
+    /// `A(n) = A^n`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parmonc_rng::Lcg128;
+    ///
+    /// let mut a = Lcg128::new();
+    /// let mut b = a.clone();
+    /// for _ in 0..12345 {
+    ///     a.next_raw();
+    /// }
+    /// b.jump(12345);
+    /// assert_eq!(a.state(), b.state());
+    /// ```
+    pub fn jump(&mut self, n: u128) {
+        self.state = self.state.wrapping_mul(modpow(self.multiplier, n));
+    }
+
+    /// Returns a clone jumped `n` steps ahead, leaving `self` unchanged.
+    #[must_use]
+    pub fn leaped(&self, n: u128) -> Self {
+        let mut c = self.clone();
+        c.jump(n);
+        c
+    }
+
+    /// The period of the generator, as the exponent `t` of `2^t`.
+    ///
+    /// For the default multiplier this is `126` (paper formula (7)).
+    #[must_use]
+    pub fn period_exponent(&self) -> u32 {
+        crate::multiplier::order_exponent(self.multiplier)
+            .expect("multiplier is validated odd at construction")
+    }
+}
+
+impl Default for Lcg128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Iterator for Lcg128 {
+    type Item = f64;
+
+    /// Yields base random numbers forever (the cycle length `2^126`
+    /// is unreachable in practice).
+    fn next(&mut self) -> Option<f64> {
+        Some(self.next_f64())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (usize::MAX, None)
+    }
+}
+
+/// A convenience free function mirroring the paper's `a = rnd128();`
+/// call style for a caller-managed generator.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::lcg128::{rnd128, Lcg128};
+///
+/// let mut rng = Lcg128::new();
+/// let a = rnd128(&mut rng);
+/// assert!(a > 0.0 && a < 1.0);
+/// ```
+#[inline]
+pub fn rnd128(rng: &mut Lcg128) -> f64 {
+    rng.next_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limbs::U128Limbs;
+    use proptest::prelude::*;
+
+    /// First states of the sequence, computed independently with Python
+    /// bignums: u_k = (5^101)^k mod 2^128 for k = 1..=3.
+    const KNOWN_STATES: [u128; 3] = [
+        0xbc1b_6074_2c6a_5846_f557_b4f2_b48e_8cb5,
+        0xbb72_99b4_870b_2934_67bf_5372_ee22_77f9,
+        0xd82e_e807_acb4_e04a_80a8_ab58_d818_ff0d,
+    ];
+
+    #[test]
+    fn matches_reference_states() {
+        let mut rng = Lcg128::new();
+        for expected in KNOWN_STATES {
+            assert_eq!(rng.next_raw(), expected);
+        }
+    }
+
+    #[test]
+    fn first_alpha_matches_reference_value() {
+        // u_1 / 2^128 = 0.7347927363993362 (Python reference); our open
+        // interval mapping agrees to < 2^-53 relative placement.
+        let mut rng = Lcg128::new();
+        let a = rng.next_f64();
+        assert!((a - 0.734_792_736_399_336_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outputs_stay_in_open_unit_interval() {
+        let mut rng = Lcg128::new();
+        for _ in 0..10_000 {
+            let a = rng.next_f64();
+            assert!(a > 0.0 && a < 1.0, "alpha out of (0,1): {a}");
+        }
+    }
+
+    #[test]
+    fn state_stays_odd() {
+        let mut rng = Lcg128::new();
+        for _ in 0..1_000 {
+            assert_eq!(rng.next_raw() & 1, 1);
+        }
+    }
+
+    #[test]
+    fn period_exponent_reports_126() {
+        assert_eq!(Lcg128::new().period_exponent(), PERIOD_EXPONENT);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_state_rejected() {
+        let _ = Lcg128::with_state(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_multiplier_rejected() {
+        let _ = Lcg128::with_state_and_multiplier(1, 4);
+    }
+
+    #[test]
+    fn iterator_yields_f64s() {
+        let rng = Lcg128::new();
+        let v: Vec<f64> = rng.take(5).collect();
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|a| *a > 0.0 && *a < 1.0));
+    }
+
+    #[test]
+    fn limb_path_agrees_with_native_path_along_the_sequence() {
+        // The paper's 64-bit-arithmetic implementation and our u128 fast
+        // path must walk the same orbit.
+        let mut rng = Lcg128::new();
+        let a = U128Limbs::from_u128(DEFAULT_MULTIPLIER);
+        let mut u = U128Limbs::from_u128(1);
+        for _ in 0..1_000 {
+            u = crate::limbs::limb_step(u, a);
+            assert_eq!(rng.next_raw(), u.to_u128());
+        }
+    }
+
+    #[test]
+    fn mean_of_outputs_is_one_half() {
+        // Coarse sanity: the first 100k alphas average to ~0.5.
+        let mut rng = Lcg128::new();
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.next_f64()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    proptest! {
+        /// jump(n) lands exactly where n sequential steps land.
+        #[test]
+        fn jump_equals_stepping(n in 0u32..3_000) {
+            let mut stepped = Lcg128::new();
+            for _ in 0..n {
+                stepped.next_raw();
+            }
+            let mut jumped = Lcg128::new();
+            jumped.jump(u128::from(n));
+            prop_assert_eq!(stepped.state(), jumped.state());
+        }
+
+        /// jump(a); jump(b) == jump(a + b).
+        #[test]
+        fn jumps_compose(a in 0u128..1u128 << 60, b in 0u128..1u128 << 60) {
+            let mut two = Lcg128::new();
+            two.jump(a);
+            two.jump(b);
+            let mut one = Lcg128::new();
+            one.jump(a + b);
+            prop_assert_eq!(two.state(), one.state());
+        }
+
+        /// at_position(k) == new().jump(k).
+        #[test]
+        fn at_position_is_jump_from_origin(k in any::<u128>()) {
+            let mut j = Lcg128::new();
+            j.jump(k);
+            prop_assert_eq!(Lcg128::at_position(k).state(), j.state());
+        }
+
+        /// leaped() does not mutate the source generator.
+        #[test]
+        fn leaped_is_pure(n in any::<u128>()) {
+            let rng = Lcg128::new();
+            let before = rng.state();
+            let _forked = rng.leaped(n);
+            prop_assert_eq!(rng.state(), before);
+        }
+    }
+}

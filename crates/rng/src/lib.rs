@@ -1,0 +1,73 @@
+//! The PARMONC parallel random number generator.
+//!
+//! This crate is the "core" of the PARMONC reproduction (Marchenko,
+//! PaCT 2011, Section 2.4): a 128-bit multiplicative congruential
+//! generator
+//!
+//! ```text
+//! u_0 = 1,   u_{k+1} = u_k * A  (mod 2^128),   alpha_k = u_k * 2^-128
+//! ```
+//!
+//! with the Dyadkin–Hamilton multiplier `A = 5^101 mod 2^128` and period
+//! `2^126`, together with the *leapfrog* machinery that splits the single
+//! general sequence `{alpha_k}` into a three-level hierarchy of embedded
+//! subsequences:
+//!
+//! ```text
+//! general sequence  ⊃  "experiments"  subsequences   (leap n_e = 2^115)
+//! "experiments"     ⊃  "processors"   subsequences   (leap n_p = 2^98)
+//! "processors"      ⊃  "realizations" subsequences   (leap n_r = 2^43)
+//! ```
+//!
+//! Every subsequence start is reached in `O(log n)` multiplications via
+//! the auxiliary generator of "leaps" (paper formula (8)): the multiplier
+//! `A(n) = A^n mod 2^128` is computed by binary exponentiation, so any of
+//! the `2^10` experiments × `2^17` processors × `2^55` realizations can
+//! be addressed directly.
+//!
+//! # Quick start
+//!
+//! ```
+//! use parmonc_rng::{StreamHierarchy, StreamId};
+//!
+//! let hierarchy = StreamHierarchy::default();
+//! // the stream for experiment 2, processor 7, realization 0:
+//! let mut rng = hierarchy.realization_stream(StreamId::new(2, 7, 0)).unwrap();
+//! let alpha = rng.next_f64(); // a base random number in (0, 1)
+//! assert!(alpha > 0.0 && alpha < 1.0);
+//! ```
+//!
+//! # Crate layout
+//!
+//! * [`lcg128`] — the base generator ([`Lcg128`]) and its period facts.
+//! * [`limbs`] — the paper-faithful 64-bit-limb arithmetic (the paper
+//!   implements `rnd128` "using 64-bit integer arithmetic"); proven
+//!   equivalent to the native `u128` fast path by property tests.
+//! * [`multiplier`] — the default multiplier, leap multipliers
+//!   `A(n_e)`, `A(n_p)`, `A(n_r)`, and [`modpow`](multiplier::modpow).
+//! * [`hierarchy`] — [`StreamHierarchy`], [`LeapConfig`] and capacity
+//!   arithmetic (how many experiments/processors/realizations exist).
+//! * [`stream`] — [`RealizationStream`], the `rnd128()`-style handle a
+//!   user routine draws base random numbers from.
+//! * [`distributions`] — transformations of base random numbers into the
+//!   distributions the workloads need (normal, exponential, Poisson, …).
+//! * [`baseline`] — comparison generators: the 40-bit LCG the paper
+//!   cites as having an *insufficient* period, xorshift64*, splitmix64.
+//! * [`compat`] — interop with the `rand` crate ecosystem.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod baseline;
+pub mod compat;
+pub mod distributions;
+pub mod hierarchy;
+pub mod lcg128;
+pub mod limbs;
+pub mod multiplier;
+pub mod stream;
+
+pub use hierarchy::{HierarchyError, LeapConfig, StreamHierarchy, StreamId};
+pub use lcg128::Lcg128;
+pub use multiplier::{DEFAULT_MULTIPLIER, MODULUS_BITS};
+pub use stream::{RealizationStream, UniformSource};

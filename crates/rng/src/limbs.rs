@@ -1,0 +1,210 @@
+//! 64-bit-limb arithmetic for the 128-bit congruential generator.
+//!
+//! The paper states (Section 3.3) that `rnd128` "is written using 64-bit
+//! integer arithmetic". This module reproduces that implementation
+//! strategy: a 128-bit state is held as two 64-bit limbs and the modular
+//! product `x * y mod 2^128` is assembled from three 64×64→128
+//! partial products (the high×high product is irrelevant modulo 2^128).
+//!
+//! The rest of the crate uses Rust's native `u128` (`wrapping_mul`) for
+//! speed; property tests in this module prove the two implementations
+//! agree on the full input space, and the `rng_throughput` bench
+//! compares their cost (DESIGN.md ablation #1).
+
+/// A 128-bit unsigned integer stored as two 64-bit limbs, little-endian
+/// (`lo` first), mirroring the paper's FORTRAN/C implementation.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::limbs::U128Limbs;
+///
+/// let x = U128Limbs::from_u128(0x0123_4567_89ab_cdef_u128);
+/// assert_eq!(x.to_u128(), 0x0123_4567_89ab_cdef_u128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U128Limbs {
+    /// Low 64 bits.
+    pub lo: u64,
+    /// High 64 bits.
+    pub hi: u64,
+}
+
+impl U128Limbs {
+    /// Creates a limb pair from a native `u128`.
+    #[inline]
+    pub const fn from_u128(x: u128) -> Self {
+        Self {
+            lo: x as u64,
+            hi: (x >> 64) as u64,
+        }
+    }
+
+    /// Reassembles the native `u128` value.
+    #[inline]
+    pub const fn to_u128(self) -> u128 {
+        (self.hi as u128) << 64 | self.lo as u128
+    }
+
+    /// Computes `self * rhs mod 2^128` using only 64-bit limb products.
+    ///
+    /// Writing `x = x_hi·2^64 + x_lo` and `y = y_hi·2^64 + y_lo`,
+    ///
+    /// ```text
+    /// x·y mod 2^128 = x_lo·y_lo + 2^64·(x_lo·y_hi + x_hi·y_lo)  (mod 2^128)
+    /// ```
+    ///
+    /// — the `x_hi·y_hi` term is a multiple of `2^128` and vanishes.
+    #[inline]
+    pub const fn wrapping_mul(self, rhs: Self) -> Self {
+        let lolo = (self.lo as u128) * (rhs.lo as u128);
+        let lohi = self.lo.wrapping_mul(rhs.hi);
+        let hilo = self.hi.wrapping_mul(rhs.lo);
+
+        let lo = lolo as u64;
+        let carry = (lolo >> 64) as u64;
+        let hi = carry.wrapping_add(lohi).wrapping_add(hilo);
+        Self { lo, hi }
+    }
+
+    /// Computes `self * rhs mod 2^128` with native `u128` arithmetic.
+    ///
+    /// This is the fast path used by [`crate::Lcg128`]; it must agree
+    /// with [`Self::wrapping_mul`] everywhere (see the property tests).
+    #[inline]
+    pub const fn wrapping_mul_native(self, rhs: Self) -> Self {
+        Self::from_u128(self.to_u128().wrapping_mul(rhs.to_u128()))
+    }
+}
+
+impl From<u128> for U128Limbs {
+    fn from(x: u128) -> Self {
+        Self::from_u128(x)
+    }
+}
+
+impl From<U128Limbs> for u128 {
+    fn from(x: U128Limbs) -> Self {
+        x.to_u128()
+    }
+}
+
+impl core::fmt::Display for U128Limbs {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#034x}", self.to_u128())
+    }
+}
+
+impl core::fmt::LowerHex for U128Limbs {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::LowerHex::fmt(&self.to_u128(), f)
+    }
+}
+
+impl core::fmt::UpperHex for U128Limbs {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::UpperHex::fmt(&self.to_u128(), f)
+    }
+}
+
+impl core::fmt::Binary for U128Limbs {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Binary::fmt(&self.to_u128(), f)
+    }
+}
+
+/// Runs one step of the paper's recurrence `u' = u * a mod 2^128`
+/// entirely in limb arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::limbs::{limb_step, U128Limbs};
+/// use parmonc_rng::DEFAULT_MULTIPLIER;
+///
+/// let u = limb_step(U128Limbs::from_u128(1), U128Limbs::from_u128(DEFAULT_MULTIPLIER));
+/// assert_eq!(u.to_u128(), DEFAULT_MULTIPLIER);
+/// ```
+#[inline]
+pub const fn limb_step(u: U128Limbs, a: U128Limbs) -> U128Limbs {
+    u.wrapping_mul(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_u128() {
+        for x in [0u128, 1, u64::MAX as u128, u128::MAX, 1 << 64, 1 << 127] {
+            assert_eq!(U128Limbs::from_u128(x).to_u128(), x);
+        }
+    }
+
+    #[test]
+    fn limb_mul_simple_cases() {
+        let two = U128Limbs::from_u128(2);
+        let three = U128Limbs::from_u128(3);
+        assert_eq!(two.wrapping_mul(three).to_u128(), 6);
+
+        // Wrap-around: 2^127 * 2 == 0 (mod 2^128).
+        let big = U128Limbs::from_u128(1 << 127);
+        assert_eq!(big.wrapping_mul(two).to_u128(), 0);
+
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1 ≡ 1 (mod 2^128).
+        let all = U128Limbs::from_u128(u128::MAX);
+        assert_eq!(all.wrapping_mul(all).to_u128(), 1);
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        let x = U128Limbs::from_u128(0xdead_beef_dead_beef_dead_beef_dead_beef);
+        let one = U128Limbs::from_u128(1);
+        let zero = U128Limbs::from_u128(0);
+        assert_eq!(x.wrapping_mul(one), x);
+        assert_eq!(x.wrapping_mul(zero), zero);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let x = U128Limbs::from_u128(0xab);
+        assert_eq!(format!("{x}"), format!("{:#034x}", 0xabu128));
+        assert_eq!(format!("{x:x}"), "ab");
+        assert_eq!(format!("{x:X}"), "AB");
+        assert_eq!(format!("{x:b}"), "10101011");
+    }
+
+    proptest! {
+        /// Limb multiplication agrees with native u128 wrapping
+        /// multiplication on arbitrary inputs — this is the equivalence
+        /// proof that lets the hot path use `u128`.
+        #[test]
+        fn limb_mul_matches_native(x in any::<u128>(), y in any::<u128>()) {
+            let lx = U128Limbs::from_u128(x);
+            let ly = U128Limbs::from_u128(y);
+            prop_assert_eq!(lx.wrapping_mul(ly).to_u128(), x.wrapping_mul(y));
+            prop_assert_eq!(lx.wrapping_mul_native(ly).to_u128(), x.wrapping_mul(y));
+        }
+
+        #[test]
+        fn limb_mul_commutes(x in any::<u128>(), y in any::<u128>()) {
+            let lx = U128Limbs::from_u128(x);
+            let ly = U128Limbs::from_u128(y);
+            prop_assert_eq!(lx.wrapping_mul(ly), ly.wrapping_mul(lx));
+        }
+
+        #[test]
+        fn limb_mul_associates(x in any::<u128>(), y in any::<u128>(), z in any::<u128>()) {
+            let (lx, ly, lz) = (
+                U128Limbs::from_u128(x),
+                U128Limbs::from_u128(y),
+                U128Limbs::from_u128(z),
+            );
+            prop_assert_eq!(
+                lx.wrapping_mul(ly).wrapping_mul(lz),
+                lx.wrapping_mul(ly.wrapping_mul(lz))
+            );
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Multipliers of the base and auxiliary ("leap") generators.
+//!
+//! Paper formulas (6)–(8): the base generator is
+//! `u_{k+1} = u_k · A (mod 2^r)` with `r = 128` and `A = 5^101 mod 2^128`
+//! (see DESIGN.md for the OCR analysis pinning the exponent: only an odd
+//! power of 5 is ≡ 5 (mod 8) and attains the claimed period `2^126`).
+//!
+//! The auxiliary generator that produces subsequence starting points uses
+//! the multiplier `A(n) = A^n mod 2^128`; this module computes it by
+//! binary exponentiation, which is what the stand-alone `genparam`
+//! command of the paper does (Section 3.5).
+
+/// Number of modulus bits `r` of the base generator (paper: `r = 128`).
+pub const MODULUS_BITS: u32 = 128;
+
+/// The default multiplier `A = 5^101 mod 2^128`.
+///
+/// Verified at test time both against an independent `modpow`
+/// computation and against the multiplicative-order claim of formula (7)
+/// (`A` generates a cyclic subgroup of order `2^126`).
+pub const DEFAULT_MULTIPLIER: u128 = 0xbc1b_6074_2c6a_5846_f557_b4f2_b48e_8cb5;
+
+/// Exponent of the period of the base generator: the period is `2^126`
+/// (paper formula (7) with `r = 128`).
+pub const PERIOD_EXPONENT: u32 = MODULUS_BITS - 2;
+
+/// Only the first half of the period is recommended for use (paper
+/// Section 2.4, after formula (7)): `2^125` base random numbers.
+pub const USABLE_EXPONENT: u32 = PERIOD_EXPONENT - 1;
+
+/// Computes `base^exp mod 2^128` by binary exponentiation.
+///
+/// All arithmetic is wrapping `u128`, i.e. implicitly modulo `2^128`.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::multiplier::modpow;
+///
+/// assert_eq!(modpow(5, 0), 1);
+/// assert_eq!(modpow(5, 3), 125);
+/// assert_eq!(modpow(2, 128), 0); // 2^128 ≡ 0 (mod 2^128)
+/// ```
+#[must_use]
+pub const fn modpow(base: u128, exp: u128) -> u128 {
+    let mut result: u128 = 1;
+    let mut b = base;
+    let mut e = exp;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = result.wrapping_mul(b);
+        }
+        b = b.wrapping_mul(b);
+        e >>= 1;
+    }
+    result
+}
+
+/// Computes the leap multiplier `A(2^e) = A^(2^e) mod 2^128` by `e`
+/// repeated squarings of `A`.
+///
+/// This is the quantity the paper's `genparam` command produces for
+/// user-chosen exponents `ne`, `np`, `nr` (Section 3.5).
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::multiplier::{leap_multiplier, DEFAULT_MULTIPLIER};
+///
+/// // A(2^0) = A itself.
+/// assert_eq!(leap_multiplier(DEFAULT_MULTIPLIER, 0), DEFAULT_MULTIPLIER);
+/// // A(2^1) = A^2.
+/// assert_eq!(
+///     leap_multiplier(DEFAULT_MULTIPLIER, 1),
+///     DEFAULT_MULTIPLIER.wrapping_mul(DEFAULT_MULTIPLIER)
+/// );
+/// ```
+#[must_use]
+pub const fn leap_multiplier(a: u128, exponent: u32) -> u128 {
+    let mut m = a;
+    let mut i = 0;
+    while i < exponent {
+        m = m.wrapping_mul(m);
+        i += 1;
+    }
+    m
+}
+
+/// Precomputed leap multiplier for the default "experiments" leap
+/// `n_e = 2^115`: `A(n_e) = A^(2^115) mod 2^128`.
+pub const LEAP_EXPERIMENTS: u128 = 0x7760_0000_0000_0000_0000_0000_0000_0001;
+
+/// Precomputed leap multiplier for the default "processors" leap
+/// `n_p = 2^98`: `A(n_p) = A^(2^98) mod 2^128`.
+pub const LEAP_PROCESSORS: u128 = 0xb424_bbb0_0000_0000_0000_0000_0000_0001;
+
+/// Precomputed leap multiplier for the default "realizations" leap
+/// `n_r = 2^43`: `A(n_r) = A^(2^43) mod 2^128`.
+pub const LEAP_REALIZATIONS: u128 = 0x402b_4441_0f55_3568_4977_6000_0000_0001;
+
+/// Returns the multiplicative order of `a` in the group of odd residues
+/// modulo `2^128`, expressed as the exponent `t` such that the order is
+/// `2^t`, or `None` if `a` is even (and hence not invertible).
+///
+/// For modulus `2^r` the group of units has structure
+/// `Z_2 × Z_{2^{r-2}}`, so every element's order is a power of two and at
+/// most `2^{r-2}`; this makes the order computable with at most `r - 2`
+/// squarings.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::multiplier::{order_exponent, DEFAULT_MULTIPLIER};
+///
+/// // The paper's period claim, formula (7): 2^(r-2) = 2^126.
+/// assert_eq!(order_exponent(DEFAULT_MULTIPLIER), Some(126));
+/// assert_eq!(order_exponent(1), Some(0));
+/// assert_eq!(order_exponent(2), None);
+/// ```
+#[must_use]
+pub fn order_exponent(a: u128) -> Option<u32> {
+    if a & 1 == 0 {
+        return None;
+    }
+    let mut x = a;
+    let mut t = 0u32;
+    while x != 1 {
+        x = x.wrapping_mul(x);
+        t += 1;
+        debug_assert!(t <= MODULUS_BITS, "order of an odd residue divides 2^126");
+    }
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_multiplier_is_5_pow_101() {
+        assert_eq!(modpow(5, 101), DEFAULT_MULTIPLIER);
+    }
+
+    #[test]
+    fn default_multiplier_is_5_mod_8() {
+        // A ≡ ±3 or 5 (mod 8) is necessary for the maximal period 2^(r-2);
+        // 5^odd ≡ 5 (mod 8).
+        assert_eq!(DEFAULT_MULTIPLIER % 8, 5);
+    }
+
+    #[test]
+    fn order_of_default_multiplier_is_2_pow_126() {
+        // Paper formula (7): the period of the base generator is 2^126.
+        assert_eq!(order_exponent(DEFAULT_MULTIPLIER), Some(PERIOD_EXPONENT));
+    }
+
+    #[test]
+    fn five_pow_100_would_be_wrong() {
+        // The OCR-ambiguous alternative A = 5^100 is ≡ 1 (mod 8) and has
+        // order 2^124 only — it cannot be the paper's multiplier.
+        let a100 = modpow(5, 100);
+        assert_eq!(a100 % 8, 1);
+        assert_eq!(order_exponent(a100), Some(124));
+    }
+
+    #[test]
+    fn precomputed_leaps_match_binary_exponentiation() {
+        assert_eq!(leap_multiplier(DEFAULT_MULTIPLIER, 115), LEAP_EXPERIMENTS);
+        assert_eq!(leap_multiplier(DEFAULT_MULTIPLIER, 98), LEAP_PROCESSORS);
+        assert_eq!(leap_multiplier(DEFAULT_MULTIPLIER, 43), LEAP_REALIZATIONS);
+    }
+
+    #[test]
+    fn leap_multipliers_are_odd() {
+        // Powers of an odd number stay odd — leaped streams never
+        // collapse onto even (non-invertible) states.
+        for m in [LEAP_EXPERIMENTS, LEAP_PROCESSORS, LEAP_REALIZATIONS] {
+            assert_eq!(m & 1, 1);
+        }
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        assert_eq!(modpow(3, 4), 81);
+        assert_eq!(modpow(0, 0), 1); // convention: x^0 = 1
+        assert_eq!(modpow(0, 5), 0);
+        assert_eq!(modpow(1, u128::MAX), 1);
+    }
+
+    #[test]
+    fn usable_half_constant() {
+        assert_eq!(USABLE_EXPONENT, 125);
+    }
+
+    proptest! {
+        /// a^(x+y) == a^x * a^y (mod 2^128): exponent additivity, the
+        /// property that makes leapfrog stream addressing work.
+        #[test]
+        fn modpow_exponent_additivity(a in any::<u128>(), x in 0u128..1u128 << 20, y in 0u128..1u128 << 20) {
+            prop_assert_eq!(
+                modpow(a, x + y),
+                modpow(a, x).wrapping_mul(modpow(a, y))
+            );
+        }
+
+        /// (a^x)^y == a^(x*y): exponent multiplicativity, used when
+        /// composing leaps across hierarchy levels.
+        #[test]
+        fn modpow_exponent_multiplicativity(a in any::<u128>(), x in 0u128..1u128 << 10, y in 0u128..1u128 << 10) {
+            prop_assert_eq!(modpow(modpow(a, x), y), modpow(a, x * y));
+        }
+
+        /// leap_multiplier(a, e) == a^(2^e) for small exponents where the
+        /// direct computation is feasible.
+        #[test]
+        fn leap_multiplier_matches_modpow(a in any::<u128>(), e in 0u32..20) {
+            prop_assert_eq!(leap_multiplier(a, e), modpow(a, 1u128 << e));
+        }
+
+        /// Odd multipliers have order dividing 2^126: squaring 126 times
+        /// always reaches 1.
+        #[test]
+        fn odd_residue_order_divides_2_pow_126(a in any::<u128>()) {
+            let a = a | 1;
+            let t = order_exponent(a).expect("odd residues are invertible");
+            prop_assert!(t <= PERIOD_EXPONENT);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The battery runner: every test against one source, with a rendered
+//! report.
+
+use core::fmt;
+
+use parmonc_rng::{StreamHierarchy, UniformSource};
+
+/// Outcome of one statistical test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// Test name (kebab-case identifier).
+    pub name: &'static str,
+    /// The test statistic (χ², z, or D depending on the test).
+    pub statistic: f64,
+    /// The p-value.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Creates a result.
+    #[must_use]
+    pub fn new(name: &'static str, statistic: f64, p_value: f64) -> Self {
+        Self {
+            name,
+            statistic,
+            p_value,
+        }
+    }
+
+    /// Two-sided acceptance at significance `alpha`:
+    /// `alpha < p < 1 − alpha`. (A p-value of ~1.0 is as suspicious as
+    /// ~0.0: it means the data fit *too* well.)
+    #[must_use]
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value > alpha && self.p_value < 1.0 - alpha
+    }
+
+    /// The verdict at significance `alpha`.
+    #[must_use]
+    pub fn verdict(&self, alpha: f64) -> Verdict {
+        if self.passes(alpha) {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        }
+    }
+}
+
+impl fmt::Display for TestResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} stat = {:>12.4}  p = {:.6}",
+            self.name, self.statistic, self.p_value
+        )
+    }
+}
+
+/// Pass/fail verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The p-value is inside the acceptance band.
+    Pass,
+    /// The p-value is in either tail.
+    Fail,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Pass => write!(f, "PASS"),
+            Self::Fail => write!(f, "FAIL"),
+        }
+    }
+}
+
+/// Results of a full battery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryReport {
+    /// Significance level used for verdicts.
+    pub alpha: f64,
+    /// Individual results in execution order.
+    pub results: Vec<TestResult>,
+}
+
+impl BatteryReport {
+    /// Whether every test passed.
+    #[must_use]
+    pub fn all_pass(&self) -> bool {
+        self.results.iter().all(|r| r.passes(self.alpha))
+    }
+
+    /// Count of failing tests.
+    #[must_use]
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| !r.passes(self.alpha)).count()
+    }
+}
+
+impl fmt::Display for BatteryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "statistical battery (alpha = {}, accept {} < p < {}):",
+            self.alpha,
+            self.alpha,
+            1.0 - self.alpha
+        )?;
+        for r in &self.results {
+            writeln!(f, "  {r}  [{}]", r.verdict(self.alpha))?;
+        }
+        write!(
+            f,
+            "verdict: {}/{} passed",
+            self.results.len() - self.failures(),
+            self.results.len()
+        )
+    }
+}
+
+/// Scale of a battery run (trades runtime for power).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// ~10⁵ draws per test; seconds. Used by the test suite.
+    #[default]
+    Standard,
+    /// ~10⁷ draws per test; the `rng_battery` binary's default.
+    Thorough,
+}
+
+/// Runs the single-stream battery against `rng` at significance
+/// `alpha`.
+pub fn run_battery<R: UniformSource + ?Sized>(rng: &mut R, alpha: f64, scale: Scale) -> BatteryReport {
+    let k = match scale {
+        Scale::Standard => 1,
+        Scale::Thorough => 100,
+    };
+    let results = vec![
+        crate::uniformity::test_1d(rng, 100_000 * k, 128),
+        crate::uniformity::test_2d(rng, 100_000 * k, 16),
+        crate::uniformity::test_3d(rng, 100_000 * k, 8),
+        crate::ks::test_ks(rng, (100_000 * k).min(1_000_000)),
+        crate::runs::test_runs_up_down(rng, 100_000 * k),
+        crate::runs::test_runs_median(rng, 100_000 * k),
+        crate::gap::test_gap(rng, 0.0, 0.5, 50_000 * k, 12),
+        crate::poker::test_poker(rng, 50_000 * k, 5, 10),
+        crate::correlation::test_serial_correlation(rng, 100_000 * k, 1),
+        crate::correlation::test_serial_correlation(rng, 100_000 * k, 2),
+        crate::birthday::test_birthday_spacings(rng, 1_000 * k, 256, 1 << 22),
+        crate::collision::test_collisions(rng, 1_000 * k, 256, 1 << 20),
+        crate::maximum::test_maximum_of_t(rng, 50_000 * k, 5),
+        crate::permutation::test_permutations(rng, 60_000 * k, 4),
+    ];
+    BatteryReport { alpha, results }
+}
+
+/// Runs the cross-stream battery against a hierarchy at significance
+/// `alpha`.
+pub fn run_cross_stream_battery(
+    hierarchy: &StreamHierarchy,
+    alpha: f64,
+    scale: Scale,
+) -> BatteryReport {
+    let k = match scale {
+        Scale::Standard => 1,
+        Scale::Thorough => 10,
+    };
+    let results = vec![
+        crate::crossstream::test_cross_correlation(hierarchy, 0, 1, 100_000 * k),
+        crate::crossstream::test_cross_correlation(hierarchy, 0, 511, 100_000 * k),
+        crate::crossstream::test_cross_uniformity(hierarchy, 0, 1, 160_000 * k, 16),
+        crate::crossstream::test_grand_mean(hierarchy, 64, 2_000 * k),
+    ];
+    BatteryReport { alpha, results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn lcg128_passes_full_battery() {
+        // The paper's claim: the 128-bit generator withstands rigorous
+        // statistical testing.
+        let mut rng = Lcg128::new();
+        let report = run_battery(&mut rng, 0.001, Scale::Standard);
+        assert!(report.all_pass(), "{report}");
+    }
+
+    #[test]
+    fn cross_stream_battery_passes() {
+        let h = StreamHierarchy::default();
+        let report = run_cross_stream_battery(&h, 0.001, Scale::Standard);
+        assert!(report.all_pass(), "{report}");
+    }
+
+    #[test]
+    fn bad_generator_fails_battery() {
+        // Power check: a 16-bit ZX81-style LCG (u' = 75u + 74 mod
+        // 2^16 + 1) must NOT pass — otherwise the battery is vacuous.
+        struct Weak(u64);
+        impl UniformSource for Weak {
+            fn next_f64(&mut self) -> f64 {
+                self.0 = (75 * self.0 + 74) % 65537;
+                (self.0 % 65536) as f64 / 65536.0
+            }
+            fn next_u64(&mut self) -> u64 {
+                // Only 16 bits of entropy stretched to 64: every
+                // integer-based test sees the lattice.
+                let hi = (self.next_f64() * 65536.0) as u64;
+                (hi << 48) | (hi << 32) | (hi << 16) | hi
+            }
+        }
+        let report = run_battery(&mut Weak(1), 0.001, Scale::Standard);
+        assert!(
+            report.failures() >= 1,
+            "a 16-bit LCG must fail at least one test:\n{report}"
+        );
+    }
+
+    #[test]
+    fn report_rendering() {
+        let report = BatteryReport {
+            alpha: 0.01,
+            results: vec![
+                TestResult::new("a", 1.0, 0.5),
+                TestResult::new("b", 9.0, 0.0001),
+            ],
+        };
+        assert!(!report.all_pass());
+        assert_eq!(report.failures(), 1);
+        let text = report.to_string();
+        assert!(text.contains("PASS"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("1/2 passed"));
+    }
+
+    #[test]
+    fn two_sided_acceptance() {
+        assert!(TestResult::new("t", 0.0, 0.5).passes(0.01));
+        assert!(!TestResult::new("t", 0.0, 0.005).passes(0.01));
+        assert!(!TestResult::new("t", 0.0, 0.9999).passes(0.01));
+        assert_eq!(TestResult::new("t", 0.0, 0.5).verdict(0.01), Verdict::Pass);
+    }
+}

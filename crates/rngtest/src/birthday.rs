@@ -1,0 +1,127 @@
+//! Marsaglia's birthday-spacings test.
+//!
+//! Throw `m` "birthdays" uniformly into `n` days, sort them, and count
+//! duplicated spacings. The count is asymptotically
+//! `Poisson(λ = m³ / (4n))`; repeating the experiment and χ²-ing the
+//! observed counts against the Poisson pmf catches lattice structure
+//! that uniformity tests miss (the classic LCG killer).
+
+use parmonc_rng::UniformSource;
+
+use crate::battery::TestResult;
+use crate::special::chi2_sf;
+
+/// One birthday-spacings experiment: returns the number of values that
+/// appear more than once among the sorted spacings.
+pub fn duplicated_spacings<R: UniformSource + ?Sized>(rng: &mut R, m: usize, n_days: u64) -> u64 {
+    let mut birthdays: Vec<u64> = (0..m)
+        .map(|_| parmonc_rng::distributions::uniform_index(rng, n_days))
+        .collect();
+    birthdays.sort_unstable();
+    let mut spacings: Vec<u64> = birthdays.windows(2).map(|w| w[1] - w[0]).collect();
+    spacings.sort_unstable();
+    // Count elements that are duplicates of their predecessor.
+    spacings
+        .windows(2)
+        .filter(|w| w[0] == w[1])
+        .count() as u64
+}
+
+/// Runs the birthday-spacings test: `experiments` repetitions with `m`
+/// birthdays in `n_days` days, χ² against `Poisson(m³/4n)` with tail
+/// pooling.
+///
+/// # Panics
+///
+/// Panics unless `m ≥ 8`, `n_days ≥ m as u64` and `experiments > 0`.
+pub fn test_birthday_spacings<R: UniformSource + ?Sized>(
+    rng: &mut R,
+    experiments: usize,
+    m: usize,
+    n_days: u64,
+) -> TestResult {
+    assert!(m >= 8, "need a non-trivial number of birthdays");
+    assert!(n_days >= m as u64, "need more days than birthdays");
+    assert!(experiments > 0, "need experiments");
+
+    let lambda = (m as f64).powi(3) / (4.0 * n_days as f64);
+    // Bucket counts 0..=t, pooling the tail so expected >= ~5.
+    let t = (lambda + 4.0 * lambda.sqrt()).ceil() as usize + 1;
+    let mut counts = vec![0u64; t + 1];
+    for _ in 0..experiments {
+        let k = duplicated_spacings(rng, m, n_days) as usize;
+        counts[k.min(t)] += 1;
+    }
+
+    // Poisson pmf with pooled tail.
+    let mut stat = 0.0;
+    let mut df = 0.0f64;
+    let mut pmf = (-lambda).exp();
+    let mut tail = 1.0;
+    for (k, &c) in counts.iter().enumerate() {
+        let prob = if k < t {
+            let p = pmf;
+            tail -= p;
+            pmf *= lambda / (k as f64 + 1.0);
+            p
+        } else {
+            tail.max(0.0)
+        };
+        let expected = experiments as f64 * prob;
+        if expected >= 2.0 {
+            let d = c as f64 - expected;
+            stat += d * d / expected;
+            df += 1.0;
+        }
+    }
+    TestResult::new("birthday-spacings", stat, chi2_sf(stat, (df - 1.0).max(1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn mean_duplicates_matches_poisson_lambda() {
+        let mut rng = Lcg128::new();
+        let (m, n_days) = (512usize, 1u64 << 24);
+        let lambda = (m as f64).powi(3) / (4.0 * n_days as f64); // = 2.0
+        let trials = 2000;
+        let total: u64 = (0..trials)
+            .map(|_| duplicated_spacings(&mut rng, m, n_days))
+            .sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - lambda).abs() < 0.15, "mean {mean} vs λ {lambda}");
+    }
+
+    #[test]
+    fn lcg128_passes() {
+        let mut rng = Lcg128::new();
+        let r = test_birthday_spacings(&mut rng, 2000, 256, 1 << 22);
+        assert!(r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn coarse_lattice_fails() {
+        // A source whose u64 output only populates 8 coarse values:
+        // spacings collide constantly.
+        struct Coarse(Lcg128);
+        impl UniformSource for Coarse {
+            fn next_f64(&mut self) -> f64 {
+                self.0.next_f64()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64() & 0x7000_0000_0000_0000
+            }
+        }
+        let r = test_birthday_spacings(&mut Coarse(Lcg128::new()), 500, 64, 1 << 20);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more days than birthdays")]
+    fn rejects_overfull_year() {
+        let _ = test_birthday_spacings(&mut Lcg128::new(), 1, 100, 50);
+    }
+}

@@ -1,0 +1,97 @@
+//! The collision test (Knuth TAOCP §3.3.2I): throw `balls` balls into
+//! `urns` urns with `urns ≫ balls`; the number of collisions follows a
+//! known distribution with mean ≈ `balls²/(2·urns)`.
+
+use parmonc_rng::UniformSource;
+
+use crate::battery::TestResult;
+use crate::special::normal_two_sided;
+
+/// Counts collisions when throwing `balls` uniform indices into
+/// `urns` urns.
+pub fn count_collisions<R: UniformSource + ?Sized>(rng: &mut R, balls: usize, urns: u64) -> u64 {
+    let mut seen = std::collections::HashSet::with_capacity(balls);
+    let mut collisions = 0u64;
+    for _ in 0..balls {
+        let urn = parmonc_rng::distributions::uniform_index(rng, urns);
+        if !seen.insert(urn) {
+            collisions += 1;
+        }
+    }
+    collisions
+}
+
+/// Runs the collision test: `experiments` repetitions, z-test of the
+/// total collision count against its Poisson-approximate moments
+/// (`λ = balls²/(2·urns)` per experiment).
+///
+/// # Panics
+///
+/// Panics unless `balls ≥ 16`, `urns ≥ 16·balls` (the sparse regime the
+/// approximation needs) and `experiments > 0`.
+pub fn test_collisions<R: UniformSource + ?Sized>(
+    rng: &mut R,
+    experiments: usize,
+    balls: usize,
+    urns: u64,
+) -> TestResult {
+    assert!(balls >= 16, "need enough balls");
+    assert!(urns >= 16 * balls as u64, "need the sparse regime");
+    assert!(experiments > 0, "need experiments");
+
+    let lambda = (balls as f64) * (balls as f64) / (2.0 * urns as f64);
+    let total: u64 = (0..experiments)
+        .map(|_| count_collisions(rng, balls, urns))
+        .sum();
+    // Sum of experiments ~ Poisson(lambda) variables ≈ normal.
+    let mean = experiments as f64 * lambda;
+    let z = (total as f64 - mean) / mean.sqrt();
+    TestResult::new("collision", z, normal_two_sided(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn collision_mean_matches_birthday_formula() {
+        let mut rng = Lcg128::new();
+        let (balls, urns) = (512usize, 1u64 << 20);
+        let lambda = 512.0 * 512.0 / (2.0 * (1u64 << 20) as f64); // 0.125
+        let trials = 4000;
+        let total: u64 = (0..trials)
+            .map(|_| count_collisions(&mut rng, balls, urns))
+            .sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - lambda).abs() < 0.03, "mean {mean} vs {lambda}");
+    }
+
+    #[test]
+    fn lcg128_passes() {
+        let mut rng = Lcg128::new();
+        let r = test_collisions(&mut rng, 2000, 256, 1 << 20);
+        assert!(r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn few_distinct_values_fail() {
+        struct Coarse(Lcg128);
+        impl UniformSource for Coarse {
+            fn next_f64(&mut self) -> f64 {
+                self.0.next_f64()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64() & 0xFF00_0000_0000_0000 // 256 values
+            }
+        }
+        let r = test_collisions(&mut Coarse(Lcg128::new()), 100, 64, 1 << 16);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse regime")]
+    fn rejects_dense_configuration() {
+        let _ = test_collisions(&mut Lcg128::new(), 1, 100, 200);
+    }
+}

@@ -1,0 +1,92 @@
+//! Serial-correlation test: the lag-k sample autocorrelation of an
+//! i.i.d. uniform stream is asymptotically `N(0, 1/n)`.
+
+use parmonc_rng::UniformSource;
+
+use crate::battery::TestResult;
+use crate::special::normal_two_sided;
+
+/// Computes the lag-`k` sample autocorrelation of `sample`.
+///
+/// # Panics
+///
+/// Panics unless `0 < k < sample.len()`.
+#[must_use]
+pub fn autocorrelation(sample: &[f64], k: usize) -> f64 {
+    assert!(k > 0 && k < sample.len(), "need 0 < lag < n");
+    let n = sample.len();
+    let mean = sample.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        let d = sample[i] - mean;
+        den += d * d;
+        if i + k < n {
+            num += d * (sample[i + k] - mean);
+        }
+    }
+    num / den
+}
+
+/// Runs the lag-`k` serial correlation test on `n` outputs.
+pub fn test_serial_correlation<R: UniformSource + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+) -> TestResult {
+    let sample: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    let rho = autocorrelation(&sample, k);
+    let z = rho * (n as f64).sqrt();
+    TestResult::new("serial-correlation", z, normal_two_sided(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn lcg128_uncorrelated_at_small_lags() {
+        let mut rng = Lcg128::new();
+        for k in [1, 2, 3, 7] {
+            let r = test_serial_correlation(&mut rng, 100_000, k);
+            assert!(r.passes(0.001), "lag {k}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn moving_average_source_fails() {
+        // y_i = (u_i + u_{i-1})/2 has lag-1 autocorrelation 0.5.
+        struct Ma(Lcg128, f64);
+        impl UniformSource for Ma {
+            fn next_f64(&mut self) -> f64 {
+                let u = self.0.next_f64();
+                let y = 0.5 * (u + self.1);
+                self.1 = u;
+                y
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+        let r = test_serial_correlation(&mut Ma(Lcg128::new(), 0.5), 20_000, 1);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn autocorrelation_of_known_sequence() {
+        // Perfectly alternating sequence: lag-1 autocorrelation → −1.
+        let sample: Vec<f64> = (0..1000).map(|i| f64::from(i % 2)).collect();
+        let rho = autocorrelation(&sample, 1);
+        assert!(rho < -0.99, "rho {rho}");
+        // Lag-2 is +1.
+        let rho2 = autocorrelation(&sample, 2);
+        assert!(rho2 > 0.99, "rho2 {rho2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lag < n")]
+    fn rejects_zero_lag() {
+        let _ = autocorrelation(&[1.0, 2.0], 0);
+    }
+}

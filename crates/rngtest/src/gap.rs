@@ -1,0 +1,123 @@
+//! The gap test (Knuth TAOCP vol. 2, §3.3.2): lengths of gaps between
+//! visits to an interval `[lo, hi)` are geometric.
+
+use parmonc_rng::UniformSource;
+
+use crate::battery::TestResult;
+use crate::special::chi2_sf;
+
+/// Runs the gap test: observe `gaps` gap lengths for the marker
+/// interval `[lo, hi)`, bucket them into `0, 1, …, t-1, ≥t`, and χ²
+/// against the geometric distribution `P(gap = k) = p (1−p)^k`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ lo < hi ≤ 1` and `gaps > 0` and `max_gap ≥ 2`.
+pub fn test_gap<R: UniformSource + ?Sized>(
+    rng: &mut R,
+    lo: f64,
+    hi: f64,
+    gaps: usize,
+    max_gap: usize,
+) -> TestResult {
+    assert!(0.0 <= lo && lo < hi && hi <= 1.0, "need 0 <= lo < hi <= 1");
+    assert!(gaps > 0, "need at least one gap");
+    assert!(max_gap >= 2, "need at least two gap buckets");
+    let p = hi - lo;
+
+    let mut counts = vec![0u64; max_gap + 1]; // last bucket = >= max_gap
+    let mut observed = 0usize;
+    let mut current_gap = 0usize;
+    // Cap total draws to avoid pathological sources hanging the test.
+    let max_draws = gaps.saturating_mul(1000).max(1_000_000);
+    let mut draws = 0usize;
+    while observed < gaps && draws < max_draws {
+        let u = rng.next_f64();
+        draws += 1;
+        if u >= lo && u < hi {
+            counts[current_gap.min(max_gap)] += 1;
+            observed += 1;
+            current_gap = 0;
+        } else {
+            current_gap += 1;
+        }
+    }
+
+    // Expected geometric frequencies.
+    let total = observed as f64;
+    let mut stat = 0.0;
+    for (k, &c) in counts.iter().enumerate() {
+        let prob = if k < max_gap {
+            p * (1.0 - p).powi(k as i32)
+        } else {
+            (1.0 - p).powi(max_gap as i32)
+        };
+        let expected = total * prob;
+        if expected > 0.0 {
+            let d = c as f64 - expected;
+            stat += d * d / expected;
+        }
+    }
+    let df = max_gap as f64; // (max_gap + 1) cells − 1
+    TestResult::new("gap", stat, chi2_sf(stat, df))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn lcg128_passes() {
+        let mut rng = Lcg128::new();
+        let r = test_gap(&mut rng, 0.0, 0.5, 50_000, 10);
+        assert!(r.passes(0.001), "{r:?}");
+        let r = test_gap(&mut rng, 0.3, 0.7, 30_000, 8);
+        assert!(r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn periodic_source_fails() {
+        // A source that revisits the marker interval on a strict period
+        // has deterministic gap lengths.
+        struct Periodic(usize);
+        impl UniformSource for Periodic {
+            fn next_f64(&mut self) -> f64 {
+                self.0 = (self.0 + 1) % 4;
+                if self.0 == 0 {
+                    0.25 // in [0, 0.5)
+                } else {
+                    0.75
+                }
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        let r = test_gap(&mut Periodic(0), 0.0, 0.5, 5_000, 8);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn starved_source_terminates() {
+        // A source that never hits the marker interval must not hang.
+        struct Never;
+        impl UniformSource for Never {
+            fn next_f64(&mut self) -> f64 {
+                0.99
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        let r = test_gap(&mut Never, 0.0, 0.1, 1_000, 5);
+        // Zero observations: statistic is degenerate but finite.
+        assert!(r.statistic.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= lo < hi <= 1")]
+    fn rejects_bad_interval() {
+        let _ = test_gap(&mut Lcg128::new(), 0.7, 0.3, 10, 5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Kolmogorov–Smirnov test against the uniform distribution.
+
+use parmonc_rng::UniformSource;
+
+use crate::battery::TestResult;
+use crate::special::kolmogorov_sf;
+
+/// Computes the two-sided KS statistic `D_n = sup |F_n(x) − x|` for a
+/// sample against `U(0, 1)`.
+///
+/// # Panics
+///
+/// Panics if the sample is empty.
+#[must_use]
+pub fn ks_statistic_uniform(sample: &mut [f64]) -> f64 {
+    assert!(!sample.is_empty(), "KS needs a non-empty sample");
+    sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in a KS sample"));
+    let n = sample.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sample.iter().enumerate() {
+        let upper = (i + 1) as f64 / n - x;
+        let lower = x - i as f64 / n;
+        d = d.max(upper).max(lower);
+    }
+    d
+}
+
+/// Runs the KS test on `n` fresh outputs from `rng`; p-value from the
+/// asymptotic Kolmogorov distribution with the Stephens small-sample
+/// correction `(√n + 0.12 + 0.11/√n) · D`.
+pub fn test_ks<R: UniformSource + ?Sized>(rng: &mut R, n: usize) -> TestResult {
+    let mut sample: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    let d = ks_statistic_uniform(&mut sample);
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    TestResult::new("kolmogorov-smirnov", d, kolmogorov_sf(lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::baseline::XorShift64Star;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn perfect_grid_has_tiny_statistic() {
+        // Points at (i+0.5)/n have D = 0.5/n.
+        let n = 1000;
+        let mut sample: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic_uniform(&mut sample);
+        assert!((d - 0.5 / n as f64).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn lcg128_passes() {
+        let mut rng = Lcg128::new();
+        let r = test_ks(&mut rng, 100_000);
+        assert!(r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn xorshift_passes() {
+        let mut rng = XorShift64Star::new(99);
+        let r = test_ks(&mut rng, 50_000);
+        assert!(r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn shifted_distribution_fails() {
+        struct Shifted(Lcg128);
+        impl UniformSource for Shifted {
+            fn next_f64(&mut self) -> f64 {
+                0.05 + 0.95 * self.0.next_f64() // support [0.05, 1)
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+        let r = test_ks(&mut Shifted(Lcg128::new()), 20_000);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn statistic_is_scale_of_discrepancy() {
+        // All mass in [0, 0.5]: D ≈ 0.5.
+        let mut sample: Vec<f64> = (0..1000).map(|i| 0.5 * (i as f64 + 0.5) / 1000.0).collect();
+        let d = ks_statistic_uniform(&mut sample);
+        assert!((d - 0.5).abs() < 0.01, "d = {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_sample() {
+        let _ = ks_statistic_uniform(&mut []);
+    }
+}

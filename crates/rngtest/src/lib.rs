@@ -1,0 +1,51 @@
+//! Statistical verification of random number generators.
+//!
+//! The paper asserts its parallel generator "was verified on parallel
+//! processors using rigorous statistical testing" (Section 2.4, citing
+//! Marchenko's PaCT 2007 generator paper). This crate reproduces that
+//! verification as a reusable battery:
+//!
+//! * [`uniformity`] — χ² equidistribution in 1, 2 and 3 dimensions
+//!   (the *serial test* over successive tuples);
+//! * [`ks`] — Kolmogorov–Smirnov test against `U(0, 1)`;
+//! * [`runs`] — runs-up test with Knuth's covariance-corrected
+//!   statistic;
+//! * [`gap`] — gap test (lengths of gaps between visits to an
+//!   interval);
+//! * [`poker`] — poker (partition) test over digit groups;
+//! * [`correlation`] — lag-k serial correlation with the normal
+//!   approximation;
+//! * [`birthday`] — Marsaglia's birthday-spacings test;
+//! * [`collision`] — Knuth's collision (hashing) test;
+//! * [`maximum`] — the maximum-of-t test (`max^t` is uniform);
+//! * [`permutation`] — relative-order uniformity over `t!`
+//!   permutations;
+//! * [`crossstream`] — *inter-stream* independence: correlation and 2-D
+//!   uniformity across leapfrogged PARMONC streams, the property that
+//!   justifies formula (5)'s averaging of per-processor results;
+//! * [`battery`] — run everything against any
+//!   [`UniformSource`](parmonc_rng::UniformSource) and render a report.
+//!
+//! Each test returns a [`TestResult`] with a p-value; the convention is
+//! two-sided acceptance `alpha < p < 1 − alpha`. The test suite also
+//! checks the battery's *power*: a 16-bit LCG with known structure must
+//! fail it (no vacuous passes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod battery;
+pub mod birthday;
+pub mod collision;
+pub mod correlation;
+pub mod crossstream;
+pub mod gap;
+pub mod ks;
+pub mod maximum;
+pub mod permutation;
+pub mod poker;
+pub mod runs;
+pub mod special;
+pub mod uniformity;
+
+pub use battery::{run_battery, BatteryReport, TestResult, Verdict};

@@ -1,0 +1,94 @@
+//! The maximum-of-t test (Knuth TAOCP §3.3.2C): for i.i.d. `U(0,1)`,
+//! `max(u_1, …, u_t)^t` is again `U(0,1)`; a KS test on the transformed
+//! maxima checks the joint upper-tail behaviour of t-tuples.
+
+use parmonc_rng::UniformSource;
+
+use crate::battery::TestResult;
+use crate::ks::ks_statistic_uniform;
+use crate::special::kolmogorov_sf;
+
+/// Runs the maximum-of-t test on `groups` non-overlapping t-tuples.
+///
+/// # Panics
+///
+/// Panics unless `t ≥ 2` and `groups ≥ 10`.
+pub fn test_maximum_of_t<R: UniformSource + ?Sized>(
+    rng: &mut R,
+    groups: usize,
+    t: usize,
+) -> TestResult {
+    assert!(t >= 2, "need tuples of at least 2");
+    assert!(groups >= 10, "need enough groups");
+    let mut sample: Vec<f64> = (0..groups)
+        .map(|_| {
+            let mut max = 0.0f64;
+            for _ in 0..t {
+                max = max.max(rng.next_f64());
+            }
+            max.powi(t as i32)
+        })
+        .collect();
+    let d = ks_statistic_uniform(&mut sample);
+    let sqrt_n = (groups as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    TestResult::new("maximum-of-t", d, kolmogorov_sf(lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn lcg128_passes_for_various_t() {
+        let mut rng = Lcg128::new();
+        for t in [2, 5, 10] {
+            let r = test_maximum_of_t(&mut rng, 50_000, t);
+            assert!(r.passes(0.001), "t={t}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_upper_tail_fails() {
+        // A source that never emits values above 0.95: maxima are
+        // visibly depleted.
+        struct Capped(Lcg128);
+        impl UniformSource for Capped {
+            fn next_f64(&mut self) -> f64 {
+                self.0.next_f64() * 0.95
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+        let r = test_maximum_of_t(&mut Capped(Lcg128::new()), 10_000, 5);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn transformed_maxima_are_uniform_in_distribution() {
+        // Direct check of the theory: the empirical mean of max^t is
+        // ~0.5 for any t.
+        let mut rng = Lcg128::new();
+        for t in [3usize, 7] {
+            let mean: f64 = (0..50_000)
+                .map(|_| {
+                    let mut max = 0.0f64;
+                    for _ in 0..t {
+                        max = max.max(rng.next_f64());
+                    }
+                    max.powi(t as i32)
+                })
+                .sum::<f64>()
+                / 50_000.0;
+            assert!((mean - 0.5).abs() < 0.01, "t={t}: {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_singleton_tuples() {
+        let _ = test_maximum_of_t(&mut Lcg128::new(), 100, 1);
+    }
+}

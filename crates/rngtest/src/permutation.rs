@@ -1,0 +1,117 @@
+//! The permutation test (Knuth TAOCP §3.3.2E): the relative order of a
+//! t-tuple of continuous i.i.d. values is uniform over the `t!`
+//! permutations.
+
+use parmonc_rng::UniformSource;
+
+use crate::battery::TestResult;
+use crate::special::chi2_sf;
+use crate::uniformity::chi2_equal_cells;
+
+/// Maps a tuple to its permutation index in `0..t!` (Lehmer code).
+///
+/// # Panics
+///
+/// Panics if the tuple has fewer than 2 entries.
+#[must_use]
+pub fn permutation_index(tuple: &[f64]) -> usize {
+    assert!(tuple.len() >= 2, "need at least a pair");
+    let t = tuple.len();
+    let mut index = 0usize;
+    for i in 0..t {
+        let smaller_after = tuple[i + 1..].iter().filter(|x| **x < tuple[i]).count();
+        index = index * (t - i) + smaller_after;
+    }
+    index
+}
+
+/// Runs the permutation test over `groups` non-overlapping t-tuples:
+/// χ² of the permutation-index counts against uniform over `t!`.
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ t ≤ 7` (beyond 7, `t!` cells need huge samples)
+/// and `groups ≥ 10 · t!`.
+pub fn test_permutations<R: UniformSource + ?Sized>(
+    rng: &mut R,
+    groups: usize,
+    t: usize,
+) -> TestResult {
+    assert!((2..=7).contains(&t), "tuple size must be in 2..=7");
+    let factorial: usize = (1..=t).product();
+    assert!(groups >= 10 * factorial, "need >= 10 t! groups");
+
+    let mut counts = vec![0u64; factorial];
+    let mut tuple = vec![0.0f64; t];
+    for _ in 0..groups {
+        for x in tuple.iter_mut() {
+            *x = rng.next_f64();
+        }
+        counts[permutation_index(&tuple)] += 1;
+    }
+    let (stat, _) = chi2_equal_cells(&counts);
+    TestResult::new(
+        "permutation",
+        stat,
+        chi2_sf(stat, (factorial - 1) as f64),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn lehmer_codes_are_bijective() {
+        // All 3! = 6 orderings of distinct values map to distinct
+        // indices in 0..6.
+        let tuples = [
+            [1.0, 2.0, 3.0],
+            [1.0, 3.0, 2.0],
+            [2.0, 1.0, 3.0],
+            [2.0, 3.0, 1.0],
+            [3.0, 1.0, 2.0],
+            [3.0, 2.0, 1.0],
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for t in &tuples {
+            let idx = permutation_index(t);
+            assert!(idx < 6);
+            assert!(seen.insert(idx), "duplicate index {idx}");
+        }
+    }
+
+    #[test]
+    fn lcg128_passes() {
+        let mut rng = Lcg128::new();
+        for t in [3usize, 4, 5] {
+            let r = test_permutations(&mut rng, 60_000, t);
+            assert!(r.passes(0.001), "t={t}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn monotone_source_fails() {
+        // A slowly increasing sawtooth favours ascending permutations.
+        struct Ramp(f64, Lcg128);
+        impl UniformSource for Ramp {
+            fn next_f64(&mut self) -> f64 {
+                self.0 = (self.0 + 0.13) % 1.0;
+                // tiny jitter so values are distinct
+                (self.0 + self.1.next_f64() * 1e-6).min(0.999_999)
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.1.next_u64()
+            }
+        }
+        let r = test_permutations(&mut Ramp(0.0, Lcg128::new()), 10_000, 3);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=7")]
+    fn rejects_large_tuples() {
+        let _ = test_permutations(&mut Lcg128::new(), 100_000, 8);
+    }
+}

@@ -1,0 +1,150 @@
+//! The poker (partition) test: classify groups of `k` digits by the
+//! number of distinct values and χ² against the exact multinomial
+//! probabilities (Stirling numbers of the second kind).
+
+use parmonc_rng::UniformSource;
+
+use crate::battery::TestResult;
+use crate::special::chi2_sf;
+
+/// Stirling numbers of the second kind `S(n, k)` for small `n`.
+///
+/// # Panics
+///
+/// Panics if `k > n` (conventionally zero, but callers here never ask).
+#[must_use]
+pub fn stirling2(n: usize, k: usize) -> u64 {
+    assert!(k <= n, "S(n,k) needs k <= n");
+    if n == 0 && k == 0 {
+        return 1;
+    }
+    if k == 0 || k > n {
+        return 0;
+    }
+    // DP over the triangle.
+    let mut row = vec![0u64; n + 1];
+    row[0] = 1; // S(0,0)
+    for i in 1..=n {
+        let mut next = vec![0u64; n + 1];
+        for j in 1..=i {
+            next[j] = j as u64 * row[j] + row[j - 1];
+        }
+        row = next;
+    }
+    row[k]
+}
+
+/// Probability that a group of `k` digits base `d` contains exactly `r`
+/// distinct values: `d(d−1)…(d−r+1) · S(k, r) / d^k`.
+#[must_use]
+pub fn poker_probability(k: usize, d: u64, r: usize) -> f64 {
+    let mut falling = 1.0;
+    for i in 0..r {
+        falling *= (d - i as u64) as f64;
+    }
+    falling * stirling2(k, r) as f64 / (d as f64).powi(k as i32)
+}
+
+/// Runs the poker test on `groups` groups of `k` digits base `d`.
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ k ≤ 8`, `d ≥ 2` and `groups > 0`.
+pub fn test_poker<R: UniformSource + ?Sized>(
+    rng: &mut R,
+    groups: usize,
+    k: usize,
+    d: u64,
+) -> TestResult {
+    assert!((2..=8).contains(&k), "group size must be in 2..=8");
+    assert!(d >= 2, "need at least two digit values");
+    assert!(groups > 0, "need groups");
+
+    let mut counts = vec![0u64; k + 1]; // index = distinct values
+    let mut digits = vec![0u64; k];
+    for _ in 0..groups {
+        for digit in digits.iter_mut() {
+            *digit = parmonc_rng::distributions::uniform_index(rng, d);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &digit in &digits {
+            seen.insert(digit);
+        }
+        counts[seen.len()] += 1;
+    }
+
+    let total = groups as f64;
+    let mut stat = 0.0;
+    let mut df = 0.0f64;
+    for (r, &count) in counts.iter().enumerate().take(k.min(d as usize) + 1).skip(1) {
+        let expected = total * poker_probability(k, d, r);
+        if expected >= 1.0 {
+            let diff = count as f64 - expected;
+            stat += diff * diff / expected;
+            df += 1.0;
+        }
+    }
+    TestResult::new("poker", stat, chi2_sf(stat, (df - 1.0).max(1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn stirling_table() {
+        assert_eq!(stirling2(0, 0), 1);
+        assert_eq!(stirling2(4, 1), 1);
+        assert_eq!(stirling2(4, 2), 7);
+        assert_eq!(stirling2(4, 3), 6);
+        assert_eq!(stirling2(4, 4), 1);
+        assert_eq!(stirling2(5, 2), 15);
+        assert_eq!(stirling2(5, 3), 25);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for (k, d) in [(4usize, 10u64), (5, 8), (3, 2)] {
+            let total: f64 = (1..=k.min(d as usize))
+                .map(|r| poker_probability(k, d, r))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "k={k} d={d}: {total}");
+        }
+    }
+
+    #[test]
+    fn lcg128_passes() {
+        let mut rng = Lcg128::new();
+        let r = test_poker(&mut rng, 50_000, 5, 10);
+        assert!(r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn repeating_digits_fail() {
+        // A source whose u64 stream has only 2 values gives degenerate
+        // poker hands.
+        struct TwoValues(bool);
+        impl UniformSource for TwoValues {
+            fn next_f64(&mut self) -> f64 {
+                0.5
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0 = !self.0;
+                if self.0 {
+                    u64::MAX / 3
+                } else {
+                    u64::MAX / 3 * 2
+                }
+            }
+        }
+        let r = test_poker(&mut TwoValues(false), 10_000, 5, 10);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=8")]
+    fn rejects_huge_groups() {
+        let _ = test_poker(&mut Lcg128::new(), 10, 20, 10);
+    }
+}

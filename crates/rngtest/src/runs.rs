@@ -1,0 +1,141 @@
+//! Runs tests: runs up-and-down, and runs above/below the median.
+
+use parmonc_rng::UniformSource;
+
+use crate::battery::TestResult;
+use crate::special::normal_two_sided;
+
+/// Counts runs up-and-down in a sequence (a "run" is a maximal
+/// monotone stretch of the difference signs).
+///
+/// # Panics
+///
+/// Panics if the sample has fewer than 2 elements or contains equal
+/// neighbours (probability zero for continuous outputs).
+#[must_use]
+pub fn count_runs_up_down(sample: &[f64]) -> u64 {
+    assert!(sample.len() >= 2, "need at least two observations");
+    let mut runs = 1u64;
+    let mut prev_up = sample[1] > sample[0];
+    for w in sample.windows(2).skip(1) {
+        let up = w[1] > w[0];
+        if up != prev_up {
+            runs += 1;
+            prev_up = up;
+        }
+    }
+    runs
+}
+
+/// Runs up-and-down test: for i.i.d. continuous data the run count is
+/// asymptotically `N((2n−1)/3, (16n−29)/90)`.
+pub fn test_runs_up_down<R: UniformSource + ?Sized>(rng: &mut R, n: usize) -> TestResult {
+    let sample: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    let runs = count_runs_up_down(&sample) as f64;
+    let nf = n as f64;
+    let mean = (2.0 * nf - 1.0) / 3.0;
+    let var = (16.0 * nf - 29.0) / 90.0;
+    let z = (runs - mean) / var.sqrt();
+    TestResult::new("runs-up-down", z, normal_two_sided(z))
+}
+
+/// Runs above/below 0.5 test: with `n1` values above and `n2` below,
+/// the run count is asymptotically normal with mean
+/// `2 n1 n2 / n + 1`.
+pub fn test_runs_median<R: UniformSource + ?Sized>(rng: &mut R, n: usize) -> TestResult {
+    let bits: Vec<bool> = (0..n).map(|_| rng.next_f64() > 0.5).collect();
+    let n1 = bits.iter().filter(|b| **b).count() as f64;
+    let n2 = n as f64 - n1;
+    let mut runs = 1.0;
+    for w in bits.windows(2) {
+        if w[0] != w[1] {
+            runs += 1.0;
+        }
+    }
+    let nf = n as f64;
+    let mean = 2.0 * n1 * n2 / nf + 1.0;
+    let var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - nf) / (nf * nf * (nf - 1.0));
+    let z = (runs - mean) / var.sqrt();
+    TestResult::new("runs-median", z, normal_two_sided(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn run_counting_small_cases() {
+        // 1,3,2: up then down → 2 runs.
+        assert_eq!(count_runs_up_down(&[1.0, 3.0, 2.0]), 2);
+        // Monotone: 1 run.
+        assert_eq!(count_runs_up_down(&[1.0, 2.0, 3.0, 4.0]), 1);
+        // Alternating: n-1 runs.
+        assert_eq!(count_runs_up_down(&[1.0, 5.0, 2.0, 6.0, 3.0]), 4);
+    }
+
+    #[test]
+    fn lcg128_passes_both_runs_tests() {
+        let mut rng = Lcg128::new();
+        let r = test_runs_up_down(&mut rng, 100_000);
+        assert!(r.passes(0.001), "{r:?}");
+        let r = test_runs_median(&mut rng, 100_000);
+        assert!(r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn sawtooth_fails_runs_up_down() {
+        // Strictly alternating high/low values: far too many runs.
+        struct Sawtooth(bool);
+        impl UniformSource for Sawtooth {
+            fn next_f64(&mut self) -> f64 {
+                self.0 = !self.0;
+                if self.0 {
+                    0.9
+                } else {
+                    0.1
+                }
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        let r = test_runs_up_down(&mut Sawtooth(false), 10_000);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn trending_fails_runs_median() {
+        // Long blocks above/below 0.5: far too few runs.
+        struct Blocky {
+            inner: Lcg128,
+            phase: usize,
+        }
+        impl UniformSource for Blocky {
+            fn next_f64(&mut self) -> f64 {
+                self.phase += 1;
+                let u = self.inner.next_f64() * 0.5;
+                if (self.phase / 50).is_multiple_of(2) {
+                    u
+                } else {
+                    0.5 + u
+                }
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.inner.next_u64()
+            }
+        }
+        let mut rng = Blocky {
+            inner: Lcg128::new(),
+            phase: 0,
+        };
+        let r = test_runs_median(&mut rng, 20_000);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_short_sample() {
+        let _ = count_runs_up_down(&[1.0]);
+    }
+}

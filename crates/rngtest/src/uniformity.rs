@@ -1,0 +1,142 @@
+//! χ² equidistribution tests in 1, 2 and 3 dimensions (the serial
+//! test).
+
+use parmonc_rng::UniformSource;
+
+use crate::battery::TestResult;
+use crate::special::chi2_sf;
+
+/// χ² goodness-of-fit statistic and p-value for observed counts against
+/// equal expected frequencies.
+///
+/// # Panics
+///
+/// Panics if `counts.len() < 2` or the total count is zero.
+#[must_use]
+pub fn chi2_equal_cells(counts: &[u64]) -> (f64, f64) {
+    assert!(counts.len() >= 2, "need at least two cells");
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "need observations");
+    let expected = total as f64 / counts.len() as f64;
+    let stat: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let df = (counts.len() - 1) as f64;
+    (stat, chi2_sf(stat, df))
+}
+
+/// 1-D equidistribution: bin `n` outputs into `bins` equal cells.
+pub fn test_1d<R: UniformSource + ?Sized>(rng: &mut R, n: usize, bins: usize) -> TestResult {
+    let mut counts = vec![0u64; bins];
+    for _ in 0..n {
+        let u = rng.next_f64();
+        let k = ((u * bins as f64) as usize).min(bins - 1);
+        counts[k] += 1;
+    }
+    let (stat, p) = chi2_equal_cells(&counts);
+    TestResult::new("uniformity-1d", stat, p)
+}
+
+/// 2-D serial test: bin successive non-overlapping pairs into a
+/// `bins × bins` grid.
+pub fn test_2d<R: UniformSource + ?Sized>(rng: &mut R, pairs: usize, bins: usize) -> TestResult {
+    let mut counts = vec![0u64; bins * bins];
+    for _ in 0..pairs {
+        let x = ((rng.next_f64() * bins as f64) as usize).min(bins - 1);
+        let y = ((rng.next_f64() * bins as f64) as usize).min(bins - 1);
+        counts[x * bins + y] += 1;
+    }
+    let (stat, p) = chi2_equal_cells(&counts);
+    TestResult::new("serial-2d", stat, p)
+}
+
+/// 3-D serial test over successive non-overlapping triples.
+pub fn test_3d<R: UniformSource + ?Sized>(
+    rng: &mut R,
+    triples: usize,
+    bins: usize,
+) -> TestResult {
+    let mut counts = vec![0u64; bins * bins * bins];
+    for _ in 0..triples {
+        let x = ((rng.next_f64() * bins as f64) as usize).min(bins - 1);
+        let y = ((rng.next_f64() * bins as f64) as usize).min(bins - 1);
+        let z = ((rng.next_f64() * bins as f64) as usize).min(bins - 1);
+        counts[(x * bins + y) * bins + z] += 1;
+    }
+    let (stat, p) = chi2_equal_cells(&counts);
+    TestResult::new("serial-3d", stat, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::baseline::SplitMix64;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn lcg128_passes_all_dimensions() {
+        let mut rng = Lcg128::new();
+        let r1 = test_1d(&mut rng, 200_000, 100);
+        assert!(r1.passes(0.001), "{r1:?}");
+        let r2 = test_2d(&mut rng, 200_000, 16);
+        assert!(r2.passes(0.001), "{r2:?}");
+        let r3 = test_3d(&mut rng, 300_000, 8);
+        assert!(r3.passes(0.001), "{r3:?}");
+    }
+
+    #[test]
+    fn splitmix_passes() {
+        let mut rng = SplitMix64::new(12345);
+        assert!(test_1d(&mut rng, 100_000, 64).passes(0.001));
+        assert!(test_2d(&mut rng, 100_000, 10).passes(0.001));
+    }
+
+    #[test]
+    fn constant_source_fails() {
+        struct Constant;
+        impl UniformSource for Constant {
+            fn next_f64(&mut self) -> f64 {
+                0.42
+            }
+            fn next_u64(&mut self) -> u64 {
+                42
+            }
+        }
+        let r = test_1d(&mut Constant, 10_000, 10);
+        assert!(!r.passes(0.001), "constant stream must fail: {r:?}");
+    }
+
+    #[test]
+    fn biased_source_fails() {
+        // u^2 concentrates near 0.
+        struct Biased(Lcg128);
+        impl UniformSource for Biased {
+            fn next_f64(&mut self) -> f64 {
+                let u = self.0.next_f64();
+                u * u
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+        let r = test_1d(&mut Biased(Lcg128::new()), 50_000, 20);
+        assert!(!r.passes(0.001), "{r:?}");
+    }
+
+    #[test]
+    fn chi2_statistic_zero_for_perfect_counts() {
+        let (stat, p) = chi2_equal_cells(&[100, 100, 100, 100]);
+        assert_eq!(stat, 0.0);
+        assert!(p > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "two cells")]
+    fn rejects_single_cell() {
+        let _ = chi2_equal_cells(&[5]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Concrete SDE problems: the paper's performance-test diffusion and
+//! two extra processes for the examples.
+
+use crate::Sde;
+
+/// The 2-D linear SDE of the paper's performance test (Section 4):
+/// `dξ = C dt + D dw`, `D` diagonal.
+///
+/// The printed constants are partially unreadable in the available
+/// text (see DESIGN.md); this reproduction fixes `ξ(0) = (0, 0)ᵀ`,
+/// `C = (1.5, −0.5)ᵀ`, `D = diag(1.002, 1.002)` — the same structure,
+/// with the bonus that `Eξ(t) = ξ(0) + C·t` and
+/// `Var ξ_j(t) = D_jj² · t` are closed-form, so the estimator pipeline
+/// is validated against exact answers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperDiffusion {
+    c: [f64; 2],
+    d: [f64; 2],
+    x0: [f64; 2],
+}
+
+impl PaperDiffusion {
+    /// Creates the diffusion with explicit constants.
+    #[must_use]
+    pub fn new(x0: [f64; 2], c: [f64; 2], d: [f64; 2]) -> Self {
+        Self { c, d, x0 }
+    }
+
+    /// The drift vector `C`.
+    #[must_use]
+    pub fn drift_vector(&self) -> [f64; 2] {
+        self.c
+    }
+
+    /// The diffusion diagonal `diag(D)`.
+    #[must_use]
+    pub fn diffusion_vector(&self) -> [f64; 2] {
+        self.d
+    }
+
+    /// Exact mean `Eξ_j(t) = ξ_j(0) + C_j t`.
+    #[must_use]
+    pub fn exact_mean(&self, j: usize, t: f64) -> f64 {
+        self.x0[j] + self.c[j] * t
+    }
+
+    /// Exact variance `Var ξ_j(t) = D_jj² t`.
+    #[must_use]
+    pub fn exact_variance(&self, j: usize, t: f64) -> f64 {
+        self.d[j] * self.d[j] * t
+    }
+}
+
+impl Default for PaperDiffusion {
+    /// The reproduction's canonical constants (see DESIGN.md).
+    fn default() -> Self {
+        Self {
+            x0: [0.0, 0.0],
+            c: [1.5, -0.5],
+            d: [1.002, 1.002],
+        }
+    }
+}
+
+impl Sde<2> for PaperDiffusion {
+    fn drift(&self, _x: &[f64; 2]) -> [f64; 2] {
+        self.c
+    }
+
+    fn diffusion_diag(&self, _x: &[f64; 2]) -> [f64; 2] {
+        self.d
+    }
+
+    fn initial(&self) -> [f64; 2] {
+        self.x0
+    }
+}
+
+/// Two independent geometric Brownian motions
+/// `dS_j = μ_j S_j dt + σ_j S_j dw_j` — the financial-mathematics
+/// workload the paper's introduction motivates.
+///
+/// `E S_j(t) = S_j(0) e^{μ_j t}` gives a closed-form check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricBrownian {
+    /// Initial values.
+    pub s0: [f64; 2],
+    /// Drift rates μ.
+    pub mu: [f64; 2],
+    /// Volatilities σ.
+    pub sigma: [f64; 2],
+}
+
+impl GeometricBrownian {
+    /// Exact mean `E S_j(t)`.
+    #[must_use]
+    pub fn exact_mean(&self, j: usize, t: f64) -> f64 {
+        self.s0[j] * (self.mu[j] * t).exp()
+    }
+}
+
+impl Default for GeometricBrownian {
+    fn default() -> Self {
+        Self {
+            s0: [1.0, 1.0],
+            mu: [0.05, 0.02],
+            sigma: [0.2, 0.3],
+        }
+    }
+}
+
+impl Sde<2> for GeometricBrownian {
+    fn drift(&self, x: &[f64; 2]) -> [f64; 2] {
+        [self.mu[0] * x[0], self.mu[1] * x[1]]
+    }
+
+    fn diffusion_diag(&self, x: &[f64; 2]) -> [f64; 2] {
+        [self.sigma[0] * x[0], self.sigma[1] * x[1]]
+    }
+
+    fn initial(&self) -> [f64; 2] {
+        self.s0
+    }
+}
+
+/// A 2-D Ornstein–Uhlenbeck process
+/// `dX_j = θ_j (μ_j − X_j) dt + σ_j dw_j`, mean-reverting with
+/// `E X_j(t) = μ_j + (X_j(0) − μ_j) e^{−θ_j t}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrnsteinUhlenbeck {
+    /// Initial values.
+    pub x0: [f64; 2],
+    /// Mean-reversion rates θ.
+    pub theta: [f64; 2],
+    /// Long-run means μ.
+    pub mu: [f64; 2],
+    /// Volatilities σ.
+    pub sigma: [f64; 2],
+}
+
+impl OrnsteinUhlenbeck {
+    /// Exact mean `E X_j(t)`.
+    #[must_use]
+    pub fn exact_mean(&self, j: usize, t: f64) -> f64 {
+        self.mu[j] + (self.x0[j] - self.mu[j]) * (-self.theta[j] * t).exp()
+    }
+
+    /// Exact stationary variance `σ_j² / (2 θ_j)`.
+    #[must_use]
+    pub fn stationary_variance(&self, j: usize) -> f64 {
+        self.sigma[j] * self.sigma[j] / (2.0 * self.theta[j])
+    }
+}
+
+impl Default for OrnsteinUhlenbeck {
+    fn default() -> Self {
+        Self {
+            x0: [2.0, -2.0],
+            theta: [1.0, 0.5],
+            mu: [0.0, 1.0],
+            sigma: [0.5, 0.5],
+        }
+    }
+}
+
+impl Sde<2> for OrnsteinUhlenbeck {
+    fn drift(&self, x: &[f64; 2]) -> [f64; 2] {
+        [
+            self.theta[0] * (self.mu[0] - x[0]),
+            self.theta[1] * (self.mu[1] - x[1]),
+        ]
+    }
+
+    fn diffusion_diag(&self, _x: &[f64; 2]) -> [f64; 2] {
+        [self.sigma[0], self.sigma[1]]
+    }
+
+    fn initial(&self) -> [f64; 2] {
+        self.x0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euler::{EulerScheme, OutputGrid};
+    use parmonc_rng::Lcg128;
+    use parmonc_stats::MatrixAccumulator;
+
+    /// Runs `trials` trajectories and returns the matrix accumulator of
+    /// the realization matrices.
+    fn estimate<S: Sde<2> + Clone>(
+        sde: S,
+        h: f64,
+        grid: OutputGrid,
+        trials: usize,
+    ) -> MatrixAccumulator {
+        let scheme = EulerScheme::new(sde, h, grid);
+        let mut rng = Lcg128::new();
+        let mut acc = MatrixAccumulator::new(grid.points, 2).unwrap();
+        let mut out = vec![0.0; grid.points * 2];
+        for _ in 0..trials {
+            scheme.realize_into(&mut rng, &mut out);
+            acc.add(&out).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn paper_diffusion_matches_exact_mean_and_variance() {
+        let problem = PaperDiffusion::default();
+        let grid = OutputGrid::new(5, 20); // t_i = 0.02*20*i... h=1e-2 → t_i = 0.2 i
+        let acc = estimate(problem, 1e-2, grid, 8000);
+        let s = acc.summary();
+        for i in 0..5 {
+            let t = grid.time(i, 1e-2);
+            for j in 0..2 {
+                let mean = s.mean(i, j);
+                let exact = problem.exact_mean(j, t);
+                assert!(
+                    (mean - exact).abs() < 4.0 * (problem.exact_variance(j, t) / 8000.0).sqrt() + 1e-9,
+                    "t={t} j={j}: {mean} vs {exact}"
+                );
+                let var = s.variances[i * 2 + j];
+                let exact_var = problem.exact_variance(j, t);
+                assert!(
+                    (var - exact_var).abs() < 0.15 * exact_var + 0.01,
+                    "t={t} j={j}: var {var} vs {exact_var}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gbm_mean_grows_exponentially() {
+        let gbm = GeometricBrownian::default();
+        let grid = OutputGrid::new(4, 25); // h=1e-2 → t_i = 0.25 i
+        let acc = estimate(gbm, 1e-2, grid, 8000);
+        let s = acc.summary();
+        for i in 0..4 {
+            let t = grid.time(i, 1e-2);
+            for j in 0..2 {
+                let mean = s.mean(i, j);
+                let exact = gbm.exact_mean(j, t);
+                assert!(
+                    (mean - exact).abs() < 0.02 * exact + 0.02,
+                    "t={t} j={j}: {mean} vs {exact}"
+                );
+            }
+        }
+        // GBM stays positive.
+        assert!(s.means.iter().all(|m| *m > 0.0));
+    }
+
+    #[test]
+    fn ou_reverts_to_long_run_mean() {
+        let ou = OrnsteinUhlenbeck::default();
+        let grid = OutputGrid::new(3, 100); // h=1e-2 → t = 1, 2, 3
+        let acc = estimate(ou, 1e-2, grid, 4000);
+        let s = acc.summary();
+        for i in 0..3 {
+            let t = grid.time(i, 1e-2);
+            for j in 0..2 {
+                let mean = s.mean(i, j);
+                let exact = ou.exact_mean(j, t);
+                assert!((mean - exact).abs() < 0.06, "t={t} j={j}: {mean} vs {exact}");
+            }
+        }
+        // By t = 3 the first component is near its long-run mean 0.
+        assert!(s.mean(2, 0).abs() < 0.15);
+    }
+
+    #[test]
+    fn exact_formulas_self_consistency() {
+        let p = PaperDiffusion::default();
+        assert_eq!(p.exact_mean(0, 0.0), 0.0);
+        assert!((p.exact_mean(0, 2.0) - 3.0).abs() < 1e-12);
+        assert!((p.exact_mean(1, 2.0) + 1.0).abs() < 1e-12);
+        assert!((p.exact_variance(0, 1.0) - 1.002 * 1.002).abs() < 1e-12);
+
+        let ou = OrnsteinUhlenbeck::default();
+        assert!((ou.exact_mean(0, 0.0) - 2.0).abs() < 1e-12);
+        assert!((ou.stationary_variance(0) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_constants_respected() {
+        let p = PaperDiffusion::new([1.0, 2.0], [0.0, 0.0], [0.5, 0.25]);
+        assert_eq!(p.initial(), [1.0, 2.0]);
+        assert_eq!(p.exact_mean(1, 10.0), 2.0);
+        assert_eq!(p.diffusion_vector(), [0.5, 0.25]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Wiener process increments.
+//!
+//! A standard Wiener process `w(t)` has independent Gaussian increments
+//! `w(t+h) − w(t) ~ N(0, h)`. The Euler scheme consumes them as
+//! `√h · ε` with `ε ~ N(0, 1)`; this module also exposes a direct path
+//! sampler used by tests to validate increment statistics.
+
+use parmonc_rng::distributions::standard_normal_pair;
+use parmonc_rng::UniformSource;
+
+/// Samples one Wiener increment `Δw ~ N(0, h)`.
+///
+/// # Panics
+///
+/// Panics if `h` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::Lcg128;
+/// use parmonc_sde::wiener::increment;
+///
+/// let mut rng = Lcg128::new();
+/// let dw = increment(&mut rng, 0.01);
+/// assert!(dw.is_finite());
+/// ```
+pub fn increment<R: UniformSource + ?Sized>(rng: &mut R, h: f64) -> f64 {
+    assert!(h > 0.0, "step size must be positive, got {h}");
+    let (z, _) = standard_normal_pair(rng);
+    h.sqrt() * z
+}
+
+/// Samples a discrete Wiener path `w(0), w(h), …, w(n·h)` (length
+/// `n + 1`, starting at 0).
+///
+/// # Panics
+///
+/// Panics if `h` is not strictly positive.
+pub fn sample_path<R: UniformSource + ?Sized>(rng: &mut R, h: f64, n: usize) -> Vec<f64> {
+    assert!(h > 0.0, "step size must be positive, got {h}");
+    let sqrt_h = h.sqrt();
+    let mut path = Vec::with_capacity(n + 1);
+    let mut w = 0.0;
+    path.push(w);
+    let mut i = 0;
+    while i < n {
+        let (z1, z2) = standard_normal_pair(rng);
+        w += sqrt_h * z1;
+        path.push(w);
+        i += 1;
+        if i < n {
+            w += sqrt_h * z2;
+            path.push(w);
+            i += 1;
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn increments_have_variance_h() {
+        let mut rng = Lcg128::new();
+        let h = 0.25;
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| increment(&mut rng, h)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - h).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn path_starts_at_zero_with_right_length() {
+        let mut rng = Lcg128::new();
+        for n in [0, 1, 2, 7, 100] {
+            let p = sample_path(&mut rng, 0.1, n);
+            assert_eq!(p.len(), n + 1);
+            assert_eq!(p[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn path_endpoint_variance_is_t() {
+        // Var w(T) = T = n*h.
+        let mut rng = Lcg128::new();
+        let (h, n) = (0.01, 100); // T = 1
+        let ends: Vec<f64> = (0..20_000)
+            .map(|_| *sample_path(&mut rng, h, n).last().unwrap())
+            .collect();
+        let var = ends.iter().map(|x| x * x).sum::<f64>() / ends.len() as f64;
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn non_overlapping_increments_uncorrelated() {
+        let mut rng = Lcg128::new();
+        let mut cov = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let p = sample_path(&mut rng, 1.0, 2);
+            let d1 = p[1] - p[0];
+            let d2 = p[2] - p[1];
+            cov += d1 * d2;
+        }
+        cov /= n as f64;
+        assert!(cov.abs() < 0.02, "cov {cov}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_step() {
+        let _ = increment(&mut Lcg128::new(), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! A minimal deterministic event queue over virtual time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time, with a deterministic
+/// tie-breaking sequence number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E: PartialEq> Eq for Scheduled<E> {}
+
+impl<E: PartialEq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E: PartialEq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq). Virtual times are
+        // always finite (asserted on push).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("virtual times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap event queue: pops by ascending time, FIFO
+/// among equal times.
+#[derive(Debug)]
+pub struct EventQueue<E: PartialEq> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E: PartialEq> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite or is negative.
+    pub fn push(&mut self, time: f64, event: E) {
+        assert!(time.is_finite() && time >= 0.0, "bad virtual time {time}");
+        self.heap.push(Scheduled {
+            time,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Pops the earliest event, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E: PartialEq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(5.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((5.0, i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(2.5, ());
+        q.push(1.5, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad virtual time")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1);
+        q.push(4.0, 4);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        q.push(2.0, 2);
+        q.push(3.0, 3);
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+        assert_eq!(q.pop(), Some((4.0, 4)));
+    }
+}

@@ -1,0 +1,189 @@
+//! The paper's Figure 2, as data: `T_comp(L)` series for the four
+//! panels.
+//!
+//! Panel layout (read off the published graphs):
+//!
+//! * (a) `M ∈ {1, 8}`,        `L ∈ {200, 400, 600, 800, 1000}`
+//! * (b) `M ∈ {8, 16, 32}`,   `L ∈ {1500, 3000, 4500, 6000, 7500}`
+//! * (c) `M ∈ {32, 64, 128}`, `L ∈ {5000, 10000, 15000, 20000, 25000}`
+//! * (d) `M ∈ {128, 256, 512}`, `L ∈ {15000, 30000, 45000, 60000, 75000}`
+//!
+//! all under the strictest exchange conditions (send after every
+//! realization, τ_ζ ≈ 7.7 s, ≈ 120 KB per message).
+
+use crate::model::ClusterConfig;
+use crate::sim::simulate;
+
+/// One panel of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Panel {
+    /// Panel (a): M ∈ {1, 8}.
+    A,
+    /// Panel (b): M ∈ {8, 16, 32}.
+    B,
+    /// Panel (c): M ∈ {32, 64, 128}.
+    C,
+    /// Panel (d): M ∈ {128, 256, 512}.
+    D,
+}
+
+impl Panel {
+    /// All four panels in paper order.
+    pub const ALL: [Panel; 4] = [Panel::A, Panel::B, Panel::C, Panel::D];
+
+    /// The processor counts plotted in this panel.
+    #[must_use]
+    pub fn processor_counts(&self) -> &'static [usize] {
+        match self {
+            Panel::A => &[1, 8],
+            Panel::B => &[8, 16, 32],
+            Panel::C => &[32, 64, 128],
+            Panel::D => &[128, 256, 512],
+        }
+    }
+
+    /// The total-sample-volume axis of this panel.
+    #[must_use]
+    pub fn sample_volumes(&self) -> &'static [u64] {
+        match self {
+            Panel::A => &[200, 400, 600, 800, 1000],
+            Panel::B => &[1500, 3000, 4500, 6000, 7500],
+            Panel::C => &[5000, 10_000, 15_000, 20_000, 25_000],
+            Panel::D => &[15_000, 30_000, 45_000, 60_000, 75_000],
+        }
+    }
+
+    /// Panel letter.
+    #[must_use]
+    pub fn letter(&self) -> char {
+        match self {
+            Panel::A => 'a',
+            Panel::B => 'b',
+            Panel::C => 'c',
+            Panel::D => 'd',
+        }
+    }
+}
+
+/// One `T_comp(L)` series (a single curve of a panel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Processor count `M` of the curve.
+    pub processors: usize,
+    /// `(L, T_comp seconds)` points.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Simulates every curve of a panel on the paper-testbed model.
+#[must_use]
+pub fn panel_series(panel: Panel) -> Vec<Series> {
+    panel
+        .processor_counts()
+        .iter()
+        .map(|&m| {
+            let config = ClusterConfig::paper_testbed(m);
+            let points = panel
+                .sample_volumes()
+                .iter()
+                .map(|&l| (l, simulate(&config, l).t_comp))
+                .collect();
+            Series {
+                processors: m,
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Renders a panel as the table the paper's graph encodes: one row per
+/// `L`, one `T_comp` column per `M`.
+#[must_use]
+pub fn render_panel(panel: Panel) -> String {
+    let series = panel_series(panel);
+    let mut out = format!("Figure 2{}): T_comp(L) in seconds\n", panel.letter());
+    out.push_str("       L");
+    for s in &series {
+        out.push_str(&format!("  M={:<10}", s.processors));
+    }
+    out.push('\n');
+    for (row, &l) in panel.sample_volumes().iter().enumerate() {
+        out.push_str(&format!("{l:>8}"));
+        for s in &series {
+            out.push_str(&format!("  {:>12.1}", s.points[row].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_axes_match_paper() {
+        assert_eq!(Panel::A.processor_counts(), &[1, 8]);
+        assert_eq!(Panel::D.processor_counts(), &[128, 256, 512]);
+        assert_eq!(Panel::A.sample_volumes().len(), 5);
+        assert_eq!(*Panel::D.sample_volumes().last().unwrap(), 75_000);
+    }
+
+    #[test]
+    fn panel_a_magnitudes_match_figure() {
+        // The published graph: M=1 reaches ~7700 s at L=1000 (1000
+        // realizations × 7.7 s); M=8 reaches ~1000 s.
+        let series = panel_series(Panel::A);
+        let m1 = &series[0];
+        let m8 = &series[1];
+        let t1_at_1000 = m1.points[4].1;
+        let t8_at_1000 = m8.points[4].1;
+        assert!((t1_at_1000 - 7700.0).abs() < 50.0, "{t1_at_1000}");
+        assert!((t8_at_1000 - 7700.0 / 8.0).abs() < 50.0, "{t8_at_1000}");
+    }
+
+    #[test]
+    fn all_panels_show_linear_speedup() {
+        // "the speedup of parallelization is in direct proportion to
+        // the number of processors" — every adjacent curve pair in each
+        // panel must scale by the processor ratio within 7%.
+        for panel in Panel::ALL {
+            let series = panel_series(panel);
+            for w in series.windows(2) {
+                let (small, big) = (&w[0], &w[1]);
+                let ratio_m = big.processors as f64 / small.processors as f64;
+                for (i, &(l, t_small)) in small.points.iter().enumerate() {
+                    let t_big = big.points[i].1;
+                    let ratio_t = t_small / t_big;
+                    assert!(
+                        (ratio_t - ratio_m).abs() < 0.07 * ratio_m,
+                        "panel {} L={l}: M{}→M{} time ratio {ratio_t:.2} vs {ratio_m}",
+                        panel.letter(),
+                        small.processors,
+                        big.processors
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn curves_increase_in_l() {
+        for panel in Panel::ALL {
+            for s in panel_series(panel) {
+                for w in s.points.windows(2) {
+                    assert!(w[1].1 > w[0].1, "T_comp must grow with L");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_columns() {
+        let text = render_panel(Panel::B);
+        assert!(text.contains("M=8"));
+        assert!(text.contains("M=16"));
+        assert!(text.contains("M=32"));
+        assert!(text.contains("7500"));
+        assert_eq!(text.lines().count(), 2 + 5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Hybrid (CPU + GPU) cluster modelling — the paper's stated future
+//! direction ("it is desirable to adapt the PARMONC to modern powerful
+//! GPU computer clusters and, also, to hybrid computer clusters",
+//! Section 5).
+//!
+//! A hybrid machine is described as a list of [`NodeClass`]es with
+//! per-class speed factors (a GPU node simulating realizations tens of
+//! times faster than a CPU node). Two findings fall out of the model:
+//!
+//! 1. The paper's static *uniform* quota — optimal for homogeneous
+//!    clusters and requiring "no load balancing techniques" — collapses
+//!    on hybrid machines: every fast node idles while the slowest class
+//!    finishes its equal share.
+//! 2. Weighting the static quota by node speed
+//!    ([`QuotaMode::SpeedWeighted`](crate::model::QuotaMode)) restores
+//!    near-ideal efficiency with *no* dynamic load balancing, i.e. the
+//!    PARMONC design carries over to hybrid clusters with a one-line
+//!    scheduling change.
+
+use crate::model::{ClusterConfig, QuotaMode};
+use crate::sim::{simulate, SimResult};
+
+/// A class of identical nodes within a hybrid cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeClass {
+    /// How many processors of this class.
+    pub count: usize,
+    /// Speed factor relative to the baseline CPU node (a realization
+    /// takes `τ / speed`).
+    pub speed: f64,
+}
+
+impl NodeClass {
+    /// Creates a node class.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `count > 0` and `speed > 0`.
+    #[must_use]
+    pub fn new(count: usize, speed: f64) -> Self {
+        assert!(count > 0, "node class needs at least one node");
+        assert!(speed > 0.0, "speed factor must be positive");
+        Self { count, speed }
+    }
+}
+
+/// Builds a cluster configuration from node classes (rank 0 belongs to
+/// the *first* class).
+///
+/// # Panics
+///
+/// Panics if `classes` is empty.
+#[must_use]
+pub fn hybrid_config(classes: &[NodeClass], quota_mode: QuotaMode) -> ClusterConfig {
+    assert!(!classes.is_empty(), "need at least one node class");
+    let mut speeds = Vec::new();
+    for class in classes {
+        speeds.extend(std::iter::repeat_n(class.speed, class.count));
+    }
+    let mut config = ClusterConfig::paper_testbed(speeds.len());
+    config.speeds = speeds;
+    config.quota_mode = quota_mode;
+    config
+}
+
+/// Outcome of the uniform-vs-weighted comparison on one hybrid
+/// machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridComparison {
+    /// Result with the paper's uniform quota.
+    pub uniform: SimResult,
+    /// Result with speed-weighted quotas.
+    pub weighted: SimResult,
+    /// Aggregate cluster speed (sum of factors) — the ideal-speedup
+    /// denominator.
+    pub total_speed: f64,
+    /// `T_comp` of a single baseline node, for speedup computation.
+    pub t_serial: f64,
+}
+
+impl HybridComparison {
+    /// Speedup of the uniform-quota run over one baseline node.
+    #[must_use]
+    pub fn uniform_speedup(&self) -> f64 {
+        self.t_serial / self.uniform.t_comp
+    }
+
+    /// Speedup of the weighted-quota run.
+    #[must_use]
+    pub fn weighted_speedup(&self) -> f64 {
+        self.t_serial / self.weighted.t_comp
+    }
+}
+
+/// Runs the comparison: `total` realizations on the hybrid machine
+/// described by `classes`, under both quota modes.
+#[must_use]
+pub fn compare_quota_modes(classes: &[NodeClass], total: u64) -> HybridComparison {
+    let uniform = simulate(&hybrid_config(classes, QuotaMode::Uniform), total);
+    let weighted = simulate(&hybrid_config(classes, QuotaMode::SpeedWeighted), total);
+    let total_speed = classes.iter().map(|c| c.count as f64 * c.speed).sum();
+    let t_serial = simulate(&ClusterConfig::paper_testbed(1), total).t_comp;
+    HybridComparison {
+        uniform,
+        weighted,
+        total_speed,
+        t_serial,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 8 CPU nodes + 8 GPU nodes 40x faster.
+    fn cpu_gpu() -> Vec<NodeClass> {
+        vec![NodeClass::new(8, 1.0), NodeClass::new(8, 40.0)]
+    }
+
+    #[test]
+    fn hybrid_config_expands_classes() {
+        let c = hybrid_config(&cpu_gpu(), QuotaMode::Uniform);
+        assert_eq!(c.processors, 16);
+        assert_eq!(c.speeds[..8], [1.0; 8]);
+        assert_eq!(c.speeds[8..], [40.0; 8]);
+        c.validate();
+    }
+
+    #[test]
+    fn weighted_quotas_sum_and_favour_fast_nodes() {
+        let c = hybrid_config(&cpu_gpu(), QuotaMode::SpeedWeighted);
+        let total = 32_801u64;
+        let sum: u64 = (0..16).map(|m| c.quota(m, total)).sum();
+        assert_eq!(sum, total);
+        // A GPU node gets ~40x the realizations of a CPU node.
+        let cpu = c.quota(0, total) as f64;
+        let gpu = c.quota(8, total) as f64;
+        assert!((gpu / cpu - 40.0).abs() < 1.0, "cpu {cpu} gpu {gpu}");
+    }
+
+    #[test]
+    fn uniform_quota_wastes_the_gpus() {
+        let cmp = compare_quota_modes(&cpu_gpu(), 32_800);
+        // Ideal speedup = total speed = 8 + 320 = 328. Uniform split
+        // is limited by the CPU nodes finishing L/16 realizations:
+        // speedup ≈ 16·harmonic... in fact ≈ M·(avg rate limited by
+        // slowest) = 16.
+        assert!(
+            cmp.uniform_speedup() < 0.1 * cmp.total_speed,
+            "uniform speedup {:.1} vs ideal {:.0}",
+            cmp.uniform_speedup(),
+            cmp.total_speed
+        );
+        // Weighted restores ≥ 90% of the ideal.
+        assert!(
+            cmp.weighted_speedup() > 0.9 * cmp.total_speed,
+            "weighted speedup {:.1} vs ideal {:.0}",
+            cmp.weighted_speedup(),
+            cmp.total_speed
+        );
+    }
+
+    #[test]
+    fn homogeneous_cluster_is_indifferent_to_quota_mode() {
+        let classes = vec![NodeClass::new(16, 1.0)];
+        let cmp = compare_quota_modes(&classes, 16_000);
+        let ratio = cmp.uniform.t_comp / cmp.weighted.t_comp;
+        assert!((ratio - 1.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn estimator_volume_is_preserved_either_way() {
+        for mode in [QuotaMode::Uniform, QuotaMode::SpeedWeighted] {
+            let c = hybrid_config(&cpu_gpu(), mode);
+            let r = simulate(&c, 10_007);
+            assert_eq!(r.realizations, 10_007);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node class")]
+    fn rejects_empty_cluster() {
+        let _ = hybrid_config(&[], QuotaMode::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed factor")]
+    fn rejects_zero_speed() {
+        let _ = NodeClass::new(1, 0.0);
+    }
+}

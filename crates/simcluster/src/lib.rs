@@ -1,0 +1,38 @@
+//! A discrete-event cluster simulator for the PARMONC performance
+//! experiments.
+//!
+//! The paper's evaluation (Section 4, Fig. 2) measures the wall-clock
+//! time `T_comp(L)` to simulate `L` realizations of the 2-D diffusion
+//! problem on `M ∈ {1, 8, 16, 32, 64, 128, 256, 512}` processors of the
+//! Siberian Supercomputer Center, under the *strictest* exchange
+//! conditions: every processor sends its subtotals to processor 0
+//! after *every* realization (τ_ζ ≈ 7.7 s per realization, ≈ 120 KB per
+//! message). We cannot requisition 512 physical processors, so this
+//! crate models the experiment in virtual time (DESIGN.md substitution
+//! table):
+//!
+//! * each processor is a serial resource that alternates between
+//!   simulating realizations (duration `τ / speed_m`) and — for
+//!   processor 0 — receiving, averaging, and saving;
+//! * the network charges `latency + bytes / bandwidth` per message;
+//! * processor 0 interleaves message processing between its own
+//!   realizations, exactly like the real runner in `parmonc::runner`.
+//!
+//! `T_comp(L)` is read off when processor 0 has folded in every
+//! worker's final message and saved — the same instant the paper
+//! measures. The [`figure2`] module packages the paper's panels; the
+//! model also exposes the knobs (tiny τ, slow links, heterogeneous
+//! processors) used for the ablations in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod event;
+pub mod figure2;
+pub mod hybrid;
+pub mod model;
+pub mod sim;
+pub mod trace;
+
+pub use model::{ClusterConfig, ExchangePolicy, QuotaMode};
+pub use sim::{simulate, SimResult};

@@ -1,0 +1,224 @@
+//! The cluster model: processors, network, collector costs.
+
+/// How the total sample volume is split into per-processor quotas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuotaMode {
+    /// Equal split (the paper's static distribution; optimal when all
+    /// processors are identical, Section 2.2).
+    #[default]
+    Uniform,
+    /// Split proportionally to processor speed — the extension needed
+    /// for the "GPU and hybrid clusters" the paper's conclusion points
+    /// to, where node speeds differ by orders of magnitude.
+    SpeedWeighted,
+}
+
+/// When workers ship subtotals (mirrors `parmonc::Exchange`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExchangePolicy {
+    /// After every realization — the paper's "strictest conditions".
+    EveryRealization,
+    /// Every `period` virtual seconds of the worker's clock
+    /// (the `perpass` production mode).
+    Periodic {
+        /// The pass period in virtual seconds.
+        period: f64,
+    },
+}
+
+/// Configuration of a simulated cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of processors `M` (processor 0 is also the collector).
+    pub processors: usize,
+    /// Mean compute time per realization τ_ζ, seconds (paper: 7.7 s).
+    pub realization_seconds: f64,
+    /// Per-processor speed factors (duration = τ / speed). Empty means
+    /// homogeneous speed 1.0; otherwise must have `processors` entries.
+    pub speeds: Vec<f64>,
+    /// Bytes per subtotal message (paper: ≈ 120 KB).
+    pub message_bytes: f64,
+    /// Network latency per message, seconds.
+    pub latency_seconds: f64,
+    /// Network bandwidth, bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Collector CPU cost to receive + average one message, seconds.
+    pub receive_cost_seconds: f64,
+    /// Collector CPU cost of one periodic save of the result files,
+    /// seconds.
+    pub save_cost_seconds: f64,
+    /// Exchange policy.
+    pub exchange: ExchangePolicy,
+    /// Quota distribution mode.
+    pub quota_mode: QuotaMode,
+}
+
+impl ClusterConfig {
+    /// A model of the paper's testbed: τ = 7.7 s, 120 KB messages over
+    /// a gigabit-class interconnect, millisecond-scale collector costs,
+    /// exchange after every realization.
+    #[must_use]
+    pub fn paper_testbed(processors: usize) -> Self {
+        Self {
+            processors,
+            realization_seconds: 7.7,
+            speeds: Vec::new(),
+            message_bytes: 120_000.0,
+            latency_seconds: 50e-6,
+            bandwidth_bytes_per_sec: 125e6, // ~1 Gbit/s
+            // Folding one 120 KB subtotal (memcpy + 2000-entry merge)
+            // costs ~0.2 ms of collector CPU; a periodic save ~5 ms.
+            receive_cost_seconds: 0.2e-3,
+            save_cost_seconds: 5e-3,
+            exchange: ExchangePolicy::EveryRealization,
+            quota_mode: QuotaMode::Uniform,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero processors, non-positive τ/bandwidth, negative
+    /// costs, or a `speeds` vector of the wrong length / with
+    /// non-positive entries.
+    pub fn validate(&self) {
+        assert!(self.processors > 0, "need at least one processor");
+        assert!(
+            self.realization_seconds > 0.0,
+            "realization time must be positive"
+        );
+        assert!(
+            self.bandwidth_bytes_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        assert!(self.message_bytes >= 0.0, "message size must be non-negative");
+        assert!(self.latency_seconds >= 0.0, "latency must be non-negative");
+        assert!(
+            self.receive_cost_seconds >= 0.0 && self.save_cost_seconds >= 0.0,
+            "collector costs must be non-negative"
+        );
+        if !self.speeds.is_empty() {
+            assert_eq!(
+                self.speeds.len(),
+                self.processors,
+                "speeds must have one entry per processor"
+            );
+            assert!(
+                self.speeds.iter().all(|s| *s > 0.0),
+                "speed factors must be positive"
+            );
+        }
+        if let ExchangePolicy::Periodic { period } = self.exchange {
+            assert!(period > 0.0, "pass period must be positive");
+        }
+    }
+
+    /// The speed factor of processor `m`.
+    #[must_use]
+    pub fn speed(&self, m: usize) -> f64 {
+        if self.speeds.is_empty() {
+            1.0
+        } else {
+            self.speeds[m]
+        }
+    }
+
+    /// Duration of one realization on processor `m`.
+    #[must_use]
+    pub fn realization_duration(&self, m: usize) -> f64 {
+        self.realization_seconds / self.speed(m)
+    }
+
+    /// Transfer time of one subtotal message.
+    #[must_use]
+    pub fn transfer_seconds(&self) -> f64 {
+        self.latency_seconds + self.message_bytes / self.bandwidth_bytes_per_sec
+    }
+
+    /// Per-worker realization quota.
+    ///
+    /// [`QuotaMode::Uniform`]: the runner's rule, `L / M` plus one of
+    /// the first `L mod M` remainders. [`QuotaMode::SpeedWeighted`]:
+    /// proportional to `speed(m)`, with the rounding remainder assigned
+    /// to the lowest ranks; quotas always sum exactly to `total`.
+    #[must_use]
+    pub fn quota(&self, m: usize, total: u64) -> u64 {
+        match self.quota_mode {
+            QuotaMode::Uniform => {
+                let procs = self.processors as u64;
+                total / procs + u64::from((m as u64) < total % procs)
+            }
+            QuotaMode::SpeedWeighted => {
+                let total_speed: f64 = (0..self.processors).map(|i| self.speed(i)).sum();
+                // Floor shares, then distribute the remainder.
+                let share =
+                    |i: usize| (total as f64 * self.speed(i) / total_speed).floor() as u64;
+                let assigned: u64 = (0..self.processors).map(share).sum();
+                let remainder = total - assigned;
+                share(m) + u64::from((m as u64) < remainder)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_numbers() {
+        let c = ClusterConfig::paper_testbed(8);
+        c.validate();
+        assert_eq!(c.processors, 8);
+        assert_eq!(c.realization_seconds, 7.7);
+        // 120 KB over 1 Gbit/s ≈ 0.96 ms + 50 µs latency ≈ 1 ms.
+        let t = c.transfer_seconds();
+        assert!(t > 0.5e-3 && t < 2e-3, "transfer {t}");
+        // Exchange cost per realization (~3 ms) << τ (7.7 s): the
+        // precondition for the paper's linear-speedup claim.
+        assert!(t + c.receive_cost_seconds < 0.01 * c.realization_seconds);
+    }
+
+    #[test]
+    fn quotas_sum_to_total() {
+        let c = ClusterConfig::paper_testbed(8);
+        for total in [1u64, 7, 8, 1000, 1003] {
+            let sum: u64 = (0..8).map(|m| c.quota(m, total)).sum();
+            assert_eq!(sum, total);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_speeds() {
+        let mut c = ClusterConfig::paper_testbed(2);
+        c.speeds = vec![1.0, 2.0];
+        c.validate();
+        assert_eq!(c.realization_duration(0), 7.7);
+        assert_eq!(c.realization_duration(1), 3.85);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per processor")]
+    fn wrong_speed_count_rejected() {
+        let mut c = ClusterConfig::paper_testbed(4);
+        c.speeds = vec![1.0];
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let mut c = ClusterConfig::paper_testbed(1);
+        c.processors = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pass period")]
+    fn zero_period_rejected() {
+        let mut c = ClusterConfig::paper_testbed(2);
+        c.exchange = ExchangePolicy::Periodic { period: 0.0 };
+        c.validate();
+    }
+}

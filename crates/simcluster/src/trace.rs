@@ -1,0 +1,245 @@
+//! Event traces of simulated runs: a Gantt-style record of what every
+//! processor was doing when, plus derived utilization statistics.
+//!
+//! The plain [`simulate`](crate::sim::simulate) returns only the
+//! aggregate `T_comp`; [`simulate_traced`] additionally records the
+//! collector's activity segments and per-worker completion profile, so
+//! the EXPERIMENTS.md ablations can show *why* a configuration is slow
+//! (collector saturation vs straggling workers) rather than just that
+//! it is.
+
+use crate::event::EventQueue;
+use crate::model::ClusterConfig;
+use crate::sim::SimResult;
+
+/// What processor 0 was doing during a trace segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectorActivity {
+    /// Simulating its own realizations.
+    Computing,
+    /// Receiving and folding worker subtotals.
+    Receiving,
+    /// Averaging and writing a save-point.
+    Saving,
+    /// Idle, waiting for messages.
+    Waiting,
+}
+
+/// One contiguous activity segment on processor 0's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Segment start, virtual seconds.
+    pub start: f64,
+    /// Segment end, virtual seconds.
+    pub end: f64,
+    /// What was happening.
+    pub activity: CollectorActivity,
+}
+
+impl Segment {
+    /// Segment duration.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A traced simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedRun {
+    /// The aggregate result (identical to [`crate::sim::simulate`]).
+    pub result: SimResult,
+    /// Processor 0's timeline, in order, gap-free from 0 to `t_comp`.
+    pub collector_timeline: Vec<Segment>,
+}
+
+impl TracedRun {
+    /// Total time processor 0 spent in the given activity.
+    #[must_use]
+    pub fn time_in(&self, activity: CollectorActivity) -> f64 {
+        self.collector_timeline
+            .iter()
+            .filter(|s| s.activity == activity)
+            .map(Segment::duration)
+            .sum()
+    }
+
+    /// Fraction of the run processor 0 spent computing realizations
+    /// (its "useful" utilization; the paper's optimality argument is
+    /// that this stays ≈ 1).
+    #[must_use]
+    pub fn compute_utilization(&self) -> f64 {
+        self.time_in(CollectorActivity::Computing) / self.result.t_comp
+    }
+}
+
+/// Like [`crate::sim::simulate`], but records processor 0's timeline.
+///
+/// # Panics
+///
+/// Panics under the same conditions as `simulate`.
+#[must_use]
+pub fn simulate_traced(config: &ClusterConfig, total: u64) -> TracedRun {
+    config.validate();
+    assert!(total > 0, "need at least one realization");
+
+    let m = config.processors;
+    let mut worker_finish = vec![0.0f64; m];
+    let mut messages = 0u64;
+    let mut arrivals: EventQueue<usize> = EventQueue::new();
+    for (rank, finish) in worker_finish.iter_mut().enumerate().skip(1) {
+        let quota = config.quota(rank, total);
+        *finish = quota as f64 * config.realization_duration(rank);
+        for t in crate::sim::worker_arrival_times(config, rank, quota) {
+            arrivals.push(t, rank);
+            messages += 1;
+        }
+    }
+
+    let q0 = config.quota(0, total);
+    let d0 = config.realization_duration(0);
+    let mut t = 0.0f64;
+    let mut overhead = 0.0f64;
+    let mut timeline: Vec<Segment> = Vec::new();
+    let push = |timeline: &mut Vec<Segment>, start: f64, end: f64, activity| {
+        if end > start {
+            timeline.push(Segment {
+                start,
+                end,
+                activity,
+            });
+        }
+    };
+
+    let drain = |t: &mut f64,
+                     overhead: &mut f64,
+                     timeline: &mut Vec<Segment>,
+                     arrivals: &mut EventQueue<usize>| {
+        let mut drained = false;
+        let recv_start = *t;
+        while arrivals.peek_time().is_some_and(|a| a <= *t) {
+            arrivals.pop();
+            *t += config.receive_cost_seconds;
+            *overhead += config.receive_cost_seconds;
+            drained = true;
+        }
+        if drained {
+            push(timeline, recv_start, *t, CollectorActivity::Receiving);
+            let save_start = *t;
+            *t += config.save_cost_seconds;
+            *overhead += config.save_cost_seconds;
+            push(timeline, save_start, *t, CollectorActivity::Saving);
+        }
+    };
+
+    for _ in 0..q0 {
+        let start = t;
+        t += d0;
+        push(&mut timeline, start, t, CollectorActivity::Computing);
+        drain(&mut t, &mut overhead, &mut timeline, &mut arrivals);
+    }
+    worker_finish[0] = t;
+
+    while let Some(next) = arrivals.peek_time() {
+        if next > t {
+            push(&mut timeline, t, next, CollectorActivity::Waiting);
+            t = next;
+        }
+        drain(&mut t, &mut overhead, &mut timeline, &mut arrivals);
+    }
+
+    let save_start = t;
+    t += config.save_cost_seconds;
+    overhead += config.save_cost_seconds;
+    push(&mut timeline, save_start, t, CollectorActivity::Saving);
+
+    TracedRun {
+        result: SimResult {
+            t_comp: t,
+            messages,
+            collector_overhead: overhead,
+            worker_finish,
+            realizations: total,
+        },
+        collector_timeline: timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+
+    #[test]
+    fn traced_result_matches_plain_simulate() {
+        for m in [1usize, 4, 16, 64] {
+            let c = ClusterConfig::paper_testbed(m);
+            let plain = simulate(&c, 512);
+            let traced = simulate_traced(&c, 512);
+            assert_eq!(traced.result, plain, "M = {m}");
+        }
+    }
+
+    #[test]
+    fn timeline_is_gap_free_and_ordered() {
+        let c = ClusterConfig::paper_testbed(8);
+        let traced = simulate_traced(&c, 400);
+        let mut cursor = 0.0;
+        for seg in &traced.collector_timeline {
+            assert!((seg.start - cursor).abs() < 1e-9, "gap at {cursor}");
+            assert!(seg.end > seg.start);
+            cursor = seg.end;
+        }
+        assert!((cursor - traced.result.t_comp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_times_account_for_everything() {
+        let c = ClusterConfig::paper_testbed(16);
+        let traced = simulate_traced(&c, 800);
+        let total: f64 = [
+            CollectorActivity::Computing,
+            CollectorActivity::Receiving,
+            CollectorActivity::Saving,
+            CollectorActivity::Waiting,
+        ]
+        .into_iter()
+        .map(|a| traced.time_in(a))
+        .sum();
+        assert!((total - traced.result.t_comp).abs() < 1e-6);
+    }
+
+    #[test]
+    fn healthy_testbed_has_high_compute_utilization() {
+        // tau >> per-message costs: the collector mostly computes.
+        let c = ClusterConfig::paper_testbed(64);
+        let traced = simulate_traced(&c, 6_400);
+        assert!(
+            traced.compute_utilization() > 0.95,
+            "utilization {}",
+            traced.compute_utilization()
+        );
+    }
+
+    #[test]
+    fn tiny_tau_shows_collector_saturation_in_the_trace() {
+        // The ablation regime: the trace must reveal receive-dominance.
+        let mut c = ClusterConfig::paper_testbed(64);
+        c.realization_seconds = 0.0008;
+        let traced = simulate_traced(&c, 64_000);
+        let receiving = traced.time_in(CollectorActivity::Receiving);
+        let computing = traced.time_in(CollectorActivity::Computing);
+        assert!(
+            receiving > 2.0 * computing,
+            "receive {receiving} vs compute {computing}"
+        );
+    }
+
+    #[test]
+    fn single_processor_has_no_receive_or_wait_segments() {
+        let c = ClusterConfig::paper_testbed(1);
+        let traced = simulate_traced(&c, 100);
+        assert_eq!(traced.time_in(CollectorActivity::Receiving), 0.0);
+        assert_eq!(traced.time_in(CollectorActivity::Waiting), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type of the statistics layer.
+
+use core::fmt;
+
+/// Errors produced by the statistics layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A matrix accumulator was given a realization of the wrong shape.
+    ShapeMismatch {
+        /// Expected `(nrow, ncol)`.
+        expected: (usize, usize),
+        /// Received length (realizations arrive as flat row-major
+        /// slices).
+        got_len: usize,
+    },
+    /// Two accumulators with different shapes were merged.
+    MergeShapeMismatch {
+        /// Shape of the left accumulator.
+        left: (usize, usize),
+        /// Shape of the right accumulator.
+        right: (usize, usize),
+    },
+    /// A matrix dimension was zero.
+    EmptyShape,
+    /// A non-finite realization value was observed.
+    NonFinite {
+        /// Row-major flat index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { expected, got_len } => write!(
+                f,
+                "realization has {got_len} entries but the accumulator expects {}x{} = {}",
+                expected.0,
+                expected.1,
+                expected.0 * expected.1
+            ),
+            Self::MergeShapeMismatch { left, right } => write!(
+                f,
+                "cannot merge accumulators of shapes {}x{} and {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Self::EmptyShape => write!(f, "matrix dimensions must be positive"),
+            Self::NonFinite { index, value } => {
+                write!(f, "non-finite realization value {value} at flat index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StatsError::ShapeMismatch {
+            expected: (2, 3),
+            got_len: 5,
+        };
+        assert!(e.to_string().contains("2x3"));
+        let e = StatsError::MergeShapeMismatch {
+            left: (1, 2),
+            right: (2, 1),
+        };
+        assert!(e.to_string().contains("1x2"));
+        assert!(StatsError::EmptyShape.to_string().contains("positive"));
+        let e = StatsError::NonFinite {
+            index: 4,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("index 4"));
+    }
+}

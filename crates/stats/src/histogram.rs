@@ -1,0 +1,283 @@
+//! A mergeable fixed-bin histogram.
+//!
+//! PARMONC's result matrices carry means and variances; when the
+//! *distribution* of a realization functional matters (e.g. waiting-time
+//! tails, Ising magnetization bimodality), workers can accumulate a
+//! histogram alongside and the collector merges them with the same
+//! replace-then-sum discipline as the moment sums — bin counts are just
+//! more sums.
+
+use crate::error::StatsError;
+
+/// A histogram over `[lo, hi)` with `bins` equal cells plus underflow
+/// and overflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 4)?;
+/// h.add(0.1);
+/// h.add(0.9);
+/// h.add(2.0); // overflow
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.overflow(), 1);
+/// # Ok::<(), parmonc_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyShape`] if `bins == 0` or the range
+    /// is degenerate/non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        let range_ok = lo.is_finite() && hi.is_finite() && lo < hi;
+        if bins == 0 || !range_ok {
+            return Err(StatsError::EmptyShape);
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Range `(lo, hi)`.
+    #[must_use]
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Number of bins (excluding under/overflow).
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of samples below `lo`.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of samples at or above `hi`.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded (including under/overflow; NaNs are
+    /// counted as overflow to keep totals conserved).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[start, end)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins`.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin {i} out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (
+            self.lo + i as f64 * width,
+            self.lo + (i + 1) as f64 * width,
+        )
+    }
+
+    /// Records one sample.
+    pub fn add(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi || value.is_nan() {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((value - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Merges another histogram (same range and bin count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::MergeShapeMismatch`] if range or binning
+    /// differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), StatsError> {
+        if self.lo != other.lo || self.hi != other.hi || self.bins() != other.bins() {
+            return Err(StatsError::MergeShapeMismatch {
+                left: (self.bins(), 0),
+                right: (other.bins(), 0),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        Ok(())
+    }
+
+    /// Empirical probability mass of bin `i` (in-range mass only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins`.
+    #[must_use]
+    pub fn mass(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin {i} out of range");
+        let total = self.count();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / total as f64
+        }
+    }
+
+    /// Empirical quantile: the smallest bin upper edge at which the
+    /// cumulative in-range mass reaches `q` (ignores under/overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q <= 1` and the histogram has in-range data.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0,1]");
+        let in_range: u64 = self.counts.iter().sum();
+        assert!(in_range > 0, "histogram has no in-range samples");
+        let target = (q * in_range as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.bin_edges(i).1;
+            }
+        }
+        self.hi
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn binning_and_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for v in [0.0, 0.24, 0.25, 0.5, 0.75, 0.99] {
+            h.add(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 2]);
+        assert_eq!(h.bin_edges(0), (0.0, 0.25));
+        assert_eq!(h.bin_edges(3), (0.75, 1.0));
+    }
+
+    #[test]
+    fn under_over_and_nan() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-0.5);
+        h.add(1.0);
+        h.add(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_shape_checked() {
+        let mut a = Histogram::new(0.0, 1.0, 4).unwrap();
+        let b = Histogram::new(0.0, 2.0, 4).unwrap();
+        assert!(a.merge(&b).is_err());
+        let c = Histogram::new(0.0, 1.0, 8).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn quantiles_of_uniform_data() {
+        let mut h = Histogram::new(0.0, 1.0, 100).unwrap();
+        let mut rng = parmonc_rng::Lcg128::new();
+        h.extend((0..100_000).map(|_| rng.next_f64()));
+        assert!((h.quantile(0.5) - 0.5).abs() < 0.02);
+        assert!((h.quantile(0.9) - 0.9).abs() < 0.02);
+        assert!((h.quantile(1.0) - 1.0).abs() < 0.011);
+    }
+
+    #[test]
+    fn mass_sums_to_one_for_in_range_data() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        let mut rng = parmonc_rng::Lcg128::new();
+        h.extend((0..10_000).map(|_| rng.next_f64()));
+        let total: f64 = (0..10).map(|i| h.mass(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Merging two histograms equals accumulating everything in
+        /// one, and totals are conserved for arbitrary inputs.
+        #[test]
+        fn merge_equals_sequential(
+            xs in proptest::collection::vec(-2.0f64..3.0, 0..200),
+            split in 0usize..200
+        ) {
+            let split = split.min(xs.len());
+            let mut left = Histogram::new(0.0, 1.0, 7).unwrap();
+            left.extend(xs[..split].iter().copied());
+            let mut right = Histogram::new(0.0, 1.0, 7).unwrap();
+            right.extend(xs[split..].iter().copied());
+            left.merge(&right).unwrap();
+
+            let mut all = Histogram::new(0.0, 1.0, 7).unwrap();
+            all.extend(xs.iter().copied());
+            prop_assert_eq!(left, all);
+        }
+
+        /// Every sample lands in exactly one counter.
+        #[test]
+        fn totals_conserved(xs in proptest::collection::vec(any::<f64>(), 0..200)) {
+            let mut h = Histogram::new(-1.0, 1.0, 13).unwrap();
+            let finite = xs.iter().filter(|x| !x.is_infinite()).count();
+            h.extend(xs.iter().copied().filter(|x| !x.is_infinite()));
+            prop_assert_eq!(h.count(), finite as u64);
+        }
+    }
+}

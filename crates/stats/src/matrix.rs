@@ -1,0 +1,442 @@
+//! Matrix-valued realizations and their averaging (paper Section 2.1).
+//!
+//! A realization is a matrix `[ζ_ij]`, `1 ≤ i ≤ nrow`, `1 ≤ j ≤ ncol`
+//! (in the performance test: the SDE solution recorded at 1000 time
+//! points × 2 components). The accumulator stores `Σζ_ij` and `Σζ²_ij`
+//! entrywise plus the common sample volume `l`, exactly the payload a
+//! processor periodically ships to rank 0 (Section 2.2).
+
+use crate::error::StatsError;
+use crate::moments::ScalarAccumulator;
+
+/// Entrywise accumulator of matrix realizations.
+///
+/// Stores the two sum matrices and the sample volume; realizations are
+/// supplied as flat row-major slices of length `nrow * ncol`.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_stats::MatrixAccumulator;
+///
+/// let mut acc = MatrixAccumulator::new(2, 2)?;
+/// acc.add(&[1.0, 2.0, 3.0, 4.0])?;
+/// acc.add(&[3.0, 2.0, 1.0, 0.0])?;
+/// let s = acc.summary();
+/// assert_eq!(s.means, vec![2.0, 2.0, 2.0, 2.0]);
+/// # Ok::<(), parmonc_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixAccumulator {
+    nrow: usize,
+    ncol: usize,
+    sums: Vec<f64>,
+    sums_sq: Vec<f64>,
+    count: u64,
+}
+
+/// The full averaged output for a matrix estimator: the four matrices
+/// PARMONC writes to `func.dat`/`func_ci.dat` plus the three upper
+/// bounds from `func_log.dat`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixSummary {
+    /// Number of rows.
+    pub nrow: usize,
+    /// Number of columns.
+    pub ncol: usize,
+    /// Sample volume `l`.
+    pub count: u64,
+    /// Matrix of sample means `[ζ̄_ij]`, row-major.
+    pub means: Vec<f64>,
+    /// Matrix of absolute errors `[ε_ij]`, row-major.
+    pub abs_errors: Vec<f64>,
+    /// Matrix of relative errors `[ρ_ij]` in percent, row-major.
+    pub rel_errors_percent: Vec<f64>,
+    /// Matrix of sample variances `[σ̂²_ij]`, row-major.
+    pub variances: Vec<f64>,
+    /// `ε_max = max_ij ε_ij`.
+    pub eps_max: f64,
+    /// `ρ_max = max_ij ρ_ij` (ignores entries with zero mean, whose
+    /// relative error is undefined; `0.0` if all means are zero).
+    pub rho_max: f64,
+    /// `σ²_max = max_ij σ̂²_ij`.
+    pub sigma2_max: f64,
+}
+
+impl MatrixAccumulator {
+    /// Creates an empty accumulator of shape `nrow × ncol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyShape`] if either dimension is zero.
+    pub fn new(nrow: usize, ncol: usize) -> Result<Self, StatsError> {
+        if nrow == 0 || ncol == 0 {
+            return Err(StatsError::EmptyShape);
+        }
+        Ok(Self {
+            nrow,
+            ncol,
+            sums: vec![0.0; nrow * ncol],
+            sums_sq: vec![0.0; nrow * ncol],
+            count: 0,
+        })
+    }
+
+    /// Reassembles an accumulator from raw parts (deserialization path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyShape`] for zero dimensions and
+    /// [`StatsError::ShapeMismatch`] if the vectors do not have
+    /// `nrow * ncol` entries.
+    pub fn from_parts(
+        nrow: usize,
+        ncol: usize,
+        sums: Vec<f64>,
+        sums_sq: Vec<f64>,
+        count: u64,
+    ) -> Result<Self, StatsError> {
+        if nrow == 0 || ncol == 0 {
+            return Err(StatsError::EmptyShape);
+        }
+        let len = nrow * ncol;
+        if sums.len() != len || sums_sq.len() != len {
+            return Err(StatsError::ShapeMismatch {
+                expected: (nrow, ncol),
+                got_len: sums.len().min(sums_sq.len()),
+            });
+        }
+        Ok(Self {
+            nrow,
+            ncol,
+            sums,
+            sums_sq,
+            count,
+        })
+    }
+
+    /// Shape `(nrow, ncol)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrow, self.ncol)
+    }
+
+    /// Sample volume `l`.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no realizations have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw sum matrix `[Σζ_ij]`, row-major.
+    #[must_use]
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Raw sum-of-squares matrix `[Σζ²_ij]`, row-major.
+    #[must_use]
+    pub fn sums_sq(&self) -> &[f64] {
+        &self.sums_sq
+    }
+
+    /// Records one matrix realization given as a flat row-major slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ShapeMismatch`] if `realization` does not
+    /// have `nrow * ncol` entries, or [`StatsError::NonFinite`] if any
+    /// entry is NaN/infinite (the accumulator is left unchanged).
+    pub fn add(&mut self, realization: &[f64]) -> Result<(), StatsError> {
+        if realization.len() != self.sums.len() {
+            return Err(StatsError::ShapeMismatch {
+                expected: (self.nrow, self.ncol),
+                got_len: realization.len(),
+            });
+        }
+        if let Some((index, &value)) = realization
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite())
+        {
+            return Err(StatsError::NonFinite { index, value });
+        }
+        for ((s, q), &z) in self
+            .sums
+            .iter_mut()
+            .zip(self.sums_sq.iter_mut())
+            .zip(realization)
+        {
+            *s += z;
+            *q += z * z;
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Merges another accumulator into this one (formula (5) in sum
+    /// form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::MergeShapeMismatch`] if the shapes differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), StatsError> {
+        if self.shape() != other.shape() {
+            return Err(StatsError::MergeShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
+            *s += o;
+        }
+        for (s, o) in self.sums_sq.iter_mut().zip(&other.sums_sq) {
+            *s += o;
+        }
+        self.count += other.count;
+        Ok(())
+    }
+
+    /// Extracts the scalar accumulator of entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrow` or `j >= ncol`.
+    #[must_use]
+    pub fn entry(&self, i: usize, j: usize) -> ScalarAccumulator {
+        assert!(i < self.nrow && j < self.ncol, "entry ({i},{j}) out of bounds");
+        let k = i * self.ncol + j;
+        ScalarAccumulator::from_sums(self.sums[k], self.sums_sq[k], self.count)
+    }
+
+    /// Computes the full averaged output: the four matrices and the
+    /// three upper bounds of the paper's Section 2.1.
+    #[must_use]
+    pub fn summary(&self) -> MatrixSummary {
+        let n = self.sums.len();
+        let mut means = vec![0.0; n];
+        let mut abs_errors = vec![0.0; n];
+        let mut rel_errors = vec![0.0; n];
+        let mut variances = vec![0.0; n];
+        let mut eps_max = 0.0f64;
+        let mut rho_max = 0.0f64;
+        let mut sigma2_max = 0.0f64;
+
+        for k in 0..n {
+            let acc = ScalarAccumulator::from_sums(self.sums[k], self.sums_sq[k], self.count);
+            means[k] = acc.mean();
+            variances[k] = acc.variance();
+            abs_errors[k] = if self.count == 0 { 0.0 } else { acc.abs_error() };
+            rel_errors[k] = acc.rel_error_percent();
+            eps_max = eps_max.max(abs_errors[k]);
+            sigma2_max = sigma2_max.max(variances[k]);
+            if rel_errors[k].is_finite() {
+                rho_max = rho_max.max(rel_errors[k]);
+            }
+        }
+
+        MatrixSummary {
+            nrow: self.nrow,
+            ncol: self.ncol,
+            count: self.count,
+            means,
+            abs_errors,
+            rel_errors_percent: rel_errors,
+            variances,
+            eps_max,
+            rho_max,
+            sigma2_max,
+        }
+    }
+}
+
+impl MatrixSummary {
+    /// The sample mean of entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[must_use]
+    pub fn mean(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrow && j < self.ncol);
+        self.means[i * self.ncol + j]
+    }
+
+    /// The absolute error of entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[must_use]
+    pub fn abs_error(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrow && j < self.ncol);
+        self.abs_errors[i * self.ncol + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn acc2x2() -> MatrixAccumulator {
+        MatrixAccumulator::new(2, 2).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_shapes() {
+        assert_eq!(MatrixAccumulator::new(0, 3), Err(StatsError::EmptyShape));
+        assert_eq!(MatrixAccumulator::new(3, 0), Err(StatsError::EmptyShape));
+    }
+
+    #[test]
+    fn rejects_wrong_length_realization() {
+        let mut acc = acc2x2();
+        let err = acc.add(&[1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(err, StatsError::ShapeMismatch { got_len: 3, .. }));
+        assert_eq!(acc.count(), 0);
+    }
+
+    #[test]
+    fn rejects_non_finite_and_leaves_state_unchanged() {
+        let mut acc = acc2x2();
+        acc.add(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        let before = acc.clone();
+        let err = acc.add(&[1.0, f64::NAN, 1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, StatsError::NonFinite { index: 1, .. }));
+        assert_eq!(acc, before);
+    }
+
+    #[test]
+    fn entrywise_means_and_errors() {
+        let mut acc = acc2x2();
+        acc.add(&[1.0, 10.0, 100.0, -1.0]).unwrap();
+        acc.add(&[3.0, 10.0, 300.0, 1.0]).unwrap();
+        let s = acc.summary();
+        assert_eq!(s.means, vec![2.0, 10.0, 200.0, 0.0]);
+        // Entry (0,1) is constant → zero variance & errors.
+        assert_eq!(s.variances[1], 0.0);
+        assert_eq!(s.abs_errors[1], 0.0);
+        // Entry (1,1) has zero mean → infinite relative error, but
+        // rho_max must ignore it.
+        assert!(s.rel_errors_percent[3].is_infinite());
+        assert!(s.rho_max.is_finite());
+        // eps_max comes from the largest-variance entry (1,0).
+        assert_eq!(s.eps_max, s.abs_errors[2]);
+        assert_eq!(s.sigma2_max, s.variances[2]);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut acc = acc2x2();
+        acc.add(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let s = acc.summary();
+        assert_eq!(s.mean(1, 0), 3.0);
+        assert_eq!(s.abs_error(0, 0), 0.0);
+        assert_eq!(acc.entry(0, 1).mean(), 2.0);
+    }
+
+    #[test]
+    fn merge_shape_mismatch() {
+        let mut a = acc2x2();
+        let b = MatrixAccumulator::new(2, 3).unwrap();
+        assert!(matches!(
+            a.merge(&b),
+            Err(StatsError::MergeShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        assert!(MatrixAccumulator::from_parts(2, 2, vec![0.0; 4], vec![0.0; 4], 0).is_ok());
+        assert!(matches!(
+            MatrixAccumulator::from_parts(2, 2, vec![0.0; 3], vec![0.0; 4], 0),
+            Err(StatsError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            MatrixAccumulator::from_parts(0, 2, vec![], vec![], 0),
+            Err(StatsError::EmptyShape)
+        ));
+    }
+
+    #[test]
+    fn summary_of_empty_accumulator() {
+        let s = acc2x2().summary();
+        assert_eq!(s.count, 0);
+        assert!(s.means.iter().all(|m| *m == 0.0));
+        assert_eq!(s.eps_max, 0.0);
+    }
+
+    proptest! {
+        /// Distributing realizations over M "processors" and merging
+        /// reproduces the single-processor sums — the heart of the
+        /// paper's claim that the parallel estimator (4) converges to
+        /// the same value.
+        #[test]
+        fn merge_is_distribution_invariant(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-1e3f64..1e3, 6),
+                1..40
+            ),
+            m in 1usize..6
+        ) {
+            // Sequential reference.
+            let mut reference = MatrixAccumulator::new(2, 3).unwrap();
+            for r in &rows {
+                reference.add(r).unwrap();
+            }
+            // Round-robin over m processors, then merge.
+            let mut parts: Vec<MatrixAccumulator> =
+                (0..m).map(|_| MatrixAccumulator::new(2, 3).unwrap()).collect();
+            for (i, r) in rows.iter().enumerate() {
+                parts[i % m].add(r).unwrap();
+            }
+            let mut merged = MatrixAccumulator::new(2, 3).unwrap();
+            for p in &parts {
+                merged.merge(p).unwrap();
+            }
+            prop_assert_eq!(merged.count(), reference.count());
+            for k in 0..6 {
+                prop_assert!(
+                    (merged.sums()[k] - reference.sums()[k]).abs()
+                        <= 1e-9 * (1.0 + reference.sums()[k].abs())
+                );
+                prop_assert!(
+                    (merged.sums_sq()[k] - reference.sums_sq()[k]).abs()
+                        <= 1e-9 * (1.0 + reference.sums_sq()[k].abs())
+                );
+            }
+        }
+
+        /// Merging with an empty accumulator is the identity.
+        #[test]
+        fn merge_empty_is_identity(
+            rows in proptest::collection::vec(proptest::collection::vec(-1e3f64..1e3, 4), 1..20)
+        ) {
+            let mut acc = MatrixAccumulator::new(2, 2).unwrap();
+            for r in &rows {
+                acc.add(r).unwrap();
+            }
+            let before = acc.clone();
+            acc.merge(&MatrixAccumulator::new(2, 2).unwrap()).unwrap();
+            prop_assert_eq!(acc, before);
+        }
+
+        /// Variances are non-negative for arbitrary data.
+        #[test]
+        fn variances_non_negative(
+            rows in proptest::collection::vec(proptest::collection::vec(-1e6f64..1e6, 4), 1..30)
+        ) {
+            let mut acc = MatrixAccumulator::new(2, 2).unwrap();
+            for r in &rows {
+                acc.add(r).unwrap();
+            }
+            prop_assert!(acc.summary().variances.iter().all(|v| *v >= 0.0));
+        }
+    }
+}

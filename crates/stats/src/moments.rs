@@ -1,0 +1,307 @@
+//! Scalar sample-moment accumulation (paper Section 2.1).
+//!
+//! The estimator state is the triple `(Σζ, Σζ², L)`; everything the
+//! paper reports — mean, second moment, sample variance, absolute and
+//! relative stochastic errors — is derived from it on demand.
+
+use crate::confidence::GAMMA_997;
+
+/// Accumulates the sample sums `(Σζ, Σζ², L)` for a scalar random
+/// variable.
+///
+/// Adding is O(1); merging two accumulators (formula (5) in sum form) is
+/// exact addition of the triples, so the parallel estimate is *bitwise
+/// independent of how realizations were distributed across processors*
+/// up to floating-point summation order.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_stats::ScalarAccumulator;
+///
+/// let mut a = ScalarAccumulator::new();
+/// let mut b = ScalarAccumulator::new();
+/// a.add(1.0);
+/// b.add(3.0);
+/// a.merge(&b);
+/// assert_eq!(a.summary().mean, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScalarAccumulator {
+    sum: f64,
+    sum_sq: f64,
+    count: u64,
+}
+
+/// Derived statistics of a [`ScalarAccumulator`] (one row of the
+/// paper's `func_ci.dat`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarSummary {
+    /// Sample volume `L`.
+    pub count: u64,
+    /// Sample mean `ζ̄`.
+    pub mean: f64,
+    /// Sample second moment `ξ̄ = L^{-1} Σζ²`.
+    pub second_moment: f64,
+    /// Sample variance `σ̂² = ξ̄ − ζ̄²` (clamped at 0 against rounding).
+    pub variance: f64,
+    /// Absolute stochastic error `ε = 3 σ̂ L^{-1/2}`.
+    pub abs_error: f64,
+    /// Relative stochastic error `ρ = ε / |ζ̄| · 100 %`
+    /// (`f64::INFINITY` when the mean is zero).
+    pub rel_error_percent: f64,
+}
+
+impl ScalarAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reassembles an accumulator from raw sums (the deserialization
+    /// path used by save-point files and worker messages).
+    #[must_use]
+    pub fn from_sums(sum: f64, sum_sq: f64, count: u64) -> Self {
+        Self { sum, sum_sq, count }
+    }
+
+    /// Records one realization `ζ_i`.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        self.sum += value;
+        self.sum_sq += value * value;
+        self.count += 1;
+    }
+
+    /// Merges another accumulator into this one (formula (5) in sum
+    /// form).
+    pub fn merge(&mut self, other: &Self) {
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.count += other.count;
+    }
+
+    /// Sample volume `L`.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Raw sum `Σζ`.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Raw sum of squares `Σζ²`.
+    #[must_use]
+    pub fn sum_sq(&self) -> f64 {
+        self.sum_sq
+    }
+
+    /// Whether no realizations have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean `ζ̄` (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sample second moment `ξ̄` (0 for an empty accumulator).
+    #[must_use]
+    pub fn second_moment(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_sq / self.count as f64
+        }
+    }
+
+    /// Sample variance `σ̂² = ξ̄ − ζ̄²`, clamped at zero against
+    /// floating-point cancellation.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        (self.second_moment() - self.mean() * self.mean()).max(0.0)
+    }
+
+    /// Absolute stochastic error `ε = 3 σ̂ L^{-1/2}` (paper Section 2.1;
+    /// confidence level λ = 0.997 so γ(λ) = 3).
+    #[must_use]
+    pub fn abs_error(&self) -> f64 {
+        if self.count == 0 {
+            f64::INFINITY
+        } else {
+            GAMMA_997 * self.variance().sqrt() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Relative stochastic error `ρ = ε / |ζ̄| · 100 %`.
+    #[must_use]
+    pub fn rel_error_percent(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.abs_error() / mean.abs() * 100.0
+        }
+    }
+
+    /// Computes all derived statistics at once.
+    #[must_use]
+    pub fn summary(&self) -> ScalarSummary {
+        ScalarSummary {
+            count: self.count,
+            mean: self.mean(),
+            second_moment: self.second_moment(),
+            variance: self.variance(),
+            abs_error: self.abs_error(),
+            rel_error_percent: self.rel_error_percent(),
+        }
+    }
+}
+
+impl FromIterator<f64> for ScalarAccumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for x in iter {
+            acc.add(x);
+        }
+        acc
+    }
+}
+
+impl Extend<f64> for ScalarAccumulator {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_accumulator_behaviour() {
+        let acc = ScalarAccumulator::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert!(acc.abs_error().is_infinite());
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let acc: ScalarAccumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        let s = acc.summary();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        // population variance of this classic sample is 4.0
+        assert!((s.variance - 4.0).abs() < 1e-12);
+        // eps = 3 * 2 / sqrt(8)
+        assert!((s.abs_error - 6.0 / 8f64.sqrt()).abs() < 1e-12);
+        assert!((s.rel_error_percent - s.abs_error / 5.0 * 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_variance() {
+        let acc: ScalarAccumulator = std::iter::repeat_n(3.5, 100).collect();
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.abs_error(), 0.0);
+        assert_eq!(acc.rel_error_percent(), 0.0);
+    }
+
+    #[test]
+    fn zero_mean_gives_infinite_relative_error() {
+        let acc: ScalarAccumulator = [1.0, -1.0].into_iter().collect();
+        assert_eq!(acc.mean(), 0.0);
+        assert!(acc.rel_error_percent().is_infinite());
+    }
+
+    #[test]
+    fn error_shrinks_as_inverse_sqrt_l() {
+        // Doubling L four-fold halves eps when variance is stable.
+        let mut rng = parmonc_rng::Lcg128::new();
+        let small: ScalarAccumulator = (0..10_000).map(|_| rng.next_f64()).collect();
+        let large: ScalarAccumulator = (0..160_000).map(|_| rng.next_f64()).collect();
+        let ratio = small.abs_error() / large.abs_error();
+        assert!((ratio - 4.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn extend_matches_repeated_add() {
+        let mut a = ScalarAccumulator::new();
+        a.extend([1.0, 2.0, 3.0]);
+        let mut b = ScalarAccumulator::new();
+        b.add(1.0);
+        b.add(2.0);
+        b.add(3.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_sums_round_trip() {
+        let acc: ScalarAccumulator = [1.0, 5.0, 9.0].into_iter().collect();
+        let rebuilt = ScalarAccumulator::from_sums(acc.sum(), acc.sum_sq(), acc.count());
+        assert_eq!(acc, rebuilt);
+    }
+
+    proptest! {
+        /// Merging is equivalent to having accumulated everything in one
+        /// place (the core of formula (5)).
+        #[test]
+        fn merge_equals_sequential(
+            xs in proptest::collection::vec(-1e6f64..1e6, 0..100),
+            split in 0usize..100
+        ) {
+            let split = split.min(xs.len());
+            let mut left: ScalarAccumulator = xs[..split].iter().copied().collect();
+            let right: ScalarAccumulator = xs[split..].iter().copied().collect();
+            left.merge(&right);
+            let all: ScalarAccumulator = xs.iter().copied().collect();
+            prop_assert_eq!(left.count(), all.count());
+            prop_assert!((left.sum() - all.sum()).abs() <= 1e-9 * (1.0 + all.sum().abs()));
+            prop_assert!((left.sum_sq() - all.sum_sq()).abs() <= 1e-9 * (1.0 + all.sum_sq().abs()));
+        }
+
+        /// Merge is commutative on the raw sums.
+        #[test]
+        fn merge_commutes(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
+            ys in proptest::collection::vec(-1e6f64..1e6, 1..50)
+        ) {
+            let a: ScalarAccumulator = xs.iter().copied().collect();
+            let b: ScalarAccumulator = ys.iter().copied().collect();
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert!((ab.sum() - ba.sum()).abs() <= 1e-9 * (1.0 + ab.sum().abs()));
+        }
+
+        /// Variance is always non-negative and mean lies within sample
+        /// bounds.
+        #[test]
+        fn derived_stats_are_sane(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+            let acc: ScalarAccumulator = xs.iter().copied().collect();
+            prop_assert!(acc.variance() >= 0.0);
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(acc.mean() >= lo - 1e-9 && acc.mean() <= hi + 1e-9);
+        }
+    }
+}

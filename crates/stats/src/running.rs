@@ -1,0 +1,175 @@
+//! Welford-style online accumulation, as a numerically robust
+//! cross-check of the paper's raw-sum representation.
+//!
+//! PARMONC stores `(Σζ, Σζ², L)` because that is what processors can
+//! ship and rank 0 can merge exactly (formula (5)). The textbook
+//! objection is catastrophic cancellation in `ξ̄ − ζ̄²` when the
+//! coefficient of variation is tiny; [`WelfordAccumulator`] implements
+//! the merge-able Welford/Chan recurrence so tests (and DESIGN.md
+//! ablation #4) can quantify when the difference matters.
+
+/// Online mean/variance accumulator using the parallel (Chan et al.)
+/// Welford recurrence; mergeable like the raw-sum accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_stats::running::WelfordAccumulator;
+///
+/// let mut acc = WelfordAccumulator::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     acc.add(x);
+/// }
+/// assert_eq!(acc.mean(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WelfordAccumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl WelfordAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one realization.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Merges another accumulator (Chan's pairwise update).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+
+    /// Sample volume.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance `M2 / n` — the same convention as the
+    /// paper's `σ̂² = ξ̄ − ζ̄²` (0 when empty).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+}
+
+impl FromIterator<f64> for WelfordAccumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for x in iter {
+            acc.add(x);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::ScalarAccumulator;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_behaviour() {
+        let acc = WelfordAccumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_naive_on_well_conditioned_data() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let w: WelfordAccumulator = xs.iter().copied().collect();
+        let n: ScalarAccumulator = xs.iter().copied().collect();
+        assert!((w.mean() - n.mean()).abs() < 1e-10);
+        assert!((w.variance() - n.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_survives_large_offset() {
+        // Mean 1e9, sd 1: naive sums lose ~7 digits of the variance;
+        // Welford keeps it. This quantifies the design trade-off the
+        // paper makes for mergeability.
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| 1e9 + f64::from(i % 3) - 1.0)
+            .collect();
+        let w: WelfordAccumulator = xs.iter().copied().collect();
+        // 10000 = 3*3333 + 1, so -1 occurs 3334 times and 0, 1 occur
+        // 3333 times each: variance = 6667/10000 - (1/10000)^2.
+        let truth = 0.6667 - 1e-8;
+        assert!((w.variance() - truth).abs() < 1e-6, "{}", w.variance());
+    }
+
+    #[test]
+    fn merge_with_empty_both_ways() {
+        let full: WelfordAccumulator = [1.0, 2.0, 3.0].into_iter().collect();
+        let mut a = full;
+        a.merge(&WelfordAccumulator::new());
+        assert_eq!(a, full);
+        let mut b = WelfordAccumulator::new();
+        b.merge(&full);
+        assert_eq!(b, full);
+    }
+
+    proptest! {
+        /// Welford and naive agree on bounded data.
+        #[test]
+        fn agrees_with_naive(xs in proptest::collection::vec(-1e3f64..1e3, 1..300)) {
+            let w: WelfordAccumulator = xs.iter().copied().collect();
+            let n: ScalarAccumulator = xs.iter().copied().collect();
+            prop_assert!((w.mean() - n.mean()).abs() < 1e-8);
+            prop_assert!((w.variance() - n.variance()).abs() < 1e-6 * (1.0 + n.variance()));
+        }
+
+        /// Merging equals sequential accumulation.
+        #[test]
+        fn merge_equals_sequential(
+            xs in proptest::collection::vec(-1e3f64..1e3, 0..100),
+            split in 0usize..100
+        ) {
+            let split = split.min(xs.len());
+            let mut left: WelfordAccumulator = xs[..split].iter().copied().collect();
+            let right: WelfordAccumulator = xs[split..].iter().copied().collect();
+            left.merge(&right);
+            let all: WelfordAccumulator = xs.iter().copied().collect();
+            prop_assert_eq!(left.count(), all.count());
+            prop_assert!((left.mean() - all.mean()).abs() < 1e-9 * (1.0 + all.mean().abs()));
+            prop_assert!((left.variance() - all.variance()).abs() < 1e-6 * (1.0 + all.variance()));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Importance sampling by exponential tilting, demonstrated on normal
+//! tail probabilities — the canonical rare-event setting where plain
+//! Monte Carlo needs `1/P` samples per hit.
+//!
+//! To estimate `P(Z > a)` for `Z ~ N(0, 1)`, sample from the tilted
+//! density `N(a, 1)` and weight by the likelihood ratio
+//! `φ(z)/φ_a(z) = exp(a²/2 − a·z)`; the weighted indicator is unbiased
+//! and its relative variance stays bounded as `a` grows.
+
+use parmonc_rng::distributions::standard_normal;
+use parmonc_rng::UniformSource;
+use parmonc_stats::ScalarAccumulator;
+
+/// Estimates `P(Z > a)` by exponential tilting with `n` samples.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 2`.
+pub fn normal_tail_probability<S>(rng: &mut S, a: f64, n: usize) -> ScalarAccumulator
+where
+    S: UniformSource + ?Sized,
+{
+    assert!(n >= 2, "need at least two samples");
+    let mut acc = ScalarAccumulator::new();
+    for _ in 0..n {
+        let z = a + standard_normal(rng); // sample from N(a, 1)
+        let weight = (0.5 * a * a - a * z).exp();
+        acc.add(if z > a { weight } else { 0.0 });
+    }
+    acc
+}
+
+/// Plain-Monte-Carlo tail estimate (for the comparison tests).
+pub fn normal_tail_plain<S>(rng: &mut S, a: f64, n: usize) -> ScalarAccumulator
+where
+    S: UniformSource + ?Sized,
+{
+    let mut acc = ScalarAccumulator::new();
+    for _ in 0..n {
+        acc.add(f64::from(standard_normal(rng) > a));
+    }
+    acc
+}
+
+/// Reference value of `P(Z > a)` via the complementary error function
+/// (Abramowitz–Stegun rational approximation; relative accuracy is
+/// ample down to the probabilities these tests touch).
+#[must_use]
+pub fn normal_tail_exact(a: f64) -> f64 {
+    0.5 * erfc(a / core::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    // A&S 7.1.26 on erf, complemented; for the moderate x used here
+    // cancellation is not a concern.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * ax);
+    let poly = (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t
+        - 0.284_496_736)
+        * t
+        + 0.254_829_592)
+        * t;
+    let erf_abs = 1.0 - poly * (-ax * ax).exp();
+    if sign > 0.0 {
+        poly * (-ax * ax).exp()
+    } else {
+        1.0 + erf_abs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmonc_rng::Lcg128;
+
+    #[test]
+    fn exact_reference_values() {
+        assert!((normal_tail_exact(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_tail_exact(1.96) - 0.025).abs() < 1e-4);
+        assert!((normal_tail_exact(4.0) - 3.167e-5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn tilted_estimator_is_unbiased_at_moderate_a() {
+        let mut rng = Lcg128::new();
+        for a in [1.0, 2.0, 3.0] {
+            let acc = normal_tail_probability(&mut rng, a, 200_000);
+            let exact = normal_tail_exact(a);
+            assert!(
+                (acc.mean() - exact).abs() <= acc.abs_error() + 1e-7,
+                "a={a}: {} ± {} vs {exact}",
+                acc.mean(),
+                acc.abs_error()
+            );
+        }
+    }
+
+    #[test]
+    fn rare_event_estimated_where_plain_mc_sees_nothing() {
+        // P(Z > 5) ≈ 2.87e-7: plain MC with 10^5 samples almost surely
+        // records zero hits; tilting nails it with the same budget.
+        let mut rng = Lcg128::new();
+        let a = 5.0;
+        let plain = normal_tail_plain(&mut rng, a, 100_000);
+        assert_eq!(plain.mean(), 0.0, "plain MC must miss the event");
+
+        let tilted = normal_tail_probability(&mut rng, a, 100_000);
+        let exact = normal_tail_exact(a);
+        assert!(
+            (tilted.mean() - exact).abs() < 0.1 * exact,
+            "{} vs {exact}",
+            tilted.mean()
+        );
+    }
+
+    #[test]
+    fn relative_error_stays_bounded_as_a_grows() {
+        let mut rng = Lcg128::new();
+        let mut previous_rel = f64::INFINITY;
+        for a in [2.0f64, 3.0, 4.0] {
+            let acc = normal_tail_probability(&mut rng, a, 200_000);
+            let rel = acc.abs_error() / acc.mean();
+            // Tilted relative error degrades only mildly with a —
+            // nothing like the exp(a²/2)-ish blow-up of plain MC.
+            assert!(rel < 0.05, "a={a}: rel err {rel}");
+            // and does not explode between consecutive a.
+            assert!(rel < 10.0 * previous_rel);
+            previous_rel = rel;
+        }
+    }
+
+    #[test]
+    fn variance_advantage_over_plain_at_a2() {
+        // At a = 2 both estimators work; compare standard errors at
+        // equal n.
+        let n = 200_000;
+        let plain = normal_tail_plain(&mut Lcg128::new(), 2.0, n);
+        let tilted = normal_tail_probability(&mut Lcg128::new(), 2.0, n);
+        assert!(
+            tilted.abs_error() < 0.5 * plain.abs_error(),
+            "tilted {} vs plain {}",
+            tilted.abs_error(),
+            plain.abs_error()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two samples")]
+    fn rejects_tiny_sample() {
+        let _ = normal_tail_probability(&mut Lcg128::new(), 1.0, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Stratified sampling.
+//!
+//! Partition `[0, 1)` into `k` equal strata and force the *first* base
+//! random number of each realization into its stratum:
+//! `α = (j + u)/k`. With proportional allocation (`n/k` per stratum)
+//! the stratified mean is unbiased and its variance drops by the
+//! between-strata variance component — large whenever `f` varies
+//! systematically with its leading input.
+
+use parmonc_rng::UniformSource;
+use parmonc_stats::ScalarAccumulator;
+
+/// A uniform source whose *next* draw is confined to stratum
+/// `j` of `k` (subsequent draws pass through unchanged).
+#[derive(Debug)]
+struct StratumSource<'a, S: ?Sized> {
+    inner: &'a mut S,
+    stratum: usize,
+    strata: usize,
+    first: bool,
+}
+
+impl<S: UniformSource + ?Sized> UniformSource for StratumSource<'_, S> {
+    fn next_f64(&mut self) -> f64 {
+        let u = self.inner.next_f64();
+        if self.first {
+            self.first = false;
+            (self.stratum as f64 + u) / self.strata as f64
+        } else {
+            u
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Outcome of a stratified estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratifiedEstimate {
+    /// Overall mean (average of stratum means — equal allocation makes
+    /// this the plain average of all samples).
+    pub mean: f64,
+    /// Standard error of the stratified mean
+    /// (`sqrt(Σ_j σ_j²/(k²·n_j))`).
+    pub std_error: f64,
+    /// Per-stratum accumulators.
+    pub strata: Vec<ScalarAccumulator>,
+}
+
+impl StratifiedEstimate {
+    /// Absolute error at the paper's 3σ confidence convention.
+    #[must_use]
+    pub fn abs_error(&self) -> f64 {
+        3.0 * self.std_error
+    }
+}
+
+/// Estimates `E[f]` with `per_stratum` evaluations in each of `k`
+/// strata of the leading base random number.
+///
+/// # Panics
+///
+/// Panics unless `k ≥ 2` and `per_stratum ≥ 2`.
+pub fn stratified_estimate<S, F>(
+    rng: &mut S,
+    k: usize,
+    per_stratum: usize,
+    f: F,
+) -> StratifiedEstimate
+where
+    S: UniformSource,
+    F: Fn(&mut dyn UniformSource) -> f64,
+{
+    assert!(k >= 2, "need at least two strata");
+    assert!(per_stratum >= 2, "need at least two draws per stratum");
+
+    let mut strata = Vec::with_capacity(k);
+    for j in 0..k {
+        let mut acc = ScalarAccumulator::new();
+        for _ in 0..per_stratum {
+            let mut source = StratumSource {
+                inner: rng,
+                stratum: j,
+                strata: k,
+                first: true,
+            };
+            acc.add(f(&mut source));
+        }
+        strata.push(acc);
+    }
+    let mean = strata.iter().map(ScalarAccumulator::mean).sum::<f64>() / k as f64;
+    let var_of_mean: f64 = strata
+        .iter()
+        .map(|acc| acc.variance() / (k as f64 * k as f64 * per_stratum as f64))
+        .sum();
+    StratifiedEstimate {
+        mean,
+        std_error: var_of_mean.sqrt(),
+        strata,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antithetic::plain_estimate;
+    use parmonc_rng::Lcg128;
+
+    fn exp_u(rng: &mut dyn UniformSource) -> f64 {
+        rng.next_f64().exp()
+    }
+
+    #[test]
+    fn unbiased_against_closed_form() {
+        let est = stratified_estimate(&mut Lcg128::new(), 16, 5_000, exp_u);
+        let truth = std::f64::consts::E - 1.0;
+        assert!(
+            (est.mean - truth).abs() <= est.abs_error() + 1e-3,
+            "{} ± {}",
+            est.mean,
+            est.abs_error()
+        );
+    }
+
+    #[test]
+    fn variance_far_below_plain_for_smooth_f() {
+        let n = 80_000;
+        let strat = stratified_estimate(&mut Lcg128::new(), 16, n / 16, exp_u);
+        let plain = plain_estimate(&mut Lcg128::new(), n, exp_u);
+        let se_plain = plain.abs_error() / 3.0;
+        // With 16 strata the within-stratum variance of e^U shrinks by
+        // ~k² for smooth integrands.
+        assert!(
+            strat.std_error < 0.2 * se_plain,
+            "stratified SE {} vs plain {}",
+            strat.std_error,
+            se_plain
+        );
+    }
+
+    #[test]
+    fn stratum_means_are_ordered_for_monotone_f() {
+        let est = stratified_estimate(&mut Lcg128::new(), 8, 2_000, exp_u);
+        for w in est.strata.windows(2) {
+            assert!(w[0].mean() < w[1].mean(), "e^U is increasing");
+        }
+    }
+
+    #[test]
+    fn only_first_draw_is_stratified() {
+        // f uses two draws; the second must remain full-range even in
+        // stratum 0.
+        let f = |rng: &mut dyn UniformSource| {
+            let _first = rng.next_f64();
+            rng.next_f64()
+        };
+        let est = stratified_estimate(&mut Lcg128::new(), 4, 5_000, f);
+        // Mean of the *second* draw is 1/2 in every stratum.
+        for acc in &est.strata {
+            assert!((acc.mean() - 0.5).abs() < 0.02, "{}", acc.mean());
+        }
+    }
+
+    #[test]
+    fn indicator_of_stratum_boundary_is_exact() {
+        // f = 1{u < 0.25} with 4 strata: stratum 0 contributes all the
+        // mass, exactly; the estimator has zero variance.
+        let f = |rng: &mut dyn UniformSource| f64::from(rng.next_f64() < 0.25);
+        let est = stratified_estimate(&mut Lcg128::new(), 4, 100, f);
+        assert!((est.mean - 0.25).abs() < 1e-12);
+        assert_eq!(est.std_error, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two strata")]
+    fn rejects_single_stratum() {
+        let _ = stratified_estimate(&mut Lcg128::new(), 1, 10, exp_u);
+    }
+}

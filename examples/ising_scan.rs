@@ -1,0 +1,47 @@
+//! Statistical physics with PARMONC: scan the 2-D Ising model across
+//! the phase transition, one PARMONC experiment per temperature.
+//!
+//! Each realization is an independent Metropolis chain (random start,
+//! fixed sweeps); averaging independent chains gives honest error bars
+//! on the energy and |magnetization| per site. The scan shows |m|
+//! rising from ~0 to ~1 around the critical point
+//! `beta_c = ln(1 + sqrt(2))/2 ≈ 0.4407`.
+//!
+//! ```text
+//! cargo run --release --example ising_scan
+//! ```
+
+use parmonc::{Parmonc, ParmoncError};
+use parmonc_apps::IsingModel;
+
+fn main() -> Result<(), ParmoncError> {
+    let side = 16;
+    let sweeps = 150;
+    let chains = 200;
+    println!("2-D Ising {side}x{side} torus, {sweeps} Metropolis sweeps, {chains} chains per point");
+    println!("(beta_c ≈ {:.4})", IsingModel::BETA_CRITICAL);
+    println!(
+        "{:>7} {:>18} {:>18}",
+        "beta", "E/site ± 3sigma", "|m| ± 3sigma"
+    );
+    for (i, beta) in [0.10, 0.25, 0.35, 0.42, 0.44, 0.47, 0.55, 0.70]
+        .into_iter()
+        .enumerate()
+    {
+        let model = IsingModel::new(side, beta, sweeps);
+        let report = Parmonc::builder(1, 2)
+            .max_sample_volume(chains)
+            .processors(4)
+            .seqnum(i as u64)
+            .output_dir(std::env::temp_dir().join(format!("parmonc-ising-{i}")))
+            .run(model)?;
+        let s = &report.summary;
+        println!(
+            "{beta:>7.2} {:>10.4} ±{:>6.4} {:>10.4} ±{:>6.4}",
+            s.means[0], s.abs_errors[0], s.means[1], s.abs_errors[1]
+        );
+    }
+    println!("\n(|m| jumps across beta_c — the ferromagnetic phase transition;");
+    println!(" near criticality the error bars swell: critical slowing-down.)");
+    Ok(())
+}

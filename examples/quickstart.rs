@@ -1,0 +1,44 @@
+//! Quickstart: estimate π with PARMONC in a dozen lines.
+//!
+//! The user supplies one sequential routine (simulate a single
+//! realization, drawing base random numbers from the stream); PARMONC
+//! parallelizes it, averages, and writes error bars — no MPI in sight.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parmonc::{Parmonc, ParmoncError, RealizeFn};
+
+fn main() -> Result<(), ParmoncError> {
+    // One realization: zeta = 4 * 1{x^2 + y^2 < 1}, so E[zeta] = pi.
+    let realization = RealizeFn::new(|rng, out| {
+        let (x, y) = (rng.next_f64(), rng.next_f64());
+        out[0] = if x * x + y * y < 1.0 { 4.0 } else { 0.0 };
+    });
+
+    let report = Parmonc::builder(1, 1)
+        .max_sample_volume(1_000_000)
+        .processors(4)
+        .output_dir(std::env::temp_dir().join("parmonc-quickstart"))
+        .run(realization)?;
+
+    println!(
+        "pi ≈ {:.6} ± {:.6}  (L = {}, relative error {:.3}%)",
+        report.summary.means[0],
+        report.summary.abs_errors[0],
+        report.total_volume,
+        report.summary.rel_errors_percent[0],
+    );
+    println!(
+        "exact  {:.6}  (inside the 0.997 confidence interval: {})",
+        std::f64::consts::PI,
+        (report.summary.means[0] - std::f64::consts::PI).abs()
+            <= report.summary.abs_errors[0]
+    );
+    println!(
+        "result files in {}",
+        report.results_dir.root().display()
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Thorough-scale statistical verification (~10⁷–10⁹ draws per test).
+//!
+//! These mirror the `rng_battery --thorough` binary as ignored tests so
+//! CI stays fast but the full-strength verification is one command
+//! away:
+//!
+//! ```text
+//! cargo test --release --test battery_thorough -- --ignored
+//! ```
+
+use parmonc_rng::{Lcg128, StreamHierarchy};
+use parmonc_rngtest::battery::{run_battery, run_cross_stream_battery, Scale};
+
+#[test]
+#[ignore = "thorough scale: minutes of runtime; run with -- --ignored"]
+fn lcg128_passes_thorough_battery() {
+    let mut rng = Lcg128::new();
+    let report = run_battery(&mut rng, 1e-4, Scale::Thorough);
+    assert!(report.all_pass(), "{report}");
+}
+
+#[test]
+#[ignore = "thorough scale: minutes of runtime; run with -- --ignored"]
+fn cross_stream_thorough_battery() {
+    let report =
+        run_cross_stream_battery(&StreamHierarchy::default(), 1e-4, Scale::Thorough);
+    assert!(report.all_pass(), "{report}");
+}
+
+#[test]
+#[ignore = "thorough scale: samples deep into distinct processor streams"]
+fn deep_stream_positions_stay_uniform() {
+    // Draw 10^7 numbers from a late position of a far processor stream
+    // and χ²-test uniformity — probing a region of the period far from
+    // the default test windows.
+    use parmonc_rng::StreamId;
+    use parmonc_rngtest::uniformity::test_1d;
+    let h = StreamHierarchy::default();
+    let mut s = h
+        .realization_stream(StreamId::new(1023, 131_071, 1 << 40))
+        .unwrap();
+    let r = test_1d(&mut s, 10_000_000, 1024);
+    assert!(r.passes(1e-4), "{r:?}");
+}

@@ -1,0 +1,98 @@
+//! The paper's evaluation claims (Section 4, Fig. 2) as executable
+//! assertions on the discrete-event model, plus the capacity claims of
+//! Section 2.4.
+
+use parmonc_simcluster::figure2::{panel_series, Panel};
+use parmonc_simcluster::{simulate, ClusterConfig};
+
+#[test]
+fn figure2_panels_reproduce_linear_speedup() {
+    // "for all the values of L the speedup of parallelization is in
+    // direct proportion to the number of processors despite 'strict'
+    // conditions related to data exchange."
+    for panel in Panel::ALL {
+        let series = panel_series(panel);
+        for w in series.windows(2) {
+            let ratio_m = w[1].processors as f64 / w[0].processors as f64;
+            for (i, &(l, t_small)) in w[0].points.iter().enumerate() {
+                let ratio_t = t_small / w[1].points[i].1;
+                assert!(
+                    (ratio_t - ratio_m).abs() < 0.07 * ratio_m,
+                    "panel {} L={l}: ratio {ratio_t:.3} vs {ratio_m}",
+                    panel.letter()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure2_absolute_scale_matches_published_graphs() {
+    // Panel (a): the M=1 curve tops out near 8000 s at L=1000 (7.7 s
+    // per realization); panel (d): M=512 stays under ~1200 s at
+    // L=75000.
+    let a = panel_series(Panel::A);
+    let t1_1000 = a[0].points.last().unwrap().1;
+    assert!((7000.0..8500.0).contains(&t1_1000), "{t1_1000}");
+
+    let d = panel_series(Panel::D);
+    let t512_75000 = d[2].points.last().unwrap().1;
+    assert!((1000.0..1300.0).contains(&t512_75000), "{t512_75000}");
+}
+
+#[test]
+fn mean_realization_time_matches_tau() {
+    // T_comp(M=1)/L must equal tau up to the single save cost.
+    let c = ClusterConfig::paper_testbed(1);
+    let r = simulate(&c, 500);
+    let tau_eff = r.t_comp / 500.0;
+    assert!((tau_eff - 7.7).abs() < 0.01, "{tau_eff}");
+}
+
+#[test]
+fn strict_exchange_sends_one_message_per_realization() {
+    // "All the processors sent data to the 0-th processor after having
+    // simulated each realization."
+    let c = ClusterConfig::paper_testbed(8);
+    let r = simulate(&c, 800);
+    // Workers 1..7 each simulate 100 realizations.
+    assert_eq!(r.messages, 700);
+}
+
+#[test]
+fn message_volume_matches_paper_order_of_magnitude() {
+    // "the bulk of data which is periodically sent by every processor
+    // ... is approximately 120 Kbytes": our model charges exactly that
+    // per message; check the transfer takes ~1 ms on the modeled link.
+    let c = ClusterConfig::paper_testbed(2);
+    let transfer = c.transfer_seconds();
+    assert!((0.5e-3..2e-3).contains(&transfer), "{transfer}");
+    // ... which is negligible against tau = 7.7 s — the premise of the
+    // linear-speedup result.
+    assert!(transfer < 1e-3 * c.realization_seconds);
+}
+
+mod capacity_claims {
+    //! Section 2.4's quantitative claims, verified against the RNG
+    //! crate from the integration side.
+    use parmonc_rng::multiplier::{order_exponent, DEFAULT_MULTIPLIER};
+    use parmonc_rng::LeapConfig;
+
+    #[test]
+    fn period_is_2_pow_126() {
+        assert_eq!(order_exponent(DEFAULT_MULTIPLIER), Some(126));
+    }
+
+    #[test]
+    fn hierarchy_supports_paper_counts() {
+        // ~10^3 experiments, ~10^5 processors, ~10^16 realizations.
+        let c = LeapConfig::default();
+        assert_eq!(c.experiments(), 1 << 10); // ≈ 10^3
+        assert_eq!(c.processors(), 1 << 17); // ≈ 1.3·10^5
+        assert_eq!(c.realizations(), 1 << 55); // ≈ 3.6·10^16
+        // And one realization may draw 2^43 ≈ 8.8·10^12 numbers —
+        // more than the *entire period* of the 40-bit generator the
+        // paper cites as insufficient (2^38 ≈ 2.7·10^11).
+        assert!(1u128 << c.nr() > 1u128 << 38);
+    }
+}

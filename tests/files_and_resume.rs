@@ -1,0 +1,180 @@
+//! Integration of the file layer (Section 3.6), resumption (res = 1)
+//! and manual averaging (Section 3.4) across a chain of real runs.
+
+use std::path::PathBuf;
+
+use parmonc::genparam::{load_genparam, write_genparam};
+use parmonc::manaver::manaver;
+use parmonc::{Parmonc, ParmoncError, RealizeFn, Resume};
+use parmonc_stats::report;
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parmonc-fr-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn uniform() -> impl parmonc::Realize + Sync {
+    RealizeFn::new(|rng, out| {
+        for o in out.iter_mut() {
+            *o = rng.next_f64();
+        }
+    })
+}
+
+#[test]
+fn result_files_are_complete_and_parseable() {
+    let dir = tempdir("files");
+    let report_run = Parmonc::builder(3, 2)
+        .max_sample_volume(1_000)
+        .processors(2)
+        .seqnum(4)
+        .output_dir(&dir)
+        .run(uniform())
+        .unwrap();
+    let rd = &report_run.results_dir;
+
+    // func.dat: the matrix of sample means.
+    let func = std::fs::read_to_string(rd.func_path()).unwrap();
+    let (nrow, ncol, means) = report::parse_func(&func).unwrap();
+    assert_eq!((nrow, ncol), (3, 2));
+    assert_eq!(means, report_run.summary.means);
+
+    // func_ci.dat: means + errors + variances per entry.
+    let ci = report::parse_func_ci(&std::fs::read_to_string(rd.func_ci_path()).unwrap()).unwrap();
+    assert_eq!(ci.len(), 6);
+    for row in &ci {
+        assert!(row.variance >= 0.0);
+        assert!(row.abs_error >= 0.0);
+    }
+
+    // func_log.dat: volume, tau, upper bounds, processors, seqnum.
+    let log =
+        report::parse_func_log(&std::fs::read_to_string(rd.func_log_path()).unwrap()).unwrap();
+    assert_eq!(log.sample_volume, 1_000);
+    assert_eq!(log.processors, 2);
+    assert_eq!(log.seqnum, 4);
+    assert_eq!(log.eps_max, report_run.summary.eps_max);
+
+    // parmonc_exp.dat: the experiment journal.
+    let experiments = rd.read_experiments().unwrap();
+    assert_eq!(experiments.len(), 1);
+    assert_eq!(experiments[0].seqnum, 4);
+    assert!(!experiments[0].resumed);
+}
+
+#[test]
+fn resume_chain_preserves_total_volume_and_shrinks_errors() {
+    let dir = tempdir("chain");
+    let mut volumes = Vec::new();
+    let mut errors = Vec::new();
+    for (i, resume) in [Resume::New, Resume::Resume, Resume::Resume]
+        .into_iter()
+        .enumerate()
+    {
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(2_000)
+            .processors(2)
+            .seqnum(i as u64)
+            .resume(resume)
+            .output_dir(&dir)
+            .run(uniform())
+            .unwrap();
+        volumes.push(report.total_volume);
+        errors.push(report.summary.eps_max);
+    }
+    assert_eq!(volumes, vec![2_000, 4_000, 6_000]);
+    assert!(errors[0] > errors[1] && errors[1] > errors[2], "{errors:?}");
+
+    // The journal recorded all three experiments.
+    let rd = parmonc::ResultsDir::open(&dir).unwrap();
+    assert_eq!(rd.read_experiments().unwrap().len(), 3);
+}
+
+#[test]
+fn manaver_recovers_a_simulated_crash_then_resume_continues() {
+    let dir = tempdir("crash");
+    // Healthy run to produce a checkpoint + baseline.
+    Parmonc::builder(1, 1)
+        .max_sample_volume(1_000)
+        .processors(2)
+        .seqnum(0)
+        .output_dir(&dir)
+        .run(uniform())
+        .unwrap();
+
+    // Simulate a crashed second job: baseline = current checkpoint,
+    // plus worker files that never made it into a final save.
+    let rd = parmonc::ResultsDir::open(&dir).unwrap();
+    let checkpoint = rd.load_checkpoint().unwrap().unwrap();
+    rd.save_baseline(&checkpoint).unwrap();
+    let mut crashed = parmonc_stats::MatrixAccumulator::new(1, 1).unwrap();
+    for i in 0..500 {
+        crashed.add(&[f64::from(i % 2)]).unwrap();
+    }
+    rd.save_worker_subtotal(
+        1,
+        &parmonc::messages::Subtotal {
+            acc: crashed,
+            compute_seconds: 1.0,
+        },
+    )
+    .unwrap();
+
+    let mreport = manaver(&dir).unwrap();
+    assert_eq!(mreport.total_volume, 1_500);
+    assert_eq!(mreport.recovered_volume, 500);
+
+    // res = 1 picks up the recovered total.
+    let resumed = Parmonc::builder(1, 1)
+        .max_sample_volume(500)
+        .processors(2)
+        .seqnum(1)
+        .resume(Resume::Resume)
+        .output_dir(&dir)
+        .run(uniform())
+        .unwrap();
+    assert_eq!(resumed.resumed_volume, 1_500);
+    assert_eq!(resumed.total_volume, 2_000);
+}
+
+#[test]
+fn genparam_file_controls_the_hierarchy() {
+    let dir = tempdir("genparam");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Default when absent.
+    assert_eq!(load_genparam(&dir).unwrap(), parmonc::LeapConfig::default());
+    // genparam 100 80 40 writes the file; loading honours it.
+    write_genparam(&dir, 100, 80, 40).unwrap();
+    let cfg = load_genparam(&dir).unwrap();
+    assert_eq!((cfg.ne(), cfg.np(), cfg.nr()), (100, 80, 40));
+
+    // A run with the custom leaps still produces correct estimates.
+    let report = Parmonc::builder(1, 1)
+        .max_sample_volume(10_000)
+        .processors(2)
+        .leaps(cfg)
+        .output_dir(&dir)
+        .run(uniform())
+        .unwrap();
+    assert!((report.summary.means[0] - 0.5).abs() < 0.02);
+}
+
+#[test]
+fn error_chain_is_preserved() {
+    // A corrupted checkpoint surfaces as Parse with the file name.
+    let dir = tempdir("corrupt");
+    let rd = parmonc::ResultsDir::create(&dir).unwrap();
+    std::fs::write(rd.checkpoint_path(), "garbage\n").unwrap();
+    let err = Parmonc::builder(1, 1)
+        .max_sample_volume(10)
+        .resume(Resume::Resume)
+        .output_dir(&dir)
+        .run(uniform())
+        .unwrap_err();
+    match &err {
+        ParmoncError::Parse { file, .. } => assert!(file.contains("checkpoint.dat")),
+        other => panic!("expected Parse, got {other}"),
+    }
+    assert!(std::error::Error::source(&err).is_some());
+}

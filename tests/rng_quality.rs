@@ -1,0 +1,68 @@
+//! RNG quality from the integration side: the statistical battery run
+//! over the *stream types the runner actually hands to user code*, not
+//! just the raw generator, plus the inter-stream guarantees that make
+//! formula (5) valid.
+
+use parmonc_rng::{LeapConfig, StreamHierarchy, StreamId};
+use parmonc_rngtest::battery::{run_battery, run_cross_stream_battery, Scale};
+use parmonc_rngtest::crossstream;
+
+const ALPHA: f64 = 1e-3;
+
+#[test]
+fn realization_stream_passes_the_battery() {
+    // The exact object a `Realize` routine draws from.
+    let mut stream = StreamHierarchy::default()
+        .realization_stream(StreamId::new(1, 2, 3))
+        .unwrap();
+    let report = run_battery(&mut stream, ALPHA, Scale::Standard);
+    assert!(report.all_pass(), "{report}");
+}
+
+#[test]
+fn cross_stream_battery_on_default_hierarchy() {
+    let report = run_cross_stream_battery(&StreamHierarchy::default(), ALPHA, Scale::Standard);
+    assert!(report.all_pass(), "{report}");
+}
+
+#[test]
+fn streams_across_experiments_are_independent_too() {
+    // seqnum isolation: experiment 0 and experiment 1 streams.
+    let h = StreamHierarchy::default();
+    let mut a = h.realization_stream(StreamId::new(0, 0, 0)).unwrap();
+    let mut b = h.realization_stream(StreamId::new(1, 0, 0)).unwrap();
+    let n = 100_000;
+    let mut sum_ab = 0.0;
+    let mut sum_a = 0.0;
+    let mut sum_b = 0.0;
+    for _ in 0..n {
+        let x = a.next_f64();
+        let y = b.next_f64();
+        sum_a += x;
+        sum_b += y;
+        sum_ab += x * y;
+    }
+    let nf = n as f64;
+    let cov = sum_ab / nf - (sum_a / nf) * (sum_b / nf);
+    // Var(U)·correlation/n scale: 3 sigma ≈ 3/(12·sqrt(n)).
+    assert!(cov.abs() < 3.0 / (12.0 * nf.sqrt()) + 1e-4, "cov {cov}");
+}
+
+#[test]
+fn hundreds_of_processor_streams_have_uniform_grand_mean() {
+    let h = StreamHierarchy::default();
+    let r = crossstream::test_grand_mean(&h, 256, 1_000);
+    assert!(r.passes(ALPHA), "{r:?}");
+}
+
+#[test]
+fn custom_genparam_hierarchy_still_passes_cross_tests() {
+    // A user overriding the leaps with genparam must keep independence
+    // (as long as the leaps nest).
+    let cfg = LeapConfig::new(100, 80, 40).unwrap();
+    let h = StreamHierarchy::new(cfg);
+    let r = crossstream::test_cross_correlation(&h, 0, 1, 100_000);
+    assert!(r.passes(ALPHA), "{r:?}");
+    let r = crossstream::test_cross_uniformity(&h, 0, 1, 160_000, 16);
+    assert!(r.passes(ALPHA), "{r:?}");
+}
