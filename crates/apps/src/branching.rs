@@ -11,7 +11,7 @@
 //! offspring PGF, `q = e^{m(q−1)}` for Poisson offspring: `q = 1` iff
 //! `m ≤ 1` (critical/subcritical), `q < 1` for `m > 1`.
 
-use parmonc::{Realize, RealizationStream};
+use parmonc::{RealizationStream, Realize};
 use parmonc_rng::distributions::poisson;
 use parmonc_rng::UniformSource;
 

@@ -15,7 +15,7 @@
 //! `points` observation times (a `points × 1` matrix), normalized by
 //! `n0`.
 
-use parmonc::{Realize, RealizationStream};
+use parmonc::{RealizationStream, Realize};
 use parmonc_rng::UniformSource;
 
 /// Constant-kernel coagulation workload.

@@ -1,6 +1,6 @@
 //! Monte Carlo integration workloads.
 
-use parmonc::{Realize, RealizationStream};
+use parmonc::{RealizationStream, Realize};
 
 /// Estimates π by the classic quarter-circle rejection test: one
 /// realization is `ζ = 4·1{x² + y² < 1}` with `x, y ~ U(0,1)`, so
@@ -132,7 +132,11 @@ mod tests {
         let acc = estimate(&PiEstimator, 100_000);
         let p = std::f64::consts::PI / 4.0;
         let exact_var = 16.0 * p * (1.0 - p);
-        assert!((acc.variance() - exact_var).abs() < 0.1, "{}", acc.variance());
+        assert!(
+            (acc.variance() - exact_var).abs() < 0.1,
+            "{}",
+            acc.variance()
+        );
     }
 
     #[test]
@@ -142,8 +146,7 @@ mod tests {
         assert!((BallVolume::new(3).exact() - 4.0 / 3.0 * std::f64::consts::PI).abs() < 1e-12);
         // V_5 = 8π²/15.
         assert!(
-            (BallVolume::new(5).exact() - 8.0 * std::f64::consts::PI.powi(2) / 15.0).abs()
-                < 1e-12
+            (BallVolume::new(5).exact() - 8.0 * std::f64::consts::PI.powi(2) / 15.0).abs() < 1e-12
         );
     }
 

@@ -11,7 +11,7 @@
 //! estimates with honest error bars — exactly the "independent
 //! realizations of a random object" model of the paper.
 
-use parmonc::{Realize, RealizationStream};
+use parmonc::{RealizationStream, Realize};
 use parmonc_rng::distributions::uniform_index;
 use parmonc_rng::UniformSource;
 
@@ -71,7 +71,8 @@ impl IsingModel {
             for _ in 0..sites {
                 let site = uniform_index(rng, sites as u64) as usize;
                 let (r, c) = (site / n, site % n);
-                let delta_e = 2.0 * f64::from(spins[site]) * f64::from(self.neighbour_sum(&spins, r, c));
+                let delta_e =
+                    2.0 * f64::from(spins[site]) * f64::from(self.neighbour_sum(&spins, r, c));
                 if delta_e <= 0.0 || rng.next_f64() < (-self.beta * delta_e).exp() {
                     spins[site] = -spins[site];
                 }

@@ -20,7 +20,7 @@
 //! One realization records the copy number at `points` equally spaced
 //! observation times as a `points × 1` matrix.
 
-use parmonc::{Realize, RealizationStream};
+use parmonc::{RealizationStream, Realize};
 use parmonc_rng::UniformSource;
 
 /// The immigration–death SSA workload.
@@ -95,7 +95,11 @@ impl ImmigrationDeath {
     ///
     /// Panics if `out.len() != points`.
     pub fn simulate_into<R: UniformSource + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
-        assert_eq!(out.len(), self.points, "output must have one entry per time");
+        assert_eq!(
+            out.len(),
+            self.points,
+            "output must have one entry per time"
+        );
         let mut t = 0.0f64;
         let mut n = self.initial;
         let mut next_obs = 0usize;

@@ -11,7 +11,7 @@
 //! Steady-state theory gives `E W = ρ / (μ − λ)` with `ρ = λ/μ`, and
 //! `P(wait > 0) = ρ`, which the tests check against long simulations.
 
-use parmonc::{Realize, RealizationStream};
+use parmonc::{RealizationStream, Realize};
 use parmonc_rng::distributions::exponential;
 use parmonc_rng::UniformSource;
 
@@ -127,10 +127,7 @@ mod tests {
         let q = MM1Queue::new(0.8, 1.0, 100_000, 20_000);
         let (w, _) = long_run(&q, 10);
         // E W = 0.8/0.2 = 4; heavy traffic converges slowly, allow 15%.
-        assert!(
-            (w - 4.0).abs() < 0.6,
-            "wait {w} vs 4.0"
-        );
+        assert!((w - 4.0).abs() < 0.6, "wait {w} vs 4.0");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! For a purely absorbing slab the transmission probability is exactly
 //! `e^{-Σ_t L}`, which the tests verify.
 
-use parmonc::{Realize, RealizationStream};
+use parmonc::{RealizationStream, Realize};
 use parmonc_rng::distributions::{exponential, uniform};
 
 /// The slab transport problem.

@@ -4,7 +4,7 @@
 //! by the `fig2_sim` binary; here Criterion tracks the cost of the
 //! regeneration itself and pins the shape assertion.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmonc_bench::harness::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use parmonc_simcluster::figure2::{panel_series, Panel};
 use parmonc_simcluster::{simulate, ClusterConfig};
 

@@ -1,7 +1,7 @@
 //! Jump-ahead costs (DESIGN.md ablation #2): binary-exponentiation
 //! leaps vs sequential stepping, and full stream-creation cost.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use parmonc_bench::harness::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use parmonc_rng::{Lcg128, StreamHierarchy, StreamId};
 
 fn bench_jump_vs_step(c: &mut Criterion) {

@@ -1,0 +1,95 @@
+//! Monitor overhead: the acceptance criterion for the observability
+//! layer is that a monitored run (events streaming to both the jsonl
+//! file and the in-memory summary sink) costs less than 2% wall time
+//! over the identical unmonitored run. This bench measures both paths
+//! on the laptop-scale diffusion workload and enforces the bound on
+//! the fastest run of each arm.
+
+use std::path::Path;
+use std::time::Instant;
+
+use parmonc::{Exchange, Parmonc, RealizeFn};
+use parmonc_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
+use parmonc_bench::ScaledDiffusion;
+
+/// One full run of the Section 4 performance program at laptop scale;
+/// returns the wall seconds of the whole run (setup + ranks + final
+/// save).
+fn run_once(monitored: bool, dir: &Path) -> f64 {
+    // 40 Euler steps per output point ≈ 1 s per run: long enough that
+    // the few-millisecond scheduler jitter at the noise floor is well
+    // under the 2% bound being certified.
+    let workload = ScaledDiffusion::new(40);
+    let scheme = workload.scheme().clone();
+    let _ = std::fs::remove_dir_all(dir);
+    let mut builder = Parmonc::builder(ScaledDiffusion::POINTS, 2)
+        .max_sample_volume(600)
+        .processors(2)
+        .exchange(Exchange::EveryRealization)
+        .output_dir(dir);
+    if monitored {
+        builder = builder.monitor();
+    }
+    let started = Instant::now();
+    let report = builder
+        .run(RealizeFn::new(move |rng, out| {
+            scheme.realize_into(rng, out)
+        }))
+        .unwrap();
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(report.monitor.is_some(), monitored);
+    let _ = std::fs::remove_dir_all(dir);
+    elapsed
+}
+
+/// The fastest observed run: the noise-robust estimator for a
+/// deterministic workload — every noise source (scheduler preemption,
+/// page cache, turbo states) only ever *adds* time, so the minimum
+/// converges on the true cost.
+fn minimum(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn bench_monitor_overhead(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("parmonc-bench-monitor-{}", std::process::id()));
+
+    let mut group = c.benchmark_group("full_run");
+    group.sample_size(5);
+    group.bench_function("unmonitored", |b| {
+        b.iter(|| black_box(run_once(false, &dir)))
+    });
+    group.bench_function("monitored", |b| b.iter(|| black_box(run_once(true, &dir))));
+    group.finish();
+
+    // The <2% acceptance bound, on the fastest run of each arm.
+    // Samples are interleaved with alternating order so slow drift in
+    // machine load hits both arms equally.
+    const SAMPLES: usize = 13;
+    let mut off = Vec::with_capacity(SAMPLES);
+    let mut on = Vec::with_capacity(SAMPLES);
+    for i in 0..SAMPLES {
+        if i % 2 == 0 {
+            off.push(run_once(false, &dir));
+            on.push(run_once(true, &dir));
+        } else {
+            on.push(run_once(true, &dir));
+            off.push(run_once(false, &dir));
+        }
+    }
+    let off_min = minimum(&off);
+    let on_min = minimum(&on);
+    let overhead = (on_min - off_min) / off_min;
+    println!(
+        "monitor_overhead: unmonitored {off_min:.4} s, monitored {on_min:.4} s, \
+         overhead {:.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.02,
+        "monitored run must cost <2% over unmonitored, got {:.2}%",
+        overhead * 100.0
+    );
+}
+
+criterion_group!(benches, bench_monitor_overhead);
+criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! paper's message size, point-to-point round trip, and the gather
 //! pattern the collector runs.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use parmonc::messages::Subtotal;
+use parmonc_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use parmonc_mpi::{Tag, World};
 use parmonc_stats::MatrixAccumulator;
 
@@ -22,9 +22,7 @@ fn bench_codec(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("subtotal_codec");
     group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode_1000x2", |b| {
-        b.iter(|| black_box(subtotal.encode()))
-    });
+    group.bench_function("encode_1000x2", |b| b.iter(|| black_box(subtotal.encode())));
     group.bench_function("decode_1000x2", |b| {
         b.iter(|| black_box(Subtotal::decode(encoded.clone()).unwrap()))
     });

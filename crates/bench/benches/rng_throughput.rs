@@ -1,13 +1,11 @@
 //! RNG throughput: the PARMONC 128-bit generator (native `u128` and
 //! paper-faithful 64-bit-limb paths — DESIGN.md ablation #1) against
-//! the 40-bit LCG the paper cites, xorshift64*, splitmix64 and rand's
-//! StdRng.
+//! the 40-bit LCG the paper cites, xorshift64* and splitmix64.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use parmonc_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use parmonc_rng::baseline::{Lcg40, SplitMix64, XorShift64Star};
 use parmonc_rng::limbs::{limb_step, U128Limbs};
 use parmonc_rng::{Lcg128, UniformSource, DEFAULT_MULTIPLIER};
-use rand::{rngs::StdRng, RngCore, SeedableRng};
 
 const BATCH: u64 = 10_000;
 
@@ -68,17 +66,6 @@ fn bench_f64_sources(c: &mut Criterion) {
             let mut acc = 0.0;
             for _ in 0..BATCH {
                 acc += rng.next_f64();
-            }
-            black_box(acc)
-        })
-    });
-
-    group.bench_function("rand_stdrng", |b| {
-        let mut rng = StdRng::seed_from_u64(7);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..BATCH {
-                acc = acc.wrapping_add(rng.next_u64());
             }
             black_box(acc)
         })

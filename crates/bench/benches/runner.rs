@@ -6,8 +6,10 @@
 //! adds on top of the user routine — the quantity the paper's
 //! Section 2.2 argues is negligible.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use parmonc::{Exchange, Parmonc, RealizeFn};
+use parmonc_bench::harness::{
+    black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 
 fn bench_full_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_run");

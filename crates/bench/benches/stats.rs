@@ -2,7 +2,7 @@
 //! Welford, matrix add/merge at the paper's 1000×2 shape, and summary
 //! extraction.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use parmonc_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use parmonc_rng::Lcg128;
 use parmonc_stats::running::WelfordAccumulator;
 use parmonc_stats::{MatrixAccumulator, ScalarAccumulator};

@@ -26,7 +26,10 @@ fn panels(filter: Option<char>) {
 fn efficiency_table() {
     println!("speedup under strictest exchange (send after every realization)");
     println!("tau = 7.7 s, 120 KB messages, L = 75000");
-    println!("{:>5} {:>14} {:>10} {:>12}", "M", "T_comp (s)", "speedup", "efficiency");
+    println!(
+        "{:>5} {:>14} {:>10} {:>12}",
+        "M", "T_comp (s)", "speedup", "efficiency"
+    );
     let l = 75_000;
     let t1 = simulate(&ClusterConfig::paper_testbed(1), l).t_comp;
     for m in [1usize, 8, 16, 32, 64, 128, 256, 512] {
@@ -54,7 +57,10 @@ fn ablation() {
     }
     println!();
     println!("ablation 2: periodic exchange (perpass) rescues tiny tau (tau = 0.0008 s)");
-    println!("{:>16} {:>14} {:>10} {:>10}", "perpass (s)", "T_comp (s)", "speedup", "messages");
+    println!(
+        "{:>16} {:>14} {:>10} {:>10}",
+        "perpass (s)", "T_comp (s)", "speedup", "messages"
+    );
     let mut c = ClusterConfig::paper_testbed(64);
     c.realization_seconds = 0.0008;
     let mut c1 = c.clone();
@@ -64,7 +70,10 @@ fn ablation() {
         let r = simulate(&c, 64_000);
         println!(
             "{:>16} {:>14.2} {:>10.1} {:>10}",
-            "every realiz.", r.t_comp, t1 / r.t_comp, r.messages
+            "every realiz.",
+            r.t_comp,
+            t1 / r.t_comp,
+            r.messages
         );
     }
     for period in [0.01, 0.1, 1.0, 10.0] {
@@ -142,9 +151,7 @@ fn main() -> ExitCode {
         Some("--hybrid") => hybrid(),
         Some(other) => {
             eprintln!("unknown option {other:?}");
-            eprintln!(
-                "usage: fig2_sim [--panel <a|b|c|d> | --efficiency | --ablation | --hybrid]"
-            );
+            eprintln!("usage: fig2_sim [--panel <a|b|c|d> | --efficiency | --ablation | --hybrid]");
             return ExitCode::FAILURE;
         }
     }

@@ -13,15 +13,22 @@
 //! measurable overhead even when every realization triggers a message.
 //!
 //! ```text
-//! fig2_threads [max_procs] [l_per_proc] [steps_per_point]
+//! fig2_threads [max_procs] [l_per_proc] [steps_per_point] [--monitor]
 //! ```
+//!
+//! With `--monitor`, each run records the observability trace
+//! (`monitor/run_metrics.jsonl` under its results directory) and the
+//! largest-M run's monitor summary table is printed after the series.
 
 use std::process::ExitCode;
 
-use parmonc_bench::run_diffusion_threads;
+use parmonc_bench::run_diffusion_threads_report;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let before = args.len();
+    args.retain(|a| a != "--monitor");
+    let monitor = args.len() < before;
     let max_procs: usize = args.first().map_or(8, |s| s.parse().unwrap_or(8));
     let l_per_proc: u64 = args.get(1).map_or(64, |s| s.parse().unwrap_or(64));
     let steps: usize = args.get(2).map_or(20, |s| s.parse().unwrap_or(20));
@@ -38,19 +45,19 @@ fn main() -> ExitCode {
 
     let mut m = 1usize;
     let mut failed = false;
+    let mut last_summary = None;
     while m <= max_procs {
         let l = l_per_proc * m as u64;
-        let dir = std::env::temp_dir().join(format!(
-            "parmonc-fig2-threads-{}-m{m}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("parmonc-fig2-threads-{}-m{m}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        match run_diffusion_threads(l, m, steps, &dir) {
-            Ok((t_comp, tau)) => {
+        match run_diffusion_threads_report(l, m, steps, &dir, monitor) {
+            Ok(report) => {
+                let t_comp = report.elapsed.as_secs_f64();
+                let tau = report.mean_time_per_realization;
                 let throughput = l as f64 * tau / t_comp;
-                println!(
-                    "{m:>5} {l:>8} {t_comp:>12.3} {tau:>14.6} {throughput:>16.2}"
-                );
+                println!("{m:>5} {l:>8} {t_comp:>12.3} {tau:>14.6} {throughput:>16.2}");
+                last_summary = report.monitor;
             }
             Err(e) => {
                 eprintln!("M = {m}: {e}");
@@ -59,6 +66,10 @@ fn main() -> ExitCode {
         }
         let _ = std::fs::remove_dir_all(&dir);
         m *= 2;
+    }
+    if let Some(summary) = last_summary {
+        println!("\nmonitor summary of the largest-M run:");
+        println!("{}", summary.render_table());
     }
     if failed {
         ExitCode::FAILURE

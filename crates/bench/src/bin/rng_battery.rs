@@ -10,7 +10,7 @@ use std::process::ExitCode;
 
 use parmonc_rng::baseline::Lcg40;
 use parmonc_rng::multiplier::{order_exponent, DEFAULT_MULTIPLIER, PERIOD_EXPONENT};
-use parmonc_rng::{LeapConfig, Lcg128, StreamHierarchy};
+use parmonc_rng::{Lcg128, LeapConfig, StreamHierarchy};
 use parmonc_rngtest::battery::{run_battery, run_cross_stream_battery, Scale};
 
 fn main() -> ExitCode {

@@ -1,0 +1,297 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, covering the subset of its API the benches in `benches/`
+//! use: groups, throughput annotations, parameterized IDs and the
+//! `criterion_group!`/`criterion_main!` entry points.
+//!
+//! Results print one line per benchmark — median, minimum and maximum
+//! time per iteration over the sample set, plus derived throughput —
+//! rather than criterion's statistical report. The wire format is
+//! deliberately grep-friendly:
+//!
+//! ```text
+//! next_f64/lcg128_u128     time: [12.1 µs 12.3 µs 13.0 µs]  813.0 Melem/s
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many samples a benchmark collects unless overridden with
+/// [`BenchmarkGroup::sample_size`].
+const DEFAULT_SAMPLE_SIZE: usize = 12;
+
+/// Calibration target: iteration counts double until one sample takes
+/// at least this long, so timer resolution never dominates.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// Units a benchmark processes per iteration, for derived throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered
+    /// `function/param`.
+    pub fn new(function: impl Display, param: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{param}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, preventing the result from being
+    /// optimized away.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn format_rate(units_per_sec: f64, suffix: &str) -> String {
+    if units_per_sec >= 1e9 {
+        format!("{:.2} G{suffix}/s", units_per_sec / 1e9)
+    } else if units_per_sec >= 1e6 {
+        format!("{:.2} M{suffix}/s", units_per_sec / 1e6)
+    } else if units_per_sec >= 1e3 {
+        format!("{:.2} K{suffix}/s", units_per_sec / 1e3)
+    } else {
+        format!("{units_per_sec:.1} {suffix}/s")
+    }
+}
+
+/// Runs one benchmark: calibrates an iteration count, collects
+/// samples, prints a summary line. Returns the median seconds per
+/// iteration.
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) -> f64 {
+    // Calibration doubles the iteration count until one sample is
+    // long enough to time reliably; the first run also warms caches.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= MIN_SAMPLE_TIME || iters >= 1 << 22 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size.max(1))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {}", format_rate(n as f64 / median, "B"))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {}", format_rate(n as f64 / median, "elem"))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<40} time: [{} {} {}]{rate}",
+        format_time(min),
+        format_time(median),
+        format_time(max),
+    );
+    median
+}
+
+/// The harness entry point, created by [`criterion_group!`] and passed
+/// to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(id, DEFAULT_SAMPLE_SIZE, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput/sample
+/// settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-iteration throughput used for derived rates; it
+    /// applies to benchmarks registered after the call.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_benchmark(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, self.throughput, &mut |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("jump", 16).id, "jump/16");
+        assert_eq!(BenchmarkId::from_parameter("a").id, "a");
+    }
+
+    #[test]
+    fn run_benchmark_reports_sane_median() {
+        let mut calls = 0u64;
+        let median = run_benchmark("noop", 3, None, &mut |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            });
+        });
+        assert!(median > 0.0 && median < 1.0);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn formatting_covers_magnitudes() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+        assert!(format_rate(2e9, "B").contains("GB/s"));
+        assert!(format_rate(2e6, "elem").contains("Melem/s"));
+        assert!(format_rate(2e3, "B").contains("KB/s"));
+        assert!(format_rate(2.0, "B").contains("B/s"));
+    }
+}

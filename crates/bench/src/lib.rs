@@ -3,6 +3,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod harness;
+
 use std::time::Duration;
 
 use parmonc::{Exchange, Parmonc, ParmoncError, RealizeFn};
@@ -45,6 +47,35 @@ impl ScaledDiffusion {
 }
 
 /// Runs the paper's performance-test program (the Section 4 listing)
+/// at laptop scale, optionally with the run monitor attached, and
+/// returns the full report.
+///
+/// # Errors
+///
+/// Propagates runner errors.
+pub fn run_diffusion_threads_report(
+    l: u64,
+    processors: usize,
+    steps_per_point: usize,
+    output_dir: &std::path::Path,
+    monitor: bool,
+) -> Result<parmonc::RunReport, ParmoncError> {
+    let workload = ScaledDiffusion::new(steps_per_point);
+    let scheme = workload.scheme().clone();
+    let difftraj = RealizeFn::new(move |rng, out| scheme.realize_into(rng, out));
+    let mut builder = Parmonc::builder(ScaledDiffusion::POINTS, 2)
+        .max_sample_volume(l)
+        .processors(processors)
+        .exchange(Exchange::EveryRealization)
+        .averaging_period(Duration::ZERO)
+        .output_dir(output_dir);
+    if monitor {
+        builder = builder.monitor();
+    }
+    builder.run(difftraj)
+}
+
+/// Runs the paper's performance-test program (the Section 4 listing)
 /// at laptop scale and returns `(T_comp_seconds, mean_tau_seconds)`.
 ///
 /// # Errors
@@ -56,16 +87,7 @@ pub fn run_diffusion_threads(
     steps_per_point: usize,
     output_dir: &std::path::Path,
 ) -> Result<(f64, f64), ParmoncError> {
-    let workload = ScaledDiffusion::new(steps_per_point);
-    let scheme = workload.scheme().clone();
-    let difftraj = RealizeFn::new(move |rng, out| scheme.realize_into(rng, out));
-    let report = Parmonc::builder(ScaledDiffusion::POINTS, 2)
-        .max_sample_volume(l)
-        .processors(processors)
-        .exchange(Exchange::EveryRealization)
-        .averaging_period(Duration::ZERO)
-        .output_dir(output_dir)
-        .run(difftraj)?;
+    let report = run_diffusion_threads_report(l, processors, steps_per_point, output_dir, false)?;
     Ok((
         report.elapsed.as_secs_f64(),
         report.mean_time_per_realization,

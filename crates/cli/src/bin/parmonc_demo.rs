@@ -1,6 +1,7 @@
-//! `parmonc-demo <pi|transport|queue> [volume] [processors] [dir]` —
-//! runs a bundled workload through the full PARMONC pipeline and
-//! prints the averaged results.
+//! `parmonc-demo <pi|transport|queue> [volume] [processors] [dir]
+//! [--monitor]` — runs a bundled workload through the full PARMONC
+//! pipeline and prints the averaged results; with `--monitor`, also
+//! records a run trace and prints the monitor summary table.
 
 use std::process::ExitCode;
 
@@ -10,10 +11,15 @@ use parmonc_cli::{parse_demo_args, DemoArgs, DemoWorkload};
 
 fn run(args: &DemoArgs) -> Result<(RunReport, Vec<&'static str>), ParmoncError> {
     let builder = |ncol: usize| {
-        Parmonc::builder(1, ncol)
+        let b = Parmonc::builder(1, ncol)
             .max_sample_volume(args.volume)
             .processors(args.processors)
-            .output_dir(&args.dir)
+            .output_dir(&args.dir);
+        if args.monitor {
+            b.monitor()
+        } else {
+            b
+        }
     };
     match args.workload {
         DemoWorkload::Pi => Ok((builder(1).run(PiEstimator)?, vec!["pi"])),
@@ -54,6 +60,14 @@ fn main() -> ExitCode {
                 );
             }
             println!("results in {}", report.results_dir.root().display());
+            if let Some(summary) = &report.monitor {
+                println!();
+                println!("{}", summary.render_table());
+                println!(
+                    "event trace in {}",
+                    report.results_dir.run_metrics_path().display()
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

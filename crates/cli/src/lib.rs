@@ -108,9 +108,15 @@ pub struct DemoArgs {
     pub processors: usize,
     /// Output directory.
     pub dir: PathBuf,
+    /// Whether to record a run-monitor trace
+    /// (`parmonc_data/monitor/run_metrics.jsonl`) and print the
+    /// end-of-run summary table.
+    pub monitor: bool,
 }
 
-/// Parses `parmonc-demo <pi|transport|queue> [volume] [processors] [dir]`.
+/// Parses
+/// `parmonc-demo <pi|transport|queue> [volume] [processors] [dir] [--monitor]`.
+/// The `--monitor` flag may appear anywhere.
 ///
 /// # Errors
 ///
@@ -120,8 +126,12 @@ where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
-    const USAGE: &str = "usage: parmonc-demo <pi|transport|queue> [volume] [processors] [dir]";
-    let values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    const USAGE: &str =
+        "usage: parmonc-demo <pi|transport|queue> [volume] [processors] [dir] [--monitor]";
+    let mut values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    let before = values.len();
+    values.retain(|v| v != "--monitor");
+    let monitor = values.len() < before;
     let Some(first) = values.first() else {
         return Err(USAGE.to_string());
     };
@@ -151,6 +161,7 @@ where
         volume,
         processors,
         dir,
+        monitor,
     })
 }
 
@@ -161,12 +172,21 @@ mod tests {
     #[test]
     fn genparam_happy_path() {
         let a = parse_genparam_args(["115", "98", "43"]).unwrap();
-        assert_eq!(a, GenparamArgs { ne: 115, np: 98, nr: 43 });
+        assert_eq!(
+            a,
+            GenparamArgs {
+                ne: 115,
+                np: 98,
+                nr: 43
+            }
+        );
     }
 
     #[test]
     fn genparam_wrong_arity() {
-        assert!(parse_genparam_args(["1", "2"]).unwrap_err().contains("usage"));
+        assert!(parse_genparam_args(["1", "2"])
+            .unwrap_err()
+            .contains("usage"));
         assert!(parse_genparam_args(["1", "2", "3", "4"]).is_err());
     }
 
@@ -195,6 +215,7 @@ mod tests {
         assert_eq!(a.workload, DemoWorkload::Pi);
         assert_eq!(a.volume, 100_000);
         assert_eq!(a.processors, 4);
+        assert!(!a.monitor);
 
         let a = parse_demo_args(["queue", "5000", "8", "/tmp/q"]).unwrap();
         assert_eq!(a.workload, DemoWorkload::Queue);
@@ -205,5 +226,20 @@ mod tests {
         assert!(parse_demo_args(Vec::<String>::new()).is_err());
         assert!(parse_demo_args(["juggling"]).is_err());
         assert!(parse_demo_args(["pi", "lots"]).is_err());
+    }
+
+    #[test]
+    fn demo_monitor_flag_anywhere() {
+        for args in [
+            vec!["pi", "--monitor"],
+            vec!["--monitor", "pi"],
+            vec!["pi", "1000", "--monitor", "2"],
+        ] {
+            let a = parse_demo_args(args).unwrap();
+            assert!(a.monitor);
+            assert_eq!(a.workload, DemoWorkload::Pi);
+        }
+        // The flag alone is not a workload.
+        assert!(parse_demo_args(["--monitor"]).is_err());
     }
 }

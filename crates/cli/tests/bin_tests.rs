@@ -19,7 +19,11 @@ fn genparam_writes_the_dat_file() {
         .current_dir(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("ne = 110"));
     assert!(dir.join("parmonc_genparam.dat").is_file());
@@ -47,7 +51,11 @@ fn demo_then_manaver_flow() {
         .args(["pi", "20000", "2", dir.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("pi ="), "{stdout}");
     assert!(dir.join("parmonc_data/results/func.dat").is_file());
@@ -70,7 +78,11 @@ fn demo_then_manaver_flow() {
         .arg(dir.to_str().unwrap())
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("recovered 100 realizations"), "{stdout}");
 }

@@ -74,6 +74,12 @@ pub struct RunConfig {
     /// `parmonc_genparam.dat` in the output directory, as the paper's
     /// routines do (Section 3.5).
     pub leaps_explicit: bool,
+    /// Whether the run-monitor observability layer is on. A monitored
+    /// run writes `parmonc_data/monitor/run_metrics.jsonl` (one JSON
+    /// event per line; schema in `docs/observability.md`) and attaches
+    /// a [`parmonc_obs::MonitorSummary`] to the report. Off by default;
+    /// monitoring never changes the estimates.
+    pub monitor: bool,
 }
 
 impl RunConfig {
@@ -160,6 +166,7 @@ impl ParmoncBuilder {
                 output_dir: PathBuf::from("."),
                 leaps: LeapConfig::default(),
                 leaps_explicit: false,
+                monitor: false,
             },
         }
     }
@@ -236,6 +243,16 @@ impl ParmoncBuilder {
         self
     }
 
+    /// Enables the run monitor: the run writes its event trace to
+    /// `parmonc_data/monitor/run_metrics.jsonl` and the report carries
+    /// a [`parmonc_obs::MonitorSummary`]. Purely observational — the
+    /// estimates are bitwise identical with the monitor on or off.
+    #[must_use]
+    pub fn monitor(mut self) -> Self {
+        self.config.monitor = true;
+        self
+    }
+
     /// Overrides the leap configuration explicitly, bypassing any
     /// `parmonc_genparam.dat` in the output directory.
     #[must_use]
@@ -285,7 +302,10 @@ mod tests {
 
     #[test]
     fn builder_defaults_mirror_paper() {
-        let cfg = Parmonc::builder(10, 2).max_sample_volume(100).build().unwrap();
+        let cfg = Parmonc::builder(10, 2)
+            .max_sample_volume(100)
+            .build()
+            .unwrap();
         assert_eq!(cfg.nrow, 10);
         assert_eq!(cfg.ncol, 2);
         assert_eq!(cfg.resume, Resume::New);
@@ -334,10 +354,8 @@ mod tests {
 
     #[test]
     fn build_picks_up_genparam_file() {
-        let dir = std::env::temp_dir().join(format!(
-            "parmonc-config-genparam-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("parmonc-config-genparam-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         crate::genparam::write_genparam(&dir, 105, 85, 42).unwrap();
@@ -348,7 +366,10 @@ mod tests {
             .output_dir(&dir)
             .build()
             .unwrap();
-        assert_eq!((cfg.leaps.ne(), cfg.leaps.np(), cfg.leaps.nr()), (105, 85, 42));
+        assert_eq!(
+            (cfg.leaps.ne(), cfg.leaps.np(), cfg.leaps.nr()),
+            (105, 85, 42)
+        );
 
         // Explicit: the builder wins.
         let cfg = Parmonc::builder(1, 1)

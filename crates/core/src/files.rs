@@ -129,6 +129,19 @@ impl ResultsDir {
         self.root.join("parmonc_exp.dat")
     }
 
+    /// Directory of run-monitor output (`monitor/`).
+    #[must_use]
+    pub fn monitor_dir(&self) -> PathBuf {
+        self.root.join("monitor")
+    }
+
+    /// Path of the monitor event trace `monitor/run_metrics.jsonl`
+    /// (one JSON event per line; schema in `docs/observability.md`).
+    #[must_use]
+    pub fn run_metrics_path(&self) -> PathBuf {
+        self.monitor_dir().join("run_metrics.jsonl")
+    }
+
     /// Path of worker `m`'s subtotal file.
     #[must_use]
     pub fn worker_path(&self, worker: usize) -> PathBuf {
@@ -138,8 +151,7 @@ impl ResultsDir {
     fn write_atomic(path: &Path, contents: &str) -> Result<(), ParmoncError> {
         let tmp = path.with_extension("tmp");
         {
-            let mut f =
-                fs::File::create(&tmp).io_ctx(format!("creating {}", tmp.display()))?;
+            let mut f = fs::File::create(&tmp).io_ctx(format!("creating {}", tmp.display()))?;
             f.write_all(contents.as_bytes())
                 .io_ctx(format!("writing {}", tmp.display()))?;
             f.sync_all().io_ctx(format!("syncing {}", tmp.display()))?;
@@ -320,8 +332,7 @@ impl ResultsDir {
                 continue;
             };
             let path = entry.path();
-            let text =
-                fs::read_to_string(&path).io_ctx(format!("reading {}", path.display()))?;
+            let text = fs::read_to_string(&path).io_ctx(format!("reading {}", path.display()))?;
             let (acc, compute_seconds) = decode_checkpoint(&text, &path)?;
             out.push((
                 idx,
@@ -346,8 +357,7 @@ impl ResultsDir {
         let entries = fs::read_dir(&dir).io_ctx(format!("listing {}", dir.display()))?;
         for entry in entries {
             let entry = entry.io_ctx("reading directory entry")?;
-            fs::remove_file(entry.path())
-                .io_ctx(format!("removing {}", entry.path().display()))?;
+            fs::remove_file(entry.path()).io_ctx(format!("removing {}", entry.path().display()))?;
         }
         Ok(())
     }
@@ -362,17 +372,20 @@ impl ResultsDir {
 /// ```
 fn encode_checkpoint(acc: &MatrixAccumulator, compute_seconds: f64) -> String {
     let (nrow, ncol) = acc.shape();
-    let mut out = format!("{} {} {} {:.16e}\n", nrow, ncol, acc.count(), compute_seconds);
+    let mut out = format!(
+        "{} {} {} {:.16e}\n",
+        nrow,
+        ncol,
+        acc.count(),
+        compute_seconds
+    );
     for (s, q) in acc.sums().iter().zip(acc.sums_sq()) {
         out.push_str(&format!("{s:.16e} {q:.16e}\n"));
     }
     out
 }
 
-fn decode_checkpoint(
-    text: &str,
-    path: &Path,
-) -> Result<(MatrixAccumulator, f64), ParmoncError> {
+fn decode_checkpoint(text: &str, path: &Path) -> Result<(MatrixAccumulator, f64), ParmoncError> {
     use parmonc_stats::report::ParseError;
     let parse_err = |source: ParseError| ParmoncError::Parse {
         file: path.display().to_string(),
@@ -380,9 +393,7 @@ fn decode_checkpoint(
     };
 
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(ParseError::Empty))?;
+    let (_, header) = lines.next().ok_or_else(|| parse_err(ParseError::Empty))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() != 4 {
         return Err(parse_err(ParseError::FieldCount {
@@ -437,10 +448,7 @@ mod tests {
     use super::*;
 
     fn tempdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "parmonc-files-{name}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("parmonc-files-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -571,13 +579,13 @@ mod tests {
 
     #[test]
     fn checkpoint_text_codec_is_bitwise_for_arbitrary_floats() {
-        use proptest::prelude::*;
-        let mut runner = proptest::test_runner::TestRunner::default();
+        use parmonc_testkit::prelude::*;
+        let mut runner = parmonc_testkit::TestRunner::default();
         runner
             .run(
                 &(
-                    proptest::collection::vec(any::<f64>(), 6),
-                    proptest::collection::vec(any::<f64>(), 6),
+                    collection::vec(any::<f64>(), 6),
+                    collection::vec(any::<f64>(), 6),
                     any::<u64>(),
                 ),
                 |(sums, sums_sq, count)| {
@@ -590,17 +598,11 @@ mod tests {
                     };
                     let sums = clean(&sums);
                     let sums_sq = clean(&sums_sq);
-                    let acc = MatrixAccumulator::from_parts(
-                        2,
-                        3,
-                        sums.clone(),
-                        sums_sq.clone(),
-                        count,
-                    )
-                    .unwrap();
+                    let acc =
+                        MatrixAccumulator::from_parts(2, 3, sums.clone(), sums_sq.clone(), count)
+                            .unwrap();
                     let text = encode_checkpoint(&acc, 1.25);
-                    let (decoded, secs) =
-                        decode_checkpoint(&text, Path::new("prop.dat")).unwrap();
+                    let (decoded, secs) = decode_checkpoint(&text, Path::new("prop.dat")).unwrap();
                     prop_assert_eq!(decoded.count(), count);
                     prop_assert_eq!(secs, 1.25);
                     for (a, b) in decoded.sums().iter().zip(&sums) {

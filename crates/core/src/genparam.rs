@@ -29,7 +29,12 @@ pub const GENPARAM_FILE: &str = "parmonc_genparam.dat";
 ///
 /// Returns [`ParmoncError::Hierarchy`] for invalid exponents or
 /// [`ParmoncError::Io`] on write failure.
-pub fn write_genparam(dir: impl AsRef<Path>, ne: u32, np: u32, nr: u32) -> Result<LeapConfig, ParmoncError> {
+pub fn write_genparam(
+    dir: impl AsRef<Path>,
+    ne: u32,
+    np: u32,
+    nr: u32,
+) -> Result<LeapConfig, ParmoncError> {
     let config = LeapConfig::new(ne, np, nr)?;
     let path = dir.as_ref().join(GENPARAM_FILE);
     let contents = format!(
@@ -95,10 +100,8 @@ mod tests {
     use super::*;
 
     fn tempdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "parmonc-genparam-{name}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("parmonc-genparam-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -130,10 +133,7 @@ mod tests {
     fn rejects_malformed_file() {
         let dir = tempdir("malformed");
         fs::write(dir.join(GENPARAM_FILE), "ne = spam\n").unwrap();
-        assert!(matches!(
-            load_genparam(&dir),
-            Err(ParmoncError::Config(_))
-        ));
+        assert!(matches!(load_genparam(&dir), Err(ParmoncError::Config(_))));
         fs::write(dir.join(GENPARAM_FILE), "ne = 100\n").unwrap();
         assert!(load_genparam(&dir).is_err()); // missing np, nr
         fs::write(dir.join(GENPARAM_FILE), "bogus = 1\n").unwrap();

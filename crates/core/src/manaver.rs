@@ -78,10 +78,7 @@ pub fn manaver(output_dir: impl AsRef<Path>) -> Result<ManaverReport, ParmoncErr
     };
     // seqnum is unknown to manaver (it post-processes a dead job); the
     // journal's last record is the best available provenance.
-    let seqnum = dir
-        .read_experiments()?
-        .last()
-        .map_or(0, |rec| rec.seqnum);
+    let seqnum = dir.read_experiments()?.last().map_or(0, |rec| rec.seqnum);
     let log = LogReport {
         sample_volume: total.count(),
         mean_time_per_realization: mean_time,
@@ -110,10 +107,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn tempdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "parmonc-manaver-{name}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("parmonc-manaver-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir

@@ -9,7 +9,7 @@
 //! and replaces rather than adds — making message loss-free retrying
 //! idempotent.
 
-use bytes::Bytes;
+use parmonc_mpi::bytes::Bytes;
 use parmonc_mpi::envelope::{PayloadReader, PayloadWriter};
 use parmonc_mpi::{MpiError, Tag};
 use parmonc_stats::MatrixAccumulator;

@@ -11,17 +11,19 @@
 //! when the total sample volume reaches `maxsv` or the wall-clock
 //! deadline passes.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use parmonc_mpi::{Communicator, MpiError, World};
+use parmonc_obs::{
+    CollectorActivity, EventKind, JsonlSink, MemorySink, Monitor, MonitorSummary, RunMode,
+};
 use parmonc_rng::{StreamHierarchy, StreamId};
 use parmonc_stats::report::LogReport;
 use parmonc_stats::{MatrixAccumulator, MatrixSummary};
 
 use crate::config::{Exchange, ParmoncBuilder, Resume, RunConfig};
-use crate::error::ParmoncError;
+use crate::error::{IoContext, ParmoncError};
 use crate::files::{ExperimentRecord, ResultsDir};
 use crate::messages::{Subtotal, TAG_FINAL, TAG_STOP, TAG_SUBTOTAL};
 use crate::realize::Realize;
@@ -62,12 +64,18 @@ pub struct RunReport {
     pub worker_volumes: Vec<u64>,
     /// The results directory of the run.
     pub results_dir: ResultsDir,
+    /// Folded monitor trace of the run; `Some` only when the run was
+    /// built with [`ParmoncBuilder::monitor`]. The full event trace is
+    /// at `parmonc_data/monitor/run_metrics.jsonl`.
+    pub monitor: Option<MonitorSummary>,
 }
 
-/// Collector-side state: the latest cumulative subtotal per rank.
+/// Collector-side state: the latest cumulative subtotal per rank, and
+/// when each arrived (for the monitor's snapshot-age metric).
 struct CollectorState {
     baseline: MatrixAccumulator,
     latest: Vec<Option<Subtotal>>,
+    updated_at: Vec<Option<Instant>>,
 }
 
 impl CollectorState {
@@ -75,11 +83,23 @@ impl CollectorState {
         Self {
             baseline,
             latest: vec![None; ranks],
+            updated_at: vec![None; ranks],
         }
     }
 
     fn update(&mut self, rank: usize, subtotal: Subtotal) {
         self.latest[rank] = Some(subtotal);
+        self.updated_at[rank] = Some(Instant::now());
+    }
+
+    /// Age of the stalest per-rank snapshot folded into an averaging
+    /// pass; `None` until at least one rank has reported.
+    fn max_snapshot_age(&self) -> Option<f64> {
+        self.updated_at
+            .iter()
+            .flatten()
+            .map(|t| t.elapsed().as_secs_f64())
+            .fold(None, |acc, age| Some(acc.map_or(age, |m: f64| m.max(age))))
     }
 
     /// Formula (5): total = baseline + Σ_m latest_m (cumulative sums, so
@@ -93,11 +113,7 @@ impl CollectorState {
     }
 
     fn new_volume(&self) -> u64 {
-        self.latest
-            .iter()
-            .flatten()
-            .map(|s| s.acc.count())
-            .sum()
+        self.latest.iter().flatten().map(|s| s.acc.count()).sum()
     }
 
     fn compute_seconds(&self) -> f64 {
@@ -171,8 +187,32 @@ where
     dir.save_baseline(&baseline)?;
     dir.clear_worker_subtotals()?;
 
+    // The monitor is disabled (a no-op) unless the builder opted in, in
+    // which case events stream to `monitor/run_metrics.jsonl` and into
+    // an in-memory sink that feeds the end-of-run summary.
+    let (monitor, memory) = if config.monitor {
+        let sink = JsonlSink::create(dir.run_metrics_path())
+            .io_ctx("creating monitor/run_metrics.jsonl")?;
+        let memory = Arc::new(MemorySink::new());
+        let monitor: Monitor = Monitor::new(vec![Box::new(sink), Box::new(Arc::clone(&memory))]);
+        (monitor, Some(memory))
+    } else {
+        (Monitor::disabled(), None)
+    };
+    monitor.emit(
+        None,
+        EventKind::RunStarted {
+            mode: RunMode::Threads,
+            processors: config.processors,
+            max_sample_volume: config.max_sample_volume,
+            seqnum: Some(config.seqnum),
+            nrow: Some(config.nrow),
+            ncol: Some(config.ncol),
+        },
+    );
+
     let hierarchy = StreamHierarchy::new(config.leaps);
-    let comms = World::communicators(config.processors)?;
+    let comms = World::communicators_monitored(config.processors, monitor.clone())?;
 
     // Shared slot for an error raised inside a rank (first one wins).
     let failure: Mutex<Option<ParmoncError>> = Mutex::new(None);
@@ -190,40 +230,50 @@ where
             let baseline = baseline.clone();
             let failure = &failure;
             let collector_out = &collector_out;
+            let monitor = monitor.clone();
             handles.push(scope.spawn(move || {
                 let result = if comm.rank() == 0 {
-                    rank0_loop(comm, &config, &hierarchy, &dir, baseline, realize, start)
-                        .map(|state| {
-                            *collector_out.lock() = Some(state);
-                        })
+                    rank0_loop(
+                        comm, &config, &hierarchy, &dir, baseline, realize, start, &monitor,
+                    )
+                    .map(|state| {
+                        *collector_out.lock().unwrap() = Some(state);
+                    })
                 } else {
-                    worker_loop(comm, &config, &hierarchy, &dir, realize, start)
+                    worker_loop(comm, &config, &hierarchy, &dir, realize, start, &monitor)
                 };
                 if let Err(e) = result {
-                    failure.lock().get_or_insert(e);
+                    failure.lock().unwrap().get_or_insert(e);
                 }
             }));
         }
         for h in handles {
             if h.join().is_err() {
-                failure.lock().get_or_insert(ParmoncError::Mpi(
-                    MpiError::RankPanicked {
+                failure
+                    .lock()
+                    .unwrap()
+                    .get_or_insert(ParmoncError::Mpi(MpiError::RankPanicked {
                         rank: usize::MAX,
                         message: "a rank panicked".into(),
-                    },
-                ));
+                    }));
             }
         }
     });
 
-    if let Some(e) = failure.into_inner() {
+    if let Some(e) = failure.into_inner().unwrap() {
         return Err(e);
     }
     let state = collector_out
         .into_inner()
+        .unwrap()
         .expect("rank 0 always produces collector state on success");
 
-    // Final averaging and save.
+    // Final averaging and save. This path always runs (unlike the
+    // in-loop save-points, which only fire when `averaging_period`
+    // elapses), so every monitored run records at least one
+    // averaging_pass and one save_point event.
+    let pass_started = Instant::now();
+    let max_age = state.max_snapshot_age();
     let total = state.total()?;
     let summary = total.summary();
     let new_volume = state.new_volume();
@@ -242,15 +292,59 @@ where
         processors: config.processors,
         seqnum: config.seqnum,
     };
+    let save_started = Instant::now();
     dir.save_results(&summary, &log)?;
     dir.save_checkpoint(&total)?;
     dir.clear_worker_subtotals()?;
+    if monitor.is_enabled() {
+        monitor.emit(
+            Some(0),
+            EventKind::SavePoint {
+                volume: total.count(),
+                duration_seconds: save_started.elapsed().as_secs_f64(),
+            },
+        );
+        monitor.emit(
+            Some(0),
+            EventKind::AveragingPass {
+                volume: total.count(),
+                duration_seconds: pass_started.elapsed().as_secs_f64(),
+                eps_max: Some(summary.eps_max),
+                max_snapshot_age_seconds: max_age,
+            },
+        );
+    }
 
-    let worker_volumes = state
+    let worker_volumes: Vec<u64> = state
         .latest
         .iter()
         .map(|s| s.as_ref().map_or(0, |s| s.acc.count()))
         .collect();
+
+    let monitor_summary = memory.map(|memory| {
+        // Count the collector's inbound traffic from the trace itself,
+        // so run_completed agrees with the message_received lines.
+        let (messages, bytes) = memory
+            .snapshot()
+            .iter()
+            .fold((0u64, 0u64), |(m, b), ev| match ev.kind {
+                EventKind::MessageReceived { bytes, .. } if ev.rank == Some(0) => {
+                    (m + 1, b + bytes)
+                }
+                _ => (m, b),
+            });
+        monitor.emit(
+            None,
+            EventKind::RunCompleted {
+                realizations: new_volume,
+                t_comp_seconds: elapsed.as_secs_f64(),
+                messages,
+                bytes,
+            },
+        );
+        monitor.flush();
+        MonitorSummary::from_events(&memory.snapshot())
+    });
 
     Ok(RunReport {
         total_volume: total.count(),
@@ -262,6 +356,7 @@ where
         processors: config.processors,
         worker_volumes,
         results_dir: dir,
+        monitor: monitor_summary,
     })
 }
 
@@ -298,11 +393,8 @@ fn simulate_quota<R: Realize + ?Sized>(
             break;
         }
         out.fill(0.0);
-        let mut stream = hierarchy.realization_stream(StreamId::new(
-            config.seqnum,
-            rank as u64,
-            r,
-        ))?;
+        let mut stream =
+            hierarchy.realization_stream(StreamId::new(config.seqnum, rank as u64, r))?;
         let t0 = Instant::now();
         realize.realize(&mut stream, &mut out);
         compute_seconds += t0.elapsed().as_secs_f64();
@@ -335,6 +427,7 @@ fn simulate_quota<R: Realize + ?Sized>(
     Ok(final_subtotal)
 }
 
+#[allow(clippy::too_many_arguments)] // internal: one call site
 fn worker_loop<R: Realize + ?Sized>(
     comm: Communicator,
     config: &RunConfig,
@@ -342,6 +435,7 @@ fn worker_loop<R: Realize + ?Sized>(
     dir: &ResultsDir,
     realize: &R,
     start: Instant,
+    monitor: &Monitor,
 ) -> Result<(), ParmoncError> {
     let rank = comm.rank();
     // `emit` only needs `&Communicator` (sends), while the stop probe
@@ -356,6 +450,13 @@ fn worker_loop<R: Realize + ?Sized>(
         realize,
         start,
         |sub, is_final| {
+            monitor.emit(
+                Some(rank),
+                EventKind::Realizations {
+                    completed: sub.acc.count(),
+                    compute_seconds: sub.compute_seconds,
+                },
+            );
             let tag = if is_final { TAG_FINAL } else { TAG_SUBTOTAL };
             comm.borrow().send_bytes(0, tag, sub.encode())?;
             Ok(())
@@ -369,6 +470,8 @@ fn worker_loop<R: Realize + ?Sized>(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)] // internal: one call site
+#[allow(clippy::too_many_lines)]
 fn rank0_loop<R: Realize + ?Sized>(
     mut comm: Communicator,
     config: &RunConfig,
@@ -377,11 +480,13 @@ fn rank0_loop<R: Realize + ?Sized>(
     baseline: MatrixAccumulator,
     realize: &R,
     start: Instant,
+    monitor: &Monitor,
 ) -> Result<CollectorState, ParmoncError> {
     let size = comm.size();
     let mut state = CollectorState::new(baseline, size);
     let mut finals = vec![false; size];
     let mut last_average = Instant::now();
+    let mut tracker = SegmentTracker::new(monitor);
 
     // Rank 0 simulates its own quota inline, draining asynchronously
     // arriving worker messages between realizations and writing
@@ -403,9 +508,9 @@ fn rank0_loop<R: Realize + ?Sized>(
         if stop_broadcast {
             break;
         }
+        tracker.switch(CollectorActivity::Computing);
         out.fill(0.0);
-        let mut stream =
-            hierarchy.realization_stream(StreamId::new(config.seqnum, 0, r))?;
+        let mut stream = hierarchy.realization_stream(StreamId::new(config.seqnum, 0, r))?;
         let t0 = Instant::now();
         realize.realize(&mut stream, &mut out);
         compute_seconds += t0.elapsed().as_secs_f64();
@@ -416,6 +521,13 @@ fn rank0_loop<R: Realize + ?Sized>(
             Exchange::Periodic => last_pass.elapsed() >= config.pass_period,
         };
         if due {
+            monitor.emit(
+                Some(0),
+                EventKind::Realizations {
+                    completed: acc.count(),
+                    compute_seconds,
+                },
+            );
             state.update(
                 0,
                 Subtotal {
@@ -435,7 +547,10 @@ fn rank0_loop<R: Realize + ?Sized>(
             }
             last_pass = Instant::now();
         }
-        drain_messages(&mut comm, &mut state, &mut finals)?;
+        let drain_started = Instant::now();
+        if drain_messages(&mut comm, &mut state, &mut finals)? > 0 {
+            tracker.punch(CollectorActivity::Receiving, drain_started);
+        }
         if last_average.elapsed() >= config.averaging_period {
             // The running rank-0 subtotal must be visible to the
             // save-point (and to the error-control check below) even
@@ -447,7 +562,9 @@ fn rank0_loop<R: Realize + ?Sized>(
                     compute_seconds,
                 },
             );
-            let eps_max = save_point(dir, config, &state, start)?;
+            let save_started = Instant::now();
+            let eps_max = save_point(dir, config, &state, start, monitor)?;
+            tracker.punch(CollectorActivity::Saving, save_started);
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
                 if eps_max <= target && !stop_broadcast {
@@ -469,20 +586,32 @@ fn rank0_loop<R: Realize + ?Sized>(
         acc,
         compute_seconds,
     };
+    monitor.emit(
+        Some(0),
+        EventKind::Realizations {
+            completed: own_final.acc.count(),
+            compute_seconds: own_final.compute_seconds,
+        },
+    );
     dir.save_worker_subtotal(0, &own_final)?;
     state.update(0, own_final);
     finals[0] = true;
 
     // Block until every worker's final message arrives.
     while finals.iter().any(|f| !f) {
+        tracker.switch(CollectorActivity::Waiting);
         let env = comm.recv(None, None)?;
+        let received_at = Instant::now();
         let sub = Subtotal::decode(env.payload)?;
         if env.tag == TAG_FINAL {
             finals[env.source] = true;
         }
         state.update(env.source, sub);
+        tracker.punch(CollectorActivity::Receiving, received_at);
         if last_average.elapsed() >= config.averaging_period {
-            let eps_max = save_point(dir, config, &state, start)?;
+            let save_started = Instant::now();
+            let eps_max = save_point(dir, config, &state, start, monitor)?;
+            tracker.punch(CollectorActivity::Saving, save_started);
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
                 if eps_max <= target && !stop_broadcast {
@@ -503,26 +632,108 @@ fn rank0_loop<R: Realize + ?Sized>(
     // Drain any stragglers (a worker may have sent subtotals after the
     // message we processed last; cumulative semantics make the newest
     // message authoritative).
+    let drain_started = Instant::now();
+    let mut drained = false;
     while let Some(env) = comm.try_recv(None, None) {
         let sub = Subtotal::decode(env.payload)?;
         state.update(env.source, sub);
+        drained = true;
     }
+    if drained {
+        tracker.punch(CollectorActivity::Receiving, drain_started);
+    }
+    tracker.finish();
     Ok(state)
 }
 
+/// Drains all pending worker messages into the collector state.
+/// Returns how many messages were received.
 fn drain_messages(
     comm: &mut Communicator,
     state: &mut CollectorState,
     finals: &mut [bool],
-) -> Result<(), ParmoncError> {
+) -> Result<usize, ParmoncError> {
+    let mut received = 0;
     while let Some(env) = comm.try_recv(None, None) {
         let sub = Subtotal::decode(env.payload)?;
         if env.tag == TAG_FINAL {
             finals[env.source] = true;
         }
         state.update(env.source, sub);
+        received += 1;
     }
-    Ok(())
+    Ok(received)
+}
+
+/// Builds the collector's [`EventKind::CollectorSegment`] timeline,
+/// coalescing consecutive segments of the same activity so that a tight
+/// compute loop emits one segment, not one per realization.
+struct SegmentTracker<'a> {
+    monitor: &'a Monitor,
+    /// Currently open segment: (activity, start in monitor time).
+    current: Option<(CollectorActivity, f64)>,
+}
+
+impl<'a> SegmentTracker<'a> {
+    fn new(monitor: &'a Monitor) -> Self {
+        Self {
+            monitor,
+            current: None,
+        }
+    }
+
+    fn emit_segment(&self, activity: CollectorActivity, start_s: f64, end_s: f64) {
+        self.monitor.emit(
+            Some(0),
+            EventKind::CollectorSegment {
+                activity,
+                start_s,
+                end_s,
+            },
+        );
+    }
+
+    /// The collector is now doing `activity`; a no-op if it already
+    /// was, otherwise closes the open segment.
+    fn switch(&mut self, activity: CollectorActivity) {
+        if !self.monitor.is_enabled() {
+            return;
+        }
+        let now = self.monitor.elapsed_s();
+        match self.current {
+            Some((open, _)) if open == activity => {}
+            Some((open, started)) => {
+                self.emit_segment(open, started, now);
+                self.current = Some((activity, now));
+            }
+            None => self.current = Some((activity, now)),
+        }
+    }
+
+    /// Records a completed `activity` span from `since` until now,
+    /// truncating (or replacing) the open segment. Used for bursts —
+    /// drains that actually received messages, save-point writes —
+    /// whose start is only known in hindsight.
+    fn punch(&mut self, activity: CollectorActivity, since: Instant) {
+        if !self.monitor.is_enabled() {
+            return;
+        }
+        let now = self.monitor.elapsed_s();
+        let from = (now - since.elapsed().as_secs_f64()).max(0.0);
+        if let Some((open, started)) = self.current.take() {
+            if from > started {
+                self.emit_segment(open, started, from);
+            }
+        }
+        self.emit_segment(activity, from, now);
+    }
+
+    /// Closes the open segment, if any, at the current time.
+    fn finish(mut self) {
+        if let Some((open, started)) = self.current.take() {
+            self.emit_segment(open, started, self.monitor.elapsed_s());
+        }
+    }
 }
 
 /// Periodic save-point: average everything received so far and rewrite
@@ -534,7 +745,10 @@ fn save_point(
     config: &RunConfig,
     state: &CollectorState,
     start: Instant,
+    monitor: &Monitor,
 ) -> Result<f64, ParmoncError> {
+    let pass_started = Instant::now();
+    let max_age = state.max_snapshot_age();
     let total = state.total()?;
     let summary = total.summary();
     let new_volume = state.new_volume();
@@ -553,8 +767,27 @@ fn save_point(
         processors: config.processors,
         seqnum: config.seqnum,
     };
+    let save_started = Instant::now();
     dir.save_results(&summary, &log)?;
     dir.save_checkpoint(&total)?;
+    if monitor.is_enabled() {
+        monitor.emit(
+            Some(0),
+            EventKind::SavePoint {
+                volume: total.count(),
+                duration_seconds: save_started.elapsed().as_secs_f64(),
+            },
+        );
+        monitor.emit(
+            Some(0),
+            EventKind::AveragingPass {
+                volume: total.count(),
+                duration_seconds: pass_started.elapsed().as_secs_f64(),
+                eps_max: Some(summary.eps_max),
+                max_snapshot_age_seconds: max_age,
+            },
+        );
+    }
     // A near-empty sample reports eps_max = 0 vacuously; never let it
     // trigger error-controlled stopping.
     Ok(if total.count() < 2 {
@@ -571,10 +804,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn tempdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "parmonc-runner-{name}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("parmonc-runner-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -687,10 +918,10 @@ mod tests {
         assert_eq!(second.new_volume, 400);
         assert_eq!(second.total_volume, 1000);
         // The resumed mean is the volume-weighted average of both runs.
-        let expected =
-            (first.summary.means[0] * 600.0 + (second.total_volume as f64 * second.summary.means[0]
+        let expected = (first.summary.means[0] * 600.0
+            + (second.total_volume as f64 * second.summary.means[0]
                 - first.summary.means[0] * 600.0))
-                / 1000.0;
+            / 1000.0;
         assert!((second.summary.means[0] - expected).abs() < 1e-12);
         // And the error bound shrank with the larger volume.
         assert!(second.summary.eps_max < first.summary.eps_max);
@@ -817,7 +1048,10 @@ mod tests {
             "must stop early, got {}",
             report.new_volume
         );
-        assert!(report.new_volume >= 1_000, "needs enough data for the target");
+        assert!(
+            report.new_volume >= 1_000,
+            "needs enough data for the target"
+        );
         assert!(
             report.summary.eps_max <= 0.021,
             "target met: eps {}",

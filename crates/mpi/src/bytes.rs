@@ -1,0 +1,286 @@
+//! A minimal owned-buffer type in the style of the `bytes` crate.
+//!
+//! The substrate moves *serialized* payloads between ranks, and many
+//! ranks may hold views of the same broadcast payload, so the buffer
+//! must be cheaply cloneable. [`Bytes`] is an `Arc<[u8]>` plus a view
+//! window: clones and [`Bytes::slice`] are O(1), and the little-endian
+//! accessors consume from the front the way the envelope codec reads.
+//! [`BytesMut`] is the append-only builder that freezes into a
+//! [`Bytes`]. Only the surface the workspace actually uses is
+//! implemented.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer (a shared window into an
+/// `Arc<[u8]>`).
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_mpi::bytes::Bytes;
+///
+/// let b = Bytes::from(vec![1u8, 2, 3, 4]);
+/// let head = b.slice(..2);
+/// assert_eq!(&head[..], &[1, 2]);
+/// assert_eq!(b.to_vec(), vec![1, 2, 3, 4]); // original unaffected
+/// ```
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::from_static(&[])
+    }
+
+    /// Wraps a static slice (copies it; this shim does not borrow).
+    #[must_use]
+    pub fn from_static(slice: &'static [u8]) -> Self {
+        Self::from(slice.to_vec())
+    }
+
+    /// Copies a slice into a fresh buffer.
+    #[must_use]
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Self::from(slice.to_vec())
+    }
+
+    /// The visible bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Length of the visible window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Bytes not yet consumed by the `get_*` accessors (same as
+    /// [`Bytes::len`]; named for `bytes::Buf` compatibility).
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    /// An O(1) sub-window. `range` is relative to the current window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the visible window into a `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow");
+        let out = &self.data[self.start..self.start + n];
+        self.start += n;
+        out
+    }
+
+    /// Consumes and returns a little-endian `u64` from the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain (callers check
+    /// [`Bytes::remaining`] first, as with `bytes::Buf`).
+    pub fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Consumes and returns a little-endian `f64` from the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    pub fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl core::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// An append-only byte builder that freezes into [`Bytes`].
+#[derive(Debug, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Current length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been appended.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, slice: &[u8]) {
+        self.buf.extend_from_slice(slice);
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64` (raw bits, so NaNs round-trip).
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+
+    /// Finalizes into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_scalars() {
+        let mut w = BytesMut::with_capacity(24);
+        w.put_u64_le(7);
+        w.put_f64_le(-2.5);
+        w.put_f64_le(f64::NAN);
+        assert_eq!(w.len(), 24);
+        let mut b = w.freeze();
+        assert_eq!(b.remaining(), 24);
+        assert_eq!(b.get_u64_le(), 7);
+        assert_eq!(b.get_f64_le(), -2.5);
+        assert!(b.get_f64_le().is_nan());
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slices_are_windows_not_copies() {
+        let b = Bytes::from((0u8..10).collect::<Vec<_>>());
+        let mid = b.slice(2..8);
+        assert_eq!(&mid[..], &[2, 3, 4, 5, 6, 7]);
+        let tail = mid.slice(4..);
+        assert_eq!(tail.to_vec(), vec![6, 7]);
+        assert_eq!(b.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn oversized_slice_panics() {
+        let _ = Bytes::from(vec![1, 2]).slice(..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.get_u64_le();
+    }
+
+    #[test]
+    fn equality_ignores_backing_layout() {
+        let a = Bytes::from(vec![9, 1, 2, 3]).slice(1..);
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

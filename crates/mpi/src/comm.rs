@@ -1,14 +1,37 @@
 //! The world launcher and per-rank communicator.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parmonc_obs::{EventKind, Monitor};
 
+use crate::bytes::Bytes;
 use crate::envelope::{Envelope, Tag};
 use crate::error::MpiError;
+
+/// Per-receiver channel statistics for monitored worlds: how many
+/// messages sit undelivered in each rank's inbox, and the largest such
+/// backlog ever seen. Only allocated when a [`Monitor`] is attached, so
+/// unmonitored worlds pay nothing.
+#[derive(Debug)]
+struct ChannelStats {
+    /// Messages enqueued for rank `i` and not yet pulled by it.
+    depths: Vec<AtomicUsize>,
+    /// High-water mark of `depths[i]`.
+    high_water: Vec<AtomicU64>,
+}
+
+impl ChannelStats {
+    fn new(size: usize) -> Self {
+        Self {
+            depths: (0..size).map(|_| AtomicUsize::new(0)).collect(),
+            high_water: (0..size).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
 
 /// The per-rank handle: knows its rank, the world size, and how to
 /// reach every other rank.
@@ -24,6 +47,11 @@ pub struct Communicator {
     inbox: Receiver<Envelope>,
     /// Messages received from the channel but not yet matched.
     pending: VecDeque<Envelope>,
+    /// Event sink for monitored worlds (disabled = one dead branch per
+    /// operation).
+    monitor: Monitor,
+    /// Queue-depth counters, present only in monitored worlds.
+    stats: Option<Arc<ChannelStats>>,
 }
 
 impl Communicator {
@@ -37,6 +65,66 @@ impl Communicator {
     #[must_use]
     pub fn size(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Bumps the destination's queue-depth counter in a monitored
+    /// world, returning the new depth. Must run *before* the message is
+    /// enqueued — the receiver decrements on delivery, and a message
+    /// counted after it was already delivered would underflow the
+    /// counter. Balanced by [`Communicator::undo_enqueue`] when the
+    /// send fails.
+    fn note_enqueue(&self, dest: usize) -> Option<u64> {
+        self.stats
+            .as_ref()
+            .map(|stats| stats.depths[dest].fetch_add(1, Ordering::Relaxed) as u64 + 1)
+    }
+
+    /// Reverts [`Communicator::note_enqueue`] after a failed send.
+    fn undo_enqueue(&self, dest: usize) {
+        if let Some(stats) = &self.stats {
+            stats.depths[dest].fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a successful send in a monitored world: emits
+    /// `message_sent`, plus `queue_high_water` when the backlog
+    /// (`depth`, from [`Communicator::note_enqueue`]) reaches a new
+    /// maximum.
+    fn note_send(&self, dest: usize, tag: Tag, bytes: usize, depth: u64) {
+        if let Some(stats) = &self.stats {
+            self.monitor.emit(
+                Some(self.rank),
+                EventKind::MessageSent {
+                    dest,
+                    tag: tag.0,
+                    bytes: bytes as u64,
+                },
+            );
+            let prev = stats.high_water[dest].fetch_max(depth, Ordering::Relaxed);
+            if depth > prev {
+                self.monitor
+                    .emit(Some(dest), EventKind::QueueHighWater { depth });
+            }
+        }
+    }
+
+    /// Records a message leaving this rank's channel (it is now owned by
+    /// the receiving rank, possibly in its pending buffer).
+    fn note_delivery(&self, env: &Envelope) {
+        if let Some(stats) = &self.stats {
+            let depth = stats.depths[self.rank]
+                .fetch_sub(1, Ordering::Relaxed)
+                .saturating_sub(1) as u64;
+            self.monitor.emit(
+                Some(self.rank),
+                EventKind::MessageReceived {
+                    source: env.source,
+                    tag: env.tag.0,
+                    bytes: env.payload.len() as u64,
+                    queue_depth: depth,
+                },
+            );
+        }
     }
 
     /// Sends `payload` to rank `dest` with tag `tag`. Asynchronous and
@@ -63,13 +151,24 @@ impl Communicator {
             rank: dest,
             size: self.size(),
         })?;
-        sender
-            .send(Envelope {
-                source: self.rank,
-                tag,
-                payload,
-            })
-            .map_err(|_| MpiError::Disconnected)
+        let bytes = payload.len();
+        // Count the message before it is enqueued: once it is in the
+        // channel the receiver may pull it (and decrement) at any time.
+        let depth = self.note_enqueue(dest);
+        match sender.send(Envelope {
+            source: self.rank,
+            tag,
+            payload,
+        }) {
+            Ok(()) => {
+                self.note_send(dest, tag, bytes, depth.unwrap_or(0));
+                Ok(())
+            }
+            Err(_) => {
+                self.undo_enqueue(dest);
+                Err(MpiError::Disconnected)
+            }
+        }
     }
 
     fn matches(env: &Envelope, source: Option<usize>, tag: Option<Tag>) -> bool {
@@ -98,6 +197,7 @@ impl Communicator {
         }
         loop {
             let env = self.inbox.recv().map_err(|_| MpiError::Disconnected)?;
+            self.note_delivery(&env);
             if Self::matches(&env, source, tag) {
                 return Ok(env);
             }
@@ -124,6 +224,7 @@ impl Communicator {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             match self.inbox.recv_timeout(remaining) {
                 Ok(env) => {
+                    self.note_delivery(&env);
                     if Self::matches(&env, source, tag) {
                         return Ok(Some(env));
                     }
@@ -145,6 +246,7 @@ impl Communicator {
         loop {
             match self.inbox.try_recv() {
                 Ok(env) => {
+                    self.note_delivery(&env);
                     if Self::matches(&env, source, tag) {
                         return Some(env);
                     }
@@ -163,6 +265,7 @@ impl Communicator {
         // Drain whatever is in the channel into the pending buffer so
         // the probe sees it.
         while let Ok(env) = self.inbox.try_recv() {
+            self.note_delivery(&env);
             self.pending.push_back(env);
         }
         self.pending.iter().any(|e| Self::matches(e, source, tag))
@@ -182,17 +285,52 @@ impl World {
     ///
     /// Returns [`MpiError::EmptyWorld`] if `size == 0`.
     pub fn communicators(size: usize) -> Result<Vec<Communicator>, MpiError> {
+        Self::communicators_monitored(size, Monitor::disabled())
+    }
+
+    /// [`World::communicators`] with a [`Monitor`] attached: every
+    /// communicator reports `message_sent` / `message_received` /
+    /// `queue_high_water` events through it. With a disabled monitor
+    /// this is exactly [`World::communicators`] — the queue-depth
+    /// counters are not even allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::EmptyWorld`] if `size == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parmonc_mpi::{Tag, World};
+    /// use parmonc_obs::{MemorySink, Monitor};
+    /// use std::sync::Arc;
+    ///
+    /// let sink = Arc::new(MemorySink::new());
+    /// let monitor = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+    /// let mut comms = World::communicators_monitored(2, monitor).unwrap();
+    /// comms[1].send(0, Tag(1), b"subtotal").unwrap();
+    /// comms[0].recv(None, None).unwrap();
+    /// let kinds: Vec<_> = sink.snapshot().iter().map(|e| e.kind.name().to_string()).collect();
+    /// assert_eq!(kinds, ["message_sent", "queue_high_water", "message_received"]);
+    /// ```
+    pub fn communicators_monitored(
+        size: usize,
+        monitor: Monitor,
+    ) -> Result<Vec<Communicator>, MpiError> {
         if size == 0 {
             return Err(MpiError::EmptyWorld);
         }
         let mut senders = Vec::with_capacity(size);
         let mut inboxes = Vec::with_capacity(size);
         for _ in 0..size {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             inboxes.push(rx);
         }
         let senders = Arc::new(senders);
+        let stats = monitor
+            .is_enabled()
+            .then(|| Arc::new(ChannelStats::new(size)));
         Ok(inboxes
             .into_iter()
             .enumerate()
@@ -201,6 +339,8 @@ impl World {
                 senders: Arc::clone(&senders),
                 inbox,
                 pending: VecDeque::new(),
+                monitor: monitor.clone(),
+                stats: stats.clone(),
             })
             .collect())
     }
@@ -260,13 +400,11 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parmonc_obs::MemorySink;
 
     #[test]
     fn world_rejects_zero_ranks() {
-        assert!(matches!(
-            World::communicators(0),
-            Err(MpiError::EmptyWorld)
-        ));
+        assert!(matches!(World::communicators(0), Err(MpiError::EmptyWorld)));
     }
 
     #[test]
@@ -439,5 +577,52 @@ mod tests {
         })
         .unwrap();
         assert_eq!(*results[0].as_ref().unwrap(), 15 * (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn monitored_world_counts_queue_depths() {
+        let sink = Arc::new(MemorySink::new());
+        let monitor = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+        let mut comms = World::communicators_monitored(2, monitor).unwrap();
+        let (left, right) = comms.split_at_mut(1);
+        let receiver = &mut left[0];
+        let sender = &mut right[0];
+        for i in 0..4u8 {
+            sender.send(0, Tag(1), &[i]).unwrap();
+        }
+        for _ in 0..4 {
+            receiver.recv(None, None).unwrap();
+        }
+        let events = sink.snapshot();
+        let sent = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MessageSent { .. }))
+            .count();
+        let received: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MessageReceived { queue_depth, .. } => Some(queue_depth),
+                _ => None,
+            })
+            .collect();
+        let high_water: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::QueueHighWater { depth } => Some(depth),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sent, 4);
+        // Backlog drains 3, 2, 1, 0 as the four messages are delivered.
+        assert_eq!(received, vec![3, 2, 1, 0]);
+        // Each send deepened the backlog, so each set a new high water.
+        assert_eq!(high_water, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unmonitored_world_allocates_no_stats() {
+        let comms = World::communicators(2).unwrap();
+        assert!(comms[0].stats.is_none());
+        assert!(!comms[0].monitor.is_enabled());
     }
 }

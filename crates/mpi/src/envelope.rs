@@ -4,11 +4,11 @@
 //! matrices `[Σζ_ij]`, `[Σζ²_ij]` and the sample volume `l_m`
 //! (paper Section 2.2) — roughly 120 KB for the performance test's
 //! 1000×2 matrices plus framing. The codec here is a minimal
-//! little-endian binary layout over [`bytes::Bytes`]; it exists so the
+//! little-endian binary layout over [`crate::bytes::Bytes`]; it exists so the
 //! substrate moves *serialized* payloads exactly like MPI would, letting
 //! the benches measure realistic per-message costs.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::bytes::{Bytes, BytesMut};
 
 use crate::error::MpiError;
 
@@ -129,7 +129,9 @@ impl PayloadReader {
     /// remain.
     pub fn get_u64(&mut self) -> Result<u64, MpiError> {
         if self.buf.remaining() < 8 {
-            return Err(MpiError::MalformedPayload { what: "truncated u64" });
+            return Err(MpiError::MalformedPayload {
+                what: "truncated u64",
+            });
         }
         Ok(self.buf.get_u64_le())
     }
@@ -142,7 +144,9 @@ impl PayloadReader {
     /// remain.
     pub fn get_f64(&mut self) -> Result<f64, MpiError> {
         if self.buf.remaining() < 8 {
-            return Err(MpiError::MalformedPayload { what: "truncated f64" });
+            return Err(MpiError::MalformedPayload {
+                what: "truncated f64",
+            });
         }
         Ok(self.buf.get_f64_le())
     }
@@ -173,7 +177,7 @@ impl PayloadReader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parmonc_testkit::prelude::*;
 
     #[test]
     fn round_trip_mixed_payload() {
@@ -238,7 +242,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn f64_vec_round_trips(vs in proptest::collection::vec(any::<f64>(), 0..500)) {
+        fn f64_vec_round_trips(vs in collection::vec(any::<f64>(), 0..500)) {
             let mut w = PayloadWriter::new();
             w.put_f64_slice(&vs);
             let mut r = PayloadReader::new(w.finish());

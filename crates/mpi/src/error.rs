@@ -61,8 +61,10 @@ mod tests {
             .contains("rank 9"));
         assert!(MpiError::Disconnected.to_string().contains("disconnected"));
         assert!(MpiError::EmptyWorld.to_string().contains("at least 1"));
-        assert!(MpiError::MalformedPayload { what: "truncated f64" }
-            .to_string()
-            .contains("truncated"));
+        assert!(MpiError::MalformedPayload {
+            what: "truncated f64"
+        }
+        .to_string()
+        .contains("truncated"));
     }
 }

@@ -48,11 +48,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod bytes;
 pub mod collective;
 pub mod comm;
 pub mod envelope;
 pub mod error;
 
+pub use bytes::{Bytes, BytesMut};
 pub use comm::{Communicator, World};
 pub use envelope::{Envelope, Tag};
 pub use error::MpiError;

@@ -1,0 +1,468 @@
+//! The unified event schema: every metric the runner, the MPI
+//! substrate and the cluster simulator can report, with its JSONL
+//! encoding.
+//!
+//! One [`Event`] is one line of `run_metrics.jsonl`. The schema is
+//! documented field-by-field in `docs/observability.md`; the encoder
+//! here and the validator in [`crate::schema`] are the two normative
+//! implementations.
+
+use std::fmt::Write as _;
+
+/// Schema version stamped on every emitted line (the `"v"` field).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Which engine produced a trace: real threads or the discrete-event
+/// cluster simulator. Both emit the same event kinds so traces are
+/// directly comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// The real-thread runner (`parmonc::runner`).
+    Threads,
+    /// The virtual-time simulator (`parmonc-simcluster`).
+    SimCluster,
+}
+
+impl RunMode {
+    /// The wire name of the mode.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Threads => "threads",
+            Self::SimCluster => "simcluster",
+        }
+    }
+}
+
+/// What the collector (rank 0) was doing during a trace segment.
+///
+/// This enum used to live in `parmonc-simcluster`; it moved here so the
+/// real-thread runner and the simulator label collector time with the
+/// same vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectorActivity {
+    /// Simulating its own realizations.
+    Computing,
+    /// Receiving and folding worker subtotals.
+    Receiving,
+    /// Averaging and writing a save-point.
+    Saving,
+    /// Idle, waiting for messages.
+    Waiting,
+}
+
+impl CollectorActivity {
+    /// The wire name of the activity.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Computing => "computing",
+            Self::Receiving => "receiving",
+            Self::Saving => "saving",
+            Self::Waiting => "waiting",
+        }
+    }
+
+    /// Parses a wire name back into the activity.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "computing" => Some(Self::Computing),
+            "receiving" => Some(Self::Receiving),
+            "saving" => Some(Self::Saving),
+            "waiting" => Some(Self::Waiting),
+            _ => None,
+        }
+    }
+}
+
+/// The payload of one monitor event.
+///
+/// Kinds map 1:1 to the `"kind"` discriminator on the wire; see
+/// `docs/observability.md` for units and paper mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A run began. First event of every trace.
+    RunStarted {
+        /// Real threads or the cluster simulator.
+        mode: RunMode,
+        /// Processor (rank) count `M`.
+        processors: usize,
+        /// Target total sample volume `maxsv` / `L`.
+        max_sample_volume: u64,
+        /// The "experiments" subsequence number; `None` for virtual
+        /// runs, which draw no random numbers.
+        seqnum: Option<u64>,
+        /// Realization matrix rows; `None` for virtual runs.
+        nrow: Option<usize>,
+        /// Realization matrix columns; `None` for virtual runs.
+        ncol: Option<usize>,
+    },
+    /// A rank's cumulative realization progress (emitted at exchange
+    /// points, not per realization, to bound overhead).
+    Realizations {
+        /// Realizations completed by this rank so far.
+        completed: u64,
+        /// Seconds this rank has spent computing realizations so far.
+        compute_seconds: f64,
+    },
+    /// A point-to-point message left a rank.
+    MessageSent {
+        /// Destination rank.
+        dest: usize,
+        /// Message tag (the runner uses 1 = subtotal, 2 = final,
+        /// 3 = stop).
+        tag: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A point-to-point message was delivered to its receiver.
+    MessageReceived {
+        /// Source rank.
+        source: usize,
+        /// Message tag.
+        tag: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Messages still queued for this receiver after the delivery.
+        queue_depth: u64,
+    },
+    /// A receiver's queue depth reached a new maximum.
+    QueueHighWater {
+        /// The new high-water mark (messages enqueued and undelivered).
+        depth: u64,
+    },
+    /// The collector averaged all subtotals received so far
+    /// (formula (5)).
+    AveragingPass {
+        /// Total sample volume folded into the average.
+        volume: u64,
+        /// Wall (or virtual) seconds the pass took, including the
+        /// save-point write.
+        duration_seconds: f64,
+        /// Largest absolute stochastic error after the pass; absent in
+        /// virtual runs, which carry no estimates.
+        eps_max: Option<f64>,
+        /// Age of the stalest per-rank subtotal folded in; absent if no
+        /// worker has reported yet.
+        max_snapshot_age_seconds: Option<f64>,
+    },
+    /// The collector rewrote the result files.
+    SavePoint {
+        /// Total sample volume in the saved results.
+        volume: u64,
+        /// Seconds the write took.
+        duration_seconds: f64,
+    },
+    /// One contiguous activity segment on the collector's timeline.
+    CollectorSegment {
+        /// What the collector was doing.
+        activity: CollectorActivity,
+        /// Segment start, seconds since run start.
+        start_s: f64,
+        /// Segment end, seconds since run start.
+        end_s: f64,
+    },
+    /// The run finished. Last event of every trace.
+    RunCompleted {
+        /// Realizations simulated by the run.
+        realizations: u64,
+        /// The paper's `T_comp`: seconds from start until the collector
+        /// saved the final results.
+        t_comp_seconds: f64,
+        /// Subtotal messages the collector received.
+        messages: u64,
+        /// Payload bytes the collector received.
+        bytes: u64,
+    },
+}
+
+impl EventKind {
+    /// The wire name of the kind (the `"kind"` field).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::RunStarted { .. } => "run_started",
+            Self::Realizations { .. } => "realizations",
+            Self::MessageSent { .. } => "message_sent",
+            Self::MessageReceived { .. } => "message_received",
+            Self::QueueHighWater { .. } => "queue_high_water",
+            Self::AveragingPass { .. } => "averaging_pass",
+            Self::SavePoint { .. } => "save_point",
+            Self::CollectorSegment { .. } => "collector_segment",
+            Self::RunCompleted { .. } => "run_completed",
+        }
+    }
+
+    /// Every kind name, in schema order.
+    pub const ALL_KINDS: [&'static str; 9] = [
+        "run_started",
+        "realizations",
+        "message_sent",
+        "message_received",
+        "queue_high_water",
+        "averaging_pass",
+        "save_point",
+        "collector_segment",
+        "run_completed",
+    ];
+}
+
+/// One monitor event: a timestamp, the emitting rank (if any), and the
+/// kind-specific payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Seconds since run start — wall seconds for real runs, virtual
+    /// seconds for simulated ones.
+    pub time_s: f64,
+    /// The emitting rank; `None` for run-level events.
+    pub rank: Option<usize>,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+/// Formats an `f64` for the wire: finite values use Rust's shortest
+/// round-trip `Display`; non-finite values (which valid metrics never
+/// produce, but a defensive encoder must not emit as bare words JSON
+/// rejects) become `null`.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Event {
+    /// Encodes the event as one JSONL line (no trailing newline).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parmonc_obs::{Event, EventKind};
+    ///
+    /// let line = Event {
+    ///     time_s: 1.5,
+    ///     rank: Some(2),
+    ///     kind: EventKind::Realizations { completed: 10, compute_seconds: 0.25 },
+    /// }
+    /// .to_json_line();
+    /// assert_eq!(
+    ///     line,
+    ///     r#"{"v":1,"kind":"realizations","time_s":1.5,"rank":2,"completed":10,"compute_seconds":0.25}"#
+    /// );
+    /// ```
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"v\":{SCHEMA_VERSION},\"kind\":\"{}\"",
+            self.kind.name()
+        );
+        s.push_str(",\"time_s\":");
+        push_f64(&mut s, self.time_s);
+        if let Some(rank) = self.rank {
+            let _ = write!(s, ",\"rank\":{rank}");
+        }
+        match &self.kind {
+            EventKind::RunStarted {
+                mode,
+                processors,
+                max_sample_volume,
+                seqnum,
+                nrow,
+                ncol,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"mode\":\"{}\",\"processors\":{processors},\"max_sample_volume\":{max_sample_volume}",
+                    mode.as_str()
+                );
+                if let Some(seqnum) = seqnum {
+                    let _ = write!(s, ",\"seqnum\":{seqnum}");
+                }
+                if let Some(nrow) = nrow {
+                    let _ = write!(s, ",\"nrow\":{nrow}");
+                }
+                if let Some(ncol) = ncol {
+                    let _ = write!(s, ",\"ncol\":{ncol}");
+                }
+            }
+            EventKind::Realizations {
+                completed,
+                compute_seconds,
+            } => {
+                let _ = write!(s, ",\"completed\":{completed},\"compute_seconds\":");
+                push_f64(&mut s, *compute_seconds);
+            }
+            EventKind::MessageSent { dest, tag, bytes } => {
+                let _ = write!(s, ",\"dest\":{dest},\"tag\":{tag},\"bytes\":{bytes}");
+            }
+            EventKind::MessageReceived {
+                source,
+                tag,
+                bytes,
+                queue_depth,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"source\":{source},\"tag\":{tag},\"bytes\":{bytes},\"queue_depth\":{queue_depth}"
+                );
+            }
+            EventKind::QueueHighWater { depth } => {
+                let _ = write!(s, ",\"depth\":{depth}");
+            }
+            EventKind::AveragingPass {
+                volume,
+                duration_seconds,
+                eps_max,
+                max_snapshot_age_seconds,
+            } => {
+                let _ = write!(s, ",\"volume\":{volume},\"duration_seconds\":");
+                push_f64(&mut s, *duration_seconds);
+                if let Some(eps) = eps_max {
+                    s.push_str(",\"eps_max\":");
+                    push_f64(&mut s, *eps);
+                }
+                if let Some(age) = max_snapshot_age_seconds {
+                    s.push_str(",\"max_snapshot_age_seconds\":");
+                    push_f64(&mut s, *age);
+                }
+            }
+            EventKind::SavePoint {
+                volume,
+                duration_seconds,
+            } => {
+                let _ = write!(s, ",\"volume\":{volume},\"duration_seconds\":");
+                push_f64(&mut s, *duration_seconds);
+            }
+            EventKind::CollectorSegment {
+                activity,
+                start_s,
+                end_s,
+            } => {
+                let _ = write!(s, ",\"activity\":\"{}\",\"start_s\":", activity.as_str());
+                push_f64(&mut s, *start_s);
+                s.push_str(",\"end_s\":");
+                push_f64(&mut s, *end_s);
+            }
+            EventKind::RunCompleted {
+                realizations,
+                t_comp_seconds,
+                messages,
+                bytes,
+            } => {
+                let _ = write!(s, ",\"realizations\":{realizations},\"t_comp_seconds\":");
+                push_f64(&mut s, *t_comp_seconds);
+                let _ = write!(s, ",\"messages\":{messages},\"bytes\":{bytes}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_match_all_kinds_list() {
+        let kinds: Vec<EventKind> = vec![
+            EventKind::RunStarted {
+                mode: RunMode::Threads,
+                processors: 1,
+                max_sample_volume: 1,
+                seqnum: None,
+                nrow: None,
+                ncol: None,
+            },
+            EventKind::Realizations {
+                completed: 0,
+                compute_seconds: 0.0,
+            },
+            EventKind::MessageSent {
+                dest: 0,
+                tag: 0,
+                bytes: 0,
+            },
+            EventKind::MessageReceived {
+                source: 0,
+                tag: 0,
+                bytes: 0,
+                queue_depth: 0,
+            },
+            EventKind::QueueHighWater { depth: 0 },
+            EventKind::AveragingPass {
+                volume: 0,
+                duration_seconds: 0.0,
+                eps_max: None,
+                max_snapshot_age_seconds: None,
+            },
+            EventKind::SavePoint {
+                volume: 0,
+                duration_seconds: 0.0,
+            },
+            EventKind::CollectorSegment {
+                activity: CollectorActivity::Waiting,
+                start_s: 0.0,
+                end_s: 0.0,
+            },
+            EventKind::RunCompleted {
+                realizations: 0,
+                t_comp_seconds: 0.0,
+                messages: 0,
+                bytes: 0,
+            },
+        ];
+        let names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
+        assert_eq!(names, EventKind::ALL_KINDS);
+    }
+
+    #[test]
+    fn optional_fields_are_omitted() {
+        let line = Event {
+            time_s: 0.0,
+            rank: None,
+            kind: EventKind::AveragingPass {
+                volume: 5,
+                duration_seconds: 0.1,
+                eps_max: None,
+                max_snapshot_age_seconds: None,
+            },
+        }
+        .to_json_line();
+        assert!(!line.contains("eps_max"));
+        assert!(!line.contains("rank"));
+        assert!(line.contains("\"volume\":5"));
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        let line = Event {
+            time_s: f64::NAN,
+            rank: Some(0),
+            kind: EventKind::SavePoint {
+                volume: 1,
+                duration_seconds: f64::INFINITY,
+            },
+        }
+        .to_json_line();
+        assert!(line.contains("\"time_s\":null"));
+        assert!(line.contains("\"duration_seconds\":null"));
+    }
+
+    #[test]
+    fn collector_activity_round_trips() {
+        for a in [
+            CollectorActivity::Computing,
+            CollectorActivity::Receiving,
+            CollectorActivity::Saving,
+            CollectorActivity::Waiting,
+        ] {
+            assert_eq!(CollectorActivity::from_str_opt(a.as_str()), Some(a));
+        }
+        assert_eq!(CollectorActivity::from_str_opt("napping"), None);
+    }
+}

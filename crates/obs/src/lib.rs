@@ -1,0 +1,56 @@
+//! Unified run-monitor observability for PARMONC.
+//!
+//! Every engine in the workspace — the real-thread runner in
+//! `parmonc` (core), the in-process message substrate in
+//! `parmonc-mpi`, and the virtual-time cluster simulator in
+//! `parmonc-simcluster` — reports progress through the same small
+//! vocabulary of events defined here. A monitored run writes one JSON
+//! object per event to `parmonc_data/monitor/run_metrics.jsonl` and
+//! prints an end-of-run summary table; the schema is documented in
+//! `docs/observability.md` and machine-checked by [`schema::validate_line`].
+//!
+//! The layer is opt-in and zero-cost when off: instrumented code holds
+//! a [`Monitor`], and the disabled monitor ([`Monitor::disabled`], also
+//! the `Default`) reduces every emission to a single branch.
+//!
+//! # Example
+//!
+//! ```
+//! use parmonc_obs::{EventKind, MemorySink, Monitor, MonitorSummary, RunMode};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let monitor = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+//!
+//! monitor.emit(None, EventKind::RunStarted {
+//!     mode: RunMode::Threads,
+//!     processors: 4,
+//!     max_sample_volume: 1_000,
+//!     seqnum: Some(1),
+//!     nrow: Some(1),
+//!     ncol: Some(1),
+//! });
+//! monitor.emit(Some(2), EventKind::Realizations { completed: 250, compute_seconds: 0.8 });
+//!
+//! let events = sink.snapshot();
+//! // Every event round-trips through the documented JSONL schema…
+//! for event in &events {
+//!     parmonc_obs::schema::validate_line(&event.to_json_line()).unwrap();
+//! }
+//! // …and folds into the end-of-run summary.
+//! let summary = MonitorSummary::from_events(&events);
+//! assert_eq!(summary.processors, Some(4));
+//! assert_eq!(summary.ranks[&2].realizations, 250);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod event;
+mod monitor;
+pub mod schema;
+mod summary;
+
+pub use event::{CollectorActivity, Event, EventKind, RunMode, SCHEMA_VERSION};
+pub use monitor::{EventSink, JsonlSink, MemorySink, Monitor};
+pub use summary::{MonitorSummary, RankStats};

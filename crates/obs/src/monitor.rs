@@ -1,0 +1,308 @@
+//! The [`Monitor`] handle and the event sinks behind it.
+//!
+//! A `Monitor` is what instrumented code holds: cloning is an
+//! `Option<Arc>` copy, and the disabled monitor ([`Monitor::disabled`])
+//! reduces every emission to one `is_some` branch — the "zero-cost
+//! no-op default" the observability layer promises. Enabled monitors
+//! stamp events with wall time since the monitor's creation and fan
+//! them out to every attached [`EventSink`].
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{Event, EventKind};
+
+/// Receives events from a [`Monitor`]. Implementations must be cheap
+/// and non-blocking-ish: emitters call [`EventSink::record`] from hot
+/// loops (though only at exchange granularity).
+pub trait EventSink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output (called at end of run).
+    fn flush(&self) {}
+}
+
+impl<S: EventSink + ?Sized> EventSink for Arc<S> {
+    fn record(&self, event: &Event) {
+        (**self).record(event);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl fmt::Debug for Inner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Inner")
+            .field("epoch", &self.epoch)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+/// The monitor handle instrumented code emits through.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_obs::{EventKind, MemorySink, Monitor};
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(MemorySink::new());
+/// let monitor = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+/// monitor.emit(Some(0), EventKind::QueueHighWater { depth: 3 });
+/// assert_eq!(sink.snapshot().len(), 1);
+///
+/// // The disabled monitor drops everything at the cost of one branch.
+/// let off = Monitor::disabled();
+/// assert!(!off.is_enabled());
+/// off.emit(Some(0), EventKind::QueueHighWater { depth: 9 });
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Monitor {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Monitor {
+    /// The no-op monitor: every emission is a single branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A monitor fanning out to `sinks`, stamping events with seconds
+    /// since this call.
+    #[must_use]
+    pub fn new(sinks: Vec<Box<dyn EventSink>>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                sinks,
+            })),
+        }
+    }
+
+    /// Whether events are actually recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Seconds since the monitor was created (0 when disabled).
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map_or(0.0, |i| i.epoch.elapsed().as_secs_f64())
+    }
+
+    /// Emits an event stamped with the current elapsed time.
+    pub fn emit(&self, rank: Option<usize>, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let event = Event {
+                time_s: inner.epoch.elapsed().as_secs_f64(),
+                rank,
+                kind,
+            };
+            for sink in &inner.sinks {
+                sink.record(&event);
+            }
+        }
+    }
+
+    /// Emits an event with an explicit timestamp — used by virtual-time
+    /// producers (the cluster simulator), which have no wall clock.
+    pub fn emit_at(&self, time_s: f64, rank: Option<usize>, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let event = Event { time_s, rank, kind };
+            for sink in &inner.sinks {
+                sink.record(&event);
+            }
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.flush();
+            }
+        }
+    }
+}
+
+/// Appends events as JSONL to a file — the sink behind
+/// `parmonc_data/monitor/run_metrics.jsonl`.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the metrics file, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = event.to_json_line();
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Collects events in memory — for tests and for end-of-run summaries.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of events recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_monitor_is_inert() {
+        let m = Monitor::disabled();
+        assert!(!m.is_enabled());
+        m.emit(None, EventKind::QueueHighWater { depth: 1 });
+        m.emit_at(5.0, Some(3), EventKind::QueueHighWater { depth: 2 });
+        m.flush();
+        assert_eq!(m.elapsed_s(), 0.0);
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let sink = Arc::new(MemorySink::new());
+        let m = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+        for depth in 1..=5u64 {
+            m.emit(Some(0), EventKind::QueueHighWater { depth });
+        }
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(
+                e.kind,
+                EventKind::QueueHighWater {
+                    depth: i as u64 + 1
+                }
+            );
+            assert_eq!(e.rank, Some(0));
+        }
+        // Wall timestamps are monotone.
+        for pair in events.windows(2) {
+            assert!(pair[1].time_s >= pair[0].time_s);
+        }
+    }
+
+    #[test]
+    fn emit_at_uses_explicit_time() {
+        let sink = Arc::new(MemorySink::new());
+        let m = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+        m.emit_at(42.5, None, EventKind::QueueHighWater { depth: 1 });
+        assert_eq!(sink.snapshot()[0].time_s, 42.5);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let dir = std::env::temp_dir().join(format!("parmonc-obs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("monitor/run_metrics.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        let m = Monitor::new(vec![Box::new(sink)]);
+        m.emit(Some(1), EventKind::QueueHighWater { depth: 7 });
+        m.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"kind\":\"queue_high_water\""));
+        assert!(text.contains("\"depth\":7"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clone_shares_the_epoch_and_sinks() {
+        let sink = Arc::new(MemorySink::new());
+        let m = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+        let m2 = m.clone();
+        m2.emit(None, EventKind::QueueHighWater { depth: 1 });
+        m.emit(None, EventKind::QueueHighWater { depth: 2 });
+        assert_eq!(sink.len(), 2);
+    }
+}

@@ -1,0 +1,401 @@
+//! Schema validation for `run_metrics.jsonl` lines.
+//!
+//! [`validate_line`] parses one emitted line with a tiny flat-JSON
+//! reader (the wire format is deliberately flat: string, number and
+//! `null` values only) and checks it against the documented schema —
+//! version, kind discriminator, required fields, field types, and no
+//! unknown fields. Tests use it to prove that what the runner and the
+//! simulator write is exactly what `docs/observability.md` promises.
+
+use crate::event::{CollectorActivity, EventKind, SCHEMA_VERSION};
+
+/// A parsed flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Null,
+}
+
+/// Parses a single flat JSON object (`{"key":value,...}`) with string,
+/// number and `null` values. Returns key/value pairs in order.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = line.trim().char_indices().peekable();
+    let s = line.trim();
+    let err = |msg: &str, at: usize| format!("{msg} at byte {at} in {s:?}");
+
+    let mut pairs = Vec::new();
+    match chars.next() {
+        Some((_, '{')) => {}
+        other => return Err(err("expected '{'", other.map_or(0, |(i, _)| i))),
+    }
+    // Empty object.
+    if let Some(&(_, '}')) = chars.peek() {
+        chars.next();
+    } else {
+        loop {
+            // Key.
+            let (ki, kc) = chars.next().ok_or_else(|| err("unterminated object", 0))?;
+            if kc != '"' {
+                return Err(err("expected '\"' starting key", ki));
+            }
+            let mut key = String::new();
+            loop {
+                let (i, c) = chars.next().ok_or_else(|| err("unterminated key", ki))?;
+                match c {
+                    '"' => break,
+                    '\\' => {
+                        let (_, esc) = chars.next().ok_or_else(|| err("bad escape", i))?;
+                        key.push(esc);
+                    }
+                    _ => key.push(c),
+                }
+            }
+            match chars.next() {
+                Some((_, ':')) => {}
+                other => return Err(err("expected ':'", other.map_or(0, |(i, _)| i))),
+            }
+            // Value.
+            let (vi, vc) = chars.next().ok_or_else(|| err("missing value", 0))?;
+            let value = match vc {
+                '"' => {
+                    let mut text = String::new();
+                    loop {
+                        let (i, c) = chars.next().ok_or_else(|| err("unterminated string", vi))?;
+                        match c {
+                            '"' => break,
+                            '\\' => {
+                                let (_, esc) = chars.next().ok_or_else(|| err("bad escape", i))?;
+                                text.push(esc);
+                            }
+                            _ => text.push(c),
+                        }
+                    }
+                    Value::Str(text)
+                }
+                'n' => {
+                    for expected in ['u', 'l', 'l'] {
+                        match chars.next() {
+                            Some((_, c)) if c == expected => {}
+                            _ => return Err(err("bad literal", vi)),
+                        }
+                    }
+                    Value::Null
+                }
+                c if c == '-' || c.is_ascii_digit() => {
+                    let mut text = String::from(c);
+                    while let Some(&(_, c)) = chars.peek() {
+                        if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-') {
+                            text.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    Value::Num(text.parse::<f64>().map_err(|_| err("bad number", vi))?)
+                }
+                _ => return Err(err("unsupported value (schema is flat)", vi)),
+            };
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?} in {s:?}"));
+            }
+            pairs.push((key, value));
+            match chars.next() {
+                Some((_, ',')) => {}
+                Some((_, '}')) => break,
+                other => return Err(err("expected ',' or '}'", other.map_or(0, |(i, _)| i))),
+            }
+        }
+    }
+    if let Some((i, _)) = chars.next() {
+        return Err(err("trailing characters", i));
+    }
+    Ok(pairs)
+}
+
+/// Expected type of one schema field.
+#[derive(Debug, Clone, Copy)]
+enum FieldType {
+    /// A non-negative integer-valued number.
+    UInt,
+    /// Any number, or `null` (the encoder writes `null` for non-finite
+    /// values).
+    Num,
+    /// A string drawn from a fixed vocabulary (empty slice = any).
+    Enum(&'static [&'static str]),
+}
+
+fn check_type(key: &str, value: &Value, ty: FieldType) -> Result<(), String> {
+    match (ty, value) {
+        (FieldType::UInt, Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(()),
+        (FieldType::UInt, _) => Err(format!("field {key:?} must be a non-negative integer")),
+        (FieldType::Num, Value::Num(_) | Value::Null) => Ok(()),
+        (FieldType::Num, Value::Str(_)) => Err(format!("field {key:?} must be a number or null")),
+        (FieldType::Enum(vocab), Value::Str(s)) => {
+            if vocab.is_empty() || vocab.contains(&s.as_str()) {
+                Ok(())
+            } else {
+                Err(format!("field {key:?} has unknown value {s:?}"))
+            }
+        }
+        (FieldType::Enum(_), _) => Err(format!("field {key:?} must be a string")),
+    }
+}
+
+/// A list of (field name, expected type) pairs.
+type FieldSpec = &'static [(&'static str, FieldType)];
+
+/// Required and optional kind-specific fields for one event kind.
+fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
+    use FieldType::{Enum, Num, UInt};
+    const MODES: &[&str] = &["threads", "simcluster"];
+    const ACTIVITIES: &[&str] = &["computing", "receiving", "saving", "waiting"];
+    Some(match kind {
+        "run_started" => (
+            &[
+                ("mode", Enum(MODES)),
+                ("processors", UInt),
+                ("max_sample_volume", UInt),
+            ][..],
+            &[("seqnum", UInt), ("nrow", UInt), ("ncol", UInt)][..],
+        ),
+        "realizations" => (
+            &[("completed", UInt), ("compute_seconds", Num)][..],
+            &[][..],
+        ),
+        "message_sent" => (
+            &[("dest", UInt), ("tag", UInt), ("bytes", UInt)][..],
+            &[][..],
+        ),
+        "message_received" => (
+            &[
+                ("source", UInt),
+                ("tag", UInt),
+                ("bytes", UInt),
+                ("queue_depth", UInt),
+            ][..],
+            &[][..],
+        ),
+        "queue_high_water" => (&[("depth", UInt)][..], &[][..]),
+        "averaging_pass" => (
+            &[("volume", UInt), ("duration_seconds", Num)][..],
+            &[("eps_max", Num), ("max_snapshot_age_seconds", Num)][..],
+        ),
+        "save_point" => (&[("volume", UInt), ("duration_seconds", Num)][..], &[][..]),
+        "collector_segment" => (
+            &[
+                ("activity", Enum(ACTIVITIES)),
+                ("start_s", Num),
+                ("end_s", Num),
+            ][..],
+            &[][..],
+        ),
+        "run_completed" => (
+            &[
+                ("realizations", UInt),
+                ("t_comp_seconds", Num),
+                ("messages", UInt),
+                ("bytes", UInt),
+            ][..],
+            &[][..],
+        ),
+        _ => return None,
+    })
+}
+
+/// Validates one `run_metrics.jsonl` line against schema version
+/// [`SCHEMA_VERSION`], returning the event kind name on success.
+///
+/// # Errors
+///
+/// Describes the first problem found: malformed JSON, wrong version,
+/// unknown kind, missing/ill-typed field, or an unknown field.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_obs::schema::validate_line;
+///
+/// let kind = validate_line(r#"{"v":1,"kind":"queue_high_water","time_s":0.5,"rank":0,"depth":3}"#)
+///     .unwrap();
+/// assert_eq!(kind, "queue_high_water");
+/// assert!(validate_line(r#"{"v":1,"kind":"queue_high_water","time_s":0.5}"#).is_err());
+/// ```
+pub fn validate_line(line: &str) -> Result<&'static str, String> {
+    let pairs = parse_flat_object(line)?;
+    let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+
+    match get("v") {
+        Some(Value::Num(n)) if *n == SCHEMA_VERSION as f64 => {}
+        Some(_) => return Err(format!("\"v\" must be {SCHEMA_VERSION}")),
+        None => return Err("missing \"v\"".into()),
+    }
+    let kind = match get("kind") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => return Err("missing or non-string \"kind\"".into()),
+    };
+    let canonical = EventKind::ALL_KINDS
+        .iter()
+        .find(|k| **k == kind)
+        .copied()
+        .ok_or_else(|| format!("unknown kind {kind:?}"))?;
+    check_type(
+        "time_s",
+        get("time_s").ok_or("missing \"time_s\"")?,
+        FieldType::Num,
+    )?;
+    if let Some(rank) = get("rank") {
+        check_type("rank", rank, FieldType::UInt)?;
+    }
+
+    let (required, optional) = kind_fields(&kind).expect("kind already validated");
+    for (name, ty) in required {
+        let value = get(name).ok_or_else(|| format!("kind {kind:?} missing field {name:?}"))?;
+        check_type(name, value, *ty)?;
+    }
+    for (name, ty) in optional {
+        if let Some(value) = get(name) {
+            check_type(name, value, *ty)?;
+        }
+    }
+    for (key, _) in &pairs {
+        let known = matches!(key.as_str(), "v" | "kind" | "time_s" | "rank")
+            || required.iter().any(|(n, _)| n == key)
+            || optional.iter().any(|(n, _)| n == key);
+        if !known {
+            return Err(format!("kind {kind:?} has unknown field {key:?}"));
+        }
+    }
+    if canonical == "collector_segment" {
+        if let Some(Value::Str(activity)) = get("activity") {
+            debug_assert!(CollectorActivity::from_str_opt(activity).is_some());
+        }
+    }
+    Ok(canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind, RunMode};
+
+    fn line(kind: EventKind) -> String {
+        Event {
+            time_s: 0.25,
+            rank: Some(1),
+            kind,
+        }
+        .to_json_line()
+    }
+
+    #[test]
+    fn every_encoded_kind_validates() {
+        let kinds = vec![
+            EventKind::RunStarted {
+                mode: RunMode::SimCluster,
+                processors: 8,
+                max_sample_volume: 1000,
+                seqnum: Some(3),
+                nrow: Some(1),
+                ncol: Some(2),
+            },
+            EventKind::Realizations {
+                completed: 12,
+                compute_seconds: 0.5,
+            },
+            EventKind::MessageSent {
+                dest: 0,
+                tag: 1,
+                bytes: 48,
+            },
+            EventKind::MessageReceived {
+                source: 2,
+                tag: 1,
+                bytes: 48,
+                queue_depth: 4,
+            },
+            EventKind::QueueHighWater { depth: 5 },
+            EventKind::AveragingPass {
+                volume: 100,
+                duration_seconds: 0.01,
+                eps_max: Some(0.002),
+                max_snapshot_age_seconds: Some(1.5),
+            },
+            EventKind::SavePoint {
+                volume: 100,
+                duration_seconds: 0.001,
+            },
+            EventKind::CollectorSegment {
+                activity: crate::event::CollectorActivity::Receiving,
+                start_s: 0.0,
+                end_s: 1.0,
+            },
+            EventKind::RunCompleted {
+                realizations: 1000,
+                t_comp_seconds: 2.0,
+                messages: 40,
+                bytes: 1920,
+            },
+        ];
+        for kind in kinds {
+            let expected = kind.name();
+            let encoded = line(kind);
+            assert_eq!(
+                validate_line(&encoded).as_deref(),
+                Ok(expected),
+                "line: {encoded}"
+            );
+        }
+    }
+
+    #[test]
+    fn null_floats_validate() {
+        let encoded = line(EventKind::SavePoint {
+            volume: 1,
+            duration_seconds: f64::NAN,
+        });
+        assert!(encoded.contains("null"));
+        assert_eq!(validate_line(&encoded), Ok("save_point"));
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        for (bad, why) in [
+            ("not json", "malformed"),
+            (
+                r#"{"v":2,"kind":"queue_high_water","time_s":0,"depth":1}"#,
+                "wrong version",
+            ),
+            (r#"{"v":1,"kind":"mystery","time_s":0}"#, "unknown kind"),
+            (
+                r#"{"v":1,"kind":"queue_high_water","time_s":0}"#,
+                "missing field",
+            ),
+            (
+                r#"{"v":1,"kind":"queue_high_water","time_s":0,"depth":-1}"#,
+                "negative uint",
+            ),
+            (
+                r#"{"v":1,"kind":"queue_high_water","time_s":0,"depth":1,"extra":2}"#,
+                "unknown field",
+            ),
+            (
+                r#"{"v":1,"kind":"collector_segment","time_s":0,"activity":"napping","start_s":0,"end_s":1}"#,
+                "bad activity",
+            ),
+            (
+                r#"{"v":1,"kind":"queue_high_water","time_s":0,"depth":1,"depth":1}"#,
+                "duplicate key",
+            ),
+        ] {
+            assert!(validate_line(bad).is_err(), "should reject ({why}): {bad}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_empty_object() {
+        // Empty objects parse but fail validation (missing "v").
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+        assert!(validate_line("{}").is_err());
+    }
+}

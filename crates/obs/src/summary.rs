@@ -1,0 +1,386 @@
+//! End-of-run aggregation: folds a monitor trace into a
+//! [`MonitorSummary`] and renders the table printed by `parmonc-demo`
+//! and `fig2_threads`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{CollectorActivity, Event, EventKind, RunMode};
+
+/// Per-rank aggregates extracted from a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankStats {
+    /// Realizations completed (last cumulative `realizations` report).
+    pub realizations: u64,
+    /// Seconds spent computing realizations (last cumulative report).
+    pub compute_seconds: f64,
+    /// Messages this rank sent.
+    pub messages_sent: u64,
+    /// Payload bytes this rank sent.
+    pub bytes_sent: u64,
+}
+
+/// Everything the end-of-run summary table needs, folded from one
+/// monitor trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MonitorSummary {
+    /// Which engine produced the trace.
+    pub mode: Option<RunMode>,
+    /// Processor count from `run_started`.
+    pub processors: Option<usize>,
+    /// Target sample volume from `run_started`.
+    pub max_sample_volume: Option<u64>,
+    /// Total events in the trace.
+    pub events: u64,
+    /// Per-rank aggregates, keyed by rank.
+    pub ranks: BTreeMap<usize, RankStats>,
+    /// Messages received across all ranks.
+    pub messages_received: u64,
+    /// Payload bytes received across all ranks.
+    pub bytes_received: u64,
+    /// Largest receive-queue depth seen anywhere.
+    pub max_queue_depth: u64,
+    /// Number of collector averaging passes.
+    pub averaging_passes: u64,
+    /// Total seconds spent in averaging passes.
+    pub averaging_seconds: f64,
+    /// `eps_max` from the last averaging pass that carried one.
+    pub final_eps_max: Option<f64>,
+    /// Largest snapshot age any averaging pass observed.
+    pub max_snapshot_age_seconds: Option<f64>,
+    /// Number of save-points written.
+    pub save_points: u64,
+    /// Total seconds spent writing save-points.
+    pub save_seconds: f64,
+    /// Seconds the collector spent per activity (from
+    /// `collector_segment` events).
+    pub collector_seconds: BTreeMap<&'static str, f64>,
+    /// Realizations from `run_completed`.
+    pub total_realizations: Option<u64>,
+    /// The paper's `T_comp` from `run_completed`.
+    pub t_comp_seconds: Option<f64>,
+}
+
+impl MonitorSummary {
+    /// Folds a trace into a summary. Order-tolerant except that
+    /// cumulative `realizations` reports take the per-rank maximum.
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut s = Self {
+            events: events.len() as u64,
+            ..Self::default()
+        };
+        for event in events {
+            match &event.kind {
+                EventKind::RunStarted {
+                    mode,
+                    processors,
+                    max_sample_volume,
+                    ..
+                } => {
+                    s.mode = Some(*mode);
+                    s.processors = Some(*processors);
+                    s.max_sample_volume = Some(*max_sample_volume);
+                }
+                EventKind::Realizations {
+                    completed,
+                    compute_seconds,
+                } => {
+                    if let Some(rank) = event.rank {
+                        let stats = s.ranks.entry(rank).or_default();
+                        stats.realizations = stats.realizations.max(*completed);
+                        if compute_seconds.is_finite() {
+                            stats.compute_seconds = stats.compute_seconds.max(*compute_seconds);
+                        }
+                    }
+                }
+                EventKind::MessageSent { bytes, .. } => {
+                    if let Some(rank) = event.rank {
+                        let stats = s.ranks.entry(rank).or_default();
+                        stats.messages_sent += 1;
+                        stats.bytes_sent += bytes;
+                    }
+                }
+                EventKind::MessageReceived {
+                    bytes, queue_depth, ..
+                } => {
+                    s.messages_received += 1;
+                    s.bytes_received += bytes;
+                    s.max_queue_depth = s.max_queue_depth.max(*queue_depth);
+                }
+                EventKind::QueueHighWater { depth } => {
+                    s.max_queue_depth = s.max_queue_depth.max(*depth);
+                }
+                EventKind::AveragingPass {
+                    duration_seconds,
+                    eps_max,
+                    max_snapshot_age_seconds,
+                    ..
+                } => {
+                    s.averaging_passes += 1;
+                    s.averaging_seconds += duration_seconds;
+                    if eps_max.is_some() {
+                        s.final_eps_max = *eps_max;
+                    }
+                    if let Some(age) = max_snapshot_age_seconds {
+                        s.max_snapshot_age_seconds =
+                            Some(s.max_snapshot_age_seconds.map_or(*age, |m| m.max(*age)));
+                    }
+                }
+                EventKind::SavePoint {
+                    duration_seconds, ..
+                } => {
+                    s.save_points += 1;
+                    s.save_seconds += duration_seconds;
+                }
+                EventKind::CollectorSegment {
+                    activity,
+                    start_s,
+                    end_s,
+                } => {
+                    *s.collector_seconds.entry(activity.as_str()).or_insert(0.0) +=
+                        (end_s - start_s).max(0.0);
+                }
+                EventKind::RunCompleted {
+                    realizations,
+                    t_comp_seconds,
+                    ..
+                } => {
+                    s.total_realizations = Some(*realizations);
+                    s.t_comp_seconds = Some(*t_comp_seconds);
+                }
+            }
+        }
+        s
+    }
+
+    /// Fraction of traced collector time spent in `activity`, if any
+    /// segments were recorded.
+    #[must_use]
+    pub fn collector_fraction(&self, activity: CollectorActivity) -> Option<f64> {
+        let total: f64 = self.collector_seconds.values().sum();
+        if total > 0.0 {
+            Some(
+                self.collector_seconds
+                    .get(activity.as_str())
+                    .copied()
+                    .unwrap_or(0.0)
+                    / total,
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Renders the human-readable summary table printed at the end of
+    /// monitored runs.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run monitor summary ({} events)", self.events);
+        if let (Some(mode), Some(m)) = (self.mode, self.processors) {
+            let _ = writeln!(out, "  mode {} | processors {m}", mode.as_str());
+        }
+        if let Some(n) = self.total_realizations {
+            let _ = write!(out, "  realizations {n}");
+            if let Some(t) = self.t_comp_seconds {
+                let _ = write!(out, " | T_comp {t:.3} s");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "  messages received {} | bytes {} | max queue depth {}",
+            self.messages_received, self.bytes_received, self.max_queue_depth
+        );
+        let _ = write!(
+            out,
+            "  averaging passes {} ({:.3} s) | save-points {} ({:.3} s)",
+            self.averaging_passes, self.averaging_seconds, self.save_points, self.save_seconds
+        );
+        if let Some(eps) = self.final_eps_max {
+            let _ = write!(out, " | eps_max {eps:.3e}");
+        }
+        out.push('\n');
+        if let Some(age) = self.max_snapshot_age_seconds {
+            let _ = writeln!(out, "  max snapshot age {age:.3} s");
+        }
+        if !self.collector_seconds.is_empty() {
+            let total: f64 = self.collector_seconds.values().sum();
+            let _ = write!(out, "  collector time:");
+            for activity in [
+                CollectorActivity::Computing,
+                CollectorActivity::Receiving,
+                CollectorActivity::Saving,
+                CollectorActivity::Waiting,
+            ] {
+                if let Some(seconds) = self.collector_seconds.get(activity.as_str()) {
+                    let _ = write!(
+                        out,
+                        " {} {:.1}%",
+                        activity.as_str(),
+                        100.0 * seconds / total
+                    );
+                }
+            }
+            out.push('\n');
+        }
+        if !self.ranks.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:>4}  {:>14}  {:>12}  {:>9}  {:>12}",
+                "rank", "realizations", "compute_s", "msgs_sent", "bytes_sent"
+            );
+            for (rank, stats) in &self.ranks {
+                let _ = writeln!(
+                    out,
+                    "  {rank:>4}  {:>14}  {:>12.4}  {:>9}  {:>12}",
+                    stats.realizations,
+                    stats.compute_seconds,
+                    stats.messages_sent,
+                    stats.bytes_sent
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time_s: f64, rank: Option<usize>, kind: EventKind) -> Event {
+        Event { time_s, rank, kind }
+    }
+
+    #[test]
+    fn folds_a_small_trace() {
+        let events = vec![
+            ev(
+                0.0,
+                None,
+                EventKind::RunStarted {
+                    mode: RunMode::Threads,
+                    processors: 2,
+                    max_sample_volume: 100,
+                    seqnum: Some(1),
+                    nrow: Some(1),
+                    ncol: Some(1),
+                },
+            ),
+            ev(
+                0.5,
+                Some(1),
+                EventKind::Realizations {
+                    completed: 40,
+                    compute_seconds: 0.4,
+                },
+            ),
+            ev(
+                1.0,
+                Some(1),
+                EventKind::Realizations {
+                    completed: 60,
+                    compute_seconds: 0.9,
+                },
+            ),
+            ev(
+                0.5,
+                Some(1),
+                EventKind::MessageSent {
+                    dest: 0,
+                    tag: 1,
+                    bytes: 48,
+                },
+            ),
+            ev(
+                0.6,
+                Some(0),
+                EventKind::MessageReceived {
+                    source: 1,
+                    tag: 1,
+                    bytes: 48,
+                    queue_depth: 2,
+                },
+            ),
+            ev(0.6, Some(0), EventKind::QueueHighWater { depth: 3 }),
+            ev(
+                0.7,
+                Some(0),
+                EventKind::AveragingPass {
+                    volume: 60,
+                    duration_seconds: 0.01,
+                    eps_max: Some(0.05),
+                    max_snapshot_age_seconds: Some(0.2),
+                },
+            ),
+            ev(
+                0.7,
+                Some(0),
+                EventKind::SavePoint {
+                    volume: 60,
+                    duration_seconds: 0.002,
+                },
+            ),
+            ev(
+                1.0,
+                Some(0),
+                EventKind::CollectorSegment {
+                    activity: CollectorActivity::Receiving,
+                    start_s: 0.0,
+                    end_s: 0.75,
+                },
+            ),
+            ev(
+                1.0,
+                Some(0),
+                EventKind::CollectorSegment {
+                    activity: CollectorActivity::Waiting,
+                    start_s: 0.75,
+                    end_s: 1.0,
+                },
+            ),
+            ev(
+                1.1,
+                None,
+                EventKind::RunCompleted {
+                    realizations: 100,
+                    t_comp_seconds: 1.1,
+                    messages: 1,
+                    bytes: 48,
+                },
+            ),
+        ];
+        let s = MonitorSummary::from_events(&events);
+        assert_eq!(s.mode, Some(RunMode::Threads));
+        assert_eq!(s.processors, Some(2));
+        assert_eq!(s.ranks[&1].realizations, 60);
+        assert_eq!(s.ranks[&1].messages_sent, 1);
+        assert_eq!(s.ranks[&1].bytes_sent, 48);
+        assert_eq!(s.messages_received, 1);
+        assert_eq!(s.max_queue_depth, 3);
+        assert_eq!(s.averaging_passes, 1);
+        assert_eq!(s.save_points, 1);
+        assert_eq!(s.final_eps_max, Some(0.05));
+        assert_eq!(s.max_snapshot_age_seconds, Some(0.2));
+        assert_eq!(s.total_realizations, Some(100));
+        assert_eq!(s.t_comp_seconds, Some(1.1));
+        let frac = s.collector_fraction(CollectorActivity::Receiving).unwrap();
+        assert!((frac - 0.75).abs() < 1e-12);
+
+        let table = s.render_table();
+        assert!(table.contains("mode threads"));
+        assert!(table.contains("max queue depth 3"));
+        assert!(table.contains("rank"));
+        assert!(table.contains("receiving 75.0%"));
+    }
+
+    #[test]
+    fn empty_trace_summarizes_and_renders() {
+        let s = MonitorSummary::from_events(&[]);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.collector_fraction(CollectorActivity::Waiting), None);
+        assert!(s.render_table().contains("0 events"));
+    }
+}

@@ -80,7 +80,10 @@ pub fn exponential<R: UniformSource + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 ///
 /// Panics if `lo >= hi`.
 pub fn uniform<R: UniformSource + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
-    assert!(lo < hi, "uniform bounds must satisfy lo < hi, got [{lo}, {hi})");
+    assert!(
+        lo < hi,
+        "uniform bounds must satisfy lo < hi, got [{lo}, {hi})"
+    );
     lo + (hi - lo) * rng.next_f64()
 }
 
@@ -90,7 +93,10 @@ pub fn uniform<R: UniformSource + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 
 ///
 /// Panics if `p` is outside `[0, 1]`.
 pub fn bernoulli<R: UniformSource + ?Sized>(rng: &mut R, p: f64) -> bool {
-    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0,1], got {p}"
+    );
     rng.next_f64() < p
 }
 
@@ -192,7 +198,9 @@ mod tests {
     #[test]
     fn polar_normal_moments() {
         let mut r = rng();
-        let xs: Vec<f64> = (0..100_000).map(|_| standard_normal_polar(&mut r)).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| standard_normal_polar(&mut r))
+            .collect();
         let (mean, var) = sample_stats(&xs);
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
@@ -250,10 +258,7 @@ mod tests {
             counts[uniform_index(&mut r, 7) as usize] += 1;
         }
         for (i, c) in counts.iter().enumerate() {
-            assert!(
-                (*c as f64 - 10_000.0).abs() < 500.0,
-                "bucket {i} count {c}"
-            );
+            assert!((*c as f64 - 10_000.0).abs() < 500.0, "bucket {i} count {c}");
         }
     }
 

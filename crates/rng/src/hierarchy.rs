@@ -87,10 +87,7 @@ impl fmt::Display for HierarchyError {
                 level,
                 index,
                 capacity,
-            } => write!(
-                f,
-                "{level} index {index} out of capacity {capacity}"
-            ),
+            } => write!(f, "{level} index {index} out of capacity {capacity}"),
         }
     }
 }
@@ -392,7 +389,7 @@ impl Default for StreamHierarchy {
 mod tests {
     use super::*;
     use crate::multiplier::modpow;
-    use proptest::prelude::*;
+    use parmonc_testkit::prelude::*;
     use std::collections::HashSet;
 
     #[test]
@@ -442,9 +439,7 @@ mod tests {
         let e = LeapConfig::new(40, 50, 30).unwrap_err();
         assert!(e.to_string().contains("ne > np > nr"));
         let h = StreamHierarchy::default();
-        let e = h
-            .stream_state(StreamId::new(1 << 11, 0, 0))
-            .unwrap_err();
+        let e = h.stream_state(StreamId::new(1 << 11, 0, 0)).unwrap_err();
         assert!(e.to_string().contains("experiment"));
     }
 
@@ -453,7 +448,9 @@ mod tests {
         let h = StreamHierarchy::default();
         let (le, lp, lr) = h.leap_multipliers();
         let id = StreamId::new(3, 5, 7);
-        let expected = modpow(le, 3).wrapping_mul(modpow(lp, 5)).wrapping_mul(modpow(lr, 7));
+        let expected = modpow(le, 3)
+            .wrapping_mul(modpow(lp, 5))
+            .wrapping_mul(modpow(lr, 7));
         assert_eq!(h.stream_state(id).unwrap(), expected);
     }
 
@@ -468,7 +465,9 @@ mod tests {
         let h = StreamHierarchy::default();
         assert!(h.stream_state(StreamId::new(1 << 10, 0, 0)).is_err());
         assert!(h.stream_state(StreamId::new(0, 1 << 17, 0)).is_err());
-        assert!(h.stream_state(StreamId::new((1 << 10) - 1, (1 << 17) - 1, 0)).is_ok());
+        assert!(h
+            .stream_state(StreamId::new((1 << 10) - 1, (1 << 17) - 1, 0))
+            .is_ok());
     }
 
     #[test]
@@ -488,9 +487,7 @@ mod tests {
         for e in 0..2u64 {
             for p in 0..3u64 {
                 for r in 0..4u64 {
-                    let mut s = h
-                        .realization_stream(StreamId::new(e, p, r))
-                        .unwrap();
+                    let mut s = h.realization_stream(StreamId::new(e, p, r)).unwrap();
                     let start = (e << 12) + (p << 8) + (r << 4);
                     for k in 0..16usize {
                         let idx = start as usize + k;

@@ -10,9 +10,9 @@
 //! cycle of length `2^126` (formula (7)), of which the paper recommends
 //! using the first half (`2^125` numbers).
 
-use crate::multiplier::{modpow, DEFAULT_MULTIPLIER, MODULUS_BITS};
 #[cfg(test)]
 use crate::multiplier::PERIOD_EXPONENT;
+use crate::multiplier::{modpow, DEFAULT_MULTIPLIER, MODULUS_BITS};
 
 /// Scale factor turning the top 53 bits of the state into a double in
 /// the *open* interval (0, 1): `alpha = (top53 + 0.5) · 2^-53`.
@@ -226,7 +226,7 @@ pub fn rnd128(rng: &mut Lcg128) -> f64 {
 mod tests {
     use super::*;
     use crate::limbs::U128Limbs;
-    use proptest::prelude::*;
+    use parmonc_testkit::prelude::*;
 
     /// First states of the sequence, computed independently with Python
     /// bignums: u_k = (5^101)^k mod 2^128 for k = 1..=3.

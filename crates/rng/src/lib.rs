@@ -53,13 +53,11 @@
 //!   distributions the workloads need (normal, exponential, Poisson, …).
 //! * [`baseline`] — comparison generators: the 40-bit LCG the paper
 //!   cites as having an *insufficient* period, xorshift64*, splitmix64.
-//! * [`compat`] — interop with the `rand` crate ecosystem.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod baseline;
-pub mod compat;
 pub mod distributions;
 pub mod hierarchy;
 pub mod lcg128;

@@ -133,7 +133,7 @@ pub const fn limb_step(u: U128Limbs, a: U128Limbs) -> U128Limbs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parmonc_testkit::prelude::*;
 
     #[test]
     fn round_trip_u128() {

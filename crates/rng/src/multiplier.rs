@@ -135,7 +135,7 @@ pub fn order_exponent(a: u128) -> Option<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parmonc_testkit::prelude::*;
 
     #[test]
     fn default_multiplier_is_5_pow_101() {

@@ -93,7 +93,10 @@ impl BatteryReport {
     /// Count of failing tests.
     #[must_use]
     pub fn failures(&self) -> usize {
-        self.results.iter().filter(|r| !r.passes(self.alpha)).count()
+        self.results
+            .iter()
+            .filter(|r| !r.passes(self.alpha))
+            .count()
     }
 }
 
@@ -130,7 +133,11 @@ pub enum Scale {
 
 /// Runs the single-stream battery against `rng` at significance
 /// `alpha`.
-pub fn run_battery<R: UniformSource + ?Sized>(rng: &mut R, alpha: f64, scale: Scale) -> BatteryReport {
+pub fn run_battery<R: UniformSource + ?Sized>(
+    rng: &mut R,
+    alpha: f64,
+    scale: Scale,
+) -> BatteryReport {
     let k = match scale {
         Scale::Standard => 1,
         Scale::Thorough => 100,

@@ -21,10 +21,7 @@ pub fn duplicated_spacings<R: UniformSource + ?Sized>(rng: &mut R, m: usize, n_d
     let mut spacings: Vec<u64> = birthdays.windows(2).map(|w| w[1] - w[0]).collect();
     spacings.sort_unstable();
     // Count elements that are duplicates of their predecessor.
-    spacings
-        .windows(2)
-        .filter(|w| w[0] == w[1])
-        .count() as u64
+    spacings.windows(2).filter(|w| w[0] == w[1]).count() as u64
 }
 
 /// Runs the birthday-spacings test: `experiments` repetitions with `m`
@@ -74,7 +71,11 @@ pub fn test_birthday_spacings<R: UniformSource + ?Sized>(
             df += 1.0;
         }
     }
-    TestResult::new("birthday-spacings", stat, chi2_sf(stat, (df - 1.0).max(1.0)))
+    TestResult::new(
+        "birthday-spacings",
+        stat,
+        chi2_sf(stat, (df - 1.0).max(1.0)),
+    )
 }
 
 #[cfg(test)]

@@ -92,11 +92,7 @@ pub fn test_cross_uniformity(
 /// each of `streams` processor streams and z-tests the grand mean
 /// against 1/2 — the aggregate statistic formula (5) actually relies
 /// on.
-pub fn test_grand_mean(
-    hierarchy: &StreamHierarchy,
-    streams: u64,
-    per_stream: usize,
-) -> TestResult {
+pub fn test_grand_mean(hierarchy: &StreamHierarchy, streams: u64, per_stream: usize) -> TestResult {
     let mut sum = 0.0;
     let total = streams as usize * per_stream;
     for p in 0..streams {

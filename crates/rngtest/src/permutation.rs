@@ -50,11 +50,7 @@ pub fn test_permutations<R: UniformSource + ?Sized>(
         counts[permutation_index(&tuple)] += 1;
     }
     let (stat, _) = chi2_equal_cells(&counts);
-    TestResult::new(
-        "permutation",
-        stat,
-        chi2_sf(stat, (factorial - 1) as f64),
-    )
+    TestResult::new("permutation", stat, chi2_sf(stat, (factorial - 1) as f64))
 }
 
 #[cfg(test)]

@@ -76,7 +76,12 @@ pub fn test_poker<R: UniformSource + ?Sized>(
     let total = groups as f64;
     let mut stat = 0.0;
     let mut df = 0.0f64;
-    for (r, &count) in counts.iter().enumerate().take(k.min(d as usize) + 1).skip(1) {
+    for (r, &count) in counts
+        .iter()
+        .enumerate()
+        .take(k.min(d as usize) + 1)
+        .skip(1)
+    {
         let expected = total * poker_probability(k, d, r);
         if expected >= 1.0 {
             let diff = count as f64 - expected;

@@ -55,11 +55,7 @@ pub fn test_2d<R: UniformSource + ?Sized>(rng: &mut R, pairs: usize, bins: usize
 }
 
 /// 3-D serial test over successive non-overlapping triples.
-pub fn test_3d<R: UniformSource + ?Sized>(
-    rng: &mut R,
-    triples: usize,
-    bins: usize,
-) -> TestResult {
+pub fn test_3d<R: UniformSource + ?Sized>(rng: &mut R, triples: usize, bins: usize) -> TestResult {
     let mut counts = vec![0u64; bins * bins * bins];
     for _ in 0..triples {
         let x = ((rng.next_f64() * bins as f64) as usize).min(bins - 1);

@@ -182,8 +182,7 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_stream() {
-        let scheme =
-            EulerScheme::new(PaperDiffusion::default(), 1e-3, OutputGrid::new(5, 7));
+        let scheme = EulerScheme::new(PaperDiffusion::default(), 1e-3, OutputGrid::new(5, 7));
         let mut out1 = vec![0.0; 10];
         let mut out2 = vec![0.0; 10];
         scheme.realize_into(&mut Lcg128::new(), &mut out1);
@@ -194,8 +193,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "points x 2")]
     fn wrong_buffer_size_panics() {
-        let scheme =
-            EulerScheme::new(PaperDiffusion::default(), 1e-3, OutputGrid::new(5, 1));
+        let scheme = EulerScheme::new(PaperDiffusion::default(), 1e-3, OutputGrid::new(5, 1));
         let mut out = vec![0.0; 4];
         scheme.realize_into(&mut Lcg128::new(), &mut out);
     }

@@ -98,9 +98,7 @@ where
     for _ in 0..n {
         let dw = sqrt_h * standard_normal(rng);
         let b = sde.diffusion(x);
-        x += sde.drift(x) * h
-            + b * dw
-            + 0.5 * b * sde.diffusion_derivative(x) * (dw * dw - h);
+        x += sde.drift(x) * h + b * dw + 0.5 * b * sde.diffusion_derivative(x) * (dw * dw - h);
         w += dw;
     }
     (x, w)

@@ -218,7 +218,8 @@ mod tests {
                 let mean = s.mean(i, j);
                 let exact = problem.exact_mean(j, t);
                 assert!(
-                    (mean - exact).abs() < 4.0 * (problem.exact_variance(j, t) / 8000.0).sqrt() + 1e-9,
+                    (mean - exact).abs()
+                        < 4.0 * (problem.exact_variance(j, t) / 8000.0).sqrt() + 1e-9,
                     "t={t} j={j}: {mean} vs {exact}"
                 );
                 let var = s.variances[i * 2 + j];
@@ -263,7 +264,10 @@ mod tests {
             for j in 0..2 {
                 let mean = s.mean(i, j);
                 let exact = ou.exact_mean(j, t);
-                assert!((mean - exact).abs() < 0.06, "t={t} j={j}: {mean} vs {exact}");
+                assert!(
+                    (mean - exact).abs() < 0.06,
+                    "t={t} j={j}: {mean} vs {exact}"
+                );
             }
         }
         // By t = 3 the first component is near its long-run mean 0.

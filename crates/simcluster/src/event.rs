@@ -82,6 +82,13 @@ impl<E: PartialEq> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Number of pending events scheduled at or before `time` — the
+    /// "queue depth" an observer at that virtual time would see.
+    #[must_use]
+    pub fn pending_at(&self, time: f64) -> usize {
+        self.heap.iter().filter(|s| s.time <= time).count()
+    }
+
     /// Whether no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -23,6 +23,29 @@
 //! measures. The [`figure2`] module packages the paper's panels; the
 //! model also exposes the knobs (tiny τ, slow links, heterogeneous
 //! processors) used for the ablations in EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! Simulate the paper's testbed and stream the run through a monitor
+//! using the same event schema as the real runner (see
+//! `docs/observability.md`):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use parmonc_obs::{MemorySink, Monitor, MonitorSummary};
+//! use parmonc_simcluster::{simulate_monitored, ClusterConfig};
+//!
+//! let config = ClusterConfig::paper_testbed(8);
+//! let sink = Arc::new(MemorySink::new());
+//! let monitor = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+//! let run = simulate_monitored(&config, 256, &monitor);
+//!
+//! // T_comp ≈ L·τ/M on the healthy testbed, and the trace agrees.
+//! let summary = MonitorSummary::from_events(&sink.snapshot());
+//! assert_eq!(summary.total_realizations, Some(256));
+//! assert_eq!(summary.messages_received, run.result.messages);
+//! assert!(run.compute_utilization() > 0.9);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -36,3 +59,4 @@ pub mod trace;
 
 pub use model::{ClusterConfig, ExchangePolicy, QuotaMode};
 pub use sim::{simulate, SimResult};
+pub use trace::{simulate_monitored, simulate_traced, CollectorActivity, Segment, TracedRun};

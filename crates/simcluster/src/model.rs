@@ -92,7 +92,10 @@ impl ClusterConfig {
             self.bandwidth_bytes_per_sec > 0.0,
             "bandwidth must be positive"
         );
-        assert!(self.message_bytes >= 0.0, "message size must be non-negative");
+        assert!(
+            self.message_bytes >= 0.0,
+            "message size must be non-negative"
+        );
         assert!(self.latency_seconds >= 0.0, "latency must be non-negative");
         assert!(
             self.receive_cost_seconds >= 0.0 && self.save_cost_seconds >= 0.0,
@@ -152,8 +155,7 @@ impl ClusterConfig {
             QuotaMode::SpeedWeighted => {
                 let total_speed: f64 = (0..self.processors).map(|i| self.speed(i)).sum();
                 // Floor shares, then distribute the remainder.
-                let share =
-                    |i: usize| (total as f64 * self.speed(i) / total_speed).floor() as u64;
+                let share = |i: usize| (total as f64 * self.speed(i) / total_speed).floor() as u64;
                 let assigned: u64 = (0..self.processors).map(share).sum();
                 let remainder = total - assigned;
                 share(m) + u64::from((m as u64) < remainder)

@@ -25,36 +25,65 @@ impl SimResult {
     /// `(L · τ / M) / T_comp` for the homogeneous configuration.
     #[must_use]
     pub fn efficiency(&self, config: &ClusterConfig) -> f64 {
-        let ideal = self.realizations as f64 * config.realization_seconds
-            / config.processors as f64;
+        let ideal =
+            self.realizations as f64 * config.realization_seconds / config.processors as f64;
         ideal / self.t_comp
     }
 }
 
-/// Worker-side message timeline: returns the arrival times at processor
-/// 0 of every message worker `m` sends, final message last.
-pub(crate) fn worker_arrival_times(config: &ClusterConfig, m: usize, quota: u64) -> Vec<f64> {
+/// One scheduled worker message: when it arrives at processor 0, how
+/// many of the worker's realizations its cumulative subtotal covers,
+/// and its tag (1 = subtotal, 2 = final, mirroring the runner's
+/// `TAG_SUBTOTAL`/`TAG_FINAL`).
+pub(crate) struct ScheduledSend {
+    pub arrival: f64,
+    pub covered: u64,
+    pub tag: u32,
+}
+
+/// Worker-side message timeline: every message worker `m` sends, in
+/// send order, final message last.
+pub(crate) fn worker_arrival_schedule(
+    config: &ClusterConfig,
+    m: usize,
+    quota: u64,
+) -> Vec<ScheduledSend> {
     let d = config.realization_duration(m);
     let transfer = config.transfer_seconds();
     let finish = quota as f64 * d;
-    let mut sends: Vec<f64> = match config.exchange {
-        ExchangePolicy::EveryRealization => (1..=quota).map(|i| i as f64 * d).collect(),
+    let mut sends: Vec<(f64, u64)> = match config.exchange {
+        ExchangePolicy::EveryRealization => (1..=quota).map(|i| (i as f64 * d, i)).collect(),
         ExchangePolicy::Periodic { period } => {
-            let mut s: Vec<f64> = (1..)
+            let mut s: Vec<(f64, u64)> = (1..)
                 .map(|j| j as f64 * period)
                 .take_while(|t| *t < finish)
+                .map(|t| (t, ((t / d) as u64).min(quota)))
                 .collect();
-            s.push(finish); // the final message
+            s.push((finish, quota)); // the final message
             s
         }
     };
     if sends.is_empty() {
-        sends.push(finish);
+        sends.push((finish, quota));
     }
-    for t in sends.iter_mut() {
-        *t += transfer;
-    }
+    let last = sends.len() - 1;
     sends
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, covered))| ScheduledSend {
+            arrival: t + transfer,
+            covered,
+            tag: if i == last { 2 } else { 1 },
+        })
+        .collect()
+}
+
+/// Arrival times at processor 0 of every message worker `m` sends.
+pub(crate) fn worker_arrival_times(config: &ClusterConfig, m: usize, quota: u64) -> Vec<f64> {
+    worker_arrival_schedule(config, m, quota)
+        .into_iter()
+        .map(|s| s.arrival)
+        .collect()
 }
 
 /// Simulates a run of `total` realizations on the configured cluster.
@@ -172,7 +201,10 @@ mod tests {
                 speedup > 0.93 * m as f64,
                 "M={m}: speedup {speedup:.1} not ~{m}"
             );
-            assert!(speedup <= m as f64 + 1e-6, "M={m}: superlinear {speedup:.1}");
+            assert!(
+                speedup <= m as f64 + 1e-6,
+                "M={m}: superlinear {speedup:.1}"
+            );
         }
     }
 
@@ -275,7 +307,7 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use parmonc_testkit::prelude::*;
 
         proptest! {
             /// T_comp is bounded below by the critical path: rank 0's

@@ -48,7 +48,10 @@ impl fmt::Display for StatsError {
             ),
             Self::EmptyShape => write!(f, "matrix dimensions must be positive"),
             Self::NonFinite { index, value } => {
-                write!(f, "non-finite realization value {value} at flat index {index}")
+                write!(
+                    f,
+                    "non-finite realization value {value} at flat index {index}"
+                )
             }
         }
     }

@@ -101,10 +101,7 @@ impl Histogram {
     pub fn bin_edges(&self, i: usize) -> (f64, f64) {
         assert!(i < self.counts.len(), "bin {i} out of range");
         let width = (self.hi - self.lo) / self.counts.len() as f64;
-        (
-            self.lo + i as f64 * width,
-            self.lo + (i + 1) as f64 * width,
-        )
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
     }
 
     /// Records one sample.
@@ -191,7 +188,7 @@ impl Extend<f64> for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parmonc_testkit::prelude::*;
 
     #[test]
     fn construction_validation() {
@@ -256,7 +253,7 @@ mod tests {
         /// one, and totals are conserved for arbitrary inputs.
         #[test]
         fn merge_equals_sequential(
-            xs in proptest::collection::vec(-2.0f64..3.0, 0..200),
+            xs in collection::vec(-2.0f64..3.0, 0..200),
             split in 0usize..200
         ) {
             let split = split.min(xs.len());
@@ -273,7 +270,7 @@ mod tests {
 
         /// Every sample lands in exactly one counter.
         #[test]
-        fn totals_conserved(xs in proptest::collection::vec(any::<f64>(), 0..200)) {
+        fn totals_conserved(xs in collection::vec(any::<f64>(), 0..200)) {
             let mut h = Histogram::new(-1.0, 1.0, 13).unwrap();
             let finite = xs.iter().filter(|x| !x.is_infinite()).count();
             h.extend(xs.iter().copied().filter(|x| !x.is_infinite()));

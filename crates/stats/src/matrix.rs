@@ -159,10 +159,7 @@ impl MatrixAccumulator {
                 got_len: realization.len(),
             });
         }
-        if let Some((index, &value)) = realization
-            .iter()
-            .enumerate()
-            .find(|(_, v)| !v.is_finite())
+        if let Some((index, &value)) = realization.iter().enumerate().find(|(_, v)| !v.is_finite())
         {
             return Err(StatsError::NonFinite { index, value });
         }
@@ -209,7 +206,10 @@ impl MatrixAccumulator {
     /// Panics if `i >= nrow` or `j >= ncol`.
     #[must_use]
     pub fn entry(&self, i: usize, j: usize) -> ScalarAccumulator {
-        assert!(i < self.nrow && j < self.ncol, "entry ({i},{j}) out of bounds");
+        assert!(
+            i < self.nrow && j < self.ncol,
+            "entry ({i},{j}) out of bounds"
+        );
         let k = i * self.ncol + j;
         ScalarAccumulator::from_sums(self.sums[k], self.sums_sq[k], self.count)
     }
@@ -231,7 +231,11 @@ impl MatrixAccumulator {
             let acc = ScalarAccumulator::from_sums(self.sums[k], self.sums_sq[k], self.count);
             means[k] = acc.mean();
             variances[k] = acc.variance();
-            abs_errors[k] = if self.count == 0 { 0.0 } else { acc.abs_error() };
+            abs_errors[k] = if self.count == 0 {
+                0.0
+            } else {
+                acc.abs_error()
+            };
             rel_errors[k] = acc.rel_error_percent();
             eps_max = eps_max.max(abs_errors[k]);
             sigma2_max = sigma2_max.max(variances[k]);
@@ -282,7 +286,7 @@ impl MatrixSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parmonc_testkit::prelude::*;
 
     fn acc2x2() -> MatrixAccumulator {
         MatrixAccumulator::new(2, 2).unwrap()
@@ -379,8 +383,8 @@ mod tests {
         /// the same value.
         #[test]
         fn merge_is_distribution_invariant(
-            rows in proptest::collection::vec(
-                proptest::collection::vec(-1e3f64..1e3, 6),
+            rows in collection::vec(
+                collection::vec(-1e3f64..1e3, 6),
                 1..40
             ),
             m in 1usize..6
@@ -416,7 +420,7 @@ mod tests {
         /// Merging with an empty accumulator is the identity.
         #[test]
         fn merge_empty_is_identity(
-            rows in proptest::collection::vec(proptest::collection::vec(-1e3f64..1e3, 4), 1..20)
+            rows in collection::vec(collection::vec(-1e3f64..1e3, 4), 1..20)
         ) {
             let mut acc = MatrixAccumulator::new(2, 2).unwrap();
             for r in &rows {
@@ -430,7 +434,7 @@ mod tests {
         /// Variances are non-negative for arbitrary data.
         #[test]
         fn variances_non_negative(
-            rows in proptest::collection::vec(proptest::collection::vec(-1e6f64..1e6, 4), 1..30)
+            rows in collection::vec(collection::vec(-1e6f64..1e6, 4), 1..30)
         ) {
             let mut acc = MatrixAccumulator::new(2, 2).unwrap();
             for r in &rows {

@@ -190,7 +190,7 @@ impl Extend<f64> for ScalarAccumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parmonc_testkit::prelude::*;
 
     #[test]
     fn empty_accumulator_behaviour() {
@@ -264,7 +264,7 @@ mod tests {
         /// place (the core of formula (5)).
         #[test]
         fn merge_equals_sequential(
-            xs in proptest::collection::vec(-1e6f64..1e6, 0..100),
+            xs in collection::vec(-1e6f64..1e6, 0..100),
             split in 0usize..100
         ) {
             let split = split.min(xs.len());
@@ -280,8 +280,8 @@ mod tests {
         /// Merge is commutative on the raw sums.
         #[test]
         fn merge_commutes(
-            xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
-            ys in proptest::collection::vec(-1e6f64..1e6, 1..50)
+            xs in collection::vec(-1e6f64..1e6, 1..50),
+            ys in collection::vec(-1e6f64..1e6, 1..50)
         ) {
             let a: ScalarAccumulator = xs.iter().copied().collect();
             let b: ScalarAccumulator = ys.iter().copied().collect();
@@ -296,7 +296,7 @@ mod tests {
         /// Variance is always non-negative and mean lies within sample
         /// bounds.
         #[test]
-        fn derived_stats_are_sane(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+        fn derived_stats_are_sane(xs in collection::vec(-1e3f64..1e3, 1..200)) {
             let acc: ScalarAccumulator = xs.iter().copied().collect();
             prop_assert!(acc.variance() >= 0.0);
             let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);

@@ -48,7 +48,11 @@ pub enum ParseError {
 impl core::fmt::Display for ParseError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            Self::FieldCount { line, expected, got } => {
+            Self::FieldCount {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, got {got}")
             }
             Self::BadNumber { line, token } => {

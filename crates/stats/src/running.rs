@@ -101,7 +101,7 @@ impl FromIterator<f64> for WelfordAccumulator {
 mod tests {
     use super::*;
     use crate::moments::ScalarAccumulator;
-    use proptest::prelude::*;
+    use parmonc_testkit::prelude::*;
 
     #[test]
     fn empty_behaviour() {
@@ -125,9 +125,7 @@ mod tests {
         // Mean 1e9, sd 1: naive sums lose ~7 digits of the variance;
         // Welford keeps it. This quantifies the design trade-off the
         // paper makes for mergeability.
-        let xs: Vec<f64> = (0..10_000)
-            .map(|i| 1e9 + f64::from(i % 3) - 1.0)
-            .collect();
+        let xs: Vec<f64> = (0..10_000).map(|i| 1e9 + f64::from(i % 3) - 1.0).collect();
         let w: WelfordAccumulator = xs.iter().copied().collect();
         // 10000 = 3*3333 + 1, so -1 occurs 3334 times and 0, 1 occur
         // 3333 times each: variance = 6667/10000 - (1/10000)^2.
@@ -149,7 +147,7 @@ mod tests {
     proptest! {
         /// Welford and naive agree on bounded data.
         #[test]
-        fn agrees_with_naive(xs in proptest::collection::vec(-1e3f64..1e3, 1..300)) {
+        fn agrees_with_naive(xs in collection::vec(-1e3f64..1e3, 1..300)) {
             let w: WelfordAccumulator = xs.iter().copied().collect();
             let n: ScalarAccumulator = xs.iter().copied().collect();
             prop_assert!((w.mean() - n.mean()).abs() < 1e-8);
@@ -159,7 +157,7 @@ mod tests {
         /// Merging equals sequential accumulation.
         #[test]
         fn merge_equals_sequential(
-            xs in proptest::collection::vec(-1e3f64..1e3, 0..100),
+            xs in collection::vec(-1e3f64..1e3, 0..100),
             split in 0usize..100
         ) {
             let split = split.min(xs.len());

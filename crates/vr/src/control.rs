@@ -96,7 +96,8 @@ mod tests {
 
     #[test]
     fn unbiased_against_closed_form() {
-        let est = control_variate_estimate(&mut Lcg128::new(), 2_000, 100_000, 0.5, exp_with_control);
+        let est =
+            control_variate_estimate(&mut Lcg128::new(), 2_000, 100_000, 0.5, exp_with_control);
         let truth = std::f64::consts::E - 1.0;
         assert!(
             (est.adjusted.mean() - truth).abs() <= est.adjusted.abs_error() + 1e-3,
@@ -111,7 +112,11 @@ mod tests {
         // E[U e^U] = 1 (integration by parts), E[e^U] = e−1.
         let est = control_variate_estimate(&mut Lcg128::new(), 200_000, 1, 0.5, exp_with_control);
         let beta_star = (1.0 - (std::f64::consts::E - 1.0) / 2.0) * 12.0;
-        assert!((est.beta - beta_star).abs() < 0.05, "{} vs {beta_star}", est.beta);
+        assert!(
+            (est.beta - beta_star).abs() < 0.05,
+            "{} vs {beta_star}",
+            est.beta
+        );
         assert!(est.pilot_correlation > 0.98);
     }
 

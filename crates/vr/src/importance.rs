@@ -56,8 +56,7 @@ fn erfc(x: f64) -> f64 {
     let sign = if x < 0.0 { -1.0 } else { 1.0 };
     let ax = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * ax);
-    let poly = (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t
-        - 0.284_496_736)
+    let poly = (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
         * t
         + 0.254_829_592)
         * t;

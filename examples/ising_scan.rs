@@ -18,7 +18,9 @@ fn main() -> Result<(), ParmoncError> {
     let side = 16;
     let sweeps = 150;
     let chains = 200;
-    println!("2-D Ising {side}x{side} torus, {sweeps} Metropolis sweeps, {chains} chains per point");
+    println!(
+        "2-D Ising {side}x{side} torus, {sweeps} Metropolis sweeps, {chains} chains per point"
+    );
     println!("(beta_c ≈ {:.4})", IsingModel::BETA_CRITICAL);
     println!(
         "{:>7} {:>18} {:>18}",

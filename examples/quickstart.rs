@@ -3,6 +3,9 @@
 //! The user supplies one sequential routine (simulate a single
 //! realization, drawing base random numbers from the stream); PARMONC
 //! parallelizes it, averages, and writes error bars — no MPI in sight.
+//! The run monitor is attached, so the run also records an event trace
+//! (`parmonc_data/monitor/run_metrics.jsonl`, schema in
+//! `docs/observability.md`) and prints the summary table.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -21,6 +24,7 @@ fn main() -> Result<(), ParmoncError> {
         .max_sample_volume(1_000_000)
         .processors(4)
         .output_dir(std::env::temp_dir().join("parmonc-quickstart"))
+        .monitor()
         .run(realization)?;
 
     println!(
@@ -33,12 +37,16 @@ fn main() -> Result<(), ParmoncError> {
     println!(
         "exact  {:.6}  (inside the 0.997 confidence interval: {})",
         std::f64::consts::PI,
-        (report.summary.means[0] - std::f64::consts::PI).abs()
-            <= report.summary.abs_errors[0]
+        (report.summary.means[0] - std::f64::consts::PI).abs() <= report.summary.abs_errors[0]
     );
-    println!(
-        "result files in {}",
-        report.results_dir.root().display()
-    );
+    println!("result files in {}", report.results_dir.root().display());
+    if let Some(summary) = &report.monitor {
+        println!();
+        println!("{}", summary.render_table());
+        println!(
+            "event trace in {}",
+            report.results_dir.run_metrics_path().display()
+        );
+    }
     Ok(())
 }

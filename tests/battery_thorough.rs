@@ -22,8 +22,7 @@ fn lcg128_passes_thorough_battery() {
 #[test]
 #[ignore = "thorough scale: minutes of runtime; run with -- --ignored"]
 fn cross_stream_thorough_battery() {
-    let report =
-        run_cross_stream_battery(&StreamHierarchy::default(), 1e-4, Scale::Thorough);
+    let report = run_cross_stream_battery(&StreamHierarchy::default(), 1e-4, Scale::Thorough);
     assert!(report.all_pass(), "{report}");
 }
 

@@ -90,9 +90,9 @@ mod capacity_claims {
         assert_eq!(c.experiments(), 1 << 10); // ≈ 10^3
         assert_eq!(c.processors(), 1 << 17); // ≈ 1.3·10^5
         assert_eq!(c.realizations(), 1 << 55); // ≈ 3.6·10^16
-        // And one realization may draw 2^43 ≈ 8.8·10^12 numbers —
-        // more than the *entire period* of the 40-bit generator the
-        // paper cites as insufficient (2^38 ≈ 2.7·10^11).
+                                               // And one realization may draw 2^43 ≈ 8.8·10^12 numbers —
+                                               // more than the *entire period* of the 40-bit generator the
+                                               // paper cites as insufficient (2^38 ≈ 2.7·10^11).
         assert!(1u128 << c.nr() > 1u128 << 38);
     }
 }

@@ -1,0 +1,98 @@
+//! Cross-crate integration for the run-monitor observability layer:
+//! a monitored run writes a schema-valid event trace, monitoring never
+//! perturbs the estimates, and the real-thread runner and the virtual
+//! cluster simulator speak the same event vocabulary.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parmonc::{Exchange, Parmonc, RunReport};
+use parmonc_apps::PiEstimator;
+use parmonc_obs::{EventKind, MemorySink, Monitor};
+use parmonc_simcluster::{simulate_monitored, ClusterConfig};
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parmonc-obs-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn monitored_pi_run(name: &str, monitor: bool) -> RunReport {
+    let builder = Parmonc::builder(1, 1)
+        .max_sample_volume(20_000)
+        .processors(4)
+        .seqnum(7)
+        .exchange(Exchange::EveryRealization)
+        .output_dir(tempdir(name));
+    let builder = if monitor { builder.monitor() } else { builder };
+    builder.run(PiEstimator).unwrap()
+}
+
+/// Reads a run's `monitor/run_metrics.jsonl`, validates every line
+/// against the documented schema, and returns the event-kind names in
+/// file order.
+fn validated_kinds(report: &RunReport) -> Vec<&'static str> {
+    let path = report.results_dir.run_metrics_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    text.lines()
+        .map(|line| {
+            parmonc_obs::schema::validate_line(line)
+                .unwrap_or_else(|e| panic!("schema violation in {line:?}: {e}"))
+        })
+        .collect()
+}
+
+#[test]
+fn monitored_run_writes_schema_valid_jsonl() {
+    let report = monitored_pi_run("jsonl", true);
+    let summary = report
+        .monitor
+        .as_ref()
+        .expect("monitored run has a summary");
+    assert_eq!(summary.total_realizations, Some(report.total_volume));
+
+    let kinds = validated_kinds(&report);
+    assert!(kinds.len() >= 10, "only {} events", kinds.len());
+    assert_eq!(kinds.first(), Some(&"run_started"));
+    assert_eq!(kinds.last(), Some(&"run_completed"));
+    // A monitored threads run exercises the full vocabulary.
+    let seen: BTreeSet<&str> = kinds.iter().copied().collect();
+    for kind in EventKind::ALL_KINDS {
+        assert!(seen.contains(kind), "threads run never emitted {kind}");
+    }
+}
+
+#[test]
+fn monitor_does_not_perturb_estimates() {
+    // The estimate is a pure function of (seqnum, M, maxsv); attaching
+    // the monitor must not change a single bit of it.
+    let plain = monitored_pi_run("plain", false);
+    let monitored = monitored_pi_run("monitored", true);
+    assert!(plain.monitor.is_none());
+    assert!(monitored.monitor.is_some());
+    assert_eq!(plain.total_volume, monitored.total_volume);
+    assert_eq!(plain.worker_volumes, monitored.worker_volumes);
+    assert_eq!(plain.summary.means, monitored.summary.means);
+    assert_eq!(plain.summary.variances, monitored.summary.variances);
+    assert_eq!(plain.summary.abs_errors, monitored.summary.abs_errors);
+}
+
+#[test]
+fn threads_and_simcluster_emit_the_same_event_kinds() {
+    // Both engines must be observable through the identical vocabulary,
+    // so dashboards built on one trace work unchanged on the other.
+    let threads: BTreeSet<&str> = validated_kinds(&monitored_pi_run("kinds", true))
+        .into_iter()
+        .collect();
+
+    let sink = Arc::new(MemorySink::new());
+    let monitor = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+    let _ = simulate_monitored(&ClusterConfig::paper_testbed(4), 64, &monitor);
+    let sim: BTreeSet<&str> = sink.snapshot().iter().map(|e| e.kind.name()).collect();
+
+    assert_eq!(threads, sim);
+    let all: BTreeSet<&str> = EventKind::ALL_KINDS.into_iter().collect();
+    assert_eq!(threads, all);
+}

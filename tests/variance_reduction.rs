@@ -47,16 +47,15 @@ fn antithetic_realize_routine_through_the_runner() {
     // user routine draws u, evaluates f(u) and f(1-u), and returns the
     // pair average. The runner sees a realization with ~5x smaller
     // standard deviation at the same per-realization cost class.
-    let dir = std::env::temp_dir().join(format!(
-        "parmonc-vr-runner-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("parmonc-vr-runner-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    let antithetic_exp = RealizeFn::new(|rng: &mut parmonc_rng::RealizationStream, out: &mut [f64]| {
-        let u = rng.next_f64();
-        out[0] = 0.5 * (u.exp() + (1.0 - u).exp());
-    });
+    let antithetic_exp = RealizeFn::new(
+        |rng: &mut parmonc_rng::RealizationStream, out: &mut [f64]| {
+            let u = rng.next_f64();
+            out[0] = 0.5 * (u.exp() + (1.0 - u).exp());
+        },
+    );
     let report = Parmonc::builder(1, 1)
         .max_sample_volume(50_000)
         .processors(4)
