@@ -1,0 +1,115 @@
+//! Fault-plane overhead guard: when no fault plan is attached, every
+//! hot path consults a *disabled* [`parmonc_faults::FaultHandle`] — a
+//! null check — before doing its real work. The acceptance criterion
+//! for the fault-injection layer is that a faultless run pays less
+//! than 1% for these consults. The guard measures the consults in
+//! isolation, measures the per-realization wall cost of a real run in
+//! the most consult-heavy regime (per-realization exchange, where
+//! every realization triggers a message send, a receive, and a worker
+//! file write), and bounds the ratio with a generous multiple of
+//! consults per realization.
+
+use std::path::Path;
+use std::time::Instant;
+
+use parmonc::{Exchange, Parmonc, RealizeFn};
+use parmonc_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
+use parmonc_faults::FaultHandle;
+use parmonc_mpi::{Tag, World};
+
+/// Fastest observed seconds per call over `reps` timed batches — the
+/// minimum converges on the true cost under one-sided timing noise.
+fn secs_per_call(iters: u64, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn bench_disabled_plane(c: &mut Criterion) {
+    let handle = FaultHandle::disabled();
+    let path = Path::new("checkpoint.dat");
+
+    let mut group = c.benchmark_group("disabled_plane");
+    group.sample_size(7);
+    group.bench_function("on_send", |b| {
+        b.iter(|| black_box(&handle).on_send(1, 0, 1))
+    });
+    group.bench_function("crash_after", |b| {
+        b.iter(|| black_box(&handle).crash_after(1))
+    });
+    group.bench_function("on_write", |b| {
+        b.iter(|| black_box(&handle).on_write(black_box(path)))
+    });
+    group.finish();
+
+    // The real work the per-message consult rides on: one send plus one
+    // receive through the channel substrate (which itself already
+    // consults the same disabled handle internally).
+    let mut comms = World::communicators(2).unwrap();
+    let payload = [0u8; 64];
+    let mut send_recv = c.benchmark_group("substrate");
+    send_recv.sample_size(7);
+    send_recv.bench_function("send_recv_64B", |b| {
+        b.iter(|| {
+            comms[1].send(0, Tag(1), &payload).unwrap();
+            comms[0].try_recv(None, None).expect("message in flight")
+        })
+    });
+    send_recv.finish();
+
+    // The <1% guard. One realization in the per-realization exchange
+    // regime consults the disabled plane about five times (worker
+    // crash check, control poll, subtotal send, worker-file write;
+    // collector receive); two full triples — six consults — is a
+    // conservative per-realization budget.
+    let consult = secs_per_call(4_000_000, 9, || {
+        black_box(black_box(&handle).on_send(1, 0, 1));
+        black_box(black_box(&handle).crash_after(1));
+        black_box(black_box(&handle).on_write(black_box(path)));
+    });
+
+    const VOLUME: u64 = 4_000;
+    let dir = std::env::temp_dir().join(format!("parmonc-bench-faults-{}", std::process::id()));
+    let mut per_realization = f64::INFINITY;
+    for _ in 0..5 {
+        let _ = std::fs::remove_dir_all(&dir);
+        let started = Instant::now();
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(VOLUME)
+            .processors(2)
+            .exchange(Exchange::EveryRealization)
+            .output_dir(&dir)
+            .run(RealizeFn::new(|rng, out| {
+                for o in out.iter_mut() {
+                    *o = rng.next_f64();
+                }
+            }))
+            .unwrap();
+        assert_eq!(report.new_volume, VOLUME);
+        per_realization = per_realization.min(started.elapsed().as_secs_f64() / VOLUME as f64);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overhead = 2.0 * consult / per_realization;
+    println!(
+        "disabled_plane_overhead: consult triple {:.2} ns, realization {:.2} µs, \
+         2x-budget ratio {:.4}%",
+        consult * 1e9,
+        per_realization * 1e6,
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.01,
+        "disabled fault plane must cost <1% of a faultless run, got {:.4}%",
+        overhead * 100.0
+    );
+}
+
+criterion_group!(benches, bench_disabled_plane);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use std::process::ExitCode;
 
-use parmonc_cli::parse_manaver_args;
+use parmonc_cli::{exit_code_for, parse_manaver_args};
 
 fn main() -> ExitCode {
     let args = match parse_manaver_args(std::env::args().skip(1)) {
@@ -27,7 +27,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("manaver: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(exit_code_for(&e))
         }
     }
 }

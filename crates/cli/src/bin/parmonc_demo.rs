@@ -7,7 +7,7 @@ use std::process::ExitCode;
 
 use parmonc::{Parmonc, ParmoncError, RunReport};
 use parmonc_apps::{MM1Queue, PiEstimator, SlabTransport};
-use parmonc_cli::{parse_demo_args, DemoArgs, DemoWorkload};
+use parmonc_cli::{exit_code_for, parse_demo_args, DemoArgs, DemoWorkload};
 
 fn run(args: &DemoArgs) -> Result<(RunReport, Vec<&'static str>), ParmoncError> {
     let builder = |ncol: usize| {
@@ -72,7 +72,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("parmonc-demo: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(exit_code_for(&e))
         }
     }
 }

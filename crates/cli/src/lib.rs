@@ -15,6 +15,46 @@
 
 use std::path::PathBuf;
 
+use parmonc::ParmoncError;
+
+/// Maps a runtime error to the tool's process exit code, so batch
+/// scripts and schedulers can react to *why* a job failed — retry a
+/// [`ParmoncError::WorkerLost`] run, restore from backup on a
+/// [`ParmoncError::CorruptCheckpoint`], give up on bad configuration.
+///
+/// Code 0 is success and 1 is reserved for usage errors (bad command
+/// line), so runtime failures start at 2:
+///
+/// | code | error |
+/// |-----:|-------|
+/// | 2 | invalid configuration |
+/// | 3 | I/O failure |
+/// | 4 | unparseable result file |
+/// | 5 | nothing to resume |
+/// | 6 | seqnum already used |
+/// | 7 | no worker data to average |
+/// | 8 | resume shape mismatch |
+/// | 9 | corrupt checkpoint (primary and backup) |
+/// | 10 | worker lost under `fail_on_worker_loss` |
+/// | 11 | message-passing failure |
+/// | 12 | other internal error |
+#[must_use]
+pub fn exit_code_for(err: &ParmoncError) -> u8 {
+    match err {
+        ParmoncError::Config(_) => 2,
+        ParmoncError::Io { .. } => 3,
+        ParmoncError::Parse { .. } => 4,
+        ParmoncError::NothingToResume { .. } => 5,
+        ParmoncError::SeqnumAlreadyUsed { .. } => 6,
+        ParmoncError::NoWorkerData { .. } => 7,
+        ParmoncError::ResumeShapeMismatch { .. } => 8,
+        ParmoncError::CorruptCheckpoint { .. } => 9,
+        ParmoncError::WorkerLost { .. } => 10,
+        ParmoncError::Mpi(_) => 11,
+        ParmoncError::Stats(_) | ParmoncError::Hierarchy(_) => 12,
+    }
+}
+
 /// Parsed `genparam` arguments: the three leap exponents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GenparamArgs {
@@ -168,6 +208,43 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        let cases: Vec<(ParmoncError, u8)> = vec![
+            (ParmoncError::Config("bad".into()), 2),
+            (
+                ParmoncError::NothingToResume {
+                    dir: PathBuf::from("/tmp"),
+                },
+                5,
+            ),
+            (ParmoncError::SeqnumAlreadyUsed { seqnum: 3 }, 6),
+            (
+                ParmoncError::CorruptCheckpoint {
+                    path: PathBuf::from("checkpoint.dat"),
+                    reason: "bad checksum".into(),
+                },
+                9,
+            ),
+            (
+                ParmoncError::WorkerLost {
+                    rank: 2,
+                    received_realizations: 10,
+                },
+                10,
+            ),
+        ];
+        for (err, code) in &cases {
+            assert_eq!(exit_code_for(err), *code, "{err}");
+        }
+        // Codes 0 (success) and 1 (usage) are never produced, and no
+        // two runtime classes collide.
+        let codes: std::collections::BTreeSet<u8> =
+            cases.iter().map(|(e, _)| exit_code_for(e)).collect();
+        assert_eq!(codes.len(), cases.len());
+        assert!(codes.iter().all(|&c| c >= 2));
+    }
 
     #[test]
     fn genparam_happy_path() {

@@ -4,6 +4,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use parmonc_faults::FaultPlan;
 use parmonc_rng::LeapConfig;
 
 use crate::error::ParmoncError;
@@ -80,6 +81,22 @@ pub struct RunConfig {
     /// a [`parmonc_obs::MonitorSummary`] to the report. Off by default;
     /// monitoring never changes the estimates.
     pub monitor: bool,
+    /// Deterministic fault plan for chaos testing. Empty (the default)
+    /// compiles to a zero-cost no-op handle; see `parmonc-faults` and
+    /// `docs/fault-tolerance.md`.
+    pub faults: FaultPlan,
+    /// How often a worker sends a liveness heartbeat when it has not
+    /// otherwise contacted the collector (checked between
+    /// realizations).
+    pub heartbeat_period: Duration,
+    /// How long the collector waits without hearing from a worker
+    /// before declaring it dead and reassigning its remaining budget.
+    /// Must comfortably exceed both `heartbeat_period` and the longest
+    /// single realization, or slow workers are declared dead falsely.
+    pub liveness_timeout: Duration,
+    /// If `true`, a detected worker loss aborts the run with
+    /// [`ParmoncError::WorkerLost`] instead of degrading gracefully.
+    pub fail_on_worker_loss: bool,
 }
 
 impl RunConfig {
@@ -118,6 +135,12 @@ impl RunConfig {
                     "target_abs_error must be positive, got {target}"
                 )));
             }
+        }
+        if self.liveness_timeout <= self.heartbeat_period {
+            return Err(ParmoncError::Config(format!(
+                "liveness_timeout ({:?}) must exceed heartbeat_period ({:?}) or live workers are declared dead",
+                self.liveness_timeout, self.heartbeat_period
+            )));
         }
         if self.seqnum >= self.leaps.experiments() {
             return Err(ParmoncError::Config(format!(
@@ -167,6 +190,10 @@ impl ParmoncBuilder {
                 leaps: LeapConfig::default(),
                 leaps_explicit: false,
                 monitor: false,
+                faults: FaultPlan::none(),
+                heartbeat_period: Duration::from_millis(250),
+                liveness_timeout: Duration::from_secs(30),
+                fail_on_worker_loss: false,
             },
         }
     }
@@ -259,6 +286,39 @@ impl ParmoncBuilder {
     pub fn leaps(mut self, leaps: LeapConfig) -> Self {
         self.config.leaps = leaps;
         self.config.leaps_explicit = true;
+        self
+    }
+
+    /// Attaches a deterministic fault plan for chaos testing. An empty
+    /// plan is free; a non-empty one makes the run inject exactly the
+    /// scripted faults (see `docs/fault-tolerance.md`).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
+    /// Sets the worker heartbeat period (liveness signalling).
+    #[must_use]
+    pub fn heartbeat_period(mut self, period: Duration) -> Self {
+        self.config.heartbeat_period = period;
+        self
+    }
+
+    /// Sets how long the collector tolerates silence from a worker
+    /// before declaring it dead. Must exceed the heartbeat period and
+    /// the longest single realization.
+    #[must_use]
+    pub fn liveness_timeout(mut self, timeout: Duration) -> Self {
+        self.config.liveness_timeout = timeout;
+        self
+    }
+
+    /// Makes a detected worker loss fatal ([`ParmoncError::WorkerLost`])
+    /// instead of triggering graceful degradation.
+    #[must_use]
+    pub fn fail_on_worker_loss(mut self) -> Self {
+        self.config.fail_on_worker_loss = true;
         self
     }
 
@@ -379,6 +439,32 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.leaps, LeapConfig::default());
+    }
+
+    #[test]
+    fn rejects_liveness_timeout_not_exceeding_heartbeat() {
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(1)
+            .heartbeat_period(Duration::from_secs(5))
+            .liveness_timeout(Duration::from_secs(5))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("liveness_timeout"));
+    }
+
+    #[test]
+    fn fault_plan_defaults_to_empty() {
+        let cfg = Parmonc::builder(1, 1).max_sample_volume(1).build().unwrap();
+        assert!(cfg.faults.is_empty());
+        assert!(!cfg.fail_on_worker_loss);
+        let cfg = Parmonc::builder(1, 1)
+            .max_sample_volume(1)
+            .faults(parmonc_faults::FaultPlan::new(1).crash_rank(1, 5))
+            .fail_on_worker_loss()
+            .build()
+            .unwrap();
+        assert!(!cfg.faults.is_empty());
+        assert!(cfg.fail_on_worker_loss);
     }
 
     #[test]

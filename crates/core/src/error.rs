@@ -54,6 +54,24 @@ pub enum ParmoncError {
         /// Shape requested now.
         requested: (usize, usize),
     },
+    /// A checkpoint file failed its integrity check (bad checksum,
+    /// truncated footer, unparseable contents) and no good `.bak`
+    /// generation was available.
+    CorruptCheckpoint {
+        /// The offending file.
+        path: std::path::PathBuf,
+        /// What exactly was wrong with it.
+        reason: String,
+    },
+    /// A worker died mid-run and the configuration demanded failure
+    /// instead of graceful degradation.
+    WorkerLost {
+        /// The rank declared dead.
+        rank: usize,
+        /// Realizations the collector had received from it before the
+        /// loss (these are unbiased and would have been kept).
+        received_realizations: u64,
+    },
 }
 
 impl fmt::Display for ParmoncError {
@@ -79,6 +97,18 @@ impl fmt::Display for ParmoncError {
                 f,
                 "previous results are {}x{} but this run asks for {}x{}",
                 on_disk.0, on_disk.1, requested.0, requested.1
+            ),
+            Self::CorruptCheckpoint { path, reason } => write!(
+                f,
+                "checkpoint {} is corrupt ({reason}) and no good backup generation exists",
+                path.display()
+            ),
+            Self::WorkerLost {
+                rank,
+                received_realizations,
+            } => write!(
+                f,
+                "worker rank {rank} was lost after contributing {received_realizations} realizations"
             ),
         }
     }
@@ -146,6 +176,19 @@ mod tests {
             requested: (5, 2),
         };
         assert!(e.to_string().contains("10x2"));
+        let e = ParmoncError::CorruptCheckpoint {
+            path: "data/checkpoint.dat".into(),
+            reason: "fnv64 mismatch".into(),
+        };
+        assert!(e.to_string().contains("checkpoint.dat"));
+        assert!(e.to_string().contains("fnv64 mismatch"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = ParmoncError::WorkerLost {
+            rank: 3,
+            received_realizations: 120,
+        };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("120"));
     }
 
     #[test]

@@ -18,13 +18,21 @@
 //! reconstructed from rounded means, and `workers/` is what the
 //! `manaver` command averages after an aborted job (Section 3.4).
 //!
-//! All writes go through a temp-file-then-rename so a crash mid-write
-//! never corrupts a save-point.
+//! All writes go through a uniquely named temp file that is fsynced,
+//! renamed into place, and followed by an fsync of the parent
+//! directory — so a crash mid-write never corrupts a save-point and
+//! two concurrent runs in one directory cannot collide on the temp
+//! name. Checkpoint-format files additionally carry an FNV-1a 64
+//! checksum + length footer; [`ResultsDir::load_checkpoint`] falls
+//! back to the last-good `.bak` generation when the primary fails its
+//! integrity check.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use parmonc_faults::{FaultHandle, IoFault};
 use parmonc_stats::report::{self, LogReport};
 use parmonc_stats::{MatrixAccumulator, MatrixSummary};
 
@@ -34,11 +42,27 @@ use crate::messages::Subtotal;
 /// Name of the data directory created in the working directory.
 pub const DATA_DIR: &str = "parmonc_data";
 
+/// Distinguishes concurrent writers within one process so temp names
+/// never collide (the process id distinguishes processes).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
 /// Handle to a `parmonc_data` directory tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ResultsDir {
     root: PathBuf,
+    /// Fault plane for I/O fault injection; disabled outside chaos
+    /// tests.
+    faults: FaultHandle,
 }
+
+impl PartialEq for ResultsDir {
+    fn eq(&self, other: &Self) -> bool {
+        // Identity is the directory; the fault plane is run plumbing.
+        self.root == other.root
+    }
+}
+
+impl Eq for ResultsDir {}
 
 /// One line of the experiment journal `parmonc_exp.dat`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +92,10 @@ impl ResultsDir {
             .io_ctx(format!("creating {}", root.join("results").display()))?;
         fs::create_dir_all(root.join("workers"))
             .io_ctx(format!("creating {}", root.join("workers").display()))?;
-        Ok(Self { root })
+        Ok(Self {
+            root,
+            faults: FaultHandle::disabled(),
+        })
     }
 
     /// Opens an existing `parmonc_data` tree under `output_dir`.
@@ -82,7 +109,19 @@ impl ResultsDir {
         if !root.is_dir() {
             return Err(ParmoncError::NothingToResume { dir: root });
         }
-        Ok(Self { root })
+        Ok(Self {
+            root,
+            faults: FaultHandle::disabled(),
+        })
+    }
+
+    /// Attaches a fault plane so chaos tests can inject I/O faults
+    /// (torn writes, bit flips, interrupts) into this directory's
+    /// writes. The disabled handle (the default) costs one branch.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultHandle) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The root of the tree (`.../parmonc_data`).
@@ -113,6 +152,15 @@ impl ResultsDir {
     #[must_use]
     pub fn checkpoint_path(&self) -> PathBuf {
         self.root.join("results/checkpoint.dat")
+    }
+
+    /// Path of the last-good checkpoint generation
+    /// (`results/checkpoint.dat.bak`), rotated on every
+    /// [`ResultsDir::save_checkpoint`] and used as the fallback when
+    /// the primary fails its integrity check.
+    #[must_use]
+    pub fn checkpoint_backup_path(&self) -> PathBuf {
+        self.root.join("results/checkpoint.dat.bak")
     }
 
     /// Path of `results/baseline.dat` — the state carried over from
@@ -148,15 +196,74 @@ impl ResultsDir {
         self.root.join(format!("workers/worker_{worker:04}.dat"))
     }
 
-    fn write_atomic(path: &Path, contents: &str) -> Result<(), ParmoncError> {
-        let tmp = path.with_extension("tmp");
+    /// Atomically replaces `path` with `contents`: write a uniquely
+    /// named temp file (pid + counter, so concurrent runs in one
+    /// directory never collide), fsync it, rename it into place, and
+    /// fsync the parent directory so the rename itself is durable.
+    ///
+    /// With an attached fault plane this is also where I/O faults are
+    /// injected: an `Interrupted` write is retried (as callers of raw
+    /// `write` must), a bit flip corrupts the contents in place, and a
+    /// torn write leaves a truncated file at the final path — exactly
+    /// the crash-mid-save the checksum footer exists to catch.
+    fn write_atomic(&self, path: &Path, contents: &str) -> Result<(), ParmoncError> {
+        let mut contents = std::borrow::Cow::Borrowed(contents.as_bytes());
+        if self.faults.is_enabled() {
+            let mut interrupts = 0u32;
+            loop {
+                match self.faults.on_write(path) {
+                    None => break,
+                    Some(IoFault::Interrupted) => {
+                        // A real Interrupted write is transient; model
+                        // the caller-visible retry, but never spin.
+                        interrupts += 1;
+                        if interrupts > 3 {
+                            return Err(std::io::Error::from(std::io::ErrorKind::Interrupted))
+                                .io_ctx(format!("writing {}", path.display()));
+                        }
+                    }
+                    Some(IoFault::BitFlip) => {
+                        let mut corrupted = contents.into_owned();
+                        let _ = parmonc_faults::flip_one_bit(
+                            path.as_os_str().len() as u64,
+                            &mut corrupted,
+                        );
+                        contents = std::borrow::Cow::Owned(corrupted);
+                        break;
+                    }
+                    Some(IoFault::TornWrite) => {
+                        // Model a crash mid-save: a truncated file at
+                        // the final path, bypassing the atomic rename.
+                        let torn = &contents[..contents.len() / 2];
+                        fs::write(path, torn).io_ctx(format!("writing {}", path.display()))?;
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
         {
             let mut f = fs::File::create(&tmp).io_ctx(format!("creating {}", tmp.display()))?;
-            f.write_all(contents.as_bytes())
+            f.write_all(&contents)
                 .io_ctx(format!("writing {}", tmp.display()))?;
             f.sync_all().io_ctx(format!("syncing {}", tmp.display()))?;
         }
-        fs::rename(&tmp, path).io_ctx(format!("renaming into {}", path.display()))
+        fs::rename(&tmp, path).io_ctx(format!("renaming into {}", path.display()))?;
+        // Make the rename durable: fsync the parent directory. Some
+        // platforms cannot open directories for syncing; that is not a
+        // data-loss path, so only a failed sync of an opened dir is an
+        // error.
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = fs::File::open(parent) {
+                dir.sync_all()
+                    .io_ctx(format!("syncing directory {}", parent.display()))?;
+            }
+        }
+        Ok(())
     }
 
     /// Writes the three human-readable result files from a summary and
@@ -170,28 +277,70 @@ impl ResultsDir {
         summary: &MatrixSummary,
         log: &LogReport,
     ) -> Result<(), ParmoncError> {
-        Self::write_atomic(&self.func_path(), &report::render_func(summary))?;
-        Self::write_atomic(&self.func_ci_path(), &report::render_func_ci(summary))?;
-        Self::write_atomic(&self.func_log_path(), &report::render_func_log(log))
+        self.write_atomic(&self.func_path(), &report::render_func(summary))?;
+        self.write_atomic(&self.func_ci_path(), &report::render_func_ci(summary))?;
+        self.write_atomic(&self.func_log_path(), &report::render_func_log(log))
     }
 
-    /// Writes the exact resumption state (raw sums).
+    /// Writes the exact resumption state (raw sums), first rotating
+    /// the previous checkpoint to `.bak` so a torn write of the new
+    /// generation can always fall back to the last good one.
     ///
     /// # Errors
     ///
     /// Returns [`ParmoncError::Io`] on write failure.
     pub fn save_checkpoint(&self, acc: &MatrixAccumulator) -> Result<(), ParmoncError> {
-        Self::write_atomic(&self.checkpoint_path(), &encode_checkpoint(acc, 0.0))
+        let path = self.checkpoint_path();
+        if path.exists() {
+            let backup = self.checkpoint_backup_path();
+            fs::rename(&path, &backup)
+                .io_ctx(format!("rotating checkpoint to {}", backup.display()))?;
+        }
+        self.write_atomic(&path, &encode_checkpoint(acc, 0.0))
     }
 
     /// Loads the resumption state, or `None` if no checkpoint exists.
+    /// A corrupt (torn, bit-flipped, unparseable) primary silently
+    /// falls back to the last-good `.bak` generation; use
+    /// [`ResultsDir::load_checkpoint_recovering`] to observe the
+    /// fallback.
     ///
     /// # Errors
     ///
-    /// Returns [`ParmoncError::Parse`] for a corrupt checkpoint or
+    /// Returns [`ParmoncError::CorruptCheckpoint`] when both the
+    /// primary and the backup fail their integrity checks, or
     /// [`ParmoncError::Io`] for unreadable files.
     pub fn load_checkpoint(&self) -> Result<Option<MatrixAccumulator>, ParmoncError> {
-        Self::load_acc_file(&self.checkpoint_path())
+        Ok(self.load_checkpoint_recovering()?.map(|(acc, _)| acc))
+    }
+
+    /// [`ResultsDir::load_checkpoint`], also reporting whether the
+    /// state came from the `.bak` fallback (`true` = the primary was
+    /// corrupt or missing and the last-good generation was used).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ResultsDir::load_checkpoint`].
+    pub fn load_checkpoint_recovering(
+        &self,
+    ) -> Result<Option<(MatrixAccumulator, bool)>, ParmoncError> {
+        let primary = self.checkpoint_path();
+        let backup = self.checkpoint_backup_path();
+        match Self::load_acc_file(&primary) {
+            Ok(Some(acc)) => Ok(Some((acc, false))),
+            Ok(None) => match Self::load_acc_file(&backup)? {
+                Some(acc) => Ok(Some((acc, true))),
+                None => Ok(None),
+            },
+            Err(err @ ParmoncError::CorruptCheckpoint { .. }) => {
+                match Self::load_acc_file(&backup) {
+                    Ok(Some(acc)) => Ok(Some((acc, true))),
+                    // No good backup: report the primary's corruption.
+                    Ok(None) | Err(_) => Err(err),
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Writes the baseline state (sums carried over from completed
@@ -201,7 +350,7 @@ impl ResultsDir {
     ///
     /// Returns [`ParmoncError::Io`] on write failure.
     pub fn save_baseline(&self, acc: &MatrixAccumulator) -> Result<(), ParmoncError> {
-        Self::write_atomic(&self.baseline_path(), &encode_checkpoint(acc, 0.0))
+        self.write_atomic(&self.baseline_path(), &encode_checkpoint(acc, 0.0))
     }
 
     /// Loads the baseline state, or `None` if absent.
@@ -303,7 +452,7 @@ impl ResultsDir {
         worker: usize,
         subtotal: &Subtotal,
     ) -> Result<(), ParmoncError> {
-        Self::write_atomic(
+        self.write_atomic(
             &self.worker_path(worker),
             &encode_checkpoint(&subtotal.acc, subtotal.compute_seconds),
         )
@@ -363,13 +512,29 @@ impl ResultsDir {
     }
 }
 
+/// FNV-1a 64-bit hash — the checkpoint integrity checksum. Hand-rolled
+/// (8 lines) to keep the workspace dependency-free.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Encodes an accumulator (plus compute seconds) as the checkpoint /
 /// worker-file text format:
 ///
 /// ```text
 /// nrow ncol count compute_seconds
 /// sum sum_sq          (one line per matrix entry, row-major)
+/// # fnv64 <16-hex checksum> len <body bytes>
 /// ```
+///
+/// The footer line covers every byte before it; a torn write truncates
+/// it (length mismatch or missing footer) and a bit flip breaks the
+/// checksum, so [`decode_checkpoint`] detects both.
 fn encode_checkpoint(acc: &MatrixAccumulator, compute_seconds: f64) -> String {
     let (nrow, ncol) = acc.shape();
     let mut out = format!(
@@ -382,32 +547,67 @@ fn encode_checkpoint(acc: &MatrixAccumulator, compute_seconds: f64) -> String {
     for (s, q) in acc.sums().iter().zip(acc.sums_sq()) {
         out.push_str(&format!("{s:.16e} {q:.16e}\n"));
     }
+    let footer = format!(
+        "# fnv64 {:016x} len {}\n",
+        fnv1a64(out.as_bytes()),
+        out.len()
+    );
+    out.push_str(&footer);
     out
 }
 
+/// Decodes the checkpoint text format, verifying and stripping the
+/// integrity footer first. Every failure — missing or malformed
+/// footer, checksum or length mismatch, unparseable body — is a
+/// [`ParmoncError::CorruptCheckpoint`] naming `path` and the reason.
 fn decode_checkpoint(text: &str, path: &Path) -> Result<(MatrixAccumulator, f64), ParmoncError> {
-    use parmonc_stats::report::ParseError;
-    let parse_err = |source: ParseError| ParmoncError::Parse {
-        file: path.display().to_string(),
-        source,
+    let corrupt = |reason: String| ParmoncError::CorruptCheckpoint {
+        path: path.to_path_buf(),
+        reason,
     };
 
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| parse_err(ParseError::Empty))?;
+    // Verify and strip the footer: it must be the final line and cover
+    // exactly the bytes before it.
+    let body_start = text
+        .rfind("# fnv64 ")
+        .ok_or_else(|| corrupt("missing integrity footer".into()))?;
+    if body_start != 0 && !text[..body_start].ends_with('\n') {
+        return Err(corrupt("integrity footer is not on its own line".into()));
+    }
+    let footer = text[body_start..].trim_end();
+    let body = &text[..body_start];
+    let fields: Vec<&str> = footer.split_whitespace().collect();
+    if fields.len() != 5 || fields[0] != "#" || fields[1] != "fnv64" || fields[3] != "len" {
+        return Err(corrupt(format!("malformed integrity footer {footer:?}")));
+    }
+    let expected_sum = u64::from_str_radix(fields[2], 16)
+        .map_err(|_| corrupt(format!("bad checksum token {:?}", fields[2])))?;
+    let expected_len: usize = fields[4]
+        .parse()
+        .map_err(|_| corrupt(format!("bad length token {:?}", fields[4])))?;
+    if body.len() != expected_len {
+        return Err(corrupt(format!(
+            "length mismatch: footer says {expected_len} bytes, found {} (torn write?)",
+            body.len()
+        )));
+    }
+    let actual_sum = fnv1a64(body.as_bytes());
+    if actual_sum != expected_sum {
+        return Err(corrupt(format!(
+            "fnv64 mismatch: footer says {expected_sum:016x}, contents hash to {actual_sum:016x}"
+        )));
+    }
+
+    let mut lines = body.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| corrupt("empty body".into()))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() != 4 {
-        return Err(parse_err(ParseError::FieldCount {
-            line: 1,
-            expected: 4,
-            got: fields.len(),
-        }));
+        return Err(corrupt(format!(
+            "header must have 4 fields, got {}",
+            fields.len()
+        )));
     }
-    let bad = |line: usize, token: &str| {
-        parse_err(ParseError::BadNumber {
-            line,
-            token: token.to_string(),
-        })
-    };
+    let bad = |line: usize, token: &str| corrupt(format!("bad number {token:?} on line {line}"));
     let nrow: usize = fields[0].parse().map_err(|_| bad(1, fields[0]))?;
     let ncol: usize = fields[1].parse().map_err(|_| bad(1, fields[1]))?;
     let count: u64 = fields[2].parse().map_err(|_| bad(1, fields[2]))?;
@@ -422,11 +622,11 @@ fn decode_checkpoint(text: &str, path: &Path) -> Result<(MatrixAccumulator, f64)
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 2 {
-            return Err(parse_err(ParseError::FieldCount {
-                line: lineno + 1,
-                expected: 2,
-                got: fields.len(),
-            }));
+            return Err(corrupt(format!(
+                "data line {} must have 2 fields, got {}",
+                lineno + 1,
+                fields.len()
+            )));
         }
         sums.push(
             fields[0]
@@ -439,7 +639,8 @@ fn decode_checkpoint(text: &str, path: &Path) -> Result<(MatrixAccumulator, f64)
                 .map_err(|_| bad(lineno + 1, fields[1]))?,
         );
     }
-    let acc = MatrixAccumulator::from_parts(nrow, ncol, sums, sums_sq, count)?;
+    let acc = MatrixAccumulator::from_parts(nrow, ncol, sums, sums_sq, count)
+        .map_err(|e| corrupt(format!("inconsistent contents: {e}")))?;
     Ok((acc, secs))
 }
 
@@ -569,12 +770,118 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_checkpoint_is_a_parse_error() {
+    fn corrupt_checkpoint_without_backup_errors() {
         let dir = tempdir("corrupt");
         let rd = ResultsDir::create(&dir).unwrap();
         fs::write(rd.checkpoint_path(), "2 3 nonsense 0.0\n").unwrap();
         let err = rd.load_checkpoint().unwrap_err();
-        assert!(matches!(err, ParmoncError::Parse { .. }));
+        assert!(matches!(err, ParmoncError::CorruptCheckpoint { .. }));
+        assert!(err.to_string().contains("checkpoint.dat"));
+    }
+
+    #[test]
+    fn footer_detects_truncation_and_bit_flips() {
+        let acc = sample_acc();
+        let good = encode_checkpoint(&acc, 2.0);
+        decode_checkpoint(&good, Path::new("t.dat")).unwrap();
+
+        // Torn write: a prefix that loses data must be rejected. (Losing
+        // only the final newline keeps body and footer intact, so that
+        // single case legitimately still decodes.)
+        for cut in [0, 1, good.len() / 2, good.len() - 2] {
+            let err = decode_checkpoint(&good[..cut], Path::new("t.dat")).unwrap_err();
+            assert!(
+                matches!(err, ParmoncError::CorruptCheckpoint { .. }),
+                "prefix of {cut} bytes must be corrupt"
+            );
+        }
+
+        // Bit flip in the body: checksum mismatch.
+        let mut bytes = good.clone().into_bytes();
+        bytes[4] ^= 0x01;
+        if let Ok(flipped) = String::from_utf8(bytes) {
+            let err = decode_checkpoint(&flipped, Path::new("t.dat")).unwrap_err();
+            assert!(matches!(err, ParmoncError::CorruptCheckpoint { .. }));
+        }
+    }
+
+    #[test]
+    fn save_checkpoint_rotates_a_backup_generation() {
+        let dir = tempdir("rotate");
+        let rd = ResultsDir::create(&dir).unwrap();
+        let mut acc = MatrixAccumulator::new(1, 1).unwrap();
+        acc.add(&[1.0]).unwrap();
+        rd.save_checkpoint(&acc).unwrap();
+        assert!(!rd.checkpoint_backup_path().exists());
+        acc.add(&[2.0]).unwrap();
+        rd.save_checkpoint(&acc).unwrap();
+        assert!(rd.checkpoint_backup_path().exists());
+        // The backup holds the previous generation.
+        let text = fs::read_to_string(rd.checkpoint_backup_path()).unwrap();
+        let (old, _) = decode_checkpoint(&text, &rd.checkpoint_backup_path()).unwrap();
+        assert_eq!(old.count(), 1);
+    }
+
+    #[test]
+    fn load_checkpoint_recovers_from_backup_when_primary_is_torn() {
+        let dir = tempdir("recover");
+        let rd = ResultsDir::create(&dir).unwrap();
+        let mut acc = MatrixAccumulator::new(1, 1).unwrap();
+        acc.add(&[1.0]).unwrap();
+        rd.save_checkpoint(&acc).unwrap();
+        acc.add(&[2.0]).unwrap();
+        rd.save_checkpoint(&acc).unwrap();
+        // Tear the primary: keep only the first half of its bytes.
+        let full = fs::read_to_string(rd.checkpoint_path()).unwrap();
+        fs::write(rd.checkpoint_path(), &full[..full.len() / 2]).unwrap();
+
+        let (recovered, used_backup) = rd.load_checkpoint_recovering().unwrap().unwrap();
+        assert!(used_backup);
+        assert_eq!(recovered.count(), 1); // last-good generation
+
+        // The plain loader takes the same fallback silently.
+        let loaded = rd.load_checkpoint().unwrap().unwrap();
+        assert_eq!(loaded.count(), 1);
+    }
+
+    #[test]
+    fn torn_write_fault_is_caught_on_load() {
+        use parmonc_faults::FaultPlan;
+        let dir = tempdir("torn-fault");
+        let plan = FaultPlan::new(7).torn_write("checkpoint.dat", 0);
+        let rd = ResultsDir::create(&dir).unwrap().with_faults(plan.build());
+        let mut acc = MatrixAccumulator::new(1, 1).unwrap();
+        acc.add(&[1.0]).unwrap();
+        // The torn write reports success — the damage is only visible
+        // on load, which is exactly what the footer is for.
+        rd.save_checkpoint(&acc).unwrap();
+        let err = rd.load_checkpoint().unwrap_err();
+        assert!(matches!(err, ParmoncError::CorruptCheckpoint { .. }));
+    }
+
+    #[test]
+    fn bit_flip_fault_is_caught_on_load() {
+        use parmonc_faults::FaultPlan;
+        let dir = tempdir("flip-fault");
+        let plan = FaultPlan::new(11).bit_flip_write("checkpoint.dat", 0);
+        let rd = ResultsDir::create(&dir).unwrap().with_faults(plan.build());
+        let mut acc = MatrixAccumulator::new(1, 1).unwrap();
+        acc.add(&[1.0]).unwrap();
+        rd.save_checkpoint(&acc).unwrap();
+        let err = rd.load_checkpoint().unwrap_err();
+        assert!(matches!(err, ParmoncError::CorruptCheckpoint { .. }));
+    }
+
+    #[test]
+    fn interrupted_write_is_retried_transparently() {
+        use parmonc_faults::FaultPlan;
+        let dir = tempdir("eintr-fault");
+        let plan = FaultPlan::new(13).interrupt_write("checkpoint.dat", 0);
+        let rd = ResultsDir::create(&dir).unwrap().with_faults(plan.build());
+        let mut acc = MatrixAccumulator::new(1, 1).unwrap();
+        acc.add(&[1.0]).unwrap();
+        rd.save_checkpoint(&acc).unwrap();
+        assert_eq!(rd.load_checkpoint().unwrap().unwrap().count(), 1);
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub const TAG_FINAL: Tag = Tag(2);
 /// Tag of the collector's stop broadcast (error-controlled stopping:
 /// the target `eps_max` has been reached).
 pub const TAG_STOP: Tag = Tag(3);
+/// Tag of a worker's liveness heartbeat (empty payload). Sent between
+/// realizations when no subtotal has left the worker recently, so the
+/// collector can distinguish "slow" from "dead".
+pub const TAG_HEARTBEAT: Tag = Tag(4);
+/// Tag of the collector's quota extension (a single `u64` payload:
+/// extra realizations). Sent to survivors when a dead worker's
+/// remaining budget is reassigned; the survivor simulates the extra
+/// realizations on its *own* fresh leapfrog streams.
+pub const TAG_EXTEND: Tag = Tag(5);
 
 /// A subtotal snapshot from one worker.
 #[derive(Debug, Clone, PartialEq)]

@@ -14,7 +14,8 @@
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use parmonc_mpi::{Communicator, MpiError, World};
+use parmonc_faults::{FaultHandle, FaultKind};
+use parmonc_mpi::{Communicator, Envelope, MpiError, World};
 use parmonc_obs::{
     CollectorActivity, EventKind, JsonlSink, MemorySink, Monitor, MonitorSummary, RunMode,
 };
@@ -25,7 +26,7 @@ use parmonc_stats::{MatrixAccumulator, MatrixSummary};
 use crate::config::{Exchange, ParmoncBuilder, Resume, RunConfig};
 use crate::error::{IoContext, ParmoncError};
 use crate::files::{ExperimentRecord, ResultsDir};
-use crate::messages::{Subtotal, TAG_FINAL, TAG_STOP, TAG_SUBTOTAL};
+use crate::messages::{Subtotal, TAG_EXTEND, TAG_FINAL, TAG_HEARTBEAT, TAG_STOP, TAG_SUBTOTAL};
 use crate::realize::Realize;
 
 /// Entry point type: `Parmonc::builder(nrow, ncol)` starts configuring
@@ -68,6 +69,16 @@ pub struct RunReport {
     /// built with [`ParmoncBuilder::monitor`]. The full event trace is
     /// at `parmonc_data/monitor/run_metrics.jsonl`.
     pub monitor: Option<MonitorSummary>,
+    /// Ranks the collector declared dead during the run (empty on a
+    /// healthy run). Their last received cumulative subtotals are kept
+    /// in the estimate; their unfinished budget was reassigned.
+    pub lost_workers: Vec<usize>,
+    /// Realizations moved between ranks by fault recovery (the sum of
+    /// all `work_reassigned` events).
+    pub reassigned_realizations: u64,
+    /// Whether the resume baseline had to be read from the last-good
+    /// backup generation because the primary checkpoint was corrupt.
+    pub checkpoint_recovered: bool,
 }
 
 /// Collector-side state: the latest cumulative subtotal per rank, and
@@ -126,19 +137,19 @@ impl CollectorState {
 }
 
 /// Validates resume preconditions and returns the baseline accumulator
-/// plus its volume.
+/// plus whether it was recovered from the backup checkpoint generation.
 fn resume_baseline(
     config: &RunConfig,
     dir: &ResultsDir,
-) -> Result<MatrixAccumulator, ParmoncError> {
+) -> Result<(MatrixAccumulator, bool), ParmoncError> {
     match config.resume {
-        Resume::New => Ok(MatrixAccumulator::new(config.nrow, config.ncol)?),
+        Resume::New => Ok((MatrixAccumulator::new(config.nrow, config.ncol)?, false)),
         Resume::Resume => {
-            let previous = dir
-                .load_checkpoint()?
-                .ok_or_else(|| ParmoncError::NothingToResume {
-                    dir: dir.root().to_path_buf(),
-                })?;
+            let (previous, recovered) =
+                dir.load_checkpoint_recovering()?
+                    .ok_or_else(|| ParmoncError::NothingToResume {
+                        dir: dir.root().to_path_buf(),
+                    })?;
             if previous.shape() != (config.nrow, config.ncol) {
                 return Err(ParmoncError::ResumeShapeMismatch {
                     on_disk: previous.shape(),
@@ -157,7 +168,7 @@ fn resume_baseline(
                     seqnum: config.seqnum,
                 });
             }
-            Ok(previous)
+            Ok((previous, recovered))
         }
     }
 }
@@ -173,23 +184,14 @@ where
     R: Realize + Sync,
 {
     let start = Instant::now();
-    let dir = ResultsDir::create(&config.output_dir)?;
-    let baseline = resume_baseline(&config, &dir)?;
-    let resumed_volume = baseline.count();
-
-    dir.append_experiment(&ExperimentRecord {
-        seqnum: config.seqnum,
-        max_sample_volume: config.max_sample_volume,
-        processors: config.processors,
-        resumed: config.resume == Resume::Resume,
-        volume_before: resumed_volume,
-    })?;
-    dir.save_baseline(&baseline)?;
-    dir.clear_worker_subtotals()?;
+    let faults = config.faults.build();
+    let dir = ResultsDir::create(&config.output_dir)?.with_faults(faults.clone());
 
     // The monitor is disabled (a no-op) unless the builder opted in, in
     // which case events stream to `monitor/run_metrics.jsonl` and into
-    // an in-memory sink that feeds the end-of-run summary.
+    // an in-memory sink that feeds the end-of-run summary. It is built
+    // before the baseline is loaded so a backup-checkpoint recovery is
+    // itself observable.
     let (monitor, memory) = if config.monitor {
         let sink = JsonlSink::create(dir.run_metrics_path())
             .io_ctx("creating monitor/run_metrics.jsonl")?;
@@ -211,15 +213,36 @@ where
         },
     );
 
+    let (baseline, checkpoint_recovered) = resume_baseline(&config, &dir)?;
+    let resumed_volume = baseline.count();
+    if checkpoint_recovered {
+        monitor.emit(
+            None,
+            EventKind::CheckpointRecovered {
+                volume: resumed_volume,
+            },
+        );
+    }
+
+    dir.append_experiment(&ExperimentRecord {
+        seqnum: config.seqnum,
+        max_sample_volume: config.max_sample_volume,
+        processors: config.processors,
+        resumed: config.resume == Resume::Resume,
+        volume_before: resumed_volume,
+    })?;
+    dir.save_baseline(&baseline)?;
+    dir.clear_worker_subtotals()?;
+
     let hierarchy = StreamHierarchy::new(config.leaps);
-    let comms = World::communicators_monitored(config.processors, monitor.clone())?;
+    let comms = World::communicators_faulted(config.processors, monitor.clone(), faults.clone())?;
 
     // Shared slot for an error raised inside a rank (first one wins).
     let failure: Mutex<Option<ParmoncError>> = Mutex::new(None);
     let config = Arc::new(config);
     let realize = &realize;
 
-    let collector_out: Mutex<Option<CollectorState>> = Mutex::new(None);
+    let collector_out: Mutex<Option<CollectorOutcome>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -231,16 +254,19 @@ where
             let failure = &failure;
             let collector_out = &collector_out;
             let monitor = monitor.clone();
+            let faults = faults.clone();
             handles.push(scope.spawn(move || {
                 let result = if comm.rank() == 0 {
                     rank0_loop(
                         comm, &config, &hierarchy, &dir, baseline, realize, start, &monitor,
                     )
-                    .map(|state| {
-                        *collector_out.lock().unwrap() = Some(state);
+                    .map(|outcome| {
+                        *collector_out.lock().unwrap() = Some(outcome);
                     })
                 } else {
-                    worker_loop(comm, &config, &hierarchy, &dir, realize, start, &monitor)
+                    worker_loop(
+                        comm, &config, &hierarchy, &dir, realize, start, &monitor, &faults,
+                    )
                 };
                 if let Err(e) = result {
                     failure.lock().unwrap().get_or_insert(e);
@@ -263,7 +289,11 @@ where
     if let Some(e) = failure.into_inner().unwrap() {
         return Err(e);
     }
-    let state = collector_out
+    let CollectorOutcome {
+        state,
+        lost_workers,
+        reassigned_realizations,
+    } = collector_out
         .into_inner()
         .unwrap()
         .expect("rank 0 always produces collector state on success");
@@ -357,14 +387,32 @@ where
         worker_volumes,
         results_dir: dir,
         monitor: monitor_summary,
+        lost_workers,
+        reassigned_realizations,
+        checkpoint_recovered,
     })
 }
 
 /// How often, at most, a worker rewrites its on-disk subtotal file.
 const WORKER_FILE_PERIOD: Duration = Duration::from_millis(500);
 
+/// What a worker's control-message poll found: a stop broadcast and/or
+/// extra realizations reassigned to it from a lost rank.
+#[derive(Debug, Default)]
+struct WorkerControl {
+    stop: bool,
+    extra: u64,
+}
+
 /// The simulation loop common to every rank: simulate the quota,
-/// periodically emitting cumulative subtotals via `emit`.
+/// periodically emitting cumulative subtotals via `emit`, heartbeating
+/// through quiet stretches, and growing the quota when `poll_control`
+/// reports reassigned work (extension realizations run on this rank's
+/// *own* stream coordinates past its original quota, so no leapfrog
+/// subsequence is ever reused).
+///
+/// Returns `None` when a scripted fault crashed the rank first: no
+/// final subtotal is emitted and the caller lets the rank vanish.
 #[allow(clippy::too_many_arguments)] // internal: one call site per rank kind
 fn simulate_quota<R: Realize + ?Sized>(
     rank: usize,
@@ -373,24 +421,33 @@ fn simulate_quota<R: Realize + ?Sized>(
     dir: &ResultsDir,
     realize: &R,
     start: Instant,
+    crash_after: Option<u64>,
     mut emit: impl FnMut(&Subtotal, bool) -> Result<(), ParmoncError>,
-    mut should_stop: impl FnMut() -> bool,
-) -> Result<Subtotal, ParmoncError> {
-    let quota = config.quota(rank);
+    mut heartbeat: impl FnMut() -> Result<(), ParmoncError>,
+    mut poll_control: impl FnMut() -> Result<WorkerControl, ParmoncError>,
+) -> Result<Option<Subtotal>, ParmoncError> {
+    let mut quota = config.quota(rank);
     let mut acc = MatrixAccumulator::new(config.nrow, config.ncol)?;
     let mut out = vec![0.0f64; config.nrow * config.ncol];
     let mut compute_seconds = 0.0f64;
     let mut last_pass = Instant::now();
+    let mut last_contact = Instant::now();
     let mut last_file_write: Option<Instant> = None;
 
-    for r in 0..quota {
+    let mut r: u64 = 0;
+    loop {
+        let ctl = poll_control()?;
+        quota += ctl.extra;
+        if ctl.stop || r >= quota {
+            break;
+        }
         if let Some(deadline) = config.deadline {
             if start.elapsed() >= deadline {
                 break;
             }
         }
-        if should_stop() {
-            break;
+        if crash_after.is_some_and(|n| r >= n) {
+            return Ok(None);
         }
         out.fill(0.0);
         let mut stream =
@@ -399,22 +456,27 @@ fn simulate_quota<R: Realize + ?Sized>(
         realize.realize(&mut stream, &mut out);
         compute_seconds += t0.elapsed().as_secs_f64();
         acc.add(&out)?;
+        r += 1;
 
         let due = match config.exchange {
             Exchange::EveryRealization => true,
             Exchange::Periodic => last_pass.elapsed() >= config.pass_period,
         };
-        if due && r + 1 < quota {
+        if due && r < quota {
             let subtotal = Subtotal {
                 acc: acc.clone(),
                 compute_seconds,
             };
             emit(&subtotal, false)?;
+            last_contact = Instant::now();
             if last_file_write.is_none_or(|t| t.elapsed() >= WORKER_FILE_PERIOD) {
                 dir.save_worker_subtotal(rank, &subtotal)?;
                 last_file_write = Some(Instant::now());
             }
             last_pass = Instant::now();
+        } else if last_contact.elapsed() >= config.heartbeat_period {
+            heartbeat()?;
+            last_contact = Instant::now();
         }
     }
 
@@ -424,7 +486,7 @@ fn simulate_quota<R: Realize + ?Sized>(
     };
     dir.save_worker_subtotal(rank, &final_subtotal)?;
     emit(&final_subtotal, true)?;
-    Ok(final_subtotal)
+    Ok(Some(final_subtotal))
 }
 
 #[allow(clippy::too_many_arguments)] // internal: one call site
@@ -436,19 +498,24 @@ fn worker_loop<R: Realize + ?Sized>(
     realize: &R,
     start: Instant,
     monitor: &Monitor,
+    faults: &FaultHandle,
 ) -> Result<(), ParmoncError> {
     let rank = comm.rank();
-    // `emit` only needs `&Communicator` (sends), while the stop probe
-    // needs `&mut`; a RefCell arbitrates between the two closures,
-    // which never run concurrently.
+    let crash_after = faults.crash_after(rank);
+    // `emit` only needs `&Communicator` (sends), while the control poll
+    // needs `&mut`; a RefCell arbitrates between the closures, which
+    // never run concurrently. A vanished collector (it aborted the run)
+    // is never the worker's error: the worker just winds down.
     let comm = std::cell::RefCell::new(comm);
-    simulate_quota(
+    let lost_collector = std::cell::Cell::new(false);
+    let finished = simulate_quota(
         rank,
         config,
         hierarchy,
         dir,
         realize,
         start,
+        crash_after,
         |sub, is_final| {
             monitor.emit(
                 Some(rank),
@@ -458,15 +525,271 @@ fn worker_loop<R: Realize + ?Sized>(
                 },
             );
             let tag = if is_final { TAG_FINAL } else { TAG_SUBTOTAL };
-            comm.borrow().send_bytes(0, tag, sub.encode())?;
-            Ok(())
+            match comm.borrow().send_bytes(0, tag, sub.encode()) {
+                Ok(()) => Ok(()),
+                Err(MpiError::Disconnected) => {
+                    lost_collector.set(true);
+                    Ok(())
+                }
+                Err(e) => Err(e.into()),
+            }
+        },
+        || match comm.borrow().send(0, TAG_HEARTBEAT, &[]) {
+            Ok(()) => Ok(()),
+            Err(MpiError::Disconnected) => {
+                lost_collector.set(true);
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
         },
         || {
-            comm.borrow_mut()
-                .try_recv(Some(0), Some(TAG_STOP))
-                .is_some()
+            let mut ctl = WorkerControl::default();
+            if lost_collector.get() {
+                ctl.stop = true;
+                return Ok(ctl);
+            }
+            let mut c = comm.borrow_mut();
+            while let Some(env) = c.try_recv(Some(0), None) {
+                if env.tag == TAG_STOP {
+                    ctl.stop = true;
+                } else if env.tag == TAG_EXTEND && env.payload.len() == 8 {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(&env.payload);
+                    ctl.extra += u64::from_le_bytes(buf);
+                }
+            }
+            Ok(ctl)
         },
     )?;
+    if finished.is_none() {
+        // Scripted crash: record it, then vanish without a final
+        // message — the collector must notice via the liveness sweep.
+        let after = crash_after.unwrap_or(0);
+        monitor.emit(
+            Some(rank),
+            EventKind::FaultInjected {
+                fault: FaultKind::RankCrash.as_str().to_string(),
+                detail: Some(after),
+            },
+        );
+        faults.note_crash(rank, after);
+    }
+    Ok(())
+}
+
+/// Collector-side liveness and reassignment bookkeeping.
+struct Liveness {
+    /// Whether each rank is believed alive (rank 0 always is).
+    alive: Vec<bool>,
+    /// When the collector last heard *anything* from each rank.
+    last_heard: Vec<Instant>,
+    /// Extra realizations assigned to each rank beyond its base quota.
+    extended: Vec<u64>,
+    /// Ranks declared dead, in detection order.
+    lost: Vec<usize>,
+    /// Total realizations moved by reassignment.
+    reassigned: u64,
+    /// Reassigned realizations the collector itself must absorb.
+    self_extra: u64,
+}
+
+impl Liveness {
+    fn new(size: usize) -> Self {
+        Self {
+            alive: vec![true; size],
+            last_heard: vec![Instant::now(); size],
+            extended: vec![0; size],
+            lost: Vec::new(),
+            reassigned: 0,
+            self_extra: 0,
+        }
+    }
+
+    fn heard_from(&mut self, rank: usize) {
+        self.last_heard[rank] = Instant::now();
+    }
+}
+
+/// What `rank0_loop` hands back to `run`.
+struct CollectorOutcome {
+    state: CollectorState,
+    lost_workers: Vec<usize>,
+    reassigned_realizations: u64,
+}
+
+/// Splits `budget` realizations dropped by `from` as evenly as possible
+/// across surviving workers that are still simulating; shares that
+/// cannot be delivered (no survivors, or the survivor exited between
+/// the liveness check and the send) fall to the collector itself.
+fn reassign(
+    live: &mut Liveness,
+    from: usize,
+    budget: u64,
+    finals: &[bool],
+    comm: &Communicator,
+    monitor: &Monitor,
+) {
+    live.reassigned += budget;
+    let survivors: Vec<usize> = (1..live.alive.len())
+        .filter(|&m| m != from && live.alive[m] && !finals[m])
+        .collect();
+    let mut self_share = 0u64;
+    if survivors.is_empty() {
+        self_share = budget;
+    } else {
+        let per = budget / survivors.len() as u64;
+        let mut rem = budget % survivors.len() as u64;
+        for &m in &survivors {
+            let share = per + u64::from(rem > 0);
+            rem = rem.saturating_sub(1);
+            if share == 0 {
+                continue;
+            }
+            match comm.send(m, TAG_EXTEND, &share.to_le_bytes()) {
+                Ok(()) => {
+                    live.extended[m] += share;
+                    monitor.emit(
+                        Some(0),
+                        EventKind::WorkReassigned {
+                            from_worker: from,
+                            to_worker: m,
+                            realizations: share,
+                        },
+                    );
+                }
+                Err(_) => self_share += share,
+            }
+        }
+    }
+    if self_share > 0 {
+        live.extended[0] += self_share;
+        live.self_extra += self_share;
+        monitor.emit(
+            Some(0),
+            EventKind::WorkReassigned {
+                from_worker: from,
+                to_worker: 0,
+                realizations: self_share,
+            },
+        );
+    }
+}
+
+/// Declares `dead` lost: keeps its last cumulative subtotal (those
+/// realizations are complete and unbiased), reassigns the rest of its
+/// budget, and records the loss — or fails the whole run when the
+/// configuration demands that.
+#[allow(clippy::too_many_arguments)] // internal plumbing
+fn declare_lost(
+    live: &mut Liveness,
+    dead: usize,
+    config: &RunConfig,
+    state: &CollectorState,
+    finals: &[bool],
+    comm: &Communicator,
+    monitor: &Monitor,
+    stopping: bool,
+) -> Result<(), ParmoncError> {
+    let received = state.latest[dead].as_ref().map_or(0, |s| s.acc.count());
+    if config.fail_on_worker_loss {
+        return Err(ParmoncError::WorkerLost {
+            rank: dead,
+            received_realizations: received,
+        });
+    }
+    live.alive[dead] = false;
+    live.lost.push(dead);
+    monitor.emit(
+        Some(0),
+        EventKind::WorkerLost {
+            worker: dead,
+            received_realizations: received,
+        },
+    );
+    let budget = (config.quota(dead) + live.extended[dead]).saturating_sub(received);
+    if budget > 0 && !stopping {
+        reassign(live, dead, budget, finals, comm, monitor);
+    }
+    Ok(())
+}
+
+/// Sweeps for ranks that have gone quiet past the liveness timeout and
+/// declares them lost. With `force`, every still-awaited rank is
+/// declared immediately — used when the transport reports all senders
+/// disconnected, so no further message can ever arrive.
+#[allow(clippy::too_many_arguments)] // internal plumbing
+fn check_liveness(
+    live: &mut Liveness,
+    finals: &[bool],
+    config: &RunConfig,
+    state: &CollectorState,
+    comm: &Communicator,
+    monitor: &Monitor,
+    stopping: bool,
+    force: bool,
+) -> Result<(), ParmoncError> {
+    let dead: Vec<usize> = (1..live.alive.len())
+        .filter(|&m| {
+            live.alive[m]
+                && !finals[m]
+                && (force || live.last_heard[m].elapsed() >= config.liveness_timeout)
+        })
+        .collect();
+    for m in dead {
+        declare_lost(live, m, config, state, finals, comm, monitor, stopping)?;
+    }
+    Ok(())
+}
+
+/// Folds one inbound envelope into the collector state. Returns `true`
+/// for data messages (heartbeats only refresh liveness). A final from a
+/// rank that was extended but fell short (the extension raced its exit)
+/// gets the shortfall re-reassigned so the budget is never silently
+/// dropped; base-quota shortfalls (deadline, stop broadcast) are left
+/// alone, as before.
+#[allow(clippy::too_many_arguments)] // internal plumbing
+fn collector_handle(
+    env: Envelope,
+    state: &mut CollectorState,
+    finals: &mut [bool],
+    live: &mut Liveness,
+    config: &RunConfig,
+    comm: &Communicator,
+    monitor: &Monitor,
+    start: Instant,
+    stopping: bool,
+) -> Result<bool, ParmoncError> {
+    let source = env.source;
+    live.heard_from(source);
+    if env.tag == TAG_HEARTBEAT {
+        return Ok(false);
+    }
+    let is_final = env.tag == TAG_FINAL;
+    let sub = Subtotal::decode(env.payload)?;
+    let count = sub.acc.count();
+    state.update(source, sub);
+    if is_final {
+        finals[source] = true;
+        let expected = config.quota(source) + live.extended[source];
+        let shortfall = expected.saturating_sub(count).min(live.extended[source]);
+        let deadline_passed = config.deadline.is_some_and(|d| start.elapsed() >= d);
+        if shortfall > 0 && live.alive[source] && !stopping && !deadline_passed {
+            reassign(live, source, shortfall, finals, comm, monitor);
+        }
+    }
+    Ok(true)
+}
+
+/// Notifies every worker of error-controlled stopping. A worker that
+/// already sent its final and exited has dropped its inbox; that is
+/// not an error for a stop notification.
+fn broadcast_stop(comm: &Communicator, size: usize) -> Result<(), ParmoncError> {
+    for dest in 1..size {
+        match comm.send(dest, TAG_STOP, &[]) {
+            Ok(()) | Err(MpiError::Disconnected) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
     Ok(())
 }
 
@@ -481,17 +804,18 @@ fn rank0_loop<R: Realize + ?Sized>(
     realize: &R,
     start: Instant,
     monitor: &Monitor,
-) -> Result<CollectorState, ParmoncError> {
+) -> Result<CollectorOutcome, ParmoncError> {
     let size = comm.size();
     let mut state = CollectorState::new(baseline, size);
     let mut finals = vec![false; size];
+    let mut live = Liveness::new(size);
     let mut last_average = Instant::now();
     let mut tracker = SegmentTracker::new(monitor);
 
     // Rank 0 simulates its own quota inline, draining asynchronously
     // arriving worker messages between realizations and writing
     // periodic save-points every `peraver`.
-    let quota = config.quota(0);
+    let mut quota = config.quota(0);
     let mut acc = MatrixAccumulator::new(config.nrow, config.ncol)?;
     let mut out = vec![0.0f64; config.nrow * config.ncol];
     let mut compute_seconds = 0.0f64;
@@ -499,14 +823,19 @@ fn rank0_loop<R: Realize + ?Sized>(
     let mut last_file_write: Option<Instant> = None;
     let mut stop_broadcast = false;
 
-    for r in 0..quota {
+    let mut r: u64 = 0;
+    loop {
+        // Absorb work reassigned to the collector itself: it continues
+        // on its own stream coordinates past its original quota, so no
+        // subsequence is reused.
+        quota += std::mem::take(&mut live.self_extra);
+        if r >= quota || stop_broadcast {
+            break;
+        }
         if let Some(deadline) = config.deadline {
             if start.elapsed() >= deadline {
                 break;
             }
-        }
-        if stop_broadcast {
-            break;
         }
         tracker.switch(CollectorActivity::Computing);
         out.fill(0.0);
@@ -515,6 +844,7 @@ fn rank0_loop<R: Realize + ?Sized>(
         realize.realize(&mut stream, &mut out);
         compute_seconds += t0.elapsed().as_secs_f64();
         acc.add(&out)?;
+        r += 1;
 
         let due = match config.exchange {
             Exchange::EveryRealization => true,
@@ -548,9 +878,35 @@ fn rank0_loop<R: Realize + ?Sized>(
             last_pass = Instant::now();
         }
         let drain_started = Instant::now();
-        if drain_messages(&mut comm, &mut state, &mut finals)? > 0 {
+        let mut received = 0usize;
+        while let Some(env) = comm.try_recv(None, None) {
+            if collector_handle(
+                env,
+                &mut state,
+                &mut finals,
+                &mut live,
+                config,
+                &comm,
+                monitor,
+                start,
+                stop_broadcast,
+            )? {
+                received += 1;
+            }
+        }
+        if received > 0 {
             tracker.punch(CollectorActivity::Receiving, drain_started);
         }
+        check_liveness(
+            &mut live,
+            &finals,
+            config,
+            &state,
+            &comm,
+            monitor,
+            stop_broadcast,
+            false,
+        )?;
         if last_average.elapsed() >= config.averaging_period {
             // The running rank-0 subtotal must be visible to the
             // save-point (and to the error-control check below) even
@@ -568,22 +924,14 @@ fn rank0_loop<R: Realize + ?Sized>(
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
                 if eps_max <= target && !stop_broadcast {
-                    for dest in 1..size {
-                        // A worker that already sent its final and
-                        // exited has dropped its inbox; that is not an
-                        // error for a stop notification.
-                        match comm.send(dest, TAG_STOP, &[]) {
-                            Ok(()) | Err(MpiError::Disconnected) => {}
-                            Err(e) => return Err(e.into()),
-                        }
-                    }
+                    broadcast_stop(&comm, size)?;
                     stop_broadcast = true;
                 }
             }
         }
     }
     let own_final = Subtotal {
-        acc,
+        acc: acc.clone(),
         compute_seconds,
     };
     monitor.emit(
@@ -597,17 +945,96 @@ fn rank0_loop<R: Realize + ?Sized>(
     state.update(0, own_final);
     finals[0] = true;
 
-    // Block until every worker's final message arrives.
-    while finals.iter().any(|f| !f) {
-        tracker.switch(CollectorActivity::Waiting);
-        let env = comm.recv(None, None)?;
-        let received_at = Instant::now();
-        let sub = Subtotal::decode(env.payload)?;
-        if env.tag == TAG_FINAL {
-            finals[env.source] = true;
+    // Wait for every *live* worker's final message, sweeping for dead
+    // ranks between arrivals instead of blocking forever, and absorbing
+    // any reassignments that land on the collector itself.
+    let sweep = config.heartbeat_period;
+    loop {
+        if live.self_extra > 0 {
+            let deadline_passed = config.deadline.is_some_and(|d| start.elapsed() >= d);
+            if stop_broadcast || deadline_passed {
+                // The run is winding down anyway; forfeit the budget.
+                live.self_extra = 0;
+            } else {
+                let extra = std::mem::take(&mut live.self_extra);
+                tracker.switch(CollectorActivity::Computing);
+                for _ in 0..extra {
+                    if config.deadline.is_some_and(|d| start.elapsed() >= d) {
+                        break;
+                    }
+                    out.fill(0.0);
+                    let mut stream =
+                        hierarchy.realization_stream(StreamId::new(config.seqnum, 0, r))?;
+                    let t0 = Instant::now();
+                    realize.realize(&mut stream, &mut out);
+                    compute_seconds += t0.elapsed().as_secs_f64();
+                    acc.add(&out)?;
+                    r += 1;
+                }
+                let snapshot = Subtotal {
+                    acc: acc.clone(),
+                    compute_seconds,
+                };
+                monitor.emit(
+                    Some(0),
+                    EventKind::Realizations {
+                        completed: snapshot.acc.count(),
+                        compute_seconds,
+                    },
+                );
+                dir.save_worker_subtotal(0, &snapshot)?;
+                state.update(0, snapshot);
+                continue;
+            }
         }
-        state.update(env.source, sub);
-        tracker.punch(CollectorActivity::Receiving, received_at);
+        if !finals.iter().zip(&live.alive).any(|(f, a)| *a && !*f) {
+            break;
+        }
+        tracker.switch(CollectorActivity::Waiting);
+        match comm.recv_timeout(None, None, sweep) {
+            Ok(Some(env)) => {
+                let received_at = Instant::now();
+                if collector_handle(
+                    env,
+                    &mut state,
+                    &mut finals,
+                    &mut live,
+                    config,
+                    &comm,
+                    monitor,
+                    start,
+                    stop_broadcast,
+                )? {
+                    tracker.punch(CollectorActivity::Receiving, received_at);
+                }
+            }
+            Ok(None) => {}
+            // Every rank that could still send has exited: nothing more
+            // can arrive, so every awaited rank is dead right now.
+            Err(MpiError::Disconnected) => {
+                check_liveness(
+                    &mut live,
+                    &finals,
+                    config,
+                    &state,
+                    &comm,
+                    monitor,
+                    stop_broadcast,
+                    true,
+                )?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        check_liveness(
+            &mut live,
+            &finals,
+            config,
+            &state,
+            &comm,
+            monitor,
+            stop_broadcast,
+            false,
+        )?;
         if last_average.elapsed() >= config.averaging_period {
             let save_started = Instant::now();
             let eps_max = save_point(dir, config, &state, start, monitor)?;
@@ -615,15 +1042,7 @@ fn rank0_loop<R: Realize + ?Sized>(
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
                 if eps_max <= target && !stop_broadcast {
-                    for dest in 1..size {
-                        // A worker that already sent its final and
-                        // exited has dropped its inbox; that is not an
-                        // error for a stop notification.
-                        match comm.send(dest, TAG_STOP, &[]) {
-                            Ok(()) | Err(MpiError::Disconnected) => {}
-                            Err(e) => return Err(e.into()),
-                        }
-                    }
+                    broadcast_stop(&comm, size)?;
                     stop_broadcast = true;
                 }
             }
@@ -635,6 +1054,9 @@ fn rank0_loop<R: Realize + ?Sized>(
     let drain_started = Instant::now();
     let mut drained = false;
     while let Some(env) = comm.try_recv(None, None) {
+        if env.tag == TAG_HEARTBEAT {
+            continue;
+        }
         let sub = Subtotal::decode(env.payload)?;
         state.update(env.source, sub);
         drained = true;
@@ -643,26 +1065,11 @@ fn rank0_loop<R: Realize + ?Sized>(
         tracker.punch(CollectorActivity::Receiving, drain_started);
     }
     tracker.finish();
-    Ok(state)
-}
-
-/// Drains all pending worker messages into the collector state.
-/// Returns how many messages were received.
-fn drain_messages(
-    comm: &mut Communicator,
-    state: &mut CollectorState,
-    finals: &mut [bool],
-) -> Result<usize, ParmoncError> {
-    let mut received = 0;
-    while let Some(env) = comm.try_recv(None, None) {
-        let sub = Subtotal::decode(env.payload)?;
-        if env.tag == TAG_FINAL {
-            finals[env.source] = true;
-        }
-        state.update(env.source, sub);
-        received += 1;
-    }
-    Ok(received)
+    Ok(CollectorOutcome {
+        state,
+        lost_workers: live.lost,
+        reassigned_realizations: live.reassigned,
+    })
 }
 
 /// Builds the collector's [`EventKind::CollectorSegment`] timeline,
@@ -1082,6 +1489,89 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("target_abs_error"));
+    }
+
+    #[test]
+    fn worker_crash_degrades_gracefully() {
+        use parmonc_faults::FaultPlan;
+        let dir = tempdir("crash");
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(2000)
+            .processors(4)
+            .faults(FaultPlan::new(42).crash_rank(2, 10))
+            .heartbeat_period(Duration::from_millis(10))
+            .liveness_timeout(Duration::from_millis(100))
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        assert_eq!(report.lost_workers, vec![2]);
+        assert_eq!(report.reassigned_realizations, 500);
+        // The dead rank's whole budget was made up elsewhere.
+        assert_eq!(report.new_volume, 2000);
+        assert!((report.summary.means[0] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn worker_loss_can_fail_the_run() {
+        use parmonc_faults::FaultPlan;
+        let dir = tempdir("crash-strict");
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(2000)
+            .processors(4)
+            .faults(FaultPlan::new(42).crash_rank(2, 10))
+            .heartbeat_period(Duration::from_millis(10))
+            .liveness_timeout(Duration::from_millis(100))
+            .fail_on_worker_loss()
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap_err();
+        assert!(matches!(err, ParmoncError::WorkerLost { rank: 2, .. }));
+    }
+
+    #[test]
+    fn crash_run_emits_fault_events() {
+        use parmonc_faults::FaultPlan;
+        let dir = tempdir("crash-monitored");
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(1200)
+            .processors(3)
+            .faults(FaultPlan::new(9).crash_rank(1, 5))
+            .heartbeat_period(Duration::from_millis(10))
+            .liveness_timeout(Duration::from_millis(100))
+            .monitor()
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        let summary = report.monitor.expect("monitored run");
+        assert_eq!(summary.workers_lost, 1);
+        assert!(summary.faults_injected >= 1, "rank_crash must be recorded");
+        assert_eq!(summary.reassigned_realizations, 400);
+        assert_eq!(report.new_volume, 1200);
+    }
+
+    #[test]
+    fn message_drops_do_not_bias_the_estimate() {
+        use parmonc_faults::FaultPlan;
+        let dir = tempdir("drops");
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(2000)
+            .processors(4)
+            .exchange(Exchange::EveryRealization)
+            .faults(FaultPlan::new(1234).drop_fraction(0.05))
+            .heartbeat_period(Duration::from_millis(10))
+            .liveness_timeout(Duration::from_millis(100))
+            .output_dir(&dir)
+            .run(uniform_mean())
+            .unwrap();
+        // Cumulative subtotals make drops harmless; lost finals are
+        // detected and their shortfall re-simulated, so the volume can
+        // only meet or (via duplicated extensions) exceed the target.
+        assert!(
+            report.new_volume >= 2000,
+            "volume {} must reach the target",
+            report.new_volume
+        );
+        assert!((report.summary.means[0] - 0.5).abs() < 0.05);
     }
 
     #[test]

@@ -1,16 +1,28 @@
 //! The world launcher and per-rank communicator.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
 
+use parmonc_faults::{FaultHandle, FaultKind, SendAction};
 use parmonc_obs::{EventKind, Monitor};
 
 use crate::bytes::Bytes;
 use crate::envelope::{Envelope, Tag};
 use crate::error::MpiError;
+
+/// A message the fault plane is holding back: it leaves the sender
+/// only after `remaining` further sends from the same rank.
+#[derive(Debug)]
+struct DelayedSend {
+    remaining: u32,
+    dest: usize,
+    tag: Tag,
+    payload: Bytes,
+}
 
 /// Per-receiver channel statistics for monitored worlds: how many
 /// messages sit undelivered in each rank's inbox, and the largest such
@@ -52,6 +64,13 @@ pub struct Communicator {
     monitor: Monitor,
     /// Queue-depth counters, present only in monitored worlds.
     stats: Option<Arc<ChannelStats>>,
+    /// The deterministic fault plane (disabled = one dead branch per
+    /// send).
+    faults: FaultHandle,
+    /// Messages the fault plane is holding back. Only touched when the
+    /// fault plane is enabled; flushed on [`Drop`] so a held message is
+    /// late, never lost (unless scripted as a drop).
+    delayed: RefCell<Vec<DelayedSend>>,
 }
 
 impl Communicator {
@@ -143,14 +162,61 @@ impl Communicator {
     /// Zero-copy variant of [`Communicator::send`] for payloads already
     /// in [`Bytes`] form.
     ///
+    /// When a fault plane is attached ([`World::communicators_faulted`])
+    /// the message may be scripted to be dropped, duplicated or held
+    /// back; each injected fault is reported as a `fault_injected`
+    /// monitor event. With the disabled plane (the default everywhere
+    /// else) this is a single extra branch.
+    ///
     /// # Errors
     ///
     /// Same as [`Communicator::send`].
     pub fn send_bytes(&self, dest: usize, tag: Tag, payload: Bytes) -> Result<(), MpiError> {
-        let sender = self.senders.get(dest).ok_or(MpiError::InvalidRank {
-            rank: dest,
-            size: self.size(),
-        })?;
+        if dest >= self.size() {
+            return Err(MpiError::InvalidRank {
+                rank: dest,
+                size: self.size(),
+            });
+        }
+        if !self.faults.is_enabled() {
+            return self.send_now(dest, tag, payload);
+        }
+        // Every send ages the held-back messages; due ones leave first
+        // so a delayed message is overtaken by exactly `hold_sends`
+        // later sends.
+        self.flush_delayed(false)?;
+        let (seq, action) = self.faults.on_send(self.rank, dest, tag.0);
+        match action {
+            SendAction::Deliver => self.send_now(dest, tag, payload),
+            SendAction::Drop => {
+                self.note_fault(FaultKind::MessageDrop, seq);
+                Ok(())
+            }
+            SendAction::Duplicate => {
+                self.note_fault(FaultKind::MessageDuplicate, seq);
+                self.send_now(dest, tag, payload.clone())?;
+                self.send_now(dest, tag, payload)
+            }
+            SendAction::Delay { hold_sends } => {
+                self.note_fault(FaultKind::MessageDelay, seq);
+                if hold_sends == 0 {
+                    return self.send_now(dest, tag, payload);
+                }
+                self.delayed.borrow_mut().push(DelayedSend {
+                    remaining: hold_sends,
+                    dest,
+                    tag,
+                    payload,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// The unfaulted send path: enqueue for `dest`, with monitored
+    /// queue-depth accounting. `dest` has already been validated.
+    fn send_now(&self, dest: usize, tag: Tag, payload: Bytes) -> Result<(), MpiError> {
+        let sender = &self.senders[dest];
         let bytes = payload.len();
         // Count the message before it is enqueued: once it is in the
         // channel the receiver may pull it (and decrement) at any time.
@@ -169,6 +235,48 @@ impl Communicator {
                 Err(MpiError::Disconnected)
             }
         }
+    }
+
+    /// Ages held-back messages by one send and delivers the due ones
+    /// (or, with `force`, everything — the [`Drop`] path, so a delayed
+    /// message is late, never lost).
+    fn flush_delayed(&self, force: bool) -> Result<(), MpiError> {
+        if self.delayed.borrow().is_empty() {
+            return Ok(());
+        }
+        let due: Vec<DelayedSend> = {
+            let mut held = self.delayed.borrow_mut();
+            if !force {
+                for entry in held.iter_mut() {
+                    entry.remaining = entry.remaining.saturating_sub(1);
+                }
+            }
+            let mut due = Vec::new();
+            let mut i = 0;
+            while i < held.len() {
+                if force || held[i].remaining == 0 {
+                    due.push(held.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            due
+        };
+        for entry in due {
+            self.send_now(entry.dest, entry.tag, entry.payload)?;
+        }
+        Ok(())
+    }
+
+    /// Emits a `fault_injected` monitor event for a message fault.
+    fn note_fault(&self, kind: FaultKind, seq: u64) {
+        self.monitor.emit(
+            Some(self.rank),
+            EventKind::FaultInjected {
+                fault: kind.as_str().to_string(),
+                detail: Some(seq),
+            },
+        );
     }
 
     fn matches(env: &Envelope, source: Option<usize>, tag: Option<Tag>) -> bool {
@@ -258,6 +366,10 @@ impl Communicator {
     }
 
     /// Whether a matching message is available without consuming it.
+    ///
+    /// Held-back (delayed) messages are invisible to the probe until
+    /// the fault plane releases them — exactly the observable behavior
+    /// of a message still in flight.
     pub fn iprobe(&mut self, source: Option<usize>, tag: Option<Tag>) -> bool {
         if self.pending.iter().any(|e| Self::matches(e, source, tag)) {
             return true;
@@ -269,6 +381,15 @@ impl Communicator {
             self.pending.push_back(env);
         }
         self.pending.iter().any(|e| Self::matches(e, source, tag))
+    }
+}
+
+impl Drop for Communicator {
+    fn drop(&mut self) {
+        // A rank tearing down force-flushes anything the fault plane
+        // was holding, so "delayed" can never silently become "lost".
+        // Errors are ignored: the receiver may already be gone.
+        let _ = self.flush_delayed(true);
     }
 }
 
@@ -317,6 +438,22 @@ impl World {
         size: usize,
         monitor: Monitor,
     ) -> Result<Vec<Communicator>, MpiError> {
+        Self::communicators_faulted(size, monitor, FaultHandle::disabled())
+    }
+
+    /// [`World::communicators_monitored`] with a deterministic fault
+    /// plane attached: every send consults the shared [`FaultHandle`],
+    /// which may drop, duplicate or delay it. With the disabled handle
+    /// this is exactly [`World::communicators_monitored`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::EmptyWorld`] if `size == 0`.
+    pub fn communicators_faulted(
+        size: usize,
+        monitor: Monitor,
+        faults: FaultHandle,
+    ) -> Result<Vec<Communicator>, MpiError> {
         if size == 0 {
             return Err(MpiError::EmptyWorld);
         }
@@ -341,6 +478,8 @@ impl World {
                 pending: VecDeque::new(),
                 monitor: monitor.clone(),
                 stats: stats.clone(),
+                faults: faults.clone(),
+                delayed: RefCell::new(Vec::new()),
             })
             .collect())
     }
@@ -624,5 +763,96 @@ mod tests {
         let comms = World::communicators(2).unwrap();
         assert!(comms[0].stats.is_none());
         assert!(!comms[0].monitor.is_enabled());
+        assert!(!comms[0].faults.is_enabled());
+    }
+
+    #[test]
+    fn faulted_world_drops_scripted_messages() {
+        use parmonc_faults::FaultPlan;
+        let faults = FaultPlan::new(1).drop_message(1, 0, 7, 1).build();
+        let mut comms =
+            World::communicators_faulted(2, Monitor::disabled(), faults.clone()).unwrap();
+        let (left, right) = comms.split_at_mut(1);
+        for i in 0..3u8 {
+            right[0].send(0, Tag(7), &[i]).unwrap();
+        }
+        // Sequence 1 (payload [1]) was dropped; 0 and 2 arrive in order.
+        assert_eq!(left[0].try_recv(None, None).unwrap().payload[0], 0);
+        assert_eq!(left[0].try_recv(None, None).unwrap().payload[0], 2);
+        assert!(left[0].try_recv(None, None).is_none());
+        assert_eq!(faults.records().len(), 1);
+    }
+
+    #[test]
+    fn faulted_world_duplicates_scripted_messages() {
+        use parmonc_faults::FaultPlan;
+        let faults = FaultPlan::new(1).duplicate_message(1, 0, 1, 0).build();
+        let mut comms = World::communicators_faulted(2, Monitor::disabled(), faults).unwrap();
+        let (left, right) = comms.split_at_mut(1);
+        right[0].send(0, Tag(1), b"twice").unwrap();
+        assert_eq!(&left[0].try_recv(None, None).unwrap().payload[..], b"twice");
+        assert_eq!(&left[0].try_recv(None, None).unwrap().payload[..], b"twice");
+        assert!(left[0].try_recv(None, None).is_none());
+    }
+
+    #[test]
+    fn delayed_message_is_overtaken_then_delivered() {
+        use parmonc_faults::FaultPlan;
+        let faults = FaultPlan::new(1).delay_message(1, 0, 1, 0, 2).build();
+        let mut comms = World::communicators_faulted(2, Monitor::disabled(), faults).unwrap();
+        let (left, right) = comms.split_at_mut(1);
+        right[0].send(0, Tag(1), b"early").unwrap(); // held
+        assert!(left[0].try_recv(None, None).is_none());
+        right[0].send(0, Tag(1), b"mid").unwrap(); // ages held to 1
+        right[0].send(0, Tag(1), b"late").unwrap(); // releases held first
+        let order: Vec<Vec<u8>> = (0..3)
+            .map(|_| left[0].try_recv(None, None).unwrap().payload.to_vec())
+            .collect();
+        assert_eq!(
+            order,
+            vec![b"mid".to_vec(), b"early".to_vec(), b"late".to_vec()]
+        );
+    }
+
+    #[test]
+    fn dropping_a_communicator_flushes_held_messages() {
+        use parmonc_faults::FaultPlan;
+        let faults = FaultPlan::new(1).delay_message(1, 0, 1, 0, 100).build();
+        let mut comms = World::communicators_faulted(2, Monitor::disabled(), faults).unwrap();
+        let sender = comms.pop().unwrap();
+        sender.send(0, Tag(1), b"held").unwrap();
+        assert!(comms[0].try_recv(None, None).is_none());
+        drop(sender); // force-flush: late, never lost
+        assert_eq!(&comms[0].try_recv(None, None).unwrap().payload[..], b"held");
+    }
+
+    #[test]
+    fn message_faults_emit_monitor_events() {
+        use parmonc_faults::FaultPlan;
+        let sink = Arc::new(MemorySink::new());
+        let monitor = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+        let faults = FaultPlan::new(1).drop_message(1, 0, 1, 0).build();
+        let comms = World::communicators_faulted(2, monitor, faults).unwrap();
+        comms[1].send(0, Tag(1), b"gone").unwrap();
+        let events = sink.snapshot();
+        assert!(events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::FaultInjected { fault, detail: Some(0) } if fault == "message_drop"
+        )));
+        // A dropped message produces no message_sent event.
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MessageSent { .. })));
+    }
+
+    #[test]
+    fn faulted_send_still_validates_the_destination() {
+        use parmonc_faults::FaultPlan;
+        let faults = FaultPlan::new(1).drop_fraction(1.0).build();
+        let comms = World::communicators_faulted(2, Monitor::disabled(), faults).unwrap();
+        assert!(matches!(
+            comms[0].send(5, Tag(0), b""),
+            Err(MpiError::InvalidRank { rank: 5, size: 2 })
+        ));
     }
 }

@@ -175,6 +175,43 @@ pub enum EventKind {
         /// Payload bytes the collector received.
         bytes: u64,
     },
+    /// The deterministic fault plane injected a scripted fault.
+    FaultInjected {
+        /// Which fault fired, from the fixed vocabulary
+        /// (`rank_crash`, `message_drop`, `message_duplicate`,
+        /// `message_delay`, `torn_write`, `bit_flip`, `io_interrupt`).
+        fault: String,
+        /// Kind-specific detail: the crash realization for
+        /// `rank_crash`, the message sequence number for message
+        /// faults; absent for I/O faults.
+        detail: Option<u64>,
+    },
+    /// The collector declared a worker dead after its liveness timeout
+    /// expired. The worker's last *cumulative* subtotal stays in the
+    /// average.
+    WorkerLost {
+        /// The rank declared dead.
+        worker: usize,
+        /// Realizations the collector had received from it, which
+        /// remain in the estimate.
+        received_realizations: u64,
+    },
+    /// The collector reassigned a dead worker's remaining realization
+    /// budget to a survivor, on the survivor's own leapfrog streams.
+    WorkReassigned {
+        /// The dead rank whose budget is being redistributed.
+        from_worker: usize,
+        /// The surviving rank taking over the work.
+        to_worker: usize,
+        /// How many extra realizations the survivor will simulate.
+        realizations: u64,
+    },
+    /// A resume found the primary checkpoint corrupt (or missing) and
+    /// recovered from the last-good `.bak` generation.
+    CheckpointRecovered {
+        /// Sample volume of the recovered checkpoint.
+        volume: u64,
+    },
 }
 
 impl EventKind {
@@ -191,11 +228,15 @@ impl EventKind {
             Self::SavePoint { .. } => "save_point",
             Self::CollectorSegment { .. } => "collector_segment",
             Self::RunCompleted { .. } => "run_completed",
+            Self::FaultInjected { .. } => "fault_injected",
+            Self::WorkerLost { .. } => "worker_lost",
+            Self::WorkReassigned { .. } => "work_reassigned",
+            Self::CheckpointRecovered { .. } => "checkpoint_recovered",
         }
     }
 
     /// Every kind name, in schema order.
-    pub const ALL_KINDS: [&'static str; 9] = [
+    pub const ALL_KINDS: [&'static str; 13] = [
         "run_started",
         "realizations",
         "message_sent",
@@ -205,6 +246,19 @@ impl EventKind {
         "save_point",
         "collector_segment",
         "run_completed",
+        "fault_injected",
+        "worker_lost",
+        "work_reassigned",
+        "checkpoint_recovered",
+    ];
+
+    /// The kinds only emitted on fault/recovery paths; a fault-free run
+    /// exercises exactly `ALL_KINDS` minus these.
+    pub const FAULT_KINDS: [&'static str; 4] = [
+        "fault_injected",
+        "worker_lost",
+        "work_reassigned",
+        "checkpoint_recovered",
     ];
 }
 
@@ -357,6 +411,34 @@ impl Event {
                 push_f64(&mut s, *t_comp_seconds);
                 let _ = write!(s, ",\"messages\":{messages},\"bytes\":{bytes}");
             }
+            EventKind::FaultInjected { fault, detail } => {
+                let _ = write!(s, ",\"fault\":\"{fault}\"");
+                if let Some(detail) = detail {
+                    let _ = write!(s, ",\"detail\":{detail}");
+                }
+            }
+            EventKind::WorkerLost {
+                worker,
+                received_realizations,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"worker\":{worker},\"received_realizations\":{received_realizations}"
+                );
+            }
+            EventKind::WorkReassigned {
+                from_worker,
+                to_worker,
+                realizations,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"from_worker\":{from_worker},\"to_worker\":{to_worker},\"realizations\":{realizations}"
+                );
+            }
+            EventKind::CheckpointRecovered { volume } => {
+                let _ = write!(s, ",\"volume\":{volume}");
+            }
         }
         s.push('}');
         s
@@ -415,9 +497,30 @@ mod tests {
                 messages: 0,
                 bytes: 0,
             },
+            EventKind::FaultInjected {
+                fault: "rank_crash".into(),
+                detail: None,
+            },
+            EventKind::WorkerLost {
+                worker: 0,
+                received_realizations: 0,
+            },
+            EventKind::WorkReassigned {
+                from_worker: 0,
+                to_worker: 0,
+                realizations: 0,
+            },
+            EventKind::CheckpointRecovered { volume: 0 },
         ];
         let names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
         assert_eq!(names, EventKind::ALL_KINDS);
+    }
+
+    #[test]
+    fn fault_kinds_are_a_subset_of_all_kinds() {
+        for kind in EventKind::FAULT_KINDS {
+            assert!(EventKind::ALL_KINDS.contains(&kind), "{kind} missing");
+        }
     }
 
     #[test]

@@ -150,6 +150,15 @@ fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
     use FieldType::{Enum, Num, UInt};
     const MODES: &[&str] = &["threads", "simcluster"];
     const ACTIVITIES: &[&str] = &["computing", "receiving", "saving", "waiting"];
+    const FAULTS: &[&str] = &[
+        "rank_crash",
+        "message_drop",
+        "message_duplicate",
+        "message_delay",
+        "torn_write",
+        "bit_flip",
+        "io_interrupt",
+    ];
     Some(match kind {
         "run_started" => (
             &[
@@ -199,6 +208,20 @@ fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
             ][..],
             &[][..],
         ),
+        "fault_injected" => (&[("fault", Enum(FAULTS))][..], &[("detail", UInt)][..]),
+        "worker_lost" => (
+            &[("worker", UInt), ("received_realizations", UInt)][..],
+            &[][..],
+        ),
+        "work_reassigned" => (
+            &[
+                ("from_worker", UInt),
+                ("to_worker", UInt),
+                ("realizations", UInt),
+            ][..],
+            &[][..],
+        ),
+        "checkpoint_recovered" => (&[("volume", UInt)][..], &[][..]),
         _ => return None,
     })
 }
@@ -336,6 +359,20 @@ mod tests {
                 messages: 40,
                 bytes: 1920,
             },
+            EventKind::FaultInjected {
+                fault: "message_drop".into(),
+                detail: Some(7),
+            },
+            EventKind::WorkerLost {
+                worker: 3,
+                received_realizations: 120,
+            },
+            EventKind::WorkReassigned {
+                from_worker: 3,
+                to_worker: 1,
+                realizations: 40,
+            },
+            EventKind::CheckpointRecovered { volume: 500 },
         ];
         for kind in kinds {
             let expected = kind.name();
@@ -386,6 +423,10 @@ mod tests {
             (
                 r#"{"v":1,"kind":"queue_high_water","time_s":0,"depth":1,"depth":1}"#,
                 "duplicate key",
+            ),
+            (
+                r#"{"v":1,"kind":"fault_injected","time_s":0,"fault":"gremlin"}"#,
+                "unknown fault name",
             ),
         ] {
             assert!(validate_line(bad).is_err(), "should reject ({why}): {bad}");

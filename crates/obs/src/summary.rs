@@ -59,6 +59,14 @@ pub struct MonitorSummary {
     pub total_realizations: Option<u64>,
     /// The paper's `T_comp` from `run_completed`.
     pub t_comp_seconds: Option<f64>,
+    /// Faults the deterministic fault plane injected.
+    pub faults_injected: u64,
+    /// Workers the collector declared dead.
+    pub workers_lost: u64,
+    /// Realizations reassigned from dead workers to survivors.
+    pub reassigned_realizations: u64,
+    /// Resumes recovered from a `.bak` checkpoint generation.
+    pub checkpoint_recoveries: u64,
 }
 
 impl MonitorSummary {
@@ -149,6 +157,18 @@ impl MonitorSummary {
                     s.total_realizations = Some(*realizations);
                     s.t_comp_seconds = Some(*t_comp_seconds);
                 }
+                EventKind::FaultInjected { .. } => {
+                    s.faults_injected += 1;
+                }
+                EventKind::WorkerLost { .. } => {
+                    s.workers_lost += 1;
+                }
+                EventKind::WorkReassigned { realizations, .. } => {
+                    s.reassigned_realizations += realizations;
+                }
+                EventKind::CheckpointRecovered { .. } => {
+                    s.checkpoint_recoveries += 1;
+                }
             }
         }
         s
@@ -204,6 +224,20 @@ impl MonitorSummary {
         out.push('\n');
         if let Some(age) = self.max_snapshot_age_seconds {
             let _ = writeln!(out, "  max snapshot age {age:.3} s");
+        }
+        if self.faults_injected > 0
+            || self.workers_lost > 0
+            || self.reassigned_realizations > 0
+            || self.checkpoint_recoveries > 0
+        {
+            let _ = writeln!(
+                out,
+                "  faults injected {} | workers lost {} | reassigned {} | checkpoint recoveries {}",
+                self.faults_injected,
+                self.workers_lost,
+                self.reassigned_realizations,
+                self.checkpoint_recoveries
+            );
         }
         if !self.collector_seconds.is_empty() {
             let total: f64 = self.collector_seconds.values().sum();
@@ -374,6 +408,56 @@ mod tests {
         assert!(table.contains("max queue depth 3"));
         assert!(table.contains("rank"));
         assert!(table.contains("receiving 75.0%"));
+    }
+
+    #[test]
+    fn folds_fault_events_and_renders_the_fault_line() {
+        let events = vec![
+            ev(
+                0.1,
+                Some(2),
+                EventKind::FaultInjected {
+                    fault: "rank_crash".into(),
+                    detail: Some(50),
+                },
+            ),
+            ev(
+                0.5,
+                Some(0),
+                EventKind::WorkerLost {
+                    worker: 2,
+                    received_realizations: 40,
+                },
+            ),
+            ev(
+                0.5,
+                Some(0),
+                EventKind::WorkReassigned {
+                    from_worker: 2,
+                    to_worker: 1,
+                    realizations: 30,
+                },
+            ),
+            ev(
+                0.5,
+                Some(0),
+                EventKind::WorkReassigned {
+                    from_worker: 2,
+                    to_worker: 3,
+                    realizations: 30,
+                },
+            ),
+            ev(0.0, None, EventKind::CheckpointRecovered { volume: 10 }),
+        ];
+        let s = MonitorSummary::from_events(&events);
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.workers_lost, 1);
+        assert_eq!(s.reassigned_realizations, 60);
+        assert_eq!(s.checkpoint_recoveries, 1);
+        let table = s.render_table();
+        assert!(table.contains("faults injected 1"));
+        assert!(table.contains("workers lost 1"));
+        assert!(table.contains("reassigned 60"));
     }
 
     #[test]

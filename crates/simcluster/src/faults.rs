@@ -1,0 +1,463 @@
+//! Fault modeling in virtual time: the same [`FaultPlan`] that drives
+//! the real-thread runner's chaos tests replayed against the
+//! discrete-event cluster model.
+//!
+//! [`simulate_faulted`] mirrors the runner's recovery policy —
+//! cumulative subtotals make drops and duplicates harmless, a rank
+//! that goes quiet past the liveness timeout is declared lost and its
+//! uncovered budget reassigned — so a chaos scenario can be checked
+//! against both engines, event kind for event kind. One documented
+//! simplification: the virtual collector reassigns a lost rank's
+//! budget to itself in a single wave (processor 0 is the only rank
+//! whose remaining schedule the model can cheaply extend), whereas the
+//! real runner spreads it over surviving workers first.
+
+use parmonc_faults::{FaultKind, FaultPlan, SendAction};
+use parmonc_obs::{EventKind, Monitor, RunMode};
+
+use crate::event::EventQueue;
+use crate::model::ClusterConfig;
+use crate::sim::SimResult;
+
+/// Outcome of a fault-injected virtual run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedRun {
+    /// Aggregate timing result. `realizations` counts what the
+    /// collector actually holds at the end: covered realizations from
+    /// every rank plus the reassigned budget it re-simulated.
+    pub result: SimResult,
+    /// Ranks declared dead, in detection order.
+    pub lost_workers: Vec<usize>,
+    /// Realizations the collector re-simulated for lost ranks.
+    pub reassigned_realizations: u64,
+}
+
+/// One in-flight message after fault filtering.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+struct Delivery {
+    arrival: f64,
+    rank: usize,
+    covered: u64,
+    tag: u32,
+}
+
+/// Simulates `total` realizations with the scripted `plan` applied to
+/// every worker message and worker lifetime, in virtual time.
+///
+/// A crashed rank stops simulating at its crash point and never sends
+/// its final message; a rank whose final message was dropped looks
+/// identical to the collector. Either way the rank is declared lost
+/// `liveness_timeout` virtual seconds after it was last heard from,
+/// and its uncovered budget is re-simulated by the collector.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, `total == 0`, or
+/// `liveness_timeout` is not positive and finite.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn simulate_faulted(
+    config: &ClusterConfig,
+    total: u64,
+    plan: &FaultPlan,
+    liveness_timeout: f64,
+    monitor: &Monitor,
+) -> FaultedRun {
+    config.validate();
+    assert!(total > 0, "need at least one realization");
+    assert!(
+        liveness_timeout > 0.0 && liveness_timeout.is_finite(),
+        "liveness_timeout must be positive and finite"
+    );
+
+    let m = config.processors;
+    monitor.emit_at(
+        0.0,
+        None,
+        EventKind::RunStarted {
+            mode: RunMode::SimCluster,
+            processors: m,
+            max_sample_volume: total,
+            seqnum: None,
+            nrow: None,
+            ncol: None,
+        },
+    );
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let bytes_per_msg = config.message_bytes.max(0.0) as u64;
+    let transfer = config.transfer_seconds();
+
+    let mut worker_finish = vec![0.0f64; m];
+    let mut messages = 0u64;
+    let mut final_expected = vec![false; m];
+    let mut final_scheduled_arrival = vec![f64::NAN; m];
+    let mut arrivals: EventQueue<Delivery> = EventQueue::new();
+
+    for (rank, finish) in worker_finish.iter_mut().enumerate().skip(1) {
+        let quota = config.quota(rank, total);
+        let crash = plan.crash_point(rank);
+        let effective = crash.map_or(quota, |n| n.min(quota));
+        let crashed = effective < quota;
+        *finish = effective as f64 * config.realization_duration(rank);
+
+        let mut schedule = crate::sim::worker_arrival_schedule(config, rank, effective);
+        if crashed {
+            // The crash happens before the final message leaves.
+            schedule.pop();
+            monitor.emit_at(
+                *finish,
+                Some(rank),
+                EventKind::FaultInjected {
+                    fault: FaultKind::RankCrash.as_str().to_string(),
+                    detail: Some(effective),
+                },
+            );
+        } else {
+            final_expected[rank] = true;
+            monitor.emit_at(
+                *finish,
+                Some(rank),
+                EventKind::Realizations {
+                    completed: effective,
+                    compute_seconds: *finish,
+                },
+            );
+        }
+
+        // Per-(src, dst, tag) sequence counters, mirroring the message
+        // substrate's fault plane.
+        let mut seq_by_tag = [0u64; 3];
+        for send in schedule {
+            let tag = send.tag;
+            let seq = seq_by_tag[tag as usize];
+            seq_by_tag[tag as usize] += 1;
+            let send_time = (send.arrival - transfer).max(0.0);
+            let action = plan.message_action(rank, 0, tag, seq);
+            let mut deliveries: Vec<f64> = Vec::new();
+            match action {
+                SendAction::Deliver => deliveries.push(send.arrival),
+                SendAction::Drop => {
+                    monitor.emit_at(
+                        send_time,
+                        Some(rank),
+                        EventKind::FaultInjected {
+                            fault: FaultKind::MessageDrop.as_str().to_string(),
+                            detail: Some(seq),
+                        },
+                    );
+                }
+                SendAction::Duplicate => {
+                    deliveries.push(send.arrival);
+                    deliveries.push(send.arrival + transfer);
+                    monitor.emit_at(
+                        send_time,
+                        Some(rank),
+                        EventKind::FaultInjected {
+                            fault: FaultKind::MessageDuplicate.as_str().to_string(),
+                            detail: Some(seq),
+                        },
+                    );
+                }
+                SendAction::Delay { hold_sends } => {
+                    deliveries.push(send.arrival + f64::from(hold_sends) * transfer);
+                    monitor.emit_at(
+                        send_time,
+                        Some(rank),
+                        EventKind::FaultInjected {
+                            fault: FaultKind::MessageDelay.as_str().to_string(),
+                            detail: Some(seq),
+                        },
+                    );
+                }
+            }
+            for arrival in deliveries {
+                monitor.emit_at(
+                    send_time,
+                    Some(rank),
+                    EventKind::MessageSent {
+                        dest: 0,
+                        tag,
+                        bytes: bytes_per_msg,
+                    },
+                );
+                if tag == 2 {
+                    final_scheduled_arrival[rank] = arrival;
+                }
+                arrivals.push(
+                    arrival,
+                    Delivery {
+                        arrival,
+                        rank,
+                        covered: send.covered,
+                        tag,
+                    },
+                );
+                messages += 1;
+            }
+        }
+    }
+
+    // Processor 0's serial timeline, as in the plain simulation.
+    let q0 = config.quota(0, total);
+    let d0 = config.realization_duration(0);
+    let mut t = 0.0f64;
+    let mut overhead = 0.0f64;
+    let mut covered = vec![0u64; m];
+    let mut final_received = vec![false; m];
+    let mut last_heard = vec![0.0f64; m];
+
+    let drain = |t: &mut f64,
+                 overhead: &mut f64,
+                 arrivals: &mut EventQueue<Delivery>,
+                 covered: &mut [u64],
+                 final_received: &mut [bool],
+                 last_heard: &mut [f64]| {
+        let mut drained = false;
+        while arrivals.peek_time().is_some_and(|a| a <= *t) {
+            let (_, d) = arrivals.pop().expect("peeked above");
+            *t += config.receive_cost_seconds;
+            *overhead += config.receive_cost_seconds;
+            covered[d.rank] = covered[d.rank].max(d.covered);
+            last_heard[d.rank] = last_heard[d.rank].max(d.arrival);
+            if d.tag == 2 {
+                final_received[d.rank] = true;
+            }
+            monitor.emit_at(
+                *t,
+                Some(0),
+                EventKind::MessageReceived {
+                    source: d.rank,
+                    tag: d.tag,
+                    bytes: bytes_per_msg,
+                    queue_depth: arrivals.pending_at(*t) as u64,
+                },
+            );
+            drained = true;
+        }
+        if drained {
+            *t += config.save_cost_seconds;
+            *overhead += config.save_cost_seconds;
+        }
+    };
+
+    for i in 0..q0 {
+        t += d0;
+        covered[0] = i + 1;
+        drain(
+            &mut t,
+            &mut overhead,
+            &mut arrivals,
+            &mut covered,
+            &mut final_received,
+            &mut last_heard,
+        );
+    }
+    worker_finish[0] = t;
+    monitor.emit_at(
+        t,
+        Some(0),
+        EventKind::Realizations {
+            completed: q0,
+            compute_seconds: q0 as f64 * d0,
+        },
+    );
+
+    while let Some(next) = arrivals.peek_time() {
+        if next > t {
+            t = next;
+        }
+        drain(
+            &mut t,
+            &mut overhead,
+            &mut arrivals,
+            &mut covered,
+            &mut final_received,
+            &mut last_heard,
+        );
+    }
+
+    // Liveness sweep: every rank whose final never arrived is declared
+    // lost once it has been quiet for the timeout, and the collector
+    // re-simulates its uncovered budget on its own (fresh) schedule.
+    let mut lost_workers = Vec::new();
+    let mut reassigned = 0u64;
+    for rank in 1..m {
+        if final_received[rank] {
+            continue;
+        }
+        let detect_t = (last_heard[rank] + liveness_timeout).max(t);
+        t = detect_t;
+        monitor.emit_at(
+            t,
+            Some(0),
+            EventKind::WorkerLost {
+                worker: rank,
+                received_realizations: covered[rank],
+            },
+        );
+        lost_workers.push(rank);
+        let budget = config.quota(rank, total).saturating_sub(covered[rank]);
+        if budget > 0 {
+            monitor.emit_at(
+                t,
+                Some(0),
+                EventKind::WorkReassigned {
+                    from_worker: rank,
+                    to_worker: 0,
+                    realizations: budget,
+                },
+            );
+            t += budget as f64 * d0;
+            reassigned += budget;
+        }
+    }
+
+    // Final averaging and save of the result files.
+    t += config.save_cost_seconds;
+    overhead += config.save_cost_seconds;
+    let volume: u64 = covered.iter().sum::<u64>() + reassigned;
+    monitor.emit_at(
+        t,
+        Some(0),
+        EventKind::SavePoint {
+            volume,
+            duration_seconds: config.save_cost_seconds,
+        },
+    );
+    monitor.emit_at(
+        t,
+        Some(0),
+        EventKind::AveragingPass {
+            volume,
+            duration_seconds: config.save_cost_seconds,
+            eps_max: None,
+            max_snapshot_age_seconds: None,
+        },
+    );
+    monitor.emit_at(
+        t,
+        None,
+        EventKind::RunCompleted {
+            realizations: volume,
+            t_comp_seconds: t,
+            messages,
+            bytes: messages * bytes_per_msg,
+        },
+    );
+    monitor.flush();
+
+    FaultedRun {
+        result: SimResult {
+            t_comp: t,
+            messages,
+            collector_overhead: overhead,
+            worker_finish,
+            realizations: volume,
+        },
+        lost_workers,
+        reassigned_realizations: reassigned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use parmonc_obs::{MemorySink, Monitor};
+    use std::sync::Arc;
+
+    fn testbed(m: usize) -> ClusterConfig {
+        ClusterConfig::paper_testbed(m)
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_simulate() {
+        for m in [1usize, 4, 16] {
+            let c = testbed(m);
+            let plain = simulate(&c, 512);
+            let faulted =
+                simulate_faulted(&c, 512, &FaultPlan::none(), 1_000.0, &Monitor::disabled());
+            assert_eq!(faulted.result.t_comp, plain.t_comp, "M = {m}");
+            assert_eq!(faulted.result.messages, plain.messages);
+            assert_eq!(faulted.result.realizations, plain.realizations);
+            assert!(faulted.lost_workers.is_empty());
+            assert_eq!(faulted.reassigned_realizations, 0);
+        }
+    }
+
+    #[test]
+    fn crashed_rank_is_detected_and_its_budget_recovered() {
+        let c = testbed(4);
+        let plan = FaultPlan::new(3).crash_rank(2, 5);
+        let run = simulate_faulted(&c, 400, &plan, 50.0, &Monitor::disabled());
+        assert_eq!(run.lost_workers, vec![2]);
+        // quota 100, crashed after 5: under per-realization exchange
+        // the collector holds 4 (the 5th subtotal is never sent: the
+        // message covering realization 5 would have been the crash
+        // victim's next send) or 5 realizations; either way the
+        // reassigned budget tops the volume back up to the target.
+        assert_eq!(run.result.realizations, 400);
+        assert!(run.reassigned_realizations >= 95);
+        // Recovery costs time: slower than the fault-free run.
+        assert!(run.result.t_comp > simulate(&c, 400).t_comp);
+    }
+
+    #[test]
+    fn dropped_final_is_recovered_like_a_crash() {
+        let c = testbed(4);
+        // Worker 3's final message (tag 2, seq 0) is dropped.
+        let plan = FaultPlan::new(3).drop_message(3, 0, 2, 0);
+        let run = simulate_faulted(&c, 400, &plan, 50.0, &Monitor::disabled());
+        assert_eq!(run.lost_workers, vec![3]);
+        // All but the last realization were covered by subtotals, so
+        // only the shortfall is re-simulated.
+        assert_eq!(run.reassigned_realizations, 1);
+        assert_eq!(run.result.realizations, 400);
+    }
+
+    #[test]
+    fn drops_and_duplicates_of_subtotals_are_harmless() {
+        let c = testbed(4);
+        let plan = FaultPlan::new(11)
+            .drop_message(1, 0, 1, 3)
+            .duplicate_message(2, 0, 1, 4)
+            .delay_message(3, 0, 1, 2, 5);
+        let run = simulate_faulted(&c, 400, &plan, 50.0, &Monitor::disabled());
+        assert!(run.lost_workers.is_empty());
+        assert_eq!(run.reassigned_realizations, 0);
+        assert_eq!(run.result.realizations, 400);
+    }
+
+    #[test]
+    fn fault_events_are_schema_valid() {
+        let c = testbed(4);
+        let plan = FaultPlan::new(7).crash_rank(1, 3).drop_message(2, 0, 1, 0);
+        let sink = Arc::new(MemorySink::new());
+        let run = simulate_faulted(
+            &c,
+            200,
+            &plan,
+            50.0,
+            &Monitor::new(vec![Box::new(Arc::clone(&sink))]),
+        );
+        let events = sink.snapshot();
+        for e in &events {
+            parmonc_obs::schema::validate_line(&e.to_json_line()).unwrap();
+        }
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert!(kinds.contains(&"fault_injected"));
+        assert!(kinds.contains(&"worker_lost"));
+        assert!(kinds.contains(&"work_reassigned"));
+        assert_eq!(run.lost_workers, vec![1]);
+    }
+
+    #[test]
+    fn hash_based_drop_fraction_still_reaches_the_target_volume() {
+        let c = testbed(8);
+        let plan = FaultPlan::new(99).drop_fraction(0.05);
+        let run = simulate_faulted(&c, 800, &plan, 50.0, &Monitor::disabled());
+        // Some ranks may lose their final and be "recovered", but the
+        // end volume never falls short of the request.
+        assert!(run.result.realizations >= 800);
+    }
+}

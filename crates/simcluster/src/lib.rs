@@ -51,12 +51,14 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod event;
+pub mod faults;
 pub mod figure2;
 pub mod hybrid;
 pub mod model;
 pub mod sim;
 pub mod trace;
 
+pub use faults::{simulate_faulted, FaultedRun};
 pub use model::{ClusterConfig, ExchangePolicy, QuotaMode};
 pub use sim::{simulate, SimResult};
 pub use trace::{simulate_monitored, simulate_traced, CollectorActivity, Segment, TracedRun};

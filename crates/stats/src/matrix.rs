@@ -99,8 +99,10 @@ impl MatrixAccumulator {
         if nrow == 0 || ncol == 0 {
             return Err(StatsError::EmptyShape);
         }
-        let len = nrow * ncol;
-        if sums.len() != len || sums_sq.len() != len {
+        // A corrupted frame can claim an absurd shape whose element
+        // count overflows; that can never match the actual vectors.
+        let len = nrow.checked_mul(ncol);
+        if len != Some(sums.len()) || len != Some(sums_sq.len()) {
             return Err(StatsError::ShapeMismatch {
                 expected: (nrow, ncol),
                 got_len: sums.len().min(sums_sq.len()),

@@ -1,0 +1,269 @@
+//! Chaos integration: seeded fault matrices driven through both
+//! engines — the real-thread runner (`mpi_*` tests) and the virtual
+//! cluster simulator (`simcluster_*` tests) — plus the resume-after-
+//! crash and framing-robustness satellites. CI runs the two prefixes
+//! as separate matrix jobs.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parmonc::messages::Subtotal;
+use parmonc::{Exchange, Parmonc, RealizeFn, Resume, RunReport};
+use parmonc_faults::{mutate_bytes, FaultPlan, Mutation};
+use parmonc_mpi::bytes::Bytes;
+use parmonc_obs::{MemorySink, Monitor};
+use parmonc_simcluster::{simulate_faulted, ClusterConfig};
+use parmonc_stats::MatrixAccumulator;
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parmonc-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn uniform() -> impl parmonc::Realize + Sync {
+    RealizeFn::new(|rng, out| {
+        for o in out.iter_mut() {
+            *o = rng.next_f64();
+        }
+    })
+}
+
+/// Validates every line of a run's monitor trace against the schema
+/// and returns the set of event kinds it contains.
+fn validated_kinds(report: &RunReport) -> BTreeSet<&'static str> {
+    let path = report.results_dir.run_metrics_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    text.lines()
+        .map(|line| {
+            parmonc_obs::schema::validate_line(line)
+                .unwrap_or_else(|e| panic!("schema violation in {line:?}: {e}"))
+        })
+        .collect()
+}
+
+/// The acceptance demo: a monitored 8-rank run with one worker crashed
+/// mid-run and 5 % of messages dropped still completes, reassigns the
+/// lost budget to survivors (on their own fresh streams — never reusing
+/// a leapfrog stream), and lands within the reported error bars of the
+/// fault-free run.
+#[test]
+fn mpi_chaos_demo_survives_crash_and_drops() {
+    let chaotic = Parmonc::builder(1, 1)
+        .max_sample_volume(4_000)
+        .processors(8)
+        .seqnum(3)
+        .exchange(Exchange::EveryRealization)
+        .faults(FaultPlan::new(2024).crash_rank(3, 25).drop_fraction(0.05))
+        .heartbeat_period(Duration::from_millis(10))
+        .liveness_timeout(Duration::from_millis(150))
+        .monitor()
+        .output_dir(tempdir("demo-faulted"))
+        .run(uniform())
+        .unwrap();
+    let healthy = Parmonc::builder(1, 1)
+        .max_sample_volume(4_000)
+        .processors(8)
+        .seqnum(3)
+        .exchange(Exchange::EveryRealization)
+        .output_dir(tempdir("demo-healthy"))
+        .run(uniform())
+        .unwrap();
+
+    // The run completed and the dead rank's budget was made up.
+    assert!(
+        chaotic.lost_workers.contains(&3),
+        "{:?}",
+        chaotic.lost_workers
+    );
+    assert!(chaotic.reassigned_realizations > 0);
+    assert!(
+        chaotic.new_volume >= 4_000,
+        "volume {} must reach the target",
+        chaotic.new_volume
+    );
+
+    // Both estimates agree with truth and with each other within the
+    // combined reported stochastic error bars.
+    let (mf, ef) = (chaotic.summary.means[0], chaotic.summary.abs_errors[0]);
+    let (mh, eh) = (healthy.summary.means[0], healthy.summary.abs_errors[0]);
+    assert!((mf - 0.5).abs() <= ef, "faulted mean {mf} ± {ef}");
+    assert!((mh - 0.5).abs() <= eh, "healthy mean {mh} ± {eh}");
+    assert!((mf - mh).abs() <= ef + eh, "{mf} ± {ef} vs {mh} ± {eh}");
+
+    // The monitor saw the faults, and the whole trace is schema-valid.
+    let summary = chaotic.monitor.as_ref().expect("monitored run");
+    assert!(summary.faults_injected >= 1);
+    assert!(summary.workers_lost >= 1);
+    assert!(summary.reassigned_realizations > 0);
+    let kinds = validated_kinds(&chaotic);
+    for kind in ["fault_injected", "worker_lost", "work_reassigned"] {
+        assert!(kinds.contains(kind), "trace never recorded {kind}");
+    }
+}
+
+/// The CI chaos matrix, real-thread half: eight seeded fault plans,
+/// each crashing one rank and dropping 5 % of messages, must all
+/// complete at full volume with unbiased estimates.
+#[test]
+fn mpi_chaos_matrix_eight_seeds() {
+    for seed in 0..8u64 {
+        let victim = 1 + (seed as usize % 3);
+        let report = Parmonc::builder(1, 1)
+            .max_sample_volume(800)
+            .processors(4)
+            .seqnum(seed)
+            .exchange(Exchange::EveryRealization)
+            .faults(
+                FaultPlan::new(seed)
+                    .crash_rank(victim, 5)
+                    .drop_fraction(0.05),
+            )
+            .heartbeat_period(Duration::from_millis(10))
+            .liveness_timeout(Duration::from_millis(100))
+            .output_dir(tempdir(&format!("matrix-{seed}")))
+            .run(uniform())
+            .unwrap();
+        assert!(
+            report.lost_workers.contains(&victim),
+            "seed {seed}: lost {:?}",
+            report.lost_workers
+        );
+        assert!(
+            report.new_volume >= 800,
+            "seed {seed}: {}",
+            report.new_volume
+        );
+        assert!(
+            (report.summary.means[0] - 0.5).abs() < 0.06,
+            "seed {seed}: mean {}",
+            report.summary.means[0]
+        );
+    }
+}
+
+/// The CI chaos matrix, virtual-time half: the same shape of fault
+/// plan replayed through the cluster simulator, with schema-validated
+/// fault events.
+#[test]
+fn simcluster_chaos_matrix_eight_seeds() {
+    let config = ClusterConfig::paper_testbed(8);
+    for seed in 0..8u64 {
+        let victim = 1 + (seed as usize % 7);
+        let plan = FaultPlan::new(seed)
+            .crash_rank(victim, 10)
+            .drop_fraction(0.05);
+        let sink = Arc::new(MemorySink::new());
+        let monitor = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+        let run = simulate_faulted(&config, 800, &plan, 50.0, &monitor);
+        assert!(
+            run.lost_workers.contains(&victim),
+            "seed {seed}: lost {:?}",
+            run.lost_workers
+        );
+        assert!(
+            run.result.realizations >= 800,
+            "seed {seed}: volume {}",
+            run.result.realizations
+        );
+        let events = sink.snapshot();
+        let kinds: BTreeSet<&str> = events
+            .iter()
+            .map(|e| {
+                parmonc_obs::schema::validate_line(&e.to_json_line())
+                    .unwrap_or_else(|err| panic!("seed {seed}: schema violation: {err}"))
+            })
+            .collect();
+        for kind in ["fault_injected", "worker_lost", "work_reassigned"] {
+            assert!(kinds.contains(kind), "seed {seed}: no {kind} event");
+        }
+    }
+}
+
+/// Resume-after-crash satellite: a run whose primary checkpoint is
+/// torn mid-write resumes from the last-good backup generation, reports
+/// the recovery, and keeps the total volume monotone.
+#[test]
+fn mpi_torn_checkpoint_resume_chain() {
+    let dir = tempdir("torn-resume");
+    let first = Parmonc::builder(1, 1)
+        .max_sample_volume(400)
+        .processors(2)
+        .seqnum(0)
+        .exchange(Exchange::EveryRealization)
+        // Save on every collector pass so the run leaves several
+        // rotated checkpoint generations behind.
+        .averaging_period(Duration::ZERO)
+        .output_dir(&dir)
+        .run(uniform())
+        .unwrap();
+    assert!(!first.checkpoint_recovered);
+
+    // Tear the primary checkpoint the way an interrupted write would:
+    // keep only the first half, so the integrity footer is gone. The
+    // rotated backup from the previous save generation stays intact.
+    let rd = parmonc::ResultsDir::open(&dir).unwrap();
+    assert!(rd.checkpoint_backup_path().exists(), "no backup generation");
+    let good = std::fs::read_to_string(rd.checkpoint_path()).unwrap();
+    std::fs::write(rd.checkpoint_path(), &good[..good.len() / 2]).unwrap();
+
+    let resumed = Parmonc::builder(1, 1)
+        .max_sample_volume(400)
+        .processors(2)
+        .seqnum(1)
+        .resume(Resume::Resume)
+        .monitor()
+        .output_dir(&dir)
+        .run(uniform())
+        .unwrap();
+    assert!(resumed.checkpoint_recovered, "backup was not used");
+    // The backup holds some last-good generation: never more than the
+    // first run produced, and the chain's volume stays monotone.
+    assert!(resumed.resumed_volume >= 1 && resumed.resumed_volume <= 400);
+    assert_eq!(resumed.total_volume, resumed.resumed_volume + 400);
+    let summary = resumed.monitor.as_ref().expect("monitored run");
+    assert_eq!(summary.checkpoint_recoveries, 1);
+    assert!(validated_kinds(&resumed).contains("checkpoint_recovered"));
+}
+
+/// Framing satellite: a subtotal frame mutated by a seeded bit-flip or
+/// truncation must decode to a clean error or to some valid subtotal —
+/// never panic, never tear down the collector.
+#[test]
+fn mpi_framing_survives_mutated_frames() {
+    let mut acc = MatrixAccumulator::new(3, 2).unwrap();
+    acc.add(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+    acc.add(&[-1.0, 0.5, 0.0, 2.0, 8.0, 1.0]).unwrap();
+    let frame = Subtotal {
+        acc,
+        compute_seconds: 12.75,
+    }
+    .encode()
+    .to_vec();
+
+    let mut decoded_ok = 0u32;
+    let mut rejected = 0u32;
+    for seed in 0..256u64 {
+        let mut bytes = frame.clone();
+        let mutation = mutate_bytes(seed, &mut bytes);
+        match Subtotal::decode(Bytes::from(bytes)) {
+            Ok(_) => decoded_ok += 1,
+            Err(_) => rejected += 1,
+        }
+        // Truncations below the fixed header can never decode.
+        if let Mutation::Truncate { len } = mutation {
+            if len < 32 {
+                assert!(rejected > 0);
+            }
+        }
+    }
+    assert_eq!(decoded_ok + rejected, 256);
+    // Both outcomes occur across the seed sweep: flips inside an f64
+    // payload yield a (garbage but well-formed) subtotal, truncations
+    // are rejected — the collector must survive either.
+    assert!(rejected > 0, "no mutation was rejected");
+    assert!(decoded_ok > 0, "every mutation was rejected");
+}

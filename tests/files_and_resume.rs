@@ -161,8 +161,9 @@ fn genparam_file_controls_the_hierarchy() {
 }
 
 #[test]
-fn error_chain_is_preserved() {
-    // A corrupted checkpoint surfaces as Parse with the file name.
+fn corrupt_checkpoint_is_reported_as_corruption() {
+    // A checkpoint without a valid integrity footer (and no usable
+    // backup) surfaces as CorruptCheckpoint naming the file.
     let dir = tempdir("corrupt");
     let rd = parmonc::ResultsDir::create(&dir).unwrap();
     std::fs::write(rd.checkpoint_path(), "garbage\n").unwrap();
@@ -173,8 +174,14 @@ fn error_chain_is_preserved() {
         .run(uniform())
         .unwrap_err();
     match &err {
-        ParmoncError::Parse { file, .. } => assert!(file.contains("checkpoint.dat")),
-        other => panic!("expected Parse, got {other}"),
+        ParmoncError::CorruptCheckpoint { path, reason } => {
+            assert!(
+                path.to_string_lossy().contains("checkpoint.dat"),
+                "{}",
+                path.display()
+            );
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected CorruptCheckpoint, got {other}"),
     }
-    assert!(std::error::Error::source(&err).is_some());
 }
