@@ -1,11 +1,54 @@
 //! Message-passing substrate costs: subtotal encode/decode at the
-//! paper's message size, point-to-point round trip, and the gather
-//! pattern the collector runs.
+//! paper's message size, point-to-point round trip, the gather
+//! pattern the collector runs, and — via a counting global allocator —
+//! the bytes allocated per subtotal emit on the clone-encode path the
+//! runner used to take versus the pooled borrowed-encode path it takes
+//! now.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parmonc::messages::Subtotal;
-use parmonc_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use parmonc_mpi::{Tag, World};
+use parmonc_bench::harness::{
+    black_box, criterion_group, criterion_main, record_metric, Criterion, Throughput,
+};
+use parmonc_mpi::{BufferPool, Tag, World};
 use parmonc_stats::MatrixAccumulator;
+
+/// Counts every byte requested from the allocator; deallocations are
+/// deliberately not subtracted — the metric is allocation *traffic*
+/// per operation, which is what the hot path must avoid.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed
+// atomic side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Bytes allocated while running `f`.
+fn alloc_bytes_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    f();
+    ALLOCATED.load(Ordering::Relaxed) - before
+}
 
 fn paper_subtotal() -> Subtotal {
     let mut acc = MatrixAccumulator::new(1000, 2).unwrap();
@@ -76,5 +119,61 @@ fn bench_gather_pattern(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_codec, bench_ping_pong, bench_gather_pattern);
+/// Not a timing bench: measures allocator traffic per subtotal emit at
+/// the paper's 1000×2 message size, on the old clone-then-encode path
+/// and on the pooled borrowed-encode path, and records both as gated
+/// `alloc_*` metrics (deterministic, so the tolerance only absorbs
+/// allocator-metadata drift).
+fn bench_emit_alloc(c: &mut Criterion) {
+    let sub = paper_subtotal();
+    const EMITS: u64 = 100;
+
+    // Old path: clone the accumulator into a Subtotal, encode, drop.
+    let clone_bytes = alloc_bytes_during(|| {
+        for _ in 0..EMITS {
+            let snapshot = Subtotal {
+                acc: sub.acc.clone(),
+                compute_seconds: sub.compute_seconds,
+            };
+            black_box(snapshot.encode());
+        }
+    }) / EMITS;
+
+    // New path: encode straight from the borrowed accumulator into a
+    // recycled pool buffer; the "receiver" recycles after decoding.
+    let pool = BufferPool::default();
+    let mut slot = Some(paper_subtotal());
+    // One unmeasured warm-up cycle seeds the pool and the decode slot,
+    // so the measured figure is the steady state.
+    let payload = Subtotal::encode_state_pooled(&sub.acc, sub.compute_seconds, &pool);
+    Subtotal::decode_into(&payload, &mut slot).unwrap();
+    pool.recycle(payload);
+    let pooled_bytes = alloc_bytes_during(|| {
+        for _ in 0..EMITS {
+            let payload = Subtotal::encode_state_pooled(&sub.acc, sub.compute_seconds, &pool);
+            Subtotal::decode_into(&payload, &mut slot).unwrap();
+            black_box(pool.recycle(payload));
+        }
+    }) / EMITS;
+
+    println!("emit_alloc/clone_encode                  {clone_bytes} B/emit");
+    println!("emit_alloc/pooled_borrowed               {pooled_bytes} B/emit");
+    record_metric("alloc_bytes_per_emit_clone", clone_bytes as f64);
+    record_metric("alloc_bytes_per_emit_pooled", pooled_bytes as f64);
+    if pooled_bytes > 0 {
+        record_metric(
+            "ratio_emit_alloc_reduction",
+            clone_bytes as f64 / pooled_bytes as f64,
+        );
+    }
+    let _ = c;
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_ping_pong,
+    bench_gather_pattern,
+    bench_emit_alloc
+);
 criterion_main!(benches);

@@ -2,12 +2,17 @@
 //! paper-faithful 64-bit-limb paths — DESIGN.md ablation #1) against
 //! the 40-bit LCG the paper cites, xorshift64* and splitmix64.
 
-use parmonc_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use parmonc_bench::harness::{
+    black_box, criterion_group, criterion_main, median_of, record_metric, Criterion, Throughput,
+};
 use parmonc_rng::baseline::{Lcg40, SplitMix64, XorShift64Star};
 use parmonc_rng::limbs::{limb_step, U128Limbs};
-use parmonc_rng::{Lcg128, UniformSource, DEFAULT_MULTIPLIER};
+use parmonc_rng::{Lcg128, StreamHierarchy, StreamId, UniformSource, DEFAULT_MULTIPLIER};
 
 const BATCH: u64 = 10_000;
+
+/// Streams positioned per iteration of the stream-setup benches.
+const STREAMS: u64 = 1_000;
 
 fn bench_f64_sources(c: &mut Criterion) {
     let mut group = c.benchmark_group("next_f64");
@@ -74,6 +79,92 @@ fn bench_f64_sources(c: &mut Criterion) {
     group.finish();
 }
 
+/// The hot-path batched draw against the scalar loop it replaces —
+/// same generator, bitwise-identical output. The 2-lane fill keeps the
+/// multiply pipeline busy by construction; the scalar slice loop relies
+/// on LLVM reassociating the wrapping-mul recurrence to get the same
+/// effect, so the measured ratio hovers near 1 (see
+/// docs/performance.md) — the metric guards against either path
+/// regressing badly relative to the other.
+fn bench_batched_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fill_f64");
+    group.throughput(Throughput::Elements(BATCH));
+
+    group.bench_function("scalar_loop", |b| {
+        let mut rng = Lcg128::new();
+        let mut buf = vec![0.0f64; BATCH as usize];
+        b.iter(|| {
+            for d in buf.iter_mut() {
+                *d = rng.next_f64();
+            }
+            black_box(buf[buf.len() - 1])
+        })
+    });
+
+    group.bench_function("batched", |b| {
+        let mut rng = Lcg128::new();
+        let mut buf = vec![0.0f64; BATCH as usize];
+        b.iter(|| {
+            rng.fill_f64(&mut buf);
+            black_box(buf[buf.len() - 1])
+        })
+    });
+
+    group.finish();
+    if let (Some(scalar), Some(batched)) = (
+        median_of("fill_f64/scalar_loop"),
+        median_of("fill_f64/batched"),
+    ) {
+        record_metric("ratio_fill_f64_speedup", scalar / batched);
+        record_metric("draws_per_s_fill_f64", BATCH as f64 / batched);
+    }
+}
+
+/// Positioning the next realization stream: a fresh three-modpow
+/// `realization_stream` per realization against the incremental
+/// `StreamCursor` (one 128-bit multiply per advance).
+fn bench_stream_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_setup");
+    group.throughput(Throughput::Elements(STREAMS));
+
+    group.bench_function("modpow_per_realization", |b| {
+        let h = StreamHierarchy::default();
+        let mut r = 0u64;
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..STREAMS {
+                let mut s = h
+                    .realization_stream(StreamId::new(1, 0, r))
+                    .expect("within capacity");
+                acc += s.next_f64();
+                r += 1;
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("cursor_incremental", |b| {
+        let h = StreamHierarchy::default();
+        let mut cursor = h.cursor(StreamId::new(1, 0, 0)).expect("within capacity");
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..STREAMS {
+                let mut s = cursor.next_stream().expect("within capacity");
+                acc += s.next_f64();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+    if let (Some(modpow), Some(cursor)) = (
+        median_of("stream_setup/modpow_per_realization"),
+        median_of("stream_setup/cursor_incremental"),
+    ) {
+        record_metric("ratio_cursor_stream_speedup", modpow / cursor);
+    }
+}
+
 fn bench_normal_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("normal_pair");
     group.throughput(Throughput::Elements(BATCH));
@@ -101,5 +192,11 @@ fn bench_normal_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_f64_sources, bench_normal_sampling);
+criterion_group!(
+    benches,
+    bench_f64_sources,
+    bench_batched_fill,
+    bench_stream_setup,
+    bench_normal_sampling
+);
 criterion_main!(benches);

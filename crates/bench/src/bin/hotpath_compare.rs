@@ -1,0 +1,78 @@
+//! Compares a freshly generated bench metric file against the
+//! committed baseline and fails (exit 1) on hot-path regressions.
+//!
+//! ```text
+//! hotpath_compare <baseline.json> <current.json> [tolerance]
+//! ```
+//!
+//! Only `ratio_*` (higher is better) and `alloc_*` (lower is better)
+//! keys gate; raw timing keys are machine-dependent and informational.
+//! The default tolerance is 25%.
+
+use std::process::ExitCode;
+
+use parmonc_bench::hotpath::{compare, parse_flat_json, DEFAULT_TOLERANCE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(baseline_path), Some(current_path)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: hotpath_compare <baseline.json> <current.json> [tolerance]");
+        return ExitCode::from(2);
+    };
+    let tolerance = match args.get(3) {
+        Some(t) => match t.parse::<f64>() {
+            Ok(v) if v > 0.0 && v < 1.0 => v,
+            _ => {
+                eprintln!("tolerance must be a fraction in (0, 1), got {t}");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_TOLERANCE,
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(parse_flat_json(&text)),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let gated = baseline
+        .iter()
+        .filter(|(k, _)| k.starts_with("ratio_") || k.starts_with("alloc_"))
+        .count();
+    let regressions = compare(&baseline, &current, tolerance);
+    println!(
+        "hotpath_compare: {gated} gated metric(s), tolerance {:.0}%",
+        tolerance * 100.0
+    );
+    for (key, base) in baseline
+        .iter()
+        .filter(|(k, _)| k.starts_with("ratio_") || k.starts_with("alloc_"))
+    {
+        let now = current.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        match now {
+            Some(v) => println!("  {key}: baseline {base:.4e}, current {v:.4e}"),
+            None => println!("  {key}: baseline {base:.4e}, current MISSING"),
+        }
+    }
+    if regressions.is_empty() {
+        println!("OK: no hot-path regressions");
+        return ExitCode::SUCCESS;
+    }
+    for r in &regressions {
+        if r.current.is_nan() {
+            eprintln!("REGRESSION {}: missing from current run", r.key);
+        } else {
+            eprintln!(
+                "REGRESSION {}: baseline {:.4e} -> current {:.4e}",
+                r.key, r.baseline, r.current
+            );
+        }
+    }
+    ExitCode::FAILURE
+}

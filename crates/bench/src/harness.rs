@@ -11,8 +11,23 @@
 //! ```text
 //! next_f64/lcg128_u128     time: [12.1 µs 12.3 µs 13.0 µs]  813.0 Melem/s
 //! ```
+//!
+//! # Machine-readable output
+//!
+//! Every benchmark's median (seconds per iteration) is also recorded
+//! in an in-process metric registry under its full id, and benches can
+//! add derived metrics (ratios, per-element costs, allocation counts)
+//! with [`record_metric`]. When the `PARMONC_BENCH_JSON` environment
+//! variable names a file, [`write_json_if_requested`] (called by
+//! [`criterion_main!`] after all groups ran) merges the registry into
+//! that file as a flat JSON object — the input of the
+//! `hotpath_compare` regression checker. Setting `PARMONC_BENCH_FAST`
+//! shrinks sample sizes and calibration targets so CI smoke runs
+//! finish in seconds.
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -24,6 +39,90 @@ const DEFAULT_SAMPLE_SIZE: usize = 12;
 /// Calibration target: iteration counts double until one sample takes
 /// at least this long, so timer resolution never dominates.
 const MIN_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// [`MIN_SAMPLE_TIME`] under `PARMONC_BENCH_FAST` — noisier numbers,
+/// but the smoke job only checks coarse within-run ratios.
+const FAST_SAMPLE_TIME: Duration = Duration::from_micros(500);
+
+/// Sample-size cap under `PARMONC_BENCH_FAST`.
+const FAST_SAMPLE_SIZE: usize = 3;
+
+/// Whether `PARMONC_BENCH_FAST` is set: reduced iteration counts for
+/// CI smoke runs.
+#[must_use]
+pub fn fast_mode() -> bool {
+    std::env::var_os("PARMONC_BENCH_FAST").is_some()
+}
+
+fn metrics() -> &'static Mutex<BTreeMap<String, f64>> {
+    static METRICS: OnceLock<Mutex<BTreeMap<String, f64>>> = OnceLock::new();
+    METRICS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Records a named metric for the JSON report. Benches use this for
+/// derived quantities — speedup ratios (`ratio_*` keys, checked by
+/// `hotpath_compare` as higher-is-better), allocation counts
+/// (`alloc_*` keys, lower-is-better) and per-element costs. Non-finite
+/// values are dropped (they would not be representable in JSON).
+pub fn record_metric(key: &str, value: f64) {
+    if value.is_finite() {
+        metrics()
+            .lock()
+            .expect("metric registry lock poisoned")
+            .insert(key.to_string(), value);
+    }
+}
+
+/// The recorded median seconds-per-iteration of an already-run
+/// benchmark, by its full id (`group/function[/param]`). Lets a bench
+/// derive ratio metrics between its own benchmarks.
+#[must_use]
+pub fn median_of(id: &str) -> Option<f64> {
+    metrics()
+        .lock()
+        .expect("metric registry lock poisoned")
+        .get(id)
+        .copied()
+}
+
+/// Serializes the metric registry as a flat JSON object, keys sorted.
+fn metrics_to_json(map: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{k}\": {v:e}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// If `PARMONC_BENCH_JSON` names a file, merges the metric registry
+/// into it (existing keys from other bench binaries are kept; keys
+/// recorded by this process win). Called automatically at the end of
+/// [`criterion_main!`]'s generated `main`.
+pub fn write_json_if_requested() {
+    let Some(path) = std::env::var_os("PARMONC_BENCH_JSON") else {
+        return;
+    };
+    let mut merged: BTreeMap<String, f64> = std::fs::read_to_string(&path)
+        .ok()
+        .map(|s| crate::hotpath::parse_flat_json(&s).into_iter().collect())
+        .unwrap_or_default();
+    merged.extend(
+        metrics()
+            .lock()
+            .expect("metric registry lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v)),
+    );
+    if let Err(e) = std::fs::write(&path, metrics_to_json(&merged)) {
+        eprintln!("warning: could not write {}: {e}", path.to_string_lossy());
+    }
+}
 
 /// Units a benchmark processes per iteration, for derived throughput.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +208,11 @@ fn run_benchmark(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) -> f64 {
+    let (min_sample_time, sample_size) = if fast_mode() {
+        (FAST_SAMPLE_TIME, sample_size.min(FAST_SAMPLE_SIZE))
+    } else {
+        (MIN_SAMPLE_TIME, sample_size)
+    };
     // Calibration doubles the iteration count until one sample is
     // long enough to time reliably; the first run also warms caches.
     let mut iters = 1u64;
@@ -118,7 +222,7 @@ fn run_benchmark(
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        if b.elapsed >= MIN_SAMPLE_TIME || iters >= 1 << 22 {
+        if b.elapsed >= min_sample_time || iters >= 1 << 22 {
             break;
         }
         iters *= 2;
@@ -154,6 +258,7 @@ fn run_benchmark(
         format_time(median),
         format_time(max),
     );
+    record_metric(id, median);
     median
 }
 
@@ -254,6 +359,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::harness::write_json_if_requested();
         }
     };
 }

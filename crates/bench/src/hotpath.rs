@@ -1,0 +1,173 @@
+//! The hot-path performance-regression harness: parsing and comparing
+//! the flat-JSON metric files the bench harness emits
+//! (`PARMONC_BENCH_JSON`, see [`crate::harness`]).
+//!
+//! The committed baseline lives at `BENCH_hotpath.json` in the repo
+//! root; the `hotpath_compare` binary re-runs the comparison against a
+//! freshly generated file and fails on regressions. Only two key
+//! families gate:
+//!
+//! * `ratio_*` — within-run speedup ratios (batched vs scalar draw,
+//!   cursor vs modpow stream setup, clone-emit vs pooled-emit
+//!   allocation). These divide out machine speed, so they are stable
+//!   across hosts; a regression means the optimization itself decayed.
+//! * `alloc_*` — allocation counts per operation, which are
+//!   deterministic.
+//!
+//! Raw timing keys (everything else) are recorded for humans reading
+//! the file but are *not* gated: absolute nanoseconds differ between
+//! the committing machine and CI runners.
+
+use std::collections::BTreeMap;
+
+/// Fraction a gated metric may degrade before the comparison fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Parses a flat JSON object of string keys to numbers — exactly the
+/// shape [`crate::harness::write_json_if_requested`] emits. Tolerant
+/// of whitespace; anything that is not a `"key": number` pair is
+/// skipped rather than an error (the file is machine-written, and a
+/// best-effort parse keeps the checker dependency-free).
+#[must_use]
+pub fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('"') {
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        let key = &rest[..close];
+        rest = &rest[close + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        let after = rest[colon + 1..].trim_start();
+        let end = after
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(after.len());
+        if let Ok(v) = after[..end].parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+        rest = &after[end..];
+    }
+    out
+}
+
+/// One gated metric that moved the wrong way past tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Metric key.
+    pub key: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+}
+
+/// Compares `current` metrics against `baseline` and returns the
+/// regressions. `ratio_*` keys are higher-is-better (fail when the
+/// current ratio drops more than `tolerance` below baseline);
+/// `alloc_*` keys are lower-is-better (fail when the current count
+/// exceeds baseline by more than `tolerance`). Gated keys present in
+/// the baseline but missing from `current` also fail — a silently
+/// deleted bench must not pass the gate.
+#[must_use]
+pub fn compare(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<Regression> {
+    let cur: BTreeMap<&str, f64> = current.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut regressions = Vec::new();
+    for (key, base) in baseline {
+        let higher_is_better = key.starts_with("ratio_");
+        let lower_is_better = key.starts_with("alloc_");
+        if !higher_is_better && !lower_is_better {
+            continue;
+        }
+        let Some(&now) = cur.get(key.as_str()) else {
+            regressions.push(Regression {
+                key: key.clone(),
+                baseline: *base,
+                current: f64::NAN,
+            });
+            continue;
+        };
+        let failed = if higher_is_better {
+            now < base * (1.0 - tolerance)
+        } else {
+            now > base * (1.0 + tolerance)
+        };
+        if failed {
+            regressions.push(Regression {
+                key: key.clone(),
+                baseline: *base,
+                current: now,
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_json() {
+        let parsed = parse_flat_json(
+            "{\n  \"alloc_x\": 128,\n  \"ratio_y\": 3.5e0,\n  \"time_z\": 1.2e-6\n}\n",
+        );
+        assert_eq!(
+            parsed,
+            vec![
+                ("alloc_x".to_string(), 128.0),
+                ("ratio_y".to_string(), 3.5),
+                ("time_z".to_string(), 1.2e-6),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_skips_garbage() {
+        assert!(parse_flat_json("not json at all").is_empty());
+        assert_eq!(parse_flat_json("{\"k\": 2}").len(), 1);
+    }
+
+    #[test]
+    fn ratio_keys_fail_downward_only() {
+        let base = vec![("ratio_speedup".to_string(), 4.0)];
+        // 4.0 -> 3.2 is a 20% drop: within the 25% tolerance.
+        assert!(compare(&base, &[("ratio_speedup".to_string(), 3.2)], 0.25).is_empty());
+        // 4.0 -> 2.9 is past tolerance.
+        let r = compare(&base, &[("ratio_speedup".to_string(), 2.9)], 0.25);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].key, "ratio_speedup");
+        // Improvements never fail.
+        assert!(compare(&base, &[("ratio_speedup".to_string(), 9.0)], 0.25).is_empty());
+    }
+
+    #[test]
+    fn alloc_keys_fail_upward_only() {
+        let base = vec![("alloc_bytes".to_string(), 100.0)];
+        assert!(compare(&base, &[("alloc_bytes".to_string(), 120.0)], 0.25).is_empty());
+        assert_eq!(
+            compare(&base, &[("alloc_bytes".to_string(), 130.0)], 0.25).len(),
+            1
+        );
+        assert!(compare(&base, &[("alloc_bytes".to_string(), 1.0)], 0.25).is_empty());
+    }
+
+    #[test]
+    fn ungated_keys_are_informational() {
+        let base = vec![("full_run/strict".to_string(), 1.0)];
+        assert!(compare(&base, &[("full_run/strict".to_string(), 99.0)], 0.25).is_empty());
+        // ... and may be missing entirely.
+        assert!(compare(&base, &[], 0.25).is_empty());
+    }
+
+    #[test]
+    fn missing_gated_key_fails() {
+        let base = vec![("ratio_speedup".to_string(), 4.0)];
+        let r = compare(&base, &[], 0.25);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].current.is_nan());
+    }
+}

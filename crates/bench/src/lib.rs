@@ -4,6 +4,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod harness;
+pub mod hotpath;
 
 use std::time::Duration;
 

@@ -452,9 +452,25 @@ impl ResultsDir {
         worker: usize,
         subtotal: &Subtotal,
     ) -> Result<(), ParmoncError> {
+        self.save_worker_state(worker, &subtotal.acc, subtotal.compute_seconds)
+    }
+
+    /// [`ResultsDir::save_worker_subtotal`] from borrowed accumulator
+    /// state — lets the simulation loop checkpoint its running
+    /// accumulator without cloning it into a [`Subtotal`] first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] on write failure.
+    pub fn save_worker_state(
+        &self,
+        worker: usize,
+        acc: &MatrixAccumulator,
+        compute_seconds: f64,
+    ) -> Result<(), ParmoncError> {
         self.write_atomic(
             &self.worker_path(worker),
-            &encode_checkpoint(&subtotal.acc, subtotal.compute_seconds),
+            &encode_checkpoint(acc, compute_seconds),
         )
     }
 

@@ -11,6 +11,7 @@
 
 use parmonc_mpi::bytes::Bytes;
 use parmonc_mpi::envelope::{PayloadReader, PayloadWriter};
+use parmonc_mpi::pool::BufferPool;
 use parmonc_mpi::{MpiError, Tag};
 use parmonc_stats::MatrixAccumulator;
 
@@ -44,18 +45,59 @@ pub struct Subtotal {
 }
 
 impl Subtotal {
+    /// Exact encoded size for a `nrow × ncol` accumulator: the 32-byte
+    /// header (`nrow`, `ncol`, `count`, `compute_seconds`) plus two
+    /// length-prefixed `f64` matrices.
+    #[must_use]
+    pub fn encoded_len(nrow: usize, ncol: usize) -> usize {
+        48 + 16 * (nrow * ncol)
+    }
+
     /// Serializes into a message payload.
     #[must_use]
     pub fn encode(&self) -> Bytes {
-        let (nrow, ncol) = self.acc.shape();
-        let n = nrow * ncol;
-        let mut w = PayloadWriter::with_capacity(48 + 16 * n);
+        Self::encode_state(&self.acc, self.compute_seconds)
+    }
+
+    /// Serializes *borrowed* accumulator state — the hot-path variant
+    /// that lets a worker emit its running accumulator without cloning
+    /// it into a `Subtotal` first. Bitwise identical to
+    /// [`Subtotal::encode`]. The buffer is pre-sized to the exact
+    /// encoded length, so encoding never reallocates mid-write.
+    #[must_use]
+    pub fn encode_state(acc: &MatrixAccumulator, compute_seconds: f64) -> Bytes {
+        let (nrow, ncol) = acc.shape();
+        let w = PayloadWriter::with_capacity(Self::encoded_len(nrow, ncol));
+        Self::encode_into_writer(acc, compute_seconds, w)
+    }
+
+    /// [`Subtotal::encode_state`] into a recycled buffer from `pool`
+    /// (the allocation-free steady state of the strictest exchange
+    /// mode): takes a retired send buffer, encodes, and freezes without
+    /// copying. The receiver recycles the payload back after decoding.
+    #[must_use]
+    pub fn encode_state_pooled(
+        acc: &MatrixAccumulator,
+        compute_seconds: f64,
+        pool: &BufferPool,
+    ) -> Bytes {
+        let (nrow, ncol) = acc.shape();
+        let w = PayloadWriter::from_buffer(pool.take(Self::encoded_len(nrow, ncol)));
+        Self::encode_into_writer(acc, compute_seconds, w)
+    }
+
+    fn encode_into_writer(
+        acc: &MatrixAccumulator,
+        compute_seconds: f64,
+        mut w: PayloadWriter,
+    ) -> Bytes {
+        let (nrow, ncol) = acc.shape();
         w.put_u64(nrow as u64);
         w.put_u64(ncol as u64);
-        w.put_u64(self.acc.count());
-        w.put_f64(self.compute_seconds);
-        w.put_f64_slice(self.acc.sums());
-        w.put_f64_slice(self.acc.sums_sq());
+        w.put_u64(acc.count());
+        w.put_f64(compute_seconds);
+        w.put_f64_slice(acc.sums());
+        w.put_f64_slice(acc.sums_sq());
         w.finish()
     }
 
@@ -84,6 +126,44 @@ impl Subtotal {
             compute_seconds,
         })
     }
+
+    /// Deserializes into `slot` in place. When `slot` already holds a
+    /// subtotal of the same shape, its matrices are overwritten without
+    /// allocating — the collector's steady state, where every worker
+    /// re-sends the same shape each pass. Otherwise this falls back to
+    /// a fresh [`Subtotal::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Subtotal::decode`]. If the in-place path fails midway
+    /// the slot's contents are unspecified; callers treat decode errors
+    /// as fatal for the stream.
+    pub fn decode_into(payload: &Bytes, slot: &mut Option<Subtotal>) -> Result<(), ParmoncError> {
+        let mut r = PayloadReader::new(payload.clone());
+        let nrow = r.get_u64()? as usize;
+        let ncol = r.get_u64()? as usize;
+        let count = r.get_u64()?;
+        let compute_seconds = r.get_f64()?;
+        match slot {
+            Some(sub) if sub.acc.shape() == (nrow, ncol) => {
+                let (sums, sums_sq, cnt) = sub.acc.raw_parts_mut();
+                r.get_f64_slice_into(sums)?;
+                r.get_f64_slice_into(sums_sq)?;
+                if r.remaining() != 0 {
+                    return Err(ParmoncError::Mpi(MpiError::MalformedPayload {
+                        what: "trailing bytes after subtotal",
+                    }));
+                }
+                *cnt = count;
+                sub.compute_seconds = compute_seconds;
+                Ok(())
+            }
+            _ => {
+                *slot = Some(Self::decode(payload.clone())?);
+                Ok(())
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +185,61 @@ mod tests {
         let s = sample();
         let decoded = Subtotal::decode(s.encode()).unwrap();
         assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn borrowed_and_pooled_encodes_are_bitwise_identical() {
+        let s = sample();
+        let owned = s.encode();
+        let borrowed = Subtotal::encode_state(&s.acc, s.compute_seconds);
+        assert_eq!(owned, borrowed);
+        let pool = BufferPool::default();
+        let pooled = Subtotal::encode_state_pooled(&s.acc, s.compute_seconds, &pool);
+        assert_eq!(owned, pooled);
+        // Round-trip recycling: decode, reclaim, and the next encode
+        // reuses the allocation.
+        assert!(pool.recycle(pooled));
+        let again = Subtotal::encode_state_pooled(&s.acc, s.compute_seconds, &pool);
+        assert_eq!(owned, again);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let s = sample();
+        let (nrow, ncol) = s.acc.shape();
+        assert_eq!(s.encode().len(), Subtotal::encoded_len(nrow, ncol));
+    }
+
+    #[test]
+    fn decode_into_reuses_matching_slot() {
+        let s = sample();
+        let payload = s.encode();
+        // Same-shape slot: overwritten in place.
+        let mut acc0 = MatrixAccumulator::new(3, 2).unwrap();
+        acc0.add(&[9.0; 6]).unwrap();
+        let mut slot = Some(Subtotal {
+            acc: acc0,
+            compute_seconds: 0.0,
+        });
+        let sums_ptr = slot.as_ref().unwrap().acc.sums().as_ptr();
+        Subtotal::decode_into(&payload, &mut slot).unwrap();
+        assert_eq!(slot.as_ref().unwrap(), &s);
+        assert_eq!(
+            slot.as_ref().unwrap().acc.sums().as_ptr(),
+            sums_ptr,
+            "same-shape decode must not reallocate"
+        );
+        // Empty slot: falls back to a fresh decode.
+        let mut empty = None;
+        Subtotal::decode_into(&payload, &mut empty).unwrap();
+        assert_eq!(empty.as_ref().unwrap(), &s);
+        // Shape change: replaced, not corrupted.
+        let mut other = Some(Subtotal {
+            acc: MatrixAccumulator::new(2, 2).unwrap(),
+            compute_seconds: 0.0,
+        });
+        Subtotal::decode_into(&payload, &mut other).unwrap();
+        assert_eq!(other.as_ref().unwrap(), &s);
     }
 
     #[test]

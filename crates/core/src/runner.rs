@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use parmonc_faults::{FaultHandle, FaultKind};
-use parmonc_mpi::{Communicator, Envelope, MpiError, World};
+use parmonc_mpi::{Bytes, Communicator, Envelope, MpiError, World};
 use parmonc_obs::{
     CollectorActivity, EventKind, JsonlSink, MemorySink, Monitor, MonitorSummary, RunMode,
 };
@@ -98,9 +98,32 @@ impl CollectorState {
         }
     }
 
-    fn update(&mut self, rank: usize, subtotal: Subtotal) {
-        self.latest[rank] = Some(subtotal);
-        self.updated_at[rank] = Some(Instant::now());
+    /// Decodes a worker's cumulative subtotal *over* its previous
+    /// snapshot (same shape ⇒ the matrices are overwritten in place,
+    /// no allocation) and stamps its arrival time. The collector's
+    /// steady state: every rank re-sends the same shape each pass.
+    fn absorb(&mut self, rank: usize, payload: &Bytes, now: Instant) -> Result<(), ParmoncError> {
+        Subtotal::decode_into(payload, &mut self.latest[rank])?;
+        self.updated_at[rank] = Some(now);
+        Ok(())
+    }
+
+    /// Refreshes rank 0's own snapshot from its borrowed running
+    /// accumulator, reusing the previous snapshot's allocations.
+    fn update_own(&mut self, acc: &MatrixAccumulator, compute_seconds: f64, now: Instant) {
+        match &mut self.latest[0] {
+            Some(sub) => {
+                sub.acc.clone_from(acc);
+                sub.compute_seconds = compute_seconds;
+            }
+            slot => {
+                *slot = Some(Subtotal {
+                    acc: acc.clone(),
+                    compute_seconds,
+                });
+            }
+        }
+        self.updated_at[0] = Some(now);
     }
 
     /// Age of the stalest per-rank snapshot folded into an averaging
@@ -422,7 +445,7 @@ fn simulate_quota<R: Realize + ?Sized>(
     realize: &R,
     start: Instant,
     crash_after: Option<u64>,
-    mut emit: impl FnMut(&Subtotal, bool) -> Result<(), ParmoncError>,
+    mut emit: impl FnMut(&MatrixAccumulator, f64, bool) -> Result<(), ParmoncError>,
     mut heartbeat: impl FnMut() -> Result<(), ParmoncError>,
     mut poll_control: impl FnMut() -> Result<WorkerControl, ParmoncError>,
 ) -> Result<Option<Subtotal>, ParmoncError> {
@@ -433,6 +456,11 @@ fn simulate_quota<R: Realize + ?Sized>(
     let mut last_pass = Instant::now();
     let mut last_contact = Instant::now();
     let mut last_file_write: Option<Instant> = None;
+    // One incremental cursor instead of a fresh three-level leapfrog
+    // positioning (three 128-bit modpows) per realization; advancing to
+    // the next realization stream is a single 128-bit multiply and
+    // yields bit-identical streams (see `parmonc_rng::StreamCursor`).
+    let mut cursor = hierarchy.cursor(StreamId::new(config.seqnum, rank as u64, 0))?;
 
     let mut r: u64 = 0;
     loop {
@@ -450,43 +478,43 @@ fn simulate_quota<R: Realize + ?Sized>(
             return Ok(None);
         }
         out.fill(0.0);
-        let mut stream =
-            hierarchy.realization_stream(StreamId::new(config.seqnum, rank as u64, r))?;
+        let mut stream = cursor.next_stream()?;
+        // Two clock reads per realization: the pair timing the user
+        // routine. Every other time-gated check below reuses `now` via
+        // `duration_since`, which is pure arithmetic — clock reads are
+        // syscalls and used to dominate the runtime's per-realization
+        // overhead in the strictest exchange mode.
         let t0 = Instant::now();
         realize.realize(&mut stream, &mut out);
-        compute_seconds += t0.elapsed().as_secs_f64();
+        let now = Instant::now();
+        compute_seconds += now.duration_since(t0).as_secs_f64();
         acc.add(&out)?;
         r += 1;
 
         let due = match config.exchange {
             Exchange::EveryRealization => true,
-            Exchange::Periodic => last_pass.elapsed() >= config.pass_period,
+            Exchange::Periodic => now.duration_since(last_pass) >= config.pass_period,
         };
         if due && r < quota {
-            let subtotal = Subtotal {
-                acc: acc.clone(),
-                compute_seconds,
-            };
-            emit(&subtotal, false)?;
-            last_contact = Instant::now();
-            if last_file_write.is_none_or(|t| t.elapsed() >= WORKER_FILE_PERIOD) {
-                dir.save_worker_subtotal(rank, &subtotal)?;
-                last_file_write = Some(Instant::now());
+            emit(&acc, compute_seconds, false)?;
+            last_contact = now;
+            if last_file_write.is_none_or(|t| now.duration_since(t) >= WORKER_FILE_PERIOD) {
+                dir.save_worker_state(rank, &acc, compute_seconds)?;
+                last_file_write = Some(now);
             }
-            last_pass = Instant::now();
-        } else if last_contact.elapsed() >= config.heartbeat_period {
+            last_pass = now;
+        } else if now.duration_since(last_contact) >= config.heartbeat_period {
             heartbeat()?;
-            last_contact = Instant::now();
+            last_contact = now;
         }
     }
 
-    let final_subtotal = Subtotal {
+    dir.save_worker_state(rank, &acc, compute_seconds)?;
+    emit(&acc, compute_seconds, true)?;
+    Ok(Some(Subtotal {
         acc,
         compute_seconds,
-    };
-    dir.save_worker_subtotal(rank, &final_subtotal)?;
-    emit(&final_subtotal, true)?;
-    Ok(Some(final_subtotal))
+    }))
 }
 
 #[allow(clippy::too_many_arguments)] // internal: one call site
@@ -516,16 +544,26 @@ fn worker_loop<R: Realize + ?Sized>(
         realize,
         start,
         crash_after,
-        |sub, is_final| {
-            monitor.emit(
-                Some(rank),
-                EventKind::Realizations {
-                    completed: sub.acc.count(),
-                    compute_seconds: sub.compute_seconds,
-                },
-            );
+        |acc, compute_seconds, is_final| {
+            // Skip event construction (and the timestamp it takes)
+            // entirely when no monitor sink is attached — this runs
+            // once per realization in the strictest exchange mode.
+            if monitor.is_enabled() {
+                monitor.emit(
+                    Some(rank),
+                    EventKind::Realizations {
+                        completed: acc.count(),
+                        compute_seconds,
+                    },
+                );
+            }
             let tag = if is_final { TAG_FINAL } else { TAG_SUBTOTAL };
-            match comm.borrow().send_bytes(0, tag, sub.encode()) {
+            let c = comm.borrow();
+            // Encode straight from the borrowed accumulator into a
+            // recycled send buffer: no `acc.clone()`, and in steady
+            // state no allocation either.
+            let payload = Subtotal::encode_state_pooled(acc, compute_seconds, c.pool());
+            match c.send_bytes(0, tag, payload) {
                 Ok(()) => Ok(()),
                 Err(MpiError::Disconnected) => {
                     lost_collector.set(true);
@@ -605,8 +643,8 @@ impl Liveness {
         }
     }
 
-    fn heard_from(&mut self, rank: usize) {
-        self.last_heard[rank] = Instant::now();
+    fn heard_from(&mut self, rank: usize, now: Instant) {
+        self.last_heard[rank] = now;
     }
 }
 
@@ -727,12 +765,16 @@ fn check_liveness(
     monitor: &Monitor,
     stopping: bool,
     force: bool,
+    now: Instant,
 ) -> Result<(), ParmoncError> {
     let dead: Vec<usize> = (1..live.alive.len())
         .filter(|&m| {
             live.alive[m]
                 && !finals[m]
-                && (force || live.last_heard[m].elapsed() >= config.liveness_timeout)
+                && (force
+                    || now
+                        .checked_duration_since(live.last_heard[m])
+                        .is_some_and(|age| age >= config.liveness_timeout))
         })
         .collect();
     for m in dead {
@@ -758,16 +800,17 @@ fn collector_handle(
     monitor: &Monitor,
     start: Instant,
     stopping: bool,
+    now: Instant,
 ) -> Result<bool, ParmoncError> {
     let source = env.source;
-    live.heard_from(source);
+    live.heard_from(source, now);
     if env.tag == TAG_HEARTBEAT {
         return Ok(false);
     }
     let is_final = env.tag == TAG_FINAL;
-    let sub = Subtotal::decode(env.payload)?;
-    let count = sub.acc.count();
-    state.update(source, sub);
+    state.absorb(source, &env.payload, now)?;
+    comm.recycle(env.payload);
+    let count = state.latest[source].as_ref().map_or(0, |s| s.acc.count());
     if is_final {
         finals[source] = true;
         let expected = config.quota(source) + live.extended[source];
@@ -822,6 +865,11 @@ fn rank0_loop<R: Realize + ?Sized>(
     let mut last_pass = Instant::now();
     let mut last_file_write: Option<Instant> = None;
     let mut stop_broadcast = false;
+    // Incremental stream cursor for rank 0's own simulation; persists
+    // across the main loop *and* the reassignment-absorbing loop below,
+    // so every advance is one 128-bit multiply instead of three
+    // modpows, on exactly the same stream coordinates.
+    let mut cursor = hierarchy.cursor(StreamId::new(config.seqnum, 0, 0))?;
 
     let mut r: u64 = 0;
     loop {
@@ -839,45 +887,39 @@ fn rank0_loop<R: Realize + ?Sized>(
         }
         tracker.switch(CollectorActivity::Computing);
         out.fill(0.0);
-        let mut stream = hierarchy.realization_stream(StreamId::new(config.seqnum, 0, r))?;
+        let mut stream = cursor.next_stream()?;
         let t0 = Instant::now();
         realize.realize(&mut stream, &mut out);
-        compute_seconds += t0.elapsed().as_secs_f64();
+        // The one post-realization clock read; every time-gated check
+        // below reuses it, so the runtime adds exactly two `Instant`
+        // syscalls per realization regardless of exchange mode.
+        let now = Instant::now();
+        compute_seconds += now.duration_since(t0).as_secs_f64();
         acc.add(&out)?;
         r += 1;
 
         let due = match config.exchange {
             Exchange::EveryRealization => true,
-            Exchange::Periodic => last_pass.elapsed() >= config.pass_period,
+            Exchange::Periodic => now.duration_since(last_pass) >= config.pass_period,
         };
         if due {
-            monitor.emit(
-                Some(0),
-                EventKind::Realizations {
-                    completed: acc.count(),
-                    compute_seconds,
-                },
-            );
-            state.update(
-                0,
-                Subtotal {
-                    acc: acc.clone(),
-                    compute_seconds,
-                },
-            );
-            if last_file_write.is_none_or(|t| t.elapsed() >= WORKER_FILE_PERIOD) {
-                dir.save_worker_subtotal(
-                    0,
-                    &Subtotal {
-                        acc: acc.clone(),
+            if monitor.is_enabled() {
+                monitor.emit(
+                    Some(0),
+                    EventKind::Realizations {
+                        completed: acc.count(),
                         compute_seconds,
                     },
-                )?;
-                last_file_write = Some(Instant::now());
+                );
             }
-            last_pass = Instant::now();
+            state.update_own(&acc, compute_seconds, now);
+            if last_file_write.is_none_or(|t| now.duration_since(t) >= WORKER_FILE_PERIOD) {
+                dir.save_worker_state(0, &acc, compute_seconds)?;
+                last_file_write = Some(now);
+            }
+            last_pass = now;
         }
-        let drain_started = Instant::now();
+        let drain_started = monitor.is_enabled().then(Instant::now);
         let mut received = 0usize;
         while let Some(env) = comm.try_recv(None, None) {
             if collector_handle(
@@ -890,12 +932,15 @@ fn rank0_loop<R: Realize + ?Sized>(
                 monitor,
                 start,
                 stop_broadcast,
+                now,
             )? {
                 received += 1;
             }
         }
         if received > 0 {
-            tracker.punch(CollectorActivity::Receiving, drain_started);
+            if let Some(t) = drain_started {
+                tracker.punch(CollectorActivity::Receiving, t);
+            }
         }
         check_liveness(
             &mut live,
@@ -906,18 +951,13 @@ fn rank0_loop<R: Realize + ?Sized>(
             monitor,
             stop_broadcast,
             false,
+            now,
         )?;
-        if last_average.elapsed() >= config.averaging_period {
+        if now.duration_since(last_average) >= config.averaging_period {
             // The running rank-0 subtotal must be visible to the
             // save-point (and to the error-control check below) even
             // between passes.
-            state.update(
-                0,
-                Subtotal {
-                    acc: acc.clone(),
-                    compute_seconds,
-                },
-            );
+            state.update_own(&acc, compute_seconds, now);
             let save_started = Instant::now();
             let eps_max = save_point(dir, config, &state, start, monitor)?;
             tracker.punch(CollectorActivity::Saving, save_started);
@@ -930,19 +970,17 @@ fn rank0_loop<R: Realize + ?Sized>(
             }
         }
     }
-    let own_final = Subtotal {
-        acc: acc.clone(),
-        compute_seconds,
-    };
-    monitor.emit(
-        Some(0),
-        EventKind::Realizations {
-            completed: own_final.acc.count(),
-            compute_seconds: own_final.compute_seconds,
-        },
-    );
-    dir.save_worker_subtotal(0, &own_final)?;
-    state.update(0, own_final);
+    if monitor.is_enabled() {
+        monitor.emit(
+            Some(0),
+            EventKind::Realizations {
+                completed: acc.count(),
+                compute_seconds,
+            },
+        );
+    }
+    dir.save_worker_state(0, &acc, compute_seconds)?;
+    state.update_own(&acc, compute_seconds, Instant::now());
     finals[0] = true;
 
     // Wait for every *live* worker's final message, sweeping for dead
@@ -963,27 +1001,23 @@ fn rank0_loop<R: Realize + ?Sized>(
                         break;
                     }
                     out.fill(0.0);
-                    let mut stream =
-                        hierarchy.realization_stream(StreamId::new(config.seqnum, 0, r))?;
+                    let mut stream = cursor.next_stream()?;
                     let t0 = Instant::now();
                     realize.realize(&mut stream, &mut out);
                     compute_seconds += t0.elapsed().as_secs_f64();
                     acc.add(&out)?;
-                    r += 1;
                 }
-                let snapshot = Subtotal {
-                    acc: acc.clone(),
-                    compute_seconds,
-                };
-                monitor.emit(
-                    Some(0),
-                    EventKind::Realizations {
-                        completed: snapshot.acc.count(),
-                        compute_seconds,
-                    },
-                );
-                dir.save_worker_subtotal(0, &snapshot)?;
-                state.update(0, snapshot);
+                if monitor.is_enabled() {
+                    monitor.emit(
+                        Some(0),
+                        EventKind::Realizations {
+                            completed: acc.count(),
+                            compute_seconds,
+                        },
+                    );
+                }
+                dir.save_worker_state(0, &acc, compute_seconds)?;
+                state.update_own(&acc, compute_seconds, Instant::now());
                 continue;
             }
         }
@@ -1004,6 +1038,7 @@ fn rank0_loop<R: Realize + ?Sized>(
                     monitor,
                     start,
                     stop_broadcast,
+                    received_at,
                 )? {
                     tracker.punch(CollectorActivity::Receiving, received_at);
                 }
@@ -1021,6 +1056,7 @@ fn rank0_loop<R: Realize + ?Sized>(
                     monitor,
                     stop_broadcast,
                     true,
+                    Instant::now(),
                 )?;
             }
             Err(e) => return Err(e.into()),
@@ -1034,6 +1070,7 @@ fn rank0_loop<R: Realize + ?Sized>(
             monitor,
             stop_broadcast,
             false,
+            Instant::now(),
         )?;
         if last_average.elapsed() >= config.averaging_period {
             let save_started = Instant::now();
@@ -1057,8 +1094,8 @@ fn rank0_loop<R: Realize + ?Sized>(
         if env.tag == TAG_HEARTBEAT {
             continue;
         }
-        let sub = Subtotal::decode(env.payload)?;
-        state.update(env.source, sub);
+        state.absorb(env.source, &env.payload, drain_started)?;
+        comm.recycle(env.payload);
         drained = true;
     }
     if drained {

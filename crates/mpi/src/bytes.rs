@@ -2,18 +2,25 @@
 //!
 //! The substrate moves *serialized* payloads between ranks, and many
 //! ranks may hold views of the same broadcast payload, so the buffer
-//! must be cheaply cloneable. [`Bytes`] is an `Arc<[u8]>` plus a view
-//! window: clones and [`Bytes::slice`] are O(1), and the little-endian
-//! accessors consume from the front the way the envelope codec reads.
-//! [`BytesMut`] is the append-only builder that freezes into a
-//! [`Bytes`]. Only the surface the workspace actually uses is
+//! must be cheaply cloneable. [`Bytes`] is an `Arc<Vec<u8>>` plus a
+//! view window: clones and [`Bytes::slice`] are O(1), and the
+//! little-endian accessors consume from the front the way the envelope
+//! codec reads. [`BytesMut`] is the append-only builder that freezes
+//! into a [`Bytes`]. Only the surface the workspace actually uses is
 //! implemented.
+//!
+//! The `Arc<Vec<u8>>` backing (rather than `Arc<[u8]>`) matters on the
+//! hot path: `Vec<u8> → Arc<[u8]>` always copies the contents into a
+//! fresh allocation, so freezing an encoded payload used to cost a
+//! second full copy. Freezing into `Arc<Vec<u8>>` just moves the Vec,
+//! and [`Bytes::try_reclaim`] recovers the allocation for reuse once
+//! the last handle drops its claim.
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable byte buffer (a shared window into an
-/// `Arc<[u8]>`).
+/// `Arc<Vec<u8>>`).
 ///
 /// # Examples
 ///
@@ -27,7 +34,7 @@ use std::sync::Arc;
 /// ```
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -107,6 +114,18 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Recovers the backing allocation if this is the last handle to
+    /// it, for reuse through a send-buffer freelist. Returns `None`
+    /// (dropping `self` normally) while other clones or slices are
+    /// still alive. The returned `Vec` is the *whole* backing buffer,
+    /// cleared, regardless of the window this handle viewed.
+    #[must_use]
+    pub fn try_reclaim(self) -> Option<Vec<u8>> {
+        let mut v = Arc::try_unwrap(self.data).ok()?;
+        v.clear();
+        Some(v)
+    }
+
     fn take(&mut self, n: usize) -> &[u8] {
         assert!(self.len() >= n, "buffer underflow");
         let out = &self.data[self.start..self.start + n];
@@ -155,10 +174,11 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Wraps the `Vec` without copying its contents.
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Self {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -198,6 +218,26 @@ impl BytesMut {
         Self {
             buf: Vec::with_capacity(capacity),
         }
+    }
+
+    /// A builder reusing a recycled allocation (cleared, capacity
+    /// kept) — the freelist path of
+    /// [`BufferPool`](crate::pool::BufferPool).
+    #[must_use]
+    pub fn from_vec(mut v: Vec<u8>) -> Self {
+        v.clear();
+        Self { buf: v }
+    }
+
+    /// Ensures room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Spare capacity already reserved beyond the current length.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     /// Current length in bytes.
@@ -274,6 +314,36 @@ mod tests {
     fn underflow_panics() {
         let mut b = Bytes::from(vec![1, 2, 3]);
         let _ = b.get_u64_le();
+    }
+
+    #[test]
+    fn try_reclaim_recovers_sole_allocation() {
+        let b = Bytes::from(Vec::with_capacity(64));
+        let v = b.try_reclaim().expect("sole handle");
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 64);
+    }
+
+    #[test]
+    fn try_reclaim_refuses_while_shared() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let view = b.slice(1..);
+        assert!(b.try_reclaim().is_none(), "slice still alive");
+        assert_eq!(view.to_vec(), vec![2, 3]);
+        let v = view.try_reclaim().expect("last handle");
+        // The whole backing buffer comes back, cleared.
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 3);
+    }
+
+    #[test]
+    fn from_vec_builder_reuses_allocation() {
+        let recycled = Vec::with_capacity(128);
+        let mut w = BytesMut::from_vec(recycled);
+        assert!(w.is_empty());
+        assert!(w.capacity() >= 128);
+        w.put_u64_le(5);
+        assert_eq!(w.freeze().to_vec()[0], 5);
     }
 
     #[test]

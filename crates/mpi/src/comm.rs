@@ -13,6 +13,7 @@ use parmonc_obs::{EventKind, Monitor};
 use crate::bytes::Bytes;
 use crate::envelope::{Envelope, Tag};
 use crate::error::MpiError;
+use crate::pool::BufferPool;
 
 /// A message the fault plane is holding back: it leaves the sender
 /// only after `remaining` further sends from the same rank.
@@ -71,6 +72,10 @@ pub struct Communicator {
     /// fault plane is enabled; flushed on [`Drop`] so a held message is
     /// late, never lost (unless scripted as a drop).
     delayed: RefCell<Vec<DelayedSend>>,
+    /// Send-buffer freelist shared by all ranks of this world: senders
+    /// take encode buffers from it, receivers recycle decoded payloads
+    /// into it.
+    pool: Arc<BufferPool>,
 }
 
 impl Communicator {
@@ -84,6 +89,21 @@ impl Communicator {
     #[must_use]
     pub fn size(&self) -> usize {
         self.senders.len()
+    }
+
+    /// The world-shared send-buffer freelist. Senders take pre-sized
+    /// encode buffers from it so steady-state traffic reuses retired
+    /// allocations instead of allocating per message.
+    #[must_use]
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Returns a fully consumed payload's allocation to the world's
+    /// freelist (the receiver-side half of the recycling contract).
+    /// No-op if other handles to the payload are still alive.
+    pub fn recycle(&self, payload: Bytes) {
+        let _ = self.pool.recycle(payload);
     }
 
     /// Bumps the destination's queue-depth counter in a monitored
@@ -468,6 +488,7 @@ impl World {
         let stats = monitor
             .is_enabled()
             .then(|| Arc::new(ChannelStats::new(size)));
+        let pool = Arc::new(BufferPool::default());
         Ok(inboxes
             .into_iter()
             .enumerate()
@@ -480,6 +501,7 @@ impl World {
                 stats: stats.clone(),
                 faults: faults.clone(),
                 delayed: RefCell::new(Vec::new()),
+                pool: Arc::clone(&pool),
             })
             .collect())
     }

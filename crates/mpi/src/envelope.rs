@@ -83,6 +83,14 @@ impl PayloadWriter {
         }
     }
 
+    /// Creates a writer over a caller-supplied builder — typically one
+    /// taken from a [`BufferPool`](crate::pool::BufferPool) so encoding
+    /// reuses a retired send buffer instead of allocating.
+    #[must_use]
+    pub fn from_buffer(buf: BytesMut) -> Self {
+        Self { buf }
+    }
+
     /// Appends a `u64` (little-endian).
     pub fn put_u64(&mut self, v: u64) {
         self.buf.put_u64_le(v);
@@ -95,6 +103,7 @@ impl PayloadWriter {
 
     /// Appends a length-prefixed slice of `f64`s.
     pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.buf.reserve(8 + 8 * vs.len());
         self.buf.put_u64_le(vs.len() as u64);
         for v in vs {
             self.buf.put_f64_le(*v);
@@ -165,6 +174,32 @@ impl PayloadReader {
             });
         }
         Ok((0..len).map(|_| self.buf.get_f64_le()).collect())
+    }
+
+    /// Reads a length-prefixed `f64` sequence into an existing slice,
+    /// without allocating — the in-place decode used on the collector
+    /// hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpiError::MalformedPayload`] if the encoded length
+    /// differs from `out.len()` or the payload is truncated.
+    pub fn get_f64_slice_into(&mut self, out: &mut [f64]) -> Result<(), MpiError> {
+        let len = self.get_u64()? as usize;
+        if len != out.len() {
+            return Err(MpiError::MalformedPayload {
+                what: "f64 vector length mismatch",
+            });
+        }
+        if self.buf.remaining() < len.saturating_mul(8) {
+            return Err(MpiError::MalformedPayload {
+                what: "truncated f64 vector",
+            });
+        }
+        for slot in out {
+            *slot = self.buf.get_f64_le();
+        }
+        Ok(())
     }
 
     /// Bytes not yet consumed.
@@ -240,6 +275,31 @@ mod tests {
         assert!(payload.len() > 32_000 && payload.len() < 40_000);
     }
 
+    #[test]
+    fn slice_into_checks_length_and_truncation() {
+        let mut w = PayloadWriter::new();
+        w.put_f64_slice(&[1.0, 2.0, 3.0]);
+        let payload = w.finish();
+
+        let mut exact = [0.0f64; 3];
+        PayloadReader::new(payload.clone())
+            .get_f64_slice_into(&mut exact)
+            .unwrap();
+        assert_eq!(exact, [1.0, 2.0, 3.0]);
+
+        let mut wrong = [0.0f64; 2];
+        assert!(matches!(
+            PayloadReader::new(payload.clone()).get_f64_slice_into(&mut wrong),
+            Err(MpiError::MalformedPayload { .. })
+        ));
+
+        let mut truncated = PayloadReader::new(payload.slice(..16));
+        assert!(matches!(
+            truncated.get_f64_slice_into(&mut exact),
+            Err(MpiError::MalformedPayload { .. })
+        ));
+    }
+
     proptest! {
         #[test]
         fn f64_vec_round_trips(vs in collection::vec(any::<f64>(), 0..500)) {
@@ -249,6 +309,21 @@ mod tests {
             let decoded = r.get_f64_vec().unwrap();
             prop_assert_eq!(decoded.len(), vs.len());
             for (a, b) in decoded.iter().zip(&vs) {
+                prop_assert!(a.to_bits() == b.to_bits());
+            }
+        }
+
+        /// The in-place decode agrees bit for bit with the allocating
+        /// decode.
+        #[test]
+        fn slice_into_matches_vec_decode(vs in collection::vec(any::<f64>(), 0..200)) {
+            let mut w = PayloadWriter::new();
+            w.put_f64_slice(&vs);
+            let payload = w.finish();
+            let by_vec = PayloadReader::new(payload.clone()).get_f64_vec().unwrap();
+            let mut in_place = vec![0.0f64; vs.len()];
+            PayloadReader::new(payload).get_f64_slice_into(&mut in_place).unwrap();
+            for (a, b) in in_place.iter().zip(&by_vec) {
                 prop_assert!(a.to_bits() == b.to_bits());
             }
         }

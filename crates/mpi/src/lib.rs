@@ -53,8 +53,10 @@ pub mod collective;
 pub mod comm;
 pub mod envelope;
 pub mod error;
+pub mod pool;
 
 pub use bytes::{Bytes, BytesMut};
 pub use comm::{Communicator, World};
 pub use envelope::{Envelope, Tag};
 pub use error::MpiError;
+pub use pool::BufferPool;

@@ -18,6 +18,7 @@
 
 use core::fmt;
 
+use crate::cursor::StreamCursor;
 use crate::lcg128::Lcg128;
 use crate::multiplier::{leap_multiplier, DEFAULT_MULTIPLIER, USABLE_EXPONENT};
 use crate::stream::RealizationStream;
@@ -359,6 +360,38 @@ impl StreamHierarchy {
             Lcg128::with_state_and_multiplier(state, self.multiplier),
             id,
             1u128 << self.config.nr(),
+        ))
+    }
+
+    /// Creates an incremental [`StreamCursor`] positioned at `start`.
+    ///
+    /// The cursor pays the three `modpow`s once, here; afterwards every
+    /// [`StreamCursor::next_stream`] costs a single 128-bit multiply
+    /// and produces streams bitwise identical to
+    /// [`realization_stream`](Self::realization_stream). This is the
+    /// fast path for the runner's in-order consumption of rank-local
+    /// realization streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HierarchyError::OutOfCapacity`] if any coordinate of
+    /// `start` exceeds the level's capacity.
+    pub fn cursor(&self, start: StreamId) -> Result<StreamCursor, HierarchyError> {
+        self.check(start)?;
+        let e = crate::multiplier::modpow(self.leap_e, u128::from(start.experiment));
+        let p = crate::multiplier::modpow(self.leap_p, u128::from(start.processor));
+        let r = crate::multiplier::modpow(self.leap_r, u128::from(start.realization));
+        let experiment_start = e;
+        let processor_start = e.wrapping_mul(p);
+        let state = processor_start.wrapping_mul(r);
+        Ok(StreamCursor::from_positioned(
+            self.config,
+            self.multiplier,
+            (self.leap_e, self.leap_p, self.leap_r),
+            start,
+            experiment_start,
+            processor_start,
+            state,
         ))
     }
 

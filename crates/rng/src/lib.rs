@@ -47,6 +47,9 @@
 //!   `A(n_e)`, `A(n_p)`, `A(n_r)`, and [`modpow`](multiplier::modpow).
 //! * [`hierarchy`] — [`StreamHierarchy`], [`LeapConfig`] and capacity
 //!   arithmetic (how many experiments/processors/realizations exist).
+//! * [`cursor`] — [`StreamCursor`], the incremental in-order walker the
+//!   runner hot loop uses: one 128-bit multiply per stream instead of a
+//!   `modpow` per stream, bitwise identical to the from-scratch API.
 //! * [`stream`] — [`RealizationStream`], the `rnd128()`-style handle a
 //!   user routine draws base random numbers from.
 //! * [`distributions`] — transformations of base random numbers into the
@@ -58,6 +61,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod baseline;
+pub mod cursor;
 pub mod distributions;
 pub mod hierarchy;
 pub mod lcg128;
@@ -65,6 +69,7 @@ pub mod limbs;
 pub mod multiplier;
 pub mod stream;
 
+pub use cursor::StreamCursor;
 pub use hierarchy::{HierarchyError, LeapConfig, StreamHierarchy, StreamId};
 pub use lcg128::Lcg128;
 pub use multiplier::{DEFAULT_MULTIPLIER, MODULUS_BITS};

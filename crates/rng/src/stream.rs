@@ -45,6 +45,11 @@ impl UniformSource for Lcg128 {
     fn next_u64(&mut self) -> u64 {
         Lcg128::next_u64(self)
     }
+
+    #[inline]
+    fn fill_f64(&mut self, dest: &mut [f64]) {
+        Lcg128::fill_f64(self, dest);
+    }
 }
 
 /// The positioned generator handed to a user realization routine.
@@ -141,6 +146,17 @@ impl RealizationStream {
         self.drawn += 1;
         self.rng.next_u64()
     }
+
+    /// Fills `dest` with consecutive base random numbers using the
+    /// batched [`Lcg128::fill_f64`] path — bitwise identical to calling
+    /// [`Self::next_f64`] `dest.len()` times, including the draw
+    /// accounting against the subsequence budget.
+    pub fn fill_f64(&mut self, dest: &mut [f64]) {
+        self.rng.fill_f64(dest);
+        self.drawn = self
+            .drawn
+            .saturating_add(u64::try_from(dest.len()).unwrap_or(u64::MAX));
+    }
 }
 
 impl UniformSource for RealizationStream {
@@ -152,6 +168,11 @@ impl UniformSource for RealizationStream {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         RealizationStream::next_u64(self)
+    }
+
+    #[inline]
+    fn fill_f64(&mut self, dest: &mut [f64]) {
+        RealizationStream::fill_f64(self, dest);
     }
 }
 
@@ -217,6 +238,34 @@ mod tests {
         s.fill_f64(&mut buf);
         assert!(buf.iter().all(|a| *a > 0.0 && *a < 1.0));
         assert_eq!(s.drawn(), 16);
+    }
+
+    #[test]
+    fn fill_f64_matches_scalar_draws_and_accounting() {
+        // Lengths straddling the 4-lane boundary, on a stream that has
+        // already consumed a few draws.
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 63, 64, 65, 100] {
+            let mut batched = stream(1, 2, 3);
+            let _ = batched.next_f64();
+            let mut scalar = batched.clone();
+            let mut buf = vec![0.0f64; len];
+            batched.fill_f64(&mut buf);
+            for (i, x) in buf.iter().enumerate() {
+                assert_eq!(*x, scalar.next_f64(), "len={len} draw {i} differs");
+            }
+            assert_eq!(batched, scalar, "len={len} state/accounting diverged");
+        }
+    }
+
+    #[test]
+    fn fill_f64_respects_exhaustion_accounting() {
+        let cfg = LeapConfig::new(12, 8, 3).unwrap(); // budget 2^3 = 8
+        let h = StreamHierarchy::new(cfg);
+        let mut s = h.realization_stream(StreamId::new(0, 0, 0)).unwrap();
+        let mut buf = [0.0f64; 8];
+        s.fill_f64(&mut buf);
+        assert_eq!(s.drawn(), 8);
+        assert!(s.is_exhausted());
     }
 
     #[test]

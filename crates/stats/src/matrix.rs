@@ -26,13 +26,80 @@ use crate::moments::ScalarAccumulator;
 /// assert_eq!(s.means, vec![2.0, 2.0, 2.0, 2.0]);
 /// # Ok::<(), parmonc_stats::StatsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct MatrixAccumulator {
     nrow: usize,
     ncol: usize,
     sums: Vec<f64>,
     sums_sq: Vec<f64>,
     count: u64,
+}
+
+impl Clone for MatrixAccumulator {
+    fn clone(&self) -> Self {
+        Self {
+            nrow: self.nrow,
+            ncol: self.ncol,
+            sums: self.sums.clone(),
+            sums_sq: self.sums_sq.clone(),
+            count: self.count,
+        }
+    }
+
+    /// Overwrites `self` reusing its existing allocations when the
+    /// shapes match — the collector refreshes per-worker snapshots in
+    /// place through this, so steady-state collection does not
+    /// allocate.
+    fn clone_from(&mut self, source: &Self) {
+        self.nrow = source.nrow;
+        self.ncol = source.ncol;
+        self.sums.clone_from(&source.sums);
+        self.sums_sq.clone_from(&source.sums_sq);
+        self.count = source.count;
+    }
+}
+
+/// Elementwise `dst[k] += src[k]` in fixed-width chunks so LLVM can
+/// emit vector adds. Bitwise identical to the plain scalar loop: each
+/// lane touches only its own element, so no floating-point operation
+/// is reordered or reassociated.
+fn add_assign_slices(dst: &mut [f64], src: &[f64]) {
+    const LANES: usize = 8;
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (dc, sc) in d.by_ref().zip(s.by_ref()) {
+        for k in 0..LANES {
+            dc[k] += sc[k];
+        }
+    }
+    for (x, y) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *x += y;
+    }
+}
+
+/// Entrywise `sums[k] += z[k]; sums_sq[k] += z[k]²` in fixed-width
+/// chunks (same bitwise-safety argument as [`add_assign_slices`]).
+fn accumulate_realization(sums: &mut [f64], sums_sq: &mut [f64], z: &[f64]) {
+    const LANES: usize = 8;
+    let mut s = sums.chunks_exact_mut(LANES);
+    let mut q = sums_sq.chunks_exact_mut(LANES);
+    let mut zc = z.chunks_exact(LANES);
+    for ((sc, qc), c) in s.by_ref().zip(q.by_ref()).zip(zc.by_ref()) {
+        for k in 0..LANES {
+            let v = c[k];
+            sc[k] += v;
+            qc[k] += v * v;
+        }
+    }
+    for ((x, y), &v) in s
+        .into_remainder()
+        .iter_mut()
+        .zip(q.into_remainder().iter_mut())
+        .zip(zc.remainder())
+    {
+        *x += v;
+        *y += v * v;
+    }
 }
 
 /// The full averaged output for a matrix estimator: the four matrices
@@ -147,6 +214,16 @@ impl MatrixAccumulator {
         &self.sums_sq
     }
 
+    /// Mutable access to the raw state
+    /// (`[Σζ_ij]`, `[Σζ²_ij]`, `l`) for in-place deserialization —
+    /// the same trust level as [`MatrixAccumulator::from_parts`], but
+    /// reusing this accumulator's allocations. The shape is fixed;
+    /// only the contents may be overwritten.
+    #[must_use]
+    pub fn raw_parts_mut(&mut self) -> (&mut [f64], &mut [f64], &mut u64) {
+        (&mut self.sums, &mut self.sums_sq, &mut self.count)
+    }
+
     /// Records one matrix realization given as a flat row-major slice.
     ///
     /// # Errors
@@ -165,15 +242,7 @@ impl MatrixAccumulator {
         {
             return Err(StatsError::NonFinite { index, value });
         }
-        for ((s, q), &z) in self
-            .sums
-            .iter_mut()
-            .zip(self.sums_sq.iter_mut())
-            .zip(realization)
-        {
-            *s += z;
-            *q += z * z;
-        }
+        accumulate_realization(&mut self.sums, &mut self.sums_sq, realization);
         self.count += 1;
         Ok(())
     }
@@ -191,12 +260,8 @@ impl MatrixAccumulator {
                 right: other.shape(),
             });
         }
-        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
-            *s += o;
-        }
-        for (s, o) in self.sums_sq.iter_mut().zip(&other.sums_sq) {
-            *s += o;
-        }
+        add_assign_slices(&mut self.sums, &other.sums);
+        add_assign_slices(&mut self.sums_sq, &other.sums_sq);
         self.count += other.count;
         Ok(())
     }
@@ -368,6 +433,43 @@ mod tests {
             MatrixAccumulator::from_parts(0, 2, vec![], vec![], 0),
             Err(StatsError::EmptyShape)
         ));
+    }
+
+    #[test]
+    fn clone_from_reuses_allocations_and_matches_clone() {
+        let mut src = acc2x2();
+        src.add(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut dst = acc2x2();
+        let sums_ptr = dst.sums().as_ptr();
+        dst.clone_from(&src);
+        assert_eq!(dst, src.clone());
+        assert_eq!(
+            dst.sums().as_ptr(),
+            sums_ptr,
+            "same-shape clone_from must not reallocate"
+        );
+    }
+
+    #[test]
+    fn chunked_loops_match_scalar_reference() {
+        // Lengths around the 8-lane boundary, including a remainder.
+        for n in [1usize, 7, 8, 9, 16, 19] {
+            let z: Vec<f64> = (0..n).map(|k| 0.1 + k as f64).collect();
+            let mut acc = MatrixAccumulator::new(1, n).unwrap();
+            acc.add(&z).unwrap();
+            acc.add(&z).unwrap();
+            let mut other = MatrixAccumulator::new(1, n).unwrap();
+            other.add(&z).unwrap();
+            acc.merge(&other).unwrap();
+            for (k, zk) in z.iter().enumerate() {
+                // Three adds of the same value: exact scalar reference.
+                let s = zk + zk + zk;
+                let q = zk * zk + zk * zk + zk * zk;
+                assert_eq!(acc.sums()[k], s, "n={n} k={k}");
+                assert_eq!(acc.sums_sq()[k], q, "n={n} k={k}");
+            }
+            assert_eq!(acc.count(), 3);
+        }
     }
 
     #[test]
