@@ -1,15 +1,20 @@
 //! Monitor overhead: the acceptance criterion for the observability
-//! layer is that a monitored run (events streaming to both the jsonl
-//! file and the in-memory summary sink) costs less than 2% wall time
-//! over the identical unmonitored run. This bench measures both paths
-//! on the laptop-scale diffusion workload and enforces the bound on
-//! the fastest run of each arm.
+//! layer is that a monitored run (events streaming to the jsonl file,
+//! the in-memory summary sink and the metrics plane) costs less than
+//! 2% wall time over the identical unmonitored run. This bench
+//! measures both paths on the laptop-scale diffusion workload,
+//! enforces the bound on the fastest run of each arm, and records the
+//! measured overhead as `bound_metrics_plane_overhead_pct` so
+//! `hotpath_compare` gates it against the committed 2% budget in
+//! `BENCH_hotpath.json`.
 
 use std::path::Path;
 use std::time::Instant;
 
 use parmonc::{Exchange, Parmonc, RealizeFn};
-use parmonc_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
+use parmonc_bench::harness::{
+    black_box, criterion_group, criterion_main, fast_mode, record_metric, Criterion,
+};
 use parmonc_bench::ScaledDiffusion;
 
 /// One full run of the Section 4 performance program at laptop scale;
@@ -18,12 +23,14 @@ use parmonc_bench::ScaledDiffusion;
 fn run_once(monitored: bool, dir: &Path) -> f64 {
     // 40 Euler steps per output point ≈ 1 s per run: long enough that
     // the few-millisecond scheduler jitter at the noise floor is well
-    // under the 2% bound being certified.
+    // under the 2% bound being certified. Fast mode trades certainty
+    // for turnaround with a quarter of the volume.
     let workload = ScaledDiffusion::new(40);
     let scheme = workload.scheme().clone();
+    let volume = if fast_mode() { 150 } else { 600 };
     let _ = std::fs::remove_dir_all(dir);
     let mut builder = Parmonc::builder(ScaledDiffusion::POINTS, 2)
-        .max_sample_volume(600)
+        .max_sample_volume(volume)
         .processors(2)
         .exchange(Exchange::EveryRealization)
         .output_dir(dir);
@@ -64,10 +71,10 @@ fn bench_monitor_overhead(c: &mut Criterion) {
     // The <2% acceptance bound, on the fastest run of each arm.
     // Samples are interleaved with alternating order so slow drift in
     // machine load hits both arms equally.
-    const SAMPLES: usize = 13;
-    let mut off = Vec::with_capacity(SAMPLES);
-    let mut on = Vec::with_capacity(SAMPLES);
-    for i in 0..SAMPLES {
+    let samples: usize = if fast_mode() { 5 } else { 13 };
+    let mut off = Vec::with_capacity(samples);
+    let mut on = Vec::with_capacity(samples);
+    for i in 0..samples {
         if i % 2 == 0 {
             off.push(run_once(false, &dir));
             on.push(run_once(true, &dir));
@@ -84,8 +91,11 @@ fn bench_monitor_overhead(c: &mut Criterion) {
          overhead {:.2}%",
         overhead * 100.0
     );
+    record_metric("bound_metrics_plane_overhead_pct", overhead * 100.0);
+    // The hard assert only runs at full sample counts; the fast-mode
+    // measurement still feeds the (tolerance-widened) hotpath gate.
     assert!(
-        overhead < 0.02,
+        fast_mode() || overhead < 0.02,
         "monitored run must cost <2% over unmonitored, got {:.2}%",
         overhead * 100.0
     );

@@ -7,13 +7,15 @@
 //! fig2_sim --panel c       # one panel
 //! fig2_sim --efficiency    # speedup/efficiency table for M = 1..512
 //! fig2_sim --ablation      # tiny-tau and perpass sweeps
+//! fig2_sim --trace out.jsonl [volume]   # monitored run, jsonl trace
 //! ```
 
 use std::process::ExitCode;
 
+use parmonc_obs::{JsonlSink, Monitor};
 use parmonc_simcluster::figure2::{panel_series, render_panel, Panel};
 use parmonc_simcluster::hybrid::{compare_quota_modes, NodeClass};
-use parmonc_simcluster::{simulate, ClusterConfig, ExchangePolicy};
+use parmonc_simcluster::{simulate, simulate_monitored, ClusterConfig, ExchangePolicy};
 
 fn panels(filter: Option<char>) {
     for panel in Panel::ALL {
@@ -113,6 +115,24 @@ fn hybrid() {
     println!(" dynamic load balancing — the PARMONC design carries over.)");
 }
 
+/// `--trace out.jsonl [volume]`: a monitored virtual-time run of the
+/// paper's 4-processor testbed, writing the event trace for post-hoc
+/// analysis with `parmonc-trace` (the CI trace-analysis step compares
+/// it against a real-thread run of the same volume).
+fn write_trace(path: &str, volume: u64) -> Result<(), String> {
+    let sink = JsonlSink::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    let monitor = Monitor::new(vec![Box::new(sink)]);
+    let run = simulate_monitored(&ClusterConfig::paper_testbed(4), volume, &monitor);
+    if monitor.flush() > 0 {
+        return Err(format!("dropped trace lines while writing {path}"));
+    }
+    println!(
+        "simulated {volume} realizations on 4 virtual processors (T_comp {:.1} s); trace in {path}",
+        run.result.t_comp
+    );
+    Ok(())
+}
+
 fn check_shape() -> bool {
     // The acceptance criterion recorded in EXPERIMENTS.md: adjacent
     // curves in every panel scale by their processor ratio within 7%.
@@ -149,9 +169,34 @@ fn main() -> ExitCode {
         Some("--efficiency") => efficiency_table(),
         Some("--ablation") => ablation(),
         Some("--hybrid") => hybrid(),
+        Some("--trace") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: fig2_sim --trace <out.jsonl> [volume]");
+                return ExitCode::FAILURE;
+            };
+            let volume = match args.get(2) {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("volume must be an integer, got {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => 20_000,
+            };
+            return match write_trace(path, volume) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("fig2_sim: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Some(other) => {
             eprintln!("unknown option {other:?}");
-            eprintln!("usage: fig2_sim [--panel <a|b|c|d> | --efficiency | --ablation | --hybrid]");
+            eprintln!(
+                "usage: fig2_sim [--panel <a|b|c|d> | --efficiency | --ablation | --hybrid | --trace <out.jsonl> [volume]]"
+            );
             return ExitCode::FAILURE;
         }
     }

@@ -5,9 +5,9 @@
 //! hotpath_compare <baseline.json> <current.json> [tolerance]
 //! ```
 //!
-//! Only `ratio_*` (higher is better) and `alloc_*` (lower is better)
-//! keys gate; raw timing keys are machine-dependent and informational.
-//! The default tolerance is 25%.
+//! Only `ratio_*` (higher is better), `alloc_*` and `bound_*` (lower
+//! is better) keys gate; raw timing keys are machine-dependent and
+//! informational. The default tolerance is 25%.
 
 use std::process::ExitCode;
 
@@ -41,19 +41,15 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let gated = baseline
-        .iter()
-        .filter(|(k, _)| k.starts_with("ratio_") || k.starts_with("alloc_"))
-        .count();
+    let is_gated =
+        |k: &str| k.starts_with("ratio_") || k.starts_with("alloc_") || k.starts_with("bound_");
+    let gated = baseline.iter().filter(|(k, _)| is_gated(k)).count();
     let regressions = compare(&baseline, &current, tolerance);
     println!(
         "hotpath_compare: {gated} gated metric(s), tolerance {:.0}%",
         tolerance * 100.0
     );
-    for (key, base) in baseline
-        .iter()
-        .filter(|(k, _)| k.starts_with("ratio_") || k.starts_with("alloc_"))
-    {
+    for (key, base) in baseline.iter().filter(|(k, _)| is_gated(k)) {
         let now = current.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
         match now {
             Some(v) => println!("  {key}: baseline {base:.4e}, current {v:.4e}"),

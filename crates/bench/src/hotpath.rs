@@ -4,7 +4,7 @@
 //!
 //! The committed baseline lives at `BENCH_hotpath.json` in the repo
 //! root; the `hotpath_compare` binary re-runs the comparison against a
-//! freshly generated file and fails on regressions. Only two key
+//! freshly generated file and fails on regressions. Only three key
 //! families gate:
 //!
 //! * `ratio_*` — within-run speedup ratios (batched vs scalar draw,
@@ -13,6 +13,11 @@
 //!   across hosts; a regression means the optimization itself decayed.
 //! * `alloc_*` — allocation counts per operation, which are
 //!   deterministic.
+//! * `bound_*` — policy ceilings: the committed baseline value *is*
+//!   the budget (e.g. `bound_metrics_plane_overhead_pct` caps the
+//!   metrics-plane overhead at 2 %), and the measurement must stay at
+//!   or below it. Like ratios, these are within-run quantities, so
+//!   they divide out machine speed.
 //!
 //! Raw timing keys (everything else) are recorded for humans reading
 //! the file but are *not* gated: absolute nanoseconds differ between
@@ -64,10 +69,10 @@ pub struct Regression {
 /// Compares `current` metrics against `baseline` and returns the
 /// regressions. `ratio_*` keys are higher-is-better (fail when the
 /// current ratio drops more than `tolerance` below baseline);
-/// `alloc_*` keys are lower-is-better (fail when the current count
-/// exceeds baseline by more than `tolerance`). Gated keys present in
-/// the baseline but missing from `current` also fail — a silently
-/// deleted bench must not pass the gate.
+/// `alloc_*` and `bound_*` keys are lower-is-better (fail when the
+/// current value exceeds baseline by more than `tolerance`). Gated
+/// keys present in the baseline but missing from `current` also fail —
+/// a silently deleted bench must not pass the gate.
 #[must_use]
 pub fn compare(
     baseline: &[(String, f64)],
@@ -78,7 +83,7 @@ pub fn compare(
     let mut regressions = Vec::new();
     for (key, base) in baseline {
         let higher_is_better = key.starts_with("ratio_");
-        let lower_is_better = key.starts_with("alloc_");
+        let lower_is_better = key.starts_with("alloc_") || key.starts_with("bound_");
         if !higher_is_better && !lower_is_better {
             continue;
         }
@@ -153,6 +158,22 @@ mod tests {
             1
         );
         assert!(compare(&base, &[("alloc_bytes".to_string(), 1.0)], 0.25).is_empty());
+    }
+
+    #[test]
+    fn bound_keys_are_ceilings() {
+        let base = vec![("bound_metrics_plane_overhead_pct".to_string(), 2.0)];
+        // At or under the (tolerance-widened) bound: fine.
+        let ok = [("bound_metrics_plane_overhead_pct".to_string(), 2.4)];
+        assert!(compare(&base, &ok, 0.25).is_empty());
+        // Past it: a regression.
+        let bad = [("bound_metrics_plane_overhead_pct".to_string(), 2.6)];
+        assert_eq!(compare(&base, &bad, 0.25).len(), 1);
+        // Negative overhead (noise made "enabled" faster) never fails.
+        let neg = [("bound_metrics_plane_overhead_pct".to_string(), -0.3)];
+        assert!(compare(&base, &neg, 0.25).is_empty());
+        // And a missing bound key fails like any gated key.
+        assert!(compare(&base, &[], 0.25)[0].current.is_nan());
     }
 
     #[test]

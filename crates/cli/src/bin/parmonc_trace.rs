@@ -1,0 +1,46 @@
+//! `parmonc-trace <summary|quantiles|convergence> <trace.jsonl>` /
+//! `parmonc-trace compare <run-a.jsonl> <run-b.jsonl>` — post-hoc
+//! analysis of monitor event traces. Every line is schema-validated
+//! before analysis; an invalid trace exits with code 3 and `compare`
+//! exits with code 4 when the runs disagree.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use parmonc_cli::{
+    compare_traces, parse_trace_args, read_trace, trace_convergence, trace_exit_code,
+    trace_quantiles, trace_summary, TraceCommand, TRACE_MISMATCH_EXIT,
+};
+
+fn load(path: &Path) -> Result<Vec<parmonc_obs::Event>, ExitCode> {
+    read_trace(path).map_err(|e| {
+        eprintln!("parmonc-trace: {e}");
+        ExitCode::from(trace_exit_code(&e))
+    })
+}
+
+fn run() -> Result<ExitCode, ExitCode> {
+    let cmd = parse_trace_args(std::env::args().skip(1)).map_err(|msg| {
+        eprintln!("{msg}");
+        ExitCode::FAILURE
+    })?;
+    match cmd {
+        TraceCommand::Summary { trace } => print!("{}", trace_summary(&load(&trace)?)),
+        TraceCommand::Quantiles { trace } => print!("{}", trace_quantiles(&load(&trace)?)),
+        TraceCommand::Convergence { trace } => print!("{}", trace_convergence(&load(&trace)?)),
+        TraceCommand::Compare { a, b } => {
+            let cmp = compare_traces(&load(&a)?, &load(&b)?);
+            print!("{}", cmp.report);
+            if !cmp.matches {
+                return Ok(ExitCode::from(TRACE_MISMATCH_EXIT));
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) | Err(code) => code,
+    }
+}

@@ -8,14 +8,20 @@
 //!
 //! This crate provides their argument parsing as a library (so it is
 //! testable) and the binaries as thin wrappers; it also ships
-//! `parmonc-demo`, a small driver that runs the bundled workloads.
+//! `parmonc-demo`, a small driver that runs the bundled workloads, and
+//! `parmonc-trace`, a post-hoc analyzer for monitor jsonl traces
+//! (summary, histogram quantiles, convergence trajectories, and
+//! run-to-run comparison).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
-use std::path::PathBuf;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 use parmonc::ParmoncError;
+use parmonc_obs::{Event, EventKind, EventSink, MetricsSink, MonitorSummary};
 
 /// Maps a runtime error to the tool's process exit code, so batch
 /// scripts and schedulers can react to *why* a job failed — retry a
@@ -205,6 +211,390 @@ where
     })
 }
 
+/// A `parmonc-trace` subcommand, parsed by [`parse_trace_args`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceCommand {
+    /// Fold the trace into the end-of-run summary table.
+    Summary {
+        /// Path of the jsonl trace.
+        trace: PathBuf,
+    },
+    /// Replay the trace through the metrics plane and print the
+    /// quantiles of every derived histogram.
+    Quantiles {
+        /// Path of the jsonl trace.
+        trace: PathBuf,
+    },
+    /// Print the `(n, mean, err)` error-bar trajectory of every tracked
+    /// functional.
+    Convergence {
+        /// Path of the jsonl trace.
+        trace: PathBuf,
+    },
+    /// Compare two traces: event vocabulary and final estimates.
+    Compare {
+        /// First trace.
+        a: PathBuf,
+        /// Second trace.
+        b: PathBuf,
+    },
+}
+
+/// Parses
+/// `parmonc-trace <summary|quantiles|convergence> <trace.jsonl>` or
+/// `parmonc-trace compare <run-a.jsonl> <run-b.jsonl>`.
+///
+/// # Errors
+///
+/// Returns a usage string on unknown subcommands or wrong arity.
+pub fn parse_trace_args<I, S>(args: I) -> Result<TraceCommand, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    const USAGE: &str = "usage: parmonc-trace <summary|quantiles|convergence> <trace.jsonl>\n\
+                         \u{20}      parmonc-trace compare <run-a.jsonl> <run-b.jsonl>";
+    let values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    let Some(cmd) = values.first() else {
+        return Err(USAGE.to_string());
+    };
+    let one = |name: &str| -> Result<PathBuf, String> {
+        match values.len() {
+            2 => Ok(PathBuf::from(&values[1])),
+            n => Err(format!(
+                "{name} takes exactly one trace file (got {} arguments)\n{USAGE}",
+                n - 1
+            )),
+        }
+    };
+    match cmd.as_str() {
+        "summary" => Ok(TraceCommand::Summary {
+            trace: one("summary")?,
+        }),
+        "quantiles" => Ok(TraceCommand::Quantiles {
+            trace: one("quantiles")?,
+        }),
+        "convergence" => Ok(TraceCommand::Convergence {
+            trace: one("convergence")?,
+        }),
+        "compare" => match values.len() {
+            3 => Ok(TraceCommand::Compare {
+                a: PathBuf::from(&values[1]),
+                b: PathBuf::from(&values[2]),
+            }),
+            n => Err(format!(
+                "compare takes exactly two trace files (got {} arguments)\n{USAGE}",
+                n - 1
+            )),
+        },
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}
+
+/// A failure while loading a monitor trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The trace file could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The OS error text.
+        message: String,
+    },
+    /// A line failed schema validation (the trace is corrupt or from an
+    /// incompatible producer) — `parmonc-trace` refuses to analyze it.
+    InvalidLine {
+        /// The offending path.
+        path: PathBuf,
+        /// 1-based line number.
+        line_no: usize,
+        /// The validator's diagnosis.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { path, message } => write!(f, "reading {}: {message}", path.display()),
+            Self::InvalidLine {
+                path,
+                line_no,
+                message,
+            } => write!(
+                f,
+                "{}:{line_no}: invalid trace line: {message}",
+                path.display()
+            ),
+        }
+    }
+}
+
+/// Process exit code for a [`TraceError`]: 2 for I/O failures, 3 for
+/// schema-invalid traces (0 is success, 1 is reserved for usage
+/// errors, 4 for a [`compare_traces`] mismatch).
+#[must_use]
+pub fn trace_exit_code(err: &TraceError) -> u8 {
+    match err {
+        TraceError::Io { .. } => 2,
+        TraceError::InvalidLine { .. } => 3,
+    }
+}
+
+/// Exit code of `parmonc-trace compare` when the traces differ.
+pub const TRACE_MISMATCH_EXIT: u8 = 4;
+
+/// Reads a monitor jsonl trace, validating every line against the
+/// documented schema.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] if the file cannot be read, or
+/// [`TraceError::InvalidLine`] (with a 1-based line number) on the
+/// first schema violation.
+pub fn read_trace(path: &Path) -> Result<Vec<Event>, TraceError> {
+    let text = std::fs::read_to_string(path).map_err(|e| TraceError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            parmonc_obs::schema::parse_line(line).map_err(|message| TraceError::InvalidLine {
+                path: path.to_path_buf(),
+                line_no: i + 1,
+                message,
+            })
+        })
+        .collect()
+}
+
+/// `parmonc-trace summary`: folds the events into the same table a
+/// monitored run prints at exit.
+#[must_use]
+pub fn trace_summary(events: &[Event]) -> String {
+    let mut out = format!("{} events\n", events.len());
+    out.push_str(&MonitorSummary::from_events(events).render_table());
+    out
+}
+
+/// `parmonc-trace quantiles`: replays the trace through the metrics
+/// plane ([`MetricsSink`]) and tabulates every derived histogram's
+/// p50/p90/p99 (quantiles carry the documented ≤ 5 % relative error of
+/// the log-bucketed scheme).
+#[must_use]
+pub fn trace_quantiles(events: &[Event]) -> String {
+    let sink = MetricsSink::new();
+    for event in events {
+        sink.record(event);
+    }
+    let registry = sink.registry();
+    let names = registry.histogram_names();
+    if names.is_empty() {
+        return "no histogram samples in trace\n".to_string();
+    }
+    let mut out = format!(
+        "{:<42} {:>8} {:>11} {:>11} {:>11} {:>11}\n",
+        "histogram", "count", "p50", "p90", "p99", "max"
+    );
+    for name in names {
+        let h = registry.histogram(&name).expect("name came from registry");
+        let q = |p: f64| {
+            h.quantile(p)
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.4e}"))
+        };
+        let _ = writeln!(
+            out,
+            "{name:<42} {:>8} {:>11} {:>11} {:>11} {:>11}",
+            h.count(),
+            q(0.50),
+            q(0.90),
+            q(0.99),
+            h.max()
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.4e}")),
+        );
+    }
+    out
+}
+
+/// The last recorded `(n, mean, err)` of each functional in a trace;
+/// `mean`/`err` are `None` for producers that report cadence without
+/// values (the cluster simulator).
+type FinalEstimates = BTreeMap<u64, (u64, Option<f64>, Option<f64>)>;
+
+/// Per-functional `(n, mean, err)` history, in trace order.
+type Trajectories = BTreeMap<u64, Vec<(u64, Option<f64>, Option<f64>)>>;
+
+fn final_estimates(events: &[Event]) -> FinalEstimates {
+    let mut last = FinalEstimates::new();
+    for event in events {
+        if let EventKind::MetricsSnapshot {
+            functional,
+            n,
+            mean,
+            err,
+        } = event.kind
+        {
+            last.insert(functional, (n, mean, err));
+        }
+    }
+    last
+}
+
+/// `parmonc-trace convergence`: the `(n, mean, err)` trajectory of
+/// every functional that appears in `metrics_snapshot` events, plus the
+/// `target_precision_reached` declaration when present.
+#[must_use]
+pub fn trace_convergence(events: &[Event]) -> String {
+    let mut trajectories = Trajectories::new();
+    let mut target: Option<(u64, f64, f64)> = None;
+    for event in events {
+        match event.kind {
+            EventKind::MetricsSnapshot {
+                functional,
+                n,
+                mean,
+                err,
+            } => trajectories
+                .entry(functional)
+                .or_default()
+                .push((n, mean, err)),
+            EventKind::TargetPrecisionReached {
+                n,
+                eps_max,
+                target: t,
+            } => {
+                target = Some((n, eps_max, t));
+            }
+            _ => {}
+        }
+    }
+    if trajectories.is_empty() {
+        return "no metrics_snapshot events in trace\n".to_string();
+    }
+    let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.6e}"));
+    let mut out = String::new();
+    for (functional, points) in &trajectories {
+        let _ = writeln!(
+            out,
+            "functional {functional} ({} observations)",
+            points.len()
+        );
+        let _ = writeln!(out, "  {:>12} {:>14} {:>14}", "n", "mean", "err");
+        for (n, mean, err) in points {
+            let _ = writeln!(out, "  {n:>12} {:>14} {:>14}", fmt(*mean), fmt(*err));
+        }
+    }
+    match target {
+        Some((n, eps_max, t)) => {
+            let _ = writeln!(
+                out,
+                "target precision reached at n {n} (eps_max {eps_max:.3e} <= target {t:.3e})"
+            );
+        }
+        None => out.push_str("no precision target declared\n"),
+    }
+    out
+}
+
+/// The outcome of [`compare_traces`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceComparison {
+    /// Human-readable comparison report.
+    pub report: String,
+    /// Whether the traces agree (same vocabulary, same final volume,
+    /// consistent final estimates).
+    pub matches: bool,
+}
+
+/// `parmonc-trace compare`: checks that two runs of the same experiment
+/// speak the same event vocabulary and agree on the outcome — equal
+/// final realization counts, and final per-functional estimates
+/// consistent within their combined error bars (skipped when a side
+/// carries cadence-only snapshots, as simulator traces do).
+#[must_use]
+pub fn compare_traces(a: &[Event], b: &[Event]) -> TraceComparison {
+    let mut report = String::new();
+    let mut matches = true;
+
+    let kinds = |events: &[Event]| -> BTreeSet<&'static str> {
+        events.iter().map(|e| e.kind.name()).collect()
+    };
+    let (ka, kb) = (kinds(a), kinds(b));
+    if ka == kb {
+        let _ = writeln!(report, "event kinds: identical ({} kinds)", ka.len());
+    } else {
+        matches = false;
+        let only_a: Vec<_> = ka.difference(&kb).copied().collect();
+        let only_b: Vec<_> = kb.difference(&ka).copied().collect();
+        let _ = writeln!(
+            report,
+            "event kinds differ: only in a: {only_a:?}, only in b: {only_b:?}"
+        );
+    }
+
+    let completed = |events: &[Event]| {
+        events.iter().rev().find_map(|e| match e.kind {
+            EventKind::RunCompleted { realizations, .. } => Some(realizations),
+            _ => None,
+        })
+    };
+    match (completed(a), completed(b)) {
+        (Some(va), Some(vb)) if va == vb => {
+            let _ = writeln!(report, "final realizations: {va} == {vb}");
+        }
+        (Some(va), Some(vb)) => {
+            matches = false;
+            let _ = writeln!(report, "final realizations differ: {va} vs {vb}");
+        }
+        (va, vb) => {
+            matches = false;
+            let _ = writeln!(
+                report,
+                "run_completed missing: a: {va:?}, b: {vb:?} (truncated trace?)"
+            );
+        }
+    }
+
+    let (ea, eb) = (final_estimates(a), final_estimates(b));
+    let mut compared = 0usize;
+    for (functional, (na, ma, erra)) in &ea {
+        let Some((nb, mb, errb)) = eb.get(functional) else {
+            continue;
+        };
+        let (Some(ma), Some(mb)) = (ma, mb) else {
+            continue;
+        };
+        compared += 1;
+        let bar = erra.unwrap_or(0.0) + errb.unwrap_or(0.0);
+        if (ma - mb).abs() <= bar {
+            let _ = writeln!(
+                report,
+                "functional {functional}: {ma:.6e} (n {na}) vs {mb:.6e} (n {nb}) — consistent within ± {bar:.3e}"
+            );
+        } else {
+            matches = false;
+            let _ = writeln!(
+                report,
+                "functional {functional}: {ma:.6e} vs {mb:.6e} exceeds combined error bar {bar:.3e}"
+            );
+        }
+    }
+    if compared == 0 {
+        report.push_str(
+            "final estimate values absent from at least one trace; volumes compared only\n",
+        );
+    }
+
+    report.push_str(if matches {
+        "traces match\n"
+    } else {
+        "traces differ\n"
+    });
+    TraceComparison { report, matches }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,5 +708,190 @@ mod tests {
         }
         // The flag alone is not a workload.
         assert!(parse_demo_args(["--monitor"]).is_err());
+    }
+
+    #[test]
+    fn trace_arg_parsing() {
+        assert_eq!(
+            parse_trace_args(["summary", "t.jsonl"]).unwrap(),
+            TraceCommand::Summary {
+                trace: PathBuf::from("t.jsonl")
+            }
+        );
+        assert_eq!(
+            parse_trace_args(["compare", "a.jsonl", "b.jsonl"]).unwrap(),
+            TraceCommand::Compare {
+                a: PathBuf::from("a.jsonl"),
+                b: PathBuf::from("b.jsonl"),
+            }
+        );
+        for bad in [
+            vec![],
+            vec!["summary"],
+            vec!["summary", "a", "b"],
+            vec!["compare", "a"],
+            vec!["unknown", "t.jsonl"],
+        ] {
+            assert!(parse_trace_args(bad).unwrap_err().contains("usage"));
+        }
+    }
+
+    /// A tiny synthetic but schema-complete trace of a 2-processor run.
+    fn sample_events() -> Vec<Event> {
+        use parmonc_obs::RunMode;
+        let ev = |time_s: f64, rank: Option<usize>, kind: EventKind| Event { time_s, rank, kind };
+        vec![
+            ev(
+                0.0,
+                None,
+                EventKind::RunStarted {
+                    mode: RunMode::Threads,
+                    processors: 2,
+                    max_sample_volume: 100,
+                    seqnum: Some(1),
+                    nrow: Some(1),
+                    ncol: Some(1),
+                },
+            ),
+            ev(
+                0.5,
+                Some(1),
+                EventKind::Realizations {
+                    completed: 50,
+                    compute_seconds: 0.4,
+                },
+            ),
+            ev(
+                0.6,
+                Some(1),
+                EventKind::MessageSent {
+                    dest: 0,
+                    tag: 1,
+                    bytes: 64,
+                },
+            ),
+            ev(
+                0.6,
+                Some(0),
+                EventKind::MessageReceived {
+                    source: 1,
+                    tag: 1,
+                    bytes: 64,
+                    queue_depth: 0,
+                },
+            ),
+            ev(
+                0.7,
+                Some(0),
+                EventKind::MetricsSnapshot {
+                    functional: 0,
+                    n: 50,
+                    mean: Some(0.51),
+                    err: Some(0.02),
+                },
+            ),
+            ev(
+                1.0,
+                Some(0),
+                EventKind::MetricsSnapshot {
+                    functional: 0,
+                    n: 100,
+                    mean: Some(0.5),
+                    err: Some(0.01),
+                },
+            ),
+            ev(
+                1.0,
+                Some(0),
+                EventKind::TargetPrecisionReached {
+                    n: 100,
+                    eps_max: 0.01,
+                    target: 0.02,
+                },
+            ),
+            ev(
+                1.1,
+                None,
+                EventKind::RunCompleted {
+                    realizations: 100,
+                    t_comp_seconds: 1.1,
+                    messages: 1,
+                    bytes: 64,
+                },
+            ),
+        ]
+    }
+
+    fn write_trace(name: &str, events: &[Event]) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("parmonc-trace-{name}-{}.jsonl", std::process::id()));
+        let text: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn read_trace_round_trips_and_rejects_garbage() {
+        let events = sample_events();
+        let path = write_trace("roundtrip", &events);
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back.len(), events.len());
+        assert_eq!(back[0].kind.name(), "run_started");
+
+        std::fs::write(&path, "{\"v\":1,\"kind\":\"bogus\",\"time_s\":0}\n").unwrap();
+        match read_trace(&path).unwrap_err() {
+            TraceError::InvalidLine { line_no, .. } => assert_eq!(line_no, 1),
+            other => panic!("expected InvalidLine, got {other:?}"),
+        }
+        let missing = path.with_extension("missing");
+        assert!(matches!(
+            read_trace(&missing).unwrap_err(),
+            TraceError::Io { .. }
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_summary_and_quantiles_render() {
+        let events = sample_events();
+        let summary = trace_summary(&events);
+        assert!(summary.contains("8 events"));
+        assert!(summary.contains("target precision reached"));
+        let quantiles = trace_quantiles(&events);
+        assert!(quantiles.contains("parmonc_message_bytes"));
+        assert!(quantiles.contains("p99"));
+        assert!(trace_quantiles(&[]).contains("no histogram samples"));
+    }
+
+    #[test]
+    fn trace_convergence_lists_trajectory() {
+        let out = trace_convergence(&sample_events());
+        assert!(out.contains("functional 0 (2 observations)"));
+        assert!(out.contains("target precision reached at n 100"));
+        assert!(trace_convergence(&[]).contains("no metrics_snapshot"));
+    }
+
+    #[test]
+    fn compare_traces_verdicts() {
+        let events = sample_events();
+        let same = compare_traces(&events, &events);
+        assert!(same.matches, "{}", same.report);
+        assert!(same.report.contains("event kinds: identical"));
+        assert!(same.report.contains("traces match"));
+
+        // Dropping the run_completed event truncates the trace.
+        let truncated = &events[..events.len() - 1];
+        let cmp = compare_traces(&events, truncated);
+        assert!(!cmp.matches);
+        assert!(cmp.report.contains("only in a"));
+
+        // An estimate outside the combined error bars is a mismatch.
+        let mut shifted = events.clone();
+        if let EventKind::MetricsSnapshot { mean, .. } = &mut shifted[5].kind {
+            *mean = Some(0.9);
+        }
+        let cmp = compare_traces(&events, &shifted);
+        assert!(!cmp.matches);
+        assert!(cmp.report.contains("exceeds combined error bar"));
     }
 }

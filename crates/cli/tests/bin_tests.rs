@@ -99,6 +99,53 @@ fn manaver_fails_cleanly_without_data() {
 }
 
 #[test]
+fn monitored_demo_then_trace_analysis() {
+    let dir = tempdir("trace-flow");
+    let out = Command::new(env!("CARGO_BIN_EXE_parmonc-demo"))
+        .args(["pi", "20000", "2", dir.to_str().unwrap(), "--monitor"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = dir.join("parmonc_data/monitor/run_metrics.jsonl");
+    assert!(trace.is_file());
+    assert!(dir.join("parmonc_data/monitor/metrics.prom").is_file());
+
+    let trace_cmd = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_parmonc-trace"))
+            .args(args)
+            .output()
+            .unwrap()
+    };
+    let summary = trace_cmd(&["summary", trace.to_str().unwrap()]);
+    assert!(summary.status.success());
+    assert!(String::from_utf8_lossy(&summary.stdout).contains("events"));
+
+    let quantiles = trace_cmd(&["quantiles", trace.to_str().unwrap()]);
+    assert!(quantiles.status.success());
+    assert!(String::from_utf8_lossy(&quantiles.stdout).contains("parmonc_realization_seconds"));
+
+    let convergence = trace_cmd(&["convergence", trace.to_str().unwrap()]);
+    assert!(convergence.status.success());
+    assert!(String::from_utf8_lossy(&convergence.stdout).contains("functional 0"));
+
+    // A run compared with itself matches (exit 0).
+    let compare = trace_cmd(&["compare", trace.to_str().unwrap(), trace.to_str().unwrap()]);
+    assert!(compare.status.success());
+    assert!(String::from_utf8_lossy(&compare.stdout).contains("traces match"));
+
+    // A corrupt trace is refused with the documented exit code 3.
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "{\"v\":1,\"kind\":\"bogus\",\"time_s\":0}\n").unwrap();
+    let refused = trace_cmd(&["summary", bad.to_str().unwrap()]);
+    assert_eq!(refused.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&refused.stderr).contains("invalid trace line"));
+}
+
+#[test]
 fn demo_rejects_unknown_workload() {
     let out = Command::new(env!("CARGO_BIN_EXE_parmonc-demo"))
         .arg("juggling")

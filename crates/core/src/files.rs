@@ -190,6 +190,14 @@ impl ResultsDir {
         self.monitor_dir().join("run_metrics.jsonl")
     }
 
+    /// Path of the Prometheus text exposition `monitor/metrics.prom`,
+    /// rewritten periodically by the metrics plane and rendered once
+    /// more at exit.
+    #[must_use]
+    pub fn metrics_prom_path(&self) -> PathBuf {
+        self.monitor_dir().join("metrics.prom")
+    }
+
     /// Path of worker `m`'s subtotal file.
     #[must_use]
     pub fn worker_path(&self, worker: usize) -> PathBuf {

@@ -17,7 +17,8 @@ use std::time::{Duration, Instant};
 use parmonc_faults::{FaultHandle, FaultKind};
 use parmonc_mpi::{Bytes, Communicator, Envelope, MpiError, World};
 use parmonc_obs::{
-    CollectorActivity, EventKind, JsonlSink, MemorySink, Monitor, MonitorSummary, RunMode,
+    CollectorActivity, ConvergenceTracker, EventKind, JsonlSink, MemorySink, MetricsSink, Monitor,
+    MonitorSummary, RunMode,
 };
 use parmonc_rng::{StreamHierarchy, StreamId};
 use parmonc_stats::report::LogReport;
@@ -219,7 +220,15 @@ where
         let sink = JsonlSink::create(dir.run_metrics_path())
             .io_ctx("creating monitor/run_metrics.jsonl")?;
         let memory = Arc::new(MemorySink::new());
-        let monitor: Monitor = Monitor::new(vec![Box::new(sink), Box::new(Arc::clone(&memory))]);
+        // The metrics plane derives counters/gauges/histograms from the
+        // same event stream and periodically renders Prometheus text;
+        // it adds no call sites of its own.
+        let metrics = MetricsSink::new().with_prometheus_output(dir.metrics_prom_path());
+        let monitor: Monitor = Monitor::new(vec![
+            Box::new(sink),
+            Box::new(Arc::clone(&memory)),
+            Box::new(metrics),
+        ]);
         (monitor, Some(memory))
     } else {
         (Monitor::disabled(), None)
@@ -316,6 +325,7 @@ where
         state,
         lost_workers,
         reassigned_realizations,
+        mut convergence,
     } = collector_out
         .into_inner()
         .unwrap()
@@ -366,6 +376,19 @@ where
                 max_snapshot_age_seconds: max_age,
             },
         );
+        let eps_max = if total.count() < 2 {
+            f64::INFINITY
+        } else {
+            summary.eps_max
+        };
+        convergence.observe(
+            &monitor,
+            Some(0),
+            total.count(),
+            &summary.means,
+            &summary.abs_errors,
+            eps_max,
+        );
     }
 
     let worker_volumes: Vec<u64> = state
@@ -395,8 +418,10 @@ where
                 bytes,
             },
         );
-        monitor.flush();
-        MonitorSummary::from_events(&memory.snapshot())
+        let dropped = monitor.flush();
+        let mut summary = MonitorSummary::from_events(&memory.snapshot());
+        summary.dropped_events = dropped;
+        summary
     });
 
     Ok(RunReport {
@@ -653,6 +678,9 @@ struct CollectorOutcome {
     state: CollectorState,
     lost_workers: Vec<usize>,
     reassigned_realizations: u64,
+    /// Error-bar trajectory recorder, handed back so the final
+    /// averaging pass in [`run`] lands in the same trajectory.
+    convergence: ConvergenceTracker,
 }
 
 /// Splits `budget` realizations dropped by `from` as evenly as possible
@@ -854,6 +882,10 @@ fn rank0_loop<R: Realize + ?Sized>(
     let mut live = Liveness::new(size);
     let mut last_average = Instant::now();
     let mut tracker = SegmentTracker::new(monitor);
+    // Strictly read-only with respect to estimation: it observes
+    // already-computed summaries, so estimates stay bit-identical with
+    // the metrics plane on or off.
+    let mut convergence = ConvergenceTracker::with_target(config.target_abs_error);
 
     // Rank 0 simulates its own quota inline, draining asynchronously
     // arriving worker messages between realizations and writing
@@ -959,7 +991,7 @@ fn rank0_loop<R: Realize + ?Sized>(
             // between passes.
             state.update_own(&acc, compute_seconds, now);
             let save_started = Instant::now();
-            let eps_max = save_point(dir, config, &state, start, monitor)?;
+            let eps_max = save_point(dir, config, &state, start, monitor, &mut convergence)?;
             tracker.punch(CollectorActivity::Saving, save_started);
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
@@ -1074,7 +1106,7 @@ fn rank0_loop<R: Realize + ?Sized>(
         )?;
         if last_average.elapsed() >= config.averaging_period {
             let save_started = Instant::now();
-            let eps_max = save_point(dir, config, &state, start, monitor)?;
+            let eps_max = save_point(dir, config, &state, start, monitor, &mut convergence)?;
             tracker.punch(CollectorActivity::Saving, save_started);
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
@@ -1106,6 +1138,7 @@ fn rank0_loop<R: Realize + ?Sized>(
         state,
         lost_workers: live.lost,
         reassigned_realizations: live.reassigned,
+        convergence,
     })
 }
 
@@ -1190,6 +1223,7 @@ fn save_point(
     state: &CollectorState,
     start: Instant,
     monitor: &Monitor,
+    convergence: &mut ConvergenceTracker,
 ) -> Result<f64, ParmoncError> {
     let pass_started = Instant::now();
     let max_age = state.max_snapshot_age();
@@ -1234,11 +1268,22 @@ fn save_point(
     }
     // A near-empty sample reports eps_max = 0 vacuously; never let it
     // trigger error-controlled stopping.
-    Ok(if total.count() < 2 {
+    let eps_max = if total.count() < 2 {
         f64::INFINITY
     } else {
         summary.eps_max
-    })
+    };
+    if monitor.is_enabled() {
+        convergence.observe(
+            monitor,
+            Some(0),
+            total.count(),
+            &summary.means,
+            &summary.abs_errors,
+            eps_max,
+        );
+    }
+    Ok(eps_max)
 }
 
 #[cfg(test)]

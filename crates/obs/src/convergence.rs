@@ -1,0 +1,239 @@
+//! Error-bar convergence tracking: the `(n, mean, err)` trajectory of
+//! every estimated functional, sampled at each subtotal merge.
+//!
+//! The PARMONC workflow's headline quantity — the sample mean with its
+//! stochastic error bar — is recomputed by the collector at every
+//! averaging pass, but the event plane only recorded the scalar
+//! `eps_max`. [`ConvergenceTracker`] observes the full per-functional
+//! picture *after* the estimate is computed, records it, and emits the
+//! schema-validated `metrics_snapshot` / `target_precision_reached`
+//! event pair. It is strictly read-only with respect to estimation:
+//! the caller hands it already-computed values, so final means and
+//! error bars are bit-identical with the tracker attached or not.
+
+use crate::event::EventKind;
+use crate::monitor::Monitor;
+
+/// One point of a functional's error-bar trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Total sample volume at the observation.
+    pub n: u64,
+    /// The sample mean.
+    pub mean: f64,
+    /// The absolute stochastic error bar (may be non-finite while
+    /// `n < 2`).
+    pub err: f64,
+}
+
+/// Records convergence trajectories and emits the metrics-plane
+/// events. See the module docs for the no-perturbation contract.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_obs::{ConvergenceTracker, Monitor};
+///
+/// let mut tracker = ConvergenceTracker::with_target(Some(0.05));
+/// let monitor = Monitor::disabled();
+/// tracker.observe(&monitor, Some(0), 100, &[0.5], &[0.01], 0.01);
+/// assert!(tracker.reached());
+/// assert_eq!(tracker.trajectories()[0].len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvergenceTracker {
+    target: Option<f64>,
+    reached: bool,
+    max_tracked: usize,
+    trajectories: Vec<Vec<TrajectoryPoint>>,
+}
+
+impl Default for ConvergenceTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConvergenceTracker {
+    /// How many functionals are tracked in full by default; functionals
+    /// beyond this emit no per-functional snapshots (runs estimating
+    /// huge realization matrices would otherwise flood the trace).
+    pub const DEFAULT_MAX_TRACKED: usize = 8;
+
+    /// A tracker with no precision target: it records trajectories and
+    /// emits `metrics_snapshot` events, but never declares the target
+    /// reached.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_target(None)
+    }
+
+    /// A tracker declaring `target_precision_reached` the first time
+    /// the observed `eps_max` drops to `target` or below (with at
+    /// least two samples, matching the runner's stop rule).
+    #[must_use]
+    pub fn with_target(target: Option<f64>) -> Self {
+        Self {
+            target,
+            reached: false,
+            max_tracked: Self::DEFAULT_MAX_TRACKED,
+            trajectories: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-functional tracking cap.
+    #[must_use]
+    pub fn max_tracked(mut self, cap: usize) -> Self {
+        self.max_tracked = cap;
+        self
+    }
+
+    /// Records one observation: the estimate after a subtotal merge.
+    ///
+    /// `means` and `errs` are the already-computed per-functional
+    /// sample means and absolute error bars (row-major); `eps_max` is
+    /// the largest error bar. Emits one `metrics_snapshot` per tracked
+    /// functional and, at most once, `target_precision_reached`.
+    pub fn observe(
+        &mut self,
+        monitor: &Monitor,
+        rank: Option<usize>,
+        n: u64,
+        means: &[f64],
+        errs: &[f64],
+        eps_max: f64,
+    ) {
+        self.observe_impl(n, means, errs, eps_max, |kind| monitor.emit(rank, kind));
+    }
+
+    /// Like [`Self::observe`] but stamping the emitted events with an
+    /// explicit (virtual) timestamp — for discrete-event producers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_at(
+        &mut self,
+        monitor: &Monitor,
+        time_s: f64,
+        rank: Option<usize>,
+        n: u64,
+        means: &[f64],
+        errs: &[f64],
+        eps_max: f64,
+    ) {
+        self.observe_impl(n, means, errs, eps_max, |kind| {
+            monitor.emit_at(time_s, rank, kind);
+        });
+    }
+
+    fn observe_impl(
+        &mut self,
+        n: u64,
+        means: &[f64],
+        errs: &[f64],
+        eps_max: f64,
+        mut emit: impl FnMut(EventKind),
+    ) {
+        let tracked = means.len().min(self.max_tracked);
+        if self.trajectories.len() < tracked {
+            self.trajectories.resize(tracked, Vec::new());
+        }
+        for (j, &mean) in means.iter().enumerate().take(tracked) {
+            let err = errs.get(j).copied().unwrap_or(f64::INFINITY);
+            self.trajectories[j].push(TrajectoryPoint { n, mean, err });
+            emit(EventKind::MetricsSnapshot {
+                functional: j as u64,
+                n,
+                mean: Some(mean),
+                err: Some(err),
+            });
+        }
+        if let Some(target) = self.target {
+            if !self.reached && n >= 2 && eps_max <= target {
+                self.reached = true;
+                emit(EventKind::TargetPrecisionReached { n, eps_max, target });
+            }
+        }
+    }
+
+    /// Whether the precision target has been declared reached.
+    #[must_use]
+    pub fn reached(&self) -> bool {
+        self.reached
+    }
+
+    /// The recorded trajectories, one `Vec` per tracked functional.
+    #[must_use]
+    pub fn trajectories(&self) -> &[Vec<TrajectoryPoint>] {
+        &self.trajectories
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MemorySink;
+    use std::sync::Arc;
+
+    #[test]
+    fn emits_snapshots_and_target_event_once() {
+        let sink = Arc::new(MemorySink::new());
+        let monitor = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+        let mut tracker = ConvergenceTracker::with_target(Some(0.05));
+
+        tracker.observe(&monitor, Some(0), 10, &[0.5, 0.6], &[0.2, 0.3], 0.3);
+        assert!(!tracker.reached());
+        tracker.observe(&monitor, Some(0), 100, &[0.51, 0.59], &[0.04, 0.05], 0.05);
+        assert!(tracker.reached());
+        // Already reached: no second target event.
+        tracker.observe(&monitor, Some(0), 200, &[0.5, 0.6], &[0.01, 0.02], 0.02);
+
+        let events = sink.snapshot();
+        let snapshots = events
+            .iter()
+            .filter(|e| e.kind.name() == "metrics_snapshot")
+            .count();
+        let targets = events
+            .iter()
+            .filter(|e| e.kind.name() == "target_precision_reached")
+            .count();
+        assert_eq!(snapshots, 6, "2 functionals x 3 observations");
+        assert_eq!(targets, 1);
+        assert_eq!(tracker.trajectories().len(), 2);
+        assert_eq!(tracker.trajectories()[0].len(), 3);
+        assert_eq!(
+            tracker.trajectories()[1][1],
+            TrajectoryPoint {
+                n: 100,
+                mean: 0.59,
+                err: 0.05,
+            }
+        );
+    }
+
+    #[test]
+    fn no_target_never_declares() {
+        let mut tracker = ConvergenceTracker::new();
+        let monitor = Monitor::disabled();
+        tracker.observe(&monitor, None, 1000, &[0.5], &[0.0001], 0.0001);
+        assert!(!tracker.reached());
+    }
+
+    #[test]
+    fn needs_two_samples_before_declaring() {
+        let mut tracker = ConvergenceTracker::with_target(Some(1.0));
+        let monitor = Monitor::disabled();
+        tracker.observe(&monitor, None, 1, &[0.5], &[0.0], 0.0);
+        assert!(!tracker.reached(), "n = 1 cannot satisfy the stop rule");
+        tracker.observe(&monitor, None, 2, &[0.5], &[0.0], 0.0);
+        assert!(tracker.reached());
+    }
+
+    #[test]
+    fn tracking_cap_limits_functionals() {
+        let mut tracker = ConvergenceTracker::new().max_tracked(2);
+        let monitor = Monitor::disabled();
+        let means = [0.1, 0.2, 0.3, 0.4];
+        let errs = [0.01, 0.02, 0.03, 0.04];
+        tracker.observe(&monitor, None, 50, &means, &errs, 0.04);
+        assert_eq!(tracker.trajectories().len(), 2);
+    }
+}

@@ -212,6 +212,32 @@ pub enum EventKind {
         /// Sample volume of the recovered checkpoint.
         volume: u64,
     },
+    /// One point of a functional's error-bar trajectory, emitted by the
+    /// [`crate::ConvergenceTracker`] after each averaging pass.
+    MetricsSnapshot {
+        /// Index of the estimated functional (row-major position in the
+        /// realization matrix).
+        functional: u64,
+        /// Total sample volume folded into the estimate.
+        n: u64,
+        /// The current sample mean; absent in virtual runs, which carry
+        /// no estimates.
+        mean: Option<f64>,
+        /// The current absolute stochastic error bar; absent in virtual
+        /// runs and while `n < 2`.
+        err: Option<f64>,
+    },
+    /// The run's largest error bar first dropped to the configured
+    /// target — the principled "stop when ε ≤ target" signal. Emitted
+    /// at most once per run, and only when a target is configured.
+    TargetPrecisionReached {
+        /// Total sample volume when the target was reached.
+        n: u64,
+        /// The largest absolute error bar at that point.
+        eps_max: f64,
+        /// The configured target it dropped below.
+        target: f64,
+    },
 }
 
 impl EventKind {
@@ -232,11 +258,13 @@ impl EventKind {
             Self::WorkerLost { .. } => "worker_lost",
             Self::WorkReassigned { .. } => "work_reassigned",
             Self::CheckpointRecovered { .. } => "checkpoint_recovered",
+            Self::MetricsSnapshot { .. } => "metrics_snapshot",
+            Self::TargetPrecisionReached { .. } => "target_precision_reached",
         }
     }
 
     /// Every kind name, in schema order.
-    pub const ALL_KINDS: [&'static str; 13] = [
+    pub const ALL_KINDS: [&'static str; 15] = [
         "run_started",
         "realizations",
         "message_sent",
@@ -250,16 +278,25 @@ impl EventKind {
         "worker_lost",
         "work_reassigned",
         "checkpoint_recovered",
+        "metrics_snapshot",
+        "target_precision_reached",
     ];
 
     /// The kinds only emitted on fault/recovery paths; a fault-free run
-    /// exercises exactly `ALL_KINDS` minus these.
+    /// exercises exactly `ALL_KINDS` minus these and
+    /// [`Self::CONDITIONAL_KINDS`].
     pub const FAULT_KINDS: [&'static str; 4] = [
         "fault_injected",
         "worker_lost",
         "work_reassigned",
         "checkpoint_recovered",
     ];
+
+    /// The kinds that depend on run configuration rather than run
+    /// health: `target_precision_reached` only fires when a
+    /// `target_abs_error` is configured (and met). A fault-free run
+    /// emits exactly `ALL_KINDS` minus `FAULT_KINDS` minus these.
+    pub const CONDITIONAL_KINDS: [&'static str; 1] = ["target_precision_reached"];
 }
 
 /// One monitor event: a timestamp, the emitting rank (if any), and the
@@ -439,6 +476,28 @@ impl Event {
             EventKind::CheckpointRecovered { volume } => {
                 let _ = write!(s, ",\"volume\":{volume}");
             }
+            EventKind::MetricsSnapshot {
+                functional,
+                n,
+                mean,
+                err,
+            } => {
+                let _ = write!(s, ",\"functional\":{functional},\"n\":{n}");
+                if let Some(mean) = mean {
+                    s.push_str(",\"mean\":");
+                    push_f64(&mut s, *mean);
+                }
+                if let Some(err) = err {
+                    s.push_str(",\"err\":");
+                    push_f64(&mut s, *err);
+                }
+            }
+            EventKind::TargetPrecisionReached { n, eps_max, target } => {
+                let _ = write!(s, ",\"n\":{n},\"eps_max\":");
+                push_f64(&mut s, *eps_max);
+                s.push_str(",\"target\":");
+                push_f64(&mut s, *target);
+            }
         }
         s.push('}');
         s
@@ -511,6 +570,17 @@ mod tests {
                 realizations: 0,
             },
             EventKind::CheckpointRecovered { volume: 0 },
+            EventKind::MetricsSnapshot {
+                functional: 0,
+                n: 0,
+                mean: None,
+                err: None,
+            },
+            EventKind::TargetPrecisionReached {
+                n: 0,
+                eps_max: 0.0,
+                target: 0.0,
+            },
         ];
         let names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
         assert_eq!(names, EventKind::ALL_KINDS);
@@ -521,6 +591,46 @@ mod tests {
         for kind in EventKind::FAULT_KINDS {
             assert!(EventKind::ALL_KINDS.contains(&kind), "{kind} missing");
         }
+        for kind in EventKind::CONDITIONAL_KINDS {
+            assert!(EventKind::ALL_KINDS.contains(&kind), "{kind} missing");
+            assert!(
+                !EventKind::FAULT_KINDS.contains(&kind),
+                "{kind} double-listed"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_optional_fields_are_omitted() {
+        let bare = Event {
+            time_s: 0.0,
+            rank: Some(0),
+            kind: EventKind::MetricsSnapshot {
+                functional: 2,
+                n: 100,
+                mean: None,
+                err: None,
+            },
+        }
+        .to_json_line();
+        assert!(bare.contains("\"functional\":2"));
+        assert!(bare.contains("\"n\":100"));
+        assert!(!bare.contains("mean"));
+        assert!(!bare.contains("err"));
+
+        let full = Event {
+            time_s: 0.0,
+            rank: Some(0),
+            kind: EventKind::MetricsSnapshot {
+                functional: 0,
+                n: 100,
+                mean: Some(0.5),
+                err: Some(0.01),
+            },
+        }
+        .to_json_line();
+        assert!(full.contains("\"mean\":0.5"));
+        assert!(full.contains("\"err\":0.01"));
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! a [`Monitor`], and the disabled monitor ([`Monitor::disabled`], also
 //! the `Default`) reduces every emission to a single branch.
 //!
+//! On top of the event plane sits the **metrics plane**
+//! ([`MetricsRegistry`], [`MetricsSink`], [`ConvergenceTracker`]):
+//! counters, gauges and mergeable log-bucketed histograms derived
+//! entirely from the event stream (no extra instrumentation call
+//! sites), exposed as Prometheus text at
+//! `parmonc_data/monitor/metrics.prom` and queryable post-hoc from the
+//! jsonl trace via [`schema::parse_line`] and the `parmonc-trace` CLI.
+//!
 //! # Example
 //!
 //! ```
@@ -46,11 +54,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod convergence;
 mod event;
+mod metrics;
 mod monitor;
 pub mod schema;
 mod summary;
 
+pub use convergence::{ConvergenceTracker, TrajectoryPoint};
 pub use event::{CollectorActivity, Event, EventKind, RunMode, SCHEMA_VERSION};
+pub use metrics::{
+    validate_prometheus_text, LogHistogram, MetricsRegistry, MetricsSink, SUB_BUCKETS_PER_OCTAVE,
+};
 pub use monitor::{EventSink, JsonlSink, MemorySink, Monitor};
 pub use summary::{MonitorSummary, RankStats};

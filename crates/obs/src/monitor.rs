@@ -11,6 +11,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -25,6 +26,13 @@ pub trait EventSink: Send + Sync {
 
     /// Flushes buffered output (called at end of run).
     fn flush(&self) {}
+
+    /// How many events this sink has lost so far (failed writes, full
+    /// disks). The default of 0 suits in-memory sinks that cannot lose
+    /// events.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 impl<S: EventSink + ?Sized> EventSink for Arc<S> {
@@ -34,6 +42,10 @@ impl<S: EventSink + ?Sized> EventSink for Arc<S> {
 
     fn flush(&self) {
         (**self).flush();
+    }
+
+    fn dropped_events(&self) -> u64 {
+        (**self).dropped_events()
     }
 }
 
@@ -132,25 +144,67 @@ impl Monitor {
         }
     }
 
-    /// Flushes every sink.
-    pub fn flush(&self) {
-        if let Some(inner) = &self.inner {
-            for sink in &inner.sinks {
-                sink.flush();
-            }
+    /// Flushes every sink and returns the total number of events the
+    /// sinks have dropped (failed writes, full disks) — 0 for a clean
+    /// trace. Callers that surface trace health (the runner's summary)
+    /// use the return value; fire-and-forget callers may ignore it.
+    pub fn flush(&self) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let mut dropped = 0;
+        for sink in &inner.sinks {
+            sink.flush();
+            dropped += sink.dropped_events();
         }
+        dropped
+    }
+
+    /// The total number of events the attached sinks have dropped so
+    /// far, without forcing a flush.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.sinks.iter().map(|s| s.dropped_events()).sum()
+        })
+    }
+}
+
+/// The buffered file plus the count of lines accepted since the last
+/// successful flush — the lines still at risk if that flush fails.
+struct JsonlWriter {
+    buf: BufWriter<File>,
+    pending: u64,
+}
+
+impl JsonlWriter {
+    /// Flushes the buffer, converting a failure into the number of
+    /// buffered lines lost.
+    fn flush_counting(&mut self) -> u64 {
+        let lost = match self.buf.flush() {
+            Ok(()) => 0,
+            Err(_) => self.pending,
+        };
+        self.pending = 0;
+        lost
     }
 }
 
 /// Appends events as JSONL to a file — the sink behind
 /// `parmonc_data/monitor/run_metrics.jsonl`.
+///
+/// Write failures (full disk, revoked mount) do not panic the hot
+/// path; instead every event that could not be durably written is
+/// counted, and [`Monitor::flush`] surfaces the total so a truncated
+/// trace never masquerades as a clean one.
 pub struct JsonlSink {
-    out: Mutex<BufWriter<File>>,
+    out: Mutex<JsonlWriter>,
+    dropped: AtomicU64,
 }
 
 impl fmt::Debug for JsonlSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("JsonlSink").finish_non_exhaustive()
+        f.debug_struct("JsonlSink")
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
     }
 }
 
@@ -167,7 +221,11 @@ impl JsonlSink {
             std::fs::create_dir_all(parent)?;
         }
         Ok(Self {
-            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            out: Mutex::new(JsonlWriter {
+                buf: BufWriter::new(File::create(path)?),
+                pending: 0,
+            }),
+            dropped: AtomicU64::new(0),
         })
     }
 }
@@ -176,19 +234,41 @@ impl EventSink for JsonlSink {
     fn record(&self, event: &Event) {
         let line = event.to_json_line();
         let mut out = self.out.lock().expect("jsonl sink poisoned");
-        let _ = out.write_all(line.as_bytes());
-        let _ = out.write_all(b"\n");
+        let write = out
+            .buf
+            .write_all(line.as_bytes())
+            .and_then(|()| out.buf.write_all(b"\n"));
+        match write {
+            Ok(()) => out.pending += 1,
+            // The write failed while spilling the buffer: this event is
+            // gone (a partial line at worst, which the strict validator
+            // flags).
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+        let lost = self
+            .out
+            .lock()
+            .expect("jsonl sink poisoned")
+            .flush_counting();
+        if lost > 0 {
+            self.dropped.fetch_add(lost, Ordering::Relaxed);
+        }
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         if let Ok(mut out) = self.out.lock() {
-            let _ = out.flush();
+            let _ = out.flush_counting();
         }
     }
 }
@@ -244,7 +324,8 @@ mod tests {
         assert!(!m.is_enabled());
         m.emit(None, EventKind::QueueHighWater { depth: 1 });
         m.emit_at(5.0, Some(3), EventKind::QueueHighWater { depth: 2 });
-        m.flush();
+        assert_eq!(m.flush(), 0);
+        assert_eq!(m.dropped_events(), 0);
         assert_eq!(m.elapsed_s(), 0.0);
     }
 
@@ -288,12 +369,32 @@ mod tests {
         let sink = JsonlSink::create(&path).unwrap();
         let m = Monitor::new(vec![Box::new(sink)]);
         m.emit(Some(1), EventKind::QueueHighWater { depth: 7 });
-        m.flush();
+        assert_eq!(m.flush(), 0, "a healthy trace drops nothing");
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 1);
         assert!(text.contains("\"kind\":\"queue_high_water\""));
         assert!(text.contains("\"depth\":7"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A full disk must be visible as a dropped-event count, not a
+    /// silently truncated trace. `/dev/full` accepts opens but fails
+    /// every write with `ENOSPC`.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn full_disk_surfaces_dropped_events() {
+        if !Path::new("/dev/full").exists() {
+            return;
+        }
+        let sink = JsonlSink::create("/dev/full").unwrap();
+        let m = Monitor::new(vec![Box::new(sink)]);
+        for depth in 0..5 {
+            m.emit(Some(0), EventKind::QueueHighWater { depth });
+        }
+        // Whether events died in `record` (buffer spill) or at flush,
+        // every one of the 5 must be accounted for.
+        assert_eq!(m.flush(), 5);
+        assert_eq!(m.dropped_events(), 5);
     }
 
     #[test]

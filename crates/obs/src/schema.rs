@@ -7,7 +7,7 @@
 //! unknown fields. Tests use it to prove that what the runner and the
 //! simulator write is exactly what `docs/observability.md` promises.
 
-use crate::event::{CollectorActivity, EventKind, SCHEMA_VERSION};
+use crate::event::{CollectorActivity, Event, EventKind, SCHEMA_VERSION};
 
 /// A parsed flat JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,6 +222,14 @@ fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
             &[][..],
         ),
         "checkpoint_recovered" => (&[("volume", UInt)][..], &[][..]),
+        "metrics_snapshot" => (
+            &[("functional", UInt), ("n", UInt)][..],
+            &[("mean", Num), ("err", Num)][..],
+        ),
+        "target_precision_reached" => (
+            &[("n", UInt), ("eps_max", Num), ("target", Num)][..],
+            &[][..],
+        ),
         _ => return None,
     })
 }
@@ -297,6 +305,148 @@ pub fn validate_line(line: &str) -> Result<&'static str, String> {
     Ok(canonical)
 }
 
+/// Decodes one `run_metrics.jsonl` line back into an [`Event`] — the
+/// inverse of [`Event::to_json_line`], used by post-hoc trace tooling
+/// (`parmonc-trace`). The line is schema-validated first, so a
+/// successful decode is guaranteed to be a faithful round-trip (up to
+/// non-finite floats, which the wire encodes as `null` and the decoder
+/// reads back as `NaN` for required fields / `None` for optional ones).
+///
+/// # Errors
+///
+/// Any [`validate_line`] error.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_obs::schema::parse_line;
+/// use parmonc_obs::EventKind;
+///
+/// let event = parse_line(
+///     r#"{"v":1,"kind":"queue_high_water","time_s":0.5,"rank":0,"depth":3}"#,
+/// )
+/// .unwrap();
+/// assert_eq!(event.kind, EventKind::QueueHighWater { depth: 3 });
+/// ```
+pub fn parse_line(line: &str) -> Result<Event, String> {
+    use crate::event::RunMode;
+
+    let kind_name = validate_line(line)?;
+    let pairs = parse_flat_object(line)?;
+    let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    // Validation already proved required fields exist with the right
+    // types; the fallbacks below are unreachable but keep the
+    // accessors total.
+    let num = |key: &str| match get(key) {
+        Some(Value::Num(n)) => *n,
+        _ => f64::NAN,
+    };
+    let opt_num = |key: &str| match get(key) {
+        Some(Value::Num(n)) => Some(*n),
+        _ => None,
+    };
+    let uint = |key: &str| match get(key) {
+        Some(Value::Num(n)) => *n as u64,
+        _ => 0,
+    };
+    let opt_uint = |key: &str| match get(key) {
+        Some(Value::Num(n)) => Some(*n as u64),
+        _ => None,
+    };
+    let text = |key: &str| match get(key) {
+        Some(Value::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+
+    let kind = match kind_name {
+        "run_started" => EventKind::RunStarted {
+            mode: if text("mode") == "simcluster" {
+                RunMode::SimCluster
+            } else {
+                RunMode::Threads
+            },
+            processors: uint("processors") as usize,
+            max_sample_volume: uint("max_sample_volume"),
+            seqnum: opt_uint("seqnum"),
+            nrow: opt_uint("nrow").map(|n| n as usize),
+            ncol: opt_uint("ncol").map(|n| n as usize),
+        },
+        "realizations" => EventKind::Realizations {
+            completed: uint("completed"),
+            compute_seconds: num("compute_seconds"),
+        },
+        "message_sent" => EventKind::MessageSent {
+            dest: uint("dest") as usize,
+            tag: uint("tag") as u32,
+            bytes: uint("bytes"),
+        },
+        "message_received" => EventKind::MessageReceived {
+            source: uint("source") as usize,
+            tag: uint("tag") as u32,
+            bytes: uint("bytes"),
+            queue_depth: uint("queue_depth"),
+        },
+        "queue_high_water" => EventKind::QueueHighWater {
+            depth: uint("depth"),
+        },
+        "averaging_pass" => EventKind::AveragingPass {
+            volume: uint("volume"),
+            duration_seconds: num("duration_seconds"),
+            eps_max: opt_num("eps_max"),
+            max_snapshot_age_seconds: opt_num("max_snapshot_age_seconds"),
+        },
+        "save_point" => EventKind::SavePoint {
+            volume: uint("volume"),
+            duration_seconds: num("duration_seconds"),
+        },
+        "collector_segment" => EventKind::CollectorSegment {
+            activity: CollectorActivity::from_str_opt(&text("activity"))
+                .unwrap_or(CollectorActivity::Waiting),
+            start_s: num("start_s"),
+            end_s: num("end_s"),
+        },
+        "run_completed" => EventKind::RunCompleted {
+            realizations: uint("realizations"),
+            t_comp_seconds: num("t_comp_seconds"),
+            messages: uint("messages"),
+            bytes: uint("bytes"),
+        },
+        "fault_injected" => EventKind::FaultInjected {
+            fault: text("fault"),
+            detail: opt_uint("detail"),
+        },
+        "worker_lost" => EventKind::WorkerLost {
+            worker: uint("worker") as usize,
+            received_realizations: uint("received_realizations"),
+        },
+        "work_reassigned" => EventKind::WorkReassigned {
+            from_worker: uint("from_worker") as usize,
+            to_worker: uint("to_worker") as usize,
+            realizations: uint("realizations"),
+        },
+        "checkpoint_recovered" => EventKind::CheckpointRecovered {
+            volume: uint("volume"),
+        },
+        "metrics_snapshot" => EventKind::MetricsSnapshot {
+            functional: uint("functional"),
+            n: uint("n"),
+            mean: opt_num("mean"),
+            err: opt_num("err"),
+        },
+        "target_precision_reached" => EventKind::TargetPrecisionReached {
+            n: uint("n"),
+            eps_max: num("eps_max"),
+            target: num("target"),
+        },
+        _ => unreachable!("validate_line only returns known kinds"),
+    };
+    Ok(Event {
+        time_s: num("time_s"),
+        rank: opt_uint("rank").map(|r| r as usize),
+        kind,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,9 +461,9 @@ mod tests {
         .to_json_line()
     }
 
-    #[test]
-    fn every_encoded_kind_validates() {
-        let kinds = vec![
+    /// One populated sample of every event kind, in schema order.
+    fn all_kind_samples() -> Vec<EventKind> {
+        vec![
             EventKind::RunStarted {
                 mode: RunMode::SimCluster,
                 processors: 8,
@@ -373,7 +523,24 @@ mod tests {
                 realizations: 40,
             },
             EventKind::CheckpointRecovered { volume: 500 },
-        ];
+            EventKind::MetricsSnapshot {
+                functional: 1,
+                n: 200,
+                mean: Some(0.785),
+                err: Some(0.003),
+            },
+            EventKind::TargetPrecisionReached {
+                n: 200,
+                eps_max: 0.0019,
+                target: 0.002,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_encoded_kind_validates() {
+        let kinds = all_kind_samples();
+        assert_eq!(kinds.len(), EventKind::ALL_KINDS.len());
         for kind in kinds {
             let expected = kind.name();
             let encoded = line(kind);
@@ -383,6 +550,32 @@ mod tests {
                 "line: {encoded}"
             );
         }
+    }
+
+    #[test]
+    fn parse_line_round_trips_every_kind() {
+        for kind in all_kind_samples() {
+            let event = Event {
+                time_s: 0.25,
+                rank: Some(1),
+                kind,
+            };
+            let decoded = parse_line(&event.to_json_line()).expect("round trip");
+            assert_eq!(decoded, event);
+        }
+        // Rank-less events round-trip too.
+        let event = Event {
+            time_s: 3.5,
+            rank: None,
+            kind: EventKind::QueueHighWater { depth: 2 },
+        };
+        assert_eq!(parse_line(&event.to_json_line()).unwrap(), event);
+    }
+
+    #[test]
+    fn parse_line_rejects_what_validate_rejects() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"v":1,"kind":"mystery","time_s":0}"#).is_err());
     }
 
     #[test]

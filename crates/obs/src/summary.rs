@@ -67,6 +67,15 @@ pub struct MonitorSummary {
     pub reassigned_realizations: u64,
     /// Resumes recovered from a `.bak` checkpoint generation.
     pub checkpoint_recoveries: u64,
+    /// Convergence snapshots (`metrics_snapshot`) in the trace.
+    pub metrics_snapshots: u64,
+    /// The `(n, eps_max, target)` of the `target_precision_reached`
+    /// event, if the run declared one.
+    pub target_precision: Option<(u64, f64, f64)>,
+    /// Trace lines the sinks failed to write (full disk etc.) — set by
+    /// the caller from [`crate::Monitor::flush`], since dropped lines
+    /// are by definition not in the event list.
+    pub dropped_events: u64,
 }
 
 impl MonitorSummary {
@@ -169,6 +178,12 @@ impl MonitorSummary {
                 EventKind::CheckpointRecovered { .. } => {
                     s.checkpoint_recoveries += 1;
                 }
+                EventKind::MetricsSnapshot { .. } => {
+                    s.metrics_snapshots += 1;
+                }
+                EventKind::TargetPrecisionReached { n, eps_max, target } => {
+                    s.target_precision = Some((*n, *eps_max, *target));
+                }
             }
         }
         s
@@ -224,6 +239,19 @@ impl MonitorSummary {
         out.push('\n');
         if let Some(age) = self.max_snapshot_age_seconds {
             let _ = writeln!(out, "  max snapshot age {age:.3} s");
+        }
+        if let Some((n, eps, target)) = self.target_precision {
+            let _ = writeln!(
+                out,
+                "  target precision reached at n {n} (eps_max {eps:.3e} <= target {target:.3e})"
+            );
+        }
+        if self.dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "  WARNING: {} trace line(s) dropped (write failures) — trace is incomplete",
+                self.dropped_events
+            );
         }
         if self.faults_injected > 0
             || self.workers_lost > 0
@@ -465,6 +493,159 @@ mod tests {
         let s = MonitorSummary::from_events(&[]);
         assert_eq!(s.events, 0);
         assert_eq!(s.collector_fraction(CollectorActivity::Waiting), None);
-        assert!(s.render_table().contains("0 events"));
+        let table = s.render_table();
+        assert!(table.contains("0 events"));
+        // No spurious sections on an empty trace.
+        assert!(!table.contains("mode"));
+        assert!(!table.contains("rank"));
+        assert!(!table.contains("WARNING"));
+    }
+
+    /// A collector-only trace (rank 0 computing everything itself, no
+    /// messages, no workers) folds and renders without a rank table
+    /// misfire or a division by zero.
+    #[test]
+    fn collector_only_trace_summarizes() {
+        let events = vec![
+            ev(
+                0.0,
+                None,
+                EventKind::RunStarted {
+                    mode: RunMode::Threads,
+                    processors: 1,
+                    max_sample_volume: 50,
+                    seqnum: Some(1),
+                    nrow: Some(1),
+                    ncol: Some(1),
+                },
+            ),
+            ev(
+                0.4,
+                Some(0),
+                EventKind::Realizations {
+                    completed: 50,
+                    compute_seconds: 0.4,
+                },
+            ),
+            ev(
+                0.5,
+                Some(0),
+                EventKind::AveragingPass {
+                    volume: 50,
+                    duration_seconds: 0.01,
+                    eps_max: Some(0.1),
+                    max_snapshot_age_seconds: None,
+                },
+            ),
+            ev(
+                0.5,
+                Some(0),
+                EventKind::CollectorSegment {
+                    activity: CollectorActivity::Computing,
+                    start_s: 0.0,
+                    end_s: 0.5,
+                },
+            ),
+            ev(
+                0.6,
+                None,
+                EventKind::RunCompleted {
+                    realizations: 50,
+                    t_comp_seconds: 0.6,
+                    messages: 0,
+                    bytes: 0,
+                },
+            ),
+        ];
+        let s = MonitorSummary::from_events(&events);
+        assert_eq!(s.messages_received, 0);
+        assert_eq!(s.ranks.len(), 1);
+        assert_eq!(s.ranks[&0].messages_sent, 0);
+        assert_eq!(
+            s.collector_fraction(CollectorActivity::Computing),
+            Some(1.0)
+        );
+        let table = s.render_table();
+        assert!(table.contains("messages received 0"));
+        assert!(table.contains("computing 100.0%"));
+    }
+
+    /// `emit_at` producers (virtual time, merged per-rank streams) may
+    /// deliver events out of timestamp order; the fold must be
+    /// order-tolerant — same summary as the sorted trace.
+    #[test]
+    fn non_monotonic_time_folds_like_sorted() {
+        let make = |completed, t| {
+            ev(
+                t,
+                Some(1),
+                EventKind::Realizations {
+                    completed,
+                    compute_seconds: t,
+                },
+            )
+        };
+        let shuffled = vec![
+            make(60, 0.9),
+            ev(
+                0.2,
+                Some(0),
+                EventKind::AveragingPass {
+                    volume: 60,
+                    duration_seconds: 0.01,
+                    eps_max: Some(0.2),
+                    max_snapshot_age_seconds: Some(0.1),
+                },
+            ),
+            make(40, 0.5),
+            ev(0.1, Some(0), EventKind::QueueHighWater { depth: 2 }),
+            make(10, 0.1),
+        ];
+        let mut sorted = shuffled.clone();
+        sorted.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+        let a = MonitorSummary::from_events(&shuffled);
+        let b = MonitorSummary::from_events(&sorted);
+        assert_eq!(a, b);
+        assert_eq!(a.ranks[&1].realizations, 60);
+        assert_eq!(a.ranks[&1].compute_seconds, 0.9);
+        let _ = a.render_table();
+    }
+
+    #[test]
+    fn metrics_plane_events_fold_and_render() {
+        let events = vec![
+            ev(
+                0.5,
+                Some(0),
+                EventKind::MetricsSnapshot {
+                    functional: 0,
+                    n: 40,
+                    mean: Some(0.5),
+                    err: Some(0.1),
+                },
+            ),
+            ev(
+                0.9,
+                Some(0),
+                EventKind::TargetPrecisionReached {
+                    n: 80,
+                    eps_max: 0.04,
+                    target: 0.05,
+                },
+            ),
+        ];
+        let s = MonitorSummary::from_events(&events);
+        assert_eq!(s.metrics_snapshots, 1);
+        assert_eq!(s.target_precision, Some((80, 0.04, 0.05)));
+        let table = s.render_table();
+        assert!(table.contains("target precision reached at n 80"));
+    }
+
+    #[test]
+    fn dropped_events_render_a_warning() {
+        let mut s = MonitorSummary::from_events(&[]);
+        s.dropped_events = 3;
+        let table = s.render_table();
+        assert!(table.contains("WARNING: 3 trace line(s) dropped"));
     }
 }

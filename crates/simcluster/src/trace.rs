@@ -261,6 +261,19 @@ pub fn simulate_monitored(config: &ClusterConfig, total: u64, monitor: &Monitor)
                         max_snapshot_age_seconds: max_snapshot_age(last_update, *t),
                     },
                 );
+                // The virtual model carries no estimate values, but it
+                // reports the same metrics-plane cadence as the real
+                // runner: one snapshot per subtotal merge.
+                monitor.emit_at(
+                    *t,
+                    Some(0),
+                    EventKind::MetricsSnapshot {
+                        functional: 0,
+                        n: volume,
+                        mean: None,
+                        err: None,
+                    },
+                );
             }
         }
     };
@@ -331,6 +344,16 @@ pub fn simulate_monitored(config: &ClusterConfig, total: u64, monitor: &Monitor)
                 duration_seconds: config.save_cost_seconds,
                 eps_max: None,
                 max_snapshot_age_seconds: max_snapshot_age(&last_update, t),
+            },
+        );
+        monitor.emit_at(
+            t,
+            Some(0),
+            EventKind::MetricsSnapshot {
+                functional: 0,
+                n: volume,
+                mean: None,
+                err: None,
             },
         );
         monitor.emit_at(
@@ -456,11 +479,14 @@ mod tests {
         let sink = Arc::new(MemorySink::new());
         let _ = simulate_monitored(&c, 64, &Monitor::new(vec![Box::new(Arc::clone(&sink))]));
         let kinds: BTreeSet<&'static str> = sink.snapshot().iter().map(|e| e.kind.name()).collect();
-        // A healthy run emits every non-fault kind; fault kinds only
-        // appear under injection (see `crate::faults`).
+        // A healthy run emits every non-fault, unconditional kind:
+        // fault kinds only appear under injection (see `crate::faults`)
+        // and conditional kinds only when their trigger (a precision
+        // target) is configured.
         let base: BTreeSet<&'static str> = parmonc_obs::EventKind::ALL_KINDS
             .into_iter()
             .filter(|k| !parmonc_obs::EventKind::FAULT_KINDS.contains(k))
+            .filter(|k| !parmonc_obs::EventKind::CONDITIONAL_KINDS.contains(k))
             .collect();
         assert_eq!(kinds, base);
     }

@@ -43,5 +43,14 @@ fn main() -> Result<(), ParmoncError> {
         "lost workers: {:?}; {} realizations reassigned to survivors",
         report.lost_workers, report.reassigned_realizations
     );
+    if let Some(summary) = &report.monitor {
+        println!();
+        println!("{}", summary.render_table());
+        println!(
+            "event trace in {} (metrics in {})",
+            report.results_dir.run_metrics_path().display(),
+            report.results_dir.metrics_prom_path().display()
+        );
+    }
     Ok(())
 }

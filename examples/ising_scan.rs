@@ -8,13 +8,17 @@
 //! `beta_c = ln(1 + sqrt(2))/2 ≈ 0.4407`.
 //!
 //! ```text
-//! cargo run --release --example ising_scan
+//! cargo run --release --example ising_scan [-- --monitor]
 //! ```
+//!
+//! With `--monitor`, every temperature point records an event trace
+//! and the last point prints the run-monitor summary table.
 
 use parmonc::{Parmonc, ParmoncError};
 use parmonc_apps::IsingModel;
 
 fn main() -> Result<(), ParmoncError> {
+    let monitor = std::env::args().any(|a| a == "--monitor");
     let side = 16;
     let sweeps = 150;
     let chains = 200;
@@ -31,17 +35,28 @@ fn main() -> Result<(), ParmoncError> {
         .enumerate()
     {
         let model = IsingModel::new(side, beta, sweeps);
-        let report = Parmonc::builder(1, 2)
+        let builder = Parmonc::builder(1, 2)
             .max_sample_volume(chains)
             .processors(4)
             .seqnum(i as u64)
-            .output_dir(std::env::temp_dir().join(format!("parmonc-ising-{i}")))
-            .run(model)?;
+            .output_dir(std::env::temp_dir().join(format!("parmonc-ising-{i}")));
+        let builder = if monitor { builder.monitor() } else { builder };
+        let report = builder.run(model)?;
         let s = &report.summary;
         println!(
             "{beta:>7.2} {:>10.4} ±{:>6.4} {:>10.4} ±{:>6.4}",
             s.means[0], s.abs_errors[0], s.means[1], s.abs_errors[1]
         );
+        if i == 7 {
+            if let Some(summary) = &report.monitor {
+                println!();
+                println!("{}", summary.render_table());
+                println!(
+                    "event trace in {}",
+                    report.results_dir.run_metrics_path().display()
+                );
+            }
+        }
     }
     println!("\n(|m| jumps across beta_c — the ferromagnetic phase transition;");
     println!(" near criticality the error bars swell: critical slowing-down.)");

@@ -9,8 +9,11 @@
 //!    requires) resumes, automatically averaging the previous results.
 //!
 //! ```text
-//! cargo run --release --example resume_manaver
+//! cargo run --release --example resume_manaver [-- --monitor]
 //! ```
+//!
+//! With `--monitor`, both jobs also record an event trace and print
+//! the run-monitor summary table.
 
 use std::time::Duration;
 
@@ -24,17 +27,23 @@ fn slow_uniform() -> impl parmonc::Realize + Sync {
 }
 
 fn main() -> Result<(), ParmoncError> {
+    let monitor = std::env::args().any(|a| a == "--monitor");
     let dir = std::env::temp_dir().join("parmonc-resume-demo");
     let _ = std::fs::remove_dir_all(&dir);
 
     // --- job 1: killed by its walltime -----------------------------
-    let report1 = Parmonc::builder(1, 1)
+    let builder1 = Parmonc::builder(1, 1)
         .max_sample_volume(1_000_000) // "endless" like the paper's 10^9
         .processors(4)
         .seqnum(0)
         .deadline(Duration::from_millis(300))
-        .output_dir(&dir)
-        .run(slow_uniform())?;
+        .output_dir(&dir);
+    let builder1 = if monitor {
+        builder1.monitor()
+    } else {
+        builder1
+    };
+    let report1 = builder1.run(slow_uniform())?;
     println!(
         "job 1 hit its walltime after {} of 1000000 realizations",
         report1.new_volume
@@ -61,13 +70,18 @@ fn main() -> Result<(), ParmoncError> {
     );
 
     // --- job 2: res = 1, fresh seqnum -------------------------------
-    let report2 = Parmonc::builder(1, 1)
+    let builder2 = Parmonc::builder(1, 1)
         .max_sample_volume(500)
         .processors(4)
         .seqnum(1) // must differ from job 1's seqnum
         .resume(Resume::Resume)
-        .output_dir(&dir)
-        .run(slow_uniform())?;
+        .output_dir(&dir);
+    let builder2 = if monitor {
+        builder2.monitor()
+    } else {
+        builder2
+    };
+    let report2 = builder2.run(slow_uniform())?;
     println!(
         "job 2 resumed {} old + {} new = {} total realizations",
         report2.resumed_volume, report2.new_volume, report2.total_volume
@@ -77,5 +91,14 @@ fn main() -> Result<(), ParmoncError> {
         report2.summary.means[0], report2.summary.abs_errors[0]
     );
     assert!((report2.summary.means[0] - 0.5).abs() <= report2.summary.abs_errors[0] + 0.05);
+    if let Some(summary) = &report2.monitor {
+        println!();
+        println!("{}", summary.render_table());
+        println!(
+            "event trace in {} (metrics in {})",
+            report2.results_dir.run_metrics_path().display(),
+            report2.results_dir.metrics_prom_path().display()
+        );
+    }
     Ok(())
 }

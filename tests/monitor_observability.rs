@@ -59,16 +59,21 @@ fn monitored_run_writes_schema_valid_jsonl() {
     assert_eq!(kinds.last(), Some(&"run_completed"));
     // A monitored healthy run exercises the full base vocabulary; the
     // fault kinds only appear when a fault plan injects failures (see
-    // tests/chaos.rs).
+    // tests/chaos.rs), and the conditional kinds only when their
+    // trigger — a precision target — is configured.
     let seen: BTreeSet<&str> = kinds.iter().copied().collect();
     for kind in EventKind::ALL_KINDS
         .into_iter()
         .filter(|k| !EventKind::FAULT_KINDS.contains(k))
+        .filter(|k| !EventKind::CONDITIONAL_KINDS.contains(k))
     {
         assert!(seen.contains(kind), "threads run never emitted {kind}");
     }
     for kind in EventKind::FAULT_KINDS {
         assert!(!seen.contains(kind), "healthy run emitted {kind}");
+    }
+    for kind in EventKind::CONDITIONAL_KINDS {
+        assert!(!seen.contains(kind), "untargeted run emitted {kind}");
     }
 }
 
@@ -104,6 +109,74 @@ fn threads_and_simcluster_emit_the_same_event_kinds() {
     let base: BTreeSet<&str> = EventKind::ALL_KINDS
         .into_iter()
         .filter(|k| !EventKind::FAULT_KINDS.contains(k))
+        .filter(|k| !EventKind::CONDITIONAL_KINDS.contains(k))
         .collect();
     assert_eq!(threads, base);
+}
+
+#[test]
+fn targeted_run_declares_target_precision() {
+    // A generous precision target is met immediately, so the trace
+    // carries exactly one (schema-valid) target_precision_reached and
+    // per-functional metrics_snapshot lines with real mean/err values.
+    let report = Parmonc::builder(1, 1)
+        .max_sample_volume(20_000)
+        .processors(4)
+        .seqnum(7)
+        .exchange(Exchange::EveryRealization)
+        .target_abs_error(0.25)
+        .output_dir(tempdir("targeted"))
+        .monitor()
+        .run(PiEstimator)
+        .unwrap();
+    let kinds = validated_kinds(&report);
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| **k == "target_precision_reached")
+            .count(),
+        1,
+        "declared exactly once"
+    );
+    assert!(kinds.contains(&"metrics_snapshot"));
+    let summary = report.monitor.as_ref().expect("monitored run");
+    let (n, eps_max, target) = summary.target_precision.expect("target declared");
+    assert!(n >= 2);
+    assert!(eps_max <= target);
+    assert_eq!(target, 0.25);
+}
+
+#[test]
+fn metrics_prom_is_valid_prometheus_text() {
+    // The exit-time exposition must parse as Prometheus text format and
+    // agree with the run on the headline counters.
+    let report = monitored_pi_run("prom", true);
+    let path = report.results_dir.metrics_prom_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    parmonc_obs::validate_prometheus_text(&text).expect("valid Prometheus exposition");
+    assert!(text.contains("parmonc_runs_completed_total 1"));
+    assert!(text.contains("parmonc_realization_seconds_bucket"));
+    assert!(text.contains(&format!(
+        "parmonc_total_realizations {}",
+        report.total_volume
+    )));
+}
+
+#[test]
+fn metrics_plane_does_not_perturb_faulted_simulation() {
+    // The deterministic virtual-time fault replay must be bit-identical
+    // with the metrics plane attached or absent.
+    use parmonc_faults::FaultPlan;
+    use parmonc_simcluster::simulate_faulted;
+
+    let config = ClusterConfig::paper_testbed(8);
+    let plan = FaultPlan::new(11).crash_rank(3, 10).drop_fraction(0.05);
+    let plain = simulate_faulted(&config, 800, &plan, 50.0, &Monitor::disabled());
+    let monitor = Monitor::new(vec![
+        Box::new(Arc::new(MemorySink::new())),
+        Box::new(parmonc_obs::MetricsSink::new()),
+    ]);
+    let monitored = simulate_faulted(&config, 800, &plan, 50.0, &monitor);
+    assert_eq!(plain, monitored);
 }
