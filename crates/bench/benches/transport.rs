@@ -1,0 +1,95 @@
+//! Process-transport overhead: running the same workload with ranks as
+//! OS processes over Unix-domain sockets (`Transport::Processes`) must
+//! stay within a bounded wall-time overhead of the thread backend.
+//! The measured overhead is recorded as
+//! `bound_process_transport_overhead_pct` so `hotpath_compare` gates it
+//! against the committed ceiling in `BENCH_hotpath.json`.
+//!
+//! # Re-execution discipline
+//!
+//! The process backend re-executes *this bench binary* once per worker,
+//! so the very first `run()` call reached by the binary must be a
+//! process-backend run with exactly the configuration every process
+//! arm uses: a re-executed worker diverts into the worker loop inside
+//! that first call and never reaches the thread arms. For the same
+//! reason the process arm's output directory is deterministic (no PID
+//! suffix) and only the parent wipes it.
+
+use std::path::Path;
+use std::time::Instant;
+
+use parmonc::prelude::{Exchange, Parmonc, RealizeFn, Transport};
+use parmonc_bench::harness::{
+    black_box, criterion_group, criterion_main, fast_mode, record_metric, Criterion,
+};
+use parmonc_bench::ScaledDiffusion;
+
+/// One full run of the laptop-scale diffusion workload on the given
+/// transport; returns wall seconds (setup + spawn + ranks + final
+/// save). Both arms share one configuration so their estimates — and
+/// the work measured — are identical; only the substrate differs.
+fn run_once(transport: Transport, dir: &Path) -> f64 {
+    let workload = ScaledDiffusion::new(40);
+    let scheme = workload.scheme().clone();
+    let volume = if fast_mode() { 150 } else { 600 };
+    if !parmonc::ipc::is_worker() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let started = Instant::now();
+    let report = Parmonc::builder(ScaledDiffusion::POINTS, 2)
+        .max_sample_volume(volume)
+        .processors(2)
+        .exchange(Exchange::EveryRealization)
+        .transport(transport)
+        .output_dir(dir)
+        .run(RealizeFn::new(move |rng, out| {
+            scheme.realize_into(rng, out)
+        }))
+        .unwrap();
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(report.new_volume, volume);
+    let _ = std::fs::remove_dir_all(dir);
+    elapsed
+}
+
+/// The fastest observed run — the noise-robust estimator for a
+/// deterministic workload (noise only ever adds time).
+fn minimum(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn bench_transport_overhead(_c: &mut Criterion) {
+    // Deterministic: re-executed workers must rebuild this exact path.
+    let proc_dir = std::env::temp_dir().join("parmonc-bench-transport-processes");
+    let thread_dir = std::env::temp_dir().join(format!(
+        "parmonc-bench-transport-threads-{}",
+        std::process::id()
+    ));
+
+    // Warmup — and the mandatory first run() of the binary (see module
+    // docs): workers spawned by *any* process run divert here.
+    let _ = black_box(run_once(Transport::Processes, &proc_dir));
+
+    // Interleaved pairs, process arm first in each (a worker must never
+    // reach a thread run), so slow machine-load drift hits both arms
+    // equally.
+    let samples: usize = if fast_mode() { 5 } else { 11 };
+    let mut processes = Vec::with_capacity(samples);
+    let mut threads = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        processes.push(run_once(Transport::Processes, &proc_dir));
+        threads.push(run_once(Transport::Threads, &thread_dir));
+    }
+    let proc_min = minimum(&processes);
+    let thread_min = minimum(&threads);
+    let overhead = (proc_min - thread_min) / thread_min;
+    println!(
+        "transport_overhead: threads {thread_min:.4} s, processes {proc_min:.4} s, \
+         overhead {:.2}%",
+        overhead * 100.0
+    );
+    record_metric("bound_process_transport_overhead_pct", overhead * 100.0);
+}
+
+criterion_group!(benches, bench_transport_overhead);
+criterion_main!(benches);

@@ -1,11 +1,13 @@
 //! `parmonc-demo <pi|transport|queue> [volume] [processors] [dir]
-//! [--monitor]` — runs a bundled workload through the full PARMONC
-//! pipeline and prints the averaged results; with `--monitor`, also
-//! records a run trace and prints the monitor summary table.
+//! [--monitor] [--transport threads|processes]` — runs a bundled
+//! workload through the full PARMONC pipeline and prints the averaged
+//! results; with `--monitor`, also records a run trace and prints the
+//! monitor summary table. `--transport processes` runs the workers as
+//! separate OS processes over Unix-domain sockets instead of threads.
 
 use std::process::ExitCode;
 
-use parmonc::{Parmonc, ParmoncError, RunReport};
+use parmonc::prelude::{Parmonc, ParmoncError, RunReport};
 use parmonc_apps::{MM1Queue, PiEstimator, SlabTransport};
 use parmonc_cli::{exit_code_for, parse_demo_args, DemoArgs, DemoWorkload};
 
@@ -14,6 +16,7 @@ fn run(args: &DemoArgs) -> Result<(RunReport, Vec<&'static str>), ParmoncError> 
         let b = Parmonc::builder(1, ncol)
             .max_sample_volume(args.volume)
             .processors(args.processors)
+            .transport(args.transport)
             .output_dir(&args.dir);
         if args.monitor {
             b.monitor()

@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use parmonc::ParmoncError;
+use parmonc::{ParmoncError, Transport};
 use parmonc_obs::{Event, EventKind, EventSink, MetricsSink, MonitorSummary};
 
 /// Maps a runtime error to the tool's process exit code, so batch
@@ -158,11 +158,19 @@ pub struct DemoArgs {
     /// (`parmonc_data/monitor/run_metrics.jsonl`) and print the
     /// end-of-run summary table.
     pub monitor: bool,
+    /// Which message-passing substrate carries the run
+    /// (`--transport threads|processes`, default threads).
+    pub transport: Transport,
 }
 
 /// Parses
-/// `parmonc-demo <pi|transport|queue> [volume] [processors] [dir] [--monitor]`.
-/// The `--monitor` flag may appear anywhere.
+/// `parmonc-demo <pi|transport|queue> [volume] [processors] [dir] [--monitor]
+/// [--transport threads|processes]`. The flags may appear anywhere.
+///
+/// The hidden `--parmonc-worker` re-execution marker (appended by the
+/// process transport when it self-execs workers) is stripped before
+/// parsing, so a worker re-parse sees the same positional arguments as
+/// the parent.
 ///
 /// # Errors
 ///
@@ -172,9 +180,26 @@ where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
-    const USAGE: &str =
-        "usage: parmonc-demo <pi|transport|queue> [volume] [processors] [dir] [--monitor]";
+    const USAGE: &str = "usage: parmonc-demo <pi|transport|queue> [volume] [processors] [dir] \
+                         [--monitor] [--transport threads|processes]";
     let mut values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    values.retain(|v| v != parmonc::ipc::WORKER_FLAG);
+    let mut transport = Transport::Threads;
+    while let Some(pos) = values.iter().position(|v| v == "--transport") {
+        let Some(choice) = values.get(pos + 1) else {
+            return Err(format!("--transport requires a value\n{USAGE}"));
+        };
+        transport = match choice.as_str() {
+            "threads" => Transport::Threads,
+            "processes" => Transport::Processes,
+            other => {
+                return Err(format!(
+                    "unknown transport {other:?} (expected threads or processes)\n{USAGE}"
+                ))
+            }
+        };
+        values.drain(pos..=pos + 1);
+    }
     let before = values.len();
     values.retain(|v| v != "--monitor");
     let monitor = values.len() < before;
@@ -208,6 +233,7 @@ where
         processors,
         dir,
         monitor,
+        transport,
     })
 }
 
@@ -711,6 +737,34 @@ mod tests {
     }
 
     #[test]
+    fn demo_transport_flag() {
+        let a = parse_demo_args(["pi"]).unwrap();
+        assert_eq!(a.transport, Transport::Threads);
+
+        let a = parse_demo_args(["pi", "--transport", "processes"]).unwrap();
+        assert_eq!(a.transport, Transport::Processes);
+
+        // Anywhere, and positionals still line up around it.
+        let a = parse_demo_args(["--transport", "threads", "queue", "5000", "8"]).unwrap();
+        assert_eq!(a.transport, Transport::Threads);
+        assert_eq!(a.workload, DemoWorkload::Queue);
+        assert_eq!(a.volume, 5000);
+        assert_eq!(a.processors, 8);
+
+        assert!(parse_demo_args(["pi", "--transport"]).is_err());
+        assert!(parse_demo_args(["pi", "--transport", "carrier-pigeon"]).is_err());
+    }
+
+    #[test]
+    fn demo_strips_worker_marker() {
+        // A re-executed worker sees the parent's argv plus the hidden
+        // marker; parsing must come out identical.
+        let a = parse_demo_args(["pi", "1000", "2", parmonc::ipc::WORKER_FLAG]).unwrap();
+        let b = parse_demo_args(["pi", "1000", "2"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn trace_arg_parsing() {
         assert_eq!(
             parse_trace_args(["summary", "t.jsonl"]).unwrap(),
@@ -751,6 +805,7 @@ mod tests {
                     seqnum: Some(1),
                     nrow: Some(1),
                     ncol: Some(1),
+                    transport: Some(parmonc_obs::RunTransport::Threads),
                 },
             ),
             ev(

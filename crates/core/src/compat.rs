@@ -9,9 +9,24 @@
 //!
 //! [`parmoncc`] mirrors that argument list one-for-one (with `perpass`
 //! and `peraver` in *minutes*, as in the paper), so the Section 4
-//! listing ports mechanically. New code should prefer the
-//! [`Parmonc`] builder, which adds the knobs the C API
-//! never had (deadline, error target, exchange mode, output dir).
+//! listing ports mechanically.
+//!
+//! # A veneer, not a second runner
+//!
+//! `parmoncc` contains no simulation logic of its own: it maps its
+//! eight arguments onto a [`Parmonc`] builder chain and calls
+//! [`ParmoncBuilder::run`](crate::ParmoncBuilder::run) — nothing more.
+//! A `parmoncc(...)` call and the equivalent builder chain (same shape,
+//! volume, `seqnum`, periods, and `default_processors()` processor
+//! count) therefore produce *bit-identical* estimates: same RNG stream
+//! assignment, same formula-(5) averaging, same `RunReport.summary`.
+//! The `compat_and_builder_reports_are_bit_identical` test pins this
+//! down.
+//!
+//! New code should prefer [`crate::prelude`] and the [`Parmonc`]
+//! builder, which add the knobs the C API never had (deadline, error
+//! target, exchange mode, output dir, and the
+//! [`Transport`](crate::Transport) backend selector).
 
 use std::time::Duration;
 
@@ -92,6 +107,24 @@ pub fn default_processors() -> usize {
 mod tests {
     use super::*;
     use crate::realize::RealizeFn;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that change the process-wide current
+    /// directory (the shim always writes to `parmonc_data/` under cwd).
+    static CWD_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Runs `body` with cwd set to a fresh scratch directory, restoring
+    /// the original cwd afterwards.
+    fn in_scratch_cwd<T>(tag: &str, body: impl FnOnce() -> T) -> (std::path::PathBuf, T) {
+        let dir = std::env::temp_dir().join(format!("parmonc-compat-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let out = body();
+        std::env::set_current_dir(prev).unwrap();
+        (dir, out)
+    }
 
     #[test]
     fn rejects_invalid_res_flag() {
@@ -109,26 +142,60 @@ mod tests {
 
     #[test]
     fn shim_runs_a_simulation_in_cwd_style_dir() {
-        // Use a scratch cwd so the test does not pollute the repo.
-        let dir = std::env::temp_dir().join(format!("parmonc-compat-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        let prev = std::env::current_dir().unwrap();
-        std::env::set_current_dir(&dir).unwrap();
-        let result = parmoncc(
-            RealizeFn::new(|rng, out| out[0] = rng.next_f64()),
-            1,
-            1,
-            2_000,
-            0,
-            0,
-            10,
-            20,
-        );
-        std::env::set_current_dir(prev).unwrap();
+        let _guard = CWD_LOCK.lock().unwrap();
+        let (dir, result) = in_scratch_cwd("smoke", || {
+            parmoncc(
+                RealizeFn::new(|rng, out| out[0] = rng.next_f64()),
+                1,
+                1,
+                2_000,
+                0,
+                0,
+                10,
+                20,
+            )
+        });
         let report = result.unwrap();
         assert_eq!(report.total_volume, 2_000);
         assert!((report.summary.means[0] - 0.5).abs() < 0.05);
         assert!(dir.join("parmonc_data/results/func.dat").is_file());
+    }
+
+    #[test]
+    fn compat_and_builder_reports_are_bit_identical() {
+        // The shim is a veneer: for the same fixed seed (seqnum) and
+        // shape, its report must be *bit-identical* to the equivalent
+        // builder call — not merely statistically close.
+        let _guard = CWD_LOCK.lock().unwrap();
+        let difftraj = || {
+            RealizeFn::new(|rng: &mut crate::RealizationStream, out: &mut [f64]| {
+                out[0] = rng.next_f64();
+                out[1] = out[0] * out[0];
+            })
+        };
+        let (_, shim) = in_scratch_cwd("veneer-shim", || {
+            parmoncc(difftraj(), 1, 2, 3_000, 0, 7, 10, 20).unwrap()
+        });
+        let (_, built) = in_scratch_cwd("veneer-builder", || {
+            Parmonc::builder(1, 2)
+                .max_sample_volume(3_000)
+                .resume(Resume::New)
+                .seqnum(7)
+                .processors(default_processors())
+                .pass_period(Duration::from_secs(10 * 60))
+                .averaging_period(Duration::from_secs(20 * 60))
+                .run(difftraj())
+                .unwrap()
+        });
+        // Every deterministic field of the report matches exactly;
+        // only wall-clock timing fields may differ between the runs.
+        assert_eq!(shim.summary, built.summary);
+        assert_eq!(shim.total_volume, built.total_volume);
+        assert_eq!(shim.new_volume, built.new_volume);
+        assert_eq!(shim.resumed_volume, built.resumed_volume);
+        assert_eq!(shim.processors, built.processors);
+        assert_eq!(shim.worker_volumes, built.worker_volumes);
+        assert_eq!(shim.lost_workers, built.lost_workers);
+        assert_eq!(shim.reassigned_realizations, built.reassigned_realizations);
     }
 }

@@ -21,6 +21,31 @@ pub enum Resume {
     Resume,
 }
 
+/// Which substrate carries rank traffic.
+///
+/// Both backends implement the same [`parmonc_mpi::Transport`] trait
+/// and run the identical collector/worker code, so for a fixed
+/// configuration and seed the estimates are bit-identical across
+/// backends — only the isolation (and its costs) differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Ranks are OS threads in this process exchanging envelopes over
+    /// channels (`parmonc-mpi`). The default: fastest, and the whole
+    /// world shares one address space.
+    #[default]
+    Threads,
+    /// Ranks are separate *processes*: rank 0 re-executes the current
+    /// binary once per worker and exchanges the same length-prefixed
+    /// envelopes over Unix-domain sockets (`parmonc-ipc`) — the
+    /// paper's actual deployment shape, one address space per rank.
+    ///
+    /// The re-execution runs the user program's `main` again in every
+    /// worker up to the `run()` call, where the runtime diverts into
+    /// the worker loop; guard side effects before that call with
+    /// [`crate::ipc::is_worker`].
+    Processes,
+}
+
 /// When workers ship subtotals to rank 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Exchange {
@@ -97,6 +122,16 @@ pub struct RunConfig {
     /// If `true`, a detected worker loss aborts the run with
     /// [`ParmoncError::WorkerLost`] instead of degrading gracefully.
     pub fail_on_worker_loss: bool,
+    /// Which substrate carries rank traffic (threads in-process, or
+    /// forked worker processes over Unix-domain sockets).
+    pub transport: Transport,
+    /// Arguments the process backend passes to the re-executed worker
+    /// binary (excluding the program name; the hidden worker flag is
+    /// appended automatically). `None` — the default — inherits this
+    /// process's own arguments, which is right for CLI binaries; test
+    /// harnesses set this to the filter that reaches the spawning test
+    /// function. Ignored by the thread backend.
+    pub worker_args: Option<Vec<String>>,
 }
 
 impl RunConfig {
@@ -194,6 +229,8 @@ impl ParmoncBuilder {
                 heartbeat_period: Duration::from_millis(250),
                 liveness_timeout: Duration::from_secs(30),
                 fail_on_worker_loss: false,
+                transport: Transport::Threads,
+                worker_args: None,
             },
         }
     }
@@ -319,6 +356,30 @@ impl ParmoncBuilder {
     #[must_use]
     pub fn fail_on_worker_loss(mut self) -> Self {
         self.config.fail_on_worker_loss = true;
+        self
+    }
+
+    /// Selects the transport substrate: [`Transport::Threads`] (the
+    /// default, in-process) or [`Transport::Processes`] (forked worker
+    /// processes over Unix-domain sockets). Estimates are bit-identical
+    /// across backends for the same configuration and seed.
+    #[must_use]
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.config.transport = transport;
+        self
+    }
+
+    /// Overrides the arguments the process backend passes to the
+    /// re-executed worker binary (see [`RunConfig::worker_args`]).
+    /// Needed inside test harnesses, where the workers must re-run the
+    /// exact test function that spawned them.
+    #[must_use]
+    pub fn worker_args<I, S>(mut self, args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.config.worker_args = Some(args.into_iter().map(Into::into).collect());
         self
     }
 

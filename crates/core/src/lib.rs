@@ -54,10 +54,11 @@ pub mod files;
 pub mod genparam;
 pub mod manaver;
 pub mod messages;
+pub mod prelude;
 pub mod realize;
 pub mod runner;
 
-pub use config::{Exchange, ParmoncBuilder, Resume, RunConfig};
+pub use config::{Exchange, ParmoncBuilder, Resume, RunConfig, Transport};
 pub use error::ParmoncError;
 pub use files::ResultsDir;
 pub use realize::{Realize, RealizeFn};
@@ -65,3 +66,11 @@ pub use runner::{Parmonc, RunReport};
 
 pub use parmonc_rng::{LeapConfig, RealizationStream, StreamHierarchy, StreamId};
 pub use parmonc_stats::{MatrixAccumulator, MatrixSummary};
+
+/// Re-export of the multi-process transport crate, for callers that
+/// need the re-execution plumbing directly: [`ipc::is_worker`] to guard
+/// destructive test setup against running again in a re-executed
+/// worker, and [`ipc::WORKER_FLAG`] so argument parsers can strip the
+/// hidden re-execution marker. Selecting the backend itself goes
+/// through [`ParmoncBuilder::transport`] with [`Transport`].
+pub use parmonc_ipc as ipc;

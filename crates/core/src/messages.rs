@@ -56,19 +56,19 @@ impl Subtotal {
     /// Serializes into a message payload.
     #[must_use]
     pub fn encode(&self) -> Bytes {
-        Self::encode_state(&self.acc, self.compute_seconds)
+        Self::encode_state_pooled(&self.acc, self.compute_seconds, &BufferPool::new(1))
     }
 
-    /// Serializes *borrowed* accumulator state — the hot-path variant
-    /// that lets a worker emit its running accumulator without cloning
-    /// it into a `Subtotal` first. Bitwise identical to
-    /// [`Subtotal::encode`]. The buffer is pre-sized to the exact
-    /// encoded length, so encoding never reallocates mid-write.
+    /// Serializes *borrowed* accumulator state without a caller-owned
+    /// buffer pool. Bitwise identical to [`Subtotal::encode`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `encode_state_pooled` with the transport's `BufferPool` — this \
+                convenience path allocates a throwaway pool per call"
+    )]
     #[must_use]
     pub fn encode_state(acc: &MatrixAccumulator, compute_seconds: f64) -> Bytes {
-        let (nrow, ncol) = acc.shape();
-        let w = PayloadWriter::with_capacity(Self::encoded_len(nrow, ncol));
-        Self::encode_into_writer(acc, compute_seconds, w)
+        Self::encode_state_pooled(acc, compute_seconds, &BufferPool::new(1))
     }
 
     /// [`Subtotal::encode_state`] into a recycled buffer from `pool`
@@ -191,6 +191,7 @@ mod tests {
     fn borrowed_and_pooled_encodes_are_bitwise_identical() {
         let s = sample();
         let owned = s.encode();
+        #[allow(deprecated)]
         let borrowed = Subtotal::encode_state(&s.acc, s.compute_seconds);
         assert_eq!(owned, borrowed);
         let pool = BufferPool::default();

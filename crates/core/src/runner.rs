@@ -15,16 +15,18 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use parmonc_faults::{FaultHandle, FaultKind};
-use parmonc_mpi::{Bytes, Communicator, Envelope, MpiError, World};
+use parmonc_ipc::{ChildTransport, ProcessTransport, SpawnOptions, WorkerInfo};
+use parmonc_mpi::Transport as Comm;
+use parmonc_mpi::{Bytes, Envelope, MpiError, World};
 use parmonc_obs::{
     CollectorActivity, ConvergenceTracker, EventKind, JsonlSink, MemorySink, MetricsSink, Monitor,
-    MonitorSummary, RunMode,
+    MonitorSummary, RunMode, RunTransport,
 };
 use parmonc_rng::{StreamHierarchy, StreamId};
 use parmonc_stats::report::LogReport;
 use parmonc_stats::{MatrixAccumulator, MatrixSummary};
 
-use crate::config::{Exchange, ParmoncBuilder, Resume, RunConfig};
+use crate::config::{Exchange, ParmoncBuilder, Resume, RunConfig, Transport};
 use crate::error::{IoContext, ParmoncError};
 use crate::files::{ExperimentRecord, ResultsDir};
 use crate::messages::{Subtotal, TAG_EXTEND, TAG_FINAL, TAG_HEARTBEAT, TAG_STOP, TAG_SUBTOTAL};
@@ -200,6 +202,11 @@ fn resume_baseline(
 /// Runs the simulation. This is the body behind
 /// [`ParmoncBuilder::run`](crate::config::ParmoncBuilder::run).
 ///
+/// With [`Transport::Processes`], this call is also the worker-side
+/// entry point: a re-executed worker process runs the user program up
+/// to this call, where the `PARMONC_WORKER_*` environment diverts it
+/// into the worker loop and the process exits without returning.
+///
 /// # Errors
 ///
 /// Propagates configuration, resume, I/O and transport errors.
@@ -207,7 +214,30 @@ pub fn run<R>(config: RunConfig, realize: R) -> Result<RunReport, ParmoncError>
 where
     R: Realize + Sync,
 {
-    let start = Instant::now();
+    if config.transport == Transport::Processes {
+        if let Some(info) = parmonc_ipc::worker_env() {
+            run_worker_process(&info, &config, &realize);
+        }
+        return run_processes(config, realize);
+    }
+    run_threads(config, realize)
+}
+
+/// Everything both backends set up before any rank starts simulating.
+struct RunSetup {
+    faults: FaultHandle,
+    dir: ResultsDir,
+    monitor: Monitor,
+    memory: Option<Arc<MemorySink>>,
+    baseline: MatrixAccumulator,
+    resumed_volume: u64,
+    checkpoint_recovered: bool,
+    hierarchy: StreamHierarchy,
+}
+
+/// The rank-0-side preamble shared by both backends: results
+/// directory, monitor plane, resume baseline, experiment journal.
+fn prepare(config: &RunConfig, transport: RunTransport) -> Result<RunSetup, ParmoncError> {
     let faults = config.faults.build();
     let dir = ResultsDir::create(&config.output_dir)?.with_faults(faults.clone());
 
@@ -242,10 +272,11 @@ where
             seqnum: Some(config.seqnum),
             nrow: Some(config.nrow),
             ncol: Some(config.ncol),
+            transport: Some(transport),
         },
     );
 
-    let (baseline, checkpoint_recovered) = resume_baseline(&config, &dir)?;
+    let (baseline, checkpoint_recovered) = resume_baseline(config, &dir)?;
     let resumed_volume = baseline.count();
     if checkpoint_recovered {
         monitor.emit(
@@ -266,8 +297,31 @@ where
     dir.save_baseline(&baseline)?;
     dir.clear_worker_subtotals()?;
 
-    let hierarchy = StreamHierarchy::new(config.leaps);
-    let comms = World::communicators_faulted(config.processors, monitor.clone(), faults.clone())?;
+    Ok(RunSetup {
+        faults,
+        dir,
+        monitor,
+        memory,
+        baseline,
+        resumed_volume,
+        checkpoint_recovered,
+        hierarchy: StreamHierarchy::new(config.leaps),
+    })
+}
+
+/// The thread backend: ranks are scoped OS threads over the
+/// `parmonc-mpi` channel world.
+fn run_threads<R>(config: RunConfig, realize: R) -> Result<RunReport, ParmoncError>
+where
+    R: Realize + Sync,
+{
+    let start = Instant::now();
+    let setup = prepare(&config, RunTransport::Threads)?;
+    let comms = World::communicators_faulted(
+        config.processors,
+        setup.monitor.clone(),
+        setup.faults.clone(),
+    )?;
 
     // Shared slot for an error raised inside a rank (first one wins).
     let failure: Mutex<Option<ParmoncError>> = Mutex::new(None);
@@ -280,17 +334,18 @@ where
         let mut handles = Vec::new();
         for comm in comms {
             let config = Arc::clone(&config);
-            let hierarchy = hierarchy.clone();
-            let dir = dir.clone();
-            let baseline = baseline.clone();
+            let hierarchy = setup.hierarchy.clone();
+            let dir = setup.dir.clone();
+            let baseline = setup.baseline.clone();
             let failure = &failure;
             let collector_out = &collector_out;
-            let monitor = monitor.clone();
-            let faults = faults.clone();
+            let monitor = setup.monitor.clone();
+            let faults = setup.faults.clone();
             handles.push(scope.spawn(move || {
                 let result = if comm.rank() == 0 {
+                    let mut comm = comm;
                     rank0_loop(
-                        comm, &config, &hierarchy, &dir, baseline, realize, start, &monitor,
+                        &mut comm, &config, &hierarchy, &dir, baseline, realize, start, &monitor,
                     )
                     .map(|outcome| {
                         *collector_out.lock().unwrap() = Some(outcome);
@@ -321,15 +376,106 @@ where
     if let Some(e) = failure.into_inner().unwrap() {
         return Err(e);
     }
+    let outcome = collector_out
+        .into_inner()
+        .unwrap()
+        .expect("rank 0 always produces collector state on success");
+    finish(&config, setup, start, outcome)
+}
+
+/// The process backend, parent side: spawn the workers, run the
+/// collector loop over the socket world, then tear the world down
+/// before folding the report.
+fn run_processes<R>(config: RunConfig, realize: R) -> Result<RunReport, ParmoncError>
+where
+    R: Realize + Sync,
+{
+    let start = Instant::now();
+    let setup = prepare(&config, RunTransport::Processes)?;
+    let mut transport = ProcessTransport::spawn(SpawnOptions {
+        size: config.processors,
+        monitor: setup.monitor.clone(),
+        faults: setup.faults.clone(),
+        worker_args: config.worker_args.clone(),
+    })
+    .io_ctx("spawning worker processes")?;
+    let result = rank0_loop(
+        &mut transport,
+        &config,
+        &setup.hierarchy,
+        &setup.dir,
+        setup.baseline.clone(),
+        &realize,
+        start,
+        &setup.monitor,
+    );
+    // Reap the children before propagating any collector error, so no
+    // failure path leaks worker processes; shutdown also joins the
+    // socket readers, guaranteeing every forwarded worker event is in
+    // the sinks before the epilogue folds the trace.
+    let shutdown = transport.shutdown();
+    let outcome = result?;
+    shutdown.io_ctx("shutting down worker processes")?;
+    finish(&config, setup, start, outcome)
+}
+
+/// The process backend, worker side: never returns — the worker loop
+/// runs to completion and the process exits, so the re-executed user
+/// `main` continues past `run()` in the parent only.
+fn run_worker_process<R: Realize>(info: &WorkerInfo, config: &RunConfig, realize: &R) -> ! {
+    let code = match worker_process_body(info, config, realize) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("parmonc worker rank {}: {e}", info.rank);
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn worker_process_body<R: Realize>(
+    info: &WorkerInfo,
+    config: &RunConfig,
+    realize: &R,
+) -> Result<(), ParmoncError> {
+    let start = Instant::now();
+    // Each worker builds its own fault handle from the same seeded
+    // plan; fault sequence counters are per-(src, dst, tag) channel,
+    // and this process only ever *sends* on its own rank's channels,
+    // so the decisions match the shared-handle thread backend exactly.
+    let faults = config.faults.build();
+    let dir = ResultsDir::create(&config.output_dir)?.with_faults(faults.clone());
+    let hierarchy = StreamHierarchy::new(config.leaps);
+    let comm = ChildTransport::connect(info, faults.clone())
+        .io_ctx("connecting to the collector socket")?;
+    let monitor = comm.monitor();
+    worker_loop(
+        comm, config, &hierarchy, &dir, realize, start, &monitor, &faults,
+    )
+}
+
+/// The rank-0-side epilogue shared by both backends: the final
+/// averaging pass, result files, and the report.
+fn finish(
+    config: &RunConfig,
+    setup: RunSetup,
+    start: Instant,
+    outcome: CollectorOutcome,
+) -> Result<RunReport, ParmoncError> {
+    let RunSetup {
+        dir,
+        monitor,
+        memory,
+        resumed_volume,
+        checkpoint_recovered,
+        ..
+    } = setup;
     let CollectorOutcome {
         state,
         lost_workers,
         reassigned_realizations,
         mut convergence,
-    } = collector_out
-        .into_inner()
-        .unwrap()
-        .expect("rank 0 always produces collector state on success");
+    } = outcome;
 
     // Final averaging and save. This path always runs (unlike the
     // in-loop save-points, which only fire when `averaging_period`
@@ -542,9 +688,9 @@ fn simulate_quota<R: Realize + ?Sized>(
     }))
 }
 
-#[allow(clippy::too_many_arguments)] // internal: one call site
-fn worker_loop<R: Realize + ?Sized>(
-    comm: Communicator,
+#[allow(clippy::too_many_arguments)] // internal: one call site per backend
+fn worker_loop<C: Comm, R: Realize + ?Sized>(
+    comm: C,
     config: &RunConfig,
     hierarchy: &StreamHierarchy,
     dir: &ResultsDir,
@@ -687,12 +833,12 @@ struct CollectorOutcome {
 /// across surviving workers that are still simulating; shares that
 /// cannot be delivered (no survivors, or the survivor exited between
 /// the liveness check and the send) fall to the collector itself.
-fn reassign(
+fn reassign<C: Comm>(
     live: &mut Liveness,
     from: usize,
     budget: u64,
     finals: &[bool],
-    comm: &Communicator,
+    comm: &C,
     monitor: &Monitor,
 ) {
     live.reassigned += budget;
@@ -746,13 +892,13 @@ fn reassign(
 /// budget, and records the loss — or fails the whole run when the
 /// configuration demands that.
 #[allow(clippy::too_many_arguments)] // internal plumbing
-fn declare_lost(
+fn declare_lost<C: Comm>(
     live: &mut Liveness,
     dead: usize,
     config: &RunConfig,
     state: &CollectorState,
     finals: &[bool],
-    comm: &Communicator,
+    comm: &C,
     monitor: &Monitor,
     stopping: bool,
 ) -> Result<(), ParmoncError> {
@@ -784,12 +930,12 @@ fn declare_lost(
 /// declared immediately — used when the transport reports all senders
 /// disconnected, so no further message can ever arrive.
 #[allow(clippy::too_many_arguments)] // internal plumbing
-fn check_liveness(
+fn check_liveness<C: Comm>(
     live: &mut Liveness,
     finals: &[bool],
     config: &RunConfig,
     state: &CollectorState,
-    comm: &Communicator,
+    comm: &C,
     monitor: &Monitor,
     stopping: bool,
     force: bool,
@@ -818,13 +964,13 @@ fn check_liveness(
 /// dropped; base-quota shortfalls (deadline, stop broadcast) are left
 /// alone, as before.
 #[allow(clippy::too_many_arguments)] // internal plumbing
-fn collector_handle(
+fn collector_handle<C: Comm>(
     env: Envelope,
     state: &mut CollectorState,
     finals: &mut [bool],
     live: &mut Liveness,
     config: &RunConfig,
-    comm: &Communicator,
+    comm: &C,
     monitor: &Monitor,
     start: Instant,
     stopping: bool,
@@ -854,7 +1000,7 @@ fn collector_handle(
 /// Notifies every worker of error-controlled stopping. A worker that
 /// already sent its final and exited has dropped its inbox; that is
 /// not an error for a stop notification.
-fn broadcast_stop(comm: &Communicator, size: usize) -> Result<(), ParmoncError> {
+fn broadcast_stop<C: Comm>(comm: &C, size: usize) -> Result<(), ParmoncError> {
     for dest in 1..size {
         match comm.send(dest, TAG_STOP, &[]) {
             Ok(()) | Err(MpiError::Disconnected) => {}
@@ -864,10 +1010,10 @@ fn broadcast_stop(comm: &Communicator, size: usize) -> Result<(), ParmoncError> 
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)] // internal: one call site
+#[allow(clippy::too_many_arguments)] // internal: one call site per backend
 #[allow(clippy::too_many_lines)]
-fn rank0_loop<R: Realize + ?Sized>(
-    mut comm: Communicator,
+fn rank0_loop<C: Comm, R: Realize + ?Sized>(
+    comm: &mut C,
     config: &RunConfig,
     hierarchy: &StreamHierarchy,
     dir: &ResultsDir,
@@ -960,7 +1106,7 @@ fn rank0_loop<R: Realize + ?Sized>(
                 &mut finals,
                 &mut live,
                 config,
-                &comm,
+                &*comm,
                 monitor,
                 start,
                 stop_broadcast,
@@ -979,7 +1125,7 @@ fn rank0_loop<R: Realize + ?Sized>(
             &finals,
             config,
             &state,
-            &comm,
+            &*comm,
             monitor,
             stop_broadcast,
             false,
@@ -996,7 +1142,7 @@ fn rank0_loop<R: Realize + ?Sized>(
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
                 if eps_max <= target && !stop_broadcast {
-                    broadcast_stop(&comm, size)?;
+                    broadcast_stop(comm, size)?;
                     stop_broadcast = true;
                 }
             }
@@ -1066,7 +1212,7 @@ fn rank0_loop<R: Realize + ?Sized>(
                     &mut finals,
                     &mut live,
                     config,
-                    &comm,
+                    &*comm,
                     monitor,
                     start,
                     stop_broadcast,
@@ -1084,7 +1230,7 @@ fn rank0_loop<R: Realize + ?Sized>(
                     &finals,
                     config,
                     &state,
-                    &comm,
+                    &*comm,
                     monitor,
                     stop_broadcast,
                     true,
@@ -1098,7 +1244,7 @@ fn rank0_loop<R: Realize + ?Sized>(
             &finals,
             config,
             &state,
-            &comm,
+            &*comm,
             monitor,
             stop_broadcast,
             false,
@@ -1111,7 +1257,7 @@ fn rank0_loop<R: Realize + ?Sized>(
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
                 if eps_max <= target && !stop_broadcast {
-                    broadcast_stop(&comm, size)?;
+                    broadcast_stop(comm, size)?;
                     stop_broadcast = true;
                 }
             }

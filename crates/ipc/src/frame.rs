@@ -1,0 +1,146 @@
+//! The wire framing for socket transport traffic.
+//!
+//! One frame is `[source u32][tag u32][len u32][payload]`, all
+//! little-endian — the same length-prefixed envelope shape the
+//! in-process substrate moves over channels, so a [`Frame`] maps 1:1
+//! onto a `parmonc_mpi::Envelope`. Two tags above the collective
+//! range are reserved for the transport's own protocol and never
+//! surface as envelopes: the connection handshake and forwarded
+//! monitor events.
+
+use std::io::{self, Read, Write};
+
+/// The handshake frame a worker sends right after connecting: the
+/// payload is the spawn token, the source is the worker's rank.
+pub const TAG_IPC_HELLO: u32 = 0xFFFF_FF00;
+
+/// A forwarded monitor event: the payload is one schema-valid
+/// `run_metrics.jsonl` line, re-emitted by the parent with the
+/// child's timestamp.
+pub const TAG_IPC_EVENT: u32 = 0xFFFF_FF01;
+
+/// Upper bound on a frame payload; anything larger is a protocol
+/// error, not a subtotal (the performance-test message is ~32 KB).
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sending rank.
+    pub source: u32,
+    /// Message tag (user, collective, or one of the `TAG_IPC_*`
+    /// protocol tags).
+    pub tag: u32,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame. The 12-byte header and the payload go out as two
+/// `write_all` calls under the caller's stream lock, so concurrent
+/// senders cannot interleave.
+///
+/// # Errors
+///
+/// Any I/O error from the underlying stream.
+pub fn write_frame(w: &mut impl Write, source: u32, tag: u32, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 12];
+    header[0..4].copy_from_slice(&source.to_le_bytes());
+    header[4..8].copy_from_slice(&tag.to_le_bytes());
+    header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary
+/// (the peer closed its end after a complete message).
+///
+/// # Errors
+///
+/// An I/O error, a mid-frame EOF, or a length prefix past
+/// [`MAX_FRAME_LEN`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; 12];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let source = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let tag = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length prefix exceeds the protocol maximum",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Frame {
+        source,
+        tag,
+        payload,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 3, 1, b"subtotal").unwrap();
+        write_frame(&mut buf, 0, TAG_IPC_EVENT, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap(),
+            Frame {
+                source: 3,
+                tag: 1,
+                payload: b"subtotal".to_vec()
+            }
+        );
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap(),
+            Frame {
+                source: 0,
+                tag: TAG_IPC_EVENT,
+                payload: Vec::new()
+            }
+        );
+        // Clean EOF at a frame boundary.
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, 2, b"cut").unwrap();
+        // Truncated header.
+        let mut r = &buf[..6];
+        assert!(read_frame(&mut r).is_err());
+        // Truncated payload.
+        let mut r = &buf[..13];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut header = [0u8; 12];
+        header[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &header[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

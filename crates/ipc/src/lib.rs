@@ -1,0 +1,34 @@
+//! Multi-process Unix-socket transport for the PARMONC reproduction.
+//!
+//! The in-process substrate (`parmonc-mpi`) runs ranks as OS threads;
+//! this crate runs them as *processes*, which is the paper's actual
+//! deployment shape: every rank has its own address space and RNG
+//! state, and all communication crosses a real kernel boundary.
+//!
+//! The world is built by re-execution, like `mpirun` without the
+//! launcher: rank 0 ([`ProcessTransport::spawn`]) re-executes the
+//! current binary once per worker with the `PARMONC_WORKER_*`
+//! environment set; the runner's first action is to check
+//! [`worker_env`] and divert into the worker loop, so the same user
+//! program binary serves as both collector and workers. Messages are
+//! the same length-prefixed [`parmonc_mpi::Envelope`]s the thread
+//! substrate moves over channels, framed onto Unix-domain sockets
+//! ([`frame`]); worker monitor events ride the same stream and are
+//! re-emitted into the parent's run trace.
+//!
+//! Both transports implement [`parmonc_mpi::Transport`], so the
+//! collector/worker code in `parmonc` is identical across substrates
+//! — and because each rank completes exactly its assigned quota of
+//! leapfrogged RNG streams, estimates are bit-identical to the thread
+//! backend for the same configuration and seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod frame;
+mod link;
+mod transport;
+mod worker;
+
+pub use transport::{ChildTransport, ProcessTransport, SpawnOptions};
+pub use worker::{is_worker, worker_env, WorkerInfo, WORKER_FLAG};

@@ -1,0 +1,402 @@
+//! Shared plumbing for both ends of a socket world: the matching
+//! mailbox, queue-depth accounting, the fault-gated send path, and
+//! the monitor-event forwarding sink.
+
+use std::cell::RefCell;
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use parmonc_faults::{FaultHandle, FaultKind, SendAction};
+use parmonc_mpi::bytes::Bytes;
+use parmonc_mpi::envelope::{Envelope, Tag};
+use parmonc_mpi::error::MpiError;
+use parmonc_obs::{Event, EventKind, EventSink, Monitor};
+
+use crate::frame::{read_frame, write_frame, TAG_IPC_EVENT, TAG_IPC_HELLO};
+
+/// Queue-depth counters for one rank's inbox, mirroring the
+/// `ChannelStats` accounting of the thread substrate: the reader
+/// thread bumps the depth as frames arrive, the consuming loop drops
+/// it on delivery, and a new maximum emits `queue_high_water`.
+#[derive(Debug, Default)]
+pub(crate) struct InboxStats {
+    depth: AtomicUsize,
+    high_water: AtomicU64,
+}
+
+impl InboxStats {
+    /// Counts an arriving message; emits `queue_high_water` on a new
+    /// maximum (attributed to `rank`, whose inbox this is).
+    pub(crate) fn note_enqueue(&self, monitor: &Monitor, rank: usize) {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+        let prev = self.high_water.fetch_max(depth, Ordering::Relaxed);
+        if depth > prev {
+            monitor.emit(Some(rank), EventKind::QueueHighWater { depth });
+        }
+    }
+
+    /// Counts a delivery; returns the remaining depth.
+    fn note_delivery(&self) -> u64 {
+        self.depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1) as u64
+    }
+}
+
+/// The receive half shared by both transports: an mpsc inbox fed by
+/// reader threads, plus the MPI-style pending buffer for messages
+/// that arrived but did not match the active source/tag filter.
+/// Matching semantics are identical to `parmonc_mpi::Communicator`.
+#[derive(Debug)]
+pub(crate) struct Mailbox {
+    rank: usize,
+    inbox: Receiver<Envelope>,
+    pending: std::collections::VecDeque<Envelope>,
+    monitor: Monitor,
+    stats: Option<Arc<InboxStats>>,
+}
+
+impl Mailbox {
+    pub(crate) fn new(
+        rank: usize,
+        inbox: Receiver<Envelope>,
+        monitor: Monitor,
+        stats: Option<Arc<InboxStats>>,
+    ) -> Self {
+        Self {
+            rank,
+            inbox,
+            pending: std::collections::VecDeque::new(),
+            monitor,
+            stats,
+        }
+    }
+
+    fn matches(env: &Envelope, source: Option<usize>, tag: Option<Tag>) -> bool {
+        source.is_none_or(|s| env.source == s) && tag.is_none_or(|t| env.tag == t)
+    }
+
+    fn take_pending(&mut self, source: Option<usize>, tag: Option<Tag>) -> Option<Envelope> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|e| Self::matches(e, source, tag))?;
+        self.pending.remove(idx)
+    }
+
+    fn note_delivery(&self, env: &Envelope) {
+        if let Some(stats) = &self.stats {
+            let depth = stats.note_delivery();
+            self.monitor.emit(
+                Some(self.rank),
+                EventKind::MessageReceived {
+                    source: env.source,
+                    tag: env.tag.0,
+                    bytes: env.payload.len() as u64,
+                    queue_depth: depth,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn recv(
+        &mut self,
+        source: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<Envelope, MpiError> {
+        if let Some(env) = self.take_pending(source, tag) {
+            return Ok(env);
+        }
+        loop {
+            let env = self.inbox.recv().map_err(|_| MpiError::Disconnected)?;
+            self.note_delivery(&env);
+            if Self::matches(&env, source, tag) {
+                return Ok(env);
+            }
+            self.pending.push_back(env);
+        }
+    }
+
+    pub(crate) fn recv_timeout(
+        &mut self,
+        source: Option<usize>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, MpiError> {
+        if let Some(env) = self.take_pending(source, tag) {
+            return Ok(Some(env));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.inbox.recv_timeout(remaining) {
+                Ok(env) => {
+                    self.note_delivery(&env);
+                    if Self::matches(&env, source, tag) {
+                        return Ok(Some(env));
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => return Err(MpiError::Disconnected),
+            }
+        }
+    }
+
+    pub(crate) fn try_recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Option<Envelope> {
+        if let Some(env) = self.take_pending(source, tag) {
+            return Some(env);
+        }
+        loop {
+            match self.inbox.try_recv() {
+                Ok(env) => {
+                    self.note_delivery(&env);
+                    if Self::matches(&env, source, tag) {
+                        return Some(env);
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => return None,
+            }
+        }
+    }
+
+    pub(crate) fn iprobe(&mut self, source: Option<usize>, tag: Option<Tag>) -> bool {
+        if self.pending.iter().any(|e| Self::matches(e, source, tag)) {
+            return true;
+        }
+        while let Ok(env) = self.inbox.try_recv() {
+            self.note_delivery(&env);
+            self.pending.push_back(env);
+        }
+        self.pending.iter().any(|e| Self::matches(e, source, tag))
+    }
+}
+
+/// A message the fault plane is holding back on this side of the
+/// socket (same aging discipline as the thread substrate).
+#[derive(Debug)]
+struct DelayedSend {
+    remaining: u32,
+    dest: usize,
+    tag: Tag,
+    payload: Bytes,
+}
+
+/// The fault-gated send path, shared by parent and worker sides: the
+/// deterministic fault plane may deliver, drop, duplicate or hold a
+/// message, with the identical observable semantics of
+/// `Communicator::send_bytes`. The raw delivery (socket frame or
+/// in-process enqueue) is supplied by the caller.
+#[derive(Debug)]
+pub(crate) struct SendGate {
+    rank: usize,
+    faults: FaultHandle,
+    monitor: Monitor,
+    delayed: RefCell<Vec<DelayedSend>>,
+}
+
+impl SendGate {
+    pub(crate) fn new(rank: usize, faults: FaultHandle, monitor: Monitor) -> Self {
+        Self {
+            rank,
+            faults,
+            monitor,
+            delayed: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn deliver(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: &Bytes,
+        raw: &dyn Fn(usize, Tag, &Bytes) -> Result<(), MpiError>,
+    ) -> Result<(), MpiError> {
+        raw(dest, tag, payload)?;
+        self.monitor.emit(
+            Some(self.rank),
+            EventKind::MessageSent {
+                dest,
+                tag: tag.0,
+                bytes: payload.len() as u64,
+            },
+        );
+        Ok(())
+    }
+
+    fn note_fault(&self, kind: FaultKind, seq: u64) {
+        self.monitor.emit(
+            Some(self.rank),
+            EventKind::FaultInjected {
+                fault: kind.as_str().to_string(),
+                detail: Some(seq),
+            },
+        );
+    }
+
+    pub(crate) fn send(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Bytes,
+        raw: &dyn Fn(usize, Tag, &Bytes) -> Result<(), MpiError>,
+    ) -> Result<(), MpiError> {
+        if !self.faults.is_enabled() {
+            return self.deliver(dest, tag, &payload, raw);
+        }
+        self.flush_delayed(false, raw)?;
+        let (seq, action) = self.faults.on_send(self.rank, dest, tag.0);
+        match action {
+            SendAction::Deliver => self.deliver(dest, tag, &payload, raw),
+            SendAction::Drop => {
+                self.note_fault(FaultKind::MessageDrop, seq);
+                Ok(())
+            }
+            SendAction::Duplicate => {
+                self.note_fault(FaultKind::MessageDuplicate, seq);
+                self.deliver(dest, tag, &payload, raw)?;
+                self.deliver(dest, tag, &payload, raw)
+            }
+            SendAction::Delay { hold_sends } => {
+                self.note_fault(FaultKind::MessageDelay, seq);
+                if hold_sends == 0 {
+                    return self.deliver(dest, tag, &payload, raw);
+                }
+                self.delayed.borrow_mut().push(DelayedSend {
+                    remaining: hold_sends,
+                    dest,
+                    tag,
+                    payload,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Ages held-back messages by one send and delivers the due ones
+    /// (with `force`, everything — the teardown path, so a delayed
+    /// message is late, never lost).
+    pub(crate) fn flush_delayed(
+        &self,
+        force: bool,
+        raw: &dyn Fn(usize, Tag, &Bytes) -> Result<(), MpiError>,
+    ) -> Result<(), MpiError> {
+        if self.delayed.borrow().is_empty() {
+            return Ok(());
+        }
+        let due: Vec<DelayedSend> = {
+            let mut held = self.delayed.borrow_mut();
+            if !force {
+                for entry in held.iter_mut() {
+                    entry.remaining = entry.remaining.saturating_sub(1);
+                }
+            }
+            let mut due = Vec::new();
+            let mut i = 0;
+            while i < held.len() {
+                if force || held[i].remaining == 0 {
+                    due.push(held.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            due
+        };
+        for entry in due {
+            self.deliver(entry.dest, entry.tag, &entry.payload, raw)?;
+        }
+        Ok(())
+    }
+}
+
+/// An [`EventSink`] that serializes every event as a
+/// [`TAG_IPC_EVENT`] frame over the worker's socket, for the parent
+/// to re-emit into the run's real monitor with the child's
+/// timestamps. Write failures are counted, not propagated — a dying
+/// parent must not turn monitoring into a worker crash.
+#[derive(Debug)]
+pub(crate) struct ForwardSink {
+    writer: Arc<Mutex<UnixStream>>,
+    rank: usize,
+    dropped: AtomicU64,
+}
+
+impl ForwardSink {
+    pub(crate) fn new(writer: Arc<Mutex<UnixStream>>, rank: usize) -> Self {
+        Self {
+            writer,
+            rank,
+            dropped: AtomicU64::new(0),
+        }
+    }
+}
+
+impl EventSink for ForwardSink {
+    fn record(&self, event: &Event) {
+        let line = event.to_json_line();
+        let failed = match self.writer.lock() {
+            Ok(mut stream) => write_frame(
+                &mut *stream,
+                self.rank as u32,
+                TAG_IPC_EVENT,
+                line.as_bytes(),
+            )
+            .is_err(),
+            Err(_) => true,
+        };
+        if failed {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Pumps frames off one socket into the mpsc inbox until EOF or
+/// error. [`TAG_IPC_EVENT`] frames are decoded and re-emitted into
+/// `monitor` with the child's timestamp instead of being enqueued;
+/// stray hello frames are ignored. Exits when the peer closes or the
+/// receiving side has dropped its inbox.
+pub(crate) fn pump_frames(
+    stream: UnixStream,
+    tx: Sender<Envelope>,
+    monitor: Monitor,
+    local_rank: usize,
+    stats: Option<Arc<InboxStats>>,
+) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => {
+                if frame.tag == TAG_IPC_EVENT {
+                    if let Ok(text) = std::str::from_utf8(&frame.payload) {
+                        if let Ok(event) = parmonc_obs::schema::parse_line(text) {
+                            monitor.emit_at(event.time_s, event.rank, event.kind);
+                        }
+                    }
+                    continue;
+                }
+                if frame.tag == TAG_IPC_HELLO {
+                    continue;
+                }
+                if let Some(stats) = &stats {
+                    stats.note_enqueue(&monitor, local_rank);
+                }
+                let env = Envelope {
+                    source: frame.source as usize,
+                    tag: Tag(frame.tag),
+                    payload: Bytes::from(frame.payload),
+                };
+                if tx.send(env).is_err() {
+                    return;
+                }
+            }
+            Ok(None) | Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,611 @@
+//! The two ends of the multi-process socket world.
+//!
+//! [`ProcessTransport`] is rank 0: it binds a Unix-domain listening
+//! socket, re-executes the current binary once per worker rank (with
+//! the `PARMONC_WORKER_*` environment set and [`WORKER_FLAG`] on the
+//! argv), verifies each worker's hello handshake, and then speaks the
+//! same envelope protocol the in-process substrate speaks over
+//! channels. [`ChildTransport`] is the worker side: it connects back
+//! to the parent's socket and exchanges length-prefixed frames, with
+//! its monitor events forwarded over the same stream.
+//!
+//! The world is a star: every worker talks only to rank 0. That is
+//! exactly the PARMONC communication pattern (asynchronous subtotal
+//! gather into the collector, collectives rooted at 0), so the
+//! restriction costs nothing; a worker-to-worker send returns
+//! [`MpiError::Disconnected`].
+
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parmonc_faults::FaultHandle;
+use parmonc_mpi::bytes::Bytes;
+use parmonc_mpi::envelope::{Envelope, Tag};
+use parmonc_mpi::error::MpiError;
+use parmonc_mpi::pool::BufferPool;
+use parmonc_mpi::transport::Transport;
+use parmonc_obs::Monitor;
+
+use crate::frame::{read_frame, write_frame, TAG_IPC_HELLO};
+use crate::link::{pump_frames, ForwardSink, InboxStats, Mailbox, SendGate};
+use crate::worker::{WorkerInfo, WORKER_FLAG};
+
+/// How long the parent waits for all workers to connect and present a
+/// valid hello before declaring the spawn failed.
+const ACCEPT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// How long the parent waits for workers to exit on their own during
+/// [`ProcessTransport::shutdown`] before killing them.
+const EXIT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Distinguishes concurrent worlds spawned by one process (tests spawn
+/// several); combined with the pid this makes the socket directory
+/// unique.
+static SPAWN_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Configuration for [`ProcessTransport::spawn`].
+#[derive(Debug)]
+pub struct SpawnOptions {
+    /// World size including the parent (rank 0); `size - 1` worker
+    /// processes are spawned.
+    pub size: usize,
+    /// The run's monitor. Rank 0's transport events are emitted here
+    /// directly; worker events arrive over the sockets and are
+    /// re-emitted here with the workers' timestamps.
+    pub monitor: Monitor,
+    /// The parent-side fault plane (rank 0's outgoing messages).
+    /// Workers build their own handle from the same seeded plan, which
+    /// behaves identically because fault sequence counters are
+    /// per-channel.
+    pub faults: FaultHandle,
+    /// Arguments for the re-executed binary, excluding the program
+    /// name. `None` inherits this process's own arguments (minus any
+    /// existing [`WORKER_FLAG`]) and appends [`WORKER_FLAG`] as a
+    /// visible `ps`-greppable marker — right for CLI binaries, whose
+    /// parsers strip the flag again. Test harnesses must instead pass
+    /// the libtest filter that reaches the spawning test function
+    /// (e.g. `["my_test_fn", "--exact"]`); explicit arguments are used
+    /// verbatim, *without* the marker, because libtest rejects unknown
+    /// flags. Worker detection is carried by the environment
+    /// ([`crate::worker_env`]), not by the flag.
+    pub worker_args: Option<Vec<String>>,
+}
+
+/// Rank 0 of a multi-process world: the spawner, collector-side
+/// transport, and lifecycle owner of the worker processes.
+///
+/// Dropping the transport (or calling [`ProcessTransport::shutdown`],
+/// which is gentler) reaps every child — no orphans survive the
+/// parent, even on a panic path.
+#[derive(Debug)]
+pub struct ProcessTransport {
+    size: usize,
+    pool: BufferPool,
+    monitor: Monitor,
+    gate: SendGate,
+    mailbox: Mailbox,
+    stats: Arc<InboxStats>,
+    self_tx: Sender<Envelope>,
+    /// Write halves to each worker, indexed by `rank - 1`; emptied by
+    /// shutdown so late sends fail soft with `Disconnected`.
+    writers: Vec<Arc<Mutex<UnixStream>>>,
+    children: Vec<Child>,
+    readers: Vec<JoinHandle<()>>,
+    dir: PathBuf,
+    shut_down: bool,
+}
+
+impl ProcessTransport {
+    /// Spawns `size - 1` worker processes by re-executing the current
+    /// binary and waits for all of them to complete the hello
+    /// handshake.
+    ///
+    /// # Errors
+    ///
+    /// Socket/bind/spawn failures, or a worker failing to connect with
+    /// a valid token within the accept deadline (in which case all
+    /// spawned children are killed before returning).
+    pub fn spawn(opts: SpawnOptions) -> io::Result<Self> {
+        if opts.size == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "world size must be at least 1",
+            ));
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "parmonc-ipc-{}-{}",
+            std::process::id(),
+            SPAWN_NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let socket = dir.join("rank0.sock");
+        let listener = UnixListener::bind(&socket)?;
+        let token = spawn_token();
+
+        let exe = std::env::current_exe()?;
+        // Explicit worker_args are used verbatim (libtest filters must
+        // not gain unknown flags); the inherited-argv path appends the
+        // visible WORKER_FLAG marker for `ps` readability.
+        let base_args: Vec<String> = match opts.worker_args.clone() {
+            Some(args) => args,
+            None => std::env::args()
+                .skip(1)
+                .filter(|a| a != WORKER_FLAG)
+                .chain(std::iter::once(WORKER_FLAG.to_string()))
+                .collect(),
+        };
+
+        let mut children = Vec::with_capacity(opts.size.saturating_sub(1));
+        let spawn_result = (|| -> io::Result<()> {
+            for rank in 1..opts.size {
+                let info = WorkerInfo {
+                    rank,
+                    size: opts.size,
+                    socket: socket.clone(),
+                    token: token.clone(),
+                    monitor: opts.monitor.is_enabled(),
+                };
+                let mut cmd = Command::new(&exe);
+                cmd.args(&base_args)
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::inherit());
+                for (key, value) in info.to_env() {
+                    cmd.env(key, value);
+                }
+                children.push(cmd.spawn()?);
+            }
+            Ok(())
+        })();
+        if let Err(e) = spawn_result {
+            reap(&mut children);
+            let _ = std::fs::remove_dir_all(&dir);
+            return Err(e);
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let stats = Arc::new(InboxStats::default());
+        let mut writers: Vec<Option<Arc<Mutex<UnixStream>>>> = Vec::new();
+        writers.resize_with(opts.size.saturating_sub(1), || None);
+        let mut readers = Vec::new();
+        let accepted = accept_workers(
+            &listener,
+            &token,
+            opts.size,
+            &tx,
+            &opts.monitor,
+            &stats,
+            &mut writers,
+            &mut readers,
+        );
+        if let Err(e) = accepted {
+            reap(&mut children);
+            drop(tx);
+            for handle in readers {
+                let _ = handle.join();
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            return Err(e);
+        }
+
+        Ok(Self {
+            size: opts.size,
+            pool: BufferPool::new(parmonc_mpi::pool::DEFAULT_POOL_CAPACITY),
+            monitor: opts.monitor.clone(),
+            gate: SendGate::new(0, opts.faults, opts.monitor.clone()),
+            mailbox: Mailbox::new(0, rx, opts.monitor, Some(Arc::clone(&stats))),
+            stats,
+            self_tx: tx,
+            writers: writers
+                .into_iter()
+                .map(|w| w.expect("all ranks accepted"))
+                .collect(),
+            children,
+            readers,
+            dir,
+            shut_down: false,
+        })
+    }
+
+    fn raw_send(&self, dest: usize, tag: Tag, payload: &Bytes) -> Result<(), MpiError> {
+        if dest == 0 {
+            self.stats.note_enqueue(&self.monitor, 0);
+            return self
+                .self_tx
+                .send(Envelope {
+                    source: 0,
+                    tag,
+                    payload: payload.clone(),
+                })
+                .map_err(|_| MpiError::Disconnected);
+        }
+        let writer = self.writers.get(dest - 1).ok_or(MpiError::Disconnected)?;
+        let mut stream = writer.lock().map_err(|_| MpiError::Disconnected)?;
+        write_frame(&mut *stream, 0, tag.0, payload).map_err(|_| MpiError::Disconnected)
+    }
+
+    /// Tears the world down in order: force-flushes any fault-delayed
+    /// sends, closes the write halves, waits for workers to exit on
+    /// their own (killing any that outlive the deadline), joins the
+    /// reader threads — which guarantees every forwarded worker event
+    /// is in the monitor's sinks on return — and removes the socket
+    /// directory. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// The first wait/kill error, after all children are reaped anyway.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        if self.shut_down {
+            return Ok(());
+        }
+        self.shut_down = true;
+        let _ = self
+            .gate
+            .flush_delayed(true, &|d, t, p| self.raw_send(d, t, p));
+        self.writers.clear();
+        let mut first_err = None;
+        let deadline = Instant::now() + EXIT_DEADLINE;
+        for child in &mut self.children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) => {
+                        if Instant::now() >= deadline {
+                            let _ = child.kill();
+                            if let Err(e) = child.wait() {
+                                first_err.get_or_insert(e);
+                            }
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                        break;
+                    }
+                }
+            }
+        }
+        self.children.clear();
+        for handle in self.readers.drain(..) {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ProcessTransport {
+    fn drop(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        // Unclean teardown (panic or early error): kill immediately
+        // rather than waiting out the exit deadline.
+        self.shut_down = true;
+        self.writers.clear();
+        reap(&mut self.children);
+        for handle in self.readers.drain(..) {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl Transport for ProcessTransport {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    fn recycle(&self, payload: Bytes) {
+        self.pool.recycle(payload);
+    }
+
+    fn send(&self, dest: usize, tag: Tag, payload: &[u8]) -> Result<(), MpiError> {
+        self.send_bytes(dest, tag, Bytes::copy_from_slice(payload))
+    }
+
+    fn send_bytes(&self, dest: usize, tag: Tag, payload: Bytes) -> Result<(), MpiError> {
+        if dest >= self.size {
+            return Err(MpiError::InvalidRank {
+                rank: dest,
+                size: self.size,
+            });
+        }
+        self.gate
+            .send(dest, tag, payload, &|d, t, p| self.raw_send(d, t, p))
+    }
+
+    fn recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Result<Envelope, MpiError> {
+        self.mailbox.recv(source, tag)
+    }
+
+    fn recv_timeout(
+        &mut self,
+        source: Option<usize>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, MpiError> {
+        self.mailbox.recv_timeout(source, tag, timeout)
+    }
+
+    fn try_recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Option<Envelope> {
+        self.mailbox.try_recv(source, tag)
+    }
+
+    fn iprobe(&mut self, source: Option<usize>, tag: Option<Tag>) -> bool {
+        self.mailbox.iprobe(source, tag)
+    }
+}
+
+/// A worker rank's end of the socket world.
+///
+/// Only rank 0 is reachable (the star topology); the worker's monitor
+/// — returned by [`ChildTransport::monitor`] — forwards every event
+/// over the same stream for the parent to fold into the run trace.
+#[derive(Debug)]
+pub struct ChildTransport {
+    rank: usize,
+    size: usize,
+    pool: BufferPool,
+    monitor: Monitor,
+    gate: SendGate,
+    mailbox: Mailbox,
+    writer: Arc<Mutex<UnixStream>>,
+}
+
+impl ChildTransport {
+    /// Connects back to the parent's socket, sends the hello frame,
+    /// and starts the reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake-write failures.
+    pub fn connect(info: &WorkerInfo, faults: FaultHandle) -> io::Result<Self> {
+        let mut stream = connect_with_retry(&info.socket)?;
+        write_frame(
+            &mut stream,
+            info.rank as u32,
+            TAG_IPC_HELLO,
+            info.token.as_bytes(),
+        )?;
+        let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        let monitor = if info.monitor {
+            Monitor::new(vec![Box::new(ForwardSink::new(
+                Arc::clone(&writer),
+                info.rank,
+            ))])
+        } else {
+            Monitor::disabled()
+        };
+        let stats = Arc::new(InboxStats::default());
+        let (tx, rx) = mpsc::channel();
+        let rank = info.rank;
+        let thread_monitor = monitor.clone();
+        let thread_stats = Arc::clone(&stats);
+        // Detached on purpose: the thread blocks in read until the
+        // parent closes the stream, and a worker process exits without
+        // tearing its transport down gracefully.
+        std::thread::Builder::new()
+            .name(format!("parmonc-ipc-r{rank}"))
+            .spawn(move || pump_frames(stream, tx, thread_monitor, rank, Some(thread_stats)))?;
+        Ok(Self {
+            rank,
+            size: info.size,
+            pool: BufferPool::new(parmonc_mpi::pool::DEFAULT_POOL_CAPACITY),
+            monitor: monitor.clone(),
+            gate: SendGate::new(rank, faults, monitor),
+            mailbox: Mailbox::new(rank, rx, Monitor::disabled(), Some(stats)),
+            writer,
+        })
+    }
+
+    /// The worker's monitor: enabled (forwarding over the socket) when
+    /// the parent run is monitored, disabled otherwise. The worker loop
+    /// emits its heartbeat/progress events here exactly as it would on
+    /// the thread substrate.
+    #[must_use]
+    pub fn monitor(&self) -> Monitor {
+        self.monitor.clone()
+    }
+
+    fn raw_send(&self, dest: usize, tag: Tag, payload: &Bytes) -> Result<(), MpiError> {
+        if dest != 0 {
+            // Star topology: workers cannot reach each other. PARMONC
+            // never needs it (subtotals flow worker -> collector, stop
+            // and reassignment flow collector -> worker).
+            return Err(MpiError::Disconnected);
+        }
+        let mut stream = self.writer.lock().map_err(|_| MpiError::Disconnected)?;
+        write_frame(&mut *stream, self.rank as u32, tag.0, payload)
+            .map_err(|_| MpiError::Disconnected)
+    }
+}
+
+impl Drop for ChildTransport {
+    fn drop(&mut self) {
+        // A delayed message is late, never lost — same contract as the
+        // thread substrate's Drop.
+        let _ = self
+            .gate
+            .flush_delayed(true, &|d, t, p| self.raw_send(d, t, p));
+    }
+}
+
+impl Transport for ChildTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    fn recycle(&self, payload: Bytes) {
+        self.pool.recycle(payload);
+    }
+
+    fn send(&self, dest: usize, tag: Tag, payload: &[u8]) -> Result<(), MpiError> {
+        self.send_bytes(dest, tag, Bytes::copy_from_slice(payload))
+    }
+
+    fn send_bytes(&self, dest: usize, tag: Tag, payload: Bytes) -> Result<(), MpiError> {
+        if dest >= self.size {
+            return Err(MpiError::InvalidRank {
+                rank: dest,
+                size: self.size,
+            });
+        }
+        self.gate
+            .send(dest, tag, payload, &|d, t, p| self.raw_send(d, t, p))
+    }
+
+    fn recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Result<Envelope, MpiError> {
+        self.mailbox.recv(source, tag)
+    }
+
+    fn recv_timeout(
+        &mut self,
+        source: Option<usize>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, MpiError> {
+        self.mailbox.recv_timeout(source, tag, timeout)
+    }
+
+    fn try_recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Option<Envelope> {
+        self.mailbox.try_recv(source, tag)
+    }
+
+    fn iprobe(&mut self, source: Option<usize>, tag: Option<Tag>) -> bool {
+        self.mailbox.iprobe(source, tag)
+    }
+}
+
+/// A weak-but-sufficient unique token: workers echo it back in their
+/// hello so a stray local process that finds the socket path cannot
+/// claim a rank. This is an anti-accident measure, not a security
+/// boundary — the socket lives in a per-uid temp directory.
+fn spawn_token() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("{:032x}", nanos ^ (u128::from(std::process::id()) << 64))
+}
+
+fn connect_with_retry(socket: &std::path::Path) -> io::Result<UnixStream> {
+    // The parent binds before spawning, so the first attempt should
+    // succeed; retry briefly to absorb slow filesystem visibility.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Accepts connections until every rank `1..size` has presented a
+/// valid hello; wires each accepted stream to a writer slot and a
+/// reader thread.
+#[allow(clippy::too_many_arguments)]
+fn accept_workers(
+    listener: &UnixListener,
+    token: &str,
+    size: usize,
+    tx: &Sender<Envelope>,
+    monitor: &Monitor,
+    stats: &Arc<InboxStats>,
+    writers: &mut [Option<Arc<Mutex<UnixStream>>>],
+    readers: &mut Vec<JoinHandle<()>>,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + ACCEPT_DEADLINE;
+    let mut connected = 0usize;
+    while connected + 1 < size {
+        let stream = match listener.accept() {
+            Ok((stream, _addr)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "only {connected} of {} workers connected before the deadline",
+                            size - 1
+                        ),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let hello = match read_frame(&mut &stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => continue, // dead or silent connection: ignore it
+        };
+        let rank = hello.source as usize;
+        if hello.tag != TAG_IPC_HELLO
+            || hello.payload != token.as_bytes()
+            || rank == 0
+            || rank >= size
+            || writers[rank - 1].is_some()
+        {
+            continue; // imposter, stray, or duplicate: drop the stream
+        }
+        stream.set_read_timeout(None)?;
+        writers[rank - 1] = Some(Arc::new(Mutex::new(stream.try_clone()?)));
+        let thread_tx = tx.clone();
+        let thread_monitor = monitor.clone();
+        let thread_stats = Arc::clone(stats);
+        readers.push(
+            std::thread::Builder::new()
+                .name(format!("parmonc-ipc-w{rank}"))
+                .spawn(move || {
+                    pump_frames(stream, thread_tx, thread_monitor, 0, Some(thread_stats))
+                })?,
+        );
+        connected += 1;
+    }
+    Ok(())
+}
+
+/// Kills and waits every child, ignoring errors (used on failure and
+/// drop paths where the children may already be gone).
+fn reap(children: &mut Vec<Child>) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    children.clear();
+}

@@ -6,9 +6,9 @@
 //! [`reduce_sum`] to validate the substrate against closed-form
 //! answers.
 
-use crate::comm::Communicator;
 use crate::envelope::{PayloadReader, PayloadWriter, Tag};
 use crate::error::MpiError;
+use crate::transport::Transport;
 
 /// Tag space reserved for collectives (high bit set so user tags in the
 /// low range never collide).
@@ -26,7 +26,7 @@ const TAG_REDUCE: Tag = Tag(COLLECTIVE_BASE + 4);
 /// # Errors
 ///
 /// Propagates transport errors ([`MpiError::Disconnected`]).
-pub fn barrier(comm: &mut Communicator) -> Result<(), MpiError> {
+pub fn barrier<T: Transport>(comm: &mut T) -> Result<(), MpiError> {
     if comm.rank() == 0 {
         for _ in 1..comm.size() {
             comm.recv(None, Some(TAG_BARRIER_IN))?;
@@ -48,8 +48,8 @@ pub fn barrier(comm: &mut Communicator) -> Result<(), MpiError> {
 ///
 /// Propagates transport errors, and [`MpiError::InvalidRank`] for a bad
 /// root.
-pub fn broadcast_f64(
-    comm: &mut Communicator,
+pub fn broadcast_f64<T: Transport>(
+    comm: &mut T,
     root: usize,
     value: &[f64],
 ) -> Result<Vec<f64>, MpiError> {
@@ -82,8 +82,8 @@ pub fn broadcast_f64(
 ///
 /// Propagates transport errors, and [`MpiError::InvalidRank`] for a bad
 /// root.
-pub fn gather(
-    comm: &mut Communicator,
+pub fn gather<T: Transport>(
+    comm: &mut T,
     root: usize,
     value: &[f64],
 ) -> Result<Option<Vec<Vec<f64>>>, MpiError> {
@@ -121,8 +121,8 @@ pub fn gather(
 ///
 /// Propagates transport errors; [`MpiError::MalformedPayload`] if rank
 /// contributions have mismatched lengths.
-pub fn reduce_sum(
-    comm: &mut Communicator,
+pub fn reduce_sum<T: Transport>(
+    comm: &mut T,
     root: usize,
     value: &[f64],
 ) -> Result<Option<Vec<f64>>, MpiError> {

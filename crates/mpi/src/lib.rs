@@ -54,9 +54,11 @@ pub mod comm;
 pub mod envelope;
 pub mod error;
 pub mod pool;
+pub mod transport;
 
 pub use bytes::{Bytes, BytesMut};
 pub use comm::{Communicator, World};
 pub use envelope::{Envelope, Tag};
 pub use error::MpiError;
 pub use pool::BufferPool;
+pub use transport::Transport;

@@ -34,6 +34,41 @@ impl RunMode {
     }
 }
 
+/// Which transport substrate carried a real run's rank traffic: the
+/// in-process thread channels or the multi-process Unix-socket
+/// backend. Distinct from [`RunMode`]: the simulator has no transport,
+/// and both transports run the identical collector code, so the label
+/// appears as an *optional* `transport` field on `run_started`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunTransport {
+    /// Ranks are OS threads exchanging envelopes over channels.
+    Threads,
+    /// Ranks are forked worker processes exchanging envelopes over
+    /// Unix-domain sockets (`parmonc-ipc`).
+    Processes,
+}
+
+impl RunTransport {
+    /// The wire name of the transport.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Threads => "threads",
+            Self::Processes => "processes",
+        }
+    }
+
+    /// Parses a wire name back into the transport.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "threads" => Some(Self::Threads),
+            "processes" => Some(Self::Processes),
+            _ => None,
+        }
+    }
+}
+
 /// What the collector (rank 0) was doing during a trace segment.
 ///
 /// This enum used to live in `parmonc-simcluster`; it moved here so the
@@ -97,6 +132,9 @@ pub enum EventKind {
         nrow: Option<usize>,
         /// Realization matrix columns; `None` for virtual runs.
         ncol: Option<usize>,
+        /// Which transport substrate carries rank traffic; `None` for
+        /// virtual (simulated) runs, which have no transport.
+        transport: Option<RunTransport>,
     },
     /// A rank's cumulative realization progress (emitted at exchange
     /// points, not per realization, to bound overhead).
@@ -364,6 +402,7 @@ impl Event {
                 seqnum,
                 nrow,
                 ncol,
+                transport,
             } => {
                 let _ = write!(
                     s,
@@ -378,6 +417,9 @@ impl Event {
                 }
                 if let Some(ncol) = ncol {
                     let _ = write!(s, ",\"ncol\":{ncol}");
+                }
+                if let Some(transport) = transport {
+                    let _ = write!(s, ",\"transport\":\"{}\"", transport.as_str());
                 }
             }
             EventKind::Realizations {
@@ -518,6 +560,7 @@ mod tests {
                 seqnum: None,
                 nrow: None,
                 ncol: None,
+                transport: None,
             },
             EventKind::Realizations {
                 completed: 0,
@@ -664,6 +707,32 @@ mod tests {
         .to_json_line();
         assert!(line.contains("\"time_s\":null"));
         assert!(line.contains("\"duration_seconds\":null"));
+    }
+
+    #[test]
+    fn run_transport_round_trips_and_encodes_optionally() {
+        for t in [RunTransport::Threads, RunTransport::Processes] {
+            assert_eq!(RunTransport::from_str_opt(t.as_str()), Some(t));
+        }
+        assert_eq!(RunTransport::from_str_opt("carrier-pigeon"), None);
+
+        let make = |transport| Event {
+            time_s: 0.0,
+            rank: None,
+            kind: EventKind::RunStarted {
+                mode: RunMode::Threads,
+                processors: 2,
+                max_sample_volume: 10,
+                seqnum: Some(0),
+                nrow: Some(1),
+                ncol: Some(1),
+                transport,
+            },
+        };
+        let labeled = make(Some(RunTransport::Processes)).to_json_line();
+        assert!(labeled.contains("\"transport\":\"processes\""));
+        let bare = make(None).to_json_line();
+        assert!(!bare.contains("transport"));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! # Example
 //!
 //! ```
-//! use parmonc_obs::{EventKind, MemorySink, Monitor, MonitorSummary, RunMode};
+//! use parmonc_obs::{EventKind, MemorySink, Monitor, MonitorSummary, RunMode, RunTransport};
 //! use std::sync::Arc;
 //!
 //! let sink = Arc::new(MemorySink::new());
@@ -37,6 +37,7 @@
 //!     seqnum: Some(1),
 //!     nrow: Some(1),
 //!     ncol: Some(1),
+//!     transport: Some(RunTransport::Threads),
 //! });
 //! monitor.emit(Some(2), EventKind::Realizations { completed: 250, compute_seconds: 0.8 });
 //!
@@ -62,7 +63,7 @@ pub mod schema;
 mod summary;
 
 pub use convergence::{ConvergenceTracker, TrajectoryPoint};
-pub use event::{CollectorActivity, Event, EventKind, RunMode, SCHEMA_VERSION};
+pub use event::{CollectorActivity, Event, EventKind, RunMode, RunTransport, SCHEMA_VERSION};
 pub use metrics::{
     validate_prometheus_text, LogHistogram, MetricsRegistry, MetricsSink, SUB_BUCKETS_PER_OCTAVE,
 };

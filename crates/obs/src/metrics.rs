@@ -682,11 +682,27 @@ impl EventSink for MetricsSink {
             EventKind::RunStarted {
                 processors,
                 max_sample_volume,
+                transport,
                 ..
             } => {
                 r.inc_counter("parmonc_runs_started_total", 1.0);
                 r.set_gauge("parmonc_processors", *processors as f64);
                 r.set_gauge("parmonc_max_sample_volume", *max_sample_volume as f64);
+                if let Some(transport) = transport {
+                    // Prometheus info-style gauge: the transport rides
+                    // as a label, the value is always 1.
+                    r.set_gauge(
+                        match transport {
+                            crate::event::RunTransport::Threads => {
+                                "parmonc_transport_info{transport=\"threads\"}"
+                            }
+                            crate::event::RunTransport::Processes => {
+                                "parmonc_transport_info{transport=\"processes\"}"
+                            }
+                        },
+                        1.0,
+                    );
+                }
             }
             EventKind::Realizations {
                 completed,
@@ -1030,8 +1046,13 @@ mod tests {
                 seqnum: Some(1),
                 nrow: Some(1),
                 ncol: Some(1),
+                transport: Some(crate::event::RunTransport::Threads),
             },
         ));
+        assert_eq!(
+            r.value("parmonc_transport_info{transport=\"threads\"}"),
+            Some(1.0)
+        );
         // Cumulative progress: 10 realizations in 1 s, then 10 more in 3 s.
         sink.record(&ev(
             1.0,

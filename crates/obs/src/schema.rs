@@ -149,6 +149,7 @@ type FieldSpec = &'static [(&'static str, FieldType)];
 fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
     use FieldType::{Enum, Num, UInt};
     const MODES: &[&str] = &["threads", "simcluster"];
+    const TRANSPORTS: &[&str] = &["threads", "processes"];
     const ACTIVITIES: &[&str] = &["computing", "receiving", "saving", "waiting"];
     const FAULTS: &[&str] = &[
         "rank_crash",
@@ -166,7 +167,12 @@ fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
                 ("processors", UInt),
                 ("max_sample_volume", UInt),
             ][..],
-            &[("seqnum", UInt), ("nrow", UInt), ("ncol", UInt)][..],
+            &[
+                ("seqnum", UInt),
+                ("nrow", UInt),
+                ("ncol", UInt),
+                ("transport", Enum(TRANSPORTS)),
+            ][..],
         ),
         "realizations" => (
             &[("completed", UInt), ("compute_seconds", Num)][..],
@@ -370,6 +376,7 @@ pub fn parse_line(line: &str) -> Result<Event, String> {
             seqnum: opt_uint("seqnum"),
             nrow: opt_uint("nrow").map(|n| n as usize),
             ncol: opt_uint("ncol").map(|n| n as usize),
+            transport: crate::event::RunTransport::from_str_opt(&text("transport")),
         },
         "realizations" => EventKind::Realizations {
             completed: uint("completed"),
@@ -471,6 +478,7 @@ mod tests {
                 seqnum: Some(3),
                 nrow: Some(1),
                 ncol: Some(2),
+                transport: None,
             },
             EventKind::Realizations {
                 completed: 12,
@@ -579,6 +587,26 @@ mod tests {
     }
 
     #[test]
+    fn transport_label_round_trips() {
+        let event = Event {
+            time_s: 0.0,
+            rank: None,
+            kind: EventKind::RunStarted {
+                mode: RunMode::Threads,
+                processors: 4,
+                max_sample_volume: 100,
+                seqnum: Some(0),
+                nrow: Some(1),
+                ncol: Some(1),
+                transport: Some(crate::event::RunTransport::Processes),
+            },
+        };
+        let encoded = event.to_json_line();
+        assert_eq!(validate_line(&encoded), Ok("run_started"));
+        assert_eq!(parse_line(&encoded).unwrap(), event);
+    }
+
+    #[test]
     fn null_floats_validate() {
         let encoded = line(EventKind::SavePoint {
             volume: 1,
@@ -620,6 +648,10 @@ mod tests {
             (
                 r#"{"v":1,"kind":"fault_injected","time_s":0,"fault":"gremlin"}"#,
                 "unknown fault name",
+            ),
+            (
+                r#"{"v":1,"kind":"run_started","time_s":0,"mode":"threads","processors":1,"max_sample_volume":1,"transport":"telepathy"}"#,
+                "unknown transport name",
             ),
         ] {
             assert!(validate_line(bad).is_err(), "should reject ({why}): {bad}");

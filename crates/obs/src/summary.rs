@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::event::{CollectorActivity, Event, EventKind, RunMode};
+use crate::event::{CollectorActivity, Event, EventKind, RunMode, RunTransport};
 
 /// Per-rank aggregates extracted from a trace.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -26,6 +26,9 @@ pub struct RankStats {
 pub struct MonitorSummary {
     /// Which engine produced the trace.
     pub mode: Option<RunMode>,
+    /// Which transport substrate carried rank traffic (absent for
+    /// simulated runs and pre-transport traces).
+    pub transport: Option<RunTransport>,
     /// Processor count from `run_started`.
     pub processors: Option<usize>,
     /// Target sample volume from `run_started`.
@@ -93,9 +96,11 @@ impl MonitorSummary {
                     mode,
                     processors,
                     max_sample_volume,
+                    transport,
                     ..
                 } => {
                     s.mode = Some(*mode);
+                    s.transport = *transport;
                     s.processors = Some(*processors);
                     s.max_sample_volume = Some(*max_sample_volume);
                 }
@@ -214,7 +219,11 @@ impl MonitorSummary {
         let mut out = String::new();
         let _ = writeln!(out, "run monitor summary ({} events)", self.events);
         if let (Some(mode), Some(m)) = (self.mode, self.processors) {
-            let _ = writeln!(out, "  mode {} | processors {m}", mode.as_str());
+            let _ = write!(out, "  mode {} | processors {m}", mode.as_str());
+            if let Some(transport) = self.transport {
+                let _ = write!(out, " | transport {}", transport.as_str());
+            }
+            out.push('\n');
         }
         if let Some(n) = self.total_realizations {
             let _ = write!(out, "  realizations {n}");
@@ -329,6 +338,7 @@ mod tests {
                     seqnum: Some(1),
                     nrow: Some(1),
                     ncol: Some(1),
+                    transport: Some(RunTransport::Processes),
                 },
             ),
             ev(
@@ -416,6 +426,7 @@ mod tests {
         ];
         let s = MonitorSummary::from_events(&events);
         assert_eq!(s.mode, Some(RunMode::Threads));
+        assert_eq!(s.transport, Some(RunTransport::Processes));
         assert_eq!(s.processors, Some(2));
         assert_eq!(s.ranks[&1].realizations, 60);
         assert_eq!(s.ranks[&1].messages_sent, 1);
@@ -433,6 +444,7 @@ mod tests {
 
         let table = s.render_table();
         assert!(table.contains("mode threads"));
+        assert!(table.contains("transport processes"));
         assert!(table.contains("max queue depth 3"));
         assert!(table.contains("rank"));
         assert!(table.contains("receiving 75.0%"));
@@ -517,6 +529,7 @@ mod tests {
                     seqnum: Some(1),
                     nrow: Some(1),
                     ncol: Some(1),
+                    transport: None,
                 },
             ),
             ev(

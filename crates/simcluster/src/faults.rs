@@ -81,6 +81,7 @@ pub fn simulate_faulted(
             seqnum: None,
             nrow: None,
             ncol: None,
+            transport: None,
         },
     );
     #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]

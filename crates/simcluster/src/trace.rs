@@ -127,6 +127,7 @@ pub fn simulate_monitored(config: &ClusterConfig, total: u64, monitor: &Monitor)
             seqnum: None,
             nrow: None,
             ncol: None,
+            transport: None,
         },
     );
 

@@ -14,7 +14,7 @@
 
 use std::time::Duration;
 
-use parmonc::{Exchange, Parmonc, ParmoncError, RealizeFn};
+use parmonc::prelude::{Exchange, Parmonc, ParmoncError, RealizeFn};
 use parmonc_faults::FaultPlan;
 
 fn main() -> Result<(), ParmoncError> {

@@ -15,7 +15,7 @@
 
 use std::time::Duration;
 
-use parmonc::{Exchange, Parmonc, ParmoncError, RealizeFn};
+use parmonc::prelude::{Exchange, Parmonc, ParmoncError, RealizeFn};
 use parmonc_sde::{EulerScheme, OutputGrid, PaperDiffusion};
 
 fn main() -> Result<(), ParmoncError> {

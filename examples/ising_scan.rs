@@ -14,7 +14,7 @@
 //! With `--monitor`, every temperature point records an event trace
 //! and the last point prints the run-monitor summary table.
 
-use parmonc::{Parmonc, ParmoncError};
+use parmonc::prelude::{Parmonc, ParmoncError};
 use parmonc_apps::IsingModel;
 
 fn main() -> Result<(), ParmoncError> {

@@ -6,7 +6,7 @@
 //! cargo run --release --example kinetics
 //! ```
 
-use parmonc::{Parmonc, ParmoncError};
+use parmonc::prelude::{Parmonc, ParmoncError};
 use parmonc_apps::ImmigrationDeath;
 
 fn main() -> Result<(), ParmoncError> {

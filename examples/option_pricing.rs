@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use parmonc::{Parmonc, ParmoncError};
+use parmonc::prelude::{Parmonc, ParmoncError};
 use parmonc_apps::EuropeanCall;
 
 fn main() -> Result<(), ParmoncError> {

@@ -5,7 +5,7 @@
 //! cargo run --release --example queueing
 //! ```
 
-use parmonc::{Parmonc, ParmoncError};
+use parmonc::prelude::{Parmonc, ParmoncError};
 use parmonc_apps::MM1Queue;
 
 fn main() -> Result<(), ParmoncError> {

@@ -11,7 +11,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use parmonc::{Parmonc, ParmoncError, RealizeFn};
+use parmonc::prelude::{Parmonc, ParmoncError, RealizeFn};
 
 fn main() -> Result<(), ParmoncError> {
     // One realization: zeta = 4 * 1{x^2 + y^2 < 1}, so E[zeta] = pi.

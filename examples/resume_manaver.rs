@@ -17,7 +17,7 @@
 
 use std::time::Duration;
 
-use parmonc::{Parmonc, ParmoncError, RealizeFn, Resume};
+use parmonc::prelude::{Parmonc, ParmoncError, RealizeFn, Resume};
 
 fn slow_uniform() -> impl parmonc::Realize + Sync {
     RealizeFn::new(|rng, out| {

@@ -10,7 +10,7 @@
 //! cargo run --release --example transport
 //! ```
 
-use parmonc::{Parmonc, ParmoncError};
+use parmonc::prelude::{Parmonc, ParmoncError};
 use parmonc_apps::SlabTransport;
 
 fn main() -> Result<(), ParmoncError> {

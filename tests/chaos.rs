@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parmonc::messages::Subtotal;
-use parmonc::{Exchange, Parmonc, RealizeFn, Resume, RunReport};
+use parmonc::prelude::{Exchange, Parmonc, RealizeFn, Resume, RunReport};
 use parmonc_faults::{mutate_bytes, FaultPlan, Mutation};
 use parmonc_mpi::bytes::Bytes;
 use parmonc_obs::{MemorySink, Monitor};

@@ -3,7 +3,7 @@
 
 use std::path::PathBuf;
 
-use parmonc::{Exchange, Parmonc, RealizeFn};
+use parmonc::prelude::{Exchange, Parmonc, RealizeFn};
 use parmonc_apps::{GaltonWatson, PiEstimator};
 use parmonc_sde::{EulerScheme, OutputGrid, PaperDiffusion};
 

@@ -5,7 +5,7 @@ use std::path::PathBuf;
 
 use parmonc::genparam::{load_genparam, write_genparam};
 use parmonc::manaver::manaver;
-use parmonc::{Parmonc, ParmoncError, RealizeFn, Resume};
+use parmonc::prelude::{Parmonc, ParmoncError, RealizeFn, Resume};
 use parmonc_stats::report;
 
 fn tempdir(name: &str) -> PathBuf {

@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use parmonc::{Exchange, Parmonc, RunReport};
+use parmonc::prelude::{Exchange, Parmonc, RunReport};
 use parmonc_apps::PiEstimator;
 use parmonc_obs::{EventKind, MemorySink, Monitor};
 use parmonc_simcluster::{simulate_monitored, ClusterConfig};

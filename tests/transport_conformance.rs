@@ -1,0 +1,263 @@
+//! Transport conformance: the thread and process backends must be
+//! observationally equivalent.
+//!
+//! Because every rank completes exactly its assigned quota of
+//! leapfrogged RNG streams, the estimates are *bit-identical* across
+//! backends for the same configuration and seed — message timing and
+//! ordering never enter the averaging. These tests pin that down, plus
+//! the lifecycle guarantees of the process backend: every worker
+//! process is reaped and the socket directory removed, even after a
+//! fault-injected run.
+//!
+//! # Re-execution discipline
+//!
+//! `Transport::Processes` re-executes the current binary — here, this
+//! libtest binary with a `[test_fn_name, "--exact"]` filter — so each
+//! process-backend test function runs *again* inside every worker up to
+//! the point where `run()` diverts into the worker loop. Three rules
+//! follow:
+//!
+//! * output directories must be deterministic (no PID suffixes), or the
+//!   workers would rebuild a different `RunConfig` than the parent;
+//! * destructive setup (`remove_dir_all`) must be skipped in workers
+//!   ([`parmonc::ipc::is_worker`]);
+//! * in a test that runs both backends, the process run must come
+//!   first, so workers divert before reaching the thread run.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use parmonc::prelude::{Exchange, Parmonc, ParmoncBuilder, RealizeFn, RunReport, Transport};
+use parmonc_faults::FaultPlan;
+
+/// Serializes the tests in this binary: each spawns child processes of
+/// this same test process, so the no-orphan scan below must not see a
+/// sibling test's (legitimate) workers.
+static SEQ: Mutex<()> = Mutex::new(());
+
+fn uniform() -> impl parmonc::Realize + Sync {
+    RealizeFn::new(|rng, out| {
+        for o in out.iter_mut() {
+            *o = rng.next_f64();
+        }
+    })
+}
+
+/// A deterministic scratch dir (workers must rebuild the parent's exact
+/// `RunConfig`, so no PID suffix), wiped only in the parent.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parmonc-conformance-{name}"));
+    if !parmonc::ipc::is_worker() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    dir
+}
+
+/// A builder pre-wired for this libtest binary: the re-executed workers
+/// get `[test_fn, "--exact"]` so they run exactly the spawning test.
+fn builder_for(test_fn: &str, nrow: usize, ncol: usize) -> ParmoncBuilder {
+    Parmonc::builder(nrow, ncol).worker_args([test_fn, "--exact"])
+}
+
+/// The set of event kinds in a run's monitor trace, every line
+/// validated against the schema.
+fn trace_kinds(report: &RunReport) -> BTreeSet<&'static str> {
+    let path = report.results_dir.run_metrics_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    text.lines()
+        .map(|line| {
+            parmonc_obs::schema::validate_line(line)
+                .unwrap_or_else(|e| panic!("schema violation in {line:?}: {e}"))
+        })
+        .collect()
+}
+
+/// Asserts the process backend left nothing behind: no live worker
+/// children of this process, no zombies, and no `parmonc-ipc-*` socket
+/// directories belonging to this PID.
+fn assert_no_orphans() {
+    let me = std::process::id();
+    let mut orphans = Vec::new();
+    for entry in std::fs::read_dir("/proc").into_iter().flatten().flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        // Field 4 of /proc/pid/stat (after the parenthesized comm) is
+        // the parent PID.
+        let Some(after_comm) = stat.rsplit(')').next() else {
+            continue;
+        };
+        let mut fields = after_comm.split_whitespace();
+        let _state = fields.next();
+        let Some(ppid) = fields.next().and_then(|p| p.parse::<u32>().ok()) else {
+            continue;
+        };
+        if ppid != me {
+            continue;
+        }
+        // Our only children are re-executed workers; any survivor with
+        // the worker environment is an orphan.
+        let environ = std::fs::read(format!("/proc/{pid}/environ")).unwrap_or_default();
+        if environ
+            .split(|&b| b == 0)
+            .any(|kv| kv.starts_with(b"PARMONC_WORKER_RANK="))
+        {
+            orphans.push(pid);
+        }
+    }
+    assert!(orphans.is_empty(), "orphaned worker processes: {orphans:?}");
+
+    let leftovers: Vec<_> = std::fs::read_dir(std::env::temp_dir())
+        .unwrap()
+        .flatten()
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&format!("parmonc-ipc-{me}-")))
+        })
+        .map(|e| e.path())
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "socket dirs not removed: {leftovers:?}"
+    );
+}
+
+/// Same config + seed on both backends: bit-identical estimates and the
+/// same monitor event vocabulary. The process run comes first (see the
+/// module docs) and must leave no orphans.
+#[test]
+fn process_and_thread_backends_agree() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let configure = |b: ParmoncBuilder, dir: &str| {
+        b.max_sample_volume(2_000)
+            .processors(4)
+            .seqnum(5)
+            .exchange(Exchange::EveryRealization)
+            .monitor()
+            .output_dir(scratch(dir))
+    };
+    let processes = configure(
+        builder_for("process_and_thread_backends_agree", 1, 2),
+        "agree-processes",
+    )
+    .transport(Transport::Processes)
+    .run(uniform())
+    .unwrap();
+    let threads = configure(
+        builder_for("process_and_thread_backends_agree", 1, 2),
+        "agree-threads",
+    )
+    .transport(Transport::Threads)
+    .run(uniform())
+    .unwrap();
+
+    // Bit-identical estimates: the full averaged summary, not a
+    // tolerance comparison.
+    assert_eq!(processes.summary, threads.summary);
+    assert_eq!(processes.total_volume, threads.total_volume);
+    assert_eq!(processes.new_volume, threads.new_volume);
+    assert_eq!(processes.worker_volumes, threads.worker_volumes);
+    assert!(processes.lost_workers.is_empty());
+    assert!(threads.lost_workers.is_empty());
+
+    // Identical monitor event vocabularies (timing may reorder events,
+    // but both backends must surface the same *kinds* of observability).
+    assert_eq!(trace_kinds(&processes), trace_kinds(&threads));
+
+    assert_no_orphans();
+}
+
+/// A fault-injected process run — one rank crashed, messages dropped —
+/// still completes at full volume and still reaps every worker.
+#[test]
+fn faulted_process_run_shuts_down_cleanly() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let report = builder_for("faulted_process_run_shuts_down_cleanly", 1, 1)
+        .max_sample_volume(2_000)
+        .processors(4)
+        .seqnum(3)
+        .exchange(Exchange::EveryRealization)
+        .faults(FaultPlan::new(7).crash_rank(2, 20).drop_fraction(0.05))
+        .heartbeat_period(Duration::from_millis(10))
+        .liveness_timeout(Duration::from_millis(300))
+        .monitor()
+        .transport(Transport::Processes)
+        .output_dir(scratch("faulted-processes"))
+        .run(uniform())
+        .unwrap();
+
+    assert!(
+        report.new_volume >= 2_000,
+        "volume {} must reach the target",
+        report.new_volume
+    );
+    assert!(
+        report.lost_workers.contains(&2),
+        "expected rank 2 lost, got {:?}",
+        report.lost_workers
+    );
+    assert!(report.reassigned_realizations > 0);
+
+    assert_no_orphans();
+}
+
+/// The process backend honors resumption exactly like the thread
+/// backend: on top of an identical thread-backend baseline run, a
+/// `Resume::Resume` continuation on the process backend produces a
+/// report bit-identical to a thread-backend continuation.
+///
+/// The baseline runs are guarded with [`parmonc::ipc::is_worker`]: a
+/// re-executed worker must fall through straight to the (single)
+/// process-backend `run()` call so it diverts with the continuation's
+/// config, not the baseline's. A test function may contain only one
+/// process-backend run for exactly this reason.
+#[test]
+fn process_backend_resumes_bit_identically() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    use parmonc::prelude::Resume;
+    let run = |transport: Transport, dir: &'static str, resume: Resume, seqnum: u64| {
+        builder_for("process_backend_resumes_bit_identically", 1, 1)
+            .max_sample_volume(1_000)
+            .processors(3)
+            .seqnum(seqnum)
+            .resume(resume)
+            .transport(transport)
+            .output_dir(scratch_keep(dir))
+            .run(uniform())
+            .unwrap()
+    };
+    if !parmonc::ipc::is_worker() {
+        // Wipe once (scratch_keep never wipes: the continuation must
+        // see the baseline's results), then lay down identical
+        // thread-backend baselines for both continuations.
+        for dir in ["resume-processes", "resume-threads"] {
+            let _ = std::fs::remove_dir_all(scratch_keep(dir));
+        }
+        let _ = run(Transport::Threads, "resume-processes", Resume::New, 1);
+        let _ = run(Transport::Threads, "resume-threads", Resume::New, 1);
+    }
+    let p = run(Transport::Processes, "resume-processes", Resume::Resume, 2);
+    let t = run(Transport::Threads, "resume-threads", Resume::Resume, 2);
+
+    assert_eq!(p.total_volume, 2_000);
+    assert_eq!(p.resumed_volume, 1_000);
+    assert_eq!(p.summary, t.summary);
+    assert_eq!(p.total_volume, t.total_volume);
+    assert_eq!(p.resumed_volume, t.resumed_volume);
+
+    assert_no_orphans();
+}
+
+/// Like [`scratch`] but never wipes — for multi-run resumption tests
+/// that wipe once themselves.
+fn scratch_keep(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("parmonc-conformance-{name}"))
+}

@@ -2,7 +2,7 @@
 //! estimators draw from real leapfrogged realization streams, and a
 //! VR-enhanced `Realize` routine runs through the parallel runner.
 
-use parmonc::{Parmonc, RealizeFn};
+use parmonc::prelude::{Parmonc, RealizeFn};
 use parmonc_rng::{StreamHierarchy, StreamId, UniformSource};
 use parmonc_vr::antithetic::plain_estimate;
 use parmonc_vr::{antithetic_estimate, normal_tail_probability, stratified_estimate};
