@@ -1,9 +1,11 @@
-//! Process-transport overhead: running the same workload with ranks as
-//! OS processes over Unix-domain sockets (`Transport::Processes`) must
-//! stay within a bounded wall-time overhead of the thread backend.
-//! The measured overhead is recorded as
-//! `bound_process_transport_overhead_pct` so `hotpath_compare` gates it
-//! against the committed ceiling in `BENCH_hotpath.json`.
+//! Transport overhead: running the same workload with ranks as OS
+//! processes over Unix-domain sockets (`Transport::Processes`), or as
+//! remote workers over loopback TCP (`Transport::Tcp`), must stay
+//! within a bounded wall-time overhead of the thread backend. The
+//! measured overheads are recorded as
+//! `bound_process_transport_overhead_pct` and
+//! `bound_tcp_transport_overhead_pct` so `hotpath_compare` gates them
+//! against the committed ceilings in `BENCH_hotpath.json`.
 //!
 //! # Re-execution discipline
 //!
@@ -52,6 +54,52 @@ fn run_once(transport: Transport, dir: &Path) -> f64 {
     elapsed
 }
 
+/// One full run over loopback TCP: a collector listening on an
+/// ephemeral port plus one in-process worker thread dialing it — the
+/// real wire conversation (handshake, framing, heartbeats), only the
+/// remote host is simulated. Returns wall seconds including the
+/// listener setup and the worker's address discovery.
+fn run_once_tcp(dir: &Path, worker_dir: &Path) -> f64 {
+    let workload = ScaledDiffusion::new(40);
+    let volume = if fast_mode() { 150 } else { 600 };
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_dir_all(worker_dir);
+    let builder = |out: &Path| {
+        let scheme = workload.scheme().clone();
+        (
+            Parmonc::builder(ScaledDiffusion::POINTS, 2)
+                .max_sample_volume(volume)
+                .processors(2)
+                .exchange(Exchange::EveryRealization)
+                .output_dir(out),
+            RealizeFn::new(move |rng, out: &mut [f64]| scheme.realize_into(rng, out)),
+        )
+    };
+    let started = Instant::now();
+    let collector = {
+        let (b, realize) = builder(dir);
+        std::thread::spawn(move || b.listen("127.0.0.1:0").run(realize).unwrap())
+    };
+    let addr_path = dir.join("parmonc_data").join("collector.addr");
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_path) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                break addr;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    };
+    let (b, realize) = builder(worker_dir);
+    b.join(addr).run_worker(realize).unwrap();
+    let report = collector.join().unwrap();
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(report.new_volume, volume);
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_dir_all(worker_dir);
+    elapsed
+}
+
 /// The fastest observed run — the noise-robust estimator for a
 /// deterministic workload (noise only ever adds time).
 fn minimum(samples: &[f64]) -> f64 {
@@ -65,30 +113,47 @@ fn bench_transport_overhead(_c: &mut Criterion) {
         "parmonc-bench-transport-threads-{}",
         std::process::id()
     ));
+    let tcp_dir = std::env::temp_dir().join(format!(
+        "parmonc-bench-transport-tcp-{}",
+        std::process::id()
+    ));
+    let tcp_worker_dir = std::env::temp_dir().join(format!(
+        "parmonc-bench-transport-tcp-worker-{}",
+        std::process::id()
+    ));
 
     // Warmup — and the mandatory first run() of the binary (see module
     // docs): workers spawned by *any* process run divert here.
     let _ = black_box(run_once(Transport::Processes, &proc_dir));
 
-    // Interleaved pairs, process arm first in each (a worker must never
-    // reach a thread run), so slow machine-load drift hits both arms
-    // equally.
+    // Interleaved triples, process arm first in each (a worker must
+    // never reach a thread run), so slow machine-load drift hits every
+    // arm equally.
     let samples: usize = if fast_mode() { 5 } else { 11 };
     let mut processes = Vec::with_capacity(samples);
+    let mut tcp = Vec::with_capacity(samples);
     let mut threads = Vec::with_capacity(samples);
     for _ in 0..samples {
         processes.push(run_once(Transport::Processes, &proc_dir));
+        tcp.push(run_once_tcp(&tcp_dir, &tcp_worker_dir));
         threads.push(run_once(Transport::Threads, &thread_dir));
     }
     let proc_min = minimum(&processes);
+    let tcp_min = minimum(&tcp);
     let thread_min = minimum(&threads);
-    let overhead = (proc_min - thread_min) / thread_min;
+    let proc_overhead = (proc_min - thread_min) / thread_min;
+    let tcp_overhead = (tcp_min - thread_min) / thread_min;
     println!(
-        "transport_overhead: threads {thread_min:.4} s, processes {proc_min:.4} s, \
-         overhead {:.2}%",
-        overhead * 100.0
+        "transport_overhead: threads {thread_min:.4} s, processes {proc_min:.4} s \
+         ({:.2}%), tcp {tcp_min:.4} s ({:.2}%)",
+        proc_overhead * 100.0,
+        tcp_overhead * 100.0
     );
-    record_metric("bound_process_transport_overhead_pct", overhead * 100.0);
+    record_metric(
+        "bound_process_transport_overhead_pct",
+        proc_overhead * 100.0,
+    );
+    record_metric("bound_tcp_transport_overhead_pct", tcp_overhead * 100.0);
 }
 
 criterion_group!(benches, bench_transport_overhead);

@@ -159,13 +159,23 @@ pub struct DemoArgs {
     /// end-of-run summary table.
     pub monitor: bool,
     /// Which message-passing substrate carries the run
-    /// (`--transport threads|processes`, default threads).
+    /// (`--transport threads|processes|tcp`, default threads).
     pub transport: Transport,
+    /// TCP collector mode: the address to listen on (`--listen`).
+    /// Implies `--transport tcp`.
+    pub listen: Option<String>,
+    /// TCP worker mode: the collector address to dial (`--join`).
+    /// Implies `--transport tcp`; the process runs the worker loop
+    /// instead of a full collector run.
+    pub join: Option<String>,
 }
 
 /// Parses
 /// `parmonc-demo <pi|transport|queue> [volume] [processors] [dir] [--monitor]
-/// [--transport threads|processes]`. The flags may appear anywhere.
+/// [--transport threads|processes|tcp] [--listen host:port]
+/// [--join host:port]`. The flags may appear anywhere; `--listen` and
+/// `--join` each imply `--transport tcp` (collector and worker mode
+/// respectively; see `docs/cluster.md`).
 ///
 /// The hidden `--parmonc-worker` re-execution marker (appended by the
 /// process transport when it self-execs workers) is stripped before
@@ -181,7 +191,8 @@ where
     S: AsRef<str>,
 {
     const USAGE: &str = "usage: parmonc-demo <pi|transport|queue> [volume] [processors] [dir] \
-                         [--monitor] [--transport threads|processes]";
+                         [--monitor] [--transport threads|processes|tcp] [--listen host:port] \
+                         [--join host:port]";
     let mut values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
     values.retain(|v| v != parmonc::ipc::WORKER_FLAG);
     let mut transport = Transport::Threads;
@@ -192,13 +203,39 @@ where
         transport = match choice.as_str() {
             "threads" => Transport::Threads,
             "processes" => Transport::Processes,
+            "tcp" => Transport::Tcp,
             other => {
                 return Err(format!(
-                    "unknown transport {other:?} (expected threads or processes)\n{USAGE}"
+                    "unknown transport {other:?} (expected threads, processes, or tcp)\n{USAGE}"
                 ))
             }
         };
         values.drain(pos..=pos + 1);
+    }
+    let mut addr_flag = |flag: &str| -> Result<Option<String>, String> {
+        let mut addr = None;
+        while let Some(pos) = values.iter().position(|v| v == flag) {
+            let Some(value) = values.get(pos + 1) else {
+                return Err(format!("{flag} requires an address\n{USAGE}"));
+            };
+            addr = Some(value.clone());
+            values.drain(pos..=pos + 1);
+        }
+        Ok(addr)
+    };
+    let listen = addr_flag("--listen")?;
+    let join = addr_flag("--join")?;
+    if listen.is_some() && join.is_some() {
+        return Err(format!(
+            "--listen (collector) and --join (worker) are mutually exclusive\n{USAGE}"
+        ));
+    }
+    if listen.is_some() || join.is_some() {
+        transport = Transport::Tcp;
+    } else if transport == Transport::Tcp {
+        return Err(format!(
+            "--transport tcp needs --listen (collector) or --join (worker)\n{USAGE}"
+        ));
     }
     let before = values.len();
     values.retain(|v| v != "--monitor");
@@ -234,6 +271,8 @@ where
         dir,
         monitor,
         transport,
+        listen,
+        join,
     })
 }
 
@@ -753,6 +792,34 @@ mod tests {
 
         assert!(parse_demo_args(["pi", "--transport"]).is_err());
         assert!(parse_demo_args(["pi", "--transport", "carrier-pigeon"]).is_err());
+    }
+
+    #[test]
+    fn demo_tcp_flags() {
+        // --listen selects TCP collector mode.
+        let a = parse_demo_args(["pi", "--listen", "0.0.0.0:7070"]).unwrap();
+        assert_eq!(a.transport, Transport::Tcp);
+        assert_eq!(a.listen.as_deref(), Some("0.0.0.0:7070"));
+        assert_eq!(a.join, None);
+
+        // --join selects TCP worker mode, anywhere among positionals.
+        let a = parse_demo_args(["--join", "collector:7070", "queue", "5000", "8"]).unwrap();
+        assert_eq!(a.transport, Transport::Tcp);
+        assert_eq!(a.join.as_deref(), Some("collector:7070"));
+        assert_eq!(a.workload, DemoWorkload::Queue);
+        assert_eq!(a.volume, 5000);
+        assert_eq!(a.processors, 8);
+
+        // Explicit --transport tcp is fine alongside an address.
+        let a = parse_demo_args(["pi", "--transport", "tcp", "--listen", "127.0.0.1:0"]).unwrap();
+        assert_eq!(a.transport, Transport::Tcp);
+
+        // ... but meaningless without one, and the two modes exclude
+        // each other.
+        assert!(parse_demo_args(["pi", "--transport", "tcp"]).is_err());
+        assert!(parse_demo_args(["pi", "--listen"]).is_err());
+        assert!(parse_demo_args(["pi", "--join"]).is_err());
+        assert!(parse_demo_args(["pi", "--listen", "0.0.0.0:1", "--join", "h:1"]).is_err());
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub enum Resume {
 
 /// Which substrate carries rank traffic.
 ///
-/// Both backends implement the same [`parmonc_mpi::Transport`] trait
+/// All backends implement the same [`parmonc_mpi::Transport`] trait
 /// and run the identical collector/worker code, so for a fixed
 /// configuration and seed the estimates are bit-identical across
 /// backends — only the isolation (and its costs) differ.
@@ -44,6 +44,15 @@ pub enum Transport {
     /// the worker loop; guard side effects before that call with
     /// [`crate::ipc::is_worker`].
     Processes,
+    /// Ranks are remote *hosts*: rank 0 listens on a TCP address
+    /// ([`ParmoncBuilder::listen`]) and workers started independently
+    /// — typically on other machines — dial in with
+    /// [`ParmoncBuilder::run_worker`], complete a versioned handshake
+    /// (see `docs/wire-protocol.md`), and lease an untouched leapfrog
+    /// stream range. Membership is elastic: workers may join mid-run,
+    /// and because every rank's streams are fixed by `(seqnum, rank)`,
+    /// the estimates stay bit-identical to a fixed-membership run.
+    Tcp,
 }
 
 /// When workers ship subtotals to rank 0.
@@ -122,9 +131,24 @@ pub struct RunConfig {
     /// If `true`, a detected worker loss aborts the run with
     /// [`ParmoncError::WorkerLost`] instead of degrading gracefully.
     pub fail_on_worker_loss: bool,
-    /// Which substrate carries rank traffic (threads in-process, or
-    /// forked worker processes over Unix-domain sockets).
+    /// Which substrate carries rank traffic (threads in-process,
+    /// forked worker processes over Unix-domain sockets, or remote
+    /// workers over TCP).
     pub transport: Transport,
+    /// TCP backend, collector side: the address rank 0 listens on
+    /// (e.g. `"0.0.0.0:7070"`; port 0 picks an ephemeral port, written
+    /// to `parmonc_data/collector.addr`). Required when `transport` is
+    /// [`Transport::Tcp`] and [`ParmoncBuilder::run`] is called.
+    pub listen_addr: Option<String>,
+    /// TCP backend, worker side: the collector address a
+    /// [`ParmoncBuilder::run_worker`] call dials (e.g.
+    /// `"collector.example:7070"`). Ignored by [`ParmoncBuilder::run`].
+    pub join_addr: Option<String>,
+    /// TCP backend: per-connection I/O timeout. Writes that stall this
+    /// long fail the connection; the worker is then caught by the
+    /// liveness plane. Reads are bounded by the liveness timeout
+    /// instead (see `docs/wire-protocol.md`).
+    pub tcp_io_timeout: Duration,
     /// Arguments the process backend passes to the re-executed worker
     /// binary (excluding the program name; the hidden worker flag is
     /// appended automatically). `None` — the default — inherits this
@@ -184,6 +208,18 @@ impl RunConfig {
                 self.leaps.experiments()
             )));
         }
+        if self.transport == Transport::Tcp && self.processors < 2 {
+            return Err(ParmoncError::Config(
+                "the TCP transport needs processors >= 2: rank 0 collects locally and every \
+                 other rank is a lease for a remote worker"
+                    .into(),
+            ));
+        }
+        if self.transport != Transport::Tcp && self.listen_addr.is_some() {
+            return Err(ParmoncError::Config(
+                "listen_addr is only meaningful with the TCP transport".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -196,6 +232,39 @@ impl RunConfig {
         let base = self.max_sample_volume / m;
         let extra = u64::from((worker as u64) < self.max_sample_volume % m);
         base + extra
+    }
+
+    /// Digest of every configuration field that determines the wire
+    /// conversation and the estimate: the TCP handshake exchanges it so
+    /// a worker started with a mismatched configuration (different
+    /// matrix shape, volume, seed, world size, exchange mode, or leap
+    /// parameters) is rejected instead of silently corrupting the
+    /// stream bookkeeping. FNV-1a over the little-endian field bytes;
+    /// see `docs/wire-protocol.md` for the exact layout.
+    #[must_use]
+    pub fn wire_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.nrow as u64).to_le_bytes());
+        eat(&(self.ncol as u64).to_le_bytes());
+        eat(&self.max_sample_volume.to_le_bytes());
+        eat(&self.seqnum.to_le_bytes());
+        eat(&(self.processors as u64).to_le_bytes());
+        eat(&[match self.exchange {
+            Exchange::EveryRealization => 0,
+            Exchange::Periodic => 1,
+        }]);
+        eat(&self.leaps.ne().to_le_bytes());
+        eat(&self.leaps.np().to_le_bytes());
+        eat(&self.leaps.nr().to_le_bytes());
+        h
     }
 }
 
@@ -230,6 +299,9 @@ impl ParmoncBuilder {
                 liveness_timeout: Duration::from_secs(30),
                 fail_on_worker_loss: false,
                 transport: Transport::Threads,
+                listen_addr: None,
+                join_addr: None,
+                tcp_io_timeout: Duration::from_secs(10),
                 worker_args: None,
             },
         }
@@ -360,12 +432,46 @@ impl ParmoncBuilder {
     }
 
     /// Selects the transport substrate: [`Transport::Threads`] (the
-    /// default, in-process) or [`Transport::Processes`] (forked worker
-    /// processes over Unix-domain sockets). Estimates are bit-identical
-    /// across backends for the same configuration and seed.
+    /// default, in-process), [`Transport::Processes`] (forked worker
+    /// processes over Unix-domain sockets), or [`Transport::Tcp`]
+    /// (remote workers dialing in; see [`ParmoncBuilder::listen`]).
+    /// Estimates are bit-identical across backends for the same
+    /// configuration and seed.
     #[must_use]
     pub fn transport(mut self, transport: Transport) -> Self {
         self.config.transport = transport;
+        self
+    }
+
+    /// Selects the TCP transport and sets the address rank 0 listens
+    /// on, e.g. `"0.0.0.0:7070"`. Port 0 binds an ephemeral port; the
+    /// actually bound address is written to
+    /// `parmonc_data/collector.addr` so scripts can discover it. See
+    /// `docs/cluster.md` for a multi-host walkthrough.
+    #[must_use]
+    pub fn listen(mut self, addr: impl Into<String>) -> Self {
+        self.config.transport = Transport::Tcp;
+        self.config.listen_addr = Some(addr.into());
+        self
+    }
+
+    /// Selects the TCP transport and sets the collector address a
+    /// worker dials, e.g. `"collector.example:7070"`. Only consumed by
+    /// [`ParmoncBuilder::run_worker`]; [`ParmoncBuilder::run`] ignores
+    /// it.
+    #[must_use]
+    pub fn join(mut self, addr: impl Into<String>) -> Self {
+        self.config.transport = Transport::Tcp;
+        self.config.join_addr = Some(addr.into());
+        self
+    }
+
+    /// Sets the TCP per-connection I/O timeout (default 10 s). Writes
+    /// that stall this long fail the connection and hand the worker to
+    /// the liveness plane.
+    #[must_use]
+    pub fn tcp_io_timeout(mut self, timeout: Duration) -> Self {
+        self.config.tcp_io_timeout = timeout;
         self
     }
 
@@ -413,6 +519,31 @@ impl ParmoncBuilder {
         R: crate::realize::Realize + Sync,
     {
         crate::runner::run(self.build()?, realize)
+    }
+
+    /// Runs as a remote *worker* of a TCP run: dials the collector set
+    /// with [`ParmoncBuilder::join`], leases a rank via the versioned
+    /// handshake (`docs/wire-protocol.md`), simulates the granted
+    /// leapfrog stream range with `realize`, and returns when the
+    /// quota is done or the collector tells it to stop.
+    ///
+    /// The builder must be configured *identically* to the collector's
+    /// (same matrix shape, volume, seed, processors, exchange mode, and
+    /// leaps): the handshake exchanges a digest of those fields and the
+    /// collector rejects a mismatch. See `docs/cluster.md` for the
+    /// multi-host walkthrough.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and I/O errors; a collector rejection
+    /// (wrong version, mismatched configuration, exhausted budget)
+    /// surfaces as [`ParmoncError::Io`] with the collector's reason.
+    pub fn run_worker<R>(self, realize: R) -> Result<(), ParmoncError>
+    where
+        R: crate::realize::Realize + Sync,
+    {
+        let config = self.build()?;
+        crate::runner::run_tcp_worker(config, &realize)
     }
 }
 

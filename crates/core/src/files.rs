@@ -177,6 +177,24 @@ impl ResultsDir {
         self.root.join("parmonc_exp.dat")
     }
 
+    /// Path of the TCP collector's bound address file
+    /// `collector.addr`, written when a run listens on an ephemeral
+    /// port (port 0) so scripts can discover where to point
+    /// `--join` workers.
+    #[must_use]
+    pub fn collector_addr_path(&self) -> PathBuf {
+        self.root.join("collector.addr")
+    }
+
+    /// Records the TCP collector's actually bound address (one line).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] if the write fails.
+    pub fn write_collector_addr(&self, addr: &str) -> Result<(), ParmoncError> {
+        self.write_atomic(&self.collector_addr_path(), &format!("{addr}\n"))
+    }
+
     /// Directory of run-monitor output (`monitor/`).
     #[must_use]
     pub fn monitor_dir(&self) -> PathBuf {

@@ -18,6 +18,37 @@
 //! # Ok::<(), ParmoncError>(())
 //! ```
 //!
+//! A multi-host run splits the same builder across machines: the
+//! collector listens, each worker joins and must build the *same*
+//! configuration (enforced by the wire handshake — see
+//! `docs/cluster.md`):
+//!
+//! ```no_run
+//! use parmonc::prelude::*;
+//!
+//! // Collector host: rank 0 simulates, collects, and serves joiners.
+//! let report = Parmonc::builder(1, 1)
+//!     .max_sample_volume(10_000)
+//!     .processors(4)
+//!     .listen("0.0.0.0:7070")
+//!     .output_dir("parmonc_run")
+//!     .run(RealizeFn::new(|rng, out| out[0] = rng.next_f64()))?;
+//! # Ok::<(), ParmoncError>(())
+//! ```
+//!
+//! ```no_run
+//! use parmonc::prelude::*;
+//!
+//! // Each worker host: dial in, get leased a rank, work the quota.
+//! Parmonc::builder(1, 1)
+//!     .max_sample_volume(10_000)
+//!     .processors(4)
+//!     .join("collector-host:7070")
+//!     .output_dir("scratch")
+//!     .run_worker(RealizeFn::new(|rng, out| out[0] = rng.next_f64()))?;
+//! # Ok::<(), ParmoncError>(())
+//! ```
+//!
 //! Deliberately *not* here: the file-format, message and compat
 //! internals (`files`, `messages`, `compat`), the raw RNG machinery
 //! beyond what `RealizeFn` closures receive, and the `parmonc_ipc`

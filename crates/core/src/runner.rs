@@ -15,7 +15,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use parmonc_faults::{FaultHandle, FaultKind};
-use parmonc_ipc::{ChildTransport, ProcessTransport, SpawnOptions, WorkerInfo};
+use parmonc_ipc::{
+    ChildTransport, JoinOptions, ListenOptions, ProcessTransport, SpawnOptions,
+    TcpCollectorTransport, TcpWorkerTransport, WorkerInfo,
+};
 use parmonc_mpi::Transport as Comm;
 use parmonc_mpi::{Bytes, Envelope, MpiError, World};
 use parmonc_obs::{
@@ -214,13 +217,16 @@ pub fn run<R>(config: RunConfig, realize: R) -> Result<RunReport, ParmoncError>
 where
     R: Realize + Sync,
 {
-    if config.transport == Transport::Processes {
-        if let Some(info) = parmonc_ipc::worker_env() {
-            run_worker_process(&info, &config, &realize);
+    match config.transport {
+        Transport::Processes => {
+            if let Some(info) = parmonc_ipc::worker_env() {
+                run_worker_process(&info, &config, &realize);
+            }
+            run_processes(config, realize)
         }
-        return run_processes(config, realize);
+        Transport::Tcp => run_tcp_collector(config, realize),
+        Transport::Threads => run_threads(config, realize),
     }
-    run_threads(config, realize)
 }
 
 /// Everything both backends set up before any rank starts simulating.
@@ -417,6 +423,106 @@ where
     let outcome = result?;
     shutdown.io_ctx("shutting down worker processes")?;
     finish(&config, setup, start, outcome)
+}
+
+/// The TCP backend, collector side: bind the listener, record the
+/// actually bound address in `parmonc_data/collector.addr`, then run
+/// the identical collector loop over the elastic-membership TCP world.
+///
+/// Unlike the process backend nobody is spawned here: every worker
+/// rank starts life as an *unleased* slot. Remote workers started with
+/// [`ParmoncBuilder::run_worker`](crate::config::ParmoncBuilder::run_worker)
+/// dial in and lease slots; slots that never join go quiet past the
+/// liveness timeout and their budget is reassigned exactly as if a
+/// spawned worker had died — the estimate stays bit-identical either
+/// way because stream coordinates are fixed by `(seqnum, rank)`.
+fn run_tcp_collector<R>(config: RunConfig, realize: R) -> Result<RunReport, ParmoncError>
+where
+    R: Realize + Sync,
+{
+    let start = Instant::now();
+    let Some(addr) = config.listen_addr.clone() else {
+        return Err(ParmoncError::Config(
+            "the TCP transport needs a listen address on the collector: use .listen(\"host:port\") \
+             (workers join with .join(addr) + run_worker)"
+                .into(),
+        ));
+    };
+    let setup = prepare(&config, RunTransport::Tcp)?;
+    let quotas: Vec<u64> = (1..config.processors).map(|m| config.quota(m)).collect();
+    let mut transport = TcpCollectorTransport::listen(ListenOptions {
+        addr,
+        size: config.processors,
+        monitor: setup.monitor.clone(),
+        faults: setup.faults.clone(),
+        config_digest: config.wire_digest(),
+        quotas,
+        io_timeout: config.tcp_io_timeout,
+    })
+    .io_ctx("binding the collector TCP listener")?;
+    setup
+        .dir
+        .write_collector_addr(&transport.local_addr().to_string())?;
+    let result = rank0_loop(
+        &mut transport,
+        &config,
+        &setup.hierarchy,
+        &setup.dir,
+        setup.baseline.clone(),
+        &realize,
+        start,
+        &setup.monitor,
+    );
+    // Tear the world down before folding the report, mirroring the
+    // process backend: shutdown joins the per-connection readers, so
+    // every forwarded worker event is in the sinks before the epilogue
+    // folds the trace.
+    let shutdown = transport.shutdown();
+    let outcome = result?;
+    shutdown.io_ctx("shutting down the TCP listener")?;
+    finish(&config, setup, start, outcome)
+}
+
+/// The TCP backend, worker side: dial the collector, lease a rank via
+/// the versioned handshake, then run the identical worker loop. This
+/// is the body behind
+/// [`ParmoncBuilder::run_worker`](crate::config::ParmoncBuilder::run_worker).
+pub(crate) fn run_tcp_worker<R: Realize>(
+    config: RunConfig,
+    realize: &R,
+) -> Result<(), ParmoncError> {
+    let start = Instant::now();
+    let Some(addr) = config.join_addr.clone() else {
+        return Err(ParmoncError::Config(
+            "run_worker needs a collector address: use .join(\"host:port\")".into(),
+        ));
+    };
+    let faults = config.faults.build();
+    let dir = ResultsDir::create(&config.output_dir)?.with_faults(faults.clone());
+    let hierarchy = StreamHierarchy::new(config.leaps);
+    let comm = TcpWorkerTransport::join(JoinOptions {
+        addr,
+        config_digest: config.wire_digest(),
+        faults: faults.clone(),
+        io_timeout: config.tcp_io_timeout,
+    })
+    .io_ctx("joining the TCP collector")?;
+    // The digest already proved both sides agree on the configuration;
+    // this cross-check catches quota-dealing bugs, where agreement on
+    // the inputs still produced a different split.
+    let rank = Comm::rank(&comm);
+    let granted = comm.granted_quota();
+    if granted != config.quota(rank) {
+        return Err(ParmoncError::Config(format!(
+            "collector granted rank {rank} a quota of {granted} realizations, but this \
+             configuration deals it {}: the two sides disagree on the budget split",
+            config.quota(rank)
+        )));
+    }
+    let monitor = comm.monitor();
+    worker_loop(
+        comm, &config, &hierarchy, &dir, realize, start, &monitor, &faults,
+    )
 }
 
 /// The process backend, worker side: never returns — the worker loop
@@ -911,6 +1017,10 @@ fn declare_lost<C: Comm>(
     }
     live.alive[dead] = false;
     live.lost.push(dead);
+    // On an elastic-membership substrate (TCP), the dead rank's lease
+    // must never be granted again: its remaining budget is about to be
+    // reassigned, so a late joiner on this rank would double-count.
+    comm.retire_rank(dead);
     monitor.emit(
         Some(0),
         EventKind::WorkerLost {

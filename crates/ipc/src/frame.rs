@@ -3,10 +3,12 @@
 //! One frame is `[source u32][tag u32][len u32][payload]`, all
 //! little-endian — the same length-prefixed envelope shape the
 //! in-process substrate moves over channels, so a [`Frame`] maps 1:1
-//! onto a `parmonc_mpi::Envelope`. Two tags above the collective
-//! range are reserved for the transport's own protocol and never
-//! surface as envelopes: the connection handshake and forwarded
-//! monitor events.
+//! onto a `parmonc_mpi::Envelope`. A band of tags above the
+//! collective range is reserved for the transports' own protocol and
+//! never surfaces as envelopes: the connection handshakes, forwarded
+//! monitor events, and the TCP join/grant/reject exchange. The full
+//! byte-level contract (including a worked hexdump) is documented in
+//! `docs/wire-protocol.md`.
 
 use std::io::{self, Read, Write};
 
@@ -18,6 +20,193 @@ pub const TAG_IPC_HELLO: u32 = 0xFFFF_FF00;
 /// `run_metrics.jsonl` line, re-emitted by the parent with the
 /// child's timestamp.
 pub const TAG_IPC_EVENT: u32 = 0xFFFF_FF01;
+
+/// A TCP worker's join request: the first frame on a dialing
+/// connection, payload = [`JoinRequest`]. The source field is 0
+/// because the worker has no rank yet.
+pub const TAG_TCP_JOIN: u32 = 0xFFFF_FF02;
+
+/// The collector's acceptance of a join: payload = [`Grant`], carrying
+/// the leased rank, the world size, and the rank's realization quota.
+pub const TAG_TCP_GRANT: u32 = 0xFFFF_FF03;
+
+/// The collector's refusal of a join: payload = [`Reject`] (a one-byte
+/// code plus a human-readable reason). The connection is closed right
+/// after this frame.
+pub const TAG_TCP_REJECT: u32 = 0xFFFF_FF04;
+
+/// Magic number opening every [`JoinRequest`]: the little-endian bytes
+/// spell `PMNC`. A connection whose first frame does not carry it is
+/// not speaking this protocol and is rejected.
+pub const TCP_MAGIC: u32 = 0x434E_4D50;
+
+/// The TCP wire-protocol version this build speaks. Bumped on any
+/// incompatible change to the handshake or envelope framing; the
+/// collector rejects joiners with a different version (see
+/// `docs/wire-protocol.md` § version negotiation).
+pub const TCP_PROTOCOL_VERSION: u16 = 1;
+
+/// The 16-byte [`TAG_TCP_JOIN`] payload:
+/// `[magic u32][version u16][reserved u16][config_digest u64]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinRequest {
+    /// Must equal [`TCP_MAGIC`].
+    pub magic: u32,
+    /// The worker's [`TCP_PROTOCOL_VERSION`].
+    pub version: u16,
+    /// FNV-1a digest of the run configuration fields that determine
+    /// the estimate; collector and worker must agree or the worker
+    /// would compute the wrong streams.
+    pub config_digest: u64,
+}
+
+impl JoinRequest {
+    /// A well-formed request for this build's protocol version.
+    #[must_use]
+    pub fn new(config_digest: u64) -> Self {
+        Self {
+            magic: TCP_MAGIC,
+            version: TCP_PROTOCOL_VERSION,
+            config_digest,
+        }
+    }
+
+    /// Encodes the 16-byte payload.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 16] {
+        let mut buf = [0u8; 16];
+        buf[0..4].copy_from_slice(&self.magic.to_le_bytes());
+        buf[4..6].copy_from_slice(&self.version.to_le_bytes());
+        // bytes 6..8 reserved, zero
+        buf[8..16].copy_from_slice(&self.config_digest.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a payload; `None` if the length is wrong. Magic and
+    /// version are *not* validated here — the collector checks them
+    /// itself so it can answer with the right reject code.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 16 {
+            return None;
+        }
+        Some(Self {
+            magic: u32::from_le_bytes(payload[0..4].try_into().ok()?),
+            version: u16::from_le_bytes(payload[4..6].try_into().ok()?),
+            config_digest: u64::from_le_bytes(payload[8..16].try_into().ok()?),
+        })
+    }
+}
+
+/// The 24-byte [`TAG_TCP_GRANT`] payload:
+/// `[version u16][flags u16][rank u32][size u32][reserved u32][quota u64]`.
+/// Flags bit 0 = the run is monitored (the worker should forward its
+/// events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The collector's protocol version (equals the joiner's, or the
+    /// join would have been rejected).
+    pub version: u16,
+    /// Whether the run is monitored.
+    pub monitor: bool,
+    /// The leased logical rank — the worker's leapfrog stream range.
+    pub rank: u32,
+    /// World size including the collector.
+    pub size: u32,
+    /// The realization quota of the leased rank; the worker
+    /// cross-checks it against its own configuration.
+    pub quota: u64,
+}
+
+impl Grant {
+    /// Encodes the 24-byte payload.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 24] {
+        let mut buf = [0u8; 24];
+        buf[0..2].copy_from_slice(&self.version.to_le_bytes());
+        buf[2..4].copy_from_slice(&u16::from(self.monitor).to_le_bytes());
+        buf[4..8].copy_from_slice(&self.rank.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.size.to_le_bytes());
+        // bytes 12..16 reserved, zero
+        buf[16..24].copy_from_slice(&self.quota.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a payload; `None` if the length is wrong.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 24 {
+            return None;
+        }
+        let flags = u16::from_le_bytes(payload[2..4].try_into().ok()?);
+        Some(Self {
+            version: u16::from_le_bytes(payload[0..2].try_into().ok()?),
+            monitor: flags & 1 != 0,
+            rank: u32::from_le_bytes(payload[4..8].try_into().ok()?),
+            size: u32::from_le_bytes(payload[8..12].try_into().ok()?),
+            quota: u64::from_le_bytes(payload[16..24].try_into().ok()?),
+        })
+    }
+}
+
+/// Why a join was refused. The numeric value is the first payload byte
+/// of a [`TAG_TCP_REJECT`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectCode {
+    /// The join frame did not open with [`TCP_MAGIC`].
+    BadMagic = 1,
+    /// The worker speaks a different [`TCP_PROTOCOL_VERSION`].
+    VersionMismatch = 2,
+    /// No unleased, unretired worker rank remains — the realization
+    /// budget is fully dealt out.
+    BudgetExhausted = 3,
+    /// The worker's configuration digest differs from the collector's.
+    ConfigMismatch = 4,
+}
+
+impl RejectCode {
+    fn from_u8(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(Self::BadMagic),
+            2 => Some(Self::VersionMismatch),
+            3 => Some(Self::BudgetExhausted),
+            4 => Some(Self::ConfigMismatch),
+            _ => None,
+        }
+    }
+}
+
+/// The [`TAG_TCP_REJECT`] payload: `[code u8][reason utf-8 ...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reject {
+    /// The machine-readable refusal code.
+    pub code: RejectCode,
+    /// A human-readable explanation, surfaced in the worker's error.
+    pub reason: String,
+}
+
+impl Reject {
+    /// Encodes the variable-length payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(1 + self.reason.len());
+        buf.push(self.code as u8);
+        buf.extend_from_slice(self.reason.as_bytes());
+        buf
+    }
+
+    /// Decodes a payload; `None` on an empty payload, an unknown code,
+    /// or a non-UTF-8 reason.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        let (&code, reason) = payload.split_first()?;
+        Some(Self {
+            code: RejectCode::from_u8(code)?,
+            reason: std::str::from_utf8(reason).ok()?.to_string(),
+        })
+    }
+}
 
 /// Upper bound on a frame payload; anything larger is a protocol
 /// error, not a subtotal (the performance-test message is ~32 KB).
@@ -142,5 +331,51 @@ mod tests {
         header[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         let mut r = &header[..];
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn tcp_magic_spells_pmnc_little_endian() {
+        assert_eq!(&TCP_MAGIC.to_le_bytes(), b"PMNC");
+    }
+
+    #[test]
+    fn join_request_round_trips() {
+        let req = JoinRequest::new(0xDEAD_BEEF_0123_4567);
+        let buf = req.encode();
+        assert_eq!(buf.len(), 16);
+        assert_eq!(&buf[0..4], b"PMNC");
+        assert_eq!(JoinRequest::decode(&buf), Some(req));
+        assert_eq!(JoinRequest::decode(&buf[..15]), None);
+    }
+
+    #[test]
+    fn grant_round_trips_with_and_without_monitor() {
+        for monitor in [false, true] {
+            let grant = Grant {
+                version: TCP_PROTOCOL_VERSION,
+                monitor,
+                rank: 3,
+                size: 8,
+                quota: 125_000,
+            };
+            let buf = grant.encode();
+            assert_eq!(buf.len(), 24);
+            assert_eq!(Grant::decode(&buf), Some(grant));
+        }
+        assert_eq!(Grant::decode(&[0u8; 23]), None);
+    }
+
+    #[test]
+    fn reject_round_trips_and_validates() {
+        let reject = Reject {
+            code: RejectCode::BudgetExhausted,
+            reason: "all stream ranges are leased".into(),
+        };
+        let buf = reject.encode();
+        assert_eq!(buf[0], 3);
+        assert_eq!(Reject::decode(&buf), Some(reject));
+        assert_eq!(Reject::decode(&[]), None, "empty payload");
+        assert_eq!(Reject::decode(&[9, b'x']), None, "unknown code");
+        assert_eq!(Reject::decode(&[1, 0xFF, 0xFE]), None, "non-UTF-8 reason");
     }
 }

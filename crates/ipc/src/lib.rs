@@ -1,9 +1,13 @@
-//! Multi-process Unix-socket transport for the PARMONC reproduction.
+//! Socket transports for the PARMONC reproduction: multi-process over
+//! Unix-domain sockets, and multi-host over TCP.
 //!
 //! The in-process substrate (`parmonc-mpi`) runs ranks as OS threads;
 //! this crate runs them as *processes*, which is the paper's actual
 //! deployment shape: every rank has its own address space and RNG
-//! state, and all communication crosses a real kernel boundary.
+//! state, and all communication crosses a real kernel boundary. The
+//! [`tcp`] module extends the same envelope framing across machine
+//! boundaries, with elastic worker membership (see its module docs
+//! and `docs/wire-protocol.md`).
 //!
 //! The world is built by re-execution, like `mpirun` without the
 //! launcher: rank 0 ([`ProcessTransport::spawn`]) re-executes the
@@ -27,8 +31,10 @@
 
 pub mod frame;
 mod link;
+pub mod tcp;
 mod transport;
 mod worker;
 
+pub use tcp::{JoinOptions, ListenOptions, TcpCollectorTransport, TcpWorkerTransport};
 pub use transport::{ChildTransport, ProcessTransport, SpawnOptions};
 pub use worker::{is_worker, worker_env, WorkerInfo, WORKER_FLAG};

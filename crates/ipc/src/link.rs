@@ -3,8 +3,7 @@
 //! the monitor-event forwarding sink.
 
 use std::cell::RefCell;
-use std::io::BufReader;
-use std::os::unix::net::UnixStream;
+use std::io::{BufReader, Read, Write};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
@@ -313,19 +312,19 @@ impl SendGate {
 }
 
 /// An [`EventSink`] that serializes every event as a
-/// [`TAG_IPC_EVENT`] frame over the worker's socket, for the parent
-/// to re-emit into the run's real monitor with the child's
-/// timestamps. Write failures are counted, not propagated — a dying
-/// parent must not turn monitoring into a worker crash.
+/// [`TAG_IPC_EVENT`] frame over the worker's socket (Unix or TCP),
+/// for the parent to re-emit into the run's real monitor with the
+/// child's timestamps. Write failures are counted, not propagated — a
+/// dying parent must not turn monitoring into a worker crash.
 #[derive(Debug)]
-pub(crate) struct ForwardSink {
-    writer: Arc<Mutex<UnixStream>>,
+pub(crate) struct ForwardSink<W> {
+    writer: Arc<Mutex<W>>,
     rank: usize,
     dropped: AtomicU64,
 }
 
-impl ForwardSink {
-    pub(crate) fn new(writer: Arc<Mutex<UnixStream>>, rank: usize) -> Self {
+impl<W: Write + Send> ForwardSink<W> {
+    pub(crate) fn new(writer: Arc<Mutex<W>>, rank: usize) -> Self {
         Self {
             writer,
             rank,
@@ -334,7 +333,7 @@ impl ForwardSink {
     }
 }
 
-impl EventSink for ForwardSink {
+impl<W: Write + Send> EventSink for ForwardSink<W> {
     fn record(&self, event: &Event) {
         let line = event.to_json_line();
         let failed = match self.writer.lock() {
@@ -360,19 +359,28 @@ impl EventSink for ForwardSink {
 /// Pumps frames off one socket into the mpsc inbox until EOF or
 /// error. [`TAG_IPC_EVENT`] frames are decoded and re-emitted into
 /// `monitor` with the child's timestamp instead of being enqueued;
-/// stray hello frames are ignored. Exits when the peer closes or the
-/// receiving side has dropped its inbox.
+/// stray hello frames are ignored. With `expect_source`, frames whose
+/// source field names any other rank are dropped — a TCP connection
+/// speaks for exactly the rank it was leased, so a misbehaving peer
+/// cannot inject envelopes attributed to someone else (the Unix
+/// sockets live in a private per-run directory and pass `None`).
+/// Exits when the peer closes or the receiving side has dropped its
+/// inbox.
 pub(crate) fn pump_frames(
-    stream: UnixStream,
+    stream: impl Read,
     tx: Sender<Envelope>,
     monitor: Monitor,
     local_rank: usize,
     stats: Option<Arc<InboxStats>>,
+    expect_source: Option<u32>,
 ) {
     let mut reader = BufReader::new(stream);
     loop {
         match read_frame(&mut reader) {
             Ok(Some(frame)) => {
+                if expect_source.is_some_and(|s| frame.source != s) {
+                    continue;
+                }
                 if frame.tag == TAG_IPC_EVENT {
                     if let Ok(text) = std::str::from_utf8(&frame.payload) {
                         if let Ok(event) = parmonc_obs::schema::parse_line(text) {

@@ -1,0 +1,950 @@
+//! The multi-host TCP backend: one collector listening on a socket
+//! address, remote workers dialing in — with *elastic* membership.
+//!
+//! Unlike the Unix-socket backend, the world is not built by spawning:
+//! [`TcpCollectorTransport::listen`] binds a listener and returns
+//! immediately with zero workers connected. Each logical worker rank
+//! is a *lease*: a dialing worker completes the versioned
+//! join/grant handshake (`docs/wire-protocol.md`) and is dealt the
+//! lowest untouched rank — which is exactly an untouched leapfrog
+//! stream range plus its share of the realization budget. Because
+//! every rank's streams and quota are a pure function of the run
+//! configuration, a worker that joins mid-run computes precisely what
+//! a fixed-membership worker would have, and the estimates stay
+//! bit-identical. Ranks whose budget the collector has already
+//! reassigned (after declaring them lost) are *retired* via
+//! [`parmonc_mpi::Transport::retire_rank`] and never leased again —
+//! leasing one would double-count the reassigned realizations.
+//!
+//! Connection health is split between two layers, on purpose:
+//!
+//! * **writes** carry a per-connection timeout (`io_timeout`), so a
+//!   wedged peer turns a send into [`MpiError::Disconnected`] instead
+//!   of blocking the collector loop;
+//! * **reads** never time a peer out. A blocked reader polls with a
+//!   short kernel receive timeout (`PatientReader` below) purely so
+//!   teardown can interrupt it; judging *silence* is the job of the
+//!   run's heartbeat-based liveness plane, which sees the same
+//!   evidence on every backend.
+//!
+//! The topology is the same star as the other backends: workers talk
+//! only to rank 0, and a connection speaks only for the rank it was
+//! leased (frames claiming another source are dropped).
+
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parmonc_faults::FaultHandle;
+use parmonc_mpi::bytes::Bytes;
+use parmonc_mpi::envelope::{Envelope, Tag};
+use parmonc_mpi::error::MpiError;
+use parmonc_mpi::pool::BufferPool;
+use parmonc_mpi::transport::Transport;
+use parmonc_obs::{EventKind, Monitor};
+
+use crate::frame::{
+    read_frame, write_frame, Grant, JoinRequest, Reject, RejectCode, TAG_TCP_GRANT, TAG_TCP_JOIN,
+    TAG_TCP_REJECT, TCP_MAGIC, TCP_PROTOCOL_VERSION,
+};
+use crate::link::{pump_frames, ForwardSink, InboxStats, Mailbox, SendGate};
+
+/// How often a blocked reader wakes to check the stop flag — the
+/// kernel receive timeout under [`PatientReader`].
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// How long the acceptor sleeps between polls of the non-blocking
+/// listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A [`Read`] wrapper for sockets with a short `SO_RCVTIMEO`: receive
+/// timeouts are retried (a kernel timeout consumes no bytes, so frame
+/// decoding never sees a torn header) until the stop flag is raised,
+/// at which point reads report a clean EOF. Dead-peer detection is
+/// deliberately *not* done here — silence is judged by the run's
+/// liveness plane on heartbeat evidence, not by the transport.
+#[derive(Debug)]
+struct PatientReader {
+    inner: TcpStream,
+    stop: Arc<AtomicBool>,
+}
+
+impl Read for PatientReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return Ok(0);
+            }
+            match self.inner.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+/// The collector's rank-lease table.
+#[derive(Debug)]
+struct LeaseState {
+    /// Write halves indexed by `rank - 1`; `None` while the rank is
+    /// unleased or after its connection dropped.
+    writers: Vec<Option<Arc<Mutex<TcpStream>>>>,
+    /// Ranks that have been leased at least once. Fresh joiners are
+    /// dealt never-touched ranks first: a rank whose worker already
+    /// completed frees its slot on disconnect, and handing that slot
+    /// to the *next* joiner (instead of the lowest untouched one)
+    /// would make the joiner redo a finished stream range while a
+    /// genuinely untouched range starves.
+    ever_leased: Vec<bool>,
+    /// Ranks whose budget the collector reassigned; never leased again.
+    retired: Vec<bool>,
+}
+
+impl LeaseState {
+    /// Leases the lowest never-yet-leased rank to `writer`, falling
+    /// back to the lowest dropped rank (a reconnect redoing the same
+    /// streams is idempotent under replace-then-sum), or `None` when
+    /// every rank is either connected or retired.
+    fn lease(&mut self, writer: Arc<Mutex<TcpStream>>) -> Option<usize> {
+        let free = |&(_, (w, &retired)): &(usize, (&Option<_>, &bool))| -> bool {
+            w.is_none() && !retired
+        };
+        let slot = self
+            .writers
+            .iter()
+            .zip(&self.retired)
+            .enumerate()
+            .filter(free)
+            .find(|&(i, _)| !self.ever_leased[i])
+            .map(|(i, _)| i)
+            .or_else(|| {
+                self.writers
+                    .iter()
+                    .zip(&self.retired)
+                    .enumerate()
+                    .find(free)
+                    .map(|(i, _)| i)
+            })?;
+        self.writers[slot] = Some(writer);
+        self.ever_leased[slot] = true;
+        Some(slot + 1)
+    }
+}
+
+/// Configuration for [`TcpCollectorTransport::listen`].
+#[derive(Debug)]
+pub struct ListenOptions {
+    /// The address to listen on, e.g. `0.0.0.0:7717` or `127.0.0.1:0`
+    /// (port 0 picks an ephemeral port; read it back with
+    /// [`TcpCollectorTransport::local_addr`]).
+    pub addr: String,
+    /// World size including the collector: the number of logical
+    /// ranks, i.e. leases, is `size - 1`.
+    pub size: usize,
+    /// The run's monitor. Join/leave events and rank-0 transport
+    /// events are emitted here; worker events arrive over the sockets
+    /// and are re-emitted with the workers' timestamps.
+    pub monitor: Monitor,
+    /// The collector-side fault plane (rank 0's outgoing messages).
+    pub faults: FaultHandle,
+    /// Digest of the run configuration; joiners presenting a different
+    /// digest are rejected (they would compute the wrong streams).
+    pub config_digest: u64,
+    /// Per-rank realization quotas, indexed by `rank - 1`; echoed in
+    /// the grant so the worker can cross-check its own configuration.
+    pub quotas: Vec<u64>,
+    /// Per-connection write timeout, and the read timeout during the
+    /// handshake.
+    pub io_timeout: Duration,
+}
+
+/// Everything the acceptor thread needs to admit a joiner.
+struct AcceptorCtx {
+    stop: Arc<AtomicBool>,
+    lease: Arc<Mutex<LeaseState>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    tx: Sender<Envelope>,
+    monitor: Monitor,
+    stats: Arc<InboxStats>,
+    size: usize,
+    quotas: Vec<u64>,
+    config_digest: u64,
+    io_timeout: Duration,
+}
+
+/// Rank 0 of a TCP world: the listener, lease table, and
+/// collector-side transport.
+///
+/// Construction returns with *zero* workers connected; membership is
+/// elastic. A logical rank that never connects is eventually declared
+/// lost by the collector's liveness sweep and its budget reassigned —
+/// exactly the worker-loss path — so a run completes at full volume
+/// whether or not every lease is ever taken.
+#[derive(Debug)]
+pub struct TcpCollectorTransport {
+    size: usize,
+    pool: BufferPool,
+    monitor: Monitor,
+    gate: SendGate,
+    mailbox: Mailbox,
+    stats: Arc<InboxStats>,
+    self_tx: Sender<Envelope>,
+    lease: Arc<Mutex<LeaseState>>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shut_down: bool,
+}
+
+impl TcpCollectorTransport {
+    /// Binds the listening socket and starts the acceptor thread.
+    ///
+    /// # Errors
+    ///
+    /// Bind/thread-spawn failures, a zero world size, or a quota table
+    /// that does not cover `size - 1` ranks.
+    pub fn listen(opts: ListenOptions) -> io::Result<Self> {
+        if opts.size == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "world size must be at least 1",
+            ));
+        }
+        if opts.quotas.len() != opts.size.saturating_sub(1) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "quota table must have one entry per worker rank",
+            ));
+        }
+        let listener = TcpListener::bind(opts.addr.as_str())?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let (tx, rx) = mpsc::channel();
+        let stats = Arc::new(InboxStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = opts.size.saturating_sub(1);
+        let lease = Arc::new(Mutex::new(LeaseState {
+            writers: vec![None; workers],
+            ever_leased: vec![false; workers],
+            retired: vec![false; workers],
+        }));
+        let readers = Arc::new(Mutex::new(Vec::new()));
+
+        let ctx = AcceptorCtx {
+            stop: Arc::clone(&stop),
+            lease: Arc::clone(&lease),
+            readers: Arc::clone(&readers),
+            tx: tx.clone(),
+            monitor: opts.monitor.clone(),
+            stats: Arc::clone(&stats),
+            size: opts.size,
+            quotas: opts.quotas,
+            config_digest: opts.config_digest,
+            io_timeout: opts.io_timeout,
+        };
+        let acceptor = std::thread::Builder::new()
+            .name("parmonc-tcp-accept".into())
+            .spawn(move || accept_loop(&listener, &ctx))?;
+
+        Ok(Self {
+            size: opts.size,
+            pool: BufferPool::new(parmonc_mpi::pool::DEFAULT_POOL_CAPACITY),
+            monitor: opts.monitor.clone(),
+            gate: SendGate::new(0, opts.faults, opts.monitor.clone()),
+            mailbox: Mailbox::new(0, rx, opts.monitor, Some(Arc::clone(&stats))),
+            stats,
+            self_tx: tx,
+            lease,
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            readers,
+            shut_down: false,
+        })
+    }
+
+    /// The bound listening address — with port 0 in
+    /// [`ListenOptions::addr`], this is where the ephemeral port is
+    /// learned.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    fn raw_send(&self, dest: usize, tag: Tag, payload: &Bytes) -> Result<(), MpiError> {
+        if dest == 0 {
+            self.stats.note_enqueue(&self.monitor, 0);
+            return self
+                .self_tx
+                .send(Envelope {
+                    source: 0,
+                    tag,
+                    payload: payload.clone(),
+                })
+                .map_err(|_| MpiError::Disconnected);
+        }
+        let writer = {
+            let lease = self.lease.lock().map_err(|_| MpiError::Disconnected)?;
+            lease
+                .writers
+                .get(dest - 1)
+                .cloned()
+                .flatten()
+                .ok_or(MpiError::Disconnected)?
+        };
+        let mut stream = writer.lock().map_err(|_| MpiError::Disconnected)?;
+        write_frame(&mut *stream, 0, tag.0, payload).map_err(|_| MpiError::Disconnected)
+    }
+
+    /// Tears the world down: force-flushes fault-delayed sends, raises
+    /// the stop flag, shuts every live connection down (remote workers
+    /// see EOF), and joins the acceptor and reader threads — which
+    /// guarantees every forwarded worker event is in the monitor's
+    /// sinks on return. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// None today; the signature reserves the right.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        if self.shut_down {
+            return Ok(());
+        }
+        self.shut_down = true;
+        let _ = self
+            .gate
+            .flush_delayed(true, &|d, t, p| self.raw_send(d, t, p));
+        self.stop.store(true, Ordering::Relaxed);
+        if let Ok(lease) = self.lease.lock() {
+            for writer in lease.writers.iter().flatten() {
+                if let Ok(stream) = writer.lock() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = match self.readers.lock() {
+            Ok(mut readers) => readers.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Ok(mut lease) = self.lease.lock() {
+            for writer in lease.writers.iter_mut() {
+                *writer = None;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for TcpCollectorTransport {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+impl Transport for TcpCollectorTransport {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    fn recycle(&self, payload: Bytes) {
+        self.pool.recycle(payload);
+    }
+
+    fn send(&self, dest: usize, tag: Tag, payload: &[u8]) -> Result<(), MpiError> {
+        self.send_bytes(dest, tag, Bytes::copy_from_slice(payload))
+    }
+
+    fn send_bytes(&self, dest: usize, tag: Tag, payload: Bytes) -> Result<(), MpiError> {
+        if dest >= self.size {
+            return Err(MpiError::InvalidRank {
+                rank: dest,
+                size: self.size,
+            });
+        }
+        self.gate
+            .send(dest, tag, payload, &|d, t, p| self.raw_send(d, t, p))
+    }
+
+    fn recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Result<Envelope, MpiError> {
+        self.mailbox.recv(source, tag)
+    }
+
+    fn recv_timeout(
+        &mut self,
+        source: Option<usize>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, MpiError> {
+        self.mailbox.recv_timeout(source, tag, timeout)
+    }
+
+    fn try_recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Option<Envelope> {
+        self.mailbox.try_recv(source, tag)
+    }
+
+    fn iprobe(&mut self, source: Option<usize>, tag: Option<Tag>) -> bool {
+        self.mailbox.iprobe(source, tag)
+    }
+
+    fn retire_rank(&self, rank: usize) {
+        if rank == 0 || rank >= self.size {
+            return;
+        }
+        if let Ok(mut lease) = self.lease.lock() {
+            lease.retired[rank - 1] = true;
+        }
+    }
+}
+
+/// The acceptor: polls the non-blocking listener until shutdown,
+/// admitting (or rejecting) each dialing worker.
+fn accept_loop(listener: &TcpListener, ctx: &AcceptorCtx) {
+    while !ctx.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let _ = admit(stream, peer, ctx);
+            }
+            // WouldBlock is the idle case; any other accept error is
+            // transient on a healthy listener, so keep serving.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Validates one dialing connection's join request and, on success,
+/// leases it a rank, answers with the grant, and wires up its reader.
+/// Invalid joins are answered with a reject frame and dropped; a
+/// failure here never disturbs the rest of the world.
+fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(ctx.io_timeout))?;
+    stream.set_write_timeout(Some(ctx.io_timeout))?;
+    let frame = match read_frame(&mut &stream)? {
+        Some(frame) if frame.tag == TAG_TCP_JOIN => frame,
+        // Silent, closed, or alien connection: drop it without reply.
+        _ => return Ok(()),
+    };
+    let join = match JoinRequest::decode(&frame.payload) {
+        Some(join) => join,
+        None => {
+            return reject(&stream, RejectCode::BadMagic, "malformed join payload");
+        }
+    };
+    if join.magic != TCP_MAGIC {
+        return reject(
+            &stream,
+            RejectCode::BadMagic,
+            "join frame does not open with the PMNC magic",
+        );
+    }
+    if join.version != TCP_PROTOCOL_VERSION {
+        return reject(
+            &stream,
+            RejectCode::VersionMismatch,
+            &format!(
+                "worker speaks wire-protocol version {}, collector speaks {}",
+                join.version, TCP_PROTOCOL_VERSION
+            ),
+        );
+    }
+    if join.config_digest != ctx.config_digest {
+        return reject(
+            &stream,
+            RejectCode::ConfigMismatch,
+            "run-configuration digest mismatch: this worker would compute the wrong streams",
+        );
+    }
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let leased = ctx
+        .lease
+        .lock()
+        .ok()
+        .and_then(|mut lease| lease.lease(Arc::clone(&writer)));
+    let Some(rank) = leased else {
+        return reject(
+            &stream,
+            RejectCode::BudgetExhausted,
+            "no worker rank available: every stream range is leased or its budget reassigned",
+        );
+    };
+    let release = |ctx: &AcceptorCtx| {
+        if let Ok(mut lease) = ctx.lease.lock() {
+            lease.writers[rank - 1] = None;
+        }
+    };
+    let grant = Grant {
+        version: TCP_PROTOCOL_VERSION,
+        monitor: ctx.monitor.is_enabled(),
+        rank: rank as u32,
+        size: ctx.size as u32,
+        quota: ctx.quotas[rank - 1],
+    };
+    if write_frame(&mut &stream, 0, TAG_TCP_GRANT, &grant.encode()).is_err() {
+        release(ctx);
+        return Ok(());
+    }
+    // From here on the lease holds: switch the connection to the
+    // patient read discipline and start pumping.
+    let reader = match stream
+        .set_read_timeout(Some(READ_POLL))
+        .and_then(|()| stream.try_clone())
+    {
+        Ok(clone) => PatientReader {
+            inner: clone,
+            stop: Arc::clone(&ctx.stop),
+        },
+        Err(_) => {
+            release(ctx);
+            return Ok(());
+        }
+    };
+    ctx.monitor.emit(
+        Some(0),
+        EventKind::WorkerJoined {
+            worker: rank,
+            addr: Some(peer.to_string()),
+        },
+    );
+    let spawned = std::thread::Builder::new()
+        .name(format!("parmonc-tcp-w{rank}"))
+        .spawn({
+            let tx = ctx.tx.clone();
+            let monitor = ctx.monitor.clone();
+            let stats = Arc::clone(&ctx.stats);
+            let lease = Arc::clone(&ctx.lease);
+            move || {
+                pump_frames(
+                    reader,
+                    tx,
+                    monitor.clone(),
+                    0,
+                    Some(stats),
+                    Some(rank as u32),
+                );
+                // The connection is gone (worker exit, crash, or
+                // shutdown): surface the departure and free the lease so
+                // a reconnecting worker can take the rank back — the
+                // cumulative replace-then-sum averaging makes a redo of
+                // the same streams idempotent.
+                monitor.emit(Some(0), EventKind::WorkerLeft { worker: rank });
+                if let Ok(mut l) = lease.lock() {
+                    l.writers[rank - 1] = None;
+                }
+            }
+        });
+    match spawned {
+        Ok(handle) => {
+            if let Ok(mut readers) = ctx.readers.lock() {
+                readers.push(handle);
+            }
+        }
+        Err(_) => release(ctx),
+    }
+    Ok(())
+}
+
+/// Answers a refused join with a reject frame and closes the
+/// connection.
+fn reject(stream: &TcpStream, code: RejectCode, reason: &str) -> io::Result<()> {
+    let payload = Reject {
+        code,
+        reason: reason.to_string(),
+    }
+    .encode();
+    let _ = write_frame(&mut &*stream, 0, TAG_TCP_REJECT, &payload);
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// Configuration for [`TcpWorkerTransport::join`].
+#[derive(Debug)]
+pub struct JoinOptions {
+    /// The collector's listening address, e.g. `collector-host:7717`.
+    pub addr: String,
+    /// Digest of this worker's run configuration; must match the
+    /// collector's or the join is rejected.
+    pub config_digest: u64,
+    /// The worker-side fault plane.
+    pub faults: FaultHandle,
+    /// Connect timeout, write timeout, and the read timeout during the
+    /// handshake.
+    pub io_timeout: Duration,
+}
+
+/// A remote worker's end of a TCP world: dials the collector,
+/// completes the handshake, and speaks for exactly the rank it was
+/// leased.
+#[derive(Debug)]
+pub struct TcpWorkerTransport {
+    rank: usize,
+    size: usize,
+    quota: u64,
+    pool: BufferPool,
+    monitor: Monitor,
+    gate: SendGate,
+    mailbox: Mailbox,
+    writer: Arc<Mutex<TcpStream>>,
+    stop: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl TcpWorkerTransport {
+    /// Dials the collector and completes the join/grant handshake.
+    ///
+    /// # Errors
+    ///
+    /// Resolution/connection failures, handshake I/O errors, a
+    /// malformed reply — or a reject frame, surfaced as
+    /// [`io::ErrorKind::ConnectionRefused`] with the collector's
+    /// reason in the message.
+    pub fn join(opts: JoinOptions) -> io::Result<Self> {
+        let mut last_err = None;
+        let mut stream = None;
+        for addr in opts.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, opts.io_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let mut stream = stream.ok_or_else(|| {
+            last_err.unwrap_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::AddrNotAvailable,
+                    "collector address resolved to nothing",
+                )
+            })
+        })?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(opts.io_timeout))?;
+        stream.set_write_timeout(Some(opts.io_timeout))?;
+        write_frame(
+            &mut stream,
+            0,
+            TAG_TCP_JOIN,
+            &JoinRequest::new(opts.config_digest).encode(),
+        )?;
+        let reply = read_frame(&mut &stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "collector closed the connection during the handshake",
+            )
+        })?;
+        let grant = match reply.tag {
+            TAG_TCP_GRANT => Grant::decode(&reply.payload).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "malformed grant payload")
+            })?,
+            TAG_TCP_REJECT => {
+                let message = match Reject::decode(&reply.payload) {
+                    Some(r) => format!("collector rejected the join ({:?}): {}", r.code, r.reason),
+                    None => "collector rejected the join".to_string(),
+                };
+                return Err(io::Error::new(io::ErrorKind::ConnectionRefused, message));
+            }
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected handshake reply",
+                ))
+            }
+        };
+        let rank = grant.rank as usize;
+        let size = grant.size as usize;
+        if rank == 0 || rank >= size {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "grant leased an impossible rank",
+            ));
+        }
+        stream.set_read_timeout(Some(READ_POLL))?;
+        let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        let monitor = if grant.monitor {
+            Monitor::new(vec![Box::new(ForwardSink::new(Arc::clone(&writer), rank))])
+        } else {
+            Monitor::disabled()
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(InboxStats::default());
+        let (tx, rx) = mpsc::channel();
+        let patient = PatientReader {
+            inner: stream,
+            stop: Arc::clone(&stop),
+        };
+        let thread_monitor = monitor.clone();
+        let thread_stats = Arc::clone(&stats);
+        let reader = std::thread::Builder::new()
+            .name(format!("parmonc-tcp-r{rank}"))
+            .spawn(move || {
+                pump_frames(
+                    patient,
+                    tx,
+                    thread_monitor,
+                    rank,
+                    Some(thread_stats),
+                    Some(0),
+                );
+            })?;
+        Ok(Self {
+            rank,
+            size,
+            quota: grant.quota,
+            pool: BufferPool::new(parmonc_mpi::pool::DEFAULT_POOL_CAPACITY),
+            monitor: monitor.clone(),
+            gate: SendGate::new(rank, opts.faults, monitor),
+            mailbox: Mailbox::new(rank, rx, Monitor::disabled(), Some(stats)),
+            writer,
+            stop,
+            reader: Some(reader),
+        })
+    }
+
+    /// The worker's monitor: enabled (forwarding over the socket) when
+    /// the collector's run is monitored, disabled otherwise.
+    #[must_use]
+    pub fn monitor(&self) -> Monitor {
+        self.monitor.clone()
+    }
+
+    /// The realization quota the grant promised for this rank; callers
+    /// cross-check it against their own configuration before
+    /// computing.
+    #[must_use]
+    pub fn granted_quota(&self) -> u64 {
+        self.quota
+    }
+
+    fn raw_send(&self, dest: usize, tag: Tag, payload: &Bytes) -> Result<(), MpiError> {
+        if dest != 0 {
+            // Star topology, same as the other backends.
+            return Err(MpiError::Disconnected);
+        }
+        let mut stream = self.writer.lock().map_err(|_| MpiError::Disconnected)?;
+        write_frame(&mut *stream, self.rank as u32, tag.0, payload)
+            .map_err(|_| MpiError::Disconnected)
+    }
+}
+
+impl Drop for TcpWorkerTransport {
+    fn drop(&mut self) {
+        // A delayed message is late, never lost — then hang up, which
+        // unblocks our reader and tells the collector we left.
+        let _ = self
+            .gate
+            .flush_delayed(true, &|d, t, p| self.raw_send(d, t, p));
+        self.stop.store(true, Ordering::Relaxed);
+        if let Ok(stream) = self.writer.lock() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Transport for TcpWorkerTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    fn recycle(&self, payload: Bytes) {
+        self.pool.recycle(payload);
+    }
+
+    fn send(&self, dest: usize, tag: Tag, payload: &[u8]) -> Result<(), MpiError> {
+        self.send_bytes(dest, tag, Bytes::copy_from_slice(payload))
+    }
+
+    fn send_bytes(&self, dest: usize, tag: Tag, payload: Bytes) -> Result<(), MpiError> {
+        if dest >= self.size {
+            return Err(MpiError::InvalidRank {
+                rank: dest,
+                size: self.size,
+            });
+        }
+        self.gate
+            .send(dest, tag, payload, &|d, t, p| self.raw_send(d, t, p))
+    }
+
+    fn recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Result<Envelope, MpiError> {
+        self.mailbox.recv(source, tag)
+    }
+
+    fn recv_timeout(
+        &mut self,
+        source: Option<usize>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, MpiError> {
+        self.mailbox.recv_timeout(source, tag, timeout)
+    }
+
+    fn try_recv(&mut self, source: Option<usize>, tag: Option<Tag>) -> Option<Envelope> {
+        self.mailbox.try_recv(source, tag)
+    }
+
+    fn iprobe(&mut self, source: Option<usize>, tag: Option<Tag>) -> bool {
+        self.mailbox.iprobe(source, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    const TIMEOUT: Duration = Duration::from_secs(5);
+
+    fn collector(size: usize, quotas: Vec<u64>) -> TcpCollectorTransport {
+        TcpCollectorTransport::listen(ListenOptions {
+            addr: "127.0.0.1:0".into(),
+            size,
+            monitor: Monitor::disabled(),
+            faults: FaultHandle::disabled(),
+            config_digest: 42,
+            quotas,
+            io_timeout: TIMEOUT,
+        })
+        .expect("listen on loopback")
+    }
+
+    fn join(addr: String, digest: u64) -> io::Result<TcpWorkerTransport> {
+        TcpWorkerTransport::join(JoinOptions {
+            addr,
+            config_digest: digest,
+            faults: FaultHandle::disabled(),
+            io_timeout: TIMEOUT,
+        })
+    }
+
+    /// Dials a raw join frame and returns the decoded reject.
+    fn raw_join_reject(addr: SocketAddr, request: &JoinRequest) -> Reject {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+        write_frame(&mut stream, 0, TAG_TCP_JOIN, &request.encode()).unwrap();
+        let reply = read_frame(&mut &stream).unwrap().expect("a reply frame");
+        assert_eq!(reply.tag, TAG_TCP_REJECT);
+        Reject::decode(&reply.payload).expect("well-formed reject")
+    }
+
+    #[test]
+    fn grants_a_lease_and_round_trips_envelopes() {
+        let mut collector = collector(2, vec![125]);
+        let addr = collector.local_addr().to_string();
+        let worker_side = std::thread::spawn(move || {
+            let mut worker = join(addr, 42).expect("join succeeds");
+            assert_eq!(worker.rank(), 1);
+            assert_eq!(worker.size(), 2);
+            assert_eq!(worker.granted_quota(), 125);
+            worker.send(0, Tag(7), b"subtotal").unwrap();
+            let env = worker.recv(Some(0), Some(Tag(9))).unwrap();
+            assert_eq!(&env.payload[..], b"ack");
+        });
+        let env = collector.recv(Some(1), Some(Tag(7))).unwrap();
+        assert_eq!(env.source, 1);
+        assert_eq!(&env.payload[..], b"subtotal");
+        collector.send(1, Tag(9), b"ack").unwrap();
+        worker_side.join().unwrap();
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut collector = collector(2, vec![10]);
+        let mut request = JoinRequest::new(42);
+        request.magic = 0x0BAD_CAFE;
+        let reject = raw_join_reject(collector.local_addr(), &request);
+        assert_eq!(reject.code, RejectCode::BadMagic);
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut collector = collector(2, vec![10]);
+        let mut request = JoinRequest::new(42);
+        request.version = TCP_PROTOCOL_VERSION + 1;
+        let reject = raw_join_reject(collector.local_addr(), &request);
+        assert_eq!(reject.code, RejectCode::VersionMismatch);
+        assert!(reject.reason.contains("version"), "{}", reject.reason);
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn config_digest_mismatch_is_rejected_with_the_reason() {
+        let mut collector = collector(2, vec![10]);
+        let err = join(collector.local_addr().to_string(), 43).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(err.to_string().contains("digest"), "{err}");
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn exhausted_budget_rejects_the_joiner_cleanly() {
+        let mut collector = collector(2, vec![10]);
+        let addr = collector.local_addr();
+        // Retiring the only worker rank models "budget already
+        // reassigned": the late joiner must be refused, not leased a
+        // double-counted stream range.
+        collector.retire_rank(1);
+        let reject = raw_join_reject(addr, &JoinRequest::new(42));
+        assert_eq!(reject.code, RejectCode::BudgetExhausted);
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dropped_connection_frees_the_rank_for_a_reconnect() {
+        let mut collector = collector(2, vec![10]);
+        let addr = collector.local_addr().to_string();
+        let first = join(addr.clone(), 42).expect("first join");
+        assert_eq!(first.rank(), 1);
+        drop(first);
+        // The collector notices the hang-up within the read poll and
+        // releases the lease; a fresh worker then gets the same rank.
+        let deadline = Instant::now() + TIMEOUT;
+        loop {
+            match join(addr.clone(), 42) {
+                Ok(second) => {
+                    assert_eq!(second.rank(), 1);
+                    break;
+                }
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "lease never freed: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        collector.shutdown().unwrap();
+    }
+}

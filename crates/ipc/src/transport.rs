@@ -406,7 +406,9 @@ impl ChildTransport {
         // tearing its transport down gracefully.
         std::thread::Builder::new()
             .name(format!("parmonc-ipc-r{rank}"))
-            .spawn(move || pump_frames(stream, tx, thread_monitor, rank, Some(thread_stats)))?;
+            .spawn(move || {
+                pump_frames(stream, tx, thread_monitor, rank, Some(thread_stats), None)
+            })?;
         Ok(Self {
             rank,
             size: info.size,
@@ -592,7 +594,14 @@ fn accept_workers(
             std::thread::Builder::new()
                 .name(format!("parmonc-ipc-w{rank}"))
                 .spawn(move || {
-                    pump_frames(stream, thread_tx, thread_monitor, 0, Some(thread_stats))
+                    pump_frames(
+                        stream,
+                        thread_tx,
+                        thread_monitor,
+                        0,
+                        Some(thread_stats),
+                        None,
+                    )
                 })?,
         );
         connected += 1;

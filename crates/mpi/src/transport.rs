@@ -12,11 +12,16 @@
 //!   ranks are OS threads exchanging [`Envelope`]s over channels;
 //! * the out-of-process socket substrate (`parmonc-ipc`) — ranks are
 //!   forked worker processes exchanging the same length-prefixed
-//!   envelopes over Unix-domain sockets.
+//!   envelopes over Unix-domain sockets;
+//! * the multi-host TCP substrate (`parmonc-ipc`'s `tcp` module) —
+//!   ranks are remote worker processes that dial the collector and
+//!   lease a rank via a versioned handshake, with elastic membership.
 //!
 //! The collectives ([`Transport::barrier`] and friends) are provided
 //! methods layered on the point-to-point surface, so an implementor
-//! only supplies the eleven required primitives.
+//! only supplies the eleven required primitives —
+//! [`Transport::retire_rank`] is an optional lifecycle hint that only
+//! elastic-membership substrates act on.
 
 use std::time::Duration;
 
@@ -96,6 +101,19 @@ pub trait Transport {
 
     /// Whether a matching message is available without consuming it.
     fn iprobe(&mut self, source: Option<usize>, tag: Option<Tag>) -> bool;
+
+    /// Declares that `rank`'s realization budget has been reassigned
+    /// and the rank must never rejoin the world.
+    ///
+    /// The collector calls this when it declares a worker lost. For
+    /// fixed-membership substrates (threads, spawned processes) it is
+    /// meaningless and the default is a no-op; an elastic-membership
+    /// substrate (TCP) must stop leasing the rank to new joiners, or a
+    /// late joiner would redo realizations the collector already dealt
+    /// to the survivors and the estimate would double-count them.
+    fn retire_rank(&self, rank: usize) {
+        let _ = rank;
+    }
 
     /// Blocks until every rank has entered the barrier.
     ///

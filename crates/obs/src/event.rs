@@ -35,10 +35,11 @@ impl RunMode {
 }
 
 /// Which transport substrate carried a real run's rank traffic: the
-/// in-process thread channels or the multi-process Unix-socket
-/// backend. Distinct from [`RunMode`]: the simulator has no transport,
-/// and both transports run the identical collector code, so the label
-/// appears as an *optional* `transport` field on `run_started`.
+/// in-process thread channels, the multi-process Unix-socket backend,
+/// or the multi-host TCP backend. Distinct from [`RunMode`]: the
+/// simulator has no transport, and all transports run the identical
+/// collector code, so the label appears as an *optional* `transport`
+/// field on `run_started`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunTransport {
     /// Ranks are OS threads exchanging envelopes over channels.
@@ -46,6 +47,9 @@ pub enum RunTransport {
     /// Ranks are forked worker processes exchanging envelopes over
     /// Unix-domain sockets (`parmonc-ipc`).
     Processes,
+    /// Ranks are remote worker processes dialing the collector over
+    /// TCP, with elastic membership (`parmonc-ipc`'s `tcp` module).
+    Tcp,
 }
 
 impl RunTransport {
@@ -55,6 +59,7 @@ impl RunTransport {
         match self {
             Self::Threads => "threads",
             Self::Processes => "processes",
+            Self::Tcp => "tcp",
         }
     }
 
@@ -64,6 +69,7 @@ impl RunTransport {
         match s {
             "threads" => Some(Self::Threads),
             "processes" => Some(Self::Processes),
+            "tcp" => Some(Self::Tcp),
             _ => None,
         }
     }
@@ -276,6 +282,20 @@ pub enum EventKind {
         /// The configured target it dropped below.
         target: f64,
     },
+    /// An elastic-membership worker completed the join handshake and
+    /// was leased a rank (TCP backend only).
+    WorkerJoined {
+        /// The leased logical rank.
+        worker: usize,
+        /// The peer's socket address, when known.
+        addr: Option<String>,
+    },
+    /// An elastic-membership worker's connection closed — worker exit,
+    /// crash, or run shutdown (TCP backend only).
+    WorkerLeft {
+        /// The departing logical rank.
+        worker: usize,
+    },
 }
 
 impl EventKind {
@@ -298,11 +318,13 @@ impl EventKind {
             Self::CheckpointRecovered { .. } => "checkpoint_recovered",
             Self::MetricsSnapshot { .. } => "metrics_snapshot",
             Self::TargetPrecisionReached { .. } => "target_precision_reached",
+            Self::WorkerJoined { .. } => "worker_joined",
+            Self::WorkerLeft { .. } => "worker_left",
         }
     }
 
     /// Every kind name, in schema order.
-    pub const ALL_KINDS: [&'static str; 15] = [
+    pub const ALL_KINDS: [&'static str; 17] = [
         "run_started",
         "realizations",
         "message_sent",
@@ -318,6 +340,8 @@ impl EventKind {
         "checkpoint_recovered",
         "metrics_snapshot",
         "target_precision_reached",
+        "worker_joined",
+        "worker_left",
     ];
 
     /// The kinds only emitted on fault/recovery paths; a fault-free run
@@ -332,9 +356,12 @@ impl EventKind {
 
     /// The kinds that depend on run configuration rather than run
     /// health: `target_precision_reached` only fires when a
-    /// `target_abs_error` is configured (and met). A fault-free run
-    /// emits exactly `ALL_KINDS` minus `FAULT_KINDS` minus these.
-    pub const CONDITIONAL_KINDS: [&'static str; 1] = ["target_precision_reached"];
+    /// `target_abs_error` is configured (and met), and the membership
+    /// kinds (`worker_joined`, `worker_left`) only on the
+    /// elastic-membership TCP backend. A fault-free run emits exactly
+    /// `ALL_KINDS` minus `FAULT_KINDS` minus these.
+    pub const CONDITIONAL_KINDS: [&'static str; 3] =
+        ["target_precision_reached", "worker_joined", "worker_left"];
 }
 
 /// One monitor event: a timestamp, the emitting rank (if any), and the
@@ -540,6 +567,17 @@ impl Event {
                 s.push_str(",\"target\":");
                 push_f64(&mut s, *target);
             }
+            EventKind::WorkerJoined { worker, addr } => {
+                let _ = write!(s, ",\"worker\":{worker}");
+                if let Some(addr) = addr {
+                    // Socket addresses never contain characters that
+                    // need JSON escaping.
+                    let _ = write!(s, ",\"addr\":\"{addr}\"");
+                }
+            }
+            EventKind::WorkerLeft { worker } => {
+                let _ = write!(s, ",\"worker\":{worker}");
+            }
         }
         s.push('}');
         s
@@ -624,6 +662,11 @@ mod tests {
                 eps_max: 0.0,
                 target: 0.0,
             },
+            EventKind::WorkerJoined {
+                worker: 0,
+                addr: None,
+            },
+            EventKind::WorkerLeft { worker: 0 },
         ];
         let names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
         assert_eq!(names, EventKind::ALL_KINDS);
@@ -711,7 +754,11 @@ mod tests {
 
     #[test]
     fn run_transport_round_trips_and_encodes_optionally() {
-        for t in [RunTransport::Threads, RunTransport::Processes] {
+        for t in [
+            RunTransport::Threads,
+            RunTransport::Processes,
+            RunTransport::Tcp,
+        ] {
             assert_eq!(RunTransport::from_str_opt(t.as_str()), Some(t));
         }
         assert_eq!(RunTransport::from_str_opt("carrier-pigeon"), None);

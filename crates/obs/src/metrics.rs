@@ -699,6 +699,9 @@ impl EventSink for MetricsSink {
                             crate::event::RunTransport::Processes => {
                                 "parmonc_transport_info{transport=\"processes\"}"
                             }
+                            crate::event::RunTransport::Tcp => {
+                                "parmonc_transport_info{transport=\"tcp\"}"
+                            }
                         },
                         1.0,
                     );
@@ -843,6 +846,12 @@ impl EventSink for MetricsSink {
                 r.set_gauge("parmonc_target_precision_volume", *n as f64);
                 r.set_gauge("parmonc_eps_max", *eps_max);
                 r.set_gauge("parmonc_eps_target", *target);
+            }
+            EventKind::WorkerJoined { .. } => {
+                r.inc_counter("parmonc_workers_joined_total", 1.0);
+            }
+            EventKind::WorkerLeft { .. } => {
+                r.inc_counter("parmonc_workers_left_total", 1.0);
             }
         }
         if self.prom_path.is_some() {

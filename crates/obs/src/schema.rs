@@ -149,7 +149,7 @@ type FieldSpec = &'static [(&'static str, FieldType)];
 fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
     use FieldType::{Enum, Num, UInt};
     const MODES: &[&str] = &["threads", "simcluster"];
-    const TRANSPORTS: &[&str] = &["threads", "processes"];
+    const TRANSPORTS: &[&str] = &["threads", "processes", "tcp"];
     const ACTIVITIES: &[&str] = &["computing", "receiving", "saving", "waiting"];
     const FAULTS: &[&str] = &[
         "rank_crash",
@@ -236,6 +236,8 @@ fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
             &[("n", UInt), ("eps_max", Num), ("target", Num)][..],
             &[][..],
         ),
+        "worker_joined" => (&[("worker", UInt)][..], &[("addr", Enum(&[]))][..]),
+        "worker_left" => (&[("worker", UInt)][..], &[][..]),
         _ => return None,
     })
 }
@@ -445,6 +447,16 @@ pub fn parse_line(line: &str) -> Result<Event, String> {
             eps_max: num("eps_max"),
             target: num("target"),
         },
+        "worker_joined" => EventKind::WorkerJoined {
+            worker: uint("worker") as usize,
+            addr: match get("addr") {
+                Some(Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            },
+        },
+        "worker_left" => EventKind::WorkerLeft {
+            worker: uint("worker") as usize,
+        },
         _ => unreachable!("validate_line only returns known kinds"),
     };
     Ok(Event {
@@ -542,6 +554,11 @@ mod tests {
                 eps_max: 0.0019,
                 target: 0.002,
             },
+            EventKind::WorkerJoined {
+                worker: 2,
+                addr: Some("10.0.0.5:49152".into()),
+            },
+            EventKind::WorkerLeft { worker: 2 },
         ]
     }
 

@@ -68,6 +68,12 @@ pub struct MonitorSummary {
     pub workers_lost: u64,
     /// Realizations reassigned from dead workers to survivors.
     pub reassigned_realizations: u64,
+    /// Elastic-membership joins (TCP backend): workers that completed
+    /// the handshake and were leased a rank.
+    pub workers_joined: u64,
+    /// Elastic-membership departures (TCP backend): connections that
+    /// closed, whether by worker exit, crash, or run shutdown.
+    pub workers_left: u64,
     /// Resumes recovered from a `.bak` checkpoint generation.
     pub checkpoint_recoveries: u64,
     /// Convergence snapshots (`metrics_snapshot`) in the trace.
@@ -189,6 +195,12 @@ impl MonitorSummary {
                 EventKind::TargetPrecisionReached { n, eps_max, target } => {
                     s.target_precision = Some((*n, *eps_max, *target));
                 }
+                EventKind::WorkerJoined { .. } => {
+                    s.workers_joined += 1;
+                }
+                EventKind::WorkerLeft { .. } => {
+                    s.workers_left += 1;
+                }
             }
         }
         s
@@ -260,6 +272,13 @@ impl MonitorSummary {
                 out,
                 "  WARNING: {} trace line(s) dropped (write failures) — trace is incomplete",
                 self.dropped_events
+            );
+        }
+        if self.workers_joined > 0 || self.workers_left > 0 {
+            let _ = writeln!(
+                out,
+                "  workers joined {} | workers left {}",
+                self.workers_joined, self.workers_left
             );
         }
         if self.faults_injected > 0

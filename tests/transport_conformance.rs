@@ -1,5 +1,5 @@
-//! Transport conformance: the thread and process backends must be
-//! observationally equivalent.
+//! Transport conformance: the thread, process, and TCP backends must
+//! be observationally equivalent.
 //!
 //! Because every rank completes exactly its assigned quota of
 //! leapfrogged RNG streams, the estimates are *bit-identical* across
@@ -8,6 +8,12 @@
 //! the lifecycle guarantees of the process backend: every worker
 //! process is reaped and the socket directory removed, even after a
 //! fault-injected run.
+//!
+//! The TCP backend's workers run here as in-process threads dialing
+//! the collector over loopback — the wire conversation is the real
+//! one, only the hosts are simulated. Its extra guarantees (elastic
+//! mid-run joins stay bit-identical; a joiner after budget
+//! reassignment is rejected cleanly) are covered at the end.
 //!
 //! # Re-execution discipline
 //!
@@ -260,4 +266,256 @@ fn process_backend_resumes_bit_identically() {
 /// that wipe once themselves.
 fn scratch_keep(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("parmonc-conformance-{name}"))
+}
+
+/// Waits for a TCP collector to record its bound address in
+/// `parmonc_data/collector.addr` (the ephemeral-port discovery path).
+fn wait_for_addr(dir: &std::path::Path) -> String {
+    let path = dir.join("parmonc_data").join("collector.addr");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "collector never wrote {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Same config + seed over TCP (remote workers dialing loopback) and
+/// threads: bit-identical estimates, and the TCP trace's vocabulary is
+/// exactly the thread run's plus the membership events.
+#[test]
+fn tcp_and_thread_backends_agree() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let configure = |b: ParmoncBuilder, dir: PathBuf| {
+        b.max_sample_volume(2_000)
+            .processors(3)
+            .seqnum(5)
+            .exchange(Exchange::EveryRealization)
+            .monitor()
+            .output_dir(dir)
+    };
+    let collector_dir = scratch("tcp-agree-collector");
+    let collector = {
+        let dir = collector_dir.clone();
+        std::thread::spawn(move || {
+            configure(Parmonc::builder(1, 2), dir)
+                .listen("127.0.0.1:0")
+                .run(uniform())
+        })
+    };
+    let addr = wait_for_addr(&collector_dir);
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            // Each worker writes to its own directory, as a remote
+            // host would (the config digest does not cover paths).
+            let dir = scratch(&format!("tcp-agree-worker{i}"));
+            std::thread::spawn(move || {
+                configure(Parmonc::builder(1, 2), dir)
+                    .join(addr)
+                    .run_worker(uniform())
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap().unwrap();
+    }
+    let tcp = collector.join().unwrap().unwrap();
+    let threads = configure(Parmonc::builder(1, 2), scratch("tcp-agree-threads"))
+        .transport(Transport::Threads)
+        .run(uniform())
+        .unwrap();
+
+    assert_eq!(tcp.summary, threads.summary);
+    assert_eq!(tcp.total_volume, threads.total_volume);
+    assert_eq!(tcp.new_volume, threads.new_volume);
+    assert_eq!(tcp.worker_volumes, threads.worker_volumes);
+    assert!(tcp.lost_workers.is_empty());
+
+    // The TCP vocabulary is the thread vocabulary plus join/leave.
+    let mut tcp_kinds = trace_kinds(&tcp);
+    assert!(tcp_kinds.remove("worker_joined"), "join events recorded");
+    assert!(tcp_kinds.remove("worker_left"), "leave events recorded");
+    assert_eq!(tcp_kinds, trace_kinds(&threads));
+
+    let summary = tcp.monitor.expect("monitored run");
+    assert_eq!(summary.workers_joined, 2);
+    assert_eq!(summary.workers_left, 2);
+}
+
+/// Elastic membership: a worker that joins well after the run started
+/// is dealt its untouched leapfrog stream range, so the estimate is
+/// bit-identical to an equivalent fixed-membership (thread) run.
+#[test]
+fn mid_run_tcp_joiner_keeps_estimates_bit_identical() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let configure = |b: ParmoncBuilder, dir: PathBuf| {
+        b.max_sample_volume(1_500)
+            .processors(3)
+            .seqnum(9)
+            .monitor()
+            .output_dir(dir)
+    };
+    let collector_dir = scratch("tcp-midjoin-collector");
+    let collector = {
+        let dir = collector_dir.clone();
+        std::thread::spawn(move || {
+            configure(Parmonc::builder(2, 1), dir)
+                .listen("127.0.0.1:0")
+                .run(uniform())
+        })
+    };
+    let addr = wait_for_addr(&collector_dir);
+    let spawn_worker = |i: usize, delay: Duration| {
+        let addr = addr.clone();
+        let dir = scratch(&format!("tcp-midjoin-worker{i}"));
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            configure(Parmonc::builder(2, 1), dir)
+                .join(addr)
+                .run_worker(uniform())
+        })
+    };
+    // The first worker joins immediately; the second long after the
+    // collector has finished its own quota and is waiting on finals.
+    let prompt = spawn_worker(0, Duration::ZERO);
+    let late = spawn_worker(1, Duration::from_millis(400));
+    prompt.join().unwrap().unwrap();
+    late.join().unwrap().unwrap();
+    let tcp = collector.join().unwrap().unwrap();
+
+    let threads = configure(Parmonc::builder(2, 1), scratch("tcp-midjoin-threads"))
+        .transport(Transport::Threads)
+        .run(uniform())
+        .unwrap();
+
+    assert!(tcp.lost_workers.is_empty(), "lost: {:?}", tcp.lost_workers);
+    assert_eq!(tcp.worker_volumes, threads.worker_volumes);
+    assert_eq!(tcp.total_volume, threads.total_volume);
+    assert_eq!(tcp.summary, threads.summary);
+    let summary = tcp.monitor.expect("monitored run");
+    assert_eq!(summary.workers_joined, 2);
+}
+
+/// A fault-injected TCP run — one remote worker crashes mid-quota and
+/// a fraction of messages are dropped — still completes at full
+/// volume: the lost rank's budget is reassigned over the wire exactly
+/// as on the in-process backends.
+#[test]
+fn faulted_tcp_run_completes_at_full_volume() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let configure = |b: ParmoncBuilder, dir: PathBuf| {
+        b.max_sample_volume(2_000)
+            .processors(3)
+            .seqnum(6)
+            .exchange(Exchange::EveryRealization)
+            .faults(FaultPlan::new(11).crash_rank(2, 20).drop_fraction(0.05))
+            .heartbeat_period(Duration::from_millis(10))
+            .liveness_timeout(Duration::from_millis(300))
+            .output_dir(dir)
+    };
+    let collector_dir = scratch("tcp-faulted-collector");
+    let collector = {
+        let dir = collector_dir.clone();
+        std::thread::spawn(move || {
+            configure(Parmonc::builder(1, 1), dir)
+                .listen("127.0.0.1:0")
+                .run(uniform())
+        })
+    };
+    let addr = wait_for_addr(&collector_dir);
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            let dir = scratch(&format!("tcp-faulted-worker{i}"));
+            std::thread::spawn(move || {
+                configure(Parmonc::builder(1, 1), dir)
+                    .join(addr)
+                    .run_worker(uniform())
+            })
+        })
+        .collect();
+    for w in workers {
+        // The crashed worker's loop also returns cleanly: the crash is
+        // its *silence*, which the collector must detect remotely.
+        w.join().unwrap().unwrap();
+    }
+    let report = collector.join().unwrap().unwrap();
+
+    assert!(
+        report.new_volume >= 2_000,
+        "volume {} must reach the target",
+        report.new_volume
+    );
+    assert!(
+        report.lost_workers.contains(&2),
+        "expected rank 2 lost, got {:?}",
+        report.lost_workers
+    );
+    assert!(report.reassigned_realizations > 0);
+}
+
+/// A worker that dials in after its stream range's budget was
+/// reassigned (the slot went quiet past the liveness timeout) is
+/// rejected cleanly — admitting it would double-count realizations —
+/// and the run still completes at full volume without it.
+#[test]
+fn tcp_joiner_after_budget_reassignment_is_rejected() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let configure = |b: ParmoncBuilder, dir: PathBuf| {
+        b.max_sample_volume(3_000)
+            .processors(2)
+            .seqnum(4)
+            .heartbeat_period(Duration::from_millis(10))
+            .liveness_timeout(Duration::from_millis(200))
+            .output_dir(dir)
+    };
+    // Slow realizations keep the collector busy long enough for the
+    // unjoined slot to be declared lost mid-run.
+    let slow = || {
+        RealizeFn::new(|rng, out| {
+            std::thread::sleep(Duration::from_micros(500));
+            for o in out.iter_mut() {
+                *o = rng.next_f64();
+            }
+        })
+    };
+    let collector_dir = scratch("tcp-exhausted-collector");
+    let collector = {
+        let dir = collector_dir.clone();
+        std::thread::spawn(move || {
+            configure(Parmonc::builder(1, 1), dir)
+                .listen("127.0.0.1:0")
+                .run(slow())
+        })
+    };
+    let addr = wait_for_addr(&collector_dir);
+    // Wait past the liveness timeout so the never-joined slot's budget
+    // has been reassigned (to the collector itself), then try to join.
+    std::thread::sleep(Duration::from_millis(600));
+    let err = configure(Parmonc::builder(1, 1), scratch("tcp-exhausted-worker"))
+        .join(addr)
+        .run_worker(slow())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("rejected") && msg.contains("BudgetExhausted"),
+        "expected a clean budget rejection, got: {msg}"
+    );
+
+    let report = collector.join().unwrap().unwrap();
+    assert_eq!(
+        report.new_volume, 3_000,
+        "the collector absorbed the budget"
+    );
+    assert_eq!(report.lost_workers, vec![1]);
 }
