@@ -17,14 +17,17 @@
 //! reason the process arm's output directory is deterministic (no PID
 //! suffix) and only the parent wipes it.
 
+use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 
+use parmonc::ipc::FaultyStream;
 use parmonc::prelude::{Exchange, Parmonc, RealizeFn, Transport};
 use parmonc_bench::harness::{
     black_box, criterion_group, criterion_main, fast_mode, record_metric, Criterion,
 };
 use parmonc_bench::ScaledDiffusion;
+use parmonc_faults::FaultHandle;
 
 /// One full run of the laptop-scale diffusion workload on the given
 /// transport; returns wall seconds (setup + spawn + ranks + final
@@ -154,6 +157,32 @@ fn bench_transport_overhead(_c: &mut Criterion) {
         proc_overhead * 100.0,
     );
     record_metric("bound_tcp_transport_overhead_pct", tcp_overhead * 100.0);
+
+    // Net-fault-plane guard: every worker's outbound link rides a
+    // [`FaultyStream`] even when nothing is scripted, and the disabled
+    // wrapper must be one boolean check per write. Charge the *entire*
+    // wrapped write (not just the delta over a bare write — strictly
+    // conservative) twice per realization, and bound it against the
+    // TCP arm's measured per-realization wall cost.
+    let mut faulty = FaultyStream::new(std::io::sink(), 1, FaultHandle::disabled());
+    let frame = [0u8; 148];
+    let iters: u64 = if fast_mode() { 400_000 } else { 4_000_000 };
+    let mut per_write = f64::INFINITY;
+    for _ in 0..9 {
+        let started = Instant::now();
+        for _ in 0..iters {
+            faulty.write_all(black_box(&frame)).unwrap();
+        }
+        per_write = per_write.min(started.elapsed().as_secs_f64() / iters as f64);
+    }
+    let volume = if fast_mode() { 150 } else { 600 };
+    let net_overhead = 2.0 * per_write / (tcp_min / volume as f64);
+    println!(
+        "net_fault_plane: disabled wrapped write {:.2} ns, 2x-budget ratio {:.4}%",
+        per_write * 1e9,
+        net_overhead * 100.0
+    );
+    record_metric("bound_net_fault_plane_overhead_pct", net_overhead * 100.0);
 }
 
 criterion_group!(benches, bench_transport_overhead);

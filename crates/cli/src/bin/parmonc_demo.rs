@@ -8,7 +8,10 @@
 //! TCP collector waiting for remote workers, and `--join` runs this
 //! process as one such worker (started with the same positional
 //! arguments, so both sides agree on the configuration; see
-//! `docs/cluster.md`).
+//! `docs/cluster.md`). `--resume-listen` restarts a *crashed* TCP
+//! collector: the session epoch and lease table are reloaded from the
+//! output directory and the surviving workers rejoin with their ranks
+//! intact (runbook in `docs/cluster.md`).
 
 use std::process::ExitCode;
 
@@ -27,6 +30,9 @@ fn builder_for(args: &DemoArgs, ncol: usize) -> ParmoncBuilder {
     }
     if let Some(addr) = &args.join {
         b = b.join(addr.clone());
+    }
+    if let Some(addr) = &args.resume_listen {
+        b = b.resume_listen(addr.clone());
     }
     if args.monitor {
         b = b.monitor();

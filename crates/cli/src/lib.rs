@@ -44,6 +44,7 @@ use parmonc_obs::{Event, EventKind, EventSink, MetricsSink, MonitorSummary};
 /// | 10 | worker lost under `fail_on_worker_loss` |
 /// | 11 | message-passing failure |
 /// | 12 | other internal error |
+/// | 13 | collector crashed (scripted); restart with `--resume-listen` |
 #[must_use]
 pub fn exit_code_for(err: &ParmoncError) -> u8 {
     match err {
@@ -58,6 +59,7 @@ pub fn exit_code_for(err: &ParmoncError) -> u8 {
         ParmoncError::WorkerLost { .. } => 10,
         ParmoncError::Mpi(_) => 11,
         ParmoncError::Stats(_) | ParmoncError::Hierarchy(_) => 12,
+        ParmoncError::CollectorCrashed { .. } => 13,
     }
 }
 
@@ -168,6 +170,10 @@ pub struct DemoArgs {
     /// Implies `--transport tcp`; the process runs the worker loop
     /// instead of a full collector run.
     pub join: Option<String>,
+    /// TCP collector crash-resume: re-listen on this address and
+    /// resume the crashed session from the persisted lease table and
+    /// last save-point (`--resume-listen`). Implies `--transport tcp`.
+    pub resume_listen: Option<String>,
 }
 
 /// Parses
@@ -192,7 +198,7 @@ where
 {
     const USAGE: &str = "usage: parmonc-demo <pi|transport|queue> [volume] [processors] [dir] \
                          [--monitor] [--transport threads|processes|tcp] [--listen host:port] \
-                         [--join host:port]";
+                         [--join host:port] [--resume-listen host:port]";
     let mut values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
     values.retain(|v| v != parmonc::ipc::WORKER_FLAG);
     let mut transport = Transport::Threads;
@@ -225,16 +231,24 @@ where
     };
     let listen = addr_flag("--listen")?;
     let join = addr_flag("--join")?;
-    if listen.is_some() && join.is_some() {
+    let resume_listen = addr_flag("--resume-listen")?;
+    if [&listen, &join, &resume_listen]
+        .iter()
+        .filter(|a| a.is_some())
+        .count()
+        > 1
+    {
         return Err(format!(
-            "--listen (collector) and --join (worker) are mutually exclusive\n{USAGE}"
+            "--listen (collector), --join (worker), and --resume-listen (collector restart) \
+             are mutually exclusive\n{USAGE}"
         ));
     }
-    if listen.is_some() || join.is_some() {
+    if listen.is_some() || join.is_some() || resume_listen.is_some() {
         transport = Transport::Tcp;
     } else if transport == Transport::Tcp {
         return Err(format!(
-            "--transport tcp needs --listen (collector) or --join (worker)\n{USAGE}"
+            "--transport tcp needs --listen (collector), --join (worker), or --resume-listen \
+             (collector restart)\n{USAGE}"
         ));
     }
     let before = values.len();
@@ -273,6 +287,7 @@ where
         transport,
         listen,
         join,
+        resume_listen,
     })
 }
 
@@ -814,12 +829,22 @@ mod tests {
         let a = parse_demo_args(["pi", "--transport", "tcp", "--listen", "127.0.0.1:0"]).unwrap();
         assert_eq!(a.transport, Transport::Tcp);
 
-        // ... but meaningless without one, and the two modes exclude
+        // --resume-listen restarts a crashed collector session.
+        let a = parse_demo_args(["pi", "--resume-listen", "0.0.0.0:7070"]).unwrap();
+        assert_eq!(a.transport, Transport::Tcp);
+        assert_eq!(a.resume_listen.as_deref(), Some("0.0.0.0:7070"));
+        assert_eq!(a.listen, None);
+
+        // ... but meaningless without one, and the three modes exclude
         // each other.
         assert!(parse_demo_args(["pi", "--transport", "tcp"]).is_err());
         assert!(parse_demo_args(["pi", "--listen"]).is_err());
         assert!(parse_demo_args(["pi", "--join"]).is_err());
+        assert!(parse_demo_args(["pi", "--resume-listen"]).is_err());
         assert!(parse_demo_args(["pi", "--listen", "0.0.0.0:1", "--join", "h:1"]).is_err());
+        assert!(
+            parse_demo_args(["pi", "--listen", "0.0.0.0:1", "--resume-listen", "h:1"]).is_err()
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use parmonc_faults::FaultPlan;
+use parmonc_ipc::ReconnectPolicy;
 use parmonc_rng::LeapConfig;
 
 use crate::error::ParmoncError;
@@ -149,6 +150,22 @@ pub struct RunConfig {
     /// liveness plane. Reads are bounded by the liveness timeout
     /// instead (see `docs/wire-protocol.md`).
     pub tcp_io_timeout: Duration,
+    /// TCP backend, worker side: the seeded backoff schedule for the
+    /// initial dial and every automatic reconnect after a broken
+    /// connection. Deterministic — jitter is drawn from a hash of
+    /// `(rank, attempt)`, never the wall clock — so a scripted network
+    /// fault replays the same recovery bit-identically. Tune with the
+    /// `reconnect_*` builder methods; see `docs/cluster.md`.
+    pub reconnect: ReconnectPolicy,
+    /// TCP backend, collector side: `true` resumes a *crashed*
+    /// collector session instead of starting a fresh one — the lease
+    /// table and session epoch are reloaded from
+    /// `parmonc_data/results/leases.dat`, rejoining workers keep their
+    /// ranks and sequence dedup state, and accumulation restarts from
+    /// the original baseline (the cumulative-subtotal discipline makes
+    /// re-sent subtotals idempotent). Set via
+    /// [`ParmoncBuilder::resume_listen`].
+    pub resume_collector: bool,
     /// Arguments the process backend passes to the re-executed worker
     /// binary (excluding the program name; the hidden worker flag is
     /// appended automatically). `None` — the default — inherits this
@@ -218,6 +235,17 @@ impl RunConfig {
         if self.transport != Transport::Tcp && self.listen_addr.is_some() {
             return Err(ParmoncError::Config(
                 "listen_addr is only meaningful with the TCP transport".into(),
+            ));
+        }
+        if self.resume_collector && self.transport != Transport::Tcp {
+            return Err(ParmoncError::Config(
+                "resume_listen is only meaningful with the TCP transport".into(),
+            ));
+        }
+        if self.reconnect.attempts == 0 {
+            return Err(ParmoncError::Config(
+                "reconnect_attempts must be at least 1 (the initial dial counts as an attempt)"
+                    .into(),
             ));
         }
         Ok(())
@@ -302,6 +330,8 @@ impl ParmoncBuilder {
                 listen_addr: None,
                 join_addr: None,
                 tcp_io_timeout: Duration::from_secs(10),
+                reconnect: ReconnectPolicy::default(),
+                resume_collector: false,
                 worker_args: None,
             },
         }
@@ -472,6 +502,60 @@ impl ParmoncBuilder {
     #[must_use]
     pub fn tcp_io_timeout(mut self, timeout: Duration) -> Self {
         self.config.tcp_io_timeout = timeout;
+        self
+    }
+
+    /// Selects the TCP transport and *resumes* a crashed collector
+    /// session on `addr` instead of starting a fresh one: the lease
+    /// table and session epoch are reloaded from
+    /// `parmonc_data/results/leases.dat` and accumulation restarts
+    /// from the original baseline, so workers that survived the crash
+    /// rejoin with their ranks intact and the run completes with
+    /// bit-identical estimates. `addr` must be the address the crashed
+    /// collector's workers are redialing (see `docs/cluster.md` for
+    /// the restart runbook).
+    ///
+    /// # Errors (at run time)
+    ///
+    /// The run fails with [`ParmoncError::NothingToResume`] if no
+    /// lease table or baseline from the crashed session exists in the
+    /// output directory.
+    #[must_use]
+    pub fn resume_listen(mut self, addr: impl Into<String>) -> Self {
+        self.config.transport = Transport::Tcp;
+        self.config.listen_addr = Some(addr.into());
+        self.config.resume_collector = true;
+        self
+    }
+
+    /// Sets the maximum TCP dial attempts per (re)connection (default
+    /// 10; must be at least 1 — the initial dial counts).
+    #[must_use]
+    pub fn reconnect_attempts(mut self, attempts: u32) -> Self {
+        self.config.reconnect.attempts = attempts;
+        self
+    }
+
+    /// Sets the delay before the second dial attempt (default 25 ms);
+    /// it doubles per attempt up to the ceiling.
+    #[must_use]
+    pub fn reconnect_base_delay(mut self, delay: Duration) -> Self {
+        self.config.reconnect.base_delay = delay;
+        self
+    }
+
+    /// Sets the ceiling on the (pre-jitter) reconnect delay (default
+    /// 1 s).
+    #[must_use]
+    pub fn reconnect_max_delay(mut self, delay: Duration) -> Self {
+        self.config.reconnect.max_delay = delay;
+        self
+    }
+
+    /// Sets the timeout for each individual dial attempt (default 2 s).
+    #[must_use]
+    pub fn reconnect_attempt_timeout(mut self, timeout: Duration) -> Self {
+        self.config.reconnect.attempt_timeout = timeout;
         self
     }
 
@@ -657,6 +741,50 @@ mod tests {
             .unwrap();
         assert!(!cfg.faults.is_empty());
         assert!(cfg.fail_on_worker_loss);
+    }
+
+    #[test]
+    fn reconnect_policy_is_tunable_and_validated() {
+        let cfg = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .processors(2)
+            .listen("127.0.0.1:0")
+            .reconnect_attempts(40)
+            .reconnect_base_delay(Duration::from_millis(5))
+            .reconnect_max_delay(Duration::from_millis(80))
+            .reconnect_attempt_timeout(Duration::from_secs(1))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.reconnect.attempts, 40);
+        assert_eq!(cfg.reconnect.base_delay, Duration::from_millis(5));
+        assert_eq!(cfg.reconnect.max_delay, Duration::from_millis(80));
+        assert_eq!(cfg.reconnect.attempt_timeout, Duration::from_secs(1));
+
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .reconnect_attempts(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("reconnect_attempts"));
+    }
+
+    #[test]
+    fn resume_listen_selects_tcp_and_flags_the_resume() {
+        let cfg = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .processors(2)
+            .resume_listen("127.0.0.1:7070")
+            .build()
+            .unwrap();
+        assert_eq!(cfg.transport, Transport::Tcp);
+        assert_eq!(cfg.listen_addr.as_deref(), Some("127.0.0.1:7070"));
+        assert!(cfg.resume_collector);
+        // The default remains a fresh session.
+        let cfg = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .build()
+            .unwrap();
+        assert!(!cfg.resume_collector);
     }
 
     #[test]

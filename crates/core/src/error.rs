@@ -63,6 +63,13 @@ pub enum ParmoncError {
         /// What exactly was wrong with it.
         reason: String,
     },
+    /// The fault plane's scripted collector crash fired: rank 0 went
+    /// down mid-run, leaving the last savepoint and lease table on
+    /// disk for a `resume_listen` restart to pick up.
+    CollectorCrashed {
+        /// Rank 0's own realization count when the crash fired.
+        after: u64,
+    },
     /// A worker died mid-run and the configuration demanded failure
     /// instead of graceful degradation.
     WorkerLost {
@@ -102,6 +109,11 @@ impl fmt::Display for ParmoncError {
                 f,
                 "checkpoint {} is corrupt ({reason}) and no good backup generation exists",
                 path.display()
+            ),
+            Self::CollectorCrashed { after } => write!(
+                f,
+                "collector crashed (scripted) after {after} of its own realizations; \
+                 restart with resume_listen to complete the run"
             ),
             Self::WorkerLost {
                 rank,
@@ -189,6 +201,9 @@ mod tests {
         };
         assert!(e.to_string().contains("rank 3"));
         assert!(e.to_string().contains("120"));
+        let e = ParmoncError::CollectorCrashed { after: 7 };
+        assert!(e.to_string().contains("after 7"));
+        assert!(e.to_string().contains("resume_listen"));
     }
 
     #[test]

@@ -195,6 +195,40 @@ impl ResultsDir {
         self.write_atomic(&self.collector_addr_path(), &format!("{addr}\n"))
     }
 
+    /// Path of `results/leases.dat` — the TCP collector's persisted
+    /// lease table (session epoch, per-rank lease/retire flags, and
+    /// sequence-dedup watermarks), rewritten before every grant so a
+    /// `resume_listen` restart recognizes every lease a worker holds.
+    #[must_use]
+    pub fn lease_table_path(&self) -> PathBuf {
+        self.root.join("results/leases.dat")
+    }
+
+    /// Writes the TCP collector's encoded lease table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] if the write fails.
+    pub fn save_lease_table(&self, encoded: &str) -> Result<(), ParmoncError> {
+        self.write_atomic(&self.lease_table_path(), encoded)
+    }
+
+    /// Loads the persisted lease table, or `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParmoncError::Io`] if the file exists but cannot be
+    /// read.
+    pub fn load_lease_table(&self) -> Result<Option<String>, ParmoncError> {
+        let path = self.lease_table_path();
+        if !path.exists() {
+            return Ok(None);
+        }
+        fs::read_to_string(&path)
+            .map(Some)
+            .io_ctx(format!("reading {}", path.display()))
+    }
+
     /// Directory of run-monitor output (`monitor/`).
     #[must_use]
     pub fn monitor_dir(&self) -> PathBuf {
@@ -720,6 +754,16 @@ mod tests {
         let dir = tempdir("open-missing");
         let err = ResultsDir::open(dir.join("nope")).unwrap_err();
         assert!(matches!(err, ParmoncError::NothingToResume { .. }));
+    }
+
+    #[test]
+    fn lease_table_round_trips_and_is_optional() {
+        let dir = tempdir("leases");
+        let rd = ResultsDir::create(&dir).unwrap();
+        assert!(rd.load_lease_table().unwrap().is_none());
+        let encoded = "parmonc-leases v1\nepoch 00000000deadbeef\nsize 2\nrank 1 1 0 7\n";
+        rd.save_lease_table(encoded).unwrap();
+        assert_eq!(rd.load_lease_table().unwrap().as_deref(), Some(encoded));
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod runner;
 pub use config::{Exchange, ParmoncBuilder, Resume, RunConfig, Transport};
 pub use error::ParmoncError;
 pub use files::ResultsDir;
+pub use parmonc_ipc::ReconnectPolicy;
 pub use realize::{Realize, RealizeFn};
 pub use runner::{Parmonc, RunReport};
 

@@ -58,3 +58,4 @@ pub use crate::config::{Exchange, ParmoncBuilder, Resume, RunConfig, Transport};
 pub use crate::error::ParmoncError;
 pub use crate::realize::{Realize, RealizeFn};
 pub use crate::runner::{Parmonc, RunReport};
+pub use parmonc_ipc::ReconnectPolicy;

@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 
 use parmonc_faults::{FaultHandle, FaultKind};
 use parmonc_ipc::{
-    ChildTransport, JoinOptions, ListenOptions, ProcessTransport, SpawnOptions,
+    ChildTransport, JoinOptions, LeaseSnapshot, ListenOptions, ProcessTransport, SpawnOptions,
     TcpCollectorTransport, TcpWorkerTransport, WorkerInfo,
 };
 use parmonc_mpi::Transport as Comm;
@@ -282,7 +282,28 @@ fn prepare(config: &RunConfig, transport: RunTransport) -> Result<RunSetup, Parm
         },
     );
 
-    let (baseline, checkpoint_recovered) = resume_baseline(config, &dir)?;
+    let (baseline, checkpoint_recovered) = if config.resume_collector {
+        // A crash-resume continues the *same* experiment, so the
+        // accumulation restarts from the original baseline — never the
+        // checkpoint, which is baseline + the workers' latest
+        // cumulative subtotals: those are exactly what the surviving
+        // workers are about to re-send, and loading them here would
+        // double-count every one.
+        let baseline = dir
+            .load_baseline()?
+            .ok_or_else(|| ParmoncError::NothingToResume {
+                dir: dir.root().to_path_buf(),
+            })?;
+        if baseline.shape() != (config.nrow, config.ncol) {
+            return Err(ParmoncError::ResumeShapeMismatch {
+                on_disk: baseline.shape(),
+                requested: (config.nrow, config.ncol),
+            });
+        }
+        (baseline, false)
+    } else {
+        resume_baseline(config, &dir)?
+    };
     let resumed_volume = baseline.count();
     if checkpoint_recovered {
         monitor.emit(
@@ -293,15 +314,20 @@ fn prepare(config: &RunConfig, transport: RunTransport) -> Result<RunSetup, Parm
         );
     }
 
-    dir.append_experiment(&ExperimentRecord {
-        seqnum: config.seqnum,
-        max_sample_volume: config.max_sample_volume,
-        processors: config.processors,
-        resumed: config.resume == Resume::Resume,
-        volume_before: resumed_volume,
-    })?;
-    dir.save_baseline(&baseline)?;
-    dir.clear_worker_subtotals()?;
+    // A crash-resume continues the journal entry the crashed run
+    // already wrote, and the worker subtotal files *are* the recovery
+    // state — only a fresh session starts the books over.
+    if !config.resume_collector {
+        dir.append_experiment(&ExperimentRecord {
+            seqnum: config.seqnum,
+            max_sample_volume: config.max_sample_volume,
+            processors: config.processors,
+            resumed: config.resume == Resume::Resume,
+            volume_before: resumed_volume,
+        })?;
+        dir.save_baseline(&baseline)?;
+        dir.clear_worker_subtotals()?;
+    }
 
     Ok(RunSetup {
         faults,
@@ -352,6 +378,7 @@ where
                     let mut comm = comm;
                     rank0_loop(
                         &mut comm, &config, &hierarchy, &dir, baseline, realize, start, &monitor,
+                        &faults, None,
                     )
                     .map(|outcome| {
                         *collector_out.lock().unwrap() = Some(outcome);
@@ -414,6 +441,8 @@ where
         &realize,
         start,
         &setup.monitor,
+        &setup.faults,
+        None,
     );
     // Reap the children before propagating any collector error, so no
     // failure path leaks worker processes; shutdown also joins the
@@ -450,6 +479,41 @@ where
     };
     let setup = prepare(&config, RunTransport::Tcp)?;
     let quotas: Vec<u64> = (1..config.processors).map(|m| config.quota(m)).collect();
+    // Crash-resume: reload the crashed session's lease table so the
+    // listener comes back with the same epoch, every lease a worker
+    // holds is recognized on rejoin, and the sequence dedup state
+    // carries over. Rank 0's own progress comes back from its worker
+    // subtotal file, exactly like any other rank's.
+    let resume = if config.resume_collector {
+        let path = setup.dir.lease_table_path();
+        let text = setup
+            .dir
+            .load_lease_table()?
+            .ok_or_else(|| ParmoncError::NothingToResume {
+                dir: setup.dir.root().to_path_buf(),
+            })?;
+        let snapshot =
+            LeaseSnapshot::decode(&text).ok_or_else(|| ParmoncError::CorruptCheckpoint {
+                path,
+                reason: "unparseable lease table".into(),
+            })?;
+        Some(snapshot)
+    } else {
+        None
+    };
+    let resumed_leases = resume
+        .as_ref()
+        .map(|s| s.ever_leased.iter().filter(|leased| **leased).count());
+    let resume_own = if config.resume_collector {
+        setup
+            .dir
+            .load_worker_subtotals()?
+            .into_iter()
+            .find(|(idx, _)| *idx == 0)
+            .map(|(_, sub)| sub)
+    } else {
+        None
+    };
     let mut transport = TcpCollectorTransport::listen(ListenOptions {
         addr,
         size: config.processors,
@@ -458,8 +522,19 @@ where
         config_digest: config.wire_digest(),
         quotas,
         io_timeout: config.tcp_io_timeout,
+        resume,
+        persist: Some(setup.dir.lease_table_path()),
     })
     .io_ctx("binding the collector TCP listener")?;
+    if let Some(leases) = resumed_leases {
+        setup.monitor.emit(
+            Some(0),
+            EventKind::CollectorResumed {
+                epoch: format!("{:016x}", transport.epoch()),
+                leases,
+            },
+        );
+    }
     setup
         .dir
         .write_collector_addr(&transport.local_addr().to_string())?;
@@ -472,6 +547,8 @@ where
         &realize,
         start,
         &setup.monitor,
+        &setup.faults,
+        resume_own,
     );
     // Tear the world down before folding the report, mirroring the
     // process backend: shutdown joins the per-connection readers, so
@@ -505,6 +582,7 @@ pub(crate) fn run_tcp_worker<R: Realize>(
         config_digest: config.wire_digest(),
         faults: faults.clone(),
         io_timeout: config.tcp_io_timeout,
+        reconnect: config.reconnect,
     })
     .io_ctx("joining the TCP collector")?;
     // The digest already proved both sides agree on the configuration;
@@ -1131,7 +1209,10 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
     realize: &R,
     start: Instant,
     monitor: &Monitor,
+    faults: &FaultHandle,
+    resume_own: Option<Subtotal>,
 ) -> Result<CollectorOutcome, ParmoncError> {
+    let crash_after = faults.crash_after(0);
     let size = comm.size();
     let mut state = CollectorState::new(baseline, size);
     let mut finals = vec![false; size];
@@ -1147,9 +1228,19 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
     // arriving worker messages between realizations and writing
     // periodic save-points every `peraver`.
     let mut quota = config.quota(0);
-    let mut acc = MatrixAccumulator::new(config.nrow, config.ncol)?;
+    // On a crash-resume, rank 0's own progress comes back from its
+    // worker subtotal file: `r` realizations are already accumulated,
+    // so the stream cursor starts at realization `r` — the exact
+    // coordinates the crashed run would have simulated next — and the
+    // continuation is bit-identical. (A stale file merely replays some
+    // realizations; same coordinates, same values, replaced not
+    // summed.)
+    let (mut acc, mut compute_seconds) = match resume_own {
+        Some(own) => (own.acc, own.compute_seconds),
+        None => (MatrixAccumulator::new(config.nrow, config.ncol)?, 0.0),
+    };
+    let mut r: u64 = acc.count();
     let mut out = vec![0.0f64; config.nrow * config.ncol];
-    let mut compute_seconds = 0.0f64;
     let mut last_pass = Instant::now();
     let mut last_file_write: Option<Instant> = None;
     let mut stop_broadcast = false;
@@ -1157,9 +1248,8 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
     // across the main loop *and* the reassignment-absorbing loop below,
     // so every advance is one 128-bit multiply instead of three
     // modpows, on exactly the same stream coordinates.
-    let mut cursor = hierarchy.cursor(StreamId::new(config.seqnum, 0, 0))?;
+    let mut cursor = hierarchy.cursor(StreamId::new(config.seqnum, 0, r))?;
 
-    let mut r: u64 = 0;
     loop {
         // Absorb work reassigned to the collector itself: it continues
         // on its own stream coordinates past its original quota, so no
@@ -1172,6 +1262,23 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
             if start.elapsed() >= deadline {
                 break;
             }
+        }
+        if crash_after.is_some_and(|n| r >= n) {
+            // Scripted collector crash: record it, then vanish abruptly
+            // — no stop broadcast, no final save-point. Workers ride
+            // out the outage on their reconnect backoff; the last
+            // save-point, lease table, and worker files on disk are
+            // exactly what a `resume_listen` restart picks up.
+            let after = crash_after.unwrap_or(0);
+            monitor.emit(
+                Some(0),
+                EventKind::FaultInjected {
+                    fault: FaultKind::RankCrash.as_str().to_string(),
+                    detail: Some(after),
+                },
+            );
+            faults.note_crash(0, after);
+            return Err(ParmoncError::CollectorCrashed { after });
         }
         tracker.switch(CollectorActivity::Computing);
         out.fill(0.0);

@@ -106,6 +106,15 @@ pub enum FaultKind {
     BitFlip,
     /// A write fails once with `ErrorKind::Interrupted`.
     IoInterrupt,
+    /// A transport connection is severed at a scripted frame ordinal.
+    NetSever,
+    /// An outbound frame is held on the wire for a scripted delay.
+    NetStall,
+    /// A frame is cut mid-write and the connection broken, leaving the
+    /// receiver a torn frame.
+    NetTear,
+    /// A reconnect attempt is vetoed by a scripted network partition.
+    NetPartition,
 }
 
 impl FaultKind {
@@ -120,6 +129,10 @@ impl FaultKind {
             Self::TornWrite => "torn_write",
             Self::BitFlip => "bit_flip",
             Self::IoInterrupt => "io_interrupt",
+            Self::NetSever => "net_sever",
+            Self::NetStall => "net_stall",
+            Self::NetTear => "net_tear",
+            Self::NetPartition => "net_partition",
         }
     }
 }
@@ -187,6 +200,51 @@ struct IoRule {
     fault: IoFault,
 }
 
+/// What the fault plane decided about one outbound transport frame on
+/// a worker's link to the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetAction {
+    /// Write the frame normally.
+    Deliver,
+    /// Hold the frame on the wire for this many milliseconds, then
+    /// deliver it.
+    Stall {
+        /// Delay before the frame is written.
+        millis: u64,
+    },
+    /// Break the connection before any byte of the frame is written.
+    Sever,
+    /// Write only a prefix of the frame, then break the connection —
+    /// the receiver sees a torn frame.
+    Tear,
+}
+
+/// One scripted network-fault rule on a worker rank's link.
+#[derive(Debug, Clone, PartialEq)]
+enum NetRule {
+    /// Break the link when its outbound frame counter reaches
+    /// `after_frame`.
+    Sever { rank: usize, after_frame: u64 },
+    /// Delay each of the first `frames` outbound frames by `millis`.
+    Stall {
+        rank: usize,
+        frames: u64,
+        millis: u64,
+    },
+    /// Cut the frame with this ordinal mid-write.
+    Tear { rank: usize, ordinal: u64 },
+}
+
+/// A scripted partition: the named ranks lose their link at
+/// `from_frame` and their next `duration_attempts` reconnect attempts
+/// fail deterministically (time-free "duration").
+#[derive(Debug, Clone, PartialEq)]
+struct PartitionRule {
+    ranks: Vec<usize>,
+    from_frame: u64,
+    duration_attempts: u64,
+}
+
 /// A seeded, scripted fault plan.
 ///
 /// The plan is pure data: cloning it, comparing it, or consulting
@@ -206,6 +264,8 @@ pub struct FaultPlan {
     drop_fraction: f64,
     duplicate_fraction: f64,
     io_rules: Vec<IoRule>,
+    net_rules: Vec<NetRule>,
+    partitions: Vec<PartitionRule>,
 }
 
 impl FaultPlan {
@@ -349,6 +409,53 @@ impl FaultPlan {
         self
     }
 
+    /// Scripts the link of worker `rank` to break once its outbound
+    /// frame counter reaches `after_frame` (0-based: `after_frame`
+    /// frames have been fully written when the break happens). The
+    /// worker's transport is expected to reconnect and resume.
+    #[must_use]
+    pub fn sever_connection(mut self, rank: usize, after_frame: u64) -> Self {
+        self.net_rules.push(NetRule::Sever { rank, after_frame });
+        self
+    }
+
+    /// Scripts each of the first `frames` outbound frames on worker
+    /// `rank`'s link to be held on the wire for `millis` milliseconds
+    /// before delivery.
+    #[must_use]
+    pub fn stall_link(mut self, rank: usize, frames: u64, millis: u64) -> Self {
+        self.net_rules.push(NetRule::Stall {
+            rank,
+            frames,
+            millis,
+        });
+        self
+    }
+
+    /// Scripts the outbound frame with ordinal `ordinal` (0-based) on
+    /// worker `rank`'s link to be cut mid-write: the receiver gets a
+    /// torn frame and the connection breaks.
+    #[must_use]
+    pub fn tear_frame(mut self, rank: usize, ordinal: u64) -> Self {
+        self.net_rules.push(NetRule::Tear { rank, ordinal });
+        self
+    }
+
+    /// Scripts a partition: every rank in `ranks` loses its link when
+    /// its outbound frame counter reaches `from_frame`, and its next
+    /// `duration_frames` reconnect attempts fail deterministically
+    /// before the partition heals — a time-free "duration" that
+    /// exercises the seeded backoff without wall-clock dependence.
+    #[must_use]
+    pub fn partition(mut self, ranks: &[usize], from_frame: u64, duration_frames: u64) -> Self {
+        self.partitions.push(PartitionRule {
+            ranks: ranks.to_vec(),
+            from_frame,
+            duration_attempts: duration_frames,
+        });
+        self
+    }
+
     /// True if the plan scripts nothing — [`Self::build`] then returns
     /// the disabled handle.
     #[must_use]
@@ -356,8 +463,74 @@ impl FaultPlan {
         self.crashes.is_empty()
             && self.message_rules.is_empty()
             && self.io_rules.is_empty()
+            && self.net_rules.is_empty()
+            && self.partitions.is_empty()
             && self.drop_fraction == 0.0
             && self.duplicate_fraction == 0.0
+    }
+
+    /// True if the plan scripts any network fault (sever/stall/tear or
+    /// a partition) on worker `rank`'s link. Transports use this to
+    /// skip the frame-accounting wrapper entirely on unaffected links.
+    #[must_use]
+    pub fn targets_link(&self, rank: usize) -> bool {
+        self.net_rules.iter().any(|r| match r {
+            NetRule::Sever { rank: r, .. }
+            | NetRule::Stall { rank: r, .. }
+            | NetRule::Tear { rank: r, .. } => *r == rank,
+        }) || self.partitions.iter().any(|p| p.ranks.contains(&rank))
+    }
+
+    /// The fate of the `frame`-th outbound frame (0-based) on worker
+    /// `rank`'s link. Pure: tear rules are checked first, then
+    /// severances (including partition onsets), then stalls.
+    #[must_use]
+    pub fn net_action(&self, rank: usize, frame: u64) -> NetAction {
+        for rule in &self.net_rules {
+            if let NetRule::Tear { rank: r, ordinal } = rule {
+                if *r == rank && *ordinal == frame {
+                    return NetAction::Tear;
+                }
+            }
+        }
+        for rule in &self.net_rules {
+            if let NetRule::Sever {
+                rank: r,
+                after_frame,
+            } = rule
+            {
+                if *r == rank && *after_frame == frame {
+                    return NetAction::Sever;
+                }
+            }
+        }
+        for p in &self.partitions {
+            if p.ranks.contains(&rank) && p.from_frame == frame {
+                return NetAction::Sever;
+            }
+        }
+        for rule in &self.net_rules {
+            if let NetRule::Stall {
+                rank: r,
+                frames,
+                millis,
+            } = rule
+            {
+                if *r == rank && frame < *frames {
+                    return NetAction::Stall { millis: *millis };
+                }
+            }
+        }
+        NetAction::Deliver
+    }
+
+    /// True if worker `rank`'s `attempt`-th reconnect attempt (0-based,
+    /// counted across the run) is inside an unhealed partition.
+    #[must_use]
+    pub fn partition_blocks(&self, rank: usize, attempt: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| p.ranks.contains(&rank) && attempt < p.duration_attempts)
     }
 
     /// The scripted crash point for `rank`, if any (the earliest, if
@@ -412,6 +585,8 @@ impl FaultPlan {
                     state: Mutex::new(State {
                         seqs: HashMap::new(),
                         io_counts: vec![0; self.io_rules.len()],
+                        net_frames: HashMap::new(),
+                        net_attempts: HashMap::new(),
                         records: Vec::new(),
                     }),
                 })),
@@ -439,6 +614,10 @@ struct State {
     seqs: HashMap<(usize, usize, u32), u64>,
     /// Writes seen so far per I/O rule.
     io_counts: Vec<u64>,
+    /// Outbound frames seen so far per worker link.
+    net_frames: HashMap<usize, u64>,
+    /// Reconnect attempts seen so far per worker link.
+    net_attempts: HashMap<usize, u64>,
     /// Everything injected so far.
     records: Vec<FaultRecord>,
 }
@@ -558,6 +737,70 @@ impl FaultHandle {
             return Some(fault);
         }
         None
+    }
+
+    /// True if the plan scripts any network fault on worker `rank`'s
+    /// link — a transport may skip its frame-accounting wrapper when
+    /// this is false. The disabled handle answers `false`.
+    #[must_use]
+    pub fn targets_link(&self, rank: usize) -> bool {
+        self.inner
+            .as_deref()
+            .is_some_and(|i| i.plan.targets_link(rank))
+    }
+
+    /// Numbers an outbound frame on worker `rank`'s link and decides
+    /// its fate. The disabled handle always answers `Deliver` without
+    /// locking.
+    pub fn on_frame(&self, rank: usize) -> NetAction {
+        let Some(inner) = self.inner.as_deref() else {
+            return NetAction::Deliver;
+        };
+        if !inner.plan.targets_link(rank) {
+            return NetAction::Deliver;
+        }
+        let mut state = inner.state.lock().expect("fault state poisoned");
+        let frame_ref = state.net_frames.entry(rank).or_insert(0);
+        let frame = *frame_ref;
+        *frame_ref += 1;
+        let action = inner.plan.net_action(rank, frame);
+        let kind = match action {
+            NetAction::Deliver => None,
+            NetAction::Stall { .. } => Some(FaultKind::NetStall),
+            NetAction::Sever => Some(FaultKind::NetSever),
+            NetAction::Tear => Some(FaultKind::NetTear),
+        };
+        if let Some(kind) = kind {
+            state.records.push(FaultRecord {
+                kind,
+                detail: Some(frame),
+            });
+        }
+        action
+    }
+
+    /// Numbers a reconnect attempt on worker `rank`'s link and decides
+    /// whether an unhealed partition vetoes it (`true` = the dial must
+    /// fail deterministically). The disabled handle answers `false`.
+    pub fn on_reconnect_attempt(&self, rank: usize) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        if inner.plan.partitions.is_empty() {
+            return false;
+        }
+        let mut state = inner.state.lock().expect("fault state poisoned");
+        let attempt_ref = state.net_attempts.entry(rank).or_insert(0);
+        let attempt = *attempt_ref;
+        *attempt_ref += 1;
+        let blocked = inner.plan.partition_blocks(rank, attempt);
+        if blocked {
+            state.records.push(FaultRecord {
+                kind: FaultKind::NetPartition,
+                detail: Some(attempt),
+            });
+        }
+        blocked
     }
 
     /// Everything injected so far, in order — for test introspection.
@@ -788,6 +1031,10 @@ mod tests {
             FaultKind::TornWrite,
             FaultKind::BitFlip,
             FaultKind::IoInterrupt,
+            FaultKind::NetSever,
+            FaultKind::NetStall,
+            FaultKind::NetTear,
+            FaultKind::NetPartition,
         ];
         let names: Vec<&str> = kinds.iter().map(|k| k.as_str()).collect();
         assert_eq!(
@@ -800,7 +1047,68 @@ mod tests {
                 "torn_write",
                 "bit_flip",
                 "io_interrupt",
+                "net_sever",
+                "net_stall",
+                "net_tear",
+                "net_partition",
             ]
         );
+    }
+
+    #[test]
+    fn net_rules_fire_on_exact_frame_ordinals() {
+        let plan = FaultPlan::new(5)
+            .sever_connection(1, 3)
+            .stall_link(2, 2, 40)
+            .tear_frame(3, 1);
+        assert!(plan.targets_link(1) && plan.targets_link(2) && plan.targets_link(3));
+        assert!(!plan.targets_link(4));
+        assert_eq!(plan.net_action(1, 2), NetAction::Deliver);
+        assert_eq!(plan.net_action(1, 3), NetAction::Sever);
+        assert_eq!(plan.net_action(1, 4), NetAction::Deliver); // fires once
+        assert_eq!(plan.net_action(2, 0), NetAction::Stall { millis: 40 });
+        assert_eq!(plan.net_action(2, 1), NetAction::Stall { millis: 40 });
+        assert_eq!(plan.net_action(2, 2), NetAction::Deliver);
+        assert_eq!(plan.net_action(3, 1), NetAction::Tear);
+        assert_eq!(plan.net_action(4, 0), NetAction::Deliver);
+    }
+
+    #[test]
+    fn handle_counts_frames_and_reconnect_attempts_per_rank() {
+        let handle = FaultPlan::new(7)
+            .sever_connection(1, 1)
+            .partition(&[2], 0, 2)
+            .build();
+        assert_eq!(handle.on_frame(1), NetAction::Deliver); // frame 0
+        assert_eq!(handle.on_frame(1), NetAction::Sever); // frame 1
+        assert_eq!(handle.on_frame(1), NetAction::Deliver); // frame 2
+                                                            // Rank 2 loses its link at frame 0 and stays partitioned for
+                                                            // two reconnect attempts.
+        assert_eq!(handle.on_frame(2), NetAction::Sever);
+        assert!(handle.on_reconnect_attempt(2));
+        assert!(handle.on_reconnect_attempt(2));
+        assert!(!handle.on_reconnect_attempt(2));
+        // Un-partitioned ranks are never vetoed.
+        assert!(!handle.on_reconnect_attempt(1));
+        let kinds: Vec<FaultKind> = handle.records().iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FaultKind::NetSever,
+                FaultKind::NetSever,
+                FaultKind::NetPartition,
+                FaultKind::NetPartition,
+            ]
+        );
+    }
+
+    #[test]
+    fn net_faults_disabled_handle_and_empty_plan() {
+        let handle = FaultHandle::disabled();
+        assert_eq!(handle.on_frame(1), NetAction::Deliver);
+        assert!(!handle.on_reconnect_attempt(1));
+        assert!(!handle.targets_link(1));
+        assert!(!FaultPlan::new(0).sever_connection(1, 0).is_empty());
+        assert!(!FaultPlan::new(0).partition(&[1], 0, 1).is_empty());
     }
 }

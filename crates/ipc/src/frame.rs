@@ -1,13 +1,16 @@
 //! The wire framing for socket transport traffic.
 //!
-//! One frame is `[source u32][tag u32][len u32][payload]`, all
-//! little-endian — the same length-prefixed envelope shape the
+//! One frame is `[source u32][tag u32][seq u64][len u32][payload]`,
+//! all little-endian — the same length-prefixed envelope shape the
 //! in-process substrate moves over channels, so a [`Frame`] maps 1:1
-//! onto a `parmonc_mpi::Envelope`. A band of tags above the
-//! collective range is reserved for the transports' own protocol and
-//! never surfaces as envelopes: the connection handshakes, forwarded
-//! monitor events, and the TCP join/grant/reject exchange. The full
-//! byte-level contract (including a worked hexdump) is documented in
+//! onto a `parmonc_mpi::Envelope`. `seq` is a per-sender monotonic
+//! frame sequence number (0 = unsequenced protocol traffic) that lets
+//! the collector deduplicate frames replayed after a reconnect. A band
+//! of tags above the collective range is reserved for the transports'
+//! own protocol and never surfaces as envelopes: the connection
+//! handshakes, forwarded monitor events, and the TCP
+//! join/grant/reject/rejoin exchange. The full byte-level contract
+//! (including a worked hexdump) is documented in
 //! `docs/wire-protocol.md`.
 
 use std::io::{self, Read, Write};
@@ -35,6 +38,12 @@ pub const TAG_TCP_GRANT: u32 = 0xFFFF_FF03;
 /// after this frame.
 pub const TAG_TCP_REJECT: u32 = 0xFFFF_FF04;
 
+/// A previously-granted worker re-attaching after a broken connection
+/// (or to a crashed-and-restarted collector): the first frame on the
+/// new connection, payload = [`Rejoin`]. Answered with [`TAG_TCP_GRANT`]
+/// re-granting the same rank, or [`TAG_TCP_REJECT`].
+pub const TAG_TCP_REJOIN: u32 = 0xFFFF_FF05;
+
 /// Magic number opening every [`JoinRequest`]: the little-endian bytes
 /// spell `PMNC`. A connection whose first frame does not carry it is
 /// not speaking this protocol and is rejected.
@@ -43,8 +52,10 @@ pub const TCP_MAGIC: u32 = 0x434E_4D50;
 /// The TCP wire-protocol version this build speaks. Bumped on any
 /// incompatible change to the handshake or envelope framing; the
 /// collector rejects joiners with a different version (see
-/// `docs/wire-protocol.md` § version negotiation).
-pub const TCP_PROTOCOL_VERSION: u16 = 1;
+/// `docs/wire-protocol.md` § version negotiation). Version 2 widened
+/// the frame header with the `seq` field and added the rejoin/epoch
+/// machinery.
+pub const TCP_PROTOCOL_VERSION: u16 = 2;
 
 /// The 16-byte [`TAG_TCP_JOIN`] payload:
 /// `[magic u32][version u16][reserved u16][config_digest u64]`.
@@ -98,8 +109,8 @@ impl JoinRequest {
     }
 }
 
-/// The 24-byte [`TAG_TCP_GRANT`] payload:
-/// `[version u16][flags u16][rank u32][size u32][reserved u32][quota u64]`.
+/// The 32-byte [`TAG_TCP_GRANT`] payload:
+/// `[version u16][flags u16][rank u32][size u32][reserved u32][quota u64][epoch u64]`.
 /// Flags bit 0 = the run is monitored (the worker should forward its
 /// events).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,26 +127,31 @@ pub struct Grant {
     /// The realization quota of the leased rank; the worker
     /// cross-checks it against its own configuration.
     pub quota: u64,
+    /// The collector's session epoch. The worker echoes it in any
+    /// later [`Rejoin`]; a resumed collector keeps the epoch of the
+    /// run it is completing, so only workers of *that* run re-attach.
+    pub epoch: u64,
 }
 
 impl Grant {
-    /// Encodes the 24-byte payload.
+    /// Encodes the 32-byte payload.
     #[must_use]
-    pub fn encode(&self) -> [u8; 24] {
-        let mut buf = [0u8; 24];
+    pub fn encode(&self) -> [u8; 32] {
+        let mut buf = [0u8; 32];
         buf[0..2].copy_from_slice(&self.version.to_le_bytes());
         buf[2..4].copy_from_slice(&u16::from(self.monitor).to_le_bytes());
         buf[4..8].copy_from_slice(&self.rank.to_le_bytes());
         buf[8..12].copy_from_slice(&self.size.to_le_bytes());
         // bytes 12..16 reserved, zero
         buf[16..24].copy_from_slice(&self.quota.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.epoch.to_le_bytes());
         buf
     }
 
     /// Decodes a payload; `None` if the length is wrong.
     #[must_use]
     pub fn decode(payload: &[u8]) -> Option<Self> {
-        if payload.len() != 24 {
+        if payload.len() != 32 {
             return None;
         }
         let flags = u16::from_le_bytes(payload[2..4].try_into().ok()?);
@@ -145,6 +161,73 @@ impl Grant {
             rank: u32::from_le_bytes(payload[4..8].try_into().ok()?),
             size: u32::from_le_bytes(payload[8..12].try_into().ok()?),
             quota: u64::from_le_bytes(payload[16..24].try_into().ok()?),
+            epoch: u64::from_le_bytes(payload[24..32].try_into().ok()?),
+        })
+    }
+}
+
+/// The 32-byte [`TAG_TCP_REJOIN`] payload:
+/// `[magic u32][version u16][reserved u16][config_digest u64][epoch u64][rank u32][reserved u32]`.
+/// Sent instead of a [`JoinRequest`] by a worker that already holds a
+/// lease and is re-attaching after a broken connection or a collector
+/// restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejoin {
+    /// Must equal [`TCP_MAGIC`].
+    pub magic: u32,
+    /// The worker's [`TCP_PROTOCOL_VERSION`].
+    pub version: u16,
+    /// FNV-1a digest of the run configuration (same as the original
+    /// join).
+    pub config_digest: u64,
+    /// The session epoch from the original [`Grant`].
+    pub epoch: u64,
+    /// The rank the worker was leased and wants back.
+    pub rank: u32,
+}
+
+impl Rejoin {
+    /// A well-formed rejoin for this build's protocol version.
+    #[must_use]
+    pub fn new(config_digest: u64, epoch: u64, rank: u32) -> Self {
+        Self {
+            magic: TCP_MAGIC,
+            version: TCP_PROTOCOL_VERSION,
+            config_digest,
+            epoch,
+            rank,
+        }
+    }
+
+    /// Encodes the 32-byte payload.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 32] {
+        let mut buf = [0u8; 32];
+        buf[0..4].copy_from_slice(&self.magic.to_le_bytes());
+        buf[4..6].copy_from_slice(&self.version.to_le_bytes());
+        // bytes 6..8 reserved, zero
+        buf[8..16].copy_from_slice(&self.config_digest.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.epoch.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.rank.to_le_bytes());
+        // bytes 28..32 reserved, zero
+        buf
+    }
+
+    /// Decodes a payload; `None` if the length is wrong. Magic,
+    /// version, epoch and rank are *not* validated here — the
+    /// collector checks them itself so it can answer with the right
+    /// reject code.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 32 {
+            return None;
+        }
+        Some(Self {
+            magic: u32::from_le_bytes(payload[0..4].try_into().ok()?),
+            version: u16::from_le_bytes(payload[4..6].try_into().ok()?),
+            config_digest: u64::from_le_bytes(payload[8..16].try_into().ok()?),
+            epoch: u64::from_le_bytes(payload[16..24].try_into().ok()?),
+            rank: u32::from_le_bytes(payload[24..28].try_into().ok()?),
         })
     }
 }
@@ -163,6 +246,9 @@ pub enum RejectCode {
     BudgetExhausted = 3,
     /// The worker's configuration digest differs from the collector's.
     ConfigMismatch = 4,
+    /// A [`Rejoin`] carried a session epoch that is not this
+    /// collector's — the worker belongs to a different run.
+    EpochMismatch = 5,
 }
 
 impl RejectCode {
@@ -172,6 +258,7 @@ impl RejectCode {
             2 => Some(Self::VersionMismatch),
             3 => Some(Self::BudgetExhausted),
             4 => Some(Self::ConfigMismatch),
+            5 => Some(Self::EpochMismatch),
             _ => None,
         }
     }
@@ -212,6 +299,10 @@ impl Reject {
 /// error, not a subtotal (the performance-test message is ~32 KB).
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
 
+/// The size of the fixed frame header:
+/// `[source u32][tag u32][seq u64][len u32]`.
+pub const FRAME_HEADER_LEN: usize = 20;
+
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
@@ -220,22 +311,43 @@ pub struct Frame {
     /// Message tag (user, collective, or one of the `TAG_IPC_*`
     /// protocol tags).
     pub tag: u32,
+    /// Per-sender monotonic sequence number; 0 for unsequenced
+    /// protocol frames (handshakes, forwarded monitor events).
+    pub seq: u64,
     /// The payload bytes.
     pub payload: Vec<u8>,
 }
 
-/// Writes one frame. The 12-byte header and the payload go out as two
-/// `write_all` calls under the caller's stream lock, so concurrent
-/// senders cannot interleave.
+/// Writes one unsequenced frame (`seq = 0`) — protocol traffic and
+/// links that need no replay protection.
 ///
 /// # Errors
 ///
 /// Any I/O error from the underlying stream.
 pub fn write_frame(w: &mut impl Write, source: u32, tag: u32, payload: &[u8]) -> io::Result<()> {
-    let mut header = [0u8; 12];
+    write_frame_seq(w, source, tag, 0, payload)
+}
+
+/// Writes one frame. The 20-byte header and the payload go out as two
+/// `write_all` calls under the caller's stream lock, so concurrent
+/// senders cannot interleave. `seq` is the sender's monotonic frame
+/// sequence number (`> 0`), or 0 for unsequenced protocol traffic.
+///
+/// # Errors
+///
+/// Any I/O error from the underlying stream.
+pub fn write_frame_seq(
+    w: &mut impl Write,
+    source: u32,
+    tag: u32,
+    seq: u64,
+    payload: &[u8],
+) -> io::Result<()> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
     header[0..4].copy_from_slice(&source.to_le_bytes());
     header[4..8].copy_from_slice(&tag.to_le_bytes());
-    header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[8..16].copy_from_slice(&seq.to_le_bytes());
+    header[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()
@@ -246,10 +358,10 @@ pub fn write_frame(w: &mut impl Write, source: u32, tag: u32, payload: &[u8]) ->
 ///
 /// # Errors
 ///
-/// An I/O error, a mid-frame EOF, or a length prefix past
-/// [`MAX_FRAME_LEN`].
+/// An I/O error, a mid-frame EOF (`ErrorKind::UnexpectedEof` — a torn
+/// frame), or a length prefix past [`MAX_FRAME_LEN`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
-    let mut header = [0u8; 12];
+    let mut header = [0u8; FRAME_HEADER_LEN];
     let mut filled = 0;
     while filled < header.len() {
         match r.read(&mut header[filled..]) {
@@ -267,7 +379,8 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     }
     let source = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     let tag = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    let seq = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes")) as usize;
     if len > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -279,6 +392,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     Ok(Some(Frame {
         source,
         tag,
+        seq,
         payload,
     }))
 }
@@ -290,7 +404,7 @@ mod tests {
     #[test]
     fn frames_round_trip() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, 3, 1, b"subtotal").unwrap();
+        write_frame_seq(&mut buf, 3, 1, 7, b"subtotal").unwrap();
         write_frame(&mut buf, 0, TAG_IPC_EVENT, b"").unwrap();
         let mut r = &buf[..];
         assert_eq!(
@@ -298,6 +412,7 @@ mod tests {
             Frame {
                 source: 3,
                 tag: 1,
+                seq: 7,
                 payload: b"subtotal".to_vec()
             }
         );
@@ -306,6 +421,7 @@ mod tests {
             Frame {
                 source: 0,
                 tag: TAG_IPC_EVENT,
+                seq: 0,
                 payload: Vec::new()
             }
         );
@@ -319,16 +435,18 @@ mod tests {
         write_frame(&mut buf, 1, 2, b"cut").unwrap();
         // Truncated header.
         let mut r = &buf[..6];
-        assert!(read_frame(&mut r).is_err());
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
         // Truncated payload.
-        let mut r = &buf[..13];
-        assert!(read_frame(&mut r).is_err());
+        let mut r = &buf[..FRAME_HEADER_LEN + 1];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 
     #[test]
     fn oversized_length_prefix_rejected() {
-        let mut header = [0u8; 12];
-        header[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
         let mut r = &header[..];
         assert!(read_frame(&mut r).is_err());
     }
@@ -357,12 +475,23 @@ mod tests {
                 rank: 3,
                 size: 8,
                 quota: 125_000,
+                epoch: 0x0123_4567_89AB_CDEF,
             };
             let buf = grant.encode();
-            assert_eq!(buf.len(), 24);
+            assert_eq!(buf.len(), 32);
             assert_eq!(Grant::decode(&buf), Some(grant));
         }
-        assert_eq!(Grant::decode(&[0u8; 23]), None);
+        assert_eq!(Grant::decode(&[0u8; 24]), None);
+    }
+
+    #[test]
+    fn rejoin_round_trips() {
+        let rejoin = Rejoin::new(0xFEED_FACE_CAFE_BEEF, 0x1122_3344_5566_7788, 3);
+        let buf = rejoin.encode();
+        assert_eq!(buf.len(), 32);
+        assert_eq!(&buf[0..4], b"PMNC");
+        assert_eq!(Rejoin::decode(&buf), Some(rejoin));
+        assert_eq!(Rejoin::decode(&buf[..31]), None);
     }
 
     #[test]

@@ -26,15 +26,27 @@
 //! leapfrogged RNG streams, estimates are bit-identical to the thread
 //! backend for the same configuration and seed.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: `reuse` carries the workspace's only unsafe
+// code — four C calls to bind the collector listener with
+// `SO_REUSEADDR` (crash–resume needs the port back immediately).
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod backoff;
+pub mod faulty;
 pub mod frame;
 mod link;
+mod reuse;
 pub mod tcp;
 mod transport;
 mod worker;
 
-pub use tcp::{JoinOptions, ListenOptions, TcpCollectorTransport, TcpWorkerTransport};
+pub use backoff::{Backoff, ReconnectPolicy};
+pub use faulty::FaultyStream;
+pub use link::admit_seq;
+pub use reuse::bind_reuseaddr;
+pub use tcp::{
+    JoinOptions, LeaseSnapshot, ListenOptions, TcpCollectorTransport, TcpWorkerTransport,
+};
 pub use transport::{ChildTransport, ProcessTransport, SpawnOptions};
 pub use worker::{is_worker, worker_env, WorkerInfo, WORKER_FLAG};

@@ -1,0 +1,210 @@
+//! Listener binding with `SO_REUSEADDR` — the one place this
+//! workspace talks to the kernel past what `std` exposes.
+//!
+//! A restarted collector must rebind the *same* address its workers
+//! originally joined ([`crate::tcp`], `docs/cluster.md`). When the
+//! previous collector died hard (SIGKILL, OOM), its accepted sockets
+//! linger in `FIN_WAIT`/`TIME_WAIT` with the listener's local port,
+//! and a plain [`TcpListener::bind`] fails with `AddrInUse` for up to
+//! a minute — longer than any reasonable worker reconnect budget.
+//! `SO_REUSEADDR` tells the kernel those moribund sockets do not
+//! block a fresh listener, which is exactly the restart-in-place
+//! semantics the crash–resume runbook promises.
+//!
+//! `std` offers no way to set a socket option *before* `bind`, so on
+//! Linux this module creates the socket itself through four C calls
+//! (`socket`, `setsockopt`, `bind`, `listen`) declared directly —
+//! the workspace takes no external crates, and the C library is
+//! already linked. The raw descriptor is wrapped in an [`OwnedFd`]
+//! immediately after creation so every early return closes it. On
+//! non-Linux targets (where the constant values differ) the function
+//! falls back to the plain `std` bind.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+
+/// Binds a TCP listener with `SO_REUSEADDR` set, trying every address
+/// `addr` resolves to and returning the last error if none binds.
+pub fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    let mut last_err = None;
+    for sockaddr in addr.to_socket_addrs()? {
+        match bind_one(&sockaddr) {
+            Ok(listener) => return Ok(listener),
+            Err(err) => last_err = Some(err),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "listen address resolved to no socket addresses",
+        )
+    }))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_one(sockaddr: &SocketAddr) -> io::Result<TcpListener> {
+    TcpListener::bind(sockaddr)
+}
+
+#[cfg(target_os = "linux")]
+fn bind_one(sockaddr: &SocketAddr) -> io::Result<TcpListener> {
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0x8_0000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const BACKLOG: i32 = 128;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+
+    /// `struct sockaddr_in` (16 bytes). `family` is host order; `port`
+    /// and `addr` are big-endian byte arrays, so there is no padding
+    /// and no endianness cast to get wrong.
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: [u8; 2],
+        addr: [u8; 4],
+        zero: [u8; 8],
+    }
+
+    /// `struct sockaddr_in6` (28 bytes).
+    #[repr(C)]
+    struct SockaddrIn6 {
+        family: u16,
+        port: [u8; 2],
+        flowinfo: u32,
+        addr: [u8; 16],
+        scope_id: u32,
+    }
+
+    fn check(ret: i32) -> io::Result<()> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    let domain = match sockaddr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    // SAFETY: plain syscall; a negative return is checked below and
+    // a valid descriptor is immediately owned (closed on every path).
+    let raw: RawFd = unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    check(raw)?;
+    // SAFETY: `raw` is a freshly created, unowned, valid descriptor.
+    let fd: OwnedFd = unsafe { OwnedFd::from_raw_fd(raw) };
+
+    let one: i32 = 1;
+    // SAFETY: `&one` outlives the call and the length matches.
+    check(unsafe {
+        setsockopt(
+            fd.as_raw_fd(),
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &one,
+            std::mem::size_of::<i32>() as u32,
+        )
+    })?;
+
+    match sockaddr {
+        SocketAddr::V4(v4) => {
+            let sin = SockaddrIn {
+                family: AF_INET as u16,
+                port: v4.port().to_be_bytes(),
+                addr: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            // SAFETY: `sin` is a valid, correctly sized sockaddr_in
+            // that outlives the call.
+            check(unsafe {
+                bind(
+                    fd.as_raw_fd(),
+                    (&sin as *const SockaddrIn).cast(),
+                    std::mem::size_of::<SockaddrIn>() as u32,
+                )
+            })?;
+        }
+        SocketAddr::V6(v6) => {
+            let sin6 = SockaddrIn6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be_bytes(),
+                flowinfo: v6.flowinfo(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            // SAFETY: `sin6` is a valid, correctly sized sockaddr_in6
+            // that outlives the call.
+            check(unsafe {
+                bind(
+                    fd.as_raw_fd(),
+                    (&sin6 as *const SockaddrIn6).cast(),
+                    std::mem::size_of::<SockaddrIn6>() as u32,
+                )
+            })?;
+        }
+    }
+    // SAFETY: `fd` is a bound socket descriptor.
+    check(unsafe { listen(fd.as_raw_fd(), BACKLOG) })?;
+    Ok(TcpListener::from(fd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bind_reuseaddr;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    #[test]
+    fn binds_resolves_and_accepts() {
+        let listener = bind_reuseaddr("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"ping").unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        client.join().unwrap();
+    }
+
+    /// The crash–resume regression: a dead collector's accepted
+    /// socket still holds the listener's port (the peer has not seen
+    /// the death yet), and the restarted listener must bind the same
+    /// port anyway. Without `SO_REUSEADDR` this rebind fails with
+    /// `AddrInUse` until the old socket drains out of `FIN_WAIT`.
+    #[test]
+    fn rebinds_port_while_old_connection_lingers() {
+        let listener = bind_reuseaddr("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        // The "crash": the collector's sockets close while the worker
+        // end stays open, leaving the port in FIN_WAIT.
+        drop(conn);
+        drop(listener);
+        let relisten = bind_reuseaddr(&addr.to_string()).unwrap();
+        assert_eq!(relisten.local_addr().unwrap().port(), addr.port());
+        drop(client);
+    }
+
+    #[test]
+    fn unresolvable_address_is_an_error() {
+        assert!(bind_reuseaddr("definitely-not-a-host:0").is_err());
+    }
+}

@@ -1,5 +1,6 @@
 //! The multi-host TCP backend: one collector listening on a socket
-//! address, remote workers dialing in — with *elastic* membership.
+//! address, remote workers dialing in — with *elastic* membership and
+//! automatic recovery on both sides of every link.
 //!
 //! Unlike the Unix-socket backend, the world is not built by spawning:
 //! [`TcpCollectorTransport::listen`] binds a listener and returns
@@ -16,6 +17,28 @@
 //! [`parmonc_mpi::Transport::retire_rank`] and never leased again —
 //! leasing one would double-count the reassigned realizations.
 //!
+//! **Resilience.** Three mechanisms make a broken link survivable
+//! without perturbing a single estimate bit:
+//!
+//! * **Worker reconnect** — when a send fails, [`TcpWorkerTransport`]
+//!   re-dials the collector on the seeded exponential-backoff schedule
+//!   of its [`ReconnectPolicy`] and re-attaches with a
+//!   [`Rejoin`] handshake that names its rank and the session
+//!   *epoch* from the original grant, then retries the failed frame.
+//! * **Sequence numbers** — every envelope a worker sends carries a
+//!   monotonic per-rank sequence number, and the retried frame reuses
+//!   the number of the failed send; the collector admits each number
+//!   at most once ([`crate::admit_seq`]), so a frame that in fact
+//!   arrived before the break is dropped on replay — exactly-once
+//!   delivery over any reconnect schedule.
+//! * **Collector resume** — [`ListenOptions::resume`] re-arms a
+//!   restarted collector from a persisted [`LeaseSnapshot`]: the
+//!   original epoch is re-announced, previously leased ranks stay
+//!   reserved for their [`Rejoin`]-ing workers, and per-rank sequence
+//!   dedup state carries over. Workers from a *different* run (a
+//!   stale rejoin against a fresh collector) are refused with
+//!   [`RejectCode::EpochMismatch`].
+//!
 //! Connection health is split between two layers, on purpose:
 //!
 //! * **writes** carry a per-connection timeout (`io_timeout`), so a
@@ -31,9 +54,9 @@
 //! only to rank 0, and a connection speaks only for the rank it was
 //! leased (frames claiming another source are dropped).
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -47,9 +70,11 @@ use parmonc_mpi::pool::BufferPool;
 use parmonc_mpi::transport::Transport;
 use parmonc_obs::{EventKind, Monitor};
 
+use crate::backoff::{splitmix64, Backoff, ReconnectPolicy};
+use crate::faulty::FaultyStream;
 use crate::frame::{
-    read_frame, write_frame, Grant, JoinRequest, Reject, RejectCode, TAG_TCP_GRANT, TAG_TCP_JOIN,
-    TAG_TCP_REJECT, TCP_MAGIC, TCP_PROTOCOL_VERSION,
+    read_frame, write_frame, write_frame_seq, Grant, JoinRequest, Reject, RejectCode, Rejoin,
+    TAG_TCP_GRANT, TAG_TCP_JOIN, TAG_TCP_REJECT, TAG_TCP_REJOIN, TCP_MAGIC, TCP_PROTOCOL_VERSION,
 };
 use crate::link::{pump_frames, ForwardSink, InboxStats, Mailbox, SendGate};
 
@@ -60,6 +85,17 @@ const READ_POLL: Duration = Duration::from_millis(50);
 /// How long the acceptor sleeps between polls of the non-blocking
 /// listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A fresh, non-zero session epoch for a newly armed collector. Drawn
+/// from the wall clock and pid (like the Unix backend's spawn token),
+/// which never feeds the estimates — bit-identity is unaffected.
+fn fresh_epoch() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    splitmix64(nanos ^ (u64::from(std::process::id()) << 32)).max(1)
+}
 
 /// A [`Read`] wrapper for sockets with a short `SO_RCVTIMEO`: receive
 /// timeouts are retried (a kernel timeout consumes no bytes, so frame
@@ -91,6 +127,103 @@ impl Read for PatientReader {
     }
 }
 
+/// The persistable image of a collector's lease table: everything a
+/// restarted collector needs to take over an interrupted run's
+/// membership — the session epoch its workers will [`Rejoin`] with,
+/// which ranks were ever leased or retired, and the last admitted
+/// sequence number per rank (so dedup survives the restart).
+///
+/// Produced by [`TcpCollectorTransport::snapshot`] (or the
+/// [`Transport::membership_snapshot`] hook), persisted by the runner
+/// alongside the checkpoint, and fed back via
+/// [`ListenOptions::resume`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseSnapshot {
+    /// The session epoch announced in every grant.
+    pub epoch: u64,
+    /// World size including the collector.
+    pub size: usize,
+    /// Per rank (index `rank - 1`): ever leased?
+    pub ever_leased: Vec<bool>,
+    /// Per rank: budget reassigned, never lease again?
+    pub retired: Vec<bool>,
+    /// Per rank: highest admitted sequence number.
+    pub last_seqs: Vec<u64>,
+}
+
+impl LeaseSnapshot {
+    /// Serializes to the line-oriented text format persisted next to
+    /// the run's checkpoint.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "parmonc-leases v1");
+        let _ = writeln!(out, "epoch {:016x}", self.epoch);
+        let _ = writeln!(out, "size {}", self.size);
+        for i in 0..self.size.saturating_sub(1) {
+            let _ = writeln!(
+                out,
+                "rank {} {} {} {}",
+                i + 1,
+                u8::from(self.ever_leased[i]),
+                u8::from(self.retired[i]),
+                self.last_seqs[i]
+            );
+        }
+        out
+    }
+
+    /// Parses the text format back; `None` on any malformation (a
+    /// truncated lease table must fail loudly, not resume half a
+    /// membership).
+    #[must_use]
+    pub fn decode(text: &str) -> Option<Self> {
+        let mut lines = text.lines();
+        if lines.next()? != "parmonc-leases v1" {
+            return None;
+        }
+        let epoch = u64::from_str_radix(lines.next()?.strip_prefix("epoch ")?, 16).ok()?;
+        let size: usize = lines.next()?.strip_prefix("size ")?.parse().ok()?;
+        let workers = size.checked_sub(1)?;
+        let mut ever_leased = vec![false; workers];
+        let mut retired = vec![false; workers];
+        let mut last_seqs = vec![0u64; workers];
+        for i in 0..workers {
+            let line = lines.next()?;
+            let mut f = line.strip_prefix("rank ")?.split(' ');
+            let rank: usize = f.next()?.parse().ok()?;
+            if rank != i + 1 {
+                return None;
+            }
+            ever_leased[i] = match f.next()? {
+                "0" => false,
+                "1" => true,
+                _ => return None,
+            };
+            retired[i] = match f.next()? {
+                "0" => false,
+                "1" => true,
+                _ => return None,
+            };
+            last_seqs[i] = f.next()?.parse().ok()?;
+            if f.next().is_some() {
+                return None;
+            }
+        }
+        if lines.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            epoch,
+            size,
+            ever_leased,
+            retired,
+            last_seqs,
+        })
+    }
+}
+
 /// The collector's rank-lease table.
 #[derive(Debug)]
 struct LeaseState {
@@ -106,14 +239,24 @@ struct LeaseState {
     ever_leased: Vec<bool>,
     /// Ranks whose budget the collector reassigned; never leased again.
     retired: Vec<bool>,
+    /// Per-slot connection generation, bumped on every writer install.
+    /// A reader thread frees its slot on exit only if the generation
+    /// still matches — a stale reader outliving a rejoin must not free
+    /// the *new* connection's writer.
+    generation: Vec<u64>,
+    /// Per-rank highest admitted sequence number, shared with the
+    /// rank's reader threads across reconnects (and restored from a
+    /// [`LeaseSnapshot`] across collector restarts).
+    last_seqs: Vec<Arc<AtomicU64>>,
 }
 
 impl LeaseState {
     /// Leases the lowest never-yet-leased rank to `writer`, falling
     /// back to the lowest dropped rank (a reconnect redoing the same
     /// streams is idempotent under replace-then-sum), or `None` when
-    /// every rank is either connected or retired.
-    fn lease(&mut self, writer: Arc<Mutex<TcpStream>>) -> Option<usize> {
+    /// every rank is either connected or retired. Returns the rank and
+    /// the new connection generation.
+    fn lease(&mut self, writer: Arc<Mutex<TcpStream>>) -> Option<(usize, u64)> {
         let free = |&(_, (w, &retired)): &(usize, (&Option<_>, &bool))| -> bool {
             w.is_none() && !retired
         };
@@ -135,8 +278,66 @@ impl LeaseState {
             })?;
         self.writers[slot] = Some(writer);
         self.ever_leased[slot] = true;
-        Some(slot + 1)
+        self.generation[slot] += 1;
+        Some((slot + 1, self.generation[slot]))
     }
+
+    /// Re-attaches a [`Rejoin`]ing worker to the rank it already
+    /// holds, replacing (and hanging up) any half-open previous
+    /// connection. The caller has validated rank bounds, epoch and
+    /// digest; this refuses only never-leased and retired ranks.
+    fn rejoin(&mut self, rank: usize, writer: Arc<Mutex<TcpStream>>) -> Result<u64, &'static str> {
+        let i = rank - 1;
+        if !self.ever_leased[i] {
+            return Err("rejoin names a rank that was never leased");
+        }
+        if self.retired[i] {
+            return Err("rank's remaining budget was reassigned after it was declared lost");
+        }
+        if let Some(old) = self.writers[i].take() {
+            // The previous connection is half-open (the worker saw the
+            // break first). Hang it up so its reader exits promptly.
+            if let Ok(stream) = old.lock() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        self.writers[i] = Some(writer);
+        self.generation[i] += 1;
+        Ok(self.generation[i])
+    }
+
+    /// The persistable image of this table (see [`LeaseSnapshot`]).
+    fn snapshot(&self, epoch: u64, size: usize) -> LeaseSnapshot {
+        LeaseSnapshot {
+            epoch,
+            size,
+            ever_leased: self.ever_leased.clone(),
+            retired: self.retired.clone(),
+            last_seqs: self
+                .last_seqs
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Best-effort atomic persistence of the lease table: encode, write a
+/// temp file, fsync, rename into place. Failures are swallowed — a
+/// lost write degrades a *future* crash-resume to a stale (or absent)
+/// table, which the rejoin validation handles; it must never disturb
+/// the running session.
+fn persist_lease_table(path: &std::path::Path, snapshot: &LeaseSnapshot) {
+    let write = || -> io::Result<()> {
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(snapshot.encode().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    };
+    let _ = write();
 }
 
 /// Configuration for [`TcpCollectorTransport::listen`].
@@ -164,6 +365,18 @@ pub struct ListenOptions {
     /// Per-connection write timeout, and the read timeout during the
     /// handshake.
     pub io_timeout: Duration,
+    /// A lease table persisted by a previous incarnation of this
+    /// collector: restart with the same session epoch, keep
+    /// previously leased ranks reserved for their rejoining workers,
+    /// and carry the sequence-number dedup state over. `None` arms a
+    /// fresh session with a new epoch.
+    pub resume: Option<LeaseSnapshot>,
+    /// Where to persist the lease table for crash-resume. When set,
+    /// the table is written at bind time and re-written on every
+    /// membership change — always *before* the grant that makes the
+    /// change visible to a worker, so a crash can never lose a lease
+    /// a worker believes it holds. `None` disables persistence.
+    pub persist: Option<std::path::PathBuf>,
 }
 
 /// Everything the acceptor thread needs to admit a joiner.
@@ -177,7 +390,9 @@ struct AcceptorCtx {
     size: usize,
     quotas: Vec<u64>,
     config_digest: u64,
+    epoch: u64,
     io_timeout: Duration,
+    persist: Option<std::path::PathBuf>,
 }
 
 /// Rank 0 of a TCP world: the listener, lease table, and
@@ -198,10 +413,12 @@ pub struct TcpCollectorTransport {
     stats: Arc<InboxStats>,
     self_tx: Sender<Envelope>,
     lease: Arc<Mutex<LeaseState>>,
+    epoch: u64,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    persist: Option<std::path::PathBuf>,
     shut_down: bool,
 }
 
@@ -210,8 +427,9 @@ impl TcpCollectorTransport {
     ///
     /// # Errors
     ///
-    /// Bind/thread-spawn failures, a zero world size, or a quota table
-    /// that does not cover `size - 1` ranks.
+    /// Bind/thread-spawn failures, a zero world size, a quota table
+    /// that does not cover `size - 1` ranks, or a resume snapshot
+    /// whose world size disagrees with the configuration.
     pub fn listen(opts: ListenOptions) -> io::Result<Self> {
         if opts.size == 0 {
             return Err(io::Error::new(
@@ -225,7 +443,15 @@ impl TcpCollectorTransport {
                 "quota table must have one entry per worker rank",
             ));
         }
-        let listener = TcpListener::bind(opts.addr.as_str())?;
+        if let Some(snapshot) = &opts.resume {
+            if snapshot.size != opts.size {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "lease snapshot world size disagrees with the run configuration",
+                ));
+            }
+        }
+        let listener = crate::reuse::bind_reuseaddr(opts.addr.as_str())?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
@@ -233,12 +459,40 @@ impl TcpCollectorTransport {
         let stats = Arc::new(InboxStats::default());
         let stop = Arc::new(AtomicBool::new(false));
         let workers = opts.size.saturating_sub(1);
+        let (epoch, ever_leased, retired, last_seqs) = match opts.resume {
+            Some(s) => (
+                s.epoch,
+                s.ever_leased,
+                s.retired,
+                s.last_seqs
+                    .into_iter()
+                    .map(|n| Arc::new(AtomicU64::new(n)))
+                    .collect(),
+            ),
+            None => (
+                fresh_epoch(),
+                vec![false; workers],
+                vec![false; workers],
+                (0..workers).map(|_| Arc::new(AtomicU64::new(0))).collect(),
+            ),
+        };
         let lease = Arc::new(Mutex::new(LeaseState {
             writers: vec![None; workers],
-            ever_leased: vec![false; workers],
-            retired: vec![false; workers],
+            ever_leased,
+            retired,
+            generation: vec![0; workers],
+            last_seqs,
         }));
         let readers = Arc::new(Mutex::new(Vec::new()));
+        if let Some(path) = &opts.persist {
+            // Capture the session epoch on disk before any worker can
+            // join, so even a pre-join crash resumes the same session.
+            let snapshot = lease
+                .lock()
+                .map(|l| l.snapshot(epoch, opts.size))
+                .unwrap_or_else(|e| e.into_inner().snapshot(epoch, opts.size));
+            persist_lease_table(path, &snapshot);
+        }
 
         let ctx = AcceptorCtx {
             stop: Arc::clone(&stop),
@@ -250,7 +504,9 @@ impl TcpCollectorTransport {
             size: opts.size,
             quotas: opts.quotas,
             config_digest: opts.config_digest,
+            epoch,
             io_timeout: opts.io_timeout,
+            persist: opts.persist.clone(),
         };
         let acceptor = std::thread::Builder::new()
             .name("parmonc-tcp-accept".into())
@@ -265,10 +521,12 @@ impl TcpCollectorTransport {
             stats,
             self_tx: tx,
             lease,
+            epoch,
             local_addr,
             stop,
             acceptor: Some(acceptor),
             readers,
+            persist: opts.persist,
             shut_down: false,
         })
     }
@@ -279,6 +537,30 @@ impl TcpCollectorTransport {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The session epoch announced in every grant: fresh for a new
+    /// session, carried over from the snapshot on resume.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current membership image, for persistence alongside the
+    /// run's checkpoint (see [`LeaseSnapshot`]).
+    #[must_use]
+    pub fn snapshot(&self) -> LeaseSnapshot {
+        let workers = self.size.saturating_sub(1);
+        match self.lease.lock() {
+            Ok(lease) => lease.snapshot(self.epoch, self.size),
+            Err(_) => LeaseSnapshot {
+                epoch: self.epoch,
+                size: self.size,
+                ever_leased: vec![false; workers],
+                retired: vec![false; workers],
+                last_seqs: vec![0; workers],
+            },
+        }
     }
 
     fn raw_send(&self, dest: usize, tag: Tag, payload: &Bytes) -> Result<(), MpiError> {
@@ -413,9 +695,22 @@ impl Transport for TcpCollectorTransport {
         if rank == 0 || rank >= self.size {
             return;
         }
-        if let Ok(mut lease) = self.lease.lock() {
-            lease.retired[rank - 1] = true;
+        let snapshot = match self.lease.lock() {
+            Ok(mut lease) => {
+                lease.retired[rank - 1] = true;
+                self.persist
+                    .as_deref()
+                    .map(|_| lease.snapshot(self.epoch, self.size))
+            }
+            Err(_) => None,
+        };
+        if let (Some(path), Some(snapshot)) = (&self.persist, snapshot) {
+            persist_lease_table(path, &snapshot);
         }
+    }
+
+    fn membership_snapshot(&self) -> Option<String> {
+        Some(self.snapshot().encode())
     }
 }
 
@@ -434,43 +729,54 @@ fn accept_loop(listener: &TcpListener, ctx: &AcceptorCtx) {
     }
 }
 
-/// Validates one dialing connection's join request and, on success,
-/// leases it a rank, answers with the grant, and wires up its reader.
-/// Invalid joins are answered with a reject frame and dropped; a
-/// failure here never disturbs the rest of the world.
+/// Validates one dialing connection's join (or rejoin) request and,
+/// on success, leases it a rank, answers with the grant, and wires up
+/// its reader. Invalid requests are answered with a reject frame and
+/// dropped; a failure here never disturbs the rest of the world.
 fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(ctx.io_timeout))?;
     stream.set_write_timeout(Some(ctx.io_timeout))?;
     let frame = match read_frame(&mut &stream)? {
-        Some(frame) if frame.tag == TAG_TCP_JOIN => frame,
+        Some(frame) if frame.tag == TAG_TCP_JOIN || frame.tag == TAG_TCP_REJOIN => frame,
         // Silent, closed, or alien connection: drop it without reply.
         _ => return Ok(()),
     };
-    let join = match JoinRequest::decode(&frame.payload) {
-        Some(join) => join,
-        None => {
+    // The common envelope checks, shared by join and rejoin: magic,
+    // protocol version, configuration digest.
+    let (magic, version, digest, rejoin) = if frame.tag == TAG_TCP_JOIN {
+        let Some(join) = JoinRequest::decode(&frame.payload) else {
             return reject(&stream, RejectCode::BadMagic, "malformed join payload");
-        }
+        };
+        (join.magic, join.version, join.config_digest, None)
+    } else {
+        let Some(rejoin) = Rejoin::decode(&frame.payload) else {
+            return reject(&stream, RejectCode::BadMagic, "malformed rejoin payload");
+        };
+        (
+            rejoin.magic,
+            rejoin.version,
+            rejoin.config_digest,
+            Some(rejoin),
+        )
     };
-    if join.magic != TCP_MAGIC {
+    if magic != TCP_MAGIC {
         return reject(
             &stream,
             RejectCode::BadMagic,
             "join frame does not open with the PMNC magic",
         );
     }
-    if join.version != TCP_PROTOCOL_VERSION {
+    if version != TCP_PROTOCOL_VERSION {
         return reject(
             &stream,
             RejectCode::VersionMismatch,
             &format!(
-                "worker speaks wire-protocol version {}, collector speaks {}",
-                join.version, TCP_PROTOCOL_VERSION
+                "worker speaks wire-protocol version {version}, collector speaks {TCP_PROTOCOL_VERSION}"
             ),
         );
     }
-    if join.config_digest != ctx.config_digest {
+    if digest != ctx.config_digest {
         return reject(
             &stream,
             RejectCode::ConfigMismatch,
@@ -478,29 +784,80 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
         );
     }
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
-    let leased = ctx
-        .lease
-        .lock()
-        .ok()
-        .and_then(|mut lease| lease.lease(Arc::clone(&writer)));
-    let Some(rank) = leased else {
-        return reject(
-            &stream,
-            RejectCode::BudgetExhausted,
-            "no worker rank available: every stream range is leased or its budget reassigned",
-        );
-    };
-    let release = |ctx: &AcceptorCtx| {
-        if let Ok(mut lease) = ctx.lease.lock() {
-            lease.writers[rank - 1] = None;
+    let (rank, generation, reconnect) = match rejoin {
+        None => {
+            let leased = ctx
+                .lease
+                .lock()
+                .ok()
+                .and_then(|mut lease| lease.lease(Arc::clone(&writer)));
+            let Some((rank, generation)) = leased else {
+                return reject(
+                    &stream,
+                    RejectCode::BudgetExhausted,
+                    "no worker rank available: every stream range is leased or its budget reassigned",
+                );
+            };
+            (rank, generation, false)
+        }
+        Some(rejoin) => {
+            if rejoin.epoch != ctx.epoch {
+                return reject(
+                    &stream,
+                    RejectCode::EpochMismatch,
+                    "session epoch mismatch: this lease belongs to a different collector session",
+                );
+            }
+            let rank = rejoin.rank as usize;
+            if rank == 0 || rank >= ctx.size {
+                return reject(
+                    &stream,
+                    RejectCode::BudgetExhausted,
+                    "rejoin names an impossible rank",
+                );
+            }
+            let outcome = ctx
+                .lease
+                .lock()
+                .map_err(|_| "lease table poisoned")
+                .and_then(|mut lease| lease.rejoin(rank, Arc::clone(&writer)));
+            match outcome {
+                Ok(generation) => (rank, generation, true),
+                Err(reason) => {
+                    return reject(&stream, RejectCode::BudgetExhausted, reason);
+                }
+            }
         }
     };
+    // Only the matching generation may free the slot: a stale reader
+    // outliving a rejoin must not unhook the replacement connection.
+    let release = |ctx: &AcceptorCtx| {
+        if let Ok(mut lease) = ctx.lease.lock() {
+            if lease.generation[rank - 1] == generation {
+                lease.writers[rank - 1] = None;
+            }
+        }
+    };
+    // Persist the lease *before* the grant goes out: once the worker
+    // holds a grant it will REJOIN with this rank after any crash, and
+    // a restarted collector must recognize the lease.
+    if let Some(path) = &ctx.persist {
+        let snapshot = ctx
+            .lease
+            .lock()
+            .ok()
+            .map(|l| l.snapshot(ctx.epoch, ctx.size));
+        if let Some(snapshot) = snapshot {
+            persist_lease_table(path, &snapshot);
+        }
+    }
     let grant = Grant {
         version: TCP_PROTOCOL_VERSION,
         monitor: ctx.monitor.is_enabled(),
         rank: rank as u32,
         size: ctx.size as u32,
         quota: ctx.quotas[rank - 1],
+        epoch: ctx.epoch,
     };
     if write_frame(&mut &stream, 0, TAG_TCP_GRANT, &grant.encode()).is_err() {
         release(ctx);
@@ -521,13 +878,25 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
             return Ok(());
         }
     };
-    ctx.monitor.emit(
-        Some(0),
-        EventKind::WorkerJoined {
-            worker: rank,
-            addr: Some(peer.to_string()),
-        },
-    );
+    let last_seq = match ctx.lease.lock() {
+        Ok(lease) => Arc::clone(&lease.last_seqs[rank - 1]),
+        Err(_) => {
+            release(ctx);
+            return Ok(());
+        }
+    };
+    if reconnect {
+        ctx.monitor
+            .emit(Some(0), EventKind::WorkerReconnected { worker: rank });
+    } else {
+        ctx.monitor.emit(
+            Some(0),
+            EventKind::WorkerJoined {
+                worker: rank,
+                addr: Some(peer.to_string()),
+            },
+        );
+    }
     let spawned = std::thread::Builder::new()
         .name(format!("parmonc-tcp-w{rank}"))
         .spawn({
@@ -543,15 +912,23 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
                     0,
                     Some(stats),
                     Some(rank as u32),
+                    Some(last_seq),
                 );
-                // The connection is gone (worker exit, crash, or
-                // shutdown): surface the departure and free the lease so
-                // a reconnecting worker can take the rank back — the
-                // cumulative replace-then-sum averaging makes a redo of
-                // the same streams idempotent.
-                monitor.emit(Some(0), EventKind::WorkerLeft { worker: rank });
+                // The connection is gone (worker exit, crash, rejoin
+                // replacement, or shutdown). If this is still the
+                // rank's *current* connection, surface the departure
+                // and free the lease so a reconnecting worker can take
+                // the rank back — the cumulative replace-then-sum
+                // averaging makes a redo of the same streams
+                // idempotent. A stale connection (generation moved on:
+                // the worker already rejoined) stays silent — the
+                // reconnect event told that story.
                 if let Ok(mut l) = lease.lock() {
-                    l.writers[rank - 1] = None;
+                    if l.generation[rank - 1] == generation {
+                        l.writers[rank - 1] = None;
+                        drop(l);
+                        monitor.emit(Some(0), EventKind::WorkerLeft { worker: rank });
+                    }
                 }
             }
         });
@@ -587,16 +964,83 @@ pub struct JoinOptions {
     /// Digest of this worker's run configuration; must match the
     /// collector's or the join is rejected.
     pub config_digest: u64,
-    /// The worker-side fault plane.
+    /// The worker-side fault plane; also drives the deterministic
+    /// net-fault injection on this worker's outbound link.
     pub faults: FaultHandle,
     /// Connect timeout, write timeout, and the read timeout during the
     /// handshake.
     pub io_timeout: Duration,
+    /// The seeded backoff schedule for the initial dial and every
+    /// automatic reconnect after a broken connection.
+    pub reconnect: ReconnectPolicy,
+}
+
+/// How one dial-and-handshake attempt failed: transiently (worth
+/// retrying on the backoff schedule) or permanently (the collector
+/// answered with a reject — retrying cannot change its mind).
+enum HandshakeError {
+    Transient(io::Error),
+    Permanent(io::Error),
+}
+
+/// Resolves and dials `addr`, trying each resolved address once.
+fn dial(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let mut last_err = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::AddrNotAvailable,
+            "collector address resolved to nothing",
+        )
+    }))
+}
+
+/// Reads and classifies the collector's handshake reply.
+fn read_grant(stream: &TcpStream) -> Result<Grant, HandshakeError> {
+    let reply = read_frame(&mut &*stream)
+        .map_err(HandshakeError::Transient)?
+        .ok_or_else(|| {
+            HandshakeError::Transient(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "collector closed the connection during the handshake",
+            ))
+        })?;
+    match reply.tag {
+        TAG_TCP_GRANT => Grant::decode(&reply.payload).ok_or_else(|| {
+            HandshakeError::Transient(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed grant payload",
+            ))
+        }),
+        TAG_TCP_REJECT => {
+            let message = match Reject::decode(&reply.payload) {
+                Some(r) => format!("collector rejected the join ({:?}): {}", r.code, r.reason),
+                None => "collector rejected the join".to_string(),
+            };
+            Err(HandshakeError::Permanent(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                message,
+            )))
+        }
+        _ => Err(HandshakeError::Transient(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected handshake reply",
+        ))),
+    }
 }
 
 /// A remote worker's end of a TCP world: dials the collector,
 /// completes the handshake, and speaks for exactly the rank it was
-/// leased.
+/// leased. A broken connection does not kill the worker — sends
+/// transparently re-dial on the seeded [`ReconnectPolicy`] schedule,
+/// re-attach with a [`Rejoin`] handshake, and retry the failed frame
+/// under its original sequence number (so the collector's dedup keeps
+/// delivery exactly-once).
 #[derive(Debug)]
 pub struct TcpWorkerTransport {
     rank: usize,
@@ -606,72 +1050,49 @@ pub struct TcpWorkerTransport {
     monitor: Monitor,
     gate: SendGate,
     mailbox: Mailbox,
-    writer: Arc<Mutex<TcpStream>>,
+    writer: Arc<Mutex<FaultyStream<TcpStream>>>,
     stop: Arc<AtomicBool>,
-    reader: Option<JoinHandle<()>>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+    /// Readers orphaned by reconnects; they exit on their own once
+    /// their dead socket drains, and are joined at drop.
+    stale_readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Kept so reconnect can respawn readers feeding the same inbox.
+    tx: Sender<Envelope>,
+    stats: Arc<InboxStats>,
+    addr: String,
+    config_digest: u64,
+    epoch: u64,
+    io_timeout: Duration,
+    reconnect: ReconnectPolicy,
+    faults: FaultHandle,
+    next_seq: AtomicU64,
 }
 
 impl TcpWorkerTransport {
-    /// Dials the collector and completes the join/grant handshake.
+    /// Dials the collector (on the reconnect policy's backoff
+    /// schedule) and completes the join/grant handshake.
     ///
     /// # Errors
     ///
-    /// Resolution/connection failures, handshake I/O errors, a
-    /// malformed reply — or a reject frame, surfaced as
-    /// [`io::ErrorKind::ConnectionRefused`] with the collector's
-    /// reason in the message.
+    /// Resolution/connection failures after the dial budget is spent,
+    /// handshake I/O errors, a malformed reply — or a reject frame,
+    /// surfaced as [`io::ErrorKind::ConnectionRefused`] with the
+    /// collector's reason in the message.
     pub fn join(opts: JoinOptions) -> io::Result<Self> {
-        let mut last_err = None;
-        let mut stream = None;
-        for addr in opts.addr.to_socket_addrs()? {
-            match TcpStream::connect_timeout(&addr, opts.io_timeout) {
-                Ok(s) => {
-                    stream = Some(s);
-                    break;
-                }
-                Err(e) => last_err = Some(e),
-            }
-        }
-        let mut stream = stream.ok_or_else(|| {
-            last_err.unwrap_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::AddrNotAvailable,
-                    "collector address resolved to nothing",
-                )
-            })
-        })?;
+        let dial_timeout = opts.reconnect.attempt_timeout.min(opts.io_timeout);
+        let stream = crate::backoff::retry(opts.reconnect, 0, |_| dial(&opts.addr, dial_timeout))?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(opts.io_timeout))?;
         stream.set_write_timeout(Some(opts.io_timeout))?;
         write_frame(
-            &mut stream,
+            &mut &stream,
             0,
             TAG_TCP_JOIN,
             &JoinRequest::new(opts.config_digest).encode(),
         )?;
-        let reply = read_frame(&mut &stream)?.ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::ConnectionAborted,
-                "collector closed the connection during the handshake",
-            )
-        })?;
-        let grant = match reply.tag {
-            TAG_TCP_GRANT => Grant::decode(&reply.payload).ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "malformed grant payload")
-            })?,
-            TAG_TCP_REJECT => {
-                let message = match Reject::decode(&reply.payload) {
-                    Some(r) => format!("collector rejected the join ({:?}): {}", r.code, r.reason),
-                    None => "collector rejected the join".to_string(),
-                };
-                return Err(io::Error::new(io::ErrorKind::ConnectionRefused, message));
-            }
-            _ => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "unexpected handshake reply",
-                ))
-            }
+        let grant = match read_grant(&stream) {
+            Ok(grant) => grant,
+            Err(HandshakeError::Transient(e) | HandshakeError::Permanent(e)) => return Err(e),
         };
         let rank = grant.rank as usize;
         let size = grant.size as usize;
@@ -682,7 +1103,11 @@ impl TcpWorkerTransport {
             ));
         }
         stream.set_read_timeout(Some(READ_POLL))?;
-        let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        let writer = Arc::new(Mutex::new(FaultyStream::new(
+            stream.try_clone()?,
+            rank,
+            opts.faults.clone(),
+        )));
         let monitor = if grant.monitor {
             Monitor::new(vec![Box::new(ForwardSink::new(Arc::clone(&writer), rank))])
         } else {
@@ -697,16 +1122,18 @@ impl TcpWorkerTransport {
         };
         let thread_monitor = monitor.clone();
         let thread_stats = Arc::clone(&stats);
+        let thread_tx = tx.clone();
         let reader = std::thread::Builder::new()
             .name(format!("parmonc-tcp-r{rank}"))
             .spawn(move || {
                 pump_frames(
                     patient,
-                    tx,
+                    thread_tx,
                     thread_monitor,
                     rank,
                     Some(thread_stats),
                     Some(0),
+                    None,
                 );
             })?;
         Ok(Self {
@@ -715,11 +1142,21 @@ impl TcpWorkerTransport {
             quota: grant.quota,
             pool: BufferPool::new(parmonc_mpi::pool::DEFAULT_POOL_CAPACITY),
             monitor: monitor.clone(),
-            gate: SendGate::new(rank, opts.faults, monitor),
-            mailbox: Mailbox::new(rank, rx, Monitor::disabled(), Some(stats)),
+            gate: SendGate::new(rank, opts.faults.clone(), monitor),
+            mailbox: Mailbox::new(rank, rx, Monitor::disabled(), Some(stats.clone())),
             writer,
             stop,
-            reader: Some(reader),
+            reader: Mutex::new(Some(reader)),
+            stale_readers: Mutex::new(Vec::new()),
+            tx,
+            stats,
+            addr: opts.addr,
+            config_digest: opts.config_digest,
+            epoch: grant.epoch,
+            io_timeout: opts.io_timeout,
+            reconnect: opts.reconnect,
+            faults: opts.faults,
+            next_seq: AtomicU64::new(0),
         })
     }
 
@@ -738,30 +1175,189 @@ impl TcpWorkerTransport {
         self.quota
     }
 
+    /// The session epoch from the grant; a resumed collector
+    /// re-announces the same epoch, anything else refuses our rejoin.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-establishes the link after a broken send, with the writer
+    /// lock held (so concurrent senders queue behind the recovery
+    /// instead of racing it): hang up the old socket, re-dial on the
+    /// seeded backoff schedule — each attempt first consulting the
+    /// fault plane's partition veto — re-attach with a rejoin
+    /// handshake, swap the stream under the [`FaultyStream`], and
+    /// respawn the reader.
+    fn reconnect_locked(&self, stream: &mut FaultyStream<TcpStream>) -> io::Result<()> {
+        if self.stop.load(Ordering::Relaxed) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "transport is shutting down",
+            ));
+        }
+        // Hang the old connection up explicitly: when only the fault
+        // plane broke the link, the kernel socket is still healthy and
+        // the collector would otherwise keep the half-open connection
+        // (and our rank's writer slot) alive.
+        let _ = stream.get_ref().shutdown(Shutdown::Both);
+        let mut backoff = Backoff::new(self.reconnect, self.rank as u64);
+        let mut last_err: Option<io::Error> = None;
+        loop {
+            let Some(delay) = backoff.next_delay() else {
+                return Err(last_err.unwrap_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "reconnect attempt budget exhausted",
+                    )
+                }));
+            };
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            if self.faults.on_reconnect_attempt(self.rank) {
+                last_err = Some(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "reconnect attempt vetoed by the scripted partition",
+                ));
+                continue;
+            }
+            let dial_timeout = self.reconnect.attempt_timeout.min(self.io_timeout);
+            let candidate = match dial(&self.addr, dial_timeout) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            let configured = candidate
+                .set_nodelay(true)
+                .and_then(|()| candidate.set_read_timeout(Some(self.io_timeout)))
+                .and_then(|()| candidate.set_write_timeout(Some(self.io_timeout)));
+            if let Err(e) = configured {
+                last_err = Some(e);
+                continue;
+            }
+            let rejoin = Rejoin::new(self.config_digest, self.epoch, self.rank as u32);
+            if let Err(e) = write_frame(&mut &candidate, 0, TAG_TCP_REJOIN, &rejoin.encode()) {
+                last_err = Some(e);
+                continue;
+            }
+            let grant = match read_grant(&candidate) {
+                Ok(grant) => grant,
+                // A reject is final: the collector will answer every
+                // retry the same way (wrong epoch, retired rank, ...).
+                Err(HandshakeError::Permanent(e)) => return Err(e),
+                Err(HandshakeError::Transient(e)) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            if grant.rank as usize != self.rank || grant.epoch != self.epoch {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "rejoin grant does not match the original lease",
+                ));
+            }
+            let prepared = candidate
+                .set_read_timeout(Some(READ_POLL))
+                .and_then(|()| candidate.try_clone());
+            let write_half = match prepared {
+                Ok(clone) => clone,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            // The link is back. The old reader exits on its own (its
+            // socket is shut down); joining it here could deadlock —
+            // it may be blocked forwarding an event through the very
+            // writer lock we hold — so it is parked for drop instead.
+            stream.replace(write_half);
+            let patient = PatientReader {
+                inner: candidate,
+                stop: Arc::clone(&self.stop),
+            };
+            let thread_monitor = self.monitor.clone();
+            let thread_stats = Arc::clone(&self.stats);
+            let thread_tx = self.tx.clone();
+            let rank = self.rank;
+            let spawned = std::thread::Builder::new()
+                .name(format!("parmonc-tcp-r{rank}"))
+                .spawn(move || {
+                    pump_frames(
+                        patient,
+                        thread_tx,
+                        thread_monitor,
+                        rank,
+                        Some(thread_stats),
+                        Some(0),
+                        None,
+                    );
+                });
+            match spawned {
+                Ok(handle) => {
+                    if let Ok(mut slot) = self.reader.lock() {
+                        let old = slot.replace(handle);
+                        if let (Some(old), Ok(mut stale)) = (old, self.stale_readers.lock()) {
+                            stale.push(old);
+                        }
+                    }
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            }
+            return Ok(());
+        }
+    }
+
     fn raw_send(&self, dest: usize, tag: Tag, payload: &Bytes) -> Result<(), MpiError> {
         if dest != 0 {
             // Star topology, same as the other backends.
             return Err(MpiError::Disconnected);
         }
+        // One sequence number per *logical* send, assigned before any
+        // delivery attempt: a retry after reconnect reuses it, so the
+        // collector can recognize a replay of a frame that actually
+        // arrived before the link broke.
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let mut stream = self.writer.lock().map_err(|_| MpiError::Disconnected)?;
-        write_frame(&mut *stream, self.rank as u32, tag.0, payload)
+        if write_frame_seq(&mut *stream, self.rank as u32, tag.0, seq, payload).is_ok() {
+            return Ok(());
+        }
+        if self.reconnect_locked(&mut stream).is_err() {
+            return Err(MpiError::Disconnected);
+        }
+        write_frame_seq(&mut *stream, self.rank as u32, tag.0, seq, payload)
             .map_err(|_| MpiError::Disconnected)
     }
 }
 
 impl Drop for TcpWorkerTransport {
     fn drop(&mut self) {
-        // A delayed message is late, never lost — then hang up, which
+        // Raise the stop flag first so a dead collector cannot make
+        // the delayed-send flush spin through a reconnect schedule at
+        // teardown; on a live link the flush still delivers — a
+        // delayed message is late, never lost. Then hang up, which
         // unblocks our reader and tells the collector we left.
+        self.stop.store(true, Ordering::Relaxed);
         let _ = self
             .gate
             .flush_delayed(true, &|d, t, p| self.raw_send(d, t, p));
-        self.stop.store(true, Ordering::Relaxed);
         if let Ok(stream) = self.writer.lock() {
-            let _ = stream.shutdown(Shutdown::Both);
+            let _ = stream.get_ref().shutdown(Shutdown::Both);
         }
-        if let Some(handle) = self.reader.take() {
-            let _ = handle.join();
+        if let Ok(mut slot) = self.reader.lock() {
+            if let Some(handle) = slot.take() {
+                let _ = handle.join();
+            }
+        }
+        if let Ok(mut stale) = self.stale_readers.lock() {
+            for handle in stale.drain(..) {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -823,11 +1419,20 @@ impl Transport for TcpWorkerTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parmonc_faults::FaultPlan;
     use std::time::Instant;
 
     const TIMEOUT: Duration = Duration::from_secs(5);
 
     fn collector(size: usize, quotas: Vec<u64>) -> TcpCollectorTransport {
+        collector_with(size, quotas, None)
+    }
+
+    fn collector_with(
+        size: usize,
+        quotas: Vec<u64>,
+        resume: Option<LeaseSnapshot>,
+    ) -> TcpCollectorTransport {
         TcpCollectorTransport::listen(ListenOptions {
             addr: "127.0.0.1:0".into(),
             size,
@@ -836,16 +1441,28 @@ mod tests {
             config_digest: 42,
             quotas,
             io_timeout: TIMEOUT,
+            resume,
+            persist: None,
         })
         .expect("listen on loopback")
     }
 
     fn join(addr: String, digest: u64) -> io::Result<TcpWorkerTransport> {
+        join_with(addr, digest, FaultHandle::disabled())
+    }
+
+    fn join_with(addr: String, digest: u64, faults: FaultHandle) -> io::Result<TcpWorkerTransport> {
         TcpWorkerTransport::join(JoinOptions {
             addr,
             config_digest: digest,
-            faults: FaultHandle::disabled(),
+            faults,
             io_timeout: TIMEOUT,
+            reconnect: ReconnectPolicy {
+                attempts: 3,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(20),
+                attempt_timeout: TIMEOUT,
+            },
         })
     }
 
@@ -859,15 +1476,36 @@ mod tests {
         Reject::decode(&reply.payload).expect("well-formed reject")
     }
 
+    /// Dials a raw join and returns the open stream plus the grant.
+    fn raw_join(addr: SocketAddr) -> (TcpStream, Grant) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+        write_frame(&mut stream, 0, TAG_TCP_JOIN, &JoinRequest::new(42).encode()).unwrap();
+        let reply = read_frame(&mut &stream).unwrap().expect("a reply frame");
+        assert_eq!(reply.tag, TAG_TCP_GRANT);
+        let grant = Grant::decode(&reply.payload).expect("well-formed grant");
+        (stream, grant)
+    }
+
+    /// Dials a raw rejoin and returns the raw reply frame.
+    fn raw_rejoin(addr: SocketAddr, rejoin: &Rejoin) -> crate::frame::Frame {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+        write_frame(&mut stream, 0, TAG_TCP_REJOIN, &rejoin.encode()).unwrap();
+        read_frame(&mut &stream).unwrap().expect("a reply frame")
+    }
+
     #[test]
     fn grants_a_lease_and_round_trips_envelopes() {
         let mut collector = collector(2, vec![125]);
         let addr = collector.local_addr().to_string();
+        let epoch = collector.epoch();
         let worker_side = std::thread::spawn(move || {
             let mut worker = join(addr, 42).expect("join succeeds");
             assert_eq!(worker.rank(), 1);
             assert_eq!(worker.size(), 2);
             assert_eq!(worker.granted_quota(), 125);
+            assert_eq!(worker.epoch(), epoch);
             worker.send(0, Tag(7), b"subtotal").unwrap();
             let env = worker.recv(Some(0), Some(Tag(9))).unwrap();
             assert_eq!(&env.payload[..], b"ack");
@@ -945,6 +1583,223 @@ mod tests {
                 }
             }
         }
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn rejoin_regrants_the_rank_and_dedups_replayed_sequences() {
+        let mut collector = collector(2, vec![10]);
+        let addr = collector.local_addr();
+        let (mut first, grant) = raw_join(addr);
+        assert_eq!(grant.rank, 1);
+        write_frame_seq(&mut first, 1, 7, 1, b"one").unwrap();
+        write_frame_seq(&mut first, 1, 7, 2, b"two").unwrap();
+        assert_eq!(
+            &collector.recv(Some(1), Some(Tag(7))).unwrap().payload[..],
+            b"one"
+        );
+        assert_eq!(
+            &collector.recv(Some(1), Some(Tag(7))).unwrap().payload[..],
+            b"two"
+        );
+        first.shutdown(Shutdown::Both).unwrap();
+
+        // Rejoin with the granted epoch: same rank comes back, and a
+        // replay of seq 2 (which already arrived) is dropped while the
+        // fresh seq 3 is delivered — exactly-once across the break.
+        let mut second = TcpStream::connect(addr).unwrap();
+        second.set_read_timeout(Some(TIMEOUT)).unwrap();
+        let rejoin = Rejoin::new(42, grant.epoch, 1);
+        write_frame(&mut second, 0, TAG_TCP_REJOIN, &rejoin.encode()).unwrap();
+        let reply = read_frame(&mut &second).unwrap().expect("a reply frame");
+        assert_eq!(reply.tag, TAG_TCP_GRANT);
+        let regrant = Grant::decode(&reply.payload).unwrap();
+        assert_eq!(regrant.rank, 1);
+        assert_eq!(regrant.epoch, grant.epoch);
+        write_frame_seq(&mut second, 1, 7, 2, b"two").unwrap();
+        write_frame_seq(&mut second, 1, 7, 3, b"three").unwrap();
+        let env = collector.recv(Some(1), Some(Tag(7))).unwrap();
+        assert_eq!(
+            &env.payload[..],
+            b"three",
+            "replayed seq 2 must be deduplicated"
+        );
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn rejoin_with_the_wrong_epoch_is_rejected() {
+        let mut collector = collector(2, vec![10]);
+        let addr = collector.local_addr();
+        let (_stream, grant) = raw_join(addr);
+        let reply = raw_rejoin(addr, &Rejoin::new(42, grant.epoch.wrapping_add(1), 1));
+        assert_eq!(reply.tag, TAG_TCP_REJECT);
+        let reject = Reject::decode(&reply.payload).unwrap();
+        assert_eq!(reject.code, RejectCode::EpochMismatch);
+        assert!(reject.reason.contains("epoch"), "{}", reject.reason);
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn rejoin_of_a_never_leased_rank_is_rejected() {
+        let mut collector = collector(3, vec![5, 5]);
+        let addr = collector.local_addr();
+        let reply = raw_rejoin(addr, &Rejoin::new(42, collector.epoch(), 2));
+        assert_eq!(reply.tag, TAG_TCP_REJECT);
+        let reject = Reject::decode(&reply.payload).unwrap();
+        assert_eq!(reject.code, RejectCode::BudgetExhausted);
+        assert!(reject.reason.contains("never leased"), "{}", reject.reason);
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn lease_snapshot_round_trips_and_resume_preserves_the_session() {
+        let mut first = collector(3, vec![5, 5]);
+        let addr = first.local_addr();
+        let (_stream, grant) = raw_join(addr);
+        assert_eq!(grant.rank, 1);
+        let snapshot = first.snapshot();
+        assert_eq!(snapshot.epoch, first.epoch());
+        assert_eq!(snapshot.ever_leased, vec![true, false]);
+        assert_eq!(
+            LeaseSnapshot::decode(&snapshot.encode()),
+            Some(snapshot.clone())
+        );
+        first.shutdown().unwrap();
+
+        // A restarted collector armed with the snapshot announces the
+        // same epoch and lets the leased rank rejoin — while a fresh
+        // join is dealt the still-untouched rank 2, not rank 1.
+        let mut second = collector_with(3, vec![5, 5], Some(snapshot));
+        assert_eq!(second.epoch(), grant.epoch);
+        let addr2 = second.local_addr();
+        let reply = raw_rejoin(addr2, &Rejoin::new(42, grant.epoch, 1));
+        assert_eq!(reply.tag, TAG_TCP_GRANT);
+        assert_eq!(Grant::decode(&reply.payload).unwrap().rank, 1);
+        let (_join2, grant2) = raw_join(addr2);
+        assert_eq!(grant2.rank, 2, "fresh joiners get untouched ranks");
+        second.shutdown().unwrap();
+    }
+
+    #[test]
+    fn lease_table_is_persisted_before_each_grant() {
+        let dir =
+            std::env::temp_dir().join(format!("parmonc-lease-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("leases.dat");
+        let mut collector = TcpCollectorTransport::listen(ListenOptions {
+            addr: "127.0.0.1:0".into(),
+            size: 3,
+            monitor: Monitor::disabled(),
+            faults: FaultHandle::disabled(),
+            config_digest: 42,
+            quotas: vec![5, 5],
+            io_timeout: TIMEOUT,
+            resume: None,
+            persist: Some(path.clone()),
+        })
+        .expect("listen on loopback");
+        // The session epoch hits disk at bind time, before any join.
+        let snapshot =
+            LeaseSnapshot::decode(&std::fs::read_to_string(&path).unwrap()).expect("valid table");
+        assert_eq!(snapshot.epoch, collector.epoch());
+        assert_eq!(snapshot.ever_leased, vec![false, false]);
+        // By the time a worker holds its grant, the lease is durable:
+        // persist happens strictly before the grant frame is written.
+        let (_stream, grant) = raw_join(collector.local_addr());
+        let snapshot = LeaseSnapshot::decode(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(snapshot.ever_leased[grant.rank as usize - 1]);
+        // Retirement (budget reassignment) is persisted too.
+        collector.retire_rank(2);
+        let snapshot = LeaseSnapshot::decode(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(snapshot.retired, vec![false, true]);
+        collector.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lease_snapshots_fail_to_decode() {
+        let good = LeaseSnapshot {
+            epoch: 7,
+            size: 3,
+            ever_leased: vec![true, false],
+            retired: vec![false, true],
+            last_seqs: vec![12, 0],
+        };
+        let text = good.encode();
+        assert_eq!(LeaseSnapshot::decode(&text), Some(good));
+        assert_eq!(LeaseSnapshot::decode(""), None);
+        assert_eq!(LeaseSnapshot::decode("parmonc-leases v1\n"), None);
+        let truncated = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert_eq!(LeaseSnapshot::decode(&truncated), None);
+        let padded = format!("{text}extra\n");
+        assert_eq!(LeaseSnapshot::decode(&padded), None);
+    }
+
+    #[test]
+    fn worker_transport_survives_a_scripted_severance() {
+        // The fault plane severs rank 1's link after 2 frames; the
+        // worker transport must reconnect on its own and every
+        // envelope must arrive exactly once.
+        let mut collector = collector(2, vec![10]);
+        let addr = collector.local_addr().to_string();
+        let faults = FaultPlan::new(9).sever_connection(1, 2).build();
+        let worker_side = std::thread::spawn(move || {
+            let worker = join_with(addr, 42, faults).expect("join succeeds");
+            for i in 0..5u8 {
+                worker
+                    .send(0, Tag(7), &[i])
+                    .expect("send survives the severance");
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            let env = collector.recv(Some(1), Some(Tag(7))).unwrap();
+            got.push(env.payload[0]);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        worker_side.join().unwrap();
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn scripted_partition_blocks_reconnects_until_it_lifts() {
+        // Sever after 1 frame, then veto the first 2 reconnect
+        // attempts: the worker still gets through on the third.
+        let mut collector = collector(2, vec![10]);
+        let addr = collector.local_addr().to_string();
+        let faults = FaultPlan::new(9)
+            .sever_connection(1, 1)
+            .partition(&[1], 1, 2)
+            .build();
+        let worker_side = std::thread::spawn(move || {
+            let worker = TcpWorkerTransport::join(JoinOptions {
+                addr,
+                config_digest: 42,
+                faults,
+                io_timeout: TIMEOUT,
+                reconnect: ReconnectPolicy {
+                    attempts: 6,
+                    base_delay: Duration::from_millis(2),
+                    max_delay: Duration::from_millis(8),
+                    attempt_timeout: TIMEOUT,
+                },
+            })
+            .expect("join succeeds");
+            worker.send(0, Tag(7), b"before").unwrap();
+            worker
+                .send(0, Tag(7), b"after")
+                .expect("send rides out the partition");
+        });
+        assert_eq!(
+            &collector.recv(Some(1), Some(Tag(7))).unwrap().payload[..],
+            b"before"
+        );
+        assert_eq!(
+            &collector.recv(Some(1), Some(Tag(7))).unwrap().payload[..],
+            b"after"
+        );
+        worker_side.join().unwrap();
         collector.shutdown().unwrap();
     }
 }

@@ -33,6 +33,8 @@ use parmonc_mpi::pool::BufferPool;
 use parmonc_mpi::transport::Transport;
 use parmonc_obs::Monitor;
 
+use crate::backoff::{self, ReconnectPolicy};
+use crate::faulty::FaultyStream;
 use crate::frame::{read_frame, write_frame, TAG_IPC_HELLO};
 use crate::link::{pump_frames, ForwardSink, InboxStats, Mailbox, SendGate};
 use crate::worker::{WorkerInfo, WORKER_FLAG};
@@ -369,7 +371,7 @@ pub struct ChildTransport {
     monitor: Monitor,
     gate: SendGate,
     mailbox: Mailbox,
-    writer: Arc<Mutex<UnixStream>>,
+    writer: Arc<Mutex<FaultyStream<UnixStream>>>,
 }
 
 impl ChildTransport {
@@ -380,14 +382,24 @@ impl ChildTransport {
     ///
     /// Connection or handshake-write failures.
     pub fn connect(info: &WorkerInfo, faults: FaultHandle) -> io::Result<Self> {
-        let mut stream = connect_with_retry(&info.socket)?;
+        let mut stream = connect_with_retry(&info.socket, info.rank as u64)?;
         write_frame(
             &mut stream,
             info.rank as u32,
             TAG_IPC_HELLO,
             info.token.as_bytes(),
         )?;
-        let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        // The hello above is pre-wrap on purpose: handshake frames do
+        // not consume net-fault frame ordinals, so a seeded plan
+        // replays identically on the TCP backend (whose handshake is
+        // likewise unwrapped). The Unix backend has no reconnect path
+        // — a scripted severance here is a permanent worker loss,
+        // handled by the collector's liveness plane.
+        let writer = Arc::new(Mutex::new(FaultyStream::new(
+            stream.try_clone()?,
+            info.rank,
+            faults.clone(),
+        )));
         let monitor = if info.monitor {
             Monitor::new(vec![Box::new(ForwardSink::new(
                 Arc::clone(&writer),
@@ -407,7 +419,15 @@ impl ChildTransport {
         std::thread::Builder::new()
             .name(format!("parmonc-ipc-r{rank}"))
             .spawn(move || {
-                pump_frames(stream, tx, thread_monitor, rank, Some(thread_stats), None)
+                pump_frames(
+                    stream,
+                    tx,
+                    thread_monitor,
+                    rank,
+                    Some(thread_stats),
+                    None,
+                    None,
+                )
             })?;
         Ok(Self {
             rank,
@@ -518,21 +538,18 @@ fn spawn_token() -> String {
     format!("{:032x}", nanos ^ (u128::from(std::process::id()) << 64))
 }
 
-fn connect_with_retry(socket: &std::path::Path) -> io::Result<UnixStream> {
+fn connect_with_retry(socket: &std::path::Path, seed: u64) -> io::Result<UnixStream> {
     // The parent binds before spawning, so the first attempt should
-    // succeed; retry briefly to absorb slow filesystem visibility.
-    let deadline = Instant::now() + Duration::from_secs(5);
-    loop {
-        match UnixStream::connect(socket) {
-            Ok(stream) => return Ok(stream),
-            Err(e) => {
-                if Instant::now() >= deadline {
-                    return Err(e);
-                }
-                std::thread::sleep(Duration::from_millis(20));
-            }
-        }
-    }
+    // succeed; retry briefly (the shared seeded backoff schedule,
+    // ~2.5–5 s of nominal coverage) to absorb slow filesystem
+    // visibility.
+    let policy = ReconnectPolicy {
+        attempts: 12,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_secs(1),
+        attempt_timeout: Duration::from_secs(5),
+    };
+    backoff::retry(policy, seed, |_| UnixStream::connect(socket))
 }
 
 /// Accepts connections until every rank `1..size` has presented a
@@ -600,6 +617,7 @@ fn accept_workers(
                         thread_monitor,
                         0,
                         Some(thread_stats),
+                        Some(rank as u32),
                         None,
                     )
                 })?,

@@ -115,6 +115,17 @@ pub trait Transport {
         let _ = rank;
     }
 
+    /// A serialized image of this transport's membership state, for
+    /// persistence alongside a run checkpoint — enough for a restarted
+    /// collector to resume the same session (lease table, session
+    /// epoch, per-rank dedup state). `None` for fixed-membership
+    /// substrates, where membership is rebuilt by construction and
+    /// there is nothing to persist; the TCP collector returns its
+    /// encoded lease snapshot.
+    fn membership_snapshot(&self) -> Option<String> {
+        None
+    }
+
     /// Blocks until every rank has entered the barrier.
     ///
     /// # Errors

@@ -296,6 +296,30 @@ pub enum EventKind {
         /// The departing logical rank.
         worker: usize,
     },
+    /// A worker that already held a lease re-attached after a broken
+    /// connection or a collector restart, keeping its rank (TCP
+    /// backend only).
+    WorkerReconnected {
+        /// The rank that re-attached.
+        worker: usize,
+    },
+    /// A restarted collector re-armed an interrupted run: the lease
+    /// table and checkpoint were reloaded and the original session
+    /// epoch re-announced (TCP backend only).
+    CollectorResumed {
+        /// The session epoch, in lowercase hex (a string because JSON
+        /// numbers lose precision above 2^53).
+        epoch: String,
+        /// How many worker ranks had ever been leased before the crash.
+        leases: usize,
+    },
+    /// A reader hit EOF in the middle of a frame — the peer died (or
+    /// the fault plane tore the frame) mid-write. The partial frame is
+    /// rejected, never delivered.
+    TornFrame {
+        /// The rank whose link carried the torn frame.
+        source: usize,
+    },
 }
 
 impl EventKind {
@@ -320,11 +344,14 @@ impl EventKind {
             Self::TargetPrecisionReached { .. } => "target_precision_reached",
             Self::WorkerJoined { .. } => "worker_joined",
             Self::WorkerLeft { .. } => "worker_left",
+            Self::WorkerReconnected { .. } => "worker_reconnected",
+            Self::CollectorResumed { .. } => "collector_resumed",
+            Self::TornFrame { .. } => "torn_frame",
         }
     }
 
     /// Every kind name, in schema order.
-    pub const ALL_KINDS: [&'static str; 17] = [
+    pub const ALL_KINDS: [&'static str; 20] = [
         "run_started",
         "realizations",
         "message_sent",
@@ -342,16 +369,22 @@ impl EventKind {
         "target_precision_reached",
         "worker_joined",
         "worker_left",
+        "worker_reconnected",
+        "collector_resumed",
+        "torn_frame",
     ];
 
     /// The kinds only emitted on fault/recovery paths; a fault-free run
     /// exercises exactly `ALL_KINDS` minus these and
     /// [`Self::CONDITIONAL_KINDS`].
-    pub const FAULT_KINDS: [&'static str; 4] = [
+    pub const FAULT_KINDS: [&'static str; 7] = [
         "fault_injected",
         "worker_lost",
         "work_reassigned",
         "checkpoint_recovered",
+        "worker_reconnected",
+        "collector_resumed",
+        "torn_frame",
     ];
 
     /// The kinds that depend on run configuration rather than run
@@ -578,6 +611,16 @@ impl Event {
             EventKind::WorkerLeft { worker } => {
                 let _ = write!(s, ",\"worker\":{worker}");
             }
+            EventKind::WorkerReconnected { worker } => {
+                let _ = write!(s, ",\"worker\":{worker}");
+            }
+            EventKind::CollectorResumed { epoch, leases } => {
+                // The epoch is hex digits only, never needing escapes.
+                let _ = write!(s, ",\"epoch\":\"{epoch}\",\"leases\":{leases}");
+            }
+            EventKind::TornFrame { source } => {
+                let _ = write!(s, ",\"source\":{source}");
+            }
         }
         s.push('}');
         s
@@ -667,6 +710,12 @@ mod tests {
                 addr: None,
             },
             EventKind::WorkerLeft { worker: 0 },
+            EventKind::WorkerReconnected { worker: 0 },
+            EventKind::CollectorResumed {
+                epoch: "0".into(),
+                leases: 0,
+            },
+            EventKind::TornFrame { source: 0 },
         ];
         let names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
         assert_eq!(names, EventKind::ALL_KINDS);

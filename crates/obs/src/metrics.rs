@@ -853,6 +853,15 @@ impl EventSink for MetricsSink {
             EventKind::WorkerLeft { .. } => {
                 r.inc_counter("parmonc_workers_left_total", 1.0);
             }
+            EventKind::WorkerReconnected { .. } => {
+                r.inc_counter("parmonc_workers_reconnected_total", 1.0);
+            }
+            EventKind::CollectorResumed { .. } => {
+                r.inc_counter("parmonc_collector_resumes_total", 1.0);
+            }
+            EventKind::TornFrame { .. } => {
+                r.inc_counter("parmonc_torn_frames_total", 1.0);
+            }
         }
         if self.prom_path.is_some() {
             let mut state = self.state.lock().expect("metrics sink poisoned");

@@ -159,6 +159,10 @@ fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
         "torn_write",
         "bit_flip",
         "io_interrupt",
+        "net_sever",
+        "net_stall",
+        "net_tear",
+        "net_partition",
     ];
     Some(match kind {
         "run_started" => (
@@ -238,6 +242,9 @@ fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
         ),
         "worker_joined" => (&[("worker", UInt)][..], &[("addr", Enum(&[]))][..]),
         "worker_left" => (&[("worker", UInt)][..], &[][..]),
+        "worker_reconnected" => (&[("worker", UInt)][..], &[][..]),
+        "collector_resumed" => (&[("epoch", Enum(&[])), ("leases", UInt)][..], &[][..]),
+        "torn_frame" => (&[("source", UInt)][..], &[][..]),
         _ => return None,
     })
 }
@@ -457,6 +464,16 @@ pub fn parse_line(line: &str) -> Result<Event, String> {
         "worker_left" => EventKind::WorkerLeft {
             worker: uint("worker") as usize,
         },
+        "worker_reconnected" => EventKind::WorkerReconnected {
+            worker: uint("worker") as usize,
+        },
+        "collector_resumed" => EventKind::CollectorResumed {
+            epoch: text("epoch"),
+            leases: uint("leases") as usize,
+        },
+        "torn_frame" => EventKind::TornFrame {
+            source: uint("source") as usize,
+        },
         _ => unreachable!("validate_line only returns known kinds"),
     };
     Ok(Event {
@@ -559,6 +576,12 @@ mod tests {
                 addr: Some("10.0.0.5:49152".into()),
             },
             EventKind::WorkerLeft { worker: 2 },
+            EventKind::WorkerReconnected { worker: 2 },
+            EventKind::CollectorResumed {
+                epoch: "1f9add3c0e7b2a45".into(),
+                leases: 3,
+            },
+            EventKind::TornFrame { source: 2 },
         ]
     }
 

@@ -74,6 +74,15 @@ pub struct MonitorSummary {
     /// Elastic-membership departures (TCP backend): connections that
     /// closed, whether by worker exit, crash, or run shutdown.
     pub workers_left: u64,
+    /// Leased workers that re-attached after a broken connection or a
+    /// collector restart (TCP backend).
+    pub workers_reconnected: u64,
+    /// Collector restarts that resumed an interrupted run from the
+    /// persisted lease table and checkpoint (TCP backend).
+    pub collector_resumes: u64,
+    /// Frames rejected because the sender died (or the fault plane cut
+    /// the link) mid-write.
+    pub torn_frames: u64,
     /// Resumes recovered from a `.bak` checkpoint generation.
     pub checkpoint_recoveries: u64,
     /// Convergence snapshots (`metrics_snapshot`) in the trace.
@@ -201,6 +210,15 @@ impl MonitorSummary {
                 EventKind::WorkerLeft { .. } => {
                     s.workers_left += 1;
                 }
+                EventKind::WorkerReconnected { .. } => {
+                    s.workers_reconnected += 1;
+                }
+                EventKind::CollectorResumed { .. } => {
+                    s.collector_resumes += 1;
+                }
+                EventKind::TornFrame { .. } => {
+                    s.torn_frames += 1;
+                }
             }
         }
         s
@@ -279,6 +297,13 @@ impl MonitorSummary {
                 out,
                 "  workers joined {} | workers left {}",
                 self.workers_joined, self.workers_left
+            );
+        }
+        if self.workers_reconnected > 0 || self.collector_resumes > 0 || self.torn_frames > 0 {
+            let _ = writeln!(
+                out,
+                "  workers reconnected {} | collector resumes {} | torn frames {}",
+                self.workers_reconnected, self.collector_resumes, self.torn_frames
             );
         }
         if self.faults_injected > 0

@@ -1,8 +1,9 @@
-//! Chaos integration: seeded fault matrices driven through both
-//! engines — the real-thread runner (`mpi_*` tests) and the virtual
-//! cluster simulator (`simcluster_*` tests) — plus the resume-after-
-//! crash and framing-robustness satellites. CI runs the two prefixes
-//! as separate matrix jobs.
+//! Chaos integration: seeded fault matrices driven through three
+//! engines — the real-thread runner (`mpi_*` tests), the virtual
+//! cluster simulator (`simcluster_*` tests), and the loopback TCP
+//! backend with scripted link severance (`tcp_*` tests) — plus the
+//! resume-after-crash and framing-robustness satellites. CI runs the
+//! prefixes as separate matrix jobs.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -180,6 +181,100 @@ fn simcluster_chaos_matrix_eight_seeds() {
         for kind in ["fault_injected", "worker_lost", "work_reassigned"] {
             assert!(kinds.contains(kind), "seed {seed}: no {kind} event");
         }
+    }
+}
+
+/// Blocks until the collector under `dir` publishes its bound address
+/// in `parmonc_data/collector.addr` (the ephemeral-port discovery path).
+fn wait_for_addr(dir: &std::path::Path) -> String {
+    let path = dir.join("parmonc_data").join("collector.addr");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "collector never wrote {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The CI chaos matrix, TCP half: seeded plans sever each worker's link
+/// mid-run; the seeded reconnect/backoff heals every outage, the run
+/// completes at full volume with no workers declared lost, and the
+/// collector's trace records the rejoins.
+#[test]
+fn tcp_chaos_matrix_severed_links_heal() {
+    for seed in 0..4u64 {
+        let plan = move || {
+            FaultPlan::new(seed)
+                .sever_connection(1, 8 + seed)
+                .sever_connection(2, 20 + seed)
+        };
+        let collector_dir = tempdir(&format!("tcp-matrix-c{seed}"));
+        let collector = {
+            let dir = collector_dir.clone();
+            std::thread::spawn(move || {
+                Parmonc::builder(1, 1)
+                    .max_sample_volume(900)
+                    .processors(3)
+                    .seqnum(seed)
+                    .exchange(Exchange::EveryRealization)
+                    .faults(plan())
+                    .monitor()
+                    .listen("127.0.0.1:0")
+                    .output_dir(dir)
+                    .run(uniform())
+            })
+        };
+        let addr = wait_for_addr(&collector_dir);
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                let addr = addr.clone();
+                let dir = tempdir(&format!("tcp-matrix-w{seed}-{i}"));
+                std::thread::spawn(move || {
+                    Parmonc::builder(1, 1)
+                        .max_sample_volume(900)
+                        .processors(3)
+                        .seqnum(seed)
+                        .exchange(Exchange::EveryRealization)
+                        .faults(plan())
+                        .join(addr)
+                        .output_dir(dir)
+                        .run_worker(uniform())
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap().unwrap();
+        }
+        let report = collector.join().unwrap().unwrap();
+        assert!(
+            report.lost_workers.is_empty(),
+            "seed {seed}: lost {:?}",
+            report.lost_workers
+        );
+        assert!(
+            report.new_volume >= 900,
+            "seed {seed}: volume {}",
+            report.new_volume
+        );
+        assert!(
+            (report.summary.means[0] - 0.5).abs() < 0.06,
+            "seed {seed}: mean {}",
+            report.summary.means[0]
+        );
+        let kinds = validated_kinds(&report);
+        assert!(
+            kinds.contains("worker_reconnected"),
+            "seed {seed}: trace never recorded a rejoin: {kinds:?}"
+        );
     }
 }
 

@@ -519,3 +519,100 @@ fn tcp_joiner_after_budget_reassignment_is_rejected() {
     );
     assert_eq!(report.lost_workers, vec![1]);
 }
+
+/// The full resilience story in one run: a worker's link is severed
+/// mid-run by the fault plane and heals via the seeded reconnect, the
+/// collector itself crashes (scripted) mid-run, and a second collector
+/// process resumes the session with `resume_listen` — same epoch, same
+/// leases, accumulation restarted from the original baseline. The
+/// surviving workers rejoin, re-send their cumulative subtotals
+/// (idempotent under replace-then-sum), and the run completes with
+/// estimates *bit-identical* to a fault-free thread-backend run.
+#[test]
+fn severed_and_collector_crashed_tcp_run_resumes_bit_identically() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    use parmonc::ParmoncError;
+    let configure = |b: ParmoncBuilder, dir: PathBuf| {
+        b.max_sample_volume(3_000)
+            .processors(3)
+            .seqnum(7)
+            .exchange(Exchange::EveryRealization)
+            .monitor()
+            .output_dir(dir)
+    };
+    // Generous retry budget: the workers must ride out the whole
+    // collector outage (crash detection + restart) on their backoff.
+    let tune = |b: ParmoncBuilder| {
+        b.reconnect_attempts(200)
+            .reconnect_base_delay(Duration::from_millis(10))
+            .reconnect_max_delay(Duration::from_millis(100))
+    };
+    let collector_dir = scratch("tcp-resume-collector");
+    // Worker 1's link is severed at its 40th frame (it reconnects and
+    // rejoins on its own); the collector crashes after 50 of its own
+    // realizations — early enough that both workers are mid-quota.
+    let crashing_plan = || FaultPlan::new(13).sever_connection(1, 40).crash_rank(0, 50);
+    let collector = {
+        let dir = collector_dir.clone();
+        std::thread::spawn(move || {
+            configure(Parmonc::builder(1, 2), dir)
+                .faults(crashing_plan())
+                .listen("127.0.0.1:0")
+                .run(uniform())
+        })
+    };
+    let addr = wait_for_addr(&collector_dir);
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            let dir = scratch(&format!("tcp-resume-worker{i}"));
+            std::thread::spawn(move || {
+                tune(configure(Parmonc::builder(1, 2), dir))
+                    .faults(crashing_plan())
+                    .join(addr)
+                    .run_worker(uniform())
+            })
+        })
+        .collect();
+
+    // The first collector incarnation dies by script...
+    let err = collector.join().unwrap().unwrap_err();
+    assert!(
+        matches!(err, ParmoncError::CollectorCrashed { .. }),
+        "expected the scripted collector crash, got: {err}"
+    );
+    // ... and a second one resumes the session on the same address and
+    // output directory, with a crash-free plan. The workers' reconnect
+    // backoff covers the gap.
+    let resumed = {
+        let dir = collector_dir.clone();
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            configure(Parmonc::builder(1, 2), dir)
+                .resume_listen(addr)
+                .run(uniform())
+        })
+    };
+    for w in workers {
+        w.join().unwrap().unwrap();
+    }
+    let tcp = resumed.join().unwrap().unwrap();
+
+    let threads = configure(Parmonc::builder(1, 2), scratch("tcp-resume-threads"))
+        .transport(Transport::Threads)
+        .run(uniform())
+        .unwrap();
+
+    assert!(tcp.lost_workers.is_empty(), "lost: {:?}", tcp.lost_workers);
+    assert_eq!(
+        tcp.summary, threads.summary,
+        "estimates must survive the crash bit-identically"
+    );
+    assert_eq!(tcp.total_volume, threads.total_volume);
+    assert_eq!(tcp.worker_volumes, threads.worker_volumes);
+
+    // The resumed trace records the resume and the workers' rejoins.
+    let kinds = trace_kinds(&tcp);
+    assert!(kinds.contains("collector_resumed"), "kinds: {kinds:?}");
+    assert!(kinds.contains("worker_reconnected"), "kinds: {kinds:?}");
+}
