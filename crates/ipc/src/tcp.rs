@@ -276,6 +276,16 @@ impl LeaseState {
                     .find(free)
                     .map(|(i, _)| i)
             })?;
+        if self.ever_leased[slot] {
+            // A fresh joiner (a new worker incarnation — crash-restart
+            // has no rank/epoch to Rejoin with) is taking over a
+            // dropped rank. Its sequence numbers restart at 1, so the
+            // old incarnation's dedup high-water mark must not swallow
+            // its heartbeats and subtotals: redoing the range is
+            // idempotent under replace-then-sum, and dedup is only
+            // needed *within* one incarnation's rejoin replays.
+            self.last_seqs[slot].store(0, Ordering::Relaxed);
+        }
         self.writers[slot] = Some(writer);
         self.ever_leased[slot] = true;
         self.generation[slot] += 1;
@@ -327,6 +337,13 @@ impl LeaseState {
 /// lost write degrades a *future* crash-resume to a stale (or absent)
 /// table, which the rejoin validation handles; it must never disturb
 /// the running session.
+///
+/// Callers hold the lease lock across the snapshot *and* this write.
+/// Handshake threads (admit) and the main thread (`retire_rank`) both
+/// persist; without that critical section they could truncate the
+/// shared temp file concurrently and rename a torn table into place,
+/// or rename an older snapshot over a newer one — losing, e.g., a
+/// retired bit whose rank would then be double-counted on resume.
 fn persist_lease_table(path: &std::path::Path, snapshot: &LeaseSnapshot) {
     let write = || -> io::Result<()> {
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
@@ -379,11 +396,14 @@ pub struct ListenOptions {
     pub persist: Option<std::path::PathBuf>,
 }
 
-/// Everything the acceptor thread needs to admit a joiner.
+/// Everything a handshake thread needs to admit a joiner.
 struct AcceptorCtx {
     stop: Arc<AtomicBool>,
     lease: Arc<Mutex<LeaseState>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// In-flight handshake threads (see [`accept_loop`]); joined at
+    /// shutdown so no admit can race the teardown.
+    handshakes: Arc<Mutex<Vec<JoinHandle<()>>>>,
     tx: Sender<Envelope>,
     monitor: Monitor,
     stats: Arc<InboxStats>,
@@ -417,6 +437,7 @@ pub struct TcpCollectorTransport {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    handshakes: Arc<Mutex<Vec<JoinHandle<()>>>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     persist: Option<std::path::PathBuf>,
     shut_down: bool,
@@ -484,20 +505,22 @@ impl TcpCollectorTransport {
             last_seqs,
         }));
         let readers = Arc::new(Mutex::new(Vec::new()));
+        let handshakes = Arc::new(Mutex::new(Vec::new()));
         if let Some(path) = &opts.persist {
             // Capture the session epoch on disk before any worker can
             // join, so even a pre-join crash resumes the same session.
-            let snapshot = lease
-                .lock()
-                .map(|l| l.snapshot(epoch, opts.size))
-                .unwrap_or_else(|e| e.into_inner().snapshot(epoch, opts.size));
-            persist_lease_table(path, &snapshot);
+            // Like every persist, the snapshot and the write share one
+            // lease-lock critical section (see [`persist_lease_table`]).
+            if let Ok(l) = lease.lock() {
+                persist_lease_table(path, &l.snapshot(epoch, opts.size));
+            }
         }
 
-        let ctx = AcceptorCtx {
+        let ctx = Arc::new(AcceptorCtx {
             stop: Arc::clone(&stop),
             lease: Arc::clone(&lease),
             readers: Arc::clone(&readers),
+            handshakes: Arc::clone(&handshakes),
             tx: tx.clone(),
             monitor: opts.monitor.clone(),
             stats: Arc::clone(&stats),
@@ -507,7 +530,7 @@ impl TcpCollectorTransport {
             epoch,
             io_timeout: opts.io_timeout,
             persist: opts.persist.clone(),
-        };
+        });
         let acceptor = std::thread::Builder::new()
             .name("parmonc-tcp-accept".into())
             .spawn(move || accept_loop(&listener, &ctx))?;
@@ -525,6 +548,7 @@ impl TcpCollectorTransport {
             local_addr,
             stop,
             acceptor: Some(acceptor),
+            handshakes,
             readers,
             persist: opts.persist,
             shut_down: false,
@@ -616,6 +640,16 @@ impl TcpCollectorTransport {
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
+        // With the acceptor gone no new handshake can start; joining
+        // the in-flight ones (bounded by the handshake read timeout)
+        // guarantees no reader is spawned after the drain below.
+        let handshakes: Vec<_> = match self.handshakes.lock() {
+            Ok(mut handshakes) => handshakes.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for handle in handshakes {
+            let _ = handle.join();
+        }
         let handles: Vec<_> = match self.readers.lock() {
             Ok(mut readers) => readers.drain(..).collect(),
             Err(_) => Vec::new(),
@@ -695,17 +729,11 @@ impl Transport for TcpCollectorTransport {
         if rank == 0 || rank >= self.size {
             return;
         }
-        let snapshot = match self.lease.lock() {
-            Ok(mut lease) => {
-                lease.retired[rank - 1] = true;
-                self.persist
-                    .as_deref()
-                    .map(|_| lease.snapshot(self.epoch, self.size))
+        if let Ok(mut lease) = self.lease.lock() {
+            lease.retired[rank - 1] = true;
+            if let Some(path) = &self.persist {
+                persist_lease_table(path, &lease.snapshot(self.epoch, self.size));
             }
-            Err(_) => None,
-        };
-        if let (Some(path), Some(snapshot)) = (&self.persist, snapshot) {
-            persist_lease_table(path, &snapshot);
         }
     }
 
@@ -715,12 +743,37 @@ impl Transport for TcpCollectorTransport {
 }
 
 /// The acceptor: polls the non-blocking listener until shutdown,
-/// admitting (or rejecting) each dialing worker.
-fn accept_loop(listener: &TcpListener, ctx: &AcceptorCtx) {
+/// handing each dialing connection to a short handshake thread. The
+/// handshake reads with the `io_timeout` read timeout, so running it
+/// inline would let one stalled dialer block every other join — and,
+/// worse, the rejoins of healthy reconnecting workers — for up to
+/// `io_timeout` per such connection.
+fn accept_loop(listener: &TcpListener, ctx: &Arc<AcceptorCtx>) {
     while !ctx.stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, peer)) => {
-                let _ = admit(stream, peer, ctx);
+                let hs_ctx = Arc::clone(ctx);
+                let spawned = std::thread::Builder::new()
+                    .name("parmonc-tcp-hs".into())
+                    .spawn(move || {
+                        let _ = admit(stream, peer, &hs_ctx);
+                    });
+                // Spawn failure drops the connection — the dialer sees
+                // EOF and retries on its backoff schedule.
+                if let (Ok(handle), Ok(mut handshakes)) = (spawned, ctx.handshakes.lock()) {
+                    // Reap finished handshakes so the vec stays bounded
+                    // by the number of *concurrent* dialers, not the
+                    // run's total join count.
+                    let mut i = 0;
+                    while i < handshakes.len() {
+                        if handshakes[i].is_finished() {
+                            let _ = handshakes.swap_remove(i).join();
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    handshakes.push(handle);
+                }
             }
             // WouldBlock is the idle case; any other accept error is
             // transient on a healthy listener, so keep serving.
@@ -842,13 +895,8 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
     // holds a grant it will REJOIN with this rank after any crash, and
     // a restarted collector must recognize the lease.
     if let Some(path) = &ctx.persist {
-        let snapshot = ctx
-            .lease
-            .lock()
-            .ok()
-            .map(|l| l.snapshot(ctx.epoch, ctx.size));
-        if let Some(snapshot) = snapshot {
-            persist_lease_table(path, &snapshot);
+        if let Ok(l) = ctx.lease.lock() {
+            persist_lease_table(path, &l.snapshot(ctx.epoch, ctx.size));
         }
     }
     let grant = Grant {
@@ -1080,7 +1128,18 @@ impl TcpWorkerTransport {
     /// collector's reason in the message.
     pub fn join(opts: JoinOptions) -> io::Result<Self> {
         let dial_timeout = opts.reconnect.attempt_timeout.min(opts.io_timeout);
-        let stream = crate::backoff::retry(opts.reconnect, 0, |_| dial(&opts.addr, dial_timeout))?;
+        // The backoff seed identifies the link, but the rank is not
+        // known until the grant — seed the initial dial per process
+        // and per join instead, so a fleet of workers dialing a
+        // not-yet-up collector does not retry in lock-step. (Backoff
+        // timing never feeds the estimates, so a non-deterministic
+        // seed cannot perturb a bit.)
+        static DIAL_NONCE: AtomicU64 = AtomicU64::new(0);
+        let dial_seed = splitmix64(
+            (u64::from(std::process::id()) << 32) ^ DIAL_NONCE.fetch_add(1, Ordering::Relaxed),
+        );
+        let stream =
+            crate::backoff::retry(opts.reconnect, dial_seed, |_| dial(&opts.addr, dial_timeout))?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(opts.io_timeout))?;
         stream.set_write_timeout(Some(opts.io_timeout))?;
@@ -1318,12 +1377,15 @@ impl TcpWorkerTransport {
             // Star topology, same as the other backends.
             return Err(MpiError::Disconnected);
         }
-        // One sequence number per *logical* send, assigned before any
-        // delivery attempt: a retry after reconnect reuses it, so the
-        // collector can recognize a replay of a frame that actually
-        // arrived before the link broke.
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let mut stream = self.writer.lock().map_err(|_| MpiError::Disconnected)?;
+        // One sequence number per *logical* send, assigned under the
+        // writer lock so wire order always matches sequence order — a
+        // lower number written later would be dropped by the
+        // collector's dedup as a "replay" that never arrived. A retry
+        // after reconnect reuses the number, so the collector can
+        // recognize a replay of a frame that actually arrived before
+        // the link broke.
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
         if write_frame_seq(&mut *stream, self.rank as u32, tag.0, seq, payload).is_ok() {
             return Ok(());
         }
@@ -1624,6 +1686,75 @@ mod tests {
             b"three",
             "replayed seq 2 must be deduplicated"
         );
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn fresh_joiner_on_a_dropped_rank_starts_with_clean_dedup_state() {
+        // A crash-restarted worker cannot Rejoin (its rank and epoch
+        // died with the old process), so it comes back as a *fresh*
+        // joiner and its sequence numbers restart at 1. Leasing it the
+        // dropped rank must reset the dedup high-water mark, or every
+        // frame the new incarnation sends — heartbeats and subtotals
+        // alike — would be silently dropped as a replay of the old one.
+        let mut collector = collector(2, vec![10]);
+        let addr = collector.local_addr();
+        let (mut first, grant) = raw_join(addr);
+        assert_eq!(grant.rank, 1);
+        write_frame_seq(&mut first, 1, 7, 1, b"one").unwrap();
+        write_frame_seq(&mut first, 1, 7, 2, b"two").unwrap();
+        for _ in 0..2 {
+            collector.recv(Some(1), Some(Tag(7))).unwrap();
+        }
+        first.shutdown(Shutdown::Both).unwrap();
+        drop(first);
+
+        // Wait for the collector to free the lease, then join fresh.
+        let deadline = Instant::now() + TIMEOUT;
+        let (mut second, regrant) = loop {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+            write_frame(&mut stream, 0, TAG_TCP_JOIN, &JoinRequest::new(42).encode()).unwrap();
+            let reply = read_frame(&mut &stream).unwrap().expect("a reply frame");
+            if reply.tag == TAG_TCP_GRANT {
+                break (stream, Grant::decode(&reply.payload).unwrap());
+            }
+            assert!(Instant::now() < deadline, "lease never freed");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert_eq!(regrant.rank, 1);
+        // The new incarnation's seq 1 must be admitted, not swallowed
+        // by the old incarnation's high-water mark of 2.
+        write_frame_seq(&mut second, 1, 7, 1, b"reborn").unwrap();
+        let env = collector
+            .recv_timeout(Some(1), Some(Tag(7)), TIMEOUT)
+            .unwrap()
+            .expect("the fresh incarnation's first frame must be admitted");
+        assert_eq!(&env.payload[..], b"reborn");
+        collector.shutdown().unwrap();
+    }
+
+    #[test]
+    fn a_stalled_dialer_does_not_block_other_joins() {
+        // A connection that completes TCP accept but never sends its
+        // join frame must not wedge admission for the full handshake
+        // read timeout: the handshake runs on a per-connection thread,
+        // so a healthy joiner (or a rejoining worker) gets through
+        // immediately.
+        let mut collector = collector(2, vec![10]);
+        let addr = collector.local_addr();
+        let stalled = TcpStream::connect(addr).unwrap();
+        // Give the acceptor time to take the stalled connection first.
+        std::thread::sleep(Duration::from_millis(50));
+        let started = Instant::now();
+        let worker = join(addr.to_string(), 42).expect("join succeeds");
+        assert!(
+            started.elapsed() < TIMEOUT / 2,
+            "healthy join was blocked behind the stalled dialer"
+        );
+        assert_eq!(worker.rank(), 1);
+        drop(stalled);
+        drop(worker);
         collector.shutdown().unwrap();
     }
 
