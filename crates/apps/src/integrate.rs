@@ -84,10 +84,21 @@ impl BallVolume {
 
 impl Realize for BallVolume {
     fn realize(&self, rng: &mut RealizationStream, out: &mut [f64]) {
+        // The draw count is fixed (`dim` per realization, no early
+        // exit), so the uniforms can come from the batched fill path —
+        // bitwise identical to the sequential draw loop.
+        let mut draws = [0.0f64; 64];
         let mut norm_sq = 0.0;
-        for _ in 0..self.dim {
-            let x = 2.0 * rng.next_f64() - 1.0;
-            norm_sq += x * x;
+        let mut remaining = self.dim;
+        while remaining > 0 {
+            let take = remaining.min(draws.len());
+            let buf = &mut draws[..take];
+            rng.fill_f64(buf);
+            for u in buf.iter() {
+                let x = 2.0 * u - 1.0;
+                norm_sq += x * x;
+            }
+            remaining -= take;
         }
         out[0] = if norm_sq < 1.0 {
             (1u64 << self.dim) as f64
@@ -162,6 +173,32 @@ mod tests {
                 acc.mean(),
                 bv.exact()
             );
+        }
+    }
+
+    #[test]
+    fn ball_volume_batched_draws_match_scalar_loop_bitwise() {
+        // Reproducibility pin for the fill_f64 conversion.
+        let h = StreamHierarchy::default();
+        for dim in [1usize, 3, 5, 17, 63] {
+            let bv = BallVolume::new(dim.min(62));
+            let mut batched = h.realization_stream(StreamId::new(0, 0, 7)).unwrap();
+            let mut scalar = batched.clone();
+            let mut out = [0.0];
+            bv.realize(&mut batched, &mut out);
+
+            let mut norm_sq = 0.0;
+            for _ in 0..bv.dim() {
+                let x = 2.0 * scalar.next_f64() - 1.0;
+                norm_sq += x * x;
+            }
+            let expected = if norm_sq < 1.0 {
+                (1u64 << bv.dim()) as f64
+            } else {
+                0.0
+            };
+            assert_eq!(out[0], expected, "dim={dim}");
+            assert_eq!(batched.drawn(), scalar.drawn(), "accounting dim={dim}");
         }
     }
 

@@ -2,11 +2,20 @@
 //! layer is that a monitored run (events streaming to the jsonl file,
 //! the in-memory summary sink and the metrics plane) costs less than
 //! 2% wall time over the identical unmonitored run. This bench
-//! measures both paths on the laptop-scale diffusion workload,
-//! enforces the bound on the fastest run of each arm, and records the
-//! measured overhead as `bound_metrics_plane_overhead_pct` so
-//! `hotpath_compare` gates it against the committed 2% budget in
-//! `BENCH_hotpath.json`.
+//! measures both paths on the laptop-scale diffusion workload and
+//! certifies the budget at two tiers:
+//!
+//! * **Full mode** hard-asserts the <2% bound on the fastest run of
+//!   each arm — the precise claim, needing full-length runs on a
+//!   reasonably quiet machine.
+//! * **Every mode** records the median of per-pair overheads as
+//!   `bound_metrics_plane_overhead_pct`, which `hotpath_compare`
+//!   gates against the committed smoke ceiling (4%) in
+//!   `BENCH_hotpath.json`. The ceiling is wider than the policy bound
+//!   because a reduced-iteration (`PARMONC_BENCH_FAST`) wall-clock
+//!   differential on a shared CI runner has a noise floor of a few
+//!   percent — the gate is a tripwire for gross regressions (an
+//!   accidentally hot event plane), not the certification itself.
 
 use std::path::Path;
 use std::time::Instant;
@@ -23,11 +32,12 @@ use parmonc_bench::ScaledDiffusion;
 fn run_once(monitored: bool, dir: &Path) -> f64 {
     // 40 Euler steps per output point ≈ 1 s per run: long enough that
     // the few-millisecond scheduler jitter at the noise floor is well
-    // under the 2% bound being certified. Fast mode trades certainty
-    // for turnaround with a quarter of the volume.
+    // under the 2% bound being certified. Fast mode halves the volume
+    // — a shorter run than that and the jitter floor alone reads as
+    // several percent, which flakes the smoke gate.
     let workload = ScaledDiffusion::new(40);
     let scheme = workload.scheme().clone();
-    let volume = if fast_mode() { 150 } else { 600 };
+    let volume = if fast_mode() { 300 } else { 600 };
     let _ = std::fs::remove_dir_all(dir);
     let mut builder = Parmonc::builder(ScaledDiffusion::POINTS, 2)
         .max_sample_volume(volume)
@@ -68,30 +78,46 @@ fn bench_monitor_overhead(c: &mut Criterion) {
     group.bench_function("monitored", |b| b.iter(|| black_box(run_once(true, &dir))));
     group.finish();
 
-    // The <2% acceptance bound, on the fastest run of each arm.
-    // Samples are interleaved with alternating order so slow drift in
-    // machine load hits both arms equally.
-    let samples: usize = if fast_mode() { 5 } else { 13 };
+    // The <2% acceptance bound. Samples are interleaved with
+    // alternating order so slow drift in machine load hits both arms
+    // equally.
+    let samples: usize = if fast_mode() { 9 } else { 13 };
     let mut off = Vec::with_capacity(samples);
     let mut on = Vec::with_capacity(samples);
+    let mut pair_overheads = Vec::with_capacity(samples);
     for i in 0..samples {
-        if i % 2 == 0 {
-            off.push(run_once(false, &dir));
-            on.push(run_once(true, &dir));
+        let (o, m) = if i % 2 == 0 {
+            let o = run_once(false, &dir);
+            let m = run_once(true, &dir);
+            (o, m)
         } else {
-            on.push(run_once(true, &dir));
-            off.push(run_once(false, &dir));
-        }
+            let m = run_once(true, &dir);
+            let o = run_once(false, &dir);
+            (o, m)
+        };
+        off.push(o);
+        on.push(m);
+        pair_overheads.push((m - o) / o);
     }
     let off_min = minimum(&off);
     let on_min = minimum(&on);
     let overhead = (on_min - off_min) / off_min;
+    // The gated metric is the *median of per-pair overheads*: the two
+    // runs of a pair execute back to back, so load drift on a shared
+    // machine mostly cancels within a pair, and the median discards
+    // pairs a load burst straddled. The min-vs-min estimator compares
+    // runs from different time windows and needs a quiet machine (it
+    // still backs the full-mode hard assert below, where sample counts
+    // and run lengths make it reliable).
+    pair_overheads.sort_by(|a, b| a.total_cmp(b));
+    let pair_median = pair_overheads[pair_overheads.len() / 2];
     println!(
         "monitor_overhead: unmonitored {off_min:.4} s, monitored {on_min:.4} s, \
-         overhead {:.2}%",
-        overhead * 100.0
+         overhead {:.2}% (paired median {:.2}%)",
+        overhead * 100.0,
+        pair_median * 100.0
     );
-    record_metric("bound_metrics_plane_overhead_pct", overhead * 100.0);
+    record_metric("bound_metrics_plane_overhead_pct", pair_median * 100.0);
     // The hard assert only runs at full sample counts; the fast-mode
     // measurement still feeds the (tolerance-widened) hotpath gate.
     assert!(

@@ -2,21 +2,44 @@
 //! committed baseline and fails (exit 1) on hot-path regressions.
 //!
 //! ```text
-//! hotpath_compare <baseline.json> <current.json> [tolerance]
+//! hotpath_compare <baseline.json> <current.json> [tolerance] [--waive k1,k2]
 //! ```
 //!
 //! Only `ratio_*` (higher is better), `alloc_*` and `bound_*` (lower
-//! is better) keys gate; raw timing keys are machine-dependent and
+//! is better) keys gate; any current `ratio_*_speedup` key below 1.0
+//! fails outright. Raw timing keys are machine-dependent and
 //! informational. The default tolerance is 25%.
+//!
+//! `--waive` removes named keys from both files before comparison —
+//! for build configurations where a gate is known not to apply (e.g.
+//! waiving `ratio_fill_f64_speedup` on the no-SIMD CI leg, where the
+//! portable fill is at parity by design). Waivers are printed so they
+//! stay visible in CI logs.
 
 use std::process::ExitCode;
 
 use parmonc_bench::hotpath::{compare, parse_flat_json, DEFAULT_TOLERANCE};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let mut waived: Vec<String> = Vec::new();
+    if let Some(pos) = args.iter().position(|a| a == "--waive") {
+        let Some(list) = args.get(pos + 1) else {
+            eprintln!("--waive needs a comma-separated key list");
+            return ExitCode::from(2);
+        };
+        waived = list
+            .split(',')
+            .map(str::trim)
+            .filter(|k| !k.is_empty())
+            .map(String::from)
+            .collect();
+        args.drain(pos..=pos + 1);
+    }
     let (Some(baseline_path), Some(current_path)) = (args.get(1), args.get(2)) else {
-        eprintln!("usage: hotpath_compare <baseline.json> <current.json> [tolerance]");
+        eprintln!(
+            "usage: hotpath_compare <baseline.json> <current.json> [tolerance] [--waive k1,k2]"
+        );
         return ExitCode::from(2);
     };
     let tolerance = match args.get(3) {
@@ -37,9 +60,16 @@ fn main() -> ExitCode {
             None
         }
     };
-    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+    let (Some(mut baseline), Some(mut current)) = (read(baseline_path), read(current_path)) else {
         return ExitCode::from(2);
     };
+    if !waived.is_empty() {
+        baseline.retain(|(k, _)| !waived.contains(k));
+        current.retain(|(k, _)| !waived.contains(k));
+        for k in &waived {
+            println!("WAIVED {k}: excluded from this comparison");
+        }
+    }
 
     let is_gated =
         |k: &str| k.starts_with("ratio_") || k.starts_with("alloc_") || k.starts_with("bound_");

@@ -73,6 +73,12 @@ pub struct Regression {
 /// current value exceeds baseline by more than `tolerance`). Gated
 /// keys present in the baseline but missing from `current` also fail —
 /// a silently deleted bench must not pass the gate.
+///
+/// Additionally, any *current* `ratio_*_speedup` key below `1.0` fails
+/// outright, baseline and tolerance notwithstanding: those keys are
+/// speedups of an optimized path over the path it replaced, and a value
+/// under one means the "optimization" is actively slower — never
+/// acceptable no matter what the committed baseline drifted to.
 #[must_use]
 pub fn compare(
     baseline: &[(String, f64)],
@@ -105,6 +111,21 @@ pub fn compare(
                 key: key.clone(),
                 baseline: *base,
                 current: now,
+            });
+        }
+    }
+    // Absolute floor on speedup ratios, independent of the baseline.
+    let bases: BTreeMap<&str, f64> = baseline.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    for (key, now) in current {
+        if key.starts_with("ratio_")
+            && key.ends_with("_speedup")
+            && *now < 1.0
+            && !regressions.iter().any(|r| &r.key == key)
+        {
+            regressions.push(Regression {
+                key: key.clone(),
+                baseline: bases.get(key.as_str()).copied().unwrap_or(f64::NAN),
+                current: *now,
             });
         }
     }
@@ -190,5 +211,35 @@ mod tests {
         let r = compare(&base, &[], 0.25);
         assert_eq!(r.len(), 1);
         assert!(r[0].current.is_nan());
+    }
+
+    #[test]
+    fn speedup_ratio_below_one_fails_regardless_of_baseline() {
+        // Even a baseline that *recorded* a slowdown doesn't excuse one:
+        // 0.88 -> 0.90 would pass the relative gate but is still a
+        // pessimization and must fail.
+        let base = vec![("ratio_fill_f64_speedup".to_string(), 0.88)];
+        let r = compare(&base, &[("ratio_fill_f64_speedup".to_string(), 0.90)], 0.5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].key, "ratio_fill_f64_speedup");
+        assert_eq!(r[0].current, 0.90);
+        // A current-only key (no baseline at all) below 1.0 also fails.
+        let r = compare(&[], &[("ratio_new_thing_speedup".to_string(), 0.7)], 0.5);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].baseline.is_nan());
+        // At or above 1.0 the floor is satisfied.
+        assert!(compare(&[], &[("ratio_new_thing_speedup".to_string(), 1.0)], 0.5).is_empty());
+        // Non-speedup ratio keys are exempt from the absolute floor
+        // (e.g. ratios that legitimately sit below one).
+        assert!(compare(&[], &[("ratio_overhead".to_string(), 0.4)], 0.5).is_empty());
+    }
+
+    #[test]
+    fn speedup_floor_does_not_duplicate_relative_regression() {
+        // 4.0 -> 0.5 trips both the relative gate and the absolute
+        // floor; it must be reported once.
+        let base = vec![("ratio_x_speedup".to_string(), 4.0)];
+        let r = compare(&base, &[("ratio_x_speedup".to_string(), 0.5)], 0.25);
+        assert_eq!(r.len(), 1);
     }
 }

@@ -62,7 +62,7 @@ pub use config::{Exchange, ParmoncBuilder, Resume, RunConfig, Transport};
 pub use error::ParmoncError;
 pub use files::ResultsDir;
 pub use parmonc_ipc::ReconnectPolicy;
-pub use realize::{Realize, RealizeFn};
+pub use realize::{DrawBatch, Realize, RealizeFn};
 pub use runner::{Parmonc, RunReport};
 
 pub use parmonc_rng::{LeapConfig, RealizationStream, StreamHierarchy, StreamId};

@@ -90,6 +90,104 @@ impl<T: Realize + ?Sized> Realize for std::sync::Arc<T> {
     }
 }
 
+/// A reusable buffer that feeds scalar `rnd128()`-style consumption from
+/// the generator's batched fill path.
+///
+/// Realization routines that draw one number at a time (rejection loops,
+/// data-dependent branching) can't call
+/// [`RealizationStream::fill_f64`] directly because they don't know
+/// their draw count up front. `DrawBatch` bridges the gap: it prefetches
+/// a block through `fill_f64` — which drains the wide-lane engine — and
+/// hands the values out one by one. Since the batched fill is bitwise
+/// identical to sequential draws, the values are exactly the ones
+/// [`RealizationStream::next_f64`] would have produced, in order.
+///
+/// Two caveats, both consequences of prefetching:
+///
+/// * the stream's draw accounting ([`RealizationStream::drawn`]) counts
+///   prefetched-but-unconsumed values — up to one block of slack against
+///   the `2^43` subsequence budget;
+/// * call [`reset`](Self::reset) before switching the batch to a
+///   different stream, or the leftover values of the old stream would
+///   leak into the new one.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc::DrawBatch;
+/// use parmonc::{StreamHierarchy, StreamId};
+///
+/// let mut stream = StreamHierarchy::default()
+///     .realization_stream(StreamId::new(0, 0, 0)).unwrap();
+/// let mut check = stream.clone();
+/// let mut batch = DrawBatch::new();
+/// for _ in 0..1000 {
+///     assert_eq!(batch.next_f64(&mut stream), check.next_f64());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DrawBatch {
+    buf: Vec<f64>,
+    pos: usize,
+}
+
+impl DrawBatch {
+    /// Default prefetch block: long enough to engage the SIMD fill
+    /// kernel, small enough to stay in L1.
+    const DEFAULT_BLOCK: usize = 256;
+
+    /// Creates a batch with the default block size.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_block_size(Self::DEFAULT_BLOCK)
+    }
+
+    /// Creates a batch that prefetches `block` values at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    #[must_use]
+    pub fn with_block_size(block: usize) -> Self {
+        assert!(block > 0, "DrawBatch block size must be positive");
+        Self {
+            buf: vec![0.0; block],
+            pos: block,
+        }
+    }
+
+    /// The next base random number of `rng`'s sequence, refilling the
+    /// prefetch buffer when it runs dry.
+    #[inline]
+    pub fn next_f64(&mut self, rng: &mut RealizationStream) -> f64 {
+        if self.pos == self.buf.len() {
+            rng.fill_f64(&mut self.buf);
+            self.pos = 0;
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Number of prefetched values not yet handed out.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Discards any prefetched values. Required before reusing the
+    /// batch with a different stream.
+    pub fn reset(&mut self) {
+        self.pos = self.buf.len();
+    }
+}
+
+impl Default for DrawBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +247,31 @@ mod tests {
     fn debug_is_nonempty() {
         let r = RealizeFn::new(|_: &mut RealizationStream, _: &mut [f64]| {});
         assert!(format!("{r:?}").contains("RealizeFn"));
+    }
+
+    #[test]
+    fn draw_batch_yields_the_exact_sequence() {
+        let mut batched = stream();
+        let mut scalar = stream();
+        let mut batch = DrawBatch::with_block_size(16);
+        for i in 0..1000 {
+            assert_eq!(batch.next_f64(&mut batched), scalar.next_f64(), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn draw_batch_reset_discards_prefetch() {
+        let mut s = stream();
+        let mut batch = DrawBatch::new();
+        let _ = batch.next_f64(&mut s);
+        assert!(batch.pending() > 0);
+        batch.reset();
+        assert_eq!(batch.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn draw_batch_rejects_zero_block() {
+        let _ = DrawBatch::with_block_size(0);
     }
 }

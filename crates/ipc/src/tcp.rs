@@ -1138,8 +1138,9 @@ impl TcpWorkerTransport {
         let dial_seed = splitmix64(
             (u64::from(std::process::id()) << 32) ^ DIAL_NONCE.fetch_add(1, Ordering::Relaxed),
         );
-        let stream =
-            crate::backoff::retry(opts.reconnect, dial_seed, |_| dial(&opts.addr, dial_timeout))?;
+        let stream = crate::backoff::retry(opts.reconnect, dial_seed, |_| {
+            dial(&opts.addr, dial_timeout)
+        })?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(opts.io_timeout))?;
         stream.set_write_timeout(Some(opts.io_timeout))?;

@@ -1,8 +1,9 @@
 //! Incremental advancement through the leapfrog hierarchy.
 //!
 //! [`StreamHierarchy::realization_stream`] positions every stream from
-//! scratch with a `modpow` per level — `O(log r)` 128-bit multiplies
-//! for realization index `r`. That is the right tool for random access,
+//! scratch with a jump-table walk over the composite offset (see
+//! [`crate::jump::JumpTable`]) — one 128-bit multiply per nonzero
+//! byte of the exponent. That is the right tool for random access,
 //! but the runner's hot loop consumes realization streams *in order*
 //! (`r`, `r+1`, `r+2`, …), where each next starting state is just the
 //! previous one multiplied by the precomputed realization leap
@@ -20,8 +21,8 @@ use crate::stream::RealizationStream;
 /// An in-order walker over the realization streams of a
 /// [`StreamHierarchy`](crate::StreamHierarchy).
 ///
-/// Obtained from [`StreamHierarchy::cursor`]; positioned once with the
-/// usual three `modpow`s, then advanced incrementally: each
+/// Obtained from [`StreamHierarchy::cursor`]; positioned once with a
+/// jump-table walk per level, then advanced incrementally: each
 /// [`next_stream`](Self::next_stream) costs a single 128-bit multiply
 /// instead of a fresh exponentiation, and
 /// [`next_processor`](Self::next_processor) /

@@ -10,6 +10,16 @@
 
 use crate::stream::UniformSource;
 
+/// The Box–Muller transform: two `U(0,1)` draws into two independent
+/// standard normals. All normal sampling paths (scalar, pair, batched)
+/// go through this one function, so they agree bitwise.
+#[inline]
+fn box_muller(u1: f64, u2: f64) -> (f64, f64) {
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * core::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
 /// Samples a standard normal `N(0, 1)` using the Box–Muller transform.
 ///
 /// Consumes exactly two base random numbers and discards the second
@@ -28,7 +38,7 @@ use crate::stream::UniformSource;
 pub fn standard_normal<R: UniformSource + ?Sized>(rng: &mut R) -> f64 {
     let u1 = rng.next_f64();
     let u2 = rng.next_f64();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+    box_muller(u1, u2).0
 }
 
 /// Samples a *pair* of independent standard normals with one Box–Muller
@@ -36,9 +46,64 @@ pub fn standard_normal<R: UniformSource + ?Sized>(rng: &mut R) -> f64 {
 pub fn standard_normal_pair<R: UniformSource + ?Sized>(rng: &mut R) -> (f64, f64) {
     let u1 = rng.next_f64();
     let u2 = rng.next_f64();
-    let r = (-2.0 * u1.ln()).sqrt();
-    let theta = 2.0 * core::f64::consts::PI * u2;
-    (r * theta.cos(), r * theta.sin())
+    box_muller(u1, u2)
+}
+
+/// Fills `dest` with independent standard normals, drawing base random
+/// numbers through the batched [`UniformSource::fill_f64`] path.
+///
+/// Bitwise identical to filling `dest` with repeated
+/// [`standard_normal_pair`] calls (odd lengths end with one
+/// [`standard_normal`] call, i.e. the final pair's second variate is
+/// discarded) — but the uniforms come from `fill_f64`, so an [`Lcg128`]
+/// source draws them through the wide-lane engine instead of the serial
+/// scalar recurrence.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::{distributions::fill_standard_normal, Lcg128};
+///
+/// let mut rng = Lcg128::new();
+/// let mut z = [0.0f64; 1000];
+/// fill_standard_normal(&mut rng, &mut z);
+/// let mean = z.iter().sum::<f64>() / z.len() as f64;
+/// assert!(mean.abs() < 0.2);
+/// ```
+///
+/// [`Lcg128`]: crate::Lcg128
+pub fn fill_standard_normal<R: UniformSource + ?Sized>(rng: &mut R, dest: &mut [f64]) {
+    // Uniform staging buffer: big enough to amortize the batched fill,
+    // small enough to stay in L1 and off the heap.
+    const CHUNK: usize = 256;
+    let mut uniforms = [0.0f64; CHUNK];
+    let mut chunks = dest.chunks_exact_mut(CHUNK);
+    for chunk in &mut chunks {
+        rng.fill_f64(&mut uniforms);
+        for (pair, u) in chunk.chunks_exact_mut(2).zip(uniforms.chunks_exact(2)) {
+            let (z1, z2) = box_muller(u[0], u[1]);
+            pair[0] = z1;
+            pair[1] = z2;
+        }
+    }
+    let tail = chunks.into_remainder();
+    if !tail.is_empty() {
+        // Draw exactly the uniforms the scalar calls would: two per
+        // pair, plus two for a trailing odd element (second discarded).
+        let need = (tail.len() / 2) * 2 + if tail.len() % 2 == 1 { 2 } else { 0 };
+        let uniforms = &mut uniforms[..need];
+        rng.fill_f64(uniforms);
+        let mut pairs = tail.chunks_exact_mut(2);
+        let mut us = uniforms.chunks_exact(2);
+        for (pair, u) in (&mut pairs).zip(&mut us) {
+            let (z1, z2) = box_muller(u[0], u[1]);
+            pair[0] = z1;
+            pair[1] = z2;
+        }
+        if let ([last], Some(u)) = (pairs.into_remainder(), us.next()) {
+            *last = box_muller(u[0], u[1]).0;
+        }
+    }
 }
 
 /// Samples a standard normal with the Marsaglia polar method
@@ -303,6 +368,41 @@ mod tests {
     #[should_panic(expected = "sum to zero")]
     fn discrete_rejects_zero_mass() {
         let _ = discrete(&mut rng(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fill_standard_normal_matches_scalar_pairs_bitwise() {
+        // Even lengths are pairs; odd lengths end with a discarded
+        // second variate — exactly the scalar call sequence.
+        for len in [
+            0usize, 1, 2, 3, 7, 8, 255, 256, 257, 511, 512, 513, 1000, 1001,
+        ] {
+            let mut batched_rng = rng();
+            let mut scalar_rng = rng();
+            let mut batched = vec![0.0f64; len];
+            fill_standard_normal(&mut batched_rng, &mut batched);
+            let mut scalar = Vec::with_capacity(len);
+            while scalar.len() + 2 <= len {
+                let (z1, z2) = standard_normal_pair(&mut scalar_rng);
+                scalar.push(z1);
+                scalar.push(z2);
+            }
+            if scalar.len() < len {
+                scalar.push(standard_normal(&mut scalar_rng));
+            }
+            assert_eq!(batched, scalar, "len={len}");
+            assert_eq!(batched_rng.state(), scalar_rng.state(), "state len={len}");
+        }
+    }
+
+    #[test]
+    fn fill_standard_normal_moments() {
+        let mut r = rng();
+        let mut xs = vec![0.0f64; 200_000];
+        fill_standard_normal(&mut r, &mut xs);
+        let (mean, var) = sample_stats(&xs);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
     }
 
     #[test]

@@ -17,10 +17,12 @@
 //! capacities quoted in the paper.
 
 use core::fmt;
+use std::sync::Arc;
 
 use crate::cursor::StreamCursor;
+use crate::jump::JumpTable;
 use crate::lcg128::Lcg128;
-use crate::multiplier::{leap_multiplier, DEFAULT_MULTIPLIER, USABLE_EXPONENT};
+use crate::multiplier::{DEFAULT_MULTIPLIER, USABLE_EXPONENT};
 use crate::stream::RealizationStream;
 
 /// Exponents of the three leap lengths (`n_e = 2^ne`, `n_p = 2^np`,
@@ -244,10 +246,13 @@ impl fmt::Display for StreamId {
 /// positioned generators.
 ///
 /// A stream's starting position in the general sequence is
-/// `experiment·n_e + processor·n_p + realization·n_r`, reached with three
-/// precomputed leap multipliers (formula (8)); creating a stream costs
-/// three 128-bit multiplications plus one `O(log n)` exponentiation per
-/// *distinct* leap configuration (amortized at construction).
+/// `experiment·n_e + processor·n_p + realization·n_r`, i.e. the state is
+/// `A^offset · u_0` with `offset = (e << ne) + (p << np) + (r << nr)`
+/// (valid modulo `2^128` because the order of `A` divides it). The
+/// hierarchy holds the process-wide precomputed [`JumpTable`] for its
+/// base multiplier, so addressing a stream costs at most one multiply
+/// per nonzero nibble of the offset — no `modpow` squarings on any
+/// stream-creation path.
 ///
 /// # Examples
 ///
@@ -260,14 +265,25 @@ impl fmt::Display for StreamId {
 /// // Distinct realizations draw from disjoint subsequences.
 /// assert_ne!(s0.next_f64(), s1.next_f64());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct StreamHierarchy {
     config: LeapConfig,
     multiplier: u128,
     leap_e: u128,
     leap_p: u128,
     leap_r: u128,
+    table: Arc<JumpTable>,
 }
+
+impl PartialEq for StreamHierarchy {
+    fn eq(&self, other: &Self) -> bool {
+        // The leap multipliers and table are derived from (config,
+        // multiplier); comparing the inputs is complete.
+        self.config == other.config && self.multiplier == other.multiplier
+    }
+}
+
+impl Eq for StreamHierarchy {}
 
 impl StreamHierarchy {
     /// Builds a hierarchy with the given leap configuration and the
@@ -286,12 +302,16 @@ impl StreamHierarchy {
     #[must_use]
     pub fn with_multiplier(config: LeapConfig, multiplier: u128) -> Self {
         assert!(multiplier & 1 == 1, "multiplier must be odd");
+        let table = JumpTable::shared(multiplier);
         Self {
             config,
             multiplier,
-            leap_e: leap_multiplier(multiplier, config.ne()),
-            leap_p: leap_multiplier(multiplier, config.np()),
-            leap_r: leap_multiplier(multiplier, config.nr()),
+            // The leap multipliers are rows of the jump table:
+            // A(n_x) = A^(2^nx) = pow2[nx].
+            leap_e: table.pow2(config.ne()),
+            leap_p: table.pow2(config.np()),
+            leap_r: table.pow2(config.nr()),
+            table,
         }
     }
 
@@ -333,7 +353,10 @@ impl StreamHierarchy {
     }
 
     /// Starting state `u` of the subsequence addressed by `id`:
-    /// `u = A(n_e)^e · A(n_p)^p · A(n_r)^r · u_0 (mod 2^128)`.
+    /// `u = A(n_e)^e · A(n_p)^p · A(n_r)^r · u_0 (mod 2^128)`,
+    /// computed as the single power `A^((e<<ne)+(p<<np)+(r<<nr))` via
+    /// the precomputed jump table — the composite-exponent identity is
+    /// exact because the multiplicative order of `A` divides `2^128`.
     ///
     /// # Errors
     ///
@@ -341,10 +364,16 @@ impl StreamHierarchy {
     /// `id` exceeds the level's capacity.
     pub fn stream_state(&self, id: StreamId) -> Result<u128, HierarchyError> {
         self.check(id)?;
-        let e = crate::multiplier::modpow(self.leap_e, u128::from(id.experiment));
-        let p = crate::multiplier::modpow(self.leap_p, u128::from(id.processor));
-        let r = crate::multiplier::modpow(self.leap_r, u128::from(id.realization));
-        Ok(e.wrapping_mul(p).wrapping_mul(r))
+        Ok(self.table.power(self.offset(id)))
+    }
+
+    /// The composite jump offset of `id` in the general sequence,
+    /// modulo `2^128`.
+    fn offset(&self, id: StreamId) -> u128 {
+        let c = &self.config;
+        (u128::from(id.experiment) << c.ne())
+            .wrapping_add(u128::from(id.processor) << c.np())
+            .wrapping_add(u128::from(id.realization) << c.nr())
     }
 
     /// Creates the generator for the realization stream addressed by
@@ -365,9 +394,9 @@ impl StreamHierarchy {
 
     /// Creates an incremental [`StreamCursor`] positioned at `start`.
     ///
-    /// The cursor pays the three `modpow`s once, here; afterwards every
-    /// [`StreamCursor::next_stream`] costs a single 128-bit multiply
-    /// and produces streams bitwise identical to
+    /// The cursor pays three jump-table walks once, here; afterwards
+    /// every [`StreamCursor::next_stream`] costs a single 128-bit
+    /// multiply and produces streams bitwise identical to
     /// [`realization_stream`](Self::realization_stream). This is the
     /// fast path for the runner's in-order consumption of rank-local
     /// realization streams.
@@ -378,12 +407,12 @@ impl StreamHierarchy {
     /// `start` exceeds the level's capacity.
     pub fn cursor(&self, start: StreamId) -> Result<StreamCursor, HierarchyError> {
         self.check(start)?;
-        let e = crate::multiplier::modpow(self.leap_e, u128::from(start.experiment));
-        let p = crate::multiplier::modpow(self.leap_p, u128::from(start.processor));
-        let r = crate::multiplier::modpow(self.leap_r, u128::from(start.realization));
-        let experiment_start = e;
-        let processor_start = e.wrapping_mul(p);
-        let state = processor_start.wrapping_mul(r);
+        let c = &self.config;
+        let experiment_start = self.table.power(u128::from(start.experiment) << c.ne());
+        let processor_start =
+            experiment_start.wrapping_mul(self.table.power(u128::from(start.processor) << c.np()));
+        let state =
+            processor_start.wrapping_mul(self.table.power(u128::from(start.realization) << c.nr()));
         Ok(StreamCursor::from_positioned(
             self.config,
             self.multiplier,

@@ -1,0 +1,290 @@
+//! Precomputed jump-ahead tables for `A^n mod 2^128`.
+//!
+//! The leapfrog hierarchy addresses a stream by jumping the base
+//! generator `n` positions ahead, which needs the power `A^n mod 2^128`.
+//! [`modpow`] computes it by binary
+//! exponentiation — up to 127 squarings *plus* up to 127 multiplies,
+//! every time. But `A` is fixed for the lifetime of a hierarchy, so the
+//! squarings can be paid **once**: this module caches
+//!
+//! * `pow2[k] = A^(2^k) mod 2^128` for `k = 0..128` (127 squarings), and
+//! * a radix-256 ladder `byte[k][j-1] = A^(j · 256^k)` for `j = 1..256`,
+//!   `k = 0..16` (255 multiplies per byte position),
+//!
+//! after which **any** `A^n` is at most 16 table multiplies — one per
+//! nonzero byte of `n` — with no squarings at all. Stream addressing
+//! (three such powers per [`StreamId`](crate::StreamId)) and mid-run
+//! budget reassignment jumps become cheap enough to sit on the hot path.
+//!
+//! One table serves *all three* hierarchy levels: the level multipliers
+//! are themselves powers of the base (`A(n_e) = A^(2^n_e) = pow2[n_e]`),
+//! and `A(n_e)^e · A(n_p)^p · A(n_r)^r = A^((e<<n_e)+(p<<n_p)+(r<<n_r))`
+//! where the exponent is taken mod `2^128` — valid because the
+//! multiplicative order of `A` (`2^126`) divides `2^128`.
+
+use crate::multiplier::{modpow, DEFAULT_MULTIPLIER};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of 8-bit digits in a 128-bit exponent.
+const BYTES: usize = 16;
+
+/// Precomputed powers of one (odd) multiplier `A` modulo `2^128`.
+///
+/// Build cost is a one-time ~4200 multiplications (microseconds) and
+/// ~66 KB of table; afterwards [`power`](Self::power) needs at most one
+/// multiply per nonzero byte of the exponent. Obtain a process-wide
+/// shared instance with [`JumpTable::shared`] — the table for
+/// [`DEFAULT_MULTIPLIER`] is built exactly once and reused by every
+/// hierarchy.
+pub struct JumpTable {
+    multiplier: u128,
+    /// `pow2[k] = A^(2^k) mod 2^128`.
+    pow2: [u128; 128],
+    /// `byte[k][j-1] = A^(j * 256^k) mod 2^128`, `j = 1..256`.
+    byte: Box<[[u128; 255]; BYTES]>,
+}
+
+impl JumpTable {
+    /// Builds the table for `multiplier` (must be odd).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is even — even multipliers collapse the
+    /// generator and have no multiplicative order.
+    pub fn new(multiplier: u128) -> Self {
+        assert!(
+            multiplier & 1 == 1,
+            "jump table multiplier must be odd, got {multiplier:#x}"
+        );
+        let mut pow2 = [0u128; 128];
+        pow2[0] = multiplier;
+        for k in 1..128 {
+            pow2[k] = pow2[k - 1].wrapping_mul(pow2[k - 1]);
+        }
+        let mut byte = Box::new([[0u128; 255]; BYTES]);
+        for k in 0..BYTES {
+            // A^(256^k) is pow2[8k]; the rest of the row is its powers.
+            let base = pow2[8 * k];
+            let mut acc = base;
+            for j in 0..255 {
+                byte[k][j] = acc;
+                acc = acc.wrapping_mul(base);
+            }
+        }
+        Self {
+            multiplier,
+            pow2,
+            byte,
+        }
+    }
+
+    /// The process-wide shared table for `multiplier`.
+    ///
+    /// The [`DEFAULT_MULTIPLIER`] table lives in a `OnceLock`; a small
+    /// move-to-front cache (8 entries) covers non-default multipliers so
+    /// repeated lookups (e.g. test hierarchies) don't rebuild.
+    pub fn shared(multiplier: u128) -> Arc<JumpTable> {
+        static DEFAULT: OnceLock<Arc<JumpTable>> = OnceLock::new();
+        if multiplier == DEFAULT_MULTIPLIER {
+            return Arc::clone(
+                DEFAULT.get_or_init(|| Arc::new(JumpTable::new(DEFAULT_MULTIPLIER))),
+            );
+        }
+        static CACHE: Mutex<Vec<Arc<JumpTable>>> = Mutex::new(Vec::new());
+        let mut cache = CACHE.lock().expect("jump table cache poisoned");
+        if let Some(pos) = cache.iter().position(|t| t.multiplier == multiplier) {
+            let table = Arc::clone(&cache[pos]);
+            // Move-to-front so hot multipliers survive eviction.
+            cache.swap(0, pos);
+            return table;
+        }
+        let table = Arc::new(JumpTable::new(multiplier));
+        cache.insert(0, Arc::clone(&table));
+        cache.truncate(8);
+        table
+    }
+
+    /// The multiplier this table was built for.
+    pub fn multiplier(&self) -> u128 {
+        self.multiplier
+    }
+
+    /// `A^(2^k) mod 2^128` — the leap multiplier for leap exponent `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 128`.
+    pub fn pow2(&self, k: u32) -> u128 {
+        self.pow2[k as usize]
+    }
+
+    /// `A^n mod 2^128` in at most one multiply per nonzero byte of `n`.
+    ///
+    /// Bitwise identical to [`modpow`]`(self.multiplier(), n)`.
+    ///
+    /// The byte products are accumulated into four independent chains
+    /// (striped over byte positions) that only meet in a final
+    /// three-multiply reduction: a single chain would serialize every
+    /// 128-bit multiply on the previous one's latency, while the striped
+    /// chains overlap in the out-of-order window.
+    pub fn power(&self, n: u128) -> u128 {
+        if n == 0 {
+            return 1;
+        }
+        let mut acc = [1u128; 4];
+        // Skip trailing zero bytes outright: stream offsets are level
+        // indices shifted left by the leap exponent, so the low bytes
+        // are zero far more often than not.
+        let mut k = (n.trailing_zeros() / 8) as usize;
+        let mut rest = n >> (8 * k);
+        while rest != 0 {
+            let digit = (rest & 0xff) as usize;
+            if digit != 0 {
+                let lane = &mut acc[k & 3];
+                *lane = lane.wrapping_mul(self.byte[k][digit - 1]);
+            }
+            rest >>= 8;
+            k += 1;
+        }
+        (acc[0].wrapping_mul(acc[1])).wrapping_mul(acc[2].wrapping_mul(acc[3]))
+    }
+
+    /// Jumps `state` ahead `n` positions: `state · A^n mod 2^128`.
+    pub fn jump(&self, state: u128, n: u128) -> u128 {
+        state.wrapping_mul(self.power(n))
+    }
+}
+
+impl std::fmt::Debug for JumpTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JumpTable")
+            .field("multiplier", &format_args!("{:#x}", self.multiplier))
+            .finish_non_exhaustive()
+    }
+}
+
+/// `multiplier^n mod 2^128`, via the shared table when `multiplier` is
+/// the default (the overwhelmingly common case) and plain [`modpow`]
+/// otherwise — custom multipliers from property tests shouldn't churn
+/// the table cache.
+#[inline]
+pub(crate) fn power_for(multiplier: u128, n: u128) -> u128 {
+    if multiplier == DEFAULT_MULTIPLIER {
+        JumpTable::shared(DEFAULT_MULTIPLIER).power(n)
+    } else {
+        modpow(multiplier, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{LeapConfig, StreamHierarchy, StreamId};
+    use crate::multiplier::leap_multiplier;
+    use parmonc_testkit::prelude::*;
+
+    #[test]
+    fn pow2_matches_leap_multiplier() {
+        let table = JumpTable::new(DEFAULT_MULTIPLIER);
+        for k in [0u32, 1, 43, 98, 115, 127] {
+            assert_eq!(
+                table.pow2(k),
+                leap_multiplier(DEFAULT_MULTIPLIER, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_of_zero_is_identity() {
+        let table = JumpTable::new(DEFAULT_MULTIPLIER);
+        assert_eq!(table.power(0), 1);
+        assert_eq!(table.jump(42, 0), 42);
+    }
+
+    #[test]
+    fn power_of_small_exponents_is_repeated_multiplication() {
+        let table = JumpTable::new(DEFAULT_MULTIPLIER);
+        let mut acc = 1u128;
+        for n in 0..200u128 {
+            assert_eq!(table.power(n), acc, "n={n}");
+            acc = acc.wrapping_mul(DEFAULT_MULTIPLIER);
+        }
+    }
+
+    #[test]
+    fn shared_default_table_is_reused() {
+        let a = JumpTable::shared(DEFAULT_MULTIPLIER);
+        let b = JumpTable::shared(DEFAULT_MULTIPLIER);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn shared_custom_table_is_cached() {
+        let m = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f_u128;
+        let a = JumpTable::shared(m);
+        let b = JumpTable::shared(m);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.multiplier(), m);
+    }
+
+    #[test]
+    fn even_multiplier_rejected() {
+        let result = std::panic::catch_unwind(|| JumpTable::new(2));
+        assert!(result.is_err());
+    }
+
+    proptest! {
+        /// The table walk is bitwise identical to binary exponentiation
+        /// for arbitrary exponents.
+        #[test]
+        fn power_matches_modpow(n in any::<u128>()) {
+            let table = JumpTable::shared(DEFAULT_MULTIPLIER);
+            prop_assert_eq!(table.power(n), modpow(DEFAULT_MULTIPLIER, n));
+        }
+
+        /// Same, for arbitrary odd multipliers.
+        #[test]
+        fn power_matches_modpow_for_custom_multipliers(
+            m in any::<u128>(),
+            n in any::<u128>(),
+        ) {
+            let m = m | 1;
+            let table = JumpTable::new(m);
+            prop_assert_eq!(table.power(n), modpow(m, n));
+        }
+
+        /// The single-table identity behind hierarchy addressing: the
+        /// per-level power `A(n_x)^i` equals `A^(i << n_x)` at all three
+        /// hierarchy levels.
+        #[test]
+        fn level_powers_collapse_to_base_exponents(
+            e in 0u64..1024,
+            p in 0u64..131_072,
+            r in 0u64..1_000_000,
+        ) {
+            let config = LeapConfig::default();
+            let table = JumpTable::shared(DEFAULT_MULTIPLIER);
+            let (ne, np, nr) = (config.ne(), config.np(), config.nr());
+            prop_assert_eq!(
+                table.power((e as u128) << ne),
+                modpow(leap_multiplier(DEFAULT_MULTIPLIER, ne), e as u128)
+            );
+            prop_assert_eq!(
+                table.power((p as u128) << np),
+                modpow(leap_multiplier(DEFAULT_MULTIPLIER, np), p as u128)
+            );
+            prop_assert_eq!(
+                table.power((r as u128) << nr),
+                modpow(leap_multiplier(DEFAULT_MULTIPLIER, nr), r as u128)
+            );
+            // And the composite offset reproduces the full stream state.
+            let h = StreamHierarchy::default();
+            let id = StreamId::new(e, p, r);
+            let offset = ((e as u128) << ne)
+                .wrapping_add((p as u128) << np)
+                .wrapping_add((r as u128) << nr);
+            prop_assert_eq!(table.jump(1, offset), h.stream_state(id).unwrap());
+        }
+    }
+}

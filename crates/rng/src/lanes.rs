@@ -1,0 +1,363 @@
+//! The wide-lane draw engine: leapfrogged generator lanes that emit the
+//! exact sequential sequence.
+//!
+//! The recurrence `u_{k+1} = u_k · A mod 2^128` is a serial dependency
+//! chain: a naive loop is bounded by the *latency* of one 128-bit
+//! multiply per draw. PARMONC's own leapfrog idea (paper Section 2.4)
+//! removes the chain: lane `i` of a [`LaneLcg128<N>`] holds the state
+//! `s · A^(i+1)` and steps by the lane stride `A^N`, so the `N`
+//! multiplies per block are independent and the CPU retires them at
+//! multiplier-port *throughput*. Reading the lanes left to right
+//! reproduces the sequential sequence bitwise — the same serial ≡
+//! parallel guarantee the stream hierarchy gives across processors,
+//! applied at register width.
+//!
+//! The arithmetic is explicit 64-bit-limb lane-struct code (`lo`/`hi`
+//! arrays), the shape LLVM can unroll and schedule on stable Rust; with
+//! the `simd` crate feature, [`Lcg128::fill_f64`] additionally
+//! dispatches large fills to a runtime-detected AVX-512 IFMA kernel
+//! (see `docs/performance.md`).
+//!
+//! [`Lcg128::fill_f64`]: crate::Lcg128::fill_f64
+
+use crate::lcg128::Lcg128;
+use crate::multiplier::MODULUS_BITS;
+
+/// Scale factor of the open-interval mapping `(top53 + 0.5) · 2^-53`.
+const F64_SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// The top 53 state bits live at bit 75; in the high limb that is a
+/// shift by `75 − 64 = 11`.
+const HI_SHIFT: u32 = MODULUS_BITS - 53 - 64;
+
+#[inline(always)]
+fn alpha_from_hi(hi: u64) -> f64 {
+    ((hi >> HI_SHIFT) as f64 + 0.5) * F64_SCALE
+}
+
+/// `N` leapfrogged lanes of the 128-bit MCG, emitting output bitwise
+/// identical to a sequential [`Lcg128`] in interleaved order.
+///
+/// Lane `i` holds `state · A^(i+1)` as two 64-bit limbs; a block step
+/// multiplies every lane by the precomputed stride `A^N`. Emitting one
+/// block therefore yields draws `k+1 .. k+N` of the scalar sequence,
+/// and the engine's [`state`](Self::state) tracks exactly where an
+/// equivalent scalar generator would stand.
+///
+/// Four and eight lanes are the tuned widths (see [`LaneLcg128x4`] /
+/// [`LaneLcg128x8`]); any `N ≥ 1` is valid.
+///
+/// # Examples
+///
+/// ```
+/// use parmonc_rng::{LaneLcg128x8, Lcg128};
+///
+/// let mut scalar = Lcg128::new();
+/// let mut lanes = LaneLcg128x8::from_generator(&scalar);
+/// let mut block = [0.0f64; 8];
+/// lanes.next_block(&mut block);
+/// for x in block {
+///     assert_eq!(x, scalar.next_f64());
+/// }
+/// assert_eq!(lanes.state(), scalar.state());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneLcg128<const N: usize> {
+    /// Scalar-equivalent state: the last emitted draw's `u_k`.
+    state: u128,
+    multiplier: u128,
+    /// Lane stride `A^N`, as limbs.
+    stride_lo: u64,
+    stride_hi: u64,
+    /// Low/high limbs of the lane states (`lane k = state · A^(k+1)`),
+    /// valid only while `primed`.
+    lo: [u64; N],
+    hi: [u64; N],
+    /// Whether the limb arrays currently hold positioned lanes. Lanes
+    /// are primed lazily (construction is free) and invalidated by a
+    /// scalar tail, which de-synchronizes them from `state`.
+    primed: bool,
+}
+
+/// The 4-lane engine.
+pub type LaneLcg128x4 = LaneLcg128<4>;
+
+/// The 8-lane engine — the widest portable form that still fits the
+/// lane states in registers; the default batched-fill width.
+pub type LaneLcg128x8 = LaneLcg128<8>;
+
+impl<const N: usize> LaneLcg128<N> {
+    /// Creates a lane engine positioned where `rng` stands. Costs no
+    /// multiplies: lanes are primed lazily on the first block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `N == 0`.
+    #[must_use]
+    pub fn from_generator(rng: &Lcg128) -> Self {
+        Self::from_parts(rng.state(), rng.multiplier())
+    }
+
+    /// Creates a lane engine from a raw state and multiplier (both must
+    /// be odd, as for [`Lcg128`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `N == 0` or either argument is even.
+    #[must_use]
+    pub fn from_parts(state: u128, multiplier: u128) -> Self {
+        assert!(N > 0, "a lane engine needs at least one lane");
+        assert!(state & 1 == 1, "LCG state must be odd, got {state:#x}");
+        assert!(
+            multiplier & 1 == 1,
+            "LCG multiplier must be odd, got {multiplier:#x}"
+        );
+        let mut stride = multiplier;
+        for _ in 1..N {
+            stride = stride.wrapping_mul(multiplier);
+        }
+        Self {
+            state,
+            multiplier,
+            stride_lo: stride as u64,
+            stride_hi: (stride >> 64) as u64,
+            lo: [0; N],
+            hi: [0; N],
+            primed: false,
+        }
+    }
+
+    /// The scalar-equivalent state: a [`Lcg128`] at this state produces
+    /// the continuation of what this engine has emitted.
+    #[must_use]
+    pub fn state(&self) -> u128 {
+        self.state
+    }
+
+    /// The multiplier `A`.
+    #[must_use]
+    pub fn multiplier(&self) -> u128 {
+        self.multiplier
+    }
+
+    /// Converts back into the scalar generator at the equivalent
+    /// position.
+    #[must_use]
+    pub fn into_generator(self) -> Lcg128 {
+        Lcg128::with_state_and_multiplier(self.state, self.multiplier)
+    }
+
+    /// Positions lane `k` at `state · A^(k+1)` (`N` sequential
+    /// multiplies).
+    fn prime(&mut self) {
+        let mut cur = self.state;
+        for k in 0..N {
+            cur = cur.wrapping_mul(self.multiplier);
+            self.lo[k] = cur as u64;
+            self.hi[k] = (cur >> 64) as u64;
+        }
+        self.primed = true;
+    }
+
+    /// Emits the next `N` draws of the sequential sequence into `out`.
+    pub fn next_block(&mut self, out: &mut [f64; N]) {
+        if !self.primed {
+            self.prime();
+        }
+        for (o, &hi) in out.iter_mut().zip(self.hi.iter()) {
+            *o = alpha_from_hi(hi);
+        }
+        self.state = u128::from(self.lo[N - 1]) | (u128::from(self.hi[N - 1]) << 64);
+        self.step_lanes();
+    }
+
+    /// One block step: every lane multiplied by the stride `A^N`, as
+    /// three 64×64 limb products per lane (the `hi·hi` term vanishes
+    /// modulo `2^128`) — `N` independent chains the CPU pipelines.
+    #[inline]
+    fn step_lanes(&mut self) {
+        let (c_lo, c_hi) = (self.stride_lo, self.stride_hi);
+        for k in 0..N {
+            let lolo = u128::from(self.lo[k]) * u128::from(c_lo);
+            let nhi = ((lolo >> 64) as u64)
+                .wrapping_add(self.lo[k].wrapping_mul(c_hi))
+                .wrapping_add(self.hi[k].wrapping_mul(c_lo));
+            self.lo[k] = lolo as u64;
+            self.hi[k] = nhi;
+        }
+    }
+
+    /// Fills `dest` with consecutive draws, bitwise identical to a
+    /// sequential [`Lcg128::next_f64`] loop, handling any length
+    /// (including non-multiples of `N`).
+    pub fn fill_f64(&mut self, dest: &mut [f64]) {
+        let mut chunks = dest.chunks_exact_mut(N);
+        if chunks.len() > 0 {
+            if !self.primed {
+                self.prime();
+            }
+            // Work on locals so the optimizer never has to prove `self`
+            // and `dest` do not alias inside the loop.
+            let mut lo = self.lo;
+            let mut hi = self.hi;
+            let (c_lo, c_hi) = (self.stride_lo, self.stride_hi);
+            let (mut s_lo, mut s_hi) = (0u64, 0u64);
+            for chunk in &mut chunks {
+                for k in 0..N {
+                    chunk[k] = alpha_from_hi(hi[k]);
+                }
+                // The scalar state after this block is lane N−1 *before*
+                // the step.
+                s_lo = lo[N - 1];
+                s_hi = hi[N - 1];
+                for k in 0..N {
+                    let lolo = u128::from(lo[k]) * u128::from(c_lo);
+                    let nhi = ((lolo >> 64) as u64)
+                        .wrapping_add(lo[k].wrapping_mul(c_hi))
+                        .wrapping_add(hi[k].wrapping_mul(c_lo));
+                    lo[k] = lolo as u64;
+                    hi[k] = nhi;
+                }
+            }
+            self.lo = lo;
+            self.hi = hi;
+            self.state = u128::from(s_lo) | (u128::from(s_hi) << 64);
+        }
+        let remainder = chunks.into_remainder();
+        if !remainder.is_empty() {
+            let mut s = self.state;
+            for d in remainder {
+                s = s.wrapping_mul(self.multiplier);
+                *d = alpha_from_hi((s >> 64) as u64);
+            }
+            self.state = s;
+            // The lanes no longer sit at state·A^(k+1); re-prime lazily.
+            self.primed = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{StreamHierarchy, StreamId};
+    use parmonc_testkit::prelude::*;
+
+    fn check_fill<const N: usize>(start: u128, lens: &[usize]) {
+        let mut scalar = Lcg128::with_state(start);
+        let mut lanes = LaneLcg128::<N>::from_generator(&scalar);
+        for &len in lens {
+            let mut buf = vec![0.0f64; len];
+            lanes.fill_f64(&mut buf);
+            for (i, x) in buf.iter().enumerate() {
+                assert_eq!(*x, scalar.next_f64(), "len={len} draw {i}");
+            }
+            assert_eq!(lanes.state(), scalar.state(), "state after len={len}");
+        }
+    }
+
+    #[test]
+    fn fill_matches_scalar_across_tails() {
+        check_fill::<4>(1, &[0, 1, 3, 4, 5, 7, 8, 9, 100, 2, 31]);
+        check_fill::<8>(1, &[0, 1, 7, 8, 9, 15, 16, 17, 100, 3, 63]);
+    }
+
+    #[test]
+    fn next_block_matches_scalar() {
+        let mut scalar = Lcg128::new();
+        let mut lanes = LaneLcg128::<4>::from_generator(&scalar);
+        let mut block = [0.0f64; 4];
+        for _ in 0..10 {
+            lanes.next_block(&mut block);
+            for x in block {
+                assert_eq!(x, scalar.next_f64());
+            }
+        }
+        assert_eq!(lanes.state(), scalar.state());
+    }
+
+    #[test]
+    fn into_generator_round_trips() {
+        let mut lanes = LaneLcg128::<8>::from_parts(1, crate::DEFAULT_MULTIPLIER);
+        let mut buf = [0.0f64; 20];
+        lanes.fill_f64(&mut buf);
+        let mut continued = lanes.clone().into_generator();
+        let mut scalar = Lcg128::new();
+        let mut skip = [0.0f64; 20];
+        scalar.fill_f64(&mut skip);
+        assert_eq!(continued.next_raw(), scalar.next_raw());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_state_rejected() {
+        let _ = LaneLcg128::<4>::from_parts(2, crate::DEFAULT_MULTIPLIER);
+    }
+
+    proptest! {
+        /// Lane output is bitwise equal to the sequential generator for
+        /// arbitrary odd seeds and arbitrary sequences of fill lengths
+        /// (exercising full blocks, tails and re-priming), at both tuned
+        /// widths.
+        #[test]
+        fn lanes4_bitwise_equal(seed in any::<u128>(), lens in collection::vec(0usize..40, 1..8)) {
+            check_fill::<4>(seed | 1, &lens);
+        }
+
+        #[test]
+        fn lanes8_bitwise_equal(seed in any::<u128>(), lens in collection::vec(0usize..40, 1..8)) {
+            check_fill::<8>(seed | 1, &lens);
+        }
+
+        /// Lane output stays bitwise equal on streams positioned at
+        /// every hierarchy level (experiment, processor, realization
+        /// heads), i.e. leapfrog-of-leapfrog composes.
+        #[test]
+        fn lanes_bitwise_equal_at_every_hierarchy_level(
+            e in 0u64..1 << 10,
+            p in 0u64..1 << 17,
+            r in 0u64..1 << 20,
+            len in 0usize..80,
+        ) {
+            let h = StreamHierarchy::default();
+            for id in [
+                StreamId::new(e, 0, 0),
+                StreamId::new(e, p, 0),
+                StreamId::new(e, p, r),
+            ] {
+                let start = h.stream_state(id).unwrap();
+                let mut scalar = Lcg128::with_state(start);
+                let mut lanes = LaneLcg128::<8>::from_generator(&scalar);
+                let mut buf = vec![0.0f64; len];
+                lanes.fill_f64(&mut buf);
+                for x in &buf {
+                    prop_assert_eq!(*x, scalar.next_f64());
+                }
+                prop_assert_eq!(lanes.state(), scalar.state());
+            }
+        }
+
+        /// Mixed next_block / fill_f64 usage stays in lockstep.
+        #[test]
+        fn mixed_block_and_fill(seed in any::<u128>(), ops in collection::vec(0usize..20, 1..10)) {
+            let mut scalar = Lcg128::with_state(seed | 1);
+            let mut lanes = LaneLcg128::<4>::from_generator(&scalar);
+            for op in ops {
+                if op == 0 {
+                    let mut block = [0.0f64; 4];
+                    lanes.next_block(&mut block);
+                    for x in block {
+                        prop_assert_eq!(x, scalar.next_f64());
+                    }
+                } else {
+                    let mut buf = vec![0.0f64; op];
+                    lanes.fill_f64(&mut buf);
+                    for x in &buf {
+                        prop_assert_eq!(*x, scalar.next_f64());
+                    }
+                }
+                prop_assert_eq!(lanes.state(), scalar.state());
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@
 
 #[cfg(test)]
 use crate::multiplier::PERIOD_EXPONENT;
-use crate::multiplier::{modpow, DEFAULT_MULTIPLIER, MODULUS_BITS};
+use crate::multiplier::{DEFAULT_MULTIPLIER, MODULUS_BITS};
 
 /// Scale factor turning the top 53 bits of the state into a double in
 /// the *open* interval (0, 1): `alpha = (top53 + 0.5) · 2^-53`.
@@ -77,8 +77,9 @@ impl Lcg128 {
     }
 
     /// Creates the generator positioned `k` steps into the general
-    /// sequence, i.e. at state `u_k = A^k mod 2^128`, in `O(log k)`
-    /// multiplications.
+    /// sequence, i.e. at state `u_k = A^k mod 2^128`, via the shared
+    /// precomputed [`JumpTable`](crate::JumpTable) (at most one multiply
+    /// per nonzero nibble of `k`).
     ///
     /// # Examples
     ///
@@ -94,7 +95,7 @@ impl Lcg128 {
     /// ```
     #[must_use]
     pub fn at_position(k: u128) -> Self {
-        Self::with_state(modpow(DEFAULT_MULTIPLIER, k))
+        Self::with_state(crate::jump::power_for(DEFAULT_MULTIPLIER, k))
     }
 
     /// Current 128-bit state `u_k`.
@@ -135,16 +136,15 @@ impl Lcg128 {
     ///
     /// The recurrence `u_{k+1} = u_k · A` is a serial dependency chain,
     /// so a naive loop is bounded by the latency of one 128-bit
-    /// multiply per draw. Here the sequence is split into two
-    /// interleaved lanes `u_{k+1}, u_{k+2}`, each advanced by the
-    /// precomputed stride `A²`: the two multiplies per iteration are
-    /// independent, so the CPU pipelines them down to multiplier-port
-    /// throughput, while the emitted values are exactly the original
-    /// sequence in order. (Two lanes measure fastest on baseline
-    /// x86-64 — wider interleaves spill the 128-bit lane states out of
-    /// registers; see `docs/performance.md`.) The state is kept in a
-    /// local and written back once, so the compiler never has to prove
-    /// `self` and `dest` do not alias inside the loop.
+    /// multiply per draw. Batched fills instead drain the wide-lane
+    /// engine ([`LaneLcg128`](crate::LaneLcg128)): eight leapfrogged
+    /// lanes stepped by `A^8`, whose independent multiplies the CPU
+    /// retires at multiplier-port throughput. With the `simd` cargo
+    /// feature, fills of 64+ values on CPUs with AVX-512 IFMA dispatch
+    /// to a 16-lane 52-bit-limb kernel that clears even the throughput
+    /// bound (see `docs/performance.md`). Every path emits the exact
+    /// sequential sequence and leaves `self` where the scalar loop
+    /// would.
     ///
     /// # Examples
     ///
@@ -161,30 +161,16 @@ impl Lcg128 {
     /// assert_eq!(a.state(), b.state());
     /// ```
     pub fn fill_f64(&mut self, dest: &mut [f64]) {
-        #[inline(always)]
-        fn to_alpha(u: u128) -> f64 {
-            ((u >> (MODULUS_BITS - 53)) as u64 as f64 + 0.5) * F64_SCALE
-        }
-        let a = self.multiplier;
-        let mut state = self.state;
-        let mut chunks = dest.chunks_exact_mut(2);
-        if chunks.len() > 0 {
-            let a2 = a.wrapping_mul(a);
-            let mut s0 = state.wrapping_mul(a);
-            let mut s1 = s0.wrapping_mul(a);
-            for chunk in &mut chunks {
-                chunk[0] = to_alpha(s0);
-                chunk[1] = to_alpha(s1);
-                state = s1;
-                s0 = s0.wrapping_mul(a2);
-                s1 = s1.wrapping_mul(a2);
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if dest.len() >= crate::simd::MIN_SIMD_LEN {
+            if let Some(state) = crate::simd::fill_f64(self.state, self.multiplier, dest) {
+                self.state = state;
+                return;
             }
         }
-        for d in chunks.into_remainder() {
-            state = state.wrapping_mul(a);
-            *d = to_alpha(state);
-        }
-        self.state = state;
+        let mut lanes = crate::lanes::LaneLcg128::<8>::from_parts(self.state, self.multiplier);
+        lanes.fill_f64(dest);
+        self.state = lanes.state();
     }
 
     /// Returns the next 64 high bits of the state as a `u64`.
@@ -203,9 +189,13 @@ impl Lcg128 {
         (self.next_raw() >> 96) as u32
     }
 
-    /// Jumps the generator forward by `n` steps in `O(log n)`
-    /// multiplications (paper formula (8): multiply the state by
-    /// `A(n) = A^n`).
+    /// Jumps the generator forward by `n` steps (paper formula (8):
+    /// multiply the state by `A(n) = A^n`).
+    ///
+    /// For the default multiplier the power comes from the shared
+    /// precomputed [`JumpTable`](crate::JumpTable) — at most one
+    /// multiply per nonzero nibble of `n`, no squarings; custom
+    /// multipliers fall back to `O(log n)` binary exponentiation.
     ///
     /// # Examples
     ///
@@ -221,7 +211,9 @@ impl Lcg128 {
     /// assert_eq!(a.state(), b.state());
     /// ```
     pub fn jump(&mut self, n: u128) {
-        self.state = self.state.wrapping_mul(modpow(self.multiplier, n));
+        self.state = self
+            .state
+            .wrapping_mul(crate::jump::power_for(self.multiplier, n));
     }
 
     /// Returns a clone jumped `n` steps ahead, leaving `self` unchanged.

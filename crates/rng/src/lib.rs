@@ -43,34 +43,70 @@
 //! * [`limbs`] — the paper-faithful 64-bit-limb arithmetic (the paper
 //!   implements `rnd128` "using 64-bit integer arithmetic"); proven
 //!   equivalent to the native `u128` fast path by property tests.
+//! * [`lanes`] — the wide-lane draw engine ([`LaneLcg128`]): N
+//!   leapfrogged lanes stepped by `A^N`, bitwise identical to the
+//!   sequential generator; the engine behind the batched fill paths.
+//! * [`jump`] — precomputed jump-ahead tables ([`JumpTable`]):
+//!   `A^(2^k)` cached once per multiplier so stream addressing and
+//!   mid-run jumps cost table multiplies instead of `modpow` squarings.
 //! * [`multiplier`] — the default multiplier, leap multipliers
 //!   `A(n_e)`, `A(n_p)`, `A(n_r)`, and [`modpow`](multiplier::modpow).
 //! * [`hierarchy`] — [`StreamHierarchy`], [`LeapConfig`] and capacity
 //!   arithmetic (how many experiments/processors/realizations exist).
 //! * [`cursor`] — [`StreamCursor`], the incremental in-order walker the
 //!   runner hot loop uses: one 128-bit multiply per stream instead of a
-//!   `modpow` per stream, bitwise identical to the from-scratch API.
+//!   table walk per stream, bitwise identical to the from-scratch API.
 //! * [`stream`] — [`RealizationStream`], the `rnd128()`-style handle a
 //!   user routine draws base random numbers from.
 //! * [`distributions`] — transformations of base random numbers into the
 //!   distributions the workloads need (normal, exponential, Poisson, …).
 //! * [`baseline`] — comparison generators: the 40-bit LCG the paper
 //!   cites as having an *insufficient* period, xorshift64*, splitmix64.
+//!
+//! With the `simd` cargo feature an additional runtime-dispatched
+//! AVX-512 IFMA fill kernel backs [`Lcg128::fill_f64`]; see
+//! [`simd_fill_active`]. The crate forbids `unsafe` everywhere except
+//! that one feature-gated intrinsics module.
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod baseline;
 pub mod cursor;
 pub mod distributions;
 pub mod hierarchy;
+pub mod jump;
+pub mod lanes;
 pub mod lcg128;
 pub mod limbs;
 pub mod multiplier;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) mod simd;
 pub mod stream;
 
 pub use cursor::StreamCursor;
 pub use hierarchy::{HierarchyError, LeapConfig, StreamHierarchy, StreamId};
+pub use jump::JumpTable;
+pub use lanes::{LaneLcg128, LaneLcg128x4, LaneLcg128x8};
 pub use lcg128::Lcg128;
 pub use multiplier::{DEFAULT_MULTIPLIER, MODULUS_BITS};
 pub use stream::{RealizationStream, UniformSource};
+
+/// Whether batched fills ([`Lcg128::fill_f64`]) are served by the
+/// AVX-512 IFMA kernel on this build *and* this CPU.
+///
+/// `false` means fills use the portable wide-lane engine — still
+/// bitwise identical, just without the >2× wide-multiplier speedup.
+/// Benchmarks consult this to decide which throughput gates apply.
+#[must_use]
+pub fn simd_fill_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        simd::supported()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}

@@ -55,7 +55,7 @@ impl U128Limbs {
     /// ```
     ///
     /// — the `x_hi·y_hi` term is a multiple of `2^128` and vanishes.
-    #[inline]
+    #[inline(always)]
     pub const fn wrapping_mul(self, rhs: Self) -> Self {
         let lolo = (self.lo as u128) * (rhs.lo as u128);
         let lohi = self.lo.wrapping_mul(rhs.hi);
@@ -74,6 +74,15 @@ impl U128Limbs {
     #[inline]
     pub const fn wrapping_mul_native(self, rhs: Self) -> Self {
         Self::from_u128(self.to_u128().wrapping_mul(rhs.to_u128()))
+    }
+
+    /// The top 53 bits of the value — the bits the `f64` output mapping
+    /// uses. They live entirely in the high limb (`hi >> 11`), so this
+    /// reads one limb instead of reassembling the `u128` and shifting by
+    /// 75 across the limb boundary.
+    #[inline(always)]
+    pub const fn high53(self) -> u64 {
+        self.hi >> 11
     }
 }
 
@@ -176,6 +185,12 @@ mod tests {
     }
 
     proptest! {
+        /// `high53` reads the same bits as the u128 shift by 75.
+        #[test]
+        fn high53_matches_wide_shift(x in any::<u128>()) {
+            prop_assert_eq!(U128Limbs::from_u128(x).high53(), (x >> 75) as u64);
+        }
+
         /// Limb multiplication agrees with native u128 wrapping
         /// multiplication on arbitrary inputs — this is the equivalence
         /// proof that lets the hot path use `u128`.

@@ -5,7 +5,7 @@
 //! `√h · ε` with `ε ~ N(0, 1)`; this module also exposes a direct path
 //! sampler used by tests to validate increment statistics.
 
-use parmonc_rng::distributions::standard_normal_pair;
+use parmonc_rng::distributions::{fill_standard_normal, standard_normal_pair};
 use parmonc_rng::UniformSource;
 
 /// Samples one Wiener increment `Δw ~ N(0, h)`.
@@ -33,26 +33,25 @@ pub fn increment<R: UniformSource + ?Sized>(rng: &mut R, h: f64) -> f64 {
 /// Samples a discrete Wiener path `w(0), w(h), …, w(n·h)` (length
 /// `n + 1`, starting at 0).
 ///
+/// The `n` increments are drawn with
+/// [`fill_standard_normal`] — i.e. through the generator's batched
+/// wide-lane fill — and accumulated in place with the same left-to-right
+/// summation (and the same odd-`n` discarded second variate) as the
+/// original pairwise loop, so paths are bitwise reproducible across
+/// versions.
+///
 /// # Panics
 ///
 /// Panics if `h` is not strictly positive.
 pub fn sample_path<R: UniformSource + ?Sized>(rng: &mut R, h: f64, n: usize) -> Vec<f64> {
     assert!(h > 0.0, "step size must be positive, got {h}");
     let sqrt_h = h.sqrt();
-    let mut path = Vec::with_capacity(n + 1);
+    let mut path = vec![0.0f64; n + 1];
+    fill_standard_normal(rng, &mut path[1..]);
     let mut w = 0.0;
-    path.push(w);
-    let mut i = 0;
-    while i < n {
-        let (z1, z2) = standard_normal_pair(rng);
-        w += sqrt_h * z1;
-        path.push(w);
-        i += 1;
-        if i < n {
-            w += sqrt_h * z2;
-            path.push(w);
-            i += 1;
-        }
+    for p in &mut path[1..] {
+        w += sqrt_h * *p;
+        *p = w;
     }
     path
 }
@@ -109,6 +108,37 @@ mod tests {
         }
         cov /= n as f64;
         assert!(cov.abs() < 0.02, "cov {cov}");
+    }
+
+    #[test]
+    fn sample_path_matches_pairwise_loop_bitwise() {
+        // Reproducibility pin: the batched-fill path must emit exactly
+        // what the original pairwise Box–Muller loop emitted, and leave
+        // the generator at the same position.
+        for n in [0usize, 1, 2, 3, 7, 100, 255, 256, 257, 1001] {
+            let mut batched_rng = Lcg128::new();
+            let mut scalar_rng = Lcg128::new();
+            let got = sample_path(&mut batched_rng, 0.1, n);
+
+            let sqrt_h = 0.1f64.sqrt();
+            let mut expected = Vec::with_capacity(n + 1);
+            let mut w = 0.0;
+            expected.push(w);
+            let mut i = 0;
+            while i < n {
+                let (z1, z2) = standard_normal_pair(&mut scalar_rng);
+                w += sqrt_h * z1;
+                expected.push(w);
+                i += 1;
+                if i < n {
+                    w += sqrt_h * z2;
+                    expected.push(w);
+                    i += 1;
+                }
+            }
+            assert_eq!(got, expected, "n={n}");
+            assert_eq!(batched_rng.state(), scalar_rng.state(), "state n={n}");
+        }
     }
 
     #[test]
