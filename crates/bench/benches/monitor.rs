@@ -16,6 +16,11 @@
 //!   differential on a shared CI runner has a noise floor of a few
 //!   percent — the gate is a tripwire for gross regressions (an
 //!   accidentally hot event plane), not the certification itself.
+//!
+//! The span-tracing plane gets the same treatment on top: a traced run
+//! (monitor + causal spans around every phase) against the plain
+//! monitored run, recorded as `bound_trace_plane_overhead_pct` and
+//! held to the same <2% policy bound in full mode.
 
 use std::path::Path;
 use std::time::Instant;
@@ -26,10 +31,21 @@ use parmonc_bench::harness::{
 };
 use parmonc_bench::ScaledDiffusion;
 
+/// Which observability planes a measured run carries.
+#[derive(Clone, Copy, PartialEq)]
+enum Arm {
+    /// No monitor at all.
+    Plain,
+    /// Monitor (jsonl + summary + metrics sinks), no span tracing.
+    Monitored,
+    /// Monitor plus the causal-span tracing plane.
+    Traced,
+}
+
 /// One full run of the Section 4 performance program at laptop scale;
 /// returns the wall seconds of the whole run (setup + ranks + final
 /// save).
-fn run_once(monitored: bool, dir: &Path) -> f64 {
+fn run_once(arm: Arm, dir: &Path) -> f64 {
     // 40 Euler steps per output point ≈ 1 s per run: long enough that
     // the few-millisecond scheduler jitter at the noise floor is well
     // under the 2% bound being certified. Fast mode halves the volume
@@ -44,8 +60,11 @@ fn run_once(monitored: bool, dir: &Path) -> f64 {
         .processors(2)
         .exchange(Exchange::EveryRealization)
         .output_dir(dir);
-    if monitored {
+    if arm != Arm::Plain {
         builder = builder.monitor();
+    }
+    if arm == Arm::Traced {
+        builder = builder.trace_spans();
     }
     let started = Instant::now();
     let report = builder
@@ -54,7 +73,7 @@ fn run_once(monitored: bool, dir: &Path) -> f64 {
         }))
         .unwrap();
     let elapsed = started.elapsed().as_secs_f64();
-    assert_eq!(report.monitor.is_some(), monitored);
+    assert_eq!(report.monitor.is_some(), arm != Arm::Plain);
     let _ = std::fs::remove_dir_all(dir);
     elapsed
 }
@@ -67,50 +86,58 @@ fn minimum(samples: &[f64]) -> f64 {
     samples.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
+/// Interleaved paired measurement of `heavy` over `light`, alternating
+/// order so slow drift in machine load hits both arms equally. Returns
+/// `(light_min, heavy_min, min_overhead, pair_median_overhead)`.
+///
+/// The pair median is the gated metric: the two runs of a pair execute
+/// back to back, so load drift on a shared machine mostly cancels
+/// within a pair, and the median discards pairs a load burst straddled.
+/// The min-vs-min estimator compares runs from different time windows
+/// and needs a quiet machine (it backs the full-mode hard asserts,
+/// where sample counts and run lengths make it reliable).
+fn paired_overhead(light: Arm, heavy: Arm, samples: usize, dir: &Path) -> (f64, f64, f64, f64) {
+    let mut lo = Vec::with_capacity(samples);
+    let mut hi = Vec::with_capacity(samples);
+    let mut pair_overheads = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let (l, h) = if i % 2 == 0 {
+            let l = run_once(light, dir);
+            let h = run_once(heavy, dir);
+            (l, h)
+        } else {
+            let h = run_once(heavy, dir);
+            let l = run_once(light, dir);
+            (l, h)
+        };
+        lo.push(l);
+        hi.push(h);
+        pair_overheads.push((h - l) / l);
+    }
+    let lo_min = minimum(&lo);
+    let hi_min = minimum(&hi);
+    pair_overheads.sort_by(|a, b| a.total_cmp(b));
+    let pair_median = pair_overheads[pair_overheads.len() / 2];
+    (lo_min, hi_min, (hi_min - lo_min) / lo_min, pair_median)
+}
+
 fn bench_monitor_overhead(c: &mut Criterion) {
     let dir = std::env::temp_dir().join(format!("parmonc-bench-monitor-{}", std::process::id()));
 
     let mut group = c.benchmark_group("full_run");
     group.sample_size(5);
     group.bench_function("unmonitored", |b| {
-        b.iter(|| black_box(run_once(false, &dir)))
+        b.iter(|| black_box(run_once(Arm::Plain, &dir)))
     });
-    group.bench_function("monitored", |b| b.iter(|| black_box(run_once(true, &dir))));
+    group.bench_function("monitored", |b| {
+        b.iter(|| black_box(run_once(Arm::Monitored, &dir)))
+    });
     group.finish();
 
-    // The <2% acceptance bound. Samples are interleaved with
-    // alternating order so slow drift in machine load hits both arms
-    // equally.
+    // The <2% acceptance bound for the monitor itself.
     let samples: usize = if fast_mode() { 9 } else { 13 };
-    let mut off = Vec::with_capacity(samples);
-    let mut on = Vec::with_capacity(samples);
-    let mut pair_overheads = Vec::with_capacity(samples);
-    for i in 0..samples {
-        let (o, m) = if i % 2 == 0 {
-            let o = run_once(false, &dir);
-            let m = run_once(true, &dir);
-            (o, m)
-        } else {
-            let m = run_once(true, &dir);
-            let o = run_once(false, &dir);
-            (o, m)
-        };
-        off.push(o);
-        on.push(m);
-        pair_overheads.push((m - o) / o);
-    }
-    let off_min = minimum(&off);
-    let on_min = minimum(&on);
-    let overhead = (on_min - off_min) / off_min;
-    // The gated metric is the *median of per-pair overheads*: the two
-    // runs of a pair execute back to back, so load drift on a shared
-    // machine mostly cancels within a pair, and the median discards
-    // pairs a load burst straddled. The min-vs-min estimator compares
-    // runs from different time windows and needs a quiet machine (it
-    // still backs the full-mode hard assert below, where sample counts
-    // and run lengths make it reliable).
-    pair_overheads.sort_by(|a, b| a.total_cmp(b));
-    let pair_median = pair_overheads[pair_overheads.len() / 2];
+    let (off_min, on_min, overhead, pair_median) =
+        paired_overhead(Arm::Plain, Arm::Monitored, samples, &dir);
     println!(
         "monitor_overhead: unmonitored {off_min:.4} s, monitored {on_min:.4} s, \
          overhead {:.2}% (paired median {:.2}%)",
@@ -124,6 +151,24 @@ fn bench_monitor_overhead(c: &mut Criterion) {
         fast_mode() || overhead < 0.02,
         "monitored run must cost <2% over unmonitored, got {:.2}%",
         overhead * 100.0
+    );
+
+    // Same program for the span-tracing plane: traced (monitor +
+    // spans) over plain monitored, so the differential isolates what
+    // the spans themselves cost.
+    let (mon_min, traced_min, trace_overhead, trace_pair_median) =
+        paired_overhead(Arm::Monitored, Arm::Traced, samples, &dir);
+    println!(
+        "trace_plane_overhead: monitored {mon_min:.4} s, traced {traced_min:.4} s, \
+         overhead {:.2}% (paired median {:.2}%)",
+        trace_overhead * 100.0,
+        trace_pair_median * 100.0
+    );
+    record_metric("bound_trace_plane_overhead_pct", trace_pair_median * 100.0);
+    assert!(
+        fast_mode() || trace_overhead < 0.02,
+        "traced run must cost <2% over monitored, got {:.2}%",
+        trace_overhead * 100.0
     );
 }
 

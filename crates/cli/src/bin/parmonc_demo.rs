@@ -37,6 +37,12 @@ fn builder_for(args: &DemoArgs, ncol: usize) -> ParmoncBuilder {
     if args.monitor {
         b = b.monitor();
     }
+    if args.spans {
+        b = b.trace_spans();
+    }
+    if args.skew_s != 0.0 {
+        b = b.clock_skew(args.skew_s);
+    }
     b
 }
 

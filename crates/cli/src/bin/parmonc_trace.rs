@@ -1,15 +1,16 @@
-//! `parmonc-trace <summary|quantiles|convergence> <trace.jsonl>` /
-//! `parmonc-trace compare <run-a.jsonl> <run-b.jsonl>` — post-hoc
-//! analysis of monitor event traces. Every line is schema-validated
-//! before analysis; an invalid trace exits with code 3 and `compare`
-//! exits with code 4 when the runs disagree.
+//! `parmonc-trace <summary|quantiles|convergence|timeline|critical-path>
+//! <trace.jsonl>` / `parmonc-trace compare <run-a.jsonl> <run-b.jsonl>`
+//! — post-hoc analysis of monitor event traces. Every line is
+//! schema-validated before analysis; an invalid trace exits with code 3
+//! and `compare` exits with code 4 when the runs disagree.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use parmonc_cli::{
-    compare_traces, parse_trace_args, read_trace, trace_convergence, trace_exit_code,
-    trace_quantiles, trace_summary, TraceCommand, TRACE_MISMATCH_EXIT,
+    compare_traces, parse_trace_args, read_trace, trace_convergence, trace_critical_path,
+    trace_exit_code, trace_quantiles, trace_summary, trace_timeline, TraceCommand,
+    TRACE_MISMATCH_EXIT,
 };
 
 fn load(path: &Path) -> Result<Vec<parmonc_obs::Event>, ExitCode> {
@@ -28,6 +29,10 @@ fn run() -> Result<ExitCode, ExitCode> {
         TraceCommand::Summary { trace } => print!("{}", trace_summary(&load(&trace)?)),
         TraceCommand::Quantiles { trace } => print!("{}", trace_quantiles(&load(&trace)?)),
         TraceCommand::Convergence { trace } => print!("{}", trace_convergence(&load(&trace)?)),
+        TraceCommand::Timeline { trace } => print!("{}", trace_timeline(&load(&trace)?)),
+        TraceCommand::CriticalPath { trace } => {
+            print!("{}", trace_critical_path(&load(&trace)?).report);
+        }
         TraceCommand::Compare { a, b } => {
             let cmp = compare_traces(&load(&a)?, &load(&b)?);
             print!("{}", cmp.report);

@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use parmonc::{ParmoncError, Transport};
-use parmonc_obs::{Event, EventKind, EventSink, MetricsSink, MonitorSummary};
+use parmonc_obs::{Event, EventKind, EventSink, MetricsSink, MonitorSummary, SpanPhase};
 
 /// Maps a runtime error to the tool's process exit code, so batch
 /// scripts and schedulers can react to *why* a job failed — retry a
@@ -174,6 +174,14 @@ pub struct DemoArgs {
     /// resume the crashed session from the persisted lease table and
     /// last save-point (`--resume-listen`). Implies `--transport tcp`.
     pub resume_listen: Option<String>,
+    /// Whether to record causal tracing spans (`--spans`; implies
+    /// `--monitor` on the collector side) for `parmonc-trace timeline`
+    /// and `critical-path`.
+    pub spans: bool,
+    /// Deterministic clock skew (seconds) injected into this worker's
+    /// monitor timestamps (`--skew-s`; TCP worker mode only) to
+    /// exercise the clock-alignment plane.
+    pub skew_s: f64,
 }
 
 /// Parses
@@ -197,8 +205,9 @@ where
     S: AsRef<str>,
 {
     const USAGE: &str = "usage: parmonc-demo <pi|transport|queue> [volume] [processors] [dir] \
-                         [--monitor] [--transport threads|processes|tcp] [--listen host:port] \
-                         [--join host:port] [--resume-listen host:port]";
+                         [--monitor] [--spans] [--transport threads|processes|tcp] \
+                         [--listen host:port] [--join host:port] [--resume-listen host:port] \
+                         [--skew-s seconds]";
     let mut values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
     values.retain(|v| v != parmonc::ipc::WORKER_FLAG);
     let mut transport = Transport::Threads;
@@ -251,9 +260,25 @@ where
              (collector restart)\n{USAGE}"
         ));
     }
+    let mut skew_s = 0.0f64;
+    while let Some(pos) = values.iter().position(|v| v == "--skew-s") {
+        let Some(value) = values.get(pos + 1) else {
+            return Err(format!("--skew-s requires a value in seconds\n{USAGE}"));
+        };
+        skew_s = value
+            .parse::<f64>()
+            .map_err(|_| format!("--skew-s must be a number of seconds, got {value:?}"))?;
+        values.drain(pos..=pos + 1);
+    }
     let before = values.len();
     values.retain(|v| v != "--monitor");
     let monitor = values.len() < before;
+    let before = values.len();
+    values.retain(|v| v != "--spans");
+    let spans = values.len() < before;
+    // Spans are monitor events; asking for them is asking for the
+    // monitor.
+    let monitor = monitor || spans;
     let Some(first) = values.first() else {
         return Err(USAGE.to_string());
     };
@@ -288,6 +313,8 @@ where
         listen,
         join,
         resume_listen,
+        spans,
+        skew_s,
     })
 }
 
@@ -318,6 +345,19 @@ pub enum TraceCommand {
         /// Second trace.
         b: PathBuf,
     },
+    /// Reconstruct the per-rank span timeline (a Gantt view over the
+    /// corrected run clock) from `span_started`/`span_ended` events.
+    Timeline {
+        /// Path of the jsonl trace.
+        trace: PathBuf,
+    },
+    /// Walk the span graph backwards from the outcome and print the
+    /// dependency-ordered critical path: which rank and phase the run
+    /// spent its wall time on.
+    CriticalPath {
+        /// Path of the jsonl trace.
+        trace: PathBuf,
+    },
 }
 
 /// Parses
@@ -332,8 +372,10 @@ where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
-    const USAGE: &str = "usage: parmonc-trace <summary|quantiles|convergence> <trace.jsonl>\n\
-                         \u{20}      parmonc-trace compare <run-a.jsonl> <run-b.jsonl>";
+    const USAGE: &str =
+        "usage: parmonc-trace <summary|quantiles|convergence|timeline|critical-path> \
+         <trace.jsonl>\n\
+         \u{20}      parmonc-trace compare <run-a.jsonl> <run-b.jsonl>";
     let values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
     let Some(cmd) = values.first() else {
         return Err(USAGE.to_string());
@@ -356,6 +398,12 @@ where
         }),
         "convergence" => Ok(TraceCommand::Convergence {
             trace: one("convergence")?,
+        }),
+        "timeline" => Ok(TraceCommand::Timeline {
+            trace: one("timeline")?,
+        }),
+        "critical-path" => Ok(TraceCommand::CriticalPath {
+            trace: one("critical-path")?,
         }),
         "compare" => match values.len() {
             3 => Ok(TraceCommand::Compare {
@@ -675,6 +723,274 @@ pub fn compare_traces(a: &[Event], b: &[Event]) -> TraceComparison {
     TraceComparison { report, matches }
 }
 
+/// One completed span recovered from a trace: who did what, when, on
+/// the collector's corrected run clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosedSpan {
+    /// Emitting rank (span events always carry one).
+    pub rank: usize,
+    /// The phase the span brackets.
+    pub phase: SpanPhase,
+    /// Start, seconds on the corrected run clock.
+    pub start_s: f64,
+    /// End, seconds on the corrected run clock.
+    pub end_s: f64,
+}
+
+/// Pairs `span_started`/`span_ended` events into closed spans. Returns
+/// the closed spans (trace order) and the count of spans that never
+/// closed (a crashed rank, or a truncated trace).
+#[must_use]
+pub fn closed_spans(events: &[Event]) -> (Vec<ClosedSpan>, usize) {
+    let mut open: BTreeMap<u64, (usize, SpanPhase, f64)> = BTreeMap::new();
+    let mut closed = Vec::new();
+    for event in events {
+        match event.kind {
+            EventKind::SpanStarted { span, phase, .. } => {
+                open.insert(span, (event.rank.unwrap_or(0), phase, event.time_s));
+            }
+            EventKind::SpanEnded { span, .. } => {
+                if let Some((rank, phase, start_s)) = open.remove(&span) {
+                    closed.push(ClosedSpan {
+                        rank,
+                        phase,
+                        start_s,
+                        // A skew-corrected stream can place an end a
+                        // hair before its start; clamp so durations
+                        // never go negative.
+                        end_s: event.time_s.max(start_s),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    (closed, open.len())
+}
+
+/// `parmonc-trace timeline`: a per-rank Gantt view of the span stream.
+/// Every rank gets its closed spans in start order, each with a bar
+/// positioned on the shared corrected run clock, so cross-host phases
+/// line up visually.
+#[must_use]
+pub fn trace_timeline(events: &[Event]) -> String {
+    let (spans, unclosed) = closed_spans(events);
+    if spans.is_empty() {
+        return "no spans in trace (run with span tracing enabled to record them)\n".to_string();
+    }
+    let t_min = spans.iter().map(|s| s.start_s).fold(f64::INFINITY, f64::min);
+    let t_max = spans
+        .iter()
+        .map(|s| s.end_s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let range = (t_max - t_min).max(f64::MIN_POSITIVE);
+    const WIDTH: usize = 40;
+    let mut by_rank: BTreeMap<usize, Vec<&ClosedSpan>> = BTreeMap::new();
+    for span in &spans {
+        by_rank.entry(span.rank).or_default().push(span);
+    }
+    let mut out = format!(
+        "{} spans across {} ranks, window {t_min:.3}s .. {t_max:.3}s\n",
+        spans.len(),
+        by_rank.len()
+    );
+    if unclosed > 0 {
+        let _ = writeln!(out, "WARNING: {unclosed} spans never closed");
+    }
+    for (rank, mut rank_spans) in by_rank {
+        rank_spans.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        let _ = writeln!(out, "rank {rank}");
+        for span in rank_spans {
+            let from = (((span.start_s - t_min) / range) * WIDTH as f64) as usize;
+            let to = (((span.end_s - t_min) / range) * WIDTH as f64).ceil() as usize;
+            let (from, to) = (from.min(WIDTH - 1), to.clamp(from + 1, WIDTH));
+            let bar: String = (0..WIDTH)
+                .map(|i| if i >= from && i < to { '#' } else { '.' })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>9.3}s {:>9.3}s {:>9.3}s |{bar}|",
+                span.phase.as_str(),
+                span.start_s,
+                span.end_s,
+                span.end_s - span.start_s,
+            );
+        }
+    }
+    out
+}
+
+/// One step of a [`CriticalPathReport`], in forward time order. Steps
+/// tile the window exactly: each starts where the previous ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathStep {
+    /// The rank the step is attributed to; `None` for the pre-span
+    /// startup stretch.
+    pub rank: Option<usize>,
+    /// The span phase, or a synthetic label (`"wait"` between spans,
+    /// `"startup"` before the first).
+    pub label: String,
+    /// Step start, corrected run clock.
+    pub start_s: f64,
+    /// Step end, corrected run clock.
+    pub end_s: f64,
+}
+
+/// The outcome of [`trace_critical_path`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathReport {
+    /// The dependency-ordered steps from run start to the anchor.
+    pub steps: Vec<CriticalPathStep>,
+    /// Sum of the step durations.
+    pub total_s: f64,
+    /// The analyzed window: run start to the anchor event.
+    pub wall_s: f64,
+    /// Human-readable rendering.
+    pub report: String,
+}
+
+/// `parmonc-trace critical-path`: walks the span stream *backwards*
+/// from the run's outcome (`target_precision_reached` when present,
+/// otherwise the last event) to the run start, at each point following
+/// the span that was still in flight — the work the outcome was
+/// actually waiting on. Stretches covered by no span are attributed to
+/// `wait` (the collector idling on its inbox) or `startup`. The steps
+/// tile the window exactly, so their sum equals the analyzed wall time
+/// by construction — the interesting output is *where* that time went,
+/// summarized per rank/phase with the dominant contributor named.
+#[must_use]
+pub fn trace_critical_path(events: &[Event]) -> CriticalPathReport {
+    let (spans, _) = closed_spans(events);
+    let run_start = events
+        .iter()
+        .find_map(|e| matches!(e.kind, EventKind::RunStarted { .. }).then_some(e.time_s))
+        .unwrap_or_else(|| {
+            events
+                .iter()
+                .map(|e| e.time_s)
+                .fold(f64::INFINITY, f64::min)
+        });
+    let anchor = events
+        .iter()
+        .find_map(|e| matches!(e.kind, EventKind::TargetPrecisionReached { .. }).then_some(e.time_s))
+        .unwrap_or_else(|| {
+            events
+                .iter()
+                .map(|e| e.time_s)
+                .fold(f64::NEG_INFINITY, f64::max)
+        });
+    if events.is_empty() || !(anchor > run_start) {
+        return CriticalPathReport {
+            steps: Vec::new(),
+            total_s: 0.0,
+            wall_s: 0.0,
+            report: "trace has no analyzable window (empty or zero-length)\n".to_string(),
+        };
+    }
+
+    let mut steps: Vec<CriticalPathStep> = Vec::new();
+    let mut cursor = anchor;
+    // Each iteration strictly lowers `cursor` (covering spans start
+    // strictly before it; gap hops land on a strictly earlier end), so
+    // the walk terminates; the cap is sheer paranoia against a
+    // pathological trace.
+    let mut budget = 2 * spans.len() + 16;
+    while cursor > run_start && budget > 0 {
+        budget -= 1;
+        // The span in flight at `cursor` — latest-starting, so the
+        // innermost (a subtotal_send wins over its realization_batch).
+        let covering = spans
+            .iter()
+            .filter(|s| s.start_s < cursor && s.end_s >= cursor)
+            .max_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        if let Some(span) = covering {
+            let from = span.start_s.max(run_start);
+            steps.push(CriticalPathStep {
+                rank: Some(span.rank),
+                label: span.phase.as_str().to_string(),
+                start_s: from,
+                end_s: cursor,
+            });
+            cursor = from;
+            continue;
+        }
+        // Nothing in flight: hop to the nearest earlier completion and
+        // book the gap as waiting (attributed to the collector, whose
+        // inbox the run blocks on between spans).
+        let earlier = spans
+            .iter()
+            .filter(|s| s.end_s < cursor)
+            .max_by(|a, b| a.end_s.total_cmp(&b.end_s));
+        match earlier {
+            Some(span) if span.end_s > run_start => {
+                steps.push(CriticalPathStep {
+                    rank: Some(0),
+                    label: "wait".to_string(),
+                    start_s: span.end_s,
+                    end_s: cursor,
+                });
+                cursor = span.end_s;
+            }
+            _ => {
+                steps.push(CriticalPathStep {
+                    rank: None,
+                    label: "startup".to_string(),
+                    start_s: run_start,
+                    end_s: cursor,
+                });
+                cursor = run_start;
+            }
+        }
+    }
+    steps.reverse();
+
+    let wall_s = anchor - run_start;
+    let total_s: f64 = steps.iter().map(|s| s.end_s - s.start_s).sum();
+    let mut by_owner: BTreeMap<String, f64> = BTreeMap::new();
+    for step in &steps {
+        let owner = match step.rank {
+            Some(rank) => format!("rank {rank} {}", step.label),
+            None => step.label.clone(),
+        };
+        *by_owner.entry(owner).or_default() += step.end_s - step.start_s;
+    }
+    let mut out = format!(
+        "critical path: {} steps over {wall_s:.3}s (run start {run_start:.3}s -> anchor {anchor:.3}s)\n",
+        steps.len()
+    );
+    for step in &steps {
+        let _ = writeln!(
+            out,
+            "  {:>9.3}s .. {:>9.3}s {:>9.3}s  {}",
+            step.start_s,
+            step.end_s,
+            step.end_s - step.start_s,
+            match step.rank {
+                Some(rank) => format!("rank {rank}  {}", step.label),
+                None => step.label.clone(),
+            },
+        );
+    }
+    let _ = writeln!(out, "path total {total_s:.3}s of {wall_s:.3}s wall");
+    if let Some((owner, seconds)) = by_owner
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(k, v)| (k.clone(), *v))
+    {
+        let _ = writeln!(
+            out,
+            "dominated by {owner}: {seconds:.3}s ({:.0}% of the window)",
+            100.0 * seconds / wall_s
+        );
+    }
+    CriticalPathReport {
+        steps,
+        total_s,
+        wall_s,
+        report: out,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -791,6 +1107,24 @@ mod tests {
     }
 
     #[test]
+    fn demo_spans_and_skew_flags() {
+        let a = parse_demo_args(["pi"]).unwrap();
+        assert!(!a.spans);
+        assert_eq!(a.skew_s, 0.0);
+
+        // --spans implies --monitor: spans are monitor events.
+        let a = parse_demo_args(["pi", "--spans"]).unwrap();
+        assert!(a.spans);
+        assert!(a.monitor);
+
+        let a = parse_demo_args(["--skew-s", "1.5", "pi", "1000", "2"]).unwrap();
+        assert_eq!(a.skew_s, 1.5);
+        assert_eq!(a.volume, 1000);
+        assert!(parse_demo_args(["pi", "--skew-s"]).is_err());
+        assert!(parse_demo_args(["pi", "--skew-s", "soon"]).is_err());
+    }
+
+    #[test]
     fn demo_transport_flag() {
         let a = parse_demo_args(["pi"]).unwrap();
         assert_eq!(a.transport, Transport::Threads);
@@ -871,6 +1205,18 @@ mod tests {
                 b: PathBuf::from("b.jsonl"),
             }
         );
+        assert_eq!(
+            parse_trace_args(["timeline", "t.jsonl"]).unwrap(),
+            TraceCommand::Timeline {
+                trace: PathBuf::from("t.jsonl")
+            }
+        );
+        assert_eq!(
+            parse_trace_args(["critical-path", "t.jsonl"]).unwrap(),
+            TraceCommand::CriticalPath {
+                trace: PathBuf::from("t.jsonl")
+            }
+        );
         for bad in [
             vec![],
             vec!["summary"],
@@ -885,7 +1231,7 @@ mod tests {
     /// A tiny synthetic but schema-complete trace of a 2-processor run.
     fn sample_events() -> Vec<Event> {
         use parmonc_obs::RunMode;
-        let ev = |time_s: f64, rank: Option<usize>, kind: EventKind| Event { time_s, rank, kind };
+        let ev = Event::at;
         vec![
             ev(
                 0.0,
@@ -1016,6 +1362,110 @@ mod tests {
         assert!(out.contains("functional 0 (2 observations)"));
         assert!(out.contains("target precision reached at n 100"));
         assert!(trace_convergence(&[]).contains("no metrics_snapshot"));
+    }
+
+    /// A synthetic span stream on one corrected run clock: rank 0
+    /// positions + merges, rank 1 batches + sends, with waiting gaps.
+    fn span_events() -> Vec<Event> {
+        use parmonc_obs::RunMode;
+        let mut v = vec![Event::at(
+            0.0,
+            None,
+            EventKind::RunStarted {
+                mode: RunMode::Threads,
+                processors: 2,
+                max_sample_volume: 100,
+                seqnum: None,
+                nrow: None,
+                ncol: None,
+                transport: Some(parmonc_obs::RunTransport::Tcp),
+            },
+        )];
+        let mut add = |id: u64, rank: usize, phase: SpanPhase, t0: f64, t1: f64| {
+            v.push(Event::at(
+                t0,
+                Some(rank),
+                EventKind::SpanStarted {
+                    span: id,
+                    parent: None,
+                    phase,
+                },
+            ));
+            v.push(Event::at(t1, Some(rank), EventKind::SpanEnded { span: id, phase }));
+        };
+        add(1, 0, SpanPhase::StreamPosition, 0.0, 0.1);
+        add(2, 1, SpanPhase::RealizationBatch, 0.1, 0.6);
+        add(3, 1, SpanPhase::SubtotalSend, 0.55, 0.6);
+        add(4, 0, SpanPhase::CollectorMerge, 0.7, 0.9);
+        v.push(Event::at(
+            1.0,
+            Some(0),
+            EventKind::TargetPrecisionReached {
+                n: 100,
+                eps_max: 0.01,
+                target: 0.02,
+            },
+        ));
+        v
+    }
+
+    #[test]
+    fn timeline_renders_per_rank_gantt() {
+        let out = trace_timeline(&span_events());
+        assert!(out.contains("8 spans") || out.contains("4 spans"), "{out}");
+        assert!(out.contains("rank 0"));
+        assert!(out.contains("rank 1"));
+        assert!(out.contains("subtotal_send"));
+        assert!(out.contains("collector_merge"));
+        assert!(out.contains('#'));
+        assert!(trace_timeline(&sample_events()).contains("no spans"));
+    }
+
+    #[test]
+    fn critical_path_tiles_the_run_window_exactly() {
+        let path = trace_critical_path(&span_events());
+        // The steps cover run start to the anchor with no gap or
+        // overlap, so the total equals the wall time by construction.
+        assert!((path.wall_s - 1.0).abs() < 1e-9);
+        assert!((path.total_s - path.wall_s).abs() < 1e-9, "{}", path.report);
+        assert!(!path.steps.is_empty());
+        assert!((path.steps[0].start_s - 0.0).abs() < 1e-9);
+        assert!((path.steps.last().unwrap().end_s - 1.0).abs() < 1e-9);
+        for pair in path.steps.windows(2) {
+            assert!(
+                (pair[0].end_s - pair[1].start_s).abs() < 1e-9,
+                "steps must be contiguous: {pair:?}"
+            );
+        }
+        // The longest stretch was rank 1's realization batch; the
+        // in-flight walk hops from the merge back through the send into
+        // the batch, crossing ranks along real dependencies.
+        assert!(path.report.contains("dominated by rank 1 realization_batch"));
+        assert!(path.report.contains("wait"));
+
+        // Span-free traces degrade gracefully.
+        let empty = trace_critical_path(&[]);
+        assert_eq!(empty.steps.len(), 0);
+        let no_spans = trace_critical_path(&sample_events());
+        assert!((no_spans.total_s - no_spans.wall_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_spans_pairs_and_counts_unclosed() {
+        let mut events = span_events();
+        let (spans, unclosed) = closed_spans(&events);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(unclosed, 0);
+        // Drop the last span_ended: its span never closes.
+        let pos = events
+            .iter()
+            .rposition(|e| matches!(e.kind, EventKind::SpanEnded { .. }))
+            .unwrap();
+        events.remove(pos);
+        let (spans, unclosed) = closed_spans(&events);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(unclosed, 1);
+        assert!(trace_timeline(&events).contains("1 spans never closed"));
     }
 
     #[test]

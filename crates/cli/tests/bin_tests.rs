@@ -146,6 +146,60 @@ fn monitored_demo_then_trace_analysis() {
 }
 
 #[test]
+fn spanned_demo_then_timeline_and_critical_path() {
+    let dir = tempdir("span-flow");
+    let out = Command::new(env!("CARGO_BIN_EXE_parmonc-demo"))
+        .args(["pi", "20000", "2", dir.to_str().unwrap(), "--spans"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = dir.join("parmonc_data/monitor/run_metrics.jsonl");
+    assert!(trace.is_file());
+
+    let trace_cmd = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_parmonc-trace"))
+            .args(args)
+            .output()
+            .unwrap()
+    };
+    let timeline = trace_cmd(&["timeline", trace.to_str().unwrap()]);
+    assert!(timeline.status.success());
+    let rendered = String::from_utf8_lossy(&timeline.stdout);
+    assert!(rendered.contains("rank 0"), "{rendered}");
+    assert!(rendered.contains("realization_batch"), "{rendered}");
+
+    let critical = trace_cmd(&["critical-path", trace.to_str().unwrap()]);
+    assert!(critical.status.success());
+    let rendered = String::from_utf8_lossy(&critical.stdout);
+    assert!(rendered.contains("path total"), "{rendered}");
+    assert!(rendered.contains("dominated by"), "{rendered}");
+
+    // Numeric validation against the same trace: the critical path is
+    // dependency-ordered (contiguous, monotone steps) and its total
+    // accounts for the full run wall time.
+    let events = parmonc_cli::read_trace(&trace).unwrap();
+    let report = parmonc_cli::trace_critical_path(&events);
+    assert!(!report.steps.is_empty(), "critical path must be non-empty");
+    assert!(report.wall_s > 0.0);
+    assert!(
+        (report.total_s - report.wall_s).abs() <= 1e-9 + 1e-6 * report.wall_s,
+        "path total {} must equal run wall time {}",
+        report.total_s,
+        report.wall_s
+    );
+    let mut cursor = f64::NEG_INFINITY;
+    for step in &report.steps {
+        assert!(step.start_s >= cursor - 1e-12, "steps out of order");
+        assert!(step.end_s >= step.start_s);
+        cursor = step.end_s;
+    }
+}
+
+#[test]
 fn demo_rejects_unknown_workload() {
     let out = Command::new(env!("CARGO_BIN_EXE_parmonc-demo"))
         .arg("juggling")

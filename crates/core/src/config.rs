@@ -173,6 +173,26 @@ pub struct RunConfig {
     /// harnesses set this to the filter that reaches the spawning test
     /// function. Ignored by the thread backend.
     pub worker_args: Option<Vec<String>>,
+    /// Whether the run emits causal *spans* (`span_started`/
+    /// `span_ended` events bracketing the implicit phases — stream
+    /// positioning, realization batches, subtotal sends, collector
+    /// merges, checkpoints, reconnects) into the monitor stream, for
+    /// `parmonc-trace timeline` / `critical-path`. Requires
+    /// [`RunConfig::monitor`]; off by default. Purely observational —
+    /// spans never change the estimates — and deliberately *excluded*
+    /// from [`RunConfig::wire_digest`], so a collector with spans on
+    /// accepts workers that were built without the flag (they are told
+    /// through the handshake grant instead).
+    pub trace_spans: bool,
+    /// TCP backend, worker side: a deterministic offset (seconds) added
+    /// to every local monitor timestamp *before* it leaves the worker —
+    /// a test-only knob that emulates an unsynchronized host clock so
+    /// the collector's clock-alignment plane can be exercised
+    /// deterministically. The offset skews only the observability
+    /// timestamps; seeds, payload math, and control flow are untouched,
+    /// so estimates stay bit-identical. Excluded from
+    /// [`RunConfig::wire_digest`]. Default `0.0`.
+    pub clock_skew_s: f64,
 }
 
 impl RunConfig {
@@ -241,6 +261,19 @@ impl RunConfig {
             return Err(ParmoncError::Config(
                 "resume_listen is only meaningful with the TCP transport".into(),
             ));
+        }
+        if self.trace_spans && !self.monitor {
+            return Err(ParmoncError::Config(
+                "trace_spans requires the monitor: spans are monitor events, so call \
+                 .monitor() as well"
+                    .into(),
+            ));
+        }
+        if !self.clock_skew_s.is_finite() {
+            return Err(ParmoncError::Config(format!(
+                "clock_skew_s must be finite, got {}",
+                self.clock_skew_s
+            )));
         }
         if self.reconnect.attempts == 0 {
             return Err(ParmoncError::Config(
@@ -333,6 +366,8 @@ impl ParmoncBuilder {
                 reconnect: ReconnectPolicy::default(),
                 resume_collector: false,
                 worker_args: None,
+                trace_spans: false,
+                clock_skew_s: 0.0,
             },
         }
     }
@@ -416,6 +451,30 @@ impl ParmoncBuilder {
     #[must_use]
     pub fn monitor(mut self) -> Self {
         self.config.monitor = true;
+        self
+    }
+
+    /// Enables causal span tracing: the run brackets its implicit
+    /// phases (stream positioning, realization batches, subtotal
+    /// sends, collector merges, checkpoints, reconnects) in
+    /// `span_started`/`span_ended` events so `parmonc-trace timeline`
+    /// and `parmonc-trace critical-path` can reconstruct where the
+    /// wall time went. Implies nothing about the estimates — they are
+    /// bitwise identical with spans on or off — but requires
+    /// [`ParmoncBuilder::monitor`] (validated at build time).
+    #[must_use]
+    pub fn trace_spans(mut self) -> Self {
+        self.config.trace_spans = true;
+        self
+    }
+
+    /// Adds a deterministic offset (seconds) to this worker's monitor
+    /// timestamps, emulating an unsynchronized host clock for testing
+    /// the TCP clock-alignment plane. Only meaningful for
+    /// [`ParmoncBuilder::run_worker`]; purely observational.
+    #[must_use]
+    pub fn clock_skew(mut self, skew_s: f64) -> Self {
+        self.config.clock_skew_s = skew_s;
         self
     }
 
@@ -785,6 +844,42 @@ mod tests {
             .build()
             .unwrap();
         assert!(!cfg.resume_collector);
+    }
+
+    #[test]
+    fn trace_spans_requires_monitor_and_skips_the_digest() {
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(1)
+            .trace_spans()
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("trace_spans"));
+
+        let plain = Parmonc::builder(2, 3)
+            .max_sample_volume(10)
+            .processors(2)
+            .build()
+            .unwrap();
+        let traced = Parmonc::builder(2, 3)
+            .max_sample_volume(10)
+            .processors(2)
+            .monitor()
+            .trace_spans()
+            .clock_skew(1.5)
+            .build()
+            .unwrap();
+        assert!(traced.trace_spans);
+        assert_eq!(traced.clock_skew_s, 1.5);
+        // Neither observability flag may perturb the handshake digest:
+        // a worker built without them must still be admitted.
+        assert_eq!(plain.wire_digest(), traced.wire_digest());
+
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(1)
+            .clock_skew(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("clock_skew"));
     }
 
     #[test]

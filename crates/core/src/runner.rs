@@ -23,7 +23,7 @@ use parmonc_mpi::Transport as Comm;
 use parmonc_mpi::{Bytes, Envelope, MpiError, World};
 use parmonc_obs::{
     CollectorActivity, ConvergenceTracker, EventKind, JsonlSink, MemorySink, MetricsSink, Monitor,
-    MonitorSummary, RunMode, RunTransport,
+    MonitorSummary, RunMode, RunTransport, SpanEmitter, SpanPhase,
 };
 use parmonc_rng::{StreamHierarchy, StreamId};
 use parmonc_stats::report::LogReport;
@@ -385,7 +385,15 @@ where
                     })
                 } else {
                     worker_loop(
-                        comm, &config, &hierarchy, &dir, realize, start, &monitor, &faults,
+                        comm,
+                        &config,
+                        &hierarchy,
+                        &dir,
+                        realize,
+                        start,
+                        &monitor,
+                        &faults,
+                        config.trace_spans,
                     )
                 };
                 if let Err(e) = result {
@@ -430,6 +438,7 @@ where
         monitor: setup.monitor.clone(),
         faults: setup.faults.clone(),
         worker_args: config.worker_args.clone(),
+        trace_spans: config.trace_spans,
     })
     .io_ctx("spawning worker processes")?;
     let result = rank0_loop(
@@ -524,6 +533,7 @@ where
         io_timeout: config.tcp_io_timeout,
         resume,
         persist: Some(setup.dir.lease_table_path()),
+        trace_spans: config.trace_spans,
     })
     .io_ctx("binding the collector TCP listener")?;
     if let Some(leases) = resumed_leases {
@@ -583,6 +593,7 @@ pub(crate) fn run_tcp_worker<R: Realize>(
         faults: faults.clone(),
         io_timeout: config.tcp_io_timeout,
         reconnect: config.reconnect,
+        clock_skew_s: config.clock_skew_s,
     })
     .io_ctx("joining the TCP collector")?;
     // The digest already proved both sides agree on the configuration;
@@ -598,8 +609,20 @@ pub(crate) fn run_tcp_worker<R: Realize>(
         )));
     }
     let monitor = comm.monitor();
+    // Span tracing is the *collector's* choice, carried to the worker
+    // in the handshake grant — a worker built without the flag still
+    // traces when the collector asks.
+    let trace_spans = comm.spans().is_enabled();
     worker_loop(
-        comm, &config, &hierarchy, &dir, realize, start, &monitor, &faults,
+        comm,
+        &config,
+        &hierarchy,
+        &dir,
+        realize,
+        start,
+        &monitor,
+        &faults,
+        trace_spans,
     )
 }
 
@@ -634,7 +657,15 @@ fn worker_process_body<R: Realize>(
         .io_ctx("connecting to the collector socket")?;
     let monitor = comm.monitor();
     worker_loop(
-        comm, config, &hierarchy, &dir, realize, start, &monitor, &faults,
+        comm,
+        config,
+        &hierarchy,
+        &dir,
+        realize,
+        start,
+        &monitor,
+        &faults,
+        info.spans,
     )
 }
 
@@ -665,6 +696,8 @@ fn finish(
     // in-loop save-points, which only fire when `averaging_period`
     // elapses), so every monitored run records at least one
     // averaging_pass and one save_point event.
+    let spans = SpanEmitter::new(&monitor, 0, config.trace_spans);
+    let sp_merge = spans.start(SpanPhase::CollectorMerge, None);
     let pass_started = Instant::now();
     let max_age = state.max_snapshot_age();
     let total = state.total()?;
@@ -686,9 +719,11 @@ fn finish(
         seqnum: config.seqnum,
     };
     let save_started = Instant::now();
+    let sp_ck = spans.start(SpanPhase::Checkpoint, Some(sp_merge));
     dir.save_results(&summary, &log)?;
     dir.save_checkpoint(&total)?;
     dir.clear_worker_subtotals()?;
+    spans.end(sp_ck, SpanPhase::Checkpoint);
     if monitor.is_enabled() {
         monitor.emit(
             Some(0),
@@ -720,6 +755,7 @@ fn finish(
             eps_max,
         );
     }
+    spans.end(sp_merge, SpanPhase::CollectorMerge);
 
     let worker_volumes: Vec<u64> = state
         .latest
@@ -800,6 +836,7 @@ fn simulate_quota<R: Realize + ?Sized>(
     realize: &R,
     start: Instant,
     crash_after: Option<u64>,
+    spans: &SpanEmitter,
     mut emit: impl FnMut(&MatrixAccumulator, f64, bool) -> Result<(), ParmoncError>,
     mut heartbeat: impl FnMut() -> Result<(), ParmoncError>,
     mut poll_control: impl FnMut() -> Result<WorkerControl, ParmoncError>,
@@ -815,7 +852,12 @@ fn simulate_quota<R: Realize + ?Sized>(
     // positioning (three 128-bit modpows) per realization; advancing to
     // the next realization stream is a single 128-bit multiply and
     // yields bit-identical streams (see `parmonc_rng::StreamCursor`).
+    let sp_position = spans.start(SpanPhase::StreamPosition, None);
     let mut cursor = hierarchy.cursor(StreamId::new(config.seqnum, rank as u64, 0))?;
+    spans.end(sp_position, SpanPhase::StreamPosition);
+    // The currently open realization-batch span (0 between batches or
+    // with spans off — `start`/`end` treat 0 as "nothing open").
+    let mut batch_span: u64 = 0;
 
     let mut r: u64 = 0;
     loop {
@@ -831,6 +873,9 @@ fn simulate_quota<R: Realize + ?Sized>(
         }
         if crash_after.is_some_and(|n| r >= n) {
             return Ok(None);
+        }
+        if spans.is_enabled() && batch_span == 0 {
+            batch_span = spans.start(SpanPhase::RealizationBatch, None);
         }
         out.fill(0.0);
         let mut stream = cursor.next_stream()?;
@@ -851,12 +896,18 @@ fn simulate_quota<R: Realize + ?Sized>(
             Exchange::Periodic => now.duration_since(last_pass) >= config.pass_period,
         };
         if due && r < quota {
+            let sp_send = spans.start(SpanPhase::SubtotalSend, Some(batch_span));
             emit(&acc, compute_seconds, false)?;
+            spans.end(sp_send, SpanPhase::SubtotalSend);
             last_contact = now;
             if last_file_write.is_none_or(|t| now.duration_since(t) >= WORKER_FILE_PERIOD) {
+                let sp_ck = spans.start(SpanPhase::Checkpoint, Some(batch_span));
                 dir.save_worker_state(rank, &acc, compute_seconds)?;
+                spans.end(sp_ck, SpanPhase::Checkpoint);
                 last_file_write = Some(now);
             }
+            spans.end(batch_span, SpanPhase::RealizationBatch);
+            batch_span = 0;
             last_pass = now;
         } else if now.duration_since(last_contact) >= config.heartbeat_period {
             heartbeat()?;
@@ -864,8 +915,13 @@ fn simulate_quota<R: Realize + ?Sized>(
         }
     }
 
+    let sp_ck = spans.start(SpanPhase::Checkpoint, Some(batch_span));
     dir.save_worker_state(rank, &acc, compute_seconds)?;
+    spans.end(sp_ck, SpanPhase::Checkpoint);
+    let sp_send = spans.start(SpanPhase::SubtotalSend, Some(batch_span));
     emit(&acc, compute_seconds, true)?;
+    spans.end(sp_send, SpanPhase::SubtotalSend);
+    spans.end(batch_span, SpanPhase::RealizationBatch);
     Ok(Some(Subtotal {
         acc,
         compute_seconds,
@@ -882,9 +938,11 @@ fn worker_loop<C: Comm, R: Realize + ?Sized>(
     start: Instant,
     monitor: &Monitor,
     faults: &FaultHandle,
+    trace_spans: bool,
 ) -> Result<(), ParmoncError> {
     let rank = comm.rank();
     let crash_after = faults.crash_after(rank);
+    let spans = SpanEmitter::new(monitor, rank, trace_spans);
     // `emit` only needs `&Communicator` (sends), while the control poll
     // needs `&mut`; a RefCell arbitrates between the closures, which
     // never run concurrently. A vanished collector (it aborted the run)
@@ -899,6 +957,7 @@ fn worker_loop<C: Comm, R: Realize + ?Sized>(
         realize,
         start,
         crash_after,
+        &spans,
         |acc, compute_seconds, is_final| {
             // Skip event construction (and the timestamp it takes)
             // entirely when no monitor sink is attached — this runs
@@ -1219,6 +1278,7 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
     let mut live = Liveness::new(size);
     let mut last_average = Instant::now();
     let mut tracker = SegmentTracker::new(monitor);
+    let spans = SpanEmitter::new(monitor, 0, config.trace_spans);
     // Strictly read-only with respect to estimation: it observes
     // already-computed summaries, so estimates stay bit-identical with
     // the metrics plane on or off.
@@ -1248,7 +1308,9 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
     // across the main loop *and* the reassignment-absorbing loop below,
     // so every advance is one 128-bit multiply instead of three
     // modpows, on exactly the same stream coordinates.
+    let sp_position = spans.start(SpanPhase::StreamPosition, None);
     let mut cursor = hierarchy.cursor(StreamId::new(config.seqnum, 0, r))?;
+    spans.end(sp_position, SpanPhase::StreamPosition);
 
     loop {
         // Absorb work reassigned to the collector itself: it continues
@@ -1354,7 +1416,7 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
             // between passes.
             state.update_own(&acc, compute_seconds, now);
             let save_started = Instant::now();
-            let eps_max = save_point(dir, config, &state, start, monitor, &mut convergence)?;
+            let eps_max = save_point(dir, config, &state, start, monitor, &spans, &mut convergence)?;
             tracker.punch(CollectorActivity::Saving, save_started);
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
@@ -1469,7 +1531,7 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
         )?;
         if last_average.elapsed() >= config.averaging_period {
             let save_started = Instant::now();
-            let eps_max = save_point(dir, config, &state, start, monitor, &mut convergence)?;
+            let eps_max = save_point(dir, config, &state, start, monitor, &spans, &mut convergence)?;
             tracker.punch(CollectorActivity::Saving, save_started);
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
@@ -1580,14 +1642,17 @@ impl<'a> SegmentTracker<'a> {
 /// the result files (the paper's "periodically calculates and saves in
 /// files the subtotal results"). Returns the current `eps_max` so the
 /// caller can apply error-controlled stopping.
+#[allow(clippy::too_many_arguments)] // internal plumbing
 fn save_point(
     dir: &ResultsDir,
     config: &RunConfig,
     state: &CollectorState,
     start: Instant,
     monitor: &Monitor,
+    spans: &SpanEmitter,
     convergence: &mut ConvergenceTracker,
 ) -> Result<f64, ParmoncError> {
+    let sp_merge = spans.start(SpanPhase::CollectorMerge, None);
     let pass_started = Instant::now();
     let max_age = state.max_snapshot_age();
     let total = state.total()?;
@@ -1609,8 +1674,10 @@ fn save_point(
         seqnum: config.seqnum,
     };
     let save_started = Instant::now();
+    let sp_ck = spans.start(SpanPhase::Checkpoint, Some(sp_merge));
     dir.save_results(&summary, &log)?;
     dir.save_checkpoint(&total)?;
+    spans.end(sp_ck, SpanPhase::Checkpoint);
     if monitor.is_enabled() {
         monitor.emit(
             Some(0),
@@ -1629,6 +1696,7 @@ fn save_point(
             },
         );
     }
+    spans.end(sp_merge, SpanPhase::CollectorMerge);
     // A near-empty sample reports eps_max = 0 vacuously; never let it
     // trigger error-controlled stopping.
     let eps_max = if total.count() < 2 {

@@ -44,6 +44,26 @@ pub const TAG_TCP_REJECT: u32 = 0xFFFF_FF04;
 /// re-granting the same rank, or [`TAG_TCP_REJECT`].
 pub const TAG_TCP_REJOIN: u32 = 0xFFFF_FF05;
 
+/// A worker's periodic clock re-sync probe: payload = [`ClockProbe`]
+/// (the worker's clock at send). The collector answers with
+/// [`TAG_TCP_CLOCK_REPLY`] on the same link. Clock frames are written
+/// *outside* the fault-injection wrapper — they are wall-clock-timed,
+/// so letting them consume scripted frame ordinals would make seeded
+/// net-fault schedules nondeterministic.
+pub const TAG_TCP_CLOCK_PROBE: u32 = 0xFFFF_FF06;
+
+/// The collector's answer to a probe: payload = [`ClockReply`] — the
+/// probe's `t0` echoed back plus the collector clock at receipt and at
+/// reply. The worker closes the four-timestamp NTP-style exchange and
+/// reports the estimated offset with [`TAG_TCP_CLOCK`].
+pub const TAG_TCP_CLOCK_REPLY: u32 = 0xFFFF_FF07;
+
+/// A worker's offset report: payload = [`ClockSync`] — the worker's
+/// RTT-symmetric estimate of `collector_clock − worker_clock` for this
+/// link, which the collector applies when re-emitting the worker's
+/// forwarded events onto the corrected run clock.
+pub const TAG_TCP_CLOCK: u32 = 0xFFFF_FF08;
+
 /// Magic number opening every [`JoinRequest`]: the little-endian bytes
 /// spell `PMNC`. A connection whose first frame does not carry it is
 /// not speaking this protocol and is rejected.
@@ -54,12 +74,14 @@ pub const TCP_MAGIC: u32 = 0x434E_4D50;
 /// collector rejects joiners with a different version (see
 /// `docs/wire-protocol.md` § version negotiation). Version 2 widened
 /// the frame header with the `seq` field and added the rejoin/epoch
-/// machinery.
-pub const TCP_PROTOCOL_VERSION: u16 = 2;
+/// machinery; version 3 widened the handshake payloads with
+/// clock-alignment timestamps and added the clock tag band
+/// ([`TAG_TCP_CLOCK_PROBE`]..[`TAG_TCP_CLOCK`]).
+pub const TCP_PROTOCOL_VERSION: u16 = 3;
 
-/// The 16-byte [`TAG_TCP_JOIN`] payload:
-/// `[magic u32][version u16][reserved u16][config_digest u64]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The 24-byte [`TAG_TCP_JOIN`] payload:
+/// `[magic u32][version u16][reserved u16][config_digest u64][t0_s f64]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinRequest {
     /// Must equal [`TCP_MAGIC`].
     pub magic: u32,
@@ -69,6 +91,10 @@ pub struct JoinRequest {
     /// the estimate; collector and worker must agree or the worker
     /// would compute the wrong streams.
     pub config_digest: u64,
+    /// The worker's clock (seconds on its local event clock, skew
+    /// included) at the moment this request was written — the `t0` of
+    /// the NTP-style offset exchange closed by the [`Grant`].
+    pub t0_s: f64,
 }
 
 impl JoinRequest {
@@ -79,17 +105,19 @@ impl JoinRequest {
             magic: TCP_MAGIC,
             version: TCP_PROTOCOL_VERSION,
             config_digest,
+            t0_s: 0.0,
         }
     }
 
-    /// Encodes the 16-byte payload.
+    /// Encodes the 24-byte payload.
     #[must_use]
-    pub fn encode(&self) -> [u8; 16] {
-        let mut buf = [0u8; 16];
+    pub fn encode(&self) -> [u8; 24] {
+        let mut buf = [0u8; 24];
         buf[0..4].copy_from_slice(&self.magic.to_le_bytes());
         buf[4..6].copy_from_slice(&self.version.to_le_bytes());
         // bytes 6..8 reserved, zero
         buf[8..16].copy_from_slice(&self.config_digest.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.t0_s.to_le_bytes());
         buf
     }
 
@@ -98,28 +126,32 @@ impl JoinRequest {
     /// itself so it can answer with the right reject code.
     #[must_use]
     pub fn decode(payload: &[u8]) -> Option<Self> {
-        if payload.len() != 16 {
+        if payload.len() != 24 {
             return None;
         }
         Some(Self {
             magic: u32::from_le_bytes(payload[0..4].try_into().ok()?),
             version: u16::from_le_bytes(payload[4..6].try_into().ok()?),
             config_digest: u64::from_le_bytes(payload[8..16].try_into().ok()?),
+            t0_s: f64::from_le_bytes(payload[16..24].try_into().ok()?),
         })
     }
 }
 
-/// The 32-byte [`TAG_TCP_GRANT`] payload:
-/// `[version u16][flags u16][rank u32][size u32][reserved u32][quota u64][epoch u64]`.
+/// The 48-byte [`TAG_TCP_GRANT`] payload:
+/// `[version u16][flags u16][rank u32][size u32][reserved u32][quota u64][epoch u64][t_recv_s f64][t_reply_s f64]`.
 /// Flags bit 0 = the run is monitored (the worker should forward its
-/// events).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// events); bit 1 = span tracing is on (the worker should emit
+/// `span_started`/`span_ended` events around its phases).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Grant {
     /// The collector's protocol version (equals the joiner's, or the
     /// join would have been rejected).
     pub version: u16,
     /// Whether the run is monitored.
     pub monitor: bool,
+    /// Whether span tracing is enabled for this run.
+    pub spans: bool,
     /// The leased logical rank — the worker's leapfrog stream range.
     pub rank: u32,
     /// World size including the collector.
@@ -131,47 +163,59 @@ pub struct Grant {
     /// later [`Rejoin`]; a resumed collector keeps the epoch of the
     /// run it is completing, so only workers of *that* run re-attach.
     pub epoch: u64,
+    /// The collector's clock when the join (or rejoin) frame was read
+    /// — the `t1` of the offset exchange.
+    pub t_recv_s: f64,
+    /// The collector's clock when this grant was written — the `t2` of
+    /// the offset exchange.
+    pub t_reply_s: f64,
 }
 
 impl Grant {
-    /// Encodes the 32-byte payload.
+    /// Encodes the 48-byte payload.
     #[must_use]
-    pub fn encode(&self) -> [u8; 32] {
-        let mut buf = [0u8; 32];
+    pub fn encode(&self) -> [u8; 48] {
+        let mut buf = [0u8; 48];
         buf[0..2].copy_from_slice(&self.version.to_le_bytes());
-        buf[2..4].copy_from_slice(&u16::from(self.monitor).to_le_bytes());
+        let flags = u16::from(self.monitor) | (u16::from(self.spans) << 1);
+        buf[2..4].copy_from_slice(&flags.to_le_bytes());
         buf[4..8].copy_from_slice(&self.rank.to_le_bytes());
         buf[8..12].copy_from_slice(&self.size.to_le_bytes());
         // bytes 12..16 reserved, zero
         buf[16..24].copy_from_slice(&self.quota.to_le_bytes());
         buf[24..32].copy_from_slice(&self.epoch.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.t_recv_s.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.t_reply_s.to_le_bytes());
         buf
     }
 
     /// Decodes a payload; `None` if the length is wrong.
     #[must_use]
     pub fn decode(payload: &[u8]) -> Option<Self> {
-        if payload.len() != 32 {
+        if payload.len() != 48 {
             return None;
         }
         let flags = u16::from_le_bytes(payload[2..4].try_into().ok()?);
         Some(Self {
             version: u16::from_le_bytes(payload[0..2].try_into().ok()?),
             monitor: flags & 1 != 0,
+            spans: flags & 2 != 0,
             rank: u32::from_le_bytes(payload[4..8].try_into().ok()?),
             size: u32::from_le_bytes(payload[8..12].try_into().ok()?),
             quota: u64::from_le_bytes(payload[16..24].try_into().ok()?),
             epoch: u64::from_le_bytes(payload[24..32].try_into().ok()?),
+            t_recv_s: f64::from_le_bytes(payload[32..40].try_into().ok()?),
+            t_reply_s: f64::from_le_bytes(payload[40..48].try_into().ok()?),
         })
     }
 }
 
-/// The 32-byte [`TAG_TCP_REJOIN`] payload:
-/// `[magic u32][version u16][reserved u16][config_digest u64][epoch u64][rank u32][reserved u32]`.
+/// The 40-byte [`TAG_TCP_REJOIN`] payload:
+/// `[magic u32][version u16][reserved u16][config_digest u64][epoch u64][rank u32][reserved u32][t0_s f64]`.
 /// Sent instead of a [`JoinRequest`] by a worker that already holds a
 /// lease and is re-attaching after a broken connection or a collector
 /// restart.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rejoin {
     /// Must equal [`TCP_MAGIC`].
     pub magic: u32,
@@ -184,6 +228,9 @@ pub struct Rejoin {
     pub epoch: u64,
     /// The rank the worker was leased and wants back.
     pub rank: u32,
+    /// The worker's clock at send — like [`JoinRequest::t0_s`], so a
+    /// rejoin grant doubles as a fresh offset exchange.
+    pub t0_s: f64,
 }
 
 impl Rejoin {
@@ -196,13 +243,14 @@ impl Rejoin {
             config_digest,
             epoch,
             rank,
+            t0_s: 0.0,
         }
     }
 
-    /// Encodes the 32-byte payload.
+    /// Encodes the 40-byte payload.
     #[must_use]
-    pub fn encode(&self) -> [u8; 32] {
-        let mut buf = [0u8; 32];
+    pub fn encode(&self) -> [u8; 40] {
+        let mut buf = [0u8; 40];
         buf[0..4].copy_from_slice(&self.magic.to_le_bytes());
         buf[4..6].copy_from_slice(&self.version.to_le_bytes());
         // bytes 6..8 reserved, zero
@@ -210,6 +258,7 @@ impl Rejoin {
         buf[16..24].copy_from_slice(&self.epoch.to_le_bytes());
         buf[24..28].copy_from_slice(&self.rank.to_le_bytes());
         // bytes 28..32 reserved, zero
+        buf[32..40].copy_from_slice(&self.t0_s.to_le_bytes());
         buf
     }
 
@@ -219,7 +268,7 @@ impl Rejoin {
     /// reject code.
     #[must_use]
     pub fn decode(payload: &[u8]) -> Option<Self> {
-        if payload.len() != 32 {
+        if payload.len() != 40 {
             return None;
         }
         Some(Self {
@@ -228,6 +277,118 @@ impl Rejoin {
             config_digest: u64::from_le_bytes(payload[8..16].try_into().ok()?),
             epoch: u64::from_le_bytes(payload[16..24].try_into().ok()?),
             rank: u32::from_le_bytes(payload[24..28].try_into().ok()?),
+            t0_s: f64::from_le_bytes(payload[32..40].try_into().ok()?),
+        })
+    }
+}
+
+/// The 8-byte [`TAG_TCP_CLOCK_PROBE`] payload: `[t0_s f64]`, the
+/// worker's clock at send.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockProbe {
+    /// The worker's clock at send.
+    pub t0_s: f64,
+}
+
+impl ClockProbe {
+    /// Encodes the 8-byte payload.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 8] {
+        self.t0_s.to_le_bytes()
+    }
+
+    /// Decodes a payload; `None` if the length is wrong.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        Some(Self {
+            t0_s: f64::from_le_bytes(payload.try_into().ok()?),
+        })
+    }
+}
+
+/// The 24-byte [`TAG_TCP_CLOCK_REPLY`] payload:
+/// `[t0_s f64][t1_s f64][t2_s f64]` — the probe's `t0` echoed back
+/// (the exchange is stateless on both sides), the collector's clock at
+/// probe receipt, and the collector's clock at reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockReply {
+    /// The probe's `t0_s`, echoed back.
+    pub t0_s: f64,
+    /// Collector clock at probe receipt.
+    pub t1_s: f64,
+    /// Collector clock at reply.
+    pub t2_s: f64,
+}
+
+impl ClockReply {
+    /// Encodes the 24-byte payload.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 24] {
+        let mut buf = [0u8; 24];
+        buf[0..8].copy_from_slice(&self.t0_s.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.t1_s.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.t2_s.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a payload; `None` if the length is wrong.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 24 {
+            return None;
+        }
+        Some(Self {
+            t0_s: f64::from_le_bytes(payload[0..8].try_into().ok()?),
+            t1_s: f64::from_le_bytes(payload[8..16].try_into().ok()?),
+            t2_s: f64::from_le_bytes(payload[16..24].try_into().ok()?),
+        })
+    }
+}
+
+/// The 16-byte [`TAG_TCP_CLOCK`] payload: `[offset_s f64][rtt_s f64]`
+/// — the worker's RTT-symmetric estimate of
+/// `collector_clock − worker_clock` for this link, plus the round-trip
+/// time of the exchange it came from (the error bound on the
+/// estimate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSync {
+    /// Estimated `collector_clock − worker_clock`.
+    pub offset_s: f64,
+    /// Round-trip time of the exchange behind the estimate.
+    pub rtt_s: f64,
+}
+
+impl ClockSync {
+    /// The standard four-timestamp offset estimate:
+    /// `θ = ((t1 − t0) + (t2 − t3)) / 2`, assuming the two network legs
+    /// are symmetric; the RTT (minus the collector's turnaround) bounds
+    /// the error of that assumption.
+    #[must_use]
+    pub fn estimate(t0_s: f64, t1_s: f64, t2_s: f64, t3_s: f64) -> Self {
+        Self {
+            offset_s: ((t1_s - t0_s) + (t2_s - t3_s)) / 2.0,
+            rtt_s: ((t3_s - t0_s) - (t2_s - t1_s)).max(0.0),
+        }
+    }
+
+    /// Encodes the 16-byte payload.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 16] {
+        let mut buf = [0u8; 16];
+        buf[0..8].copy_from_slice(&self.offset_s.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.rtt_s.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a payload; `None` if the length is wrong.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != 16 {
+            return None;
+        }
+        Some(Self {
+            offset_s: f64::from_le_bytes(payload[0..8].try_into().ok()?),
+            rtt_s: f64::from_le_bytes(payload[8..16].try_into().ok()?),
         })
     }
 }
@@ -458,40 +619,77 @@ mod tests {
 
     #[test]
     fn join_request_round_trips() {
-        let req = JoinRequest::new(0xDEAD_BEEF_0123_4567);
+        let mut req = JoinRequest::new(0xDEAD_BEEF_0123_4567);
+        req.t0_s = 1.25;
         let buf = req.encode();
-        assert_eq!(buf.len(), 16);
+        assert_eq!(buf.len(), 24);
         assert_eq!(&buf[0..4], b"PMNC");
         assert_eq!(JoinRequest::decode(&buf), Some(req));
-        assert_eq!(JoinRequest::decode(&buf[..15]), None);
+        assert_eq!(JoinRequest::decode(&buf[..16]), None);
     }
 
     #[test]
-    fn grant_round_trips_with_and_without_monitor() {
+    fn grant_round_trips_with_every_flag_combination() {
         for monitor in [false, true] {
-            let grant = Grant {
-                version: TCP_PROTOCOL_VERSION,
-                monitor,
-                rank: 3,
-                size: 8,
-                quota: 125_000,
-                epoch: 0x0123_4567_89AB_CDEF,
-            };
-            let buf = grant.encode();
-            assert_eq!(buf.len(), 32);
-            assert_eq!(Grant::decode(&buf), Some(grant));
+            for spans in [false, true] {
+                let grant = Grant {
+                    version: TCP_PROTOCOL_VERSION,
+                    monitor,
+                    spans,
+                    rank: 3,
+                    size: 8,
+                    quota: 125_000,
+                    epoch: 0x0123_4567_89AB_CDEF,
+                    t_recv_s: 9.5,
+                    t_reply_s: 9.625,
+                };
+                let buf = grant.encode();
+                assert_eq!(buf.len(), 48);
+                assert_eq!(Grant::decode(&buf), Some(grant));
+            }
         }
-        assert_eq!(Grant::decode(&[0u8; 24]), None);
+        assert_eq!(Grant::decode(&[0u8; 32]), None, "v2 grants are refused");
     }
 
     #[test]
     fn rejoin_round_trips() {
-        let rejoin = Rejoin::new(0xFEED_FACE_CAFE_BEEF, 0x1122_3344_5566_7788, 3);
+        let mut rejoin = Rejoin::new(0xFEED_FACE_CAFE_BEEF, 0x1122_3344_5566_7788, 3);
+        rejoin.t0_s = 2.5;
         let buf = rejoin.encode();
-        assert_eq!(buf.len(), 32);
+        assert_eq!(buf.len(), 40);
         assert_eq!(&buf[0..4], b"PMNC");
         assert_eq!(Rejoin::decode(&buf), Some(rejoin));
-        assert_eq!(Rejoin::decode(&buf[..31]), None);
+        assert_eq!(Rejoin::decode(&buf[..32]), None);
+    }
+
+    #[test]
+    fn clock_payloads_round_trip() {
+        let probe = ClockProbe { t0_s: 3.5 };
+        assert_eq!(ClockProbe::decode(&probe.encode()), Some(probe));
+        assert_eq!(ClockProbe::decode(&[0u8; 4]), None);
+        let reply = ClockReply {
+            t0_s: 3.5,
+            t1_s: 8.5,
+            t2_s: 8.625,
+        };
+        assert_eq!(ClockReply::decode(&reply.encode()), Some(reply));
+        assert_eq!(ClockReply::decode(&[0u8; 16]), None);
+        let sync = ClockSync {
+            offset_s: -4.75,
+            rtt_s: 0.125,
+        };
+        assert_eq!(ClockSync::decode(&sync.encode()), Some(sync));
+        assert_eq!(ClockSync::decode(&[0u8; 8]), None);
+    }
+
+    #[test]
+    fn offset_estimate_cancels_a_pure_clock_skew() {
+        // Worker clock 5 s behind the collector, symmetric 10 ms legs,
+        // 2 ms collector turnaround: θ must recover exactly +5 and the
+        // RTT must exclude the turnaround.
+        let sync = ClockSync::estimate(1.000, 6.010, 6.012, 1.022);
+        assert!((sync.offset_s - 5.0).abs() < 1e-12, "{}", sync.offset_s);
+        assert!((sync.rtt_s - 0.020).abs() < 1e-12, "{}", sync.rtt_s);
     }
 
     #[test]

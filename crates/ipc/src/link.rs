@@ -15,7 +15,102 @@ use parmonc_mpi::envelope::{Envelope, Tag};
 use parmonc_mpi::error::MpiError;
 use parmonc_obs::{Event, EventKind, EventSink, Monitor};
 
-use crate::frame::{read_frame, write_frame, TAG_IPC_EVENT, TAG_IPC_HELLO};
+use crate::frame::{
+    read_frame, write_frame, ClockSync, Frame, FRAME_HEADER_LEN, TAG_IPC_EVENT, TAG_IPC_HELLO,
+    TAG_TCP_CLOCK, TAG_TCP_CLOCK_PROBE, TAG_TCP_CLOCK_REPLY,
+};
+
+/// Per-link wire counters, shared between the link's reader thread and
+/// its write path. The counters survive reconnects (they live beside
+/// the lease, not the connection) and are folded into one `wire_stats`
+/// event when the link finally tears down.
+#[derive(Debug, Default)]
+pub(crate) struct WireTelemetry {
+    frames_in: AtomicU64,
+    bytes_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_out: AtomicU64,
+    dials: AtomicU64,
+    dedup_dropped: AtomicU64,
+}
+
+impl WireTelemetry {
+    /// Counts one inbound frame of `bytes` total wire bytes.
+    pub(crate) fn count_in(&self, bytes: usize) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one outbound frame of `bytes` total wire bytes.
+    pub(crate) fn count_out(&self, bytes: usize) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one reconnect dial attempt.
+    pub(crate) fn count_dial(&self) {
+        self.dials.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one sequenced frame dropped as a reconnect replay.
+    pub(crate) fn count_dedup_drop(&self) {
+        self.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The end-of-link `wire_stats` event for this side of link
+    /// `link`, carrying `events_dropped` forwarded-event losses.
+    pub(crate) fn to_event(&self, link: usize, events_dropped: u64) -> EventKind {
+        EventKind::WireStats {
+            link,
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            dials: self.dials.load(Ordering::Relaxed),
+            dedup_dropped: self.dedup_dropped.load(Ordering::Relaxed),
+            events_dropped,
+        }
+    }
+}
+
+/// The collector-side clock state of one worker link: the current
+/// offset estimate (`collector_clock − worker_clock`, reported by the
+/// worker over [`TAG_TCP_CLOCK`]) and the monotone floor of the
+/// corrected timestamps already emitted for the link. Re-syncs may
+/// move the offset backwards; clamping to the floor keeps each link's
+/// re-emitted stream monotone across them.
+#[derive(Debug, Default)]
+pub(crate) struct LinkClock {
+    /// `f64` bits of the current offset estimate.
+    offset_bits: AtomicU64,
+    /// `f64` bits of the last corrected timestamp emitted. Only the
+    /// link's single reader thread normalizes, so a plain load/store
+    /// (no CAS loop) is race-free.
+    floor_bits: AtomicU64,
+}
+
+impl LinkClock {
+    /// Installs a fresh offset estimate (handshake or re-sync).
+    pub(crate) fn set_offset(&self, offset_s: f64) {
+        self.offset_bits
+            .store(offset_s.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current offset estimate.
+    pub(crate) fn offset(&self) -> f64 {
+        f64::from_bits(self.offset_bits.load(Ordering::Relaxed))
+    }
+
+    /// Maps a worker-local timestamp onto the collector's run clock:
+    /// `raw + offset`, clamped to never run backwards on this link.
+    /// Called only from the link's reader thread.
+    pub(crate) fn normalize(&self, raw_s: f64) -> f64 {
+        let floor = f64::from_bits(self.floor_bits.load(Ordering::Relaxed));
+        let corrected = (raw_s + self.offset()).max(floor);
+        self.floor_bits.store(corrected.to_bits(), Ordering::Relaxed);
+        corrected
+    }
+}
 
 /// Queue-depth counters for one rank's inbox, mirroring the
 /// `ChannelStats` accounting of the thread substrate: the reader
@@ -320,14 +415,16 @@ impl SendGate {
 pub(crate) struct ForwardSink<W> {
     writer: Arc<Mutex<W>>,
     rank: usize,
+    wire: Arc<WireTelemetry>,
     dropped: AtomicU64,
 }
 
 impl<W: Write + Send> ForwardSink<W> {
-    pub(crate) fn new(writer: Arc<Mutex<W>>, rank: usize) -> Self {
+    pub(crate) fn new(writer: Arc<Mutex<W>>, rank: usize, wire: Arc<WireTelemetry>) -> Self {
         Self {
             writer,
             rank,
+            wire,
             dropped: AtomicU64::new(0),
         }
     }
@@ -348,6 +445,8 @@ impl<W: Write + Send> EventSink for ForwardSink<W> {
         };
         if failed {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.wire.count_out(FRAME_HEADER_LEN + line.len());
         }
     }
 
@@ -385,40 +484,107 @@ pub fn admit_seq(last_seq: &AtomicU64, seq: u64) -> bool {
     seq == 0 || last_seq.fetch_max(seq, Ordering::AcqRel) < seq
 }
 
+/// Everything one link's reader thread needs besides the stream and
+/// the inbox: the monitor it re-emits into, its identity, and the
+/// optional per-link planes (depth stats, source vetting, dedup, wire
+/// telemetry, clock alignment).
+pub(crate) struct LinkHooks {
+    /// The run monitor forwarded events are re-emitted into.
+    pub monitor: Monitor,
+    /// The rank whose inbox this reader feeds (attribution for
+    /// queue-depth and torn-frame events).
+    pub local_rank: usize,
+    /// Queue-depth accounting, if the inbox is monitored.
+    pub stats: Option<Arc<InboxStats>>,
+    /// Frames whose source field names any other rank are dropped — a
+    /// connection speaks for exactly the rank it was leased, so a
+    /// misbehaving peer cannot inject envelopes attributed to someone
+    /// else (the child side of the Unix backend passes `None`: the
+    /// parent is rank 0 and frames need no vetting).
+    pub expect_source: Option<u32>,
+    /// Sequenced frames already admitted once (per [`admit_seq`]) are
+    /// dropped — the exactly-once guarantee under reconnect replay.
+    pub dedup: Option<Arc<AtomicU64>>,
+    /// Per-link wire counters (frames/bytes in, dedup drops).
+    pub wire: Option<Arc<WireTelemetry>>,
+    /// Collector-side clock alignment: [`TAG_TCP_CLOCK`] frames update
+    /// the offset, and forwarded events are re-emitted on the
+    /// corrected run clock with the raw stamp preserved.
+    pub clock: Option<Arc<LinkClock>>,
+    /// Answers the clock frames that need the link's *writer*: a
+    /// [`TAG_TCP_CLOCK_PROBE`] (collector side replies with the
+    /// receipt/reply timestamps) or a [`TAG_TCP_CLOCK_REPLY`] (worker
+    /// side closes the estimate and reports it back).
+    pub clock_responder: Option<Box<dyn Fn(&Frame) + Send>>,
+}
+
+impl std::fmt::Debug for LinkHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkHooks")
+            .field("local_rank", &self.local_rank)
+            .field("expect_source", &self.expect_source)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LinkHooks {
+    /// Hooks with every optional plane off — the bare reader.
+    pub(crate) fn bare(monitor: Monitor, local_rank: usize) -> Self {
+        Self {
+            monitor,
+            local_rank,
+            stats: None,
+            expect_source: None,
+            dedup: None,
+            wire: None,
+            clock: None,
+            clock_responder: None,
+        }
+    }
+}
+
 /// Pumps frames off one socket into the mpsc inbox until EOF or
 /// error. [`TAG_IPC_EVENT`] frames are decoded and re-emitted into
-/// `monitor` with the child's timestamp instead of being enqueued;
-/// stray hello frames are ignored. With `expect_source`, frames whose
-/// source field names any other rank are dropped — a connection
-/// speaks for exactly the rank it was leased, so a misbehaving peer
-/// cannot inject envelopes attributed to someone else (the child side
-/// of the Unix backend passes `None`: the parent is rank 0 and frames
-/// need no vetting). With `dedup`, sequenced frames already admitted
-/// once (per [`admit_seq`]) are dropped — the exactly-once guarantee
-/// under reconnect replay. Exits when the peer closes or the
-/// receiving side has dropped its inbox; a mid-frame EOF (the peer
-/// died, or the fault plane tore the frame, mid-write) is surfaced as
-/// a `torn_frame` monitor event instead of a silent drop.
-pub(crate) fn pump_frames(
-    stream: impl Read,
-    tx: Sender<Envelope>,
-    monitor: Monitor,
-    local_rank: usize,
-    stats: Option<Arc<InboxStats>>,
-    expect_source: Option<u32>,
-    dedup: Option<Arc<AtomicU64>>,
-) {
+/// the monitor with the child's timestamp (corrected onto the run
+/// clock when the link is clock-aligned) instead of being enqueued;
+/// stray hello frames are ignored, clock frames are handled per the
+/// hooks. Exits when the peer closes or the receiving side has
+/// dropped its inbox; a mid-frame EOF (the peer died, or the fault
+/// plane tore the frame, mid-write) is surfaced as a `torn_frame`
+/// monitor event instead of a silent drop.
+pub(crate) fn pump_frames(stream: impl Read, tx: Sender<Envelope>, hooks: LinkHooks) {
+    let LinkHooks {
+        monitor,
+        local_rank,
+        stats,
+        expect_source,
+        dedup,
+        wire,
+        clock,
+        clock_responder,
+    } = hooks;
     let mut reader = BufReader::new(stream);
     loop {
         match read_frame(&mut reader) {
             Ok(Some(frame)) => {
+                if let Some(wire) = &wire {
+                    wire.count_in(FRAME_HEADER_LEN + frame.payload.len());
+                }
                 if expect_source.is_some_and(|s| frame.source != s) {
                     continue;
                 }
                 if frame.tag == TAG_IPC_EVENT {
                     if let Ok(text) = std::str::from_utf8(&frame.payload) {
                         if let Ok(event) = parmonc_obs::schema::parse_line(text) {
-                            monitor.emit_at(event.time_s, event.rank, event.kind);
+                            match &clock {
+                                Some(clock) => monitor.emit_aligned(
+                                    clock.normalize(event.time_s),
+                                    Some(event.time_s),
+                                    event.rank,
+                                    event.kind,
+                                ),
+                                None => monitor.emit_at(event.time_s, event.rank, event.kind),
+                            }
                         }
                     }
                     continue;
@@ -426,10 +592,25 @@ pub(crate) fn pump_frames(
                 if frame.tag == TAG_IPC_HELLO {
                     continue;
                 }
+                if frame.tag == TAG_TCP_CLOCK {
+                    if let (Some(clock), Some(sync)) = (&clock, ClockSync::decode(&frame.payload)) {
+                        clock.set_offset(sync.offset_s);
+                    }
+                    continue;
+                }
+                if frame.tag == TAG_TCP_CLOCK_PROBE || frame.tag == TAG_TCP_CLOCK_REPLY {
+                    if let Some(respond) = &clock_responder {
+                        respond(&frame);
+                    }
+                    continue;
+                }
                 if let Some(last) = &dedup {
                     if !admit_seq(last, frame.seq) {
                         // A replay of a frame that already made it
                         // through before the link broke.
+                        if let Some(wire) = &wire {
+                            wire.count_dedup_drop();
+                        }
                         continue;
                     }
                 }

@@ -60,7 +60,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parmonc_faults::FaultHandle;
 use parmonc_mpi::bytes::Bytes;
@@ -68,15 +68,17 @@ use parmonc_mpi::envelope::{Envelope, Tag};
 use parmonc_mpi::error::MpiError;
 use parmonc_mpi::pool::BufferPool;
 use parmonc_mpi::transport::Transport;
-use parmonc_obs::{EventKind, Monitor};
+use parmonc_obs::{EventKind, Monitor, SpanEmitter, SpanPhase};
 
 use crate::backoff::{splitmix64, Backoff, ReconnectPolicy};
 use crate::faulty::FaultyStream;
 use crate::frame::{
-    read_frame, write_frame, write_frame_seq, Grant, JoinRequest, Reject, RejectCode, Rejoin,
-    TAG_TCP_GRANT, TAG_TCP_JOIN, TAG_TCP_REJECT, TAG_TCP_REJOIN, TCP_MAGIC, TCP_PROTOCOL_VERSION,
+    read_frame, write_frame, write_frame_seq, ClockProbe, ClockReply, ClockSync, Grant,
+    Frame, JoinRequest, Reject, RejectCode, Rejoin, FRAME_HEADER_LEN, TAG_TCP_CLOCK,
+    TAG_TCP_CLOCK_PROBE, TAG_TCP_CLOCK_REPLY, TAG_TCP_GRANT, TAG_TCP_JOIN, TAG_TCP_REJECT,
+    TAG_TCP_REJOIN, TCP_MAGIC, TCP_PROTOCOL_VERSION,
 };
-use crate::link::{pump_frames, ForwardSink, InboxStats, Mailbox, SendGate};
+use crate::link::{pump_frames, ForwardSink, InboxStats, LinkClock, LinkHooks, Mailbox, SendGate, WireTelemetry};
 
 /// How often a blocked reader wakes to check the stop flag — the
 /// kernel receive timeout under [`PatientReader`].
@@ -85,6 +87,12 @@ const READ_POLL: Duration = Duration::from_millis(50);
 /// How long the acceptor sleeps between polls of the non-blocking
 /// listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How often a monitored worker refreshes its clock-offset estimate by
+/// piggybacking a [`TAG_TCP_CLOCK_PROBE`] on an outgoing send. Clock
+/// traffic never feeds the estimates, so the cadence is a trace-quality
+/// knob, not a correctness one.
+const CLOCK_SYNC_INTERVAL_S: f64 = 2.0;
 
 /// A fresh, non-zero session epoch for a newly armed collector. Drawn
 /// from the wall clock and pid (like the Unix backend's spawn token),
@@ -248,6 +256,16 @@ struct LeaseState {
     /// rank's reader threads across reconnects (and restored from a
     /// [`LeaseSnapshot`] across collector restarts).
     last_seqs: Vec<Arc<AtomicU64>>,
+    /// Per-rank wire counters. They live beside the lease — not the
+    /// connection — so frames and dials accumulate across reconnects
+    /// and the end-of-run `wire_stats` event covers the rank's whole
+    /// history on this collector.
+    wire: Vec<Arc<WireTelemetry>>,
+    /// Per-rank clock-offset estimators, same lifetime as the wire
+    /// counters: a rejoining worker updates the estimate in place and
+    /// the monotone floor keeps the rank's corrected event stream from
+    /// running backwards across the break.
+    clocks: Vec<Arc<LinkClock>>,
 }
 
 impl LeaseState {
@@ -388,6 +406,11 @@ pub struct ListenOptions {
     /// and carry the sequence-number dedup state over. `None` arms a
     /// fresh session with a new epoch.
     pub resume: Option<LeaseSnapshot>,
+    /// Whether span tracing is on for this run: echoed in every grant
+    /// (flag bit 1) so workers wrap their phases in
+    /// `span_started`/`span_ended` events. Requires a monitored run to
+    /// have any effect.
+    pub trace_spans: bool,
     /// Where to persist the lease table for crash-resume. When set,
     /// the table is written at bind time and re-written on every
     /// membership change — always *before* the grant that makes the
@@ -413,6 +436,7 @@ struct AcceptorCtx {
     epoch: u64,
     io_timeout: Duration,
     persist: Option<std::path::PathBuf>,
+    trace_spans: bool,
 }
 
 /// Rank 0 of a TCP world: the listener, lease table, and
@@ -503,6 +527,12 @@ impl TcpCollectorTransport {
             retired,
             generation: vec![0; workers],
             last_seqs,
+            wire: (0..workers)
+                .map(|_| Arc::new(WireTelemetry::default()))
+                .collect(),
+            clocks: (0..workers)
+                .map(|_| Arc::new(LinkClock::default()))
+                .collect(),
         }));
         let readers = Arc::new(Mutex::new(Vec::new()));
         let handshakes = Arc::new(Mutex::new(Vec::new()));
@@ -530,6 +560,7 @@ impl TcpCollectorTransport {
             epoch,
             io_timeout: opts.io_timeout,
             persist: opts.persist.clone(),
+            trace_spans: opts.trace_spans,
         });
         let acceptor = std::thread::Builder::new()
             .name("parmonc-tcp-accept".into())
@@ -599,17 +630,20 @@ impl TcpCollectorTransport {
                 })
                 .map_err(|_| MpiError::Disconnected);
         }
-        let writer = {
+        let (writer, wire) = {
             let lease = self.lease.lock().map_err(|_| MpiError::Disconnected)?;
-            lease
+            let writer = lease
                 .writers
                 .get(dest - 1)
                 .cloned()
                 .flatten()
-                .ok_or(MpiError::Disconnected)?
+                .ok_or(MpiError::Disconnected)?;
+            (writer, Arc::clone(&lease.wire[dest - 1]))
         };
         let mut stream = writer.lock().map_err(|_| MpiError::Disconnected)?;
-        write_frame(&mut *stream, 0, tag.0, payload).map_err(|_| MpiError::Disconnected)
+        write_frame(&mut *stream, 0, tag.0, payload).map_err(|_| MpiError::Disconnected)?;
+        wire.count_out(FRAME_HEADER_LEN + payload.len());
+        Ok(())
     }
 
     /// Tears the world down: force-flushes fault-delayed sends, raises
@@ -795,13 +829,16 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
         // Silent, closed, or alien connection: drop it without reply.
         _ => return Ok(()),
     };
+    // `t1` of the NTP-style offset exchange: the collector's run clock
+    // at request receipt, paired with the worker's `t0_s` below.
+    let t_recv_s = ctx.monitor.elapsed_s();
     // The common envelope checks, shared by join and rejoin: magic,
     // protocol version, configuration digest.
-    let (magic, version, digest, rejoin) = if frame.tag == TAG_TCP_JOIN {
+    let (magic, version, digest, t0_s, rejoin) = if frame.tag == TAG_TCP_JOIN {
         let Some(join) = JoinRequest::decode(&frame.payload) else {
             return reject(&stream, RejectCode::BadMagic, "malformed join payload");
         };
-        (join.magic, join.version, join.config_digest, None)
+        (join.magic, join.version, join.config_digest, join.t0_s, None)
     } else {
         let Some(rejoin) = Rejoin::decode(&frame.payload) else {
             return reject(&stream, RejectCode::BadMagic, "malformed rejoin payload");
@@ -810,6 +847,7 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
             rejoin.magic,
             rejoin.version,
             rejoin.config_digest,
+            rejoin.t0_s,
             Some(rejoin),
         )
     };
@@ -902,10 +940,15 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
     let grant = Grant {
         version: TCP_PROTOCOL_VERSION,
         monitor: ctx.monitor.is_enabled(),
+        spans: ctx.trace_spans && ctx.monitor.is_enabled(),
         rank: rank as u32,
         size: ctx.size as u32,
         quota: ctx.quotas[rank - 1],
         epoch: ctx.epoch,
+        t_recv_s,
+        // `t2`: sampled as late as possible before the reply hits the
+        // wire, so the worker's RTT estimate excludes our lease work.
+        t_reply_s: ctx.monitor.elapsed_s(),
     };
     if write_frame(&mut &stream, 0, TAG_TCP_GRANT, &grant.encode()).is_err() {
         release(ctx);
@@ -926,13 +969,27 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
             return Ok(());
         }
     };
-    let last_seq = match ctx.lease.lock() {
-        Ok(lease) => Arc::clone(&lease.last_seqs[rank - 1]),
+    let (last_seq, wire, clock) = match ctx.lease.lock() {
+        Ok(lease) => (
+            Arc::clone(&lease.last_seqs[rank - 1]),
+            Arc::clone(&lease.wire[rank - 1]),
+            Arc::clone(&lease.clocks[rank - 1]),
+        ),
         Err(_) => {
             release(ctx);
             return Ok(());
         }
     };
+    // Account the handshake itself on the link's wire counters.
+    wire.count_in(FRAME_HEADER_LEN + frame.payload.len());
+    wire.count_out(FRAME_HEADER_LEN + grant.encode().len());
+    // Seed the link's offset with the crude one-way estimate
+    // `t1 - t0` (it over-corrects by the uplink latency). The worker
+    // closes the proper RTT-symmetric estimate from the grant and
+    // reports it in a `TAG_TCP_CLOCK` frame that — by wire ordering —
+    // arrives before any event it forwards, so the seed only covers
+    // the handshake gap.
+    clock.set_offset(t_recv_s - t0_s);
     if reconnect {
         ctx.monitor
             .emit(Some(0), EventKind::WorkerReconnected { worker: rank });
@@ -945,6 +1002,33 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
             },
         );
     }
+    // Answers the worker's periodic clock probes over this link's
+    // writer: `t1` at receipt, `t2` as the reply is written.
+    let responder: Box<dyn Fn(&Frame) + Send> = {
+        let writer = Arc::clone(&writer);
+        let monitor = ctx.monitor.clone();
+        let wire = Arc::clone(&wire);
+        Box::new(move |frame: &Frame| {
+            if frame.tag != TAG_TCP_CLOCK_PROBE {
+                return;
+            }
+            let Some(probe) = ClockProbe::decode(&frame.payload) else {
+                return;
+            };
+            let t1_s = monitor.elapsed_s();
+            if let Ok(mut stream) = writer.lock() {
+                let reply = ClockReply {
+                    t0_s: probe.t0_s,
+                    t1_s,
+                    t2_s: monitor.elapsed_s(),
+                };
+                let payload = reply.encode();
+                if write_frame(&mut *stream, 0, TAG_TCP_CLOCK_REPLY, &payload).is_ok() {
+                    wire.count_out(FRAME_HEADER_LEN + payload.len());
+                }
+            }
+        })
+    };
     let spawned = std::thread::Builder::new()
         .name(format!("parmonc-tcp-w{rank}"))
         .spawn({
@@ -956,11 +1040,16 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
                 pump_frames(
                     reader,
                     tx,
-                    monitor.clone(),
-                    0,
-                    Some(stats),
-                    Some(rank as u32),
-                    Some(last_seq),
+                    LinkHooks {
+                        monitor: monitor.clone(),
+                        local_rank: 0,
+                        stats: Some(stats),
+                        expect_source: Some(rank as u32),
+                        dedup: Some(last_seq),
+                        wire: Some(Arc::clone(&wire)),
+                        clock: Some(clock),
+                        clock_responder: Some(responder),
+                    },
                 );
                 // The connection is gone (worker exit, crash, rejoin
                 // replacement, or shutdown). If this is still the
@@ -970,11 +1059,14 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
                 // averaging makes a redo of the same streams
                 // idempotent. A stale connection (generation moved on:
                 // the worker already rejoined) stays silent — the
-                // reconnect event told that story.
+                // reconnect event told that story. The collector-side
+                // wire totals go out first, so a trace always pairs a
+                // departure with the link's final accounting.
                 if let Ok(mut l) = lease.lock() {
                     if l.generation[rank - 1] == generation {
                         l.writers[rank - 1] = None;
                         drop(l);
+                        monitor.emit(Some(0), wire.to_event(rank, 0));
                         monitor.emit(Some(0), EventKind::WorkerLeft { worker: rank });
                     }
                 }
@@ -1021,6 +1113,12 @@ pub struct JoinOptions {
     /// The seeded backoff schedule for the initial dial and every
     /// automatic reconnect after a broken connection.
     pub reconnect: ReconnectPolicy,
+    /// Deterministic skew (seconds, may be negative) added to this
+    /// worker's local event clock — a test/demo knob that models
+    /// unsynchronized hosts so the collector-side alignment has
+    /// something to correct. Zero in production. Never feeds the
+    /// estimates, only timestamps.
+    pub clock_skew_s: f64,
 }
 
 /// How one dial-and-handshake attempt failed: transiently (worth
@@ -1082,6 +1180,41 @@ fn read_grant(stream: &TcpStream) -> Result<Grant, HandshakeError> {
     }
 }
 
+/// Builds the worker-side answer to a [`TAG_TCP_CLOCK_REPLY`]: close
+/// the four-timestamp exchange with a local `t3` sample and report the
+/// fresh offset estimate back to the collector. The report is written
+/// through the *inner* stream ([`FaultyStream::get_mut`]) so clock
+/// traffic never consumes a scripted frame ordinal — safe because the
+/// writer lock guarantees the stream sits at a frame boundary — and is
+/// skipped entirely while the link is severed (the next rejoin grant
+/// re-syncs instead).
+fn clock_reply_responder(
+    writer: Arc<Mutex<FaultyStream<TcpStream>>>,
+    wire: Arc<WireTelemetry>,
+    rank: usize,
+    local_now: impl Fn() -> f64 + Send + 'static,
+) -> Box<dyn Fn(&Frame) + Send> {
+    Box::new(move |frame: &Frame| {
+        if frame.tag != TAG_TCP_CLOCK_REPLY {
+            return;
+        }
+        let Some(reply) = ClockReply::decode(&frame.payload) else {
+            return;
+        };
+        let t3_s = local_now();
+        let sync = ClockSync::estimate(reply.t0_s, reply.t1_s, reply.t2_s, t3_s);
+        if let Ok(mut stream) = writer.lock() {
+            if stream.is_severed() {
+                return;
+            }
+            let payload = sync.encode();
+            if write_frame(stream.get_mut(), rank as u32, TAG_TCP_CLOCK, &payload).is_ok() {
+                wire.count_out(FRAME_HEADER_LEN + payload.len());
+            }
+        }
+    })
+}
+
 /// A remote worker's end of a TCP world: dials the collector,
 /// completes the handshake, and speaks for exactly the rank it was
 /// leased. A broken connection does not kill the worker — sends
@@ -1114,6 +1247,25 @@ pub struct TcpWorkerTransport {
     reconnect: ReconnectPolicy,
     faults: FaultHandle,
     next_seq: AtomicU64,
+    /// This side's wire counters; flushed as a `wire_stats` event
+    /// (link 0: the uplink to the collector) at drop.
+    wire: Arc<WireTelemetry>,
+    /// Span emitter for this worker's phases; enabled by grant flag
+    /// bit 1 on monitored runs, inert otherwise.
+    spans: SpanEmitter,
+    /// The instant the local event clock started — shared by the
+    /// monitor and every handshake/probe timestamp, so `t0`/`t3`
+    /// samples and event stamps are on one clock.
+    clock_epoch: Instant,
+    /// The deterministic skew from [`JoinOptions::clock_skew_s`].
+    skew_s: f64,
+    /// `f64` bits of the local clock at the last offset exchange
+    /// (handshake, rejoin, or probe) — the re-sync throttle.
+    last_sync: AtomicU64,
+    /// Reconnect spans measured while the writer lock was held; the
+    /// forwarding sink needs that same lock, so they are drained into
+    /// the monitor only after it is released (see `raw_send`/`drop`).
+    pending_spans: Mutex<Vec<(f64, f64)>>,
 }
 
 impl TcpWorkerTransport {
@@ -1138,22 +1290,31 @@ impl TcpWorkerTransport {
         let dial_seed = splitmix64(
             (u64::from(std::process::id()) << 32) ^ DIAL_NONCE.fetch_add(1, Ordering::Relaxed),
         );
+        // The local event clock starts *before* the dial: the
+        // handshake's `t0`/`t3` samples and every later event stamp
+        // must come off one clock, or the offset exchange would
+        // correct the wrong thing.
+        let clock_epoch = Instant::now();
+        let skew_s = opts.clock_skew_s;
+        let local_now = move || clock_epoch.elapsed().as_secs_f64() + skew_s;
         let stream = crate::backoff::retry(opts.reconnect, dial_seed, |_| {
             dial(&opts.addr, dial_timeout)
         })?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(opts.io_timeout))?;
         stream.set_write_timeout(Some(opts.io_timeout))?;
-        write_frame(
-            &mut &stream,
-            0,
-            TAG_TCP_JOIN,
-            &JoinRequest::new(opts.config_digest).encode(),
-        )?;
+        let wire = Arc::new(WireTelemetry::default());
+        let mut request = JoinRequest::new(opts.config_digest);
+        request.t0_s = local_now();
+        let t0_s = request.t0_s;
+        write_frame(&mut &stream, 0, TAG_TCP_JOIN, &request.encode())?;
+        wire.count_out(FRAME_HEADER_LEN + request.encode().len());
         let grant = match read_grant(&stream) {
             Ok(grant) => grant,
             Err(HandshakeError::Transient(e) | HandshakeError::Permanent(e)) => return Err(e),
         };
+        let t3_s = local_now();
+        wire.count_in(FRAME_HEADER_LEN + grant.encode().len());
         let rank = grant.rank as usize;
         let size = grant.size as usize;
         if rank == 0 || rank >= size {
@@ -1162,6 +1323,17 @@ impl TcpWorkerTransport {
                 "grant leased an impossible rank",
             ));
         }
+        // Close the RTT-symmetric offset estimate and report it before
+        // any event frame: written on the bare stream (pre fault-plane
+        // wrap) so clock traffic never consumes a scripted frame
+        // ordinal, and ordered ahead of every forwarded event by the
+        // wire itself.
+        let sync = ClockSync::estimate(t0_s, grant.t_recv_s, grant.t_reply_s, t3_s);
+        if grant.monitor {
+            let payload = sync.encode();
+            write_frame(&mut &stream, rank as u32, TAG_TCP_CLOCK, &payload)?;
+            wire.count_out(FRAME_HEADER_LEN + payload.len());
+        }
         stream.set_read_timeout(Some(READ_POLL))?;
         let writer = Arc::new(Mutex::new(FaultyStream::new(
             stream.try_clone()?,
@@ -1169,10 +1341,19 @@ impl TcpWorkerTransport {
             opts.faults.clone(),
         )));
         let monitor = if grant.monitor {
-            Monitor::new(vec![Box::new(ForwardSink::new(Arc::clone(&writer), rank))])
+            Monitor::new_skewed_from(
+                clock_epoch,
+                vec![Box::new(ForwardSink::new(
+                    Arc::clone(&writer),
+                    rank,
+                    Arc::clone(&wire),
+                ))],
+                skew_s,
+            )
         } else {
             Monitor::disabled()
         };
+        let spans = SpanEmitter::new(&monitor, rank, grant.spans);
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(InboxStats::default());
         let (tx, rx) = mpsc::channel();
@@ -1183,17 +1364,25 @@ impl TcpWorkerTransport {
         let thread_monitor = monitor.clone();
         let thread_stats = Arc::clone(&stats);
         let thread_tx = tx.clone();
+        let responder =
+            clock_reply_responder(Arc::clone(&writer), Arc::clone(&wire), rank, local_now);
+        let thread_wire = Arc::clone(&wire);
         let reader = std::thread::Builder::new()
             .name(format!("parmonc-tcp-r{rank}"))
             .spawn(move || {
                 pump_frames(
                     patient,
                     thread_tx,
-                    thread_monitor,
-                    rank,
-                    Some(thread_stats),
-                    Some(0),
-                    None,
+                    LinkHooks {
+                        monitor: thread_monitor,
+                        local_rank: rank,
+                        stats: Some(thread_stats),
+                        expect_source: Some(0),
+                        dedup: None,
+                        wire: Some(thread_wire),
+                        clock: None,
+                        clock_responder: Some(responder),
+                    },
                 );
             })?;
         Ok(Self {
@@ -1217,6 +1406,12 @@ impl TcpWorkerTransport {
             reconnect: opts.reconnect,
             faults: opts.faults,
             next_seq: AtomicU64::new(0),
+            wire,
+            spans,
+            clock_epoch,
+            skew_s,
+            last_sync: AtomicU64::new(t3_s.to_bits()),
+            pending_spans: Mutex::new(Vec::new()),
         })
     }
 
@@ -1256,6 +1451,10 @@ impl TcpWorkerTransport {
                 "transport is shutting down",
             ));
         }
+        // The recovery is timed here but reported later: the span
+        // would be forwarded through the very writer lock this method
+        // holds, so it is queued and drained once the lock is free.
+        let span_start_s = self.local_now();
         // Hang the old connection up explicitly: when only the fault
         // plane broke the link, the kernel socket is still healthy and
         // the collector would otherwise keep the half-open connection
@@ -1283,6 +1482,7 @@ impl TcpWorkerTransport {
                 continue;
             }
             let dial_timeout = self.reconnect.attempt_timeout.min(self.io_timeout);
+            self.wire.count_dial();
             let candidate = match dial(&self.addr, dial_timeout) {
                 Ok(s) => s,
                 Err(e) => {
@@ -1298,11 +1498,13 @@ impl TcpWorkerTransport {
                 last_err = Some(e);
                 continue;
             }
-            let rejoin = Rejoin::new(self.config_digest, self.epoch, self.rank as u32);
+            let mut rejoin = Rejoin::new(self.config_digest, self.epoch, self.rank as u32);
+            rejoin.t0_s = self.local_now();
             if let Err(e) = write_frame(&mut &candidate, 0, TAG_TCP_REJOIN, &rejoin.encode()) {
                 last_err = Some(e);
                 continue;
             }
+            self.wire.count_out(FRAME_HEADER_LEN + rejoin.encode().len());
             let grant = match read_grant(&candidate) {
                 Ok(grant) => grant,
                 // A reject is final: the collector will answer every
@@ -1313,11 +1515,28 @@ impl TcpWorkerTransport {
                     continue;
                 }
             };
+            let t3_s = self.local_now();
+            self.wire.count_in(FRAME_HEADER_LEN + grant.encode().len());
             if grant.rank as usize != self.rank || grant.epoch != self.epoch {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "rejoin grant does not match the original lease",
                 ));
+            }
+            // The rejoin grant doubles as a fresh offset exchange —
+            // reported on the bare candidate (pre fault-plane wrap),
+            // ahead of any replayed event frame.
+            if self.monitor.is_enabled() {
+                let sync = ClockSync::estimate(rejoin.t0_s, grant.t_recv_s, grant.t_reply_s, t3_s);
+                let payload = sync.encode();
+                if let Err(e) =
+                    write_frame(&mut &candidate, self.rank as u32, TAG_TCP_CLOCK, &payload)
+                {
+                    last_err = Some(e);
+                    continue;
+                }
+                self.wire.count_out(FRAME_HEADER_LEN + payload.len());
+                self.last_sync.store(t3_s.to_bits(), Ordering::Relaxed);
             }
             let prepared = candidate
                 .set_read_timeout(Some(READ_POLL))
@@ -1342,17 +1561,31 @@ impl TcpWorkerTransport {
             let thread_stats = Arc::clone(&self.stats);
             let thread_tx = self.tx.clone();
             let rank = self.rank;
+            let clock_epoch = self.clock_epoch;
+            let skew_s = self.skew_s;
+            let responder = clock_reply_responder(
+                Arc::clone(&self.writer),
+                Arc::clone(&self.wire),
+                rank,
+                move || clock_epoch.elapsed().as_secs_f64() + skew_s,
+            );
+            let thread_wire = Arc::clone(&self.wire);
             let spawned = std::thread::Builder::new()
                 .name(format!("parmonc-tcp-r{rank}"))
                 .spawn(move || {
                     pump_frames(
                         patient,
                         thread_tx,
-                        thread_monitor,
-                        rank,
-                        Some(thread_stats),
-                        Some(0),
-                        None,
+                        LinkHooks {
+                            monitor: thread_monitor,
+                            local_rank: rank,
+                            stats: Some(thread_stats),
+                            expect_source: Some(0),
+                            dedup: None,
+                            wire: Some(thread_wire),
+                            clock: None,
+                            clock_responder: Some(responder),
+                        },
                     );
                 });
             match spawned {
@@ -1369,6 +1602,11 @@ impl TcpWorkerTransport {
                     continue;
                 }
             }
+            if self.spans.is_enabled() {
+                if let Ok(mut pending) = self.pending_spans.lock() {
+                    pending.push((span_start_s, self.local_now()));
+                }
+            }
             return Ok(());
         }
     }
@@ -1378,23 +1616,91 @@ impl TcpWorkerTransport {
             // Star topology, same as the other backends.
             return Err(MpiError::Disconnected);
         }
-        let mut stream = self.writer.lock().map_err(|_| MpiError::Disconnected)?;
-        // One sequence number per *logical* send, assigned under the
-        // writer lock so wire order always matches sequence order — a
-        // lower number written later would be dropped by the
-        // collector's dedup as a "replay" that never arrived. A retry
-        // after reconnect reuses the number, so the collector can
-        // recognize a replay of a frame that actually arrived before
-        // the link broke.
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        if write_frame_seq(&mut *stream, self.rank as u32, tag.0, seq, payload).is_ok() {
-            return Ok(());
+        let result = {
+            let mut stream = self.writer.lock().map_err(|_| MpiError::Disconnected)?;
+            // One sequence number per *logical* send, assigned under the
+            // writer lock so wire order always matches sequence order — a
+            // lower number written later would be dropped by the
+            // collector's dedup as a "replay" that never arrived. A retry
+            // after reconnect reuses the number, so the collector can
+            // recognize a replay of a frame that actually arrived before
+            // the link broke.
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let sent = if write_frame_seq(&mut *stream, self.rank as u32, tag.0, seq, payload)
+                .is_ok()
+            {
+                Ok(())
+            } else if self.reconnect_locked(&mut stream).is_err() {
+                Err(MpiError::Disconnected)
+            } else {
+                write_frame_seq(&mut *stream, self.rank as u32, tag.0, seq, payload)
+                    .map_err(|_| MpiError::Disconnected)
+            };
+            if sent.is_ok() {
+                self.wire.count_out(FRAME_HEADER_LEN + payload.len());
+                self.maybe_probe(&mut stream);
+            }
+            sent
+        };
+        // Reconnect spans are measured under the writer lock but
+        // forwarded through it — drain them only now that it is free.
+        self.flush_pending_spans();
+        result
+    }
+
+    /// The worker's local event clock: seconds since the transport
+    /// started dialing, plus the configured deterministic skew.
+    fn local_now(&self) -> f64 {
+        self.clock_epoch.elapsed().as_secs_f64() + self.skew_s
+    }
+
+    /// Piggybacks a clock probe on an outgoing send when the last
+    /// offset exchange is older than [`CLOCK_SYNC_INTERVAL_S`]. The
+    /// probe is written through the inner stream so clock traffic
+    /// never consumes a scripted fault ordinal, and skipped while the
+    /// link is severed — the rejoin grant re-syncs instead.
+    fn maybe_probe(&self, stream: &mut FaultyStream<TcpStream>) {
+        if !self.monitor.is_enabled() || stream.is_severed() {
+            return;
         }
-        if self.reconnect_locked(&mut stream).is_err() {
-            return Err(MpiError::Disconnected);
+        let now_s = self.local_now();
+        if now_s - f64::from_bits(self.last_sync.load(Ordering::Relaxed)) < CLOCK_SYNC_INTERVAL_S {
+            return;
         }
-        write_frame_seq(&mut *stream, self.rank as u32, tag.0, seq, payload)
-            .map_err(|_| MpiError::Disconnected)
+        let payload = ClockProbe { t0_s: now_s }.encode();
+        let written = write_frame(
+            stream.get_mut(),
+            self.rank as u32,
+            TAG_TCP_CLOCK_PROBE,
+            &payload,
+        );
+        if written.is_ok() {
+            self.wire.count_out(FRAME_HEADER_LEN + payload.len());
+            self.last_sync.store(now_s.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Drains reconnect spans measured under the writer lock into the
+    /// monitor. Never called while the lock is held — the forwarding
+    /// sink needs it.
+    fn flush_pending_spans(&self) {
+        if !self.spans.is_enabled() {
+            return;
+        }
+        let drained: Vec<(f64, f64)> = match self.pending_spans.lock() {
+            Ok(mut pending) => pending.drain(..).collect(),
+            Err(_) => return,
+        };
+        for (start_s, end_s) in drained {
+            self.spans.closed_at(SpanPhase::Reconnect, start_s, end_s);
+        }
+    }
+
+    /// The worker's span emitter: live when the grant's span flag was
+    /// set on a monitored run, inert otherwise.
+    #[must_use]
+    pub fn spans(&self) -> SpanEmitter {
+        self.spans.clone()
     }
 }
 
@@ -1409,6 +1715,18 @@ impl Drop for TcpWorkerTransport {
         let _ = self
             .gate
             .flush_delayed(true, &|d, t, p| self.raw_send(d, t, p));
+        self.flush_pending_spans();
+        // The uplink's final accounting, forwarded while the socket is
+        // still up: frames and bytes both ways, reconnect dials, and
+        // any forwarded events the sink had to drop on the floor. Sent
+        // best-effort — if the link is already dead the collector's
+        // own side of the accounting still tells the story.
+        if self.monitor.is_enabled() {
+            self.monitor.emit(
+                Some(self.rank),
+                self.wire.to_event(0, self.monitor.dropped_events()),
+            );
+        }
         if let Ok(stream) = self.writer.lock() {
             let _ = stream.get_ref().shutdown(Shutdown::Both);
         }
@@ -1506,6 +1824,7 @@ mod tests {
             io_timeout: TIMEOUT,
             resume,
             persist: None,
+            trace_spans: false,
         })
         .expect("listen on loopback")
     }
@@ -1526,6 +1845,7 @@ mod tests {
                 max_delay: Duration::from_millis(20),
                 attempt_timeout: TIMEOUT,
             },
+            clock_skew_s: 0.0,
         })
     }
 
@@ -1829,6 +2149,7 @@ mod tests {
             io_timeout: TIMEOUT,
             resume: None,
             persist: Some(path.clone()),
+            trace_spans: false,
         })
         .expect("listen on loopback");
         // The session epoch hits disk at bind time, before any join.
@@ -1916,6 +2237,7 @@ mod tests {
                     max_delay: Duration::from_millis(8),
                     attempt_timeout: TIMEOUT,
                 },
+                clock_skew_s: 0.0,
             })
             .expect("join succeeds");
             worker.send(0, Tag(7), b"before").unwrap();

@@ -35,8 +35,10 @@ use parmonc_obs::Monitor;
 
 use crate::backoff::{self, ReconnectPolicy};
 use crate::faulty::FaultyStream;
-use crate::frame::{read_frame, write_frame, TAG_IPC_HELLO};
-use crate::link::{pump_frames, ForwardSink, InboxStats, Mailbox, SendGate};
+use crate::frame::{read_frame, write_frame, FRAME_HEADER_LEN, TAG_IPC_HELLO};
+use crate::link::{
+    pump_frames, ForwardSink, InboxStats, LinkHooks, Mailbox, SendGate, WireTelemetry,
+};
 use crate::worker::{WorkerInfo, WORKER_FLAG};
 
 /// How long the parent waits for all workers to connect and present a
@@ -78,6 +80,11 @@ pub struct SpawnOptions {
     /// flags. Worker detection is carried by the environment
     /// ([`crate::worker_env`]), not by the flag.
     pub worker_args: Option<Vec<String>>,
+    /// Whether span tracing is on for this run: carried to each worker
+    /// in its environment so worker loops wrap their phases in
+    /// `span_started`/`span_ended` events. Requires a monitored run to
+    /// have any effect.
+    pub trace_spans: bool,
 }
 
 /// Rank 0 of a multi-process world: the spawner, collector-side
@@ -98,6 +105,9 @@ pub struct ProcessTransport {
     /// Write halves to each worker, indexed by `rank - 1`; emptied by
     /// shutdown so late sends fail soft with `Disconnected`.
     writers: Vec<Arc<Mutex<UnixStream>>>,
+    /// Per-link wire counters, indexed by `rank - 1`; folded into the
+    /// trace as one `wire_stats` event per link at shutdown.
+    wire: Vec<Arc<WireTelemetry>>,
     children: Vec<Child>,
     readers: Vec<JoinHandle<()>>,
     dir: PathBuf,
@@ -153,6 +163,7 @@ impl ProcessTransport {
                     socket: socket.clone(),
                     token: token.clone(),
                     monitor: opts.monitor.is_enabled(),
+                    spans: opts.trace_spans && opts.monitor.is_enabled(),
                 };
                 let mut cmd = Command::new(&exe);
                 cmd.args(&base_args)
@@ -176,6 +187,9 @@ impl ProcessTransport {
         let stats = Arc::new(InboxStats::default());
         let mut writers: Vec<Option<Arc<Mutex<UnixStream>>>> = Vec::new();
         writers.resize_with(opts.size.saturating_sub(1), || None);
+        let wire: Vec<Arc<WireTelemetry>> = (0..opts.size.saturating_sub(1))
+            .map(|_| Arc::new(WireTelemetry::default()))
+            .collect();
         let mut readers = Vec::new();
         let accepted = accept_workers(
             &listener,
@@ -184,6 +198,7 @@ impl ProcessTransport {
             &tx,
             &opts.monitor,
             &stats,
+            &wire,
             &mut writers,
             &mut readers,
         );
@@ -209,6 +224,7 @@ impl ProcessTransport {
                 .into_iter()
                 .map(|w| w.expect("all ranks accepted"))
                 .collect(),
+            wire,
             children,
             readers,
             dir,
@@ -230,7 +246,9 @@ impl ProcessTransport {
         }
         let writer = self.writers.get(dest - 1).ok_or(MpiError::Disconnected)?;
         let mut stream = writer.lock().map_err(|_| MpiError::Disconnected)?;
-        write_frame(&mut *stream, 0, tag.0, payload).map_err(|_| MpiError::Disconnected)
+        write_frame(&mut *stream, 0, tag.0, payload).map_err(|_| MpiError::Disconnected)?;
+        self.wire[dest - 1].count_out(FRAME_HEADER_LEN + payload.len());
+        Ok(())
     }
 
     /// Tears the world down in order: force-flushes any fault-delayed
@@ -278,6 +296,13 @@ impl ProcessTransport {
         self.children.clear();
         for handle in self.readers.drain(..) {
             let _ = handle.join();
+        }
+        // Every reader has drained, so the per-link totals are final —
+        // including each worker's own end-of-link `wire_stats` frame.
+        if self.monitor.is_enabled() {
+            for (i, wire) in self.wire.iter().enumerate() {
+                self.monitor.emit(Some(0), wire.to_event(i + 1, 0));
+            }
         }
         let _ = std::fs::remove_dir_all(&self.dir);
         match first_err {
@@ -372,6 +397,9 @@ pub struct ChildTransport {
     gate: SendGate,
     mailbox: Mailbox,
     writer: Arc<Mutex<FaultyStream<UnixStream>>>,
+    /// This side's wire counters; flushed as a `wire_stats` event
+    /// (link 0: the uplink to the parent) at drop.
+    wire: Arc<WireTelemetry>,
 }
 
 impl ChildTransport {
@@ -400,10 +428,13 @@ impl ChildTransport {
             info.rank,
             faults.clone(),
         )));
+        let wire = Arc::new(WireTelemetry::default());
+        wire.count_out(FRAME_HEADER_LEN + info.token.len());
         let monitor = if info.monitor {
             Monitor::new(vec![Box::new(ForwardSink::new(
                 Arc::clone(&writer),
                 info.rank,
+                Arc::clone(&wire),
             ))])
         } else {
             Monitor::disabled()
@@ -413,6 +444,7 @@ impl ChildTransport {
         let rank = info.rank;
         let thread_monitor = monitor.clone();
         let thread_stats = Arc::clone(&stats);
+        let thread_wire = Arc::clone(&wire);
         // Detached on purpose: the thread blocks in read until the
         // parent closes the stream, and a worker process exits without
         // tearing its transport down gracefully.
@@ -422,11 +454,11 @@ impl ChildTransport {
                 pump_frames(
                     stream,
                     tx,
-                    thread_monitor,
-                    rank,
-                    Some(thread_stats),
-                    None,
-                    None,
+                    LinkHooks {
+                        stats: Some(thread_stats),
+                        wire: Some(thread_wire),
+                        ..LinkHooks::bare(thread_monitor, rank)
+                    },
                 )
             })?;
         Ok(Self {
@@ -437,6 +469,7 @@ impl ChildTransport {
             gate: SendGate::new(rank, faults, monitor),
             mailbox: Mailbox::new(rank, rx, Monitor::disabled(), Some(stats)),
             writer,
+            wire,
         })
     }
 
@@ -458,7 +491,9 @@ impl ChildTransport {
         }
         let mut stream = self.writer.lock().map_err(|_| MpiError::Disconnected)?;
         write_frame(&mut *stream, self.rank as u32, tag.0, payload)
-            .map_err(|_| MpiError::Disconnected)
+            .map_err(|_| MpiError::Disconnected)?;
+        self.wire.count_out(FRAME_HEADER_LEN + payload.len());
+        Ok(())
     }
 }
 
@@ -469,6 +504,15 @@ impl Drop for ChildTransport {
         let _ = self
             .gate
             .flush_delayed(true, &|d, t, p| self.raw_send(d, t, p));
+        // This side's final wire accounting, forwarded while the
+        // stream is still open so the parent folds it into the trace
+        // before this worker's departure.
+        if self.monitor.is_enabled() {
+            self.monitor.emit(
+                Some(self.rank),
+                self.wire.to_event(0, self.monitor.dropped_events()),
+            );
+        }
     }
 }
 
@@ -563,6 +607,7 @@ fn accept_workers(
     tx: &Sender<Envelope>,
     monitor: &Monitor,
     stats: &Arc<InboxStats>,
+    wire: &[Arc<WireTelemetry>],
     writers: &mut [Option<Arc<Mutex<UnixStream>>>],
     readers: &mut Vec<JoinHandle<()>>,
 ) -> io::Result<()> {
@@ -604,6 +649,8 @@ fn accept_workers(
         }
         stream.set_read_timeout(None)?;
         writers[rank - 1] = Some(Arc::new(Mutex::new(stream.try_clone()?)));
+        let link_wire = Arc::clone(&wire[rank - 1]);
+        link_wire.count_in(FRAME_HEADER_LEN + hello.payload.len());
         let thread_tx = tx.clone();
         let thread_monitor = monitor.clone();
         let thread_stats = Arc::clone(stats);
@@ -614,11 +661,12 @@ fn accept_workers(
                     pump_frames(
                         stream,
                         thread_tx,
-                        thread_monitor,
-                        0,
-                        Some(thread_stats),
-                        Some(rank as u32),
-                        None,
+                        LinkHooks {
+                            stats: Some(thread_stats),
+                            expect_source: Some(rank as u32),
+                            wire: Some(link_wire),
+                            ..LinkHooks::bare(thread_monitor, 0)
+                        },
                     )
                 })?,
         );

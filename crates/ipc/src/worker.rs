@@ -20,6 +20,7 @@ const ENV_SIZE: &str = "PARMONC_WORKER_SIZE";
 const ENV_SOCKET: &str = "PARMONC_WORKER_SOCKET";
 const ENV_TOKEN: &str = "PARMONC_WORKER_TOKEN";
 const ENV_MONITOR: &str = "PARMONC_WORKER_MONITOR";
+const ENV_SPANS: &str = "PARMONC_WORKER_SPANS";
 
 /// Everything a spawned worker needs to join its parent's world.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +37,10 @@ pub struct WorkerInfo {
     /// Whether the parent run is monitored — if so the worker forwards
     /// its monitor events over the socket.
     pub monitor: bool,
+    /// Whether span tracing is on — if so the worker loop wraps its
+    /// phases in `span_started`/`span_ended` events. Only meaningful
+    /// on monitored runs.
+    pub spans: bool,
 }
 
 impl WorkerInfo {
@@ -51,6 +56,7 @@ impl WorkerInfo {
                 ENV_MONITOR,
                 String::from(if self.monitor { "1" } else { "0" }),
             ),
+            (ENV_SPANS, String::from(if self.spans { "1" } else { "0" })),
         ]
     }
 }
@@ -68,12 +74,14 @@ pub fn worker_env() -> Option<WorkerInfo> {
         return None;
     }
     let monitor = std::env::var(ENV_MONITOR).ok().as_deref() == Some("1");
+    let spans = std::env::var(ENV_SPANS).ok().as_deref() == Some("1");
     Some(WorkerInfo {
         rank,
         size,
         socket,
         token,
         monitor,
+        spans,
     })
 }
 
@@ -99,11 +107,13 @@ mod tests {
             socket: PathBuf::from("/tmp/parmonc-ipc-1/rank0.sock"),
             token: "deadbeef".into(),
             monitor: true,
+            spans: true,
         };
         let env = info.to_env();
-        assert_eq!(env.len(), 5);
+        assert_eq!(env.len(), 6);
         assert!(env.iter().any(|(k, v)| *k == ENV_RANK && v == "2"));
         assert!(env.iter().any(|(k, v)| *k == ENV_MONITOR && v == "1"));
+        assert!(env.iter().any(|(k, v)| *k == ENV_SPANS && v == "1"));
     }
 
     // `worker_env()` itself reads real process environment; tests do

@@ -117,6 +117,67 @@ impl CollectorActivity {
     }
 }
 
+/// The run phase a tracing span covers.
+///
+/// Spans wrap the phases that already exist implicitly in the runner
+/// and worker loops; the vocabulary is fixed so the trace tooling
+/// (`parmonc-trace timeline` / `critical-path`) can reason about
+/// dependencies between phases without free-text matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Positioning the leapfrog stream cursor for a rank's quota.
+    StreamPosition,
+    /// One batch of realizations between exchange points.
+    RealizationBatch,
+    /// Encoding and sending one cumulative subtotal.
+    SubtotalSend,
+    /// The collector folding received subtotals and averaging.
+    CollectorMerge,
+    /// The collector writing a checkpoint / save-point.
+    Checkpoint,
+    /// A worker redialing the collector after a broken link.
+    Reconnect,
+}
+
+impl SpanPhase {
+    /// The wire name of the phase.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::StreamPosition => "stream_position",
+            Self::RealizationBatch => "realization_batch",
+            Self::SubtotalSend => "subtotal_send",
+            Self::CollectorMerge => "collector_merge",
+            Self::Checkpoint => "checkpoint",
+            Self::Reconnect => "reconnect",
+        }
+    }
+
+    /// Parses a wire name back into the phase.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "stream_position" => Some(Self::StreamPosition),
+            "realization_batch" => Some(Self::RealizationBatch),
+            "subtotal_send" => Some(Self::SubtotalSend),
+            "collector_merge" => Some(Self::CollectorMerge),
+            "checkpoint" => Some(Self::Checkpoint),
+            "reconnect" => Some(Self::Reconnect),
+            _ => None,
+        }
+    }
+
+    /// Every phase name, in schema order.
+    pub const ALL: [&'static str; 6] = [
+        "stream_position",
+        "realization_batch",
+        "subtotal_send",
+        "collector_merge",
+        "checkpoint",
+        "reconnect",
+    ];
+}
+
 /// The payload of one monitor event.
 ///
 /// Kinds map 1:1 to the `"kind"` discriminator on the wire; see
@@ -320,6 +381,51 @@ pub enum EventKind {
         /// The rank whose link carried the torn frame.
         source: usize,
     },
+    /// A tracing span opened (emitted only when span tracing is
+    /// enabled). Span ids are run-unique: the emitting rank lives in
+    /// the id's high bits, a process-local counter in the low bits.
+    SpanStarted {
+        /// The run-unique span id.
+        span: u64,
+        /// The enclosing span's id, if any.
+        parent: Option<u64>,
+        /// Which run phase the span covers.
+        phase: SpanPhase,
+    },
+    /// A tracing span closed. Duration is `time_s` here minus `time_s`
+    /// of the matching `span_started`, both on the corrected run clock.
+    SpanEnded {
+        /// The run-unique span id being closed.
+        span: u64,
+        /// The phase, repeated so a trace with a lost start event is
+        /// still attributable.
+        phase: SpanPhase,
+    },
+    /// Per-link wire telemetry, emitted when a socket link (Unix-domain
+    /// or TCP) is torn down. Counts cover the link's whole life,
+    /// including frames that carried protocol traffic rather than
+    /// envelopes.
+    WireStats {
+        /// The peer rank on the other end of the link.
+        link: usize,
+        /// Frames read off the link.
+        frames_in: u64,
+        /// Payload + header bytes read off the link.
+        bytes_in: u64,
+        /// Frames written to the link.
+        frames_out: u64,
+        /// Payload + header bytes written to the link.
+        bytes_out: u64,
+        /// Reconnect dials attempted on the link (TCP workers only).
+        dials: u64,
+        /// Frames dropped as exactly-once duplicates (`admit_seq`).
+        dedup_dropped: u64,
+        /// Events the emitting side's sinks failed to write — a
+        /// worker's forwarded-sink drop count, surfaced so the
+        /// collector's summary can account for trace truncation on the
+        /// far side of the wire.
+        events_dropped: u64,
+    },
 }
 
 impl EventKind {
@@ -347,11 +453,14 @@ impl EventKind {
             Self::WorkerReconnected { .. } => "worker_reconnected",
             Self::CollectorResumed { .. } => "collector_resumed",
             Self::TornFrame { .. } => "torn_frame",
+            Self::SpanStarted { .. } => "span_started",
+            Self::SpanEnded { .. } => "span_ended",
+            Self::WireStats { .. } => "wire_stats",
         }
     }
 
     /// Every kind name, in schema order.
-    pub const ALL_KINDS: [&'static str; 20] = [
+    pub const ALL_KINDS: [&'static str; 23] = [
         "run_started",
         "realizations",
         "message_sent",
@@ -372,6 +481,9 @@ impl EventKind {
         "worker_reconnected",
         "collector_resumed",
         "torn_frame",
+        "span_started",
+        "span_ended",
+        "wire_stats",
     ];
 
     /// The kinds only emitted on fault/recovery paths; a fault-free run
@@ -389,12 +501,20 @@ impl EventKind {
 
     /// The kinds that depend on run configuration rather than run
     /// health: `target_precision_reached` only fires when a
-    /// `target_abs_error` is configured (and met), and the membership
+    /// `target_abs_error` is configured (and met), the membership
     /// kinds (`worker_joined`, `worker_left`) only on the
-    /// elastic-membership TCP backend. A fault-free run emits exactly
+    /// elastic-membership TCP backend, the span kinds only when span
+    /// tracing is enabled, and `wire_stats` only on socket transports
+    /// (Unix-domain or TCP). A fault-free run emits exactly
     /// `ALL_KINDS` minus `FAULT_KINDS` minus these.
-    pub const CONDITIONAL_KINDS: [&'static str; 3] =
-        ["target_precision_reached", "worker_joined", "worker_left"];
+    pub const CONDITIONAL_KINDS: [&'static str; 6] = [
+        "target_precision_reached",
+        "worker_joined",
+        "worker_left",
+        "span_started",
+        "span_ended",
+        "wire_stats",
+    ];
 }
 
 /// One monitor event: a timestamp, the emitting rank (if any), and the
@@ -402,10 +522,15 @@ impl EventKind {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Seconds since run start — wall seconds for real runs, virtual
-    /// seconds for simulated ones.
+    /// seconds for simulated ones. For events forwarded across a
+    /// clock-aligned link this is the *corrected* run-clock time.
     pub time_s: f64,
     /// The emitting rank; `None` for run-level events.
     pub rank: Option<usize>,
+    /// The emitter's uncorrected local timestamp, preserved when the
+    /// collector rewrote `time_s` onto the corrected run clock;
+    /// `None` for events that never crossed a clock-aligned link.
+    pub raw_time_s: Option<f64>,
     /// The payload.
     pub kind: EventKind,
 }
@@ -423,6 +548,18 @@ fn push_f64(out: &mut String, v: f64) {
 }
 
 impl Event {
+    /// An event with no preserved raw timestamp — the common case for
+    /// everything emitted on the local clock.
+    #[must_use]
+    pub fn at(time_s: f64, rank: Option<usize>, kind: EventKind) -> Self {
+        Self {
+            time_s,
+            rank,
+            raw_time_s: None,
+            kind,
+        }
+    }
+
     /// Encodes the event as one JSONL line (no trailing newline).
     ///
     /// # Examples
@@ -430,11 +567,11 @@ impl Event {
     /// ```
     /// use parmonc_obs::{Event, EventKind};
     ///
-    /// let line = Event {
-    ///     time_s: 1.5,
-    ///     rank: Some(2),
-    ///     kind: EventKind::Realizations { completed: 10, compute_seconds: 0.25 },
-    /// }
+    /// let line = Event::at(
+    ///     1.5,
+    ///     Some(2),
+    ///     EventKind::Realizations { completed: 10, compute_seconds: 0.25 },
+    /// )
     /// .to_json_line();
     /// assert_eq!(
     ///     line,
@@ -451,6 +588,10 @@ impl Event {
         );
         s.push_str(",\"time_s\":");
         push_f64(&mut s, self.time_s);
+        if let Some(raw) = self.raw_time_s {
+            s.push_str(",\"raw_time_s\":");
+            push_f64(&mut s, raw);
+        }
         if let Some(rank) = self.rank {
             let _ = write!(s, ",\"rank\":{rank}");
         }
@@ -621,6 +762,37 @@ impl Event {
             EventKind::TornFrame { source } => {
                 let _ = write!(s, ",\"source\":{source}");
             }
+            EventKind::SpanStarted {
+                span,
+                parent,
+                phase,
+            } => {
+                let _ = write!(s, ",\"span\":{span}");
+                if let Some(parent) = parent {
+                    let _ = write!(s, ",\"parent\":{parent}");
+                }
+                let _ = write!(s, ",\"phase\":\"{}\"", phase.as_str());
+            }
+            EventKind::SpanEnded { span, phase } => {
+                let _ = write!(s, ",\"span\":{span},\"phase\":\"{}\"", phase.as_str());
+            }
+            EventKind::WireStats {
+                link,
+                frames_in,
+                bytes_in,
+                frames_out,
+                bytes_out,
+                dials,
+                dedup_dropped,
+                events_dropped,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"link\":{link},\"frames_in\":{frames_in},\"bytes_in\":{bytes_in},\
+                     \"frames_out\":{frames_out},\"bytes_out\":{bytes_out},\"dials\":{dials},\
+                     \"dedup_dropped\":{dedup_dropped},\"events_dropped\":{events_dropped}"
+                );
+            }
         }
         s.push('}');
         s
@@ -716,6 +888,25 @@ mod tests {
                 leases: 0,
             },
             EventKind::TornFrame { source: 0 },
+            EventKind::SpanStarted {
+                span: 0,
+                parent: None,
+                phase: SpanPhase::StreamPosition,
+            },
+            EventKind::SpanEnded {
+                span: 0,
+                phase: SpanPhase::StreamPosition,
+            },
+            EventKind::WireStats {
+                link: 0,
+                frames_in: 0,
+                bytes_in: 0,
+                frames_out: 0,
+                bytes_out: 0,
+                dials: 0,
+                dedup_dropped: 0,
+                events_dropped: 0,
+            },
         ];
         let names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
         assert_eq!(names, EventKind::ALL_KINDS);
@@ -737,32 +928,32 @@ mod tests {
 
     #[test]
     fn metrics_snapshot_optional_fields_are_omitted() {
-        let bare = Event {
-            time_s: 0.0,
-            rank: Some(0),
-            kind: EventKind::MetricsSnapshot {
+        let bare = Event::at(
+            0.0,
+            Some(0),
+            EventKind::MetricsSnapshot {
                 functional: 2,
                 n: 100,
                 mean: None,
                 err: None,
             },
-        }
+        )
         .to_json_line();
         assert!(bare.contains("\"functional\":2"));
         assert!(bare.contains("\"n\":100"));
         assert!(!bare.contains("mean"));
         assert!(!bare.contains("err"));
 
-        let full = Event {
-            time_s: 0.0,
-            rank: Some(0),
-            kind: EventKind::MetricsSnapshot {
+        let full = Event::at(
+            0.0,
+            Some(0),
+            EventKind::MetricsSnapshot {
                 functional: 0,
                 n: 100,
                 mean: Some(0.5),
                 err: Some(0.01),
             },
-        }
+        )
         .to_json_line();
         assert!(full.contains("\"mean\":0.5"));
         assert!(full.contains("\"err\":0.01"));
@@ -770,16 +961,16 @@ mod tests {
 
     #[test]
     fn optional_fields_are_omitted() {
-        let line = Event {
-            time_s: 0.0,
-            rank: None,
-            kind: EventKind::AveragingPass {
+        let line = Event::at(
+            0.0,
+            None,
+            EventKind::AveragingPass {
                 volume: 5,
                 duration_seconds: 0.1,
                 eps_max: None,
                 max_snapshot_age_seconds: None,
             },
-        }
+        )
         .to_json_line();
         assert!(!line.contains("eps_max"));
         assert!(!line.contains("rank"));
@@ -788,14 +979,14 @@ mod tests {
 
     #[test]
     fn non_finite_floats_encode_as_null() {
-        let line = Event {
-            time_s: f64::NAN,
-            rank: Some(0),
-            kind: EventKind::SavePoint {
+        let line = Event::at(
+            f64::NAN,
+            Some(0),
+            EventKind::SavePoint {
                 volume: 1,
                 duration_seconds: f64::INFINITY,
             },
-        }
+        )
         .to_json_line();
         assert!(line.contains("\"time_s\":null"));
         assert!(line.contains("\"duration_seconds\":null"));
@@ -812,23 +1003,55 @@ mod tests {
         }
         assert_eq!(RunTransport::from_str_opt("carrier-pigeon"), None);
 
-        let make = |transport| Event {
-            time_s: 0.0,
-            rank: None,
-            kind: EventKind::RunStarted {
-                mode: RunMode::Threads,
-                processors: 2,
-                max_sample_volume: 10,
-                seqnum: Some(0),
-                nrow: Some(1),
-                ncol: Some(1),
-                transport,
-            },
+        let make = |transport| {
+            Event::at(
+                0.0,
+                None,
+                EventKind::RunStarted {
+                    mode: RunMode::Threads,
+                    processors: 2,
+                    max_sample_volume: 10,
+                    seqnum: Some(0),
+                    nrow: Some(1),
+                    ncol: Some(1),
+                    transport,
+                },
+            )
         };
         let labeled = make(Some(RunTransport::Processes)).to_json_line();
         assert!(labeled.contains("\"transport\":\"processes\""));
         let bare = make(None).to_json_line();
         assert!(!bare.contains("transport"));
+    }
+
+    #[test]
+    fn span_phase_round_trips() {
+        for name in SpanPhase::ALL {
+            let phase = SpanPhase::from_str_opt(name).expect("known phase");
+            assert_eq!(phase.as_str(), name);
+        }
+        assert_eq!(SpanPhase::from_str_opt("daydreaming"), None);
+    }
+
+    #[test]
+    fn raw_time_is_encoded_only_when_present() {
+        let kind = EventKind::SpanStarted {
+            span: 9,
+            parent: Some(4),
+            phase: SpanPhase::SubtotalSend,
+        };
+        let bare = Event::at(1.0, Some(2), kind.clone()).to_json_line();
+        assert!(!bare.contains("raw_time_s"));
+        let aligned = Event {
+            time_s: 1.25,
+            rank: Some(2),
+            raw_time_s: Some(6.25),
+            kind,
+        }
+        .to_json_line();
+        assert!(aligned.contains("\"raw_time_s\":6.25"));
+        assert!(aligned.contains("\"parent\":4"));
+        assert!(aligned.contains("\"phase\":\"subtotal_send\""));
     }
 
     #[test]

@@ -60,12 +60,16 @@ mod event;
 mod metrics;
 mod monitor;
 pub mod schema;
+mod span;
 mod summary;
 
 pub use convergence::{ConvergenceTracker, TrajectoryPoint};
-pub use event::{CollectorActivity, Event, EventKind, RunMode, RunTransport, SCHEMA_VERSION};
+pub use event::{
+    CollectorActivity, Event, EventKind, RunMode, RunTransport, SpanPhase, SCHEMA_VERSION,
+};
 pub use metrics::{
     validate_prometheus_text, LogHistogram, MetricsRegistry, MetricsSink, SUB_BUCKETS_PER_OCTAVE,
 };
 pub use monitor::{EventSink, JsonlSink, MemorySink, Monitor};
+pub use span::SpanEmitter;
 pub use summary::{MonitorSummary, RankStats};

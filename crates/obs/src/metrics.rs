@@ -419,6 +419,19 @@ fn help_for(family: &str) -> &'static str {
         "parmonc_collector_seconds_total" => "Collector timeline seconds, by activity.",
         "parmonc_eps_max" => "Largest absolute stochastic error after the last pass.",
         "parmonc_sample_volume" => "Total sample volume folded into the estimate.",
+        "parmonc_span_seconds" => "Tracing span durations on the corrected run clock.",
+        "parmonc_spans_total" => "Tracing spans closed, by phase.",
+        "parmonc_wire_frames_in_total" => "Frames read off a socket link, by peer rank.",
+        "parmonc_wire_bytes_in_total" => "Bytes read off a socket link, by peer rank.",
+        "parmonc_wire_frames_out_total" => "Frames written to a socket link, by peer rank.",
+        "parmonc_wire_bytes_out_total" => "Bytes written to a socket link, by peer rank.",
+        "parmonc_reconnect_dials_total" => "Reconnect dials attempted, by peer rank.",
+        "parmonc_dedup_dropped_frames_total" => {
+            "Duplicate frames dropped by exactly-once dedup, by peer rank."
+        }
+        "parmonc_forwarded_events_dropped_total" => {
+            "Events a forwarding worker's sinks failed to write, by peer rank."
+        }
         _ => "Metric derived from the parmonc monitor event stream.",
     }
 }
@@ -541,9 +554,17 @@ struct DeriveState {
     progress: BTreeMap<usize, (u64, f64)>,
     /// heartbeat source rank → `time_s` of its last heartbeat.
     last_heartbeat: BTreeMap<usize, f64>,
+    /// Open tracing span → its `span_started` timestamp, so
+    /// `span_ended` can feed the duration histogram.
+    open_spans: BTreeMap<u64, f64>,
     /// Events recorded since `metrics.prom` was last rewritten.
     since_write: u32,
 }
+
+/// Cap on tracked open spans: beyond this, the stalest-id entry is
+/// evicted so a trace with lost `span_ended` events cannot grow the
+/// sink without bound.
+const MAX_OPEN_SPANS: usize = 4096;
 
 /// How many events may elapse between periodic `metrics.prom`
 /// rewrites (the file is also rewritten on every flush).
@@ -617,6 +638,20 @@ fn received_counter(tag: u32) -> &'static str {
         "8" => "parmonc_messages_received_total{tag=\"8\"}",
         "9" => "parmonc_messages_received_total{tag=\"9\"}",
         _ => "parmonc_messages_received_total{tag=\"other\"}",
+    }
+}
+
+/// Spans are emitted per exchange batch on the hot path, so the
+/// per-phase counter names are static like the tag counters.
+fn span_counter(phase: crate::event::SpanPhase) -> &'static str {
+    use crate::event::SpanPhase;
+    match phase {
+        SpanPhase::StreamPosition => "parmonc_spans_total{phase=\"stream_position\"}",
+        SpanPhase::RealizationBatch => "parmonc_spans_total{phase=\"realization_batch\"}",
+        SpanPhase::SubtotalSend => "parmonc_spans_total{phase=\"subtotal_send\"}",
+        SpanPhase::CollectorMerge => "parmonc_spans_total{phase=\"collector_merge\"}",
+        SpanPhase::Checkpoint => "parmonc_spans_total{phase=\"checkpoint\"}",
+        SpanPhase::Reconnect => "parmonc_spans_total{phase=\"reconnect\"}",
     }
 }
 
@@ -862,6 +897,66 @@ impl EventSink for MetricsSink {
             EventKind::TornFrame { .. } => {
                 r.inc_counter("parmonc_torn_frames_total", 1.0);
             }
+            EventKind::SpanStarted { span, .. } => {
+                let mut state = self.state.lock().expect("metrics sink poisoned");
+                state.open_spans.insert(*span, event.time_s);
+                // A lost span_ended must not pin memory forever.
+                if state.open_spans.len() > MAX_OPEN_SPANS {
+                    let stalest = state.open_spans.keys().next().copied();
+                    if let Some(stalest) = stalest {
+                        state.open_spans.remove(&stalest);
+                    }
+                }
+            }
+            EventKind::SpanEnded { span, phase } => {
+                let started = {
+                    let mut state = self.state.lock().expect("metrics sink poisoned");
+                    state.open_spans.remove(span)
+                };
+                r.inc_counter(span_counter(*phase), 1.0);
+                if let Some(started) = started {
+                    let duration = event.time_s - started;
+                    if duration >= 0.0 {
+                        r.observe("parmonc_span_seconds", duration);
+                    }
+                }
+            }
+            EventKind::WireStats {
+                link,
+                frames_in,
+                bytes_in,
+                frames_out,
+                bytes_out,
+                dials,
+                dedup_dropped,
+                events_dropped,
+            } => {
+                // One event per link teardown: per-event label
+                // allocation is fine here, as for faults.
+                let by_link = |name: &str| format!("{name}{{link=\"{link}\"}}");
+                r.inc_counter(&by_link("parmonc_wire_frames_in_total"), *frames_in as f64);
+                r.inc_counter(&by_link("parmonc_wire_bytes_in_total"), *bytes_in as f64);
+                r.inc_counter(
+                    &by_link("parmonc_wire_frames_out_total"),
+                    *frames_out as f64,
+                );
+                r.inc_counter(&by_link("parmonc_wire_bytes_out_total"), *bytes_out as f64);
+                if *dials > 0 {
+                    r.inc_counter(&by_link("parmonc_reconnect_dials_total"), *dials as f64);
+                }
+                if *dedup_dropped > 0 {
+                    r.inc_counter(
+                        &by_link("parmonc_dedup_dropped_frames_total"),
+                        *dedup_dropped as f64,
+                    );
+                }
+                if *events_dropped > 0 {
+                    r.inc_counter(
+                        &by_link("parmonc_forwarded_events_dropped_total"),
+                        *events_dropped as f64,
+                    );
+                }
+            }
         }
         if self.prom_path.is_some() {
             let mut state = self.state.lock().expect("metrics sink poisoned");
@@ -1047,7 +1142,7 @@ mod tests {
     }
 
     fn ev(time_s: f64, rank: Option<usize>, kind: EventKind) -> Event {
-        Event { time_s, rank, kind }
+        Event::at(time_s, rank, kind)
     }
 
     #[test]
@@ -1176,6 +1271,87 @@ mod tests {
 
         let text = r.render_prometheus();
         validate_prometheus_text(&text).expect("derived exposition is valid");
+    }
+
+    #[test]
+    fn span_and_wire_events_derive_trace_metrics() {
+        use crate::event::SpanPhase;
+        let sink = MetricsSink::new();
+        let r = sink.registry();
+        sink.record(&ev(
+            1.0,
+            Some(1),
+            EventKind::SpanStarted {
+                span: 42,
+                parent: None,
+                phase: SpanPhase::RealizationBatch,
+            },
+        ));
+        sink.record(&ev(
+            1.5,
+            Some(1),
+            EventKind::SpanEnded {
+                span: 42,
+                phase: SpanPhase::RealizationBatch,
+            },
+        ));
+        // An end with no recorded start still counts, just without a
+        // duration sample.
+        sink.record(&ev(
+            2.0,
+            Some(1),
+            EventKind::SpanEnded {
+                span: 43,
+                phase: SpanPhase::Checkpoint,
+            },
+        ));
+        sink.record(&ev(
+            3.0,
+            Some(0),
+            EventKind::WireStats {
+                link: 2,
+                frames_in: 10,
+                bytes_in: 800,
+                frames_out: 3,
+                bytes_out: 90,
+                dials: 2,
+                dedup_dropped: 1,
+                events_dropped: 0,
+            },
+        ));
+        assert_eq!(
+            r.value("parmonc_spans_total{phase=\"realization_batch\"}"),
+            Some(1.0)
+        );
+        assert_eq!(
+            r.value("parmonc_spans_total{phase=\"checkpoint\"}"),
+            Some(1.0)
+        );
+        let h = r.histogram("parmonc_span_seconds").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            r.value("parmonc_wire_frames_in_total{link=\"2\"}"),
+            Some(10.0)
+        );
+        assert_eq!(
+            r.value("parmonc_wire_bytes_out_total{link=\"2\"}"),
+            Some(90.0)
+        );
+        assert_eq!(
+            r.value("parmonc_reconnect_dials_total{link=\"2\"}"),
+            Some(2.0)
+        );
+        assert_eq!(
+            r.value("parmonc_dedup_dropped_frames_total{link=\"2\"}"),
+            Some(1.0)
+        );
+        // No forwarded-drop series when the count is zero.
+        assert_eq!(
+            r.value("parmonc_forwarded_events_dropped_total{link=\"2\"}"),
+            None
+        );
+        validate_prometheus_text(&r.render_prometheus()).expect("valid exposition");
     }
 
     #[test]

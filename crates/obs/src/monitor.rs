@@ -51,6 +51,11 @@ impl<S: EventSink + ?Sized> EventSink for Arc<S> {
 
 struct Inner {
     epoch: Instant,
+    /// A constant added to every clock reading — 0 in production.
+    /// Tests and the CI skew job use it to give a process a
+    /// deterministically wrong clock, so the cross-host alignment
+    /// plane has a known offset to estimate and cancel.
+    skew_s: f64,
     sinks: Vec<Box<dyn EventSink>>,
 }
 
@@ -58,6 +63,7 @@ impl fmt::Debug for Inner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Inner")
             .field("epoch", &self.epoch)
+            .field("skew_s", &self.skew_s)
             .field("sinks", &self.sinks.len())
             .finish()
     }
@@ -97,9 +103,28 @@ impl Monitor {
     /// since this call.
     #[must_use]
     pub fn new(sinks: Vec<Box<dyn EventSink>>) -> Self {
+        Self::new_skewed(sinks, 0.0)
+    }
+
+    /// A monitor whose clock reads `skew_s` seconds ahead of reality —
+    /// the deterministic skew-injection hook for clock-alignment tests.
+    /// Production callers use [`Monitor::new`] (skew 0).
+    #[must_use]
+    pub fn new_skewed(sinks: Vec<Box<dyn EventSink>>, skew_s: f64) -> Self {
+        Self::new_skewed_from(Instant::now(), sinks, skew_s)
+    }
+
+    /// A skewed monitor whose clock starts at `epoch` instead of the
+    /// moment of this call. Lets a transport take clock samples
+    /// *before* its monitor exists — the TCP join handshake exchanges
+    /// timestamps, then builds the forwarding monitor on the very same
+    /// epoch so handshake samples and event stamps share one clock.
+    #[must_use]
+    pub fn new_skewed_from(epoch: Instant, sinks: Vec<Box<dyn EventSink>>, skew_s: f64) -> Self {
         Self {
             inner: Some(Arc::new(Inner {
-                epoch: Instant::now(),
+                epoch,
+                skew_s,
                 sinks,
             })),
         }
@@ -111,20 +136,23 @@ impl Monitor {
         self.inner.is_some()
     }
 
-    /// Seconds since the monitor was created (0 when disabled).
+    /// Seconds since the monitor was created (0 when disabled),
+    /// including any injected skew — the same clock event timestamps
+    /// and handshake clock probes read.
     #[must_use]
     pub fn elapsed_s(&self) -> f64 {
         self.inner
             .as_ref()
-            .map_or(0.0, |i| i.epoch.elapsed().as_secs_f64())
+            .map_or(0.0, |i| i.epoch.elapsed().as_secs_f64() + i.skew_s)
     }
 
     /// Emits an event stamped with the current elapsed time.
     pub fn emit(&self, rank: Option<usize>, kind: EventKind) {
         if let Some(inner) = &self.inner {
             let event = Event {
-                time_s: inner.epoch.elapsed().as_secs_f64(),
+                time_s: inner.epoch.elapsed().as_secs_f64() + inner.skew_s,
                 rank,
+                raw_time_s: None,
                 kind,
             };
             for sink in &inner.sinks {
@@ -136,8 +164,26 @@ impl Monitor {
     /// Emits an event with an explicit timestamp — used by virtual-time
     /// producers (the cluster simulator), which have no wall clock.
     pub fn emit_at(&self, time_s: f64, rank: Option<usize>, kind: EventKind) {
+        self.emit_aligned(time_s, None, rank, kind);
+    }
+
+    /// Emits an event with an explicit *corrected* timestamp plus the
+    /// emitter's preserved uncorrected one — the re-emission path for
+    /// events forwarded over a clock-aligned link.
+    pub fn emit_aligned(
+        &self,
+        time_s: f64,
+        raw_time_s: Option<f64>,
+        rank: Option<usize>,
+        kind: EventKind,
+    ) {
         if let Some(inner) = &self.inner {
-            let event = Event { time_s, rank, kind };
+            let event = Event {
+                time_s,
+                rank,
+                raw_time_s,
+                kind,
+            };
             for sink in &inner.sinks {
                 sink.record(&event);
             }
@@ -359,6 +405,27 @@ mod tests {
         let m = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
         m.emit_at(42.5, None, EventKind::QueueHighWater { depth: 1 });
         assert_eq!(sink.snapshot()[0].time_s, 42.5);
+        assert_eq!(sink.snapshot()[0].raw_time_s, None);
+    }
+
+    #[test]
+    fn emit_aligned_preserves_the_raw_timestamp() {
+        let sink = Arc::new(MemorySink::new());
+        let m = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
+        m.emit_aligned(1.5, Some(6.5), Some(2), EventKind::QueueHighWater { depth: 1 });
+        let events = sink.snapshot();
+        assert_eq!(events[0].time_s, 1.5);
+        assert_eq!(events[0].raw_time_s, Some(6.5));
+    }
+
+    #[test]
+    fn skewed_monitor_reads_ahead_by_the_skew() {
+        let sink = Arc::new(MemorySink::new());
+        let m = Monitor::new_skewed(vec![Box::new(Arc::clone(&sink))], 100.0);
+        m.emit(Some(0), EventKind::QueueHighWater { depth: 1 });
+        let t = sink.snapshot()[0].time_s;
+        assert!((100.0..101.0).contains(&t), "skewed stamp {t}");
+        assert!(m.elapsed_s() >= 100.0);
     }
 
     #[test]

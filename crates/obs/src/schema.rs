@@ -151,6 +151,14 @@ fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
     const MODES: &[&str] = &["threads", "simcluster"];
     const TRANSPORTS: &[&str] = &["threads", "processes", "tcp"];
     const ACTIVITIES: &[&str] = &["computing", "receiving", "saving", "waiting"];
+    const PHASES: &[&str] = &[
+        "stream_position",
+        "realization_batch",
+        "subtotal_send",
+        "collector_merge",
+        "checkpoint",
+        "reconnect",
+    ];
     const FAULTS: &[&str] = &[
         "rank_crash",
         "message_drop",
@@ -245,6 +253,24 @@ fn kind_fields(kind: &str) -> Option<(FieldSpec, FieldSpec)> {
         "worker_reconnected" => (&[("worker", UInt)][..], &[][..]),
         "collector_resumed" => (&[("epoch", Enum(&[])), ("leases", UInt)][..], &[][..]),
         "torn_frame" => (&[("source", UInt)][..], &[][..]),
+        "span_started" => (
+            &[("span", UInt), ("phase", Enum(PHASES))][..],
+            &[("parent", UInt)][..],
+        ),
+        "span_ended" => (&[("span", UInt), ("phase", Enum(PHASES))][..], &[][..]),
+        "wire_stats" => (
+            &[
+                ("link", UInt),
+                ("frames_in", UInt),
+                ("bytes_in", UInt),
+                ("frames_out", UInt),
+                ("bytes_out", UInt),
+                ("dials", UInt),
+                ("dedup_dropped", UInt),
+                ("events_dropped", UInt),
+            ][..],
+            &[][..],
+        ),
         _ => return None,
     })
 }
@@ -290,6 +316,9 @@ pub fn validate_line(line: &str) -> Result<&'static str, String> {
         get("time_s").ok_or("missing \"time_s\"")?,
         FieldType::Num,
     )?;
+    if let Some(raw) = get("raw_time_s") {
+        check_type("raw_time_s", raw, FieldType::Num)?;
+    }
     if let Some(rank) = get("rank") {
         check_type("rank", rank, FieldType::UInt)?;
     }
@@ -305,7 +334,7 @@ pub fn validate_line(line: &str) -> Result<&'static str, String> {
         }
     }
     for (key, _) in &pairs {
-        let known = matches!(key.as_str(), "v" | "kind" | "time_s" | "rank")
+        let known = matches!(key.as_str(), "v" | "kind" | "time_s" | "raw_time_s" | "rank")
             || required.iter().any(|(n, _)| n == key)
             || optional.iter().any(|(n, _)| n == key);
         if !known {
@@ -474,11 +503,33 @@ pub fn parse_line(line: &str) -> Result<Event, String> {
         "torn_frame" => EventKind::TornFrame {
             source: uint("source") as usize,
         },
+        "span_started" => EventKind::SpanStarted {
+            span: uint("span"),
+            parent: opt_uint("parent"),
+            phase: crate::event::SpanPhase::from_str_opt(&text("phase"))
+                .unwrap_or(crate::event::SpanPhase::RealizationBatch),
+        },
+        "span_ended" => EventKind::SpanEnded {
+            span: uint("span"),
+            phase: crate::event::SpanPhase::from_str_opt(&text("phase"))
+                .unwrap_or(crate::event::SpanPhase::RealizationBatch),
+        },
+        "wire_stats" => EventKind::WireStats {
+            link: uint("link") as usize,
+            frames_in: uint("frames_in"),
+            bytes_in: uint("bytes_in"),
+            frames_out: uint("frames_out"),
+            bytes_out: uint("bytes_out"),
+            dials: uint("dials"),
+            dedup_dropped: uint("dedup_dropped"),
+            events_dropped: uint("events_dropped"),
+        },
         _ => unreachable!("validate_line only returns known kinds"),
     };
     Ok(Event {
         time_s: num("time_s"),
         rank: opt_uint("rank").map(|r| r as usize),
+        raw_time_s: opt_num("raw_time_s"),
         kind,
     })
 }
@@ -489,12 +540,7 @@ mod tests {
     use crate::event::{Event, EventKind, RunMode};
 
     fn line(kind: EventKind) -> String {
-        Event {
-            time_s: 0.25,
-            rank: Some(1),
-            kind,
-        }
-        .to_json_line()
+        Event::at(0.25, Some(1), kind).to_json_line()
     }
 
     /// One populated sample of every event kind, in schema order.
@@ -582,6 +628,25 @@ mod tests {
                 leases: 3,
             },
             EventKind::TornFrame { source: 2 },
+            EventKind::SpanStarted {
+                span: (2 << 40) | 7,
+                parent: Some(2 << 40),
+                phase: crate::event::SpanPhase::SubtotalSend,
+            },
+            EventKind::SpanEnded {
+                span: (2 << 40) | 7,
+                phase: crate::event::SpanPhase::SubtotalSend,
+            },
+            EventKind::WireStats {
+                link: 2,
+                frames_in: 120,
+                bytes_in: 9800,
+                frames_out: 4,
+                bytes_out: 112,
+                dials: 1,
+                dedup_dropped: 3,
+                events_dropped: 0,
+            },
         ]
     }
 
@@ -603,21 +668,29 @@ mod tests {
     #[test]
     fn parse_line_round_trips_every_kind() {
         for kind in all_kind_samples() {
-            let event = Event {
-                time_s: 0.25,
-                rank: Some(1),
-                kind,
-            };
+            let event = Event::at(0.25, Some(1), kind);
             let decoded = parse_line(&event.to_json_line()).expect("round trip");
             assert_eq!(decoded, event);
         }
         // Rank-less events round-trip too.
-        let event = Event {
-            time_s: 3.5,
-            rank: None,
-            kind: EventKind::QueueHighWater { depth: 2 },
-        };
+        let event = Event::at(3.5, None, EventKind::QueueHighWater { depth: 2 });
         assert_eq!(parse_line(&event.to_json_line()).unwrap(), event);
+    }
+
+    #[test]
+    fn raw_time_round_trips_on_any_kind() {
+        let event = Event {
+            time_s: 1.5,
+            rank: Some(2),
+            raw_time_s: Some(7.25),
+            kind: EventKind::Realizations {
+                completed: 10,
+                compute_seconds: 0.5,
+            },
+        };
+        let encoded = event.to_json_line();
+        assert_eq!(validate_line(&encoded), Ok("realizations"));
+        assert_eq!(parse_line(&encoded).unwrap(), event);
     }
 
     #[test]
@@ -628,10 +701,10 @@ mod tests {
 
     #[test]
     fn transport_label_round_trips() {
-        let event = Event {
-            time_s: 0.0,
-            rank: None,
-            kind: EventKind::RunStarted {
+        let event = Event::at(
+            0.0,
+            None,
+            EventKind::RunStarted {
                 mode: RunMode::Threads,
                 processors: 4,
                 max_sample_volume: 100,
@@ -640,7 +713,7 @@ mod tests {
                 ncol: Some(1),
                 transport: Some(crate::event::RunTransport::Processes),
             },
-        };
+        );
         let encoded = event.to_json_line();
         assert_eq!(validate_line(&encoded), Ok("run_started"));
         assert_eq!(parse_line(&encoded).unwrap(), event);
@@ -692,6 +765,14 @@ mod tests {
             (
                 r#"{"v":1,"kind":"run_started","time_s":0,"mode":"threads","processors":1,"max_sample_volume":1,"transport":"telepathy"}"#,
                 "unknown transport name",
+            ),
+            (
+                r#"{"v":1,"kind":"span_started","time_s":0,"rank":1,"span":3,"phase":"daydreaming"}"#,
+                "unknown span phase",
+            ),
+            (
+                r#"{"v":1,"kind":"realizations","time_s":0,"raw_time_s":"later","rank":1,"completed":1,"compute_seconds":0}"#,
+                "non-numeric raw_time_s",
             ),
         ] {
             assert!(validate_line(bad).is_err(), "should reject ({why}): {bad}");

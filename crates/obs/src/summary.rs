@@ -94,6 +94,30 @@ pub struct MonitorSummary {
     /// the caller from [`crate::Monitor::flush`], since dropped lines
     /// are by definition not in the event list.
     pub dropped_events: u64,
+    /// Tracing spans closed (`span_ended` events).
+    pub spans_closed: u64,
+    /// Seconds per span phase, summed over spans whose start and end
+    /// both appear in the trace (corrected run clock).
+    pub span_seconds: BTreeMap<&'static str, f64>,
+    /// `wire_stats` events in the trace — one per torn-down socket
+    /// link end.
+    pub wire_links: u64,
+    /// Frames read across all socket links.
+    pub wire_frames_in: u64,
+    /// Bytes read across all socket links.
+    pub wire_bytes_in: u64,
+    /// Frames written across all socket links.
+    pub wire_frames_out: u64,
+    /// Bytes written across all socket links.
+    pub wire_bytes_out: u64,
+    /// Reconnect dials across all links.
+    pub reconnect_dials: u64,
+    /// Duplicate frames dropped by exactly-once dedup across all links.
+    pub dedup_dropped_frames: u64,
+    /// Events forwarding workers' sinks failed to write (reported in
+    /// their `wire_stats`) — far-side trace truncation, distinct from
+    /// this process's own `dropped_events`.
+    pub forwarded_dropped_events: u64,
 }
 
 impl MonitorSummary {
@@ -219,6 +243,46 @@ impl MonitorSummary {
                 EventKind::TornFrame { .. } => {
                     s.torn_frames += 1;
                 }
+                EventKind::SpanStarted { .. } => {}
+                EventKind::SpanEnded { .. } => {
+                    s.spans_closed += 1;
+                }
+                EventKind::WireStats {
+                    frames_in,
+                    bytes_in,
+                    frames_out,
+                    bytes_out,
+                    dials,
+                    dedup_dropped,
+                    events_dropped,
+                    ..
+                } => {
+                    s.wire_links += 1;
+                    s.wire_frames_in += frames_in;
+                    s.wire_bytes_in += bytes_in;
+                    s.wire_frames_out += frames_out;
+                    s.wire_bytes_out += bytes_out;
+                    s.reconnect_dials += dials;
+                    s.dedup_dropped_frames += dedup_dropped;
+                    s.forwarded_dropped_events += events_dropped;
+                }
+            }
+        }
+        // Second pass: pair span starts with ends by id — naturally
+        // order-tolerant, so skewed multi-host delivery order cannot
+        // change the per-phase totals.
+        let mut starts: BTreeMap<u64, f64> = BTreeMap::new();
+        for event in events {
+            if let EventKind::SpanStarted { span, .. } = &event.kind {
+                starts.insert(*span, event.time_s);
+            }
+        }
+        for event in events {
+            if let EventKind::SpanEnded { span, phase } = &event.kind {
+                if let Some(started) = starts.get(span) {
+                    let duration = (event.time_s - started).max(0.0);
+                    *s.span_seconds.entry(phase.as_str()).or_insert(0.0) += duration;
+                }
             }
         }
         s
@@ -291,6 +355,40 @@ impl MonitorSummary {
                 "  WARNING: {} trace line(s) dropped (write failures) — trace is incomplete",
                 self.dropped_events
             );
+        }
+        if self.forwarded_dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "  WARNING: {} forwarded event(s) dropped by worker-side sinks — \
+                 remote traces are incomplete",
+                self.forwarded_dropped_events
+            );
+        }
+        if self.wire_links > 0 {
+            let _ = writeln!(
+                out,
+                "  wire ({} link ends): frames in/out {}/{} | bytes in/out {}/{} | \
+                 dials {} | dedup-dropped {}",
+                self.wire_links,
+                self.wire_frames_in,
+                self.wire_frames_out,
+                self.wire_bytes_in,
+                self.wire_bytes_out,
+                self.reconnect_dials,
+                self.dedup_dropped_frames
+            );
+        }
+        if self.spans_closed > 0 {
+            let _ = write!(out, "  spans closed {}", self.spans_closed);
+            if !self.span_seconds.is_empty() {
+                let _ = write!(out, " | time by phase:");
+                for phase in crate::event::SpanPhase::ALL {
+                    if let Some(seconds) = self.span_seconds.get(phase) {
+                        let _ = write!(out, " {phase} {seconds:.3} s");
+                    }
+                }
+            }
+            out.push('\n');
         }
         if self.workers_joined > 0 || self.workers_left > 0 {
             let _ = writeln!(
@@ -366,7 +464,7 @@ mod tests {
     use super::*;
 
     fn ev(time_s: f64, rank: Option<usize>, kind: EventKind) -> Event {
-        Event { time_s, rank, kind }
+        Event::at(time_s, rank, kind)
     }
 
     #[test]
@@ -666,6 +764,194 @@ mod tests {
         assert_eq!(a.ranks[&1].realizations, 60);
         assert_eq!(a.ranks[&1].compute_seconds, 0.9);
         let _ = a.render_table();
+    }
+
+    /// The full multi-host story: a trace whose per-rank streams were
+    /// merged from skewed clocks (worker events arrive late, early, and
+    /// interleaved across every kind the TCP backend emits) must fold
+    /// to the identical summary under every delivery order.
+    #[test]
+    fn skewed_multi_host_trace_folds_order_independently() {
+        use crate::event::SpanPhase;
+        // Rank 1's clock runs 5 s ahead, rank 2's 3 s behind: the
+        // merged timeline is wildly non-monotonic even though each
+        // rank's own stream is ordered.
+        let mut events = vec![
+            ev(
+                0.0,
+                None,
+                EventKind::RunStarted {
+                    mode: RunMode::Threads,
+                    processors: 3,
+                    max_sample_volume: 300,
+                    seqnum: Some(1),
+                    nrow: Some(1),
+                    ncol: Some(1),
+                    transport: Some(RunTransport::Tcp),
+                },
+            ),
+            ev(
+                0.1,
+                Some(0),
+                EventKind::WorkerJoined {
+                    worker: 1,
+                    addr: None,
+                },
+            ),
+            ev(0.2, Some(0), EventKind::WorkerJoined { worker: 2, addr: None }),
+        ];
+        for (rank, skew) in [(1usize, 5.0f64), (2, -3.0)] {
+            let span = (rank as u64 + 1) << 40;
+            for step in 0..4u64 {
+                let t = 0.3 + step as f64 * 0.2 + skew;
+                events.push(ev(
+                    t,
+                    Some(rank),
+                    EventKind::SpanStarted {
+                        span: span + step,
+                        parent: None,
+                        phase: SpanPhase::RealizationBatch,
+                    },
+                ));
+                events.push(ev(
+                    t + 0.1,
+                    Some(rank),
+                    EventKind::Realizations {
+                        completed: (step + 1) * 25,
+                        compute_seconds: (step + 1) as f64 * 0.1,
+                    },
+                ));
+                events.push(ev(
+                    t + 0.15,
+                    Some(rank),
+                    EventKind::MessageSent {
+                        dest: 0,
+                        tag: 1,
+                        bytes: 48,
+                    },
+                ));
+                events.push(ev(
+                    t + 0.18,
+                    Some(rank),
+                    EventKind::SpanEnded {
+                        span: span + step,
+                        phase: SpanPhase::RealizationBatch,
+                    },
+                ));
+                events.push(ev(
+                    0.35 + step as f64 * 0.2,
+                    Some(0),
+                    EventKind::MessageReceived {
+                        source: rank,
+                        tag: 1,
+                        bytes: 48,
+                        queue_depth: step,
+                    },
+                ));
+            }
+            events.push(ev(
+                2.0,
+                Some(0),
+                EventKind::WireStats {
+                    link: rank,
+                    frames_in: 40,
+                    bytes_in: 3200,
+                    frames_out: 2,
+                    bytes_out: 64,
+                    dials: u64::from(rank == 1),
+                    dedup_dropped: u64::from(rank == 2),
+                    events_dropped: 0,
+                },
+            ));
+            events.push(ev(2.1, Some(0), EventKind::WorkerLeft { worker: rank }));
+        }
+        events.push(ev(
+            2.2,
+            Some(0),
+            EventKind::AveragingPass {
+                volume: 200,
+                duration_seconds: 0.02,
+                eps_max: Some(0.01),
+                max_snapshot_age_seconds: Some(0.4),
+            },
+        ));
+        events.push(ev(
+            2.3,
+            None,
+            EventKind::RunCompleted {
+                realizations: 200,
+                t_comp_seconds: 2.3,
+                messages: 8,
+                bytes: 384,
+            },
+        ));
+
+        let reference = MonitorSummary::from_events(&events);
+        // Deterministic pseudo-shuffles: rotate and stride the trace.
+        let n = events.len();
+        for seed in 1..6 {
+            let mut shuffled = Vec::with_capacity(n);
+            let stride = 1 + (seed * 5) % n;
+            let mut i = seed % n;
+            for _ in 0..n {
+                shuffled.push(events[i].clone());
+                i = (i + stride) % n;
+            }
+            // Strides coprime with n visit every event exactly once;
+            // skip degenerate strides that don't.
+            let mut check: Vec<_> = shuffled.iter().map(|e| e.time_s.to_bits()).collect();
+            let mut orig: Vec<_> = events.iter().map(|e| e.time_s.to_bits()).collect();
+            check.sort_unstable();
+            orig.sort_unstable();
+            if check != orig {
+                continue;
+            }
+            assert_eq!(
+                MonitorSummary::from_events(&shuffled),
+                reference,
+                "fold differed under shuffle seed {seed}"
+            );
+        }
+        let mut sorted = events.clone();
+        sorted.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+        assert_eq!(MonitorSummary::from_events(&sorted), reference);
+
+        // Sanity on the folded values themselves.
+        assert_eq!(reference.ranks[&1].realizations, 100);
+        assert_eq!(reference.ranks[&2].realizations, 100);
+        assert_eq!(reference.spans_closed, 8);
+        let batch = reference.span_seconds["realization_batch"];
+        assert!((batch - 8.0 * 0.18).abs() < 1e-9, "batch seconds {batch}");
+        assert_eq!(reference.wire_links, 2);
+        assert_eq!(reference.wire_frames_in, 80);
+        assert_eq!(reference.reconnect_dials, 1);
+        assert_eq!(reference.dedup_dropped_frames, 1);
+        let table = reference.render_table();
+        assert!(table.contains("wire (2 link ends)"));
+        assert!(table.contains("spans closed 8"));
+        assert!(table.contains("dedup-dropped 1"));
+    }
+
+    #[test]
+    fn forwarded_drops_render_a_warning() {
+        let events = [ev(
+            1.0,
+            Some(0),
+            EventKind::WireStats {
+                link: 1,
+                frames_in: 5,
+                bytes_in: 400,
+                frames_out: 1,
+                bytes_out: 32,
+                dials: 0,
+                dedup_dropped: 0,
+                events_dropped: 4,
+            },
+        )];
+        let s = MonitorSummary::from_events(&events);
+        assert_eq!(s.forwarded_dropped_events, 4);
+        let table = s.render_table();
+        assert!(table.contains("WARNING: 4 forwarded event(s) dropped"));
     }
 
     #[test]

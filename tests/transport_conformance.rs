@@ -176,7 +176,20 @@ fn process_and_thread_backends_agree() {
 
     // Identical monitor event vocabularies (timing may reorder events,
     // but both backends must surface the same *kinds* of observability).
-    assert_eq!(trace_kinds(&processes), trace_kinds(&threads));
+    // The socket backend additionally reports per-link wire telemetry,
+    // which a shared-memory run has no wire to measure.
+    let mut process_kinds = trace_kinds(&processes);
+    assert!(
+        process_kinds.remove("wire_stats"),
+        "socket backend must flush its wire counters on shutdown"
+    );
+    assert_eq!(process_kinds, trace_kinds(&threads));
+
+    // Worker-side sinks flushed cleanly on exit: nothing was silently
+    // dropped, locally or on the forwarding path.
+    let summary = processes.monitor.as_ref().expect("monitored run");
+    assert_eq!(summary.dropped_events, 0);
+    assert_eq!(summary.forwarded_dropped_events, 0);
 
     assert_no_orphans();
 }
@@ -211,6 +224,17 @@ fn faulted_process_run_shuts_down_cleanly() {
         report.lost_workers
     );
     assert!(report.reassigned_realizations > 0);
+
+    // Even under injected faults the surviving workers flush their
+    // sinks (and wire counters) on exit, and nothing was silently
+    // dropped by a worker-side sink on the way out.
+    assert!(
+        trace_kinds(&report).contains("wire_stats"),
+        "fault-injected run still flushed wire counters on exit"
+    );
+    let summary = report.monitor.as_ref().expect("monitored run");
+    assert_eq!(summary.dropped_events, 0);
+    assert_eq!(summary.forwarded_dropped_events, 0);
 
     assert_no_orphans();
 }
@@ -341,10 +365,12 @@ fn tcp_and_thread_backends_agree() {
     assert_eq!(tcp.worker_volumes, threads.worker_volumes);
     assert!(tcp.lost_workers.is_empty());
 
-    // The TCP vocabulary is the thread vocabulary plus join/leave.
+    // The TCP vocabulary is the thread vocabulary plus membership and
+    // per-link wire telemetry.
     let mut tcp_kinds = trace_kinds(&tcp);
     assert!(tcp_kinds.remove("worker_joined"), "join events recorded");
     assert!(tcp_kinds.remove("worker_left"), "leave events recorded");
+    assert!(tcp_kinds.remove("wire_stats"), "wire counters recorded");
     assert_eq!(tcp_kinds, trace_kinds(&threads));
 
     let summary = tcp.monitor.expect("monitored run");
@@ -615,4 +641,223 @@ fn severed_and_collector_crashed_tcp_run_resumes_bit_identically() {
     let kinds = trace_kinds(&tcp);
     assert!(kinds.contains("collector_resumed"), "kinds: {kinds:?}");
     assert!(kinds.contains("worker_reconnected"), "kinds: {kinds:?}");
+}
+
+/// Parses a run's full event trace (every line schema-validated by
+/// construction of [`parmonc_obs::schema::parse_line`]).
+fn trace_events(report: &RunReport) -> Vec<parmonc_obs::Event> {
+    let path = report.results_dir.run_metrics_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    text.lines()
+        .map(|line| {
+            parmonc_obs::schema::parse_line(line)
+                .unwrap_or_else(|e| panic!("invalid trace line {line:?}: {e}"))
+        })
+        .collect()
+}
+
+/// Span tracing is pure observability: turning it on must not move a
+/// single bit of the estimate on any backend. One config runs traced
+/// over processes, TCP, and threads, plus an untraced thread baseline —
+/// all four reports must be bit-identical, and only the traced runs may
+/// carry span events.
+#[test]
+fn span_tracing_keeps_estimates_bit_identical_across_backends() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let configure = |b: ParmoncBuilder, dir: PathBuf| {
+        b.max_sample_volume(2_000)
+            .processors(3)
+            .seqnum(5)
+            .exchange(Exchange::EveryRealization)
+            .monitor()
+            .output_dir(dir)
+    };
+    // The (single) process-backend run comes first: re-executed workers
+    // divert here before reaching the thread and TCP runs below.
+    let traced_processes = configure(
+        builder_for("span_tracing_keeps_estimates_bit_identical_across_backends", 1, 2),
+        scratch("spans-processes"),
+    )
+    .trace_spans()
+    .transport(Transport::Processes)
+    .run(uniform())
+    .unwrap();
+
+    let plain = configure(Parmonc::builder(1, 2), scratch("spans-plain"))
+        .transport(Transport::Threads)
+        .run(uniform())
+        .unwrap();
+    let traced_threads = configure(Parmonc::builder(1, 2), scratch("spans-threads"))
+        .trace_spans()
+        .transport(Transport::Threads)
+        .run(uniform())
+        .unwrap();
+
+    // Traced TCP run: span tracing is the *collector's* choice — the
+    // workers never set the flag and pick it up from the handshake
+    // grant.
+    let collector_dir = scratch("spans-tcp-collector");
+    let collector = {
+        let dir = collector_dir.clone();
+        std::thread::spawn(move || {
+            configure(Parmonc::builder(1, 2), dir)
+                .trace_spans()
+                .listen("127.0.0.1:0")
+                .run(uniform())
+        })
+    };
+    let addr = wait_for_addr(&collector_dir);
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            let dir = scratch(&format!("spans-tcp-worker{i}"));
+            std::thread::spawn(move || {
+                configure(Parmonc::builder(1, 2), dir)
+                    .join(addr)
+                    .run_worker(uniform())
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap().unwrap();
+    }
+    let traced_tcp = collector.join().unwrap().unwrap();
+
+    for traced in [&traced_processes, &traced_threads, &traced_tcp] {
+        assert_eq!(traced.summary, plain.summary);
+        assert_eq!(traced.total_volume, plain.total_volume);
+        assert_eq!(traced.worker_volumes, plain.worker_volumes);
+    }
+
+    // Spans present exactly where tracing was requested...
+    for traced in [&traced_processes, &traced_threads, &traced_tcp] {
+        let kinds = trace_kinds(traced);
+        assert!(kinds.contains("span_started"), "kinds: {kinds:?}");
+        assert!(kinds.contains("span_ended"), "kinds: {kinds:?}");
+    }
+    assert!(!trace_kinds(&plain).contains("span_started"));
+
+    // ... and the TCP collector's trace carries *worker* spans too:
+    // grant-propagated tracing made the remote ranks record their
+    // phases, forwarded onto the collector's one run clock.
+    let worker_spans = trace_events(&traced_tcp)
+        .iter()
+        .filter(|e| {
+            matches!(e.kind, parmonc_obs::EventKind::SpanStarted { .. })
+                && e.rank.is_some_and(|r| r > 0)
+        })
+        .count();
+    assert!(worker_spans > 0, "no forwarded worker spans in TCP trace");
+
+    assert_no_orphans();
+}
+
+/// Deterministic injected clock skew over TCP: each worker's monitor
+/// clock is offset by a known amount, and the collector must fold the
+/// forwarded events back onto its own run clock. Normalized timestamps
+/// stay monotone per rank, the raw local timestamp is preserved
+/// alongside, and the recovered per-link offset matches the injected
+/// skew within the handshake's estimation bound. The estimates are
+/// untouched — skew is a clock property, never a payload one.
+#[test]
+fn tcp_clock_skew_is_normalized_on_the_collector() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let configure = |b: ParmoncBuilder, dir: PathBuf| {
+        b.max_sample_volume(2_000)
+            .processors(3)
+            .seqnum(5)
+            .exchange(Exchange::EveryRealization)
+            .monitor()
+            .output_dir(dir)
+    };
+    const SKEWS: [f64; 2] = [0.75, -0.5];
+    let collector_dir = scratch("tcp-skew-collector");
+    let collector = {
+        let dir = collector_dir.clone();
+        std::thread::spawn(move || {
+            configure(Parmonc::builder(1, 2), dir)
+                .trace_spans()
+                .listen("127.0.0.1:0")
+                .run(uniform())
+        })
+    };
+    let addr = wait_for_addr(&collector_dir);
+    let workers: Vec<_> = SKEWS
+        .iter()
+        .enumerate()
+        .map(|(i, &skew)| {
+            let addr = addr.clone();
+            let dir = scratch(&format!("tcp-skew-worker{i}"));
+            std::thread::spawn(move || {
+                configure(Parmonc::builder(1, 2), dir)
+                    .clock_skew(skew)
+                    .join(addr)
+                    .run_worker(uniform())
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap().unwrap();
+    }
+    let tcp = collector.join().unwrap().unwrap();
+
+    let threads = configure(Parmonc::builder(1, 2), scratch("tcp-skew-threads"))
+        .transport(Transport::Threads)
+        .run(uniform())
+        .unwrap();
+    assert_eq!(tcp.summary, threads.summary, "skew must not touch payloads");
+    assert_eq!(tcp.total_volume, threads.total_volume);
+
+    // On loopback the RTT-symmetric estimate is tight; the admission
+    // seed (one handshake leg) bounds the transient before the first
+    // probe lands.
+    const OFFSET_BOUND_S: f64 = 0.25;
+    let events = trace_events(&tcp);
+    let mut recovered_skews = Vec::new();
+    for rank in [1usize, 2] {
+        let forwarded: Vec<&parmonc_obs::Event> = events
+            .iter()
+            .filter(|e| e.rank == Some(rank) && e.raw_time_s.is_some())
+            .collect();
+        assert!(
+            forwarded.len() >= 4,
+            "rank {rank}: only {} forwarded events carry raw_time_s",
+            forwarded.len()
+        );
+        // Normalized timestamps are monotone per rank even though the
+        // worker's raw clock is offset.
+        for pair in forwarded.windows(2) {
+            assert!(
+                pair[1].time_s >= pair[0].time_s,
+                "rank {rank}: normalized clock went backwards ({} -> {})",
+                pair[0].time_s,
+                pair[1].time_s
+            );
+        }
+        // raw − normalized recovers the injected skew of whichever
+        // worker holds this rank (lease order is not deterministic, so
+        // match the multiset below rather than the pairing here).
+        let offsets: Vec<f64> = forwarded
+            .iter()
+            .map(|e| e.raw_time_s.unwrap() - e.time_s)
+            .collect();
+        let mean = offsets.iter().sum::<f64>() / offsets.len() as f64;
+        for o in &offsets {
+            assert!(
+                (o - mean).abs() <= OFFSET_BOUND_S,
+                "rank {rank}: offset wandered beyond the bound: {o} vs mean {mean}"
+            );
+        }
+        recovered_skews.push(mean);
+    }
+    recovered_skews.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut expected = SKEWS;
+    expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (got, want) in recovered_skews.iter().zip(expected) {
+        assert!(
+            (got - want).abs() <= OFFSET_BOUND_S,
+            "recovered skew {got} differs from injected {want}"
+        );
+    }
 }
