@@ -7,12 +7,14 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use parmonc::messages::Subtotal;
 use parmonc_bench::harness::{
-    black_box, criterion_group, criterion_main, record_metric, Criterion, Throughput,
+    black_box, criterion_group, criterion_main, fast_mode, record_metric, Criterion, Throughput,
 };
-use parmonc_mpi::{BufferPool, Tag, World};
+use parmonc_mpi::collective::{barrier, gather_plan};
+use parmonc_mpi::{BufferPool, CollectionPlan, Tag, Topology, World};
 use parmonc_stats::MatrixAccumulator;
 
 /// Counts every byte requested from the allocator; deallocations are
@@ -119,6 +121,65 @@ fn bench_gather_pattern(c: &mut Criterion) {
     });
 }
 
+/// Wall seconds the *root* spends inside `rounds` back-to-back gathers
+/// over a world of `size` ranks collecting along `topology`. A barrier
+/// first, so thread-spawn cost stays outside the timed window; the
+/// root's elapsed time is the collection critical path — under a star
+/// it receives (and contends with) `size - 1` senders per round, under
+/// a tree only its direct children, with the merge fan-in parallelized
+/// across the relay ranks.
+fn timed_gathers(size: usize, topology: Topology, rounds: usize) -> f64 {
+    let results = World::run(size, move |comm| {
+        let plan = CollectionPlan::new(topology, 0, comm.size());
+        let value = [comm.rank() as f64, 1.0, 0.5, -0.5];
+        barrier(comm)?;
+        let started = Instant::now();
+        for _ in 0..rounds {
+            black_box(gather_plan(comm, &plan, &value)?);
+        }
+        Ok(started.elapsed().as_secs_f64())
+    })
+    .unwrap();
+    results
+        .into_iter()
+        .next()
+        .expect("world has a rank 0")
+        .expect("gather succeeds")
+}
+
+/// The collector-side scaling claim behind the tree topology: at
+/// m = 512 simulated ranks, collecting over a k-ary tree must beat the
+/// rank-0 star by at least the committed `ratio_tree_collect_speedup`
+/// (the star's root handles every sender itself; the tree bounds its
+/// fan-in by the arity). Smaller worlds are printed for the scaling
+/// curve but only the 512-rank ratio is gated — at m = 8 the tree's
+/// extra hop can even lose, and should.
+fn bench_gather_scaling(c: &mut Criterion) {
+    let rounds = if fast_mode() { 8 } else { 24 };
+    let mut ratio_at_512 = None;
+    for &m in &[8usize, 64, 512] {
+        // Alternate arms to spread machine-load drift across both.
+        let mut star = f64::INFINITY;
+        let mut tree = f64::INFINITY;
+        for _ in 0..3 {
+            star = star.min(timed_gathers(m, Topology::Star, rounds));
+            tree = tree.min(timed_gathers(m, Topology::Tree { arity: 8 }, rounds));
+        }
+        let ratio = star / tree;
+        println!("gather_scaling/m{m}: star {star:.6} s, tree(8) {tree:.6} s, speedup {ratio:.2}x");
+        record_metric(&format!("gather_scaling/star_m{m}"), star / rounds as f64);
+        record_metric(&format!("gather_scaling/tree_m{m}"), tree / rounds as f64);
+        if m == 512 {
+            ratio_at_512 = Some(ratio);
+        }
+    }
+    record_metric(
+        "ratio_tree_collect_speedup",
+        ratio_at_512.expect("512-rank arm ran"),
+    );
+    let _ = c;
+}
+
 /// Not a timing bench: measures allocator traffic per subtotal emit at
 /// the paper's 1000×2 message size, on the old clone-then-encode path
 /// and on the pooled borrowed-encode path, and records both as gated
@@ -174,6 +235,7 @@ criterion_group!(
     bench_codec,
     bench_ping_pong,
     bench_gather_pattern,
+    bench_gather_scaling,
     bench_emit_alloc
 );
 criterion_main!(benches);

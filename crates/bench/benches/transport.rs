@@ -22,7 +22,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use parmonc::ipc::FaultyStream;
-use parmonc::prelude::{Exchange, Parmonc, RealizeFn, Transport};
+use parmonc::prelude::{Exchange, NetOptions, Parmonc, RealizeFn, Transport};
 use parmonc_bench::harness::{
     black_box, criterion_group, criterion_main, fast_mode, record_metric, Criterion,
 };
@@ -81,7 +81,11 @@ fn run_once_tcp(dir: &Path, worker_dir: &Path) -> f64 {
     let started = Instant::now();
     let collector = {
         let (b, realize) = builder(dir);
-        std::thread::spawn(move || b.listen("127.0.0.1:0").run(realize).unwrap())
+        std::thread::spawn(move || {
+            b.net(NetOptions::listen("127.0.0.1:0"))
+                .run(realize)
+                .unwrap()
+        })
     };
     let addr_path = dir.join("parmonc_data").join("collector.addr");
     let addr = loop {
@@ -94,7 +98,7 @@ fn run_once_tcp(dir: &Path, worker_dir: &Path) -> f64 {
         std::thread::sleep(std::time::Duration::from_millis(1));
     };
     let (b, realize) = builder(worker_dir);
-    b.join(addr).run_worker(realize).unwrap();
+    b.net(NetOptions::join(addr)).run_worker(realize).unwrap();
     let report = collector.join().unwrap();
     let elapsed = started.elapsed().as_secs_f64();
     assert_eq!(report.new_volume, volume);

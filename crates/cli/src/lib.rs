@@ -182,6 +182,10 @@ pub struct DemoArgs {
     /// monitor timestamps (`--skew-s`; TCP worker mode only) to
     /// exercise the clock-alignment plane.
     pub skew_s: f64,
+    /// Collection topology: `--tree <arity>` collects subtotals over a
+    /// k-ary reduction tree instead of the default rank-0 star. All
+    /// sides of a TCP run must agree (the shape is handshake-checked).
+    pub tree_arity: Option<usize>,
 }
 
 /// Parses
@@ -207,7 +211,7 @@ where
     const USAGE: &str = "usage: parmonc-demo <pi|transport|queue> [volume] [processors] [dir] \
                          [--monitor] [--spans] [--transport threads|processes|tcp] \
                          [--listen host:port] [--join host:port] [--resume-listen host:port] \
-                         [--skew-s seconds]";
+                         [--skew-s seconds] [--tree arity]";
     let mut values: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
     values.retain(|v| v != parmonc::ipc::WORKER_FLAG);
     let mut transport = Transport::Threads;
@@ -259,6 +263,20 @@ where
             "--transport tcp needs --listen (collector), --join (worker), or --resume-listen \
              (collector restart)\n{USAGE}"
         ));
+    }
+    let mut tree_arity = None;
+    while let Some(pos) = values.iter().position(|v| v == "--tree") {
+        let Some(value) = values.get(pos + 1) else {
+            return Err(format!("--tree requires an arity\n{USAGE}"));
+        };
+        let arity = value
+            .parse::<usize>()
+            .map_err(|_| format!("--tree arity must be an integer, got {value:?}"))?;
+        if arity == 0 {
+            return Err(format!("--tree arity must be at least 1\n{USAGE}"));
+        }
+        tree_arity = Some(arity);
+        values.drain(pos..=pos + 1);
     }
     let mut skew_s = 0.0f64;
     while let Some(pos) = values.iter().position(|v| v == "--skew-s") {
@@ -315,6 +333,7 @@ where
         resume_listen,
         spans,
         skew_s,
+        tree_arity,
     })
 }
 
@@ -778,7 +797,10 @@ pub fn trace_timeline(events: &[Event]) -> String {
     if spans.is_empty() {
         return "no spans in trace (run with span tracing enabled to record them)\n".to_string();
     }
-    let t_min = spans.iter().map(|s| s.start_s).fold(f64::INFINITY, f64::min);
+    let t_min = spans
+        .iter()
+        .map(|s| s.start_s)
+        .fold(f64::INFINITY, f64::min);
     let t_max = spans
         .iter()
         .map(|s| s.end_s)
@@ -872,14 +894,18 @@ pub fn trace_critical_path(events: &[Event]) -> CriticalPathReport {
         });
     let anchor = events
         .iter()
-        .find_map(|e| matches!(e.kind, EventKind::TargetPrecisionReached { .. }).then_some(e.time_s))
+        .find_map(|e| {
+            matches!(e.kind, EventKind::TargetPrecisionReached { .. }).then_some(e.time_s)
+        })
         .unwrap_or_else(|| {
             events
                 .iter()
                 .map(|e| e.time_s)
                 .fold(f64::NEG_INFINITY, f64::max)
         });
-    if events.is_empty() || !(anchor > run_start) {
+    // NaN timestamps must also land here, hence the partial_cmp form.
+    let has_window = anchor.partial_cmp(&run_start) == Some(std::cmp::Ordering::Greater);
+    if events.is_empty() || !has_window {
         return CriticalPathReport {
             steps: Vec::new(),
             total_s: 0.0,
@@ -1122,6 +1148,20 @@ mod tests {
         assert_eq!(a.volume, 1000);
         assert!(parse_demo_args(["pi", "--skew-s"]).is_err());
         assert!(parse_demo_args(["pi", "--skew-s", "soon"]).is_err());
+    }
+
+    #[test]
+    fn demo_tree_flag() {
+        let a = parse_demo_args(["pi"]).unwrap();
+        assert_eq!(a.tree_arity, None);
+
+        let a = parse_demo_args(["--tree", "2", "pi", "1000", "7"]).unwrap();
+        assert_eq!(a.tree_arity, Some(2));
+        assert_eq!(a.processors, 7);
+
+        assert!(parse_demo_args(["pi", "--tree"]).is_err());
+        assert!(parse_demo_args(["pi", "--tree", "wide"]).is_err());
+        assert!(parse_demo_args(["pi", "--tree", "0"]).is_err());
     }
 
     #[test]
@@ -1391,7 +1431,11 @@ mod tests {
                     phase,
                 },
             ));
-            v.push(Event::at(t1, Some(rank), EventKind::SpanEnded { span: id, phase }));
+            v.push(Event::at(
+                t1,
+                Some(rank),
+                EventKind::SpanEnded { span: id, phase },
+            ));
         };
         add(1, 0, SpanPhase::StreamPosition, 0.0, 0.1);
         add(2, 1, SpanPhase::RealizationBatch, 0.1, 0.6);
@@ -1440,7 +1484,9 @@ mod tests {
         // The longest stretch was rank 1's realization batch; the
         // in-flight walk hops from the merge back through the send into
         // the batch, crossing ranks along real dependencies.
-        assert!(path.report.contains("dominated by rank 1 realization_batch"));
+        assert!(path
+            .report
+            .contains("dominated by rank 1 realization_batch"));
         assert!(path.report.contains("wait"));
 
         // Span-free traces degrade gracefully.

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use parmonc_faults::FaultPlan;
 use parmonc_ipc::ReconnectPolicy;
+use parmonc_mpi::Topology;
 use parmonc_rng::LeapConfig;
 
 use crate::error::ParmoncError;
@@ -184,6 +185,15 @@ pub struct RunConfig {
     /// accepts workers that were built without the flag (they are told
     /// through the handshake grant instead).
     pub trace_spans: bool,
+    /// The shape of the collection plane: [`Topology::Star`] (every
+    /// worker reports straight to the collector — the default) or
+    /// [`Topology::Tree`] (a k-ary reduction tree with relay ranks
+    /// coalescing their subtree's envelopes). Part of
+    /// [`RunConfig::wire_digest`] — star and tree workers must not mix
+    /// in one world, or they would disagree about who their parent is.
+    /// Estimates are bit-identical across topologies: relays forward
+    /// raw subtotal bytes, never pre-merged floating-point state.
+    pub topology: Topology,
     /// TCP backend, worker side: a deterministic offset (seconds) added
     /// to every local monitor timestamp *before* it leaves the worker —
     /// a test-only knob that emulates an unsynchronized host clock so
@@ -281,7 +291,21 @@ impl RunConfig {
                     .into(),
             ));
         }
+        if let Topology::Tree { arity } = self.topology {
+            if arity == 0 {
+                return Err(ParmoncError::Config(
+                    "tree topology arity must be at least 1".into(),
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The parent/children assignment the configured topology induces
+    /// over this run's ranks, rooted at the collector (rank 0).
+    #[must_use]
+    pub fn collection_plan(&self) -> parmonc_mpi::CollectionPlan {
+        parmonc_mpi::CollectionPlan::new(self.topology, 0, self.processors)
     }
 
     /// Per-worker realization quota: worker `m` of `M` simulates
@@ -325,7 +349,146 @@ impl RunConfig {
         eat(&self.leaps.ne().to_le_bytes());
         eat(&self.leaps.np().to_le_bytes());
         eat(&self.leaps.nr().to_le_bytes());
+        eat(&[self.topology.digest_tag()]);
+        eat(&self.topology.digest_arity().to_le_bytes());
         h
+    }
+}
+
+/// The TCP networking surface in one struct: address, role, timeouts,
+/// and the reconnect schedule. Built with one of the role constructors
+/// ([`NetOptions::listen`], [`NetOptions::join`],
+/// [`NetOptions::resume_listen`]), refined with the chained setters,
+/// and applied with [`ParmoncBuilder::net`] — which also selects
+/// [`Transport::Tcp`]. This replaces the scattered `listen`/`join`/
+/// `resume_listen`/`tcp_io_timeout`/`reconnect_*` builder setters, so
+/// transport and topology configuration read as one surface.
+///
+/// ```
+/// use std::time::Duration;
+/// use parmonc::prelude::*;
+/// use parmonc::NetOptions;
+///
+/// let cfg = Parmonc::builder(10, 2)
+///     .max_sample_volume(1000)
+///     .processors(4)
+///     .net(
+///         NetOptions::listen("127.0.0.1:0")
+///             .io_timeout(Duration::from_secs(5))
+///             .reconnect_attempts(20),
+///     )
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.transport, Transport::Tcp);
+/// assert_eq!(cfg.reconnect.attempts, 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    /// Collector side: the address rank 0 listens on, e.g.
+    /// `"0.0.0.0:7070"` (port 0 picks an ephemeral port, published in
+    /// `parmonc_data/collector.addr`).
+    pub listen_addr: Option<String>,
+    /// Worker side: the collector address
+    /// [`ParmoncBuilder::run_worker`] dials.
+    pub join_addr: Option<String>,
+    /// Collector side: resume a crashed collector session (lease table
+    /// and epoch reloaded from `parmonc_data/results/leases.dat`).
+    pub resume_collector: bool,
+    /// Per-connection I/O timeout (default 10 s).
+    pub io_timeout: Duration,
+    /// The seeded backoff schedule for dials and reconnects.
+    pub reconnect: ReconnectPolicy,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        Self {
+            listen_addr: None,
+            join_addr: None,
+            resume_collector: false,
+            io_timeout: Duration::from_secs(10),
+            reconnect: ReconnectPolicy::default(),
+        }
+    }
+}
+
+impl NetOptions {
+    /// Collector role: listen on `addr` for dialing workers.
+    #[must_use]
+    pub fn listen(addr: impl Into<String>) -> Self {
+        Self {
+            listen_addr: Some(addr.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Worker role: dial the collector at `addr` (consumed by
+    /// [`ParmoncBuilder::run_worker`]).
+    #[must_use]
+    pub fn join(addr: impl Into<String>) -> Self {
+        Self {
+            join_addr: Some(addr.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Collector role: resume a crashed collector session on `addr`
+    /// (see [`RunConfig::resume_collector`] for the semantics).
+    #[must_use]
+    pub fn resume_listen(addr: impl Into<String>) -> Self {
+        Self {
+            listen_addr: Some(addr.into()),
+            resume_collector: true,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the per-connection I/O timeout. Writes that stall this
+    /// long fail the connection and hand the worker to the liveness
+    /// plane.
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// Replaces the whole reconnect schedule at once.
+    #[must_use]
+    pub fn reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = policy;
+        self
+    }
+
+    /// Sets the maximum dial attempts per (re)connection (default 10;
+    /// must be at least 1 — the initial dial counts).
+    #[must_use]
+    pub fn reconnect_attempts(mut self, attempts: u32) -> Self {
+        self.reconnect.attempts = attempts;
+        self
+    }
+
+    /// Sets the delay before the second dial attempt (default 25 ms);
+    /// it doubles per attempt up to the ceiling.
+    #[must_use]
+    pub fn reconnect_base_delay(mut self, delay: Duration) -> Self {
+        self.reconnect.base_delay = delay;
+        self
+    }
+
+    /// Sets the ceiling on the (pre-jitter) reconnect delay (default
+    /// 1 s).
+    #[must_use]
+    pub fn reconnect_max_delay(mut self, delay: Duration) -> Self {
+        self.reconnect.max_delay = delay;
+        self
+    }
+
+    /// Sets the timeout for each individual dial attempt (default
+    /// 2 s).
+    #[must_use]
+    pub fn reconnect_attempt_timeout(mut self, timeout: Duration) -> Self {
+        self.reconnect.attempt_timeout = timeout;
+        self
     }
 }
 
@@ -367,6 +530,7 @@ impl ParmoncBuilder {
                 resume_collector: false,
                 worker_args: None,
                 trace_spans: false,
+                topology: Topology::Star,
                 clock_skew_s: 0.0,
             },
         }
@@ -532,11 +696,42 @@ impl ParmoncBuilder {
         self
     }
 
+    /// Applies the whole TCP networking surface at once and selects
+    /// [`Transport::Tcp`]: address and role, I/O timeout, reconnect
+    /// schedule, and the resume flag. See [`NetOptions`] for the role
+    /// constructors and an example.
+    #[must_use]
+    pub fn net(mut self, net: NetOptions) -> Self {
+        self.config.transport = Transport::Tcp;
+        self.config.listen_addr = net.listen_addr;
+        self.config.join_addr = net.join_addr;
+        self.config.resume_collector = net.resume_collector;
+        self.config.tcp_io_timeout = net.io_timeout;
+        self.config.reconnect = net.reconnect;
+        self
+    }
+
+    /// Sets the collection topology: [`Topology::Star`] (the default)
+    /// or [`Topology::Tree`] with the given arity. With a tree, the
+    /// interior worker ranks act as *relays*: they absorb their
+    /// children's subtotal envelopes and forward one coalesced batch
+    /// per pass upstream, so the collector's per-pass receive cost is
+    /// bounded by the arity instead of the worker count. Estimates are
+    /// bit-identical across topologies. The shape is part of the
+    /// handshake digest — all workers of a TCP run must configure the
+    /// same topology.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.config.topology = topology;
+        self
+    }
+
     /// Selects the TCP transport and sets the address rank 0 listens
     /// on, e.g. `"0.0.0.0:7070"`. Port 0 binds an ephemeral port; the
     /// actually bound address is written to
     /// `parmonc_data/collector.addr` so scripts can discover it. See
     /// `docs/cluster.md` for a multi-host walkthrough.
+    #[deprecated(since = "0.2.0", note = "use `net(NetOptions::listen(addr))`")]
     #[must_use]
     pub fn listen(mut self, addr: impl Into<String>) -> Self {
         self.config.transport = Transport::Tcp;
@@ -548,6 +743,7 @@ impl ParmoncBuilder {
     /// worker dials, e.g. `"collector.example:7070"`. Only consumed by
     /// [`ParmoncBuilder::run_worker`]; [`ParmoncBuilder::run`] ignores
     /// it.
+    #[deprecated(since = "0.2.0", note = "use `net(NetOptions::join(addr))`")]
     #[must_use]
     pub fn join(mut self, addr: impl Into<String>) -> Self {
         self.config.transport = Transport::Tcp;
@@ -558,6 +754,7 @@ impl ParmoncBuilder {
     /// Sets the TCP per-connection I/O timeout (default 10 s). Writes
     /// that stall this long fail the connection and hand the worker to
     /// the liveness plane.
+    #[deprecated(since = "0.2.0", note = "use `NetOptions::io_timeout` via `net(..)`")]
     #[must_use]
     pub fn tcp_io_timeout(mut self, timeout: Duration) -> Self {
         self.config.tcp_io_timeout = timeout;
@@ -579,6 +776,7 @@ impl ParmoncBuilder {
     /// The run fails with [`ParmoncError::NothingToResume`] if no
     /// lease table or baseline from the crashed session exists in the
     /// output directory.
+    #[deprecated(since = "0.2.0", note = "use `net(NetOptions::resume_listen(addr))`")]
     #[must_use]
     pub fn resume_listen(mut self, addr: impl Into<String>) -> Self {
         self.config.transport = Transport::Tcp;
@@ -589,6 +787,10 @@ impl ParmoncBuilder {
 
     /// Sets the maximum TCP dial attempts per (re)connection (default
     /// 10; must be at least 1 — the initial dial counts).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `NetOptions::reconnect_attempts` via `net(..)`"
+    )]
     #[must_use]
     pub fn reconnect_attempts(mut self, attempts: u32) -> Self {
         self.config.reconnect.attempts = attempts;
@@ -597,6 +799,10 @@ impl ParmoncBuilder {
 
     /// Sets the delay before the second dial attempt (default 25 ms);
     /// it doubles per attempt up to the ceiling.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `NetOptions::reconnect_base_delay` via `net(..)`"
+    )]
     #[must_use]
     pub fn reconnect_base_delay(mut self, delay: Duration) -> Self {
         self.config.reconnect.base_delay = delay;
@@ -605,6 +811,10 @@ impl ParmoncBuilder {
 
     /// Sets the ceiling on the (pre-jitter) reconnect delay (default
     /// 1 s).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `NetOptions::reconnect_max_delay` via `net(..)`"
+    )]
     #[must_use]
     pub fn reconnect_max_delay(mut self, delay: Duration) -> Self {
         self.config.reconnect.max_delay = delay;
@@ -612,6 +822,10 @@ impl ParmoncBuilder {
     }
 
     /// Sets the timeout for each individual dial attempt (default 2 s).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `NetOptions::reconnect_attempt_timeout` via `net(..)`"
+    )]
     #[must_use]
     pub fn reconnect_attempt_timeout(mut self, timeout: Duration) -> Self {
         self.config.reconnect.attempt_timeout = timeout;
@@ -807,11 +1021,13 @@ mod tests {
         let cfg = Parmonc::builder(1, 1)
             .max_sample_volume(10)
             .processors(2)
-            .listen("127.0.0.1:0")
-            .reconnect_attempts(40)
-            .reconnect_base_delay(Duration::from_millis(5))
-            .reconnect_max_delay(Duration::from_millis(80))
-            .reconnect_attempt_timeout(Duration::from_secs(1))
+            .net(
+                NetOptions::listen("127.0.0.1:0")
+                    .reconnect_attempts(40)
+                    .reconnect_base_delay(Duration::from_millis(5))
+                    .reconnect_max_delay(Duration::from_millis(80))
+                    .reconnect_attempt_timeout(Duration::from_secs(1)),
+            )
             .build()
             .unwrap();
         assert_eq!(cfg.reconnect.attempts, 40);
@@ -821,7 +1037,8 @@ mod tests {
 
         let err = Parmonc::builder(1, 1)
             .max_sample_volume(10)
-            .reconnect_attempts(0)
+            .processors(2)
+            .net(NetOptions::default().reconnect_attempts(0))
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("reconnect_attempts"));
@@ -832,7 +1049,7 @@ mod tests {
         let cfg = Parmonc::builder(1, 1)
             .max_sample_volume(10)
             .processors(2)
-            .resume_listen("127.0.0.1:7070")
+            .net(NetOptions::resume_listen("127.0.0.1:7070"))
             .build()
             .unwrap();
         assert_eq!(cfg.transport, Transport::Tcp);
@@ -844,6 +1061,64 @@ mod tests {
             .build()
             .unwrap();
         assert!(!cfg.resume_collector);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_configure_the_same_fields() {
+        let cfg = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .processors(2)
+            .listen("127.0.0.1:0")
+            .tcp_io_timeout(Duration::from_secs(3))
+            .reconnect_attempts(7)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.transport, Transport::Tcp);
+        assert_eq!(cfg.listen_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.tcp_io_timeout, Duration::from_secs(3));
+        assert_eq!(cfg.reconnect.attempts, 7);
+    }
+
+    #[test]
+    fn topology_is_validated_and_digested() {
+        let star = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .processors(8)
+            .build()
+            .unwrap();
+        assert_eq!(star.topology, Topology::Star);
+
+        let tree = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .processors(8)
+            .topology(Topology::Tree { arity: 2 })
+            .build()
+            .unwrap();
+        assert_eq!(tree.topology, Topology::Tree { arity: 2 });
+        // The shape is part of the handshake digest: a star worker must
+        // not be admitted into a tree run (it would compute the wrong
+        // parent for everyone).
+        assert_ne!(star.wire_digest(), tree.wire_digest());
+        let wider = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .processors(8)
+            .topology(Topology::Tree { arity: 4 })
+            .build()
+            .unwrap();
+        assert_ne!(tree.wire_digest(), wider.wire_digest());
+
+        let plan = tree.collection_plan();
+        assert_eq!(plan.root(), 0);
+        assert_eq!(plan.size(), 8);
+        assert!(plan.is_relay(1));
+
+        let err = Parmonc::builder(1, 1)
+            .max_sample_volume(10)
+            .topology(Topology::Tree { arity: 0 })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("arity"));
     }
 
     #[test]

@@ -58,10 +58,11 @@ pub mod prelude;
 pub mod realize;
 pub mod runner;
 
-pub use config::{Exchange, ParmoncBuilder, Resume, RunConfig, Transport};
+pub use config::{Exchange, NetOptions, ParmoncBuilder, Resume, RunConfig, Transport};
 pub use error::ParmoncError;
 pub use files::ResultsDir;
 pub use parmonc_ipc::ReconnectPolicy;
+pub use parmonc_mpi::{CollectionPlan, Topology};
 pub use realize::{DrawBatch, Realize, RealizeFn};
 pub use runner::{Parmonc, RunReport};
 

@@ -20,7 +20,7 @@ use parmonc_ipc::{
     TcpCollectorTransport, TcpWorkerTransport, WorkerInfo,
 };
 use parmonc_mpi::Transport as Comm;
-use parmonc_mpi::{Bytes, Envelope, MpiError, World};
+use parmonc_mpi::{Bytes, CollectionPlan, Envelope, MpiError, World};
 use parmonc_obs::{
     CollectorActivity, ConvergenceTracker, EventKind, JsonlSink, MemorySink, MetricsSink, Monitor,
     MonitorSummary, RunMode, RunTransport, SpanEmitter, SpanPhase,
@@ -32,7 +32,10 @@ use parmonc_stats::{MatrixAccumulator, MatrixSummary};
 use crate::config::{Exchange, ParmoncBuilder, Resume, RunConfig, Transport};
 use crate::error::{IoContext, ParmoncError};
 use crate::files::{ExperimentRecord, ResultsDir};
-use crate::messages::{Subtotal, TAG_EXTEND, TAG_FINAL, TAG_HEARTBEAT, TAG_STOP, TAG_SUBTOTAL};
+use crate::messages::{
+    decode_batch, encode_batch, Subtotal, TAG_BATCH, TAG_EXTEND, TAG_FINAL, TAG_HEARTBEAT,
+    TAG_REPARENT, TAG_STOP, TAG_SUBTOTAL,
+};
 use crate::realize::Realize;
 
 /// Entry point type: `Parmonc::builder(nrow, ncol)` starts configuring
@@ -384,6 +387,7 @@ where
                         *collector_out.lock().unwrap() = Some(outcome);
                     })
                 } else {
+                    let parent = config.collection_plan().parent(comm.rank()).unwrap_or(0);
                     worker_loop(
                         comm,
                         &config,
@@ -394,6 +398,7 @@ where
                         &monitor,
                         &faults,
                         config.trace_spans,
+                        parent,
                     )
                 };
                 if let Err(e) = result {
@@ -433,12 +438,16 @@ where
 {
     let start = Instant::now();
     let setup = prepare(&config, RunTransport::Processes)?;
+    let plan = config.collection_plan();
     let mut transport = ProcessTransport::spawn(SpawnOptions {
         size: config.processors,
         monitor: setup.monitor.clone(),
         faults: setup.faults.clone(),
         worker_args: config.worker_args.clone(),
         trace_spans: config.trace_spans,
+        parents: (1..config.processors)
+            .map(|r| plan.parent(r).unwrap_or(0))
+            .collect(),
     })
     .io_ctx("spawning worker processes")?;
     let result = rank0_loop(
@@ -481,8 +490,9 @@ where
     let start = Instant::now();
     let Some(addr) = config.listen_addr.clone() else {
         return Err(ParmoncError::Config(
-            "the TCP transport needs a listen address on the collector: use .listen(\"host:port\") \
-             (workers join with .join(addr) + run_worker)"
+            "the TCP transport needs a listen address on the collector: use \
+             .net(NetOptions::listen(\"host:port\")) (workers use .net(NetOptions::join(addr)) \
+             + run_worker)"
                 .into(),
         ));
     };
@@ -523,6 +533,7 @@ where
     } else {
         None
     };
+    let plan = config.collection_plan();
     let mut transport = TcpCollectorTransport::listen(ListenOptions {
         addr,
         size: config.processors,
@@ -534,6 +545,9 @@ where
         resume,
         persist: Some(setup.dir.lease_table_path()),
         trace_spans: config.trace_spans,
+        parents: (1..config.processors)
+            .map(|r| plan.parent(r).unwrap_or(0))
+            .collect(),
     })
     .io_ctx("binding the collector TCP listener")?;
     if let Some(leases) = resumed_leases {
@@ -611,8 +625,10 @@ pub(crate) fn run_tcp_worker<R: Realize>(
     let monitor = comm.monitor();
     // Span tracing is the *collector's* choice, carried to the worker
     // in the handshake grant — a worker built without the flag still
-    // traces when the collector asks.
+    // traces when the collector asks. The collection parent rides the
+    // same grant: the collector owns the topology.
     let trace_spans = comm.spans().is_enabled();
+    let parent = comm.granted_parent();
     worker_loop(
         comm,
         &config,
@@ -623,6 +639,7 @@ pub(crate) fn run_tcp_worker<R: Realize>(
         &monitor,
         &faults,
         trace_spans,
+        parent,
     )
 }
 
@@ -666,6 +683,7 @@ fn worker_process_body<R: Realize>(
         &monitor,
         &faults,
         info.spans,
+        info.parent,
     )
 }
 
@@ -825,6 +843,11 @@ struct WorkerControl {
 /// *own* stream coordinates past its original quota, so no leapfrog
 /// subsequence is ever reused).
 ///
+/// `emit` returns whether the send counted as contact with rank 0:
+/// under a tree topology a worker's subtotals flow to a relay, which
+/// keeps the *collector* blind to the send — the heartbeat cadence
+/// must not be reset by it, or the liveness plane would starve.
+///
 /// Returns `None` when a scripted fault crashed the rank first: no
 /// final subtotal is emitted and the caller lets the rank vanish.
 #[allow(clippy::too_many_arguments)] // internal: one call site per rank kind
@@ -837,7 +860,7 @@ fn simulate_quota<R: Realize + ?Sized>(
     start: Instant,
     crash_after: Option<u64>,
     spans: &SpanEmitter,
-    mut emit: impl FnMut(&MatrixAccumulator, f64, bool) -> Result<(), ParmoncError>,
+    mut emit: impl FnMut(&MatrixAccumulator, f64, bool) -> Result<bool, ParmoncError>,
     mut heartbeat: impl FnMut() -> Result<(), ParmoncError>,
     mut poll_control: impl FnMut() -> Result<WorkerControl, ParmoncError>,
 ) -> Result<Option<Subtotal>, ParmoncError> {
@@ -897,9 +920,11 @@ fn simulate_quota<R: Realize + ?Sized>(
         };
         if due && r < quota {
             let sp_send = spans.start(SpanPhase::SubtotalSend, Some(batch_span));
-            emit(&acc, compute_seconds, false)?;
+            let contacted_collector = emit(&acc, compute_seconds, false)?;
             spans.end(sp_send, SpanPhase::SubtotalSend);
-            last_contact = now;
+            if contacted_collector {
+                last_contact = now;
+            }
             if last_file_write.is_none_or(|t| now.duration_since(t) >= WORKER_FILE_PERIOD) {
                 let sp_ck = spans.start(SpanPhase::Checkpoint, Some(batch_span));
                 dir.save_worker_state(rank, &acc, compute_seconds)?;
@@ -909,7 +934,12 @@ fn simulate_quota<R: Realize + ?Sized>(
             spans.end(batch_span, SpanPhase::RealizationBatch);
             batch_span = 0;
             last_pass = now;
-        } else if now.duration_since(last_contact) >= config.heartbeat_period {
+        }
+        // Not an `else`: a tree worker's emit goes to its relay, not
+        // to rank 0, so the heartbeat must still fire on schedule even
+        // in the every-realization exchange mode where emits are due
+        // on every iteration.
+        if now.duration_since(last_contact) >= config.heartbeat_period {
             heartbeat()?;
             last_contact = now;
         }
@@ -928,6 +958,182 @@ fn simulate_quota<R: Realize + ?Sized>(
     }))
 }
 
+/// How often a lingering relay (own quota done, descendants still
+/// computing) services its inbox between forwards.
+const RELAY_LINGER_POLL: Duration = Duration::from_millis(2);
+
+/// An interior relay rank's store-and-forward state under a tree
+/// collection topology: the latest raw subtotal payload seen from each
+/// rank below it, forwarded upstream as one coalesced [`TAG_BATCH`]
+/// per service pass. Payloads are kept *verbatim* — a relay never
+/// decodes or pre-folds the floating-point state, so the collector's
+/// rank-ordered fold (and with it the estimate) stays bit-identical to
+/// the star topology's. Empty (and inert) for leaf ranks and under
+/// [`parmonc_mpi::Topology::Star`].
+struct RelayBuffer {
+    /// `rank -> (raw subtotal payload, final seen)`; a `BTreeMap` so
+    /// every flush is in ascending rank order.
+    latest: std::collections::BTreeMap<usize, (Bytes, bool)>,
+    /// Whether anything changed since the last successful flush.
+    dirty: bool,
+    /// Ranks whose subtotals are expected to flow through this rank.
+    descendants: Vec<usize>,
+    /// Ranks whose final flag has been flushed upstream.
+    finals_flushed: std::collections::BTreeSet<usize>,
+}
+
+impl RelayBuffer {
+    fn new(descendants: Vec<usize>) -> Self {
+        Self {
+            latest: std::collections::BTreeMap::new(),
+            dirty: false,
+            descendants,
+            finals_flushed: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Whether this rank has relay duties at all.
+    fn is_relay(&self) -> bool {
+        !self.descendants.is_empty()
+    }
+
+    /// Replaces the stored payload for `rank` (cumulative subtotals:
+    /// newest wins). The final flag is sticky — a retransmit after the
+    /// final must not demote it.
+    fn absorb(&mut self, rank: usize, payload: Bytes, is_final: bool) {
+        let sticky = is_final || self.latest.get(&rank).is_some_and(|(_, f)| *f);
+        self.latest.insert(rank, (payload, sticky));
+        self.dirty = true;
+    }
+
+    /// One coalesced batch of everything held, in ascending rank order.
+    fn encode(&self) -> Bytes {
+        encode_batch(
+            self.latest
+                .iter()
+                .map(|(&rank, (payload, fin))| (rank, *fin, &payload[..])),
+        )
+    }
+
+    fn note_flushed(&mut self) {
+        self.dirty = false;
+        for (&rank, (_, fin)) in &self.latest {
+            if *fin {
+                self.finals_flushed.insert(rank);
+            }
+        }
+    }
+
+    /// Whether every descendant's final has been forwarded upstream —
+    /// the relay's linger loop is done. Descendants that never report
+    /// (crashed, never joined) keep this false; the linger loop exits
+    /// on stop/disconnect instead.
+    fn all_finals_forwarded(&self) -> bool {
+        self.descendants
+            .iter()
+            .all(|d| self.finals_flushed.contains(d))
+    }
+}
+
+/// Flushes the relay buffer upstream as one [`TAG_BATCH`], if dirty.
+/// A vanished upstream relay degrades to the collector (retrying the
+/// same cumulative state, which cannot double-count); a vanished
+/// collector raises `lost_collector`.
+fn flush_relay<C: Comm>(
+    comm: &std::cell::RefCell<C>,
+    parent: &std::cell::Cell<usize>,
+    relay: &std::cell::RefCell<RelayBuffer>,
+    lost_collector: &std::cell::Cell<bool>,
+    spans: &SpanEmitter,
+) -> Result<(), ParmoncError> {
+    let mut rb = relay.borrow_mut();
+    if !rb.dirty {
+        return Ok(());
+    }
+    let sp = spans.start(SpanPhase::RelayMerge, None);
+    let c = comm.borrow();
+    let dest = parent.get();
+    let mut sent = c.send_bytes(dest, TAG_BATCH, rb.encode());
+    if matches!(sent, Err(MpiError::Disconnected)) && dest != 0 {
+        parent.set(0);
+        sent = c.send_bytes(0, TAG_BATCH, rb.encode());
+    }
+    let result = match sent {
+        Ok(()) => {
+            rb.note_flushed();
+            Ok(())
+        }
+        Err(MpiError::Disconnected) => {
+            lost_collector.set(true);
+            Ok(())
+        }
+        Err(e) => Err(e.into()),
+    };
+    spans.end(sp, SpanPhase::RelayMerge);
+    result
+}
+
+/// One control/relay service pass, shared by the in-simulation poll
+/// and the post-final linger loop: drain every pending envelope —
+/// control orders from rank 0, subtotals from the subtree — then flush
+/// one coalesced batch upstream if anything changed.
+#[allow(clippy::too_many_arguments)] // internal plumbing
+fn relay_service<C: Comm>(
+    comm: &std::cell::RefCell<C>,
+    rank: usize,
+    size: usize,
+    parent: &std::cell::Cell<usize>,
+    relay: &std::cell::RefCell<RelayBuffer>,
+    lost_collector: &std::cell::Cell<bool>,
+    spans: &SpanEmitter,
+) -> Result<WorkerControl, ParmoncError> {
+    let mut ctl = WorkerControl::default();
+    {
+        let mut c = comm.borrow_mut();
+        while let Some(env) = c.try_recv(None, None) {
+            match env.tag {
+                // Control is always the collector's voice; a routed
+                // frame from a sibling cannot stop or extend us.
+                TAG_STOP if env.source == 0 => ctl.stop = true,
+                TAG_EXTEND if env.source == 0 && env.payload.len() == 8 => {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(&env.payload);
+                    ctl.extra += u64::from_le_bytes(buf);
+                }
+                TAG_REPARENT if env.source == 0 && env.payload.len() == 8 => {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(&env.payload);
+                    let new_parent = u64::from_le_bytes(buf) as usize;
+                    parent.set(if new_parent == rank || new_parent >= size {
+                        0
+                    } else {
+                        new_parent
+                    });
+                }
+                TAG_SUBTOTAL | TAG_FINAL if env.source != 0 && env.source < size => {
+                    relay
+                        .borrow_mut()
+                        .absorb(env.source, env.payload, env.tag == TAG_FINAL);
+                }
+                TAG_BATCH if env.source != 0 => {
+                    // A deeper tree: a child relay's own coalesced
+                    // batch folds entry-by-entry into this one.
+                    for entry in decode_batch(&env.payload)? {
+                        if entry.rank != 0 && entry.rank < size {
+                            relay
+                                .borrow_mut()
+                                .absorb(entry.rank, entry.payload, entry.is_final);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flush_relay(comm, parent, relay, lost_collector, spans)?;
+    Ok(ctl)
+}
+
 #[allow(clippy::too_many_arguments)] // internal: one call site per backend
 fn worker_loop<C: Comm, R: Realize + ?Sized>(
     comm: C,
@@ -939,8 +1145,10 @@ fn worker_loop<C: Comm, R: Realize + ?Sized>(
     monitor: &Monitor,
     faults: &FaultHandle,
     trace_spans: bool,
+    parent: usize,
 ) -> Result<(), ParmoncError> {
     let rank = comm.rank();
+    let size = comm.size();
     let crash_after = faults.crash_after(rank);
     let spans = SpanEmitter::new(monitor, rank, trace_spans);
     // `emit` only needs `&Communicator` (sends), while the control poll
@@ -949,6 +1157,16 @@ fn worker_loop<C: Comm, R: Realize + ?Sized>(
     // is never the worker's error: the worker just winds down.
     let comm = std::cell::RefCell::new(comm);
     let lost_collector = std::cell::Cell::new(false);
+    // Where this rank's subtotals flow: rank 0 under a star, an
+    // interior relay under a tree. Mutable — a vanished or reparented
+    // relay degrades the route to the collector, never the estimate.
+    let parent = std::cell::Cell::new(if parent == rank || parent >= size {
+        0
+    } else {
+        parent
+    });
+    let relay =
+        std::cell::RefCell::new(RelayBuffer::new(config.collection_plan().descendants(rank)));
     let finished = simulate_quota(
         rank,
         config,
@@ -973,19 +1191,38 @@ fn worker_loop<C: Comm, R: Realize + ?Sized>(
             }
             let tag = if is_final { TAG_FINAL } else { TAG_SUBTOTAL };
             let c = comm.borrow();
+            let dest = parent.get();
             // Encode straight from the borrowed accumulator into a
             // recycled send buffer: no `acc.clone()`, and in steady
             // state no allocation either.
             let payload = Subtotal::encode_state_pooled(acc, compute_seconds, c.pool());
-            match c.send_bytes(0, tag, payload) {
-                Ok(()) => Ok(()),
+            match c.send_bytes(dest, tag, payload) {
+                Ok(()) => Ok(dest == 0),
+                Err(MpiError::Disconnected) if dest != 0 => {
+                    // The relay is gone: degrade to reporting straight
+                    // to the collector and retry once — the subtotal
+                    // is cumulative, so the retry cannot double-count.
+                    parent.set(0);
+                    let payload = Subtotal::encode_state_pooled(acc, compute_seconds, c.pool());
+                    match c.send_bytes(0, tag, payload) {
+                        Ok(()) => Ok(true),
+                        Err(MpiError::Disconnected) => {
+                            lost_collector.set(true);
+                            Ok(false)
+                        }
+                        Err(e) => Err(e.into()),
+                    }
+                }
                 Err(MpiError::Disconnected) => {
                     lost_collector.set(true);
-                    Ok(())
+                    Ok(false)
                 }
                 Err(e) => Err(e.into()),
             }
         },
+        // Heartbeats always run straight to rank 0 on every topology:
+        // liveness is judged centrally, and a relay must not be able
+        // to silence its whole subtree by dying.
         || match comm.borrow().send(0, TAG_HEARTBEAT, &[]) {
             Ok(()) => Ok(()),
             Err(MpiError::Disconnected) => {
@@ -995,24 +1232,42 @@ fn worker_loop<C: Comm, R: Realize + ?Sized>(
             Err(e) => Err(e.into()),
         },
         || {
-            let mut ctl = WorkerControl::default();
             if lost_collector.get() {
-                ctl.stop = true;
-                return Ok(ctl);
+                return Ok(WorkerControl {
+                    stop: true,
+                    ..WorkerControl::default()
+                });
             }
-            let mut c = comm.borrow_mut();
-            while let Some(env) = c.try_recv(Some(0), None) {
-                if env.tag == TAG_STOP {
-                    ctl.stop = true;
-                } else if env.tag == TAG_EXTEND && env.payload.len() == 8 {
-                    let mut buf = [0u8; 8];
-                    buf.copy_from_slice(&env.payload);
-                    ctl.extra += u64::from_le_bytes(buf);
-                }
-            }
-            Ok(ctl)
+            relay_service(&comm, rank, size, &parent, &relay, &lost_collector, &spans)
         },
     )?;
+    // A relay's own quota is done, but descendants may still be
+    // computing and their subtotals flow through this rank: keep
+    // servicing until every descendant's final is flushed upstream,
+    // the collector says stop, or the uplink goes away (teardown or
+    // loss). Heartbeats keep this rank visible to the liveness plane
+    // meanwhile — a silent relay would be declared lost and its
+    // children reparented for nothing.
+    if finished.is_some() && relay.borrow().is_relay() {
+        let mut last_beat = Instant::now();
+        while !relay.borrow().all_finals_forwarded() && !lost_collector.get() {
+            if config.deadline.is_some_and(|d| start.elapsed() >= d) {
+                break;
+            }
+            let ctl = relay_service(&comm, rank, size, &parent, &relay, &lost_collector, &spans)?;
+            if ctl.stop {
+                break;
+            }
+            if last_beat.elapsed() >= config.heartbeat_period {
+                match comm.borrow().send(0, TAG_HEARTBEAT, &[]) {
+                    Ok(()) => last_beat = Instant::now(),
+                    Err(MpiError::Disconnected) => break,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            std::thread::sleep(RELAY_LINGER_POLL);
+        }
+    }
     if finished.is_none() {
         // Scripted crash: record it, then vanish without a final
         // message — the collector must notice via the liveness sweep.
@@ -1133,12 +1388,17 @@ fn reassign<C: Comm>(
 /// Declares `dead` lost: keeps its last cumulative subtotal (those
 /// realizations are complete and unbiased), reassigns the rest of its
 /// budget, and records the loss — or fails the whole run when the
-/// configuration demands that.
+/// configuration demands that. Under a tree topology the dead rank may
+/// have been a relay: its still-live children are reparented straight
+/// to the collector so their subtotals keep flowing (cumulative
+/// semantics make anything buffered in the dead relay redundant with
+/// the child's next send).
 #[allow(clippy::too_many_arguments)] // internal plumbing
 fn declare_lost<C: Comm>(
     live: &mut Liveness,
     dead: usize,
     config: &RunConfig,
+    plan: &CollectionPlan,
     state: &CollectorState,
     finals: &[bool],
     comm: &C,
@@ -1165,6 +1425,13 @@ fn declare_lost<C: Comm>(
             received_realizations: received,
         },
     );
+    for child in plan.children(dead) {
+        if live.alive[child] && !finals[child] {
+            // Best-effort: a child that cannot be reached will fall
+            // back to the collector on its own Disconnected error.
+            let _ = comm.send(child, TAG_REPARENT, &0u64.to_le_bytes());
+        }
+    }
     let budget = (config.quota(dead) + live.extended[dead]).saturating_sub(received);
     if budget > 0 && !stopping {
         reassign(live, dead, budget, finals, comm, monitor);
@@ -1181,6 +1448,7 @@ fn check_liveness<C: Comm>(
     live: &mut Liveness,
     finals: &[bool],
     config: &RunConfig,
+    plan: &CollectionPlan,
     state: &CollectorState,
     comm: &C,
     monitor: &Monitor,
@@ -1199,17 +1467,47 @@ fn check_liveness<C: Comm>(
         })
         .collect();
     for m in dead {
-        declare_lost(live, m, config, state, finals, comm, monitor, stopping)?;
+        declare_lost(
+            live, m, config, plan, state, finals, comm, monitor, stopping,
+        )?;
     }
     Ok(())
 }
 
+/// Marks `rank`'s final received. A final from a rank that was
+/// extended but fell short (the extension raced its exit) gets the
+/// shortfall re-reassigned so the budget is never silently dropped;
+/// base-quota shortfalls (deadline, stop broadcast) are left alone.
+/// Idempotent at the call sites: a relay re-flushing a batch can
+/// replay a final flag, so callers guard on `!finals[rank]`.
+#[allow(clippy::too_many_arguments)] // internal plumbing
+fn note_final<C: Comm>(
+    rank: usize,
+    state: &CollectorState,
+    finals: &mut [bool],
+    live: &mut Liveness,
+    config: &RunConfig,
+    comm: &C,
+    monitor: &Monitor,
+    start: Instant,
+    stopping: bool,
+) {
+    finals[rank] = true;
+    let count = state.latest[rank].as_ref().map_or(0, |s| s.acc.count());
+    let expected = config.quota(rank) + live.extended[rank];
+    let shortfall = expected.saturating_sub(count).min(live.extended[rank]);
+    let deadline_passed = config.deadline.is_some_and(|d| start.elapsed() >= d);
+    if shortfall > 0 && live.alive[rank] && !stopping && !deadline_passed {
+        reassign(live, rank, shortfall, finals, comm, monitor);
+    }
+}
+
 /// Folds one inbound envelope into the collector state. Returns `true`
-/// for data messages (heartbeats only refresh liveness). A final from a
-/// rank that was extended but fell short (the extension raced its exit)
-/// gets the shortfall re-reassigned so the budget is never silently
-/// dropped; base-quota shortfalls (deadline, stop broadcast) are left
-/// alone, as before.
+/// for data messages (heartbeats only refresh liveness). Under a tree
+/// topology the envelope may be a relay's [`TAG_BATCH`]: each entry is
+/// credited to its *original* rank — liveness, subtotal, and final
+/// alike — so the estimate and the loss accounting are independent of
+/// how subtotals were routed.
 #[allow(clippy::too_many_arguments)] // internal plumbing
 fn collector_handle<C: Comm>(
     env: Envelope,
@@ -1228,18 +1526,41 @@ fn collector_handle<C: Comm>(
     if env.tag == TAG_HEARTBEAT {
         return Ok(false);
     }
+    if env.tag == TAG_BATCH {
+        for entry in decode_batch(&env.payload)? {
+            if entry.rank == 0 || entry.rank >= finals.len() || finals[entry.rank] {
+                // After a rank's final, anything still in flight for it
+                // is a relay's stale copy or a retransmitted final —
+                // never newer state. Absorbing it could *regress* the
+                // rank's cumulative subtotal when the final took a
+                // different path (e.g. the hub's route fallback).
+                continue;
+            }
+            // The entry's payload reached us via the relay, but it is
+            // the origin rank's own recent subtotal: proof of life.
+            live.heard_from(entry.rank, now);
+            state.absorb(entry.rank, &entry.payload, now)?;
+            if entry.is_final {
+                note_final(
+                    entry.rank, state, finals, live, config, comm, monitor, start, stopping,
+                );
+            }
+            // Batch entry payloads alias one shared frame buffer —
+            // never recycle them into the pool.
+        }
+        return Ok(true);
+    }
+    if finals[source] {
+        comm.recycle(env.payload);
+        return Ok(true);
+    }
     let is_final = env.tag == TAG_FINAL;
     state.absorb(source, &env.payload, now)?;
     comm.recycle(env.payload);
-    let count = state.latest[source].as_ref().map_or(0, |s| s.acc.count());
     if is_final {
-        finals[source] = true;
-        let expected = config.quota(source) + live.extended[source];
-        let shortfall = expected.saturating_sub(count).min(live.extended[source]);
-        let deadline_passed = config.deadline.is_some_and(|d| start.elapsed() >= d);
-        if shortfall > 0 && live.alive[source] && !stopping && !deadline_passed {
-            reassign(live, source, shortfall, finals, comm, monitor);
-        }
+        note_final(
+            source, state, finals, live, config, comm, monitor, start, stopping,
+        );
     }
     Ok(true)
 }
@@ -1273,6 +1594,7 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
 ) -> Result<CollectorOutcome, ParmoncError> {
     let crash_after = faults.crash_after(0);
     let size = comm.size();
+    let plan = config.collection_plan();
     let mut state = CollectorState::new(baseline, size);
     let mut finals = vec![false; size];
     let mut live = Liveness::new(size);
@@ -1403,6 +1725,7 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
             &mut live,
             &finals,
             config,
+            &plan,
             &state,
             &*comm,
             monitor,
@@ -1416,7 +1739,15 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
             // between passes.
             state.update_own(&acc, compute_seconds, now);
             let save_started = Instant::now();
-            let eps_max = save_point(dir, config, &state, start, monitor, &spans, &mut convergence)?;
+            let eps_max = save_point(
+                dir,
+                config,
+                &state,
+                start,
+                monitor,
+                &spans,
+                &mut convergence,
+            )?;
             tracker.punch(CollectorActivity::Saving, save_started);
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
@@ -1508,6 +1839,7 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
                     &mut live,
                     &finals,
                     config,
+                    &plan,
                     &state,
                     &*comm,
                     monitor,
@@ -1522,6 +1854,7 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
             &mut live,
             &finals,
             config,
+            &plan,
             &state,
             &*comm,
             monitor,
@@ -1531,7 +1864,15 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
         )?;
         if last_average.elapsed() >= config.averaging_period {
             let save_started = Instant::now();
-            let eps_max = save_point(dir, config, &state, start, monitor, &spans, &mut convergence)?;
+            let eps_max = save_point(
+                dir,
+                config,
+                &state,
+                start,
+                monitor,
+                &spans,
+                &mut convergence,
+            )?;
             tracker.punch(CollectorActivity::Saving, save_started);
             last_average = Instant::now();
             if let Some(target) = config.target_abs_error {
@@ -1551,9 +1892,25 @@ fn rank0_loop<C: Comm, R: Realize + ?Sized>(
         if env.tag == TAG_HEARTBEAT {
             continue;
         }
-        state.absorb(env.source, &env.payload, drain_started)?;
+        if env.tag == TAG_BATCH {
+            // A relay's last coalesced flush: credit each entry to its
+            // origin rank — unless that rank's final is already folded
+            // in, which makes the entry stale by definition. Entry
+            // payloads alias the batch frame — no recycling.
+            for entry in decode_batch(&env.payload)? {
+                if entry.rank == 0 || entry.rank >= size || finals[entry.rank] {
+                    continue;
+                }
+                state.absorb(entry.rank, &entry.payload, drain_started)?;
+            }
+            drained = true;
+            continue;
+        }
+        if env.source < size && !finals[env.source] {
+            state.absorb(env.source, &env.payload, drain_started)?;
+            drained = true;
+        }
         comm.recycle(env.payload);
-        drained = true;
     }
     if drained {
         tracker.punch(CollectorActivity::Receiving, drain_started);

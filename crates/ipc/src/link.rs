@@ -107,7 +107,8 @@ impl LinkClock {
     pub(crate) fn normalize(&self, raw_s: f64) -> f64 {
         let floor = f64::from_bits(self.floor_bits.load(Ordering::Relaxed));
         let corrected = (raw_s + self.offset()).max(floor);
-        self.floor_bits.store(corrected.to_bits(), Ordering::Relaxed);
+        self.floor_bits
+            .store(corrected.to_bits(), Ordering::Relaxed);
         corrected
     }
 }
@@ -515,8 +516,20 @@ pub(crate) struct LinkHooks {
     /// [`TAG_TCP_CLOCK_PROBE`] (collector side replies with the
     /// receipt/reply timestamps) or a [`TAG_TCP_CLOCK_REPLY`] (worker
     /// side closes the estimate and reports it back).
-    pub clock_responder: Option<Box<dyn Fn(&Frame) + Send>>,
+    pub clock_responder: Option<FrameHook>,
+    /// Hub-side forwarding of [`crate::frame::TAG_IPC_ROUTE`] frames:
+    /// the socket substrates are physically a star, so worker-to-worker
+    /// traffic (tree collection topologies) is wrapped for the hub,
+    /// which unwraps and re-sends the inner frame to its destination
+    /// with the original source. Invoked *after* dedup, so routed
+    /// frames keep the link's exactly-once guarantee. Hubless readers
+    /// leave this `None` and routed frames are dropped.
+    pub route: Option<FrameHook>,
 }
+
+/// A reader-thread callback handed one decoded [`Frame`]; see
+/// [`LinkHooks::clock_responder`] and [`LinkHooks::route`].
+pub type FrameHook = Box<dyn Fn(&Frame) + Send>;
 
 impl std::fmt::Debug for LinkHooks {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -539,6 +552,7 @@ impl LinkHooks {
             wire: None,
             clock: None,
             clock_responder: None,
+            route: None,
         }
     }
 }
@@ -562,6 +576,7 @@ pub(crate) fn pump_frames(stream: impl Read, tx: Sender<Envelope>, hooks: LinkHo
         wire,
         clock,
         clock_responder,
+        route,
     } = hooks;
     let mut reader = BufReader::new(stream);
     loop {
@@ -613,6 +628,14 @@ pub(crate) fn pump_frames(stream: impl Read, tx: Sender<Envelope>, hooks: LinkHo
                         }
                         continue;
                     }
+                }
+                if frame.tag == crate::frame::TAG_IPC_ROUTE {
+                    // Past dedup: a routed frame is forwarded at most
+                    // once even across reconnect replays.
+                    if let Some(route) = &route {
+                        route(&frame);
+                    }
+                    continue;
                 }
                 if let Some(stats) = &stats {
                     stats.note_enqueue(&monitor, local_rank);

@@ -50,9 +50,15 @@
 //!   run's heartbeat-based liveness plane, which sees the same
 //!   evidence on every backend.
 //!
-//! The topology is the same star as the other backends: workers talk
-//! only to rank 0, and a connection speaks only for the rank it was
-//! leased (frames claiming another source are dropped).
+//! The *physical* wiring is the same star as the other backends: every
+//! connection runs between a worker and rank 0, and a connection speaks
+//! only for the rank it was leased (frames claiming another source are
+//! dropped). The *logical* collection topology may be a tree
+//! ([`parmonc_mpi::Topology::Tree`]): each grant carries the worker's
+//! collection parent, worker sends addressed to a rank other than 0 are
+//! wrapped as [`TAG_IPC_ROUTE`] frames, and the collector forwards the
+//! inner frame over the destination's live connection — after dedup, so
+//! exactly-once survives reconnect replays.
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -73,12 +79,14 @@ use parmonc_obs::{EventKind, Monitor, SpanEmitter, SpanPhase};
 use crate::backoff::{splitmix64, Backoff, ReconnectPolicy};
 use crate::faulty::FaultyStream;
 use crate::frame::{
-    read_frame, write_frame, write_frame_seq, ClockProbe, ClockReply, ClockSync, Grant,
-    Frame, JoinRequest, Reject, RejectCode, Rejoin, FRAME_HEADER_LEN, TAG_TCP_CLOCK,
-    TAG_TCP_CLOCK_PROBE, TAG_TCP_CLOCK_REPLY, TAG_TCP_GRANT, TAG_TCP_JOIN, TAG_TCP_REJECT,
-    TAG_TCP_REJOIN, TCP_MAGIC, TCP_PROTOCOL_VERSION,
+    decode_route, encode_route, read_frame, write_frame, write_frame_seq, ClockProbe, ClockReply,
+    ClockSync, Frame, Grant, JoinRequest, Reject, RejectCode, Rejoin, FRAME_HEADER_LEN,
+    TAG_IPC_ROUTE, TAG_TCP_CLOCK, TAG_TCP_CLOCK_PROBE, TAG_TCP_CLOCK_REPLY, TAG_TCP_GRANT,
+    TAG_TCP_JOIN, TAG_TCP_REJECT, TAG_TCP_REJOIN, TCP_MAGIC, TCP_PROTOCOL_VERSION,
 };
-use crate::link::{pump_frames, ForwardSink, InboxStats, LinkClock, LinkHooks, Mailbox, SendGate, WireTelemetry};
+use crate::link::{
+    pump_frames, ForwardSink, InboxStats, LinkClock, LinkHooks, Mailbox, SendGate, WireTelemetry,
+};
 
 /// How often a blocked reader wakes to check the stop flag — the
 /// kernel receive timeout under [`PatientReader`].
@@ -417,6 +425,13 @@ pub struct ListenOptions {
     /// change visible to a worker, so a crash can never lose a lease
     /// a worker believes it holds. `None` disables persistence.
     pub persist: Option<std::path::PathBuf>,
+    /// Per-rank collection parents under the run's topology, indexed
+    /// by `rank - 1`. Echoed in each grant so the worker knows where
+    /// its subtotal envelopes should flow: 0 under a star (an empty
+    /// vector means star for every rank), an interior relay rank under
+    /// a tree. A parent that has retired is remapped to 0 at grant
+    /// time, so a late joiner never routes into a hole.
+    pub parents: Vec<usize>,
 }
 
 /// Everything a handshake thread needs to admit a joiner.
@@ -437,6 +452,7 @@ struct AcceptorCtx {
     io_timeout: Duration,
     persist: Option<std::path::PathBuf>,
     trace_spans: bool,
+    parents: Vec<usize>,
 }
 
 /// Rank 0 of a TCP world: the listener, lease table, and
@@ -561,6 +577,7 @@ impl TcpCollectorTransport {
             io_timeout: opts.io_timeout,
             persist: opts.persist.clone(),
             trace_spans: opts.trace_spans,
+            parents: opts.parents,
         });
         let acceptor = std::thread::Builder::new()
             .name("parmonc-tcp-accept".into())
@@ -838,7 +855,13 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
         let Some(join) = JoinRequest::decode(&frame.payload) else {
             return reject(&stream, RejectCode::BadMagic, "malformed join payload");
         };
-        (join.magic, join.version, join.config_digest, join.t0_s, None)
+        (
+            join.magic,
+            join.version,
+            join.config_digest,
+            join.t0_s,
+            None,
+        )
     } else {
         let Some(rejoin) = Rejoin::decode(&frame.payload) else {
             return reject(&stream, RejectCode::BadMagic, "malformed rejoin payload");
@@ -937,6 +960,24 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
             persist_lease_table(path, &l.snapshot(ctx.epoch, ctx.size));
         }
     }
+    // The worker's collection parent under the run's topology. A
+    // parent whose lease has retired is remapped to 0: that relay is
+    // gone for good (its budget reassigned), so the joiner reports
+    // straight to the collector instead of routing into a hole.
+    let parent = {
+        let configured = ctx.parents.get(rank - 1).copied().unwrap_or(0);
+        let unusable = configured != 0
+            && ctx
+                .lease
+                .lock()
+                .map(|l| l.retired.get(configured - 1).copied().unwrap_or(true))
+                .unwrap_or(true);
+        if unusable {
+            0
+        } else {
+            configured
+        }
+    };
     let grant = Grant {
         version: TCP_PROTOCOL_VERSION,
         monitor: ctx.monitor.is_enabled(),
@@ -944,6 +985,7 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
         rank: rank as u32,
         size: ctx.size as u32,
         quota: ctx.quotas[rank - 1],
+        parent: parent as u32,
         epoch: ctx.epoch,
         t_recv_s,
         // `t2`: sampled as late as possible before the reply hits the
@@ -1029,6 +1071,58 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
             }
         })
     };
+    // Hub-side routing for tree topologies: a worker's send addressed
+    // to its relay parent arrives here wrapped as [`TAG_IPC_ROUTE`]
+    // and is forwarded over the destination's live connection with the
+    // *original* source (vetted by `expect_source` before the route
+    // branch, so a worker cannot spoof another rank). Runs after
+    // dedup, so exactly-once survives reconnect replays. A destination
+    // with no live writer (dead, or mid-rejoin) gets its frame
+    // delivered to the hub's own inbox instead: the hub is the
+    // collection root, so anything a relay would have forwarded is
+    // absorbable directly, and the replace-then-sum fold makes the
+    // duplicate against the relay's eventual copy benign. This path
+    // must never block — it runs on the source connection's reader
+    // thread, and stalling it would starve that worker's heartbeats
+    // and get a healthy rank declared lost.
+    let route: Box<dyn Fn(&Frame) + Send> = {
+        let tx = ctx.tx.clone();
+        let monitor = ctx.monitor.clone();
+        let stats = Arc::clone(&ctx.stats);
+        let lease = Arc::clone(&ctx.lease);
+        let size = ctx.size;
+        Box::new(move |frame: &Frame| {
+            let Some((dest, tag, inner)) = decode_route(&frame.payload) else {
+                return;
+            };
+            let dest = dest as usize;
+            if dest != 0 && dest < size {
+                let slot = lease.lock().ok().and_then(|l| {
+                    l.writers
+                        .get(dest - 1)
+                        .cloned()
+                        .flatten()
+                        .map(|w| (w, Arc::clone(&l.wire[dest - 1])))
+                });
+                if let Some((writer, dest_wire)) = slot {
+                    if let Ok(mut stream) = writer.lock() {
+                        if write_frame(&mut *stream, frame.source, tag, inner).is_ok() {
+                            dest_wire.count_out(FRAME_HEADER_LEN + inner.len());
+                            return;
+                        }
+                    }
+                }
+            } else if dest >= size {
+                return;
+            }
+            stats.note_enqueue(&monitor, 0);
+            let _ = tx.send(Envelope {
+                source: frame.source as usize,
+                tag: Tag(tag),
+                payload: Bytes::copy_from_slice(inner),
+            });
+        })
+    };
     let spawned = std::thread::Builder::new()
         .name(format!("parmonc-tcp-w{rank}"))
         .spawn({
@@ -1049,6 +1143,7 @@ fn admit(stream: TcpStream, peer: SocketAddr, ctx: &AcceptorCtx) -> io::Result<(
                         wire: Some(Arc::clone(&wire)),
                         clock: Some(clock),
                         clock_responder: Some(responder),
+                        route: Some(route),
                     },
                 );
                 // The connection is gone (worker exit, crash, rejoin
@@ -1227,6 +1322,9 @@ pub struct TcpWorkerTransport {
     rank: usize,
     size: usize,
     quota: u64,
+    /// The collection parent the grant assigned: 0 under a star,
+    /// possibly an interior relay rank under a tree.
+    parent: usize,
     pool: BufferPool,
     monitor: Monitor,
     gate: SendGate,
@@ -1323,6 +1421,13 @@ impl TcpWorkerTransport {
                 "grant leased an impossible rank",
             ));
         }
+        // A parent outside the world (or naming ourselves) is treated
+        // as star rather than rejected: collection degrades, estimates
+        // are unaffected.
+        let parent = match grant.parent as usize {
+            p if p < size && p != rank => p,
+            _ => 0,
+        };
         // Close the RTT-symmetric offset estimate and report it before
         // any event frame: written on the bare stream (pre fault-plane
         // wrap) so clock traffic never consumes a scripted frame
@@ -1377,11 +1482,15 @@ impl TcpWorkerTransport {
                         monitor: thread_monitor,
                         local_rank: rank,
                         stats: Some(thread_stats),
-                        expect_source: Some(0),
+                        // Routed frames carry the *origin* rank (a
+                        // relay receives its children's subtotals via
+                        // the hub), so any source is acceptable here.
+                        expect_source: None,
                         dedup: None,
                         wire: Some(thread_wire),
                         clock: None,
                         clock_responder: Some(responder),
+                        route: None,
                     },
                 );
             })?;
@@ -1389,6 +1498,7 @@ impl TcpWorkerTransport {
             rank,
             size,
             quota: grant.quota,
+            parent,
             pool: BufferPool::new(parmonc_mpi::pool::DEFAULT_POOL_CAPACITY),
             monitor: monitor.clone(),
             gate: SendGate::new(rank, opts.faults.clone(), monitor),
@@ -1428,6 +1538,15 @@ impl TcpWorkerTransport {
     #[must_use]
     pub fn granted_quota(&self) -> u64 {
         self.quota
+    }
+
+    /// The collection parent the grant assigned under the run's
+    /// topology: 0 under a star (the default), an interior relay rank
+    /// under a tree. Workers emit their subtotal envelopes toward this
+    /// rank and fall back to 0 if it goes away.
+    #[must_use]
+    pub fn granted_parent(&self) -> usize {
+        self.parent
     }
 
     /// The session epoch from the grant; a resumed collector
@@ -1504,7 +1623,8 @@ impl TcpWorkerTransport {
                 last_err = Some(e);
                 continue;
             }
-            self.wire.count_out(FRAME_HEADER_LEN + rejoin.encode().len());
+            self.wire
+                .count_out(FRAME_HEADER_LEN + rejoin.encode().len());
             let grant = match read_grant(&candidate) {
                 Ok(grant) => grant,
                 // A reject is final: the collector will answer every
@@ -1580,11 +1700,14 @@ impl TcpWorkerTransport {
                             monitor: thread_monitor,
                             local_rank: rank,
                             stats: Some(thread_stats),
-                            expect_source: Some(0),
+                            // Any source: routed frames carry the
+                            // origin rank (see the join-time reader).
+                            expect_source: None,
                             dedup: None,
                             wire: Some(thread_wire),
                             clock: None,
                             clock_responder: Some(responder),
+                            route: None,
                         },
                     );
                 });
@@ -1612,10 +1735,23 @@ impl TcpWorkerTransport {
     }
 
     fn raw_send(&self, dest: usize, tag: Tag, payload: &Bytes) -> Result<(), MpiError> {
-        if dest != 0 {
-            // Star topology, same as the other backends.
+        if dest >= self.size {
             return Err(MpiError::Disconnected);
         }
+        // The physical link always runs to the hub. A send addressed
+        // to any other rank (a tree worker emitting to its relay
+        // parent) is wrapped as a routed frame; the collector unwraps
+        // it past dedup and forwards the inner frame, so the route
+        // consumes a sequence number exactly like a direct send.
+        let (wire_tag, wrapped);
+        let on_wire: &[u8] = if dest == 0 {
+            wire_tag = tag.0;
+            payload
+        } else {
+            wrapped = encode_route(dest as u32, tag.0, payload);
+            wire_tag = TAG_IPC_ROUTE;
+            &wrapped
+        };
         let result = {
             let mut stream = self.writer.lock().map_err(|_| MpiError::Disconnected)?;
             // One sequence number per *logical* send, assigned under the
@@ -1626,18 +1762,18 @@ impl TcpWorkerTransport {
             // recognize a replay of a frame that actually arrived before
             // the link broke.
             let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
-            let sent = if write_frame_seq(&mut *stream, self.rank as u32, tag.0, seq, payload)
+            let sent = if write_frame_seq(&mut *stream, self.rank as u32, wire_tag, seq, on_wire)
                 .is_ok()
             {
                 Ok(())
             } else if self.reconnect_locked(&mut stream).is_err() {
                 Err(MpiError::Disconnected)
             } else {
-                write_frame_seq(&mut *stream, self.rank as u32, tag.0, seq, payload)
+                write_frame_seq(&mut *stream, self.rank as u32, wire_tag, seq, on_wire)
                     .map_err(|_| MpiError::Disconnected)
             };
             if sent.is_ok() {
-                self.wire.count_out(FRAME_HEADER_LEN + payload.len());
+                self.wire.count_out(FRAME_HEADER_LEN + on_wire.len());
                 self.maybe_probe(&mut stream);
             }
             sent
@@ -1825,6 +1961,7 @@ mod tests {
             resume,
             persist: None,
             trace_spans: false,
+            parents: Vec::new(),
         })
         .expect("listen on loopback")
     }
@@ -2150,6 +2287,7 @@ mod tests {
             resume: None,
             persist: Some(path.clone()),
             trace_spans: false,
+            parents: Vec::new(),
         })
         .expect("listen on loopback");
         // The session epoch hits disk at bind time, before any join.
@@ -2187,6 +2325,43 @@ mod tests {
         assert_eq!(LeaseSnapshot::decode(&truncated), None);
         let padded = format!("{text}extra\n");
         assert_eq!(LeaseSnapshot::decode(&padded), None);
+    }
+
+    #[test]
+    fn routed_frames_reach_a_relay_through_the_hub() {
+        // Tree topology at the transport level: rank 2's grant names
+        // rank 1 as its collection parent, and a send addressed to
+        // rank 1 travels worker 2 -> hub -> worker 1 with the origin
+        // rank preserved.
+        let mut collector = TcpCollectorTransport::listen(ListenOptions {
+            addr: "127.0.0.1:0".into(),
+            size: 3,
+            monitor: Monitor::disabled(),
+            faults: FaultHandle::disabled(),
+            config_digest: 42,
+            quotas: vec![5, 5],
+            io_timeout: TIMEOUT,
+            resume: None,
+            persist: None,
+            trace_spans: false,
+            parents: vec![0, 1],
+        })
+        .expect("listen on loopback");
+        let addr = collector.local_addr().to_string();
+        let mut relay = join(addr.clone(), 42).expect("rank 1 joins");
+        assert_eq!(relay.granted_parent(), 0, "rank 1 reports to the collector");
+        let sender = join(addr, 42).expect("rank 2 joins");
+        assert_eq!(sender.granted_parent(), 1, "rank 2 reports to the relay");
+        sender.send(1, Tag(7), b"uphill").unwrap();
+        let env = relay
+            .recv(None, Some(Tag(7)))
+            .expect("routed frame arrives");
+        assert_eq!(env.source, 2, "the origin rank survives the hop");
+        assert_eq!(&env.payload[..], b"uphill");
+        // A retired parent is remapped to 0 at grant time, so a late
+        // (re)joiner never routes into a hole.
+        collector.retire_rank(1);
+        collector.shutdown().unwrap();
     }
 
     #[test]

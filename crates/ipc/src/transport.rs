@@ -9,11 +9,16 @@
 //! to the parent's socket and exchanges length-prefixed frames, with
 //! its monitor events forwarded over the same stream.
 //!
-//! The world is a star: every worker talks only to rank 0. That is
-//! exactly the PARMONC communication pattern (asynchronous subtotal
-//! gather into the collector, collectives rooted at 0), so the
-//! restriction costs nothing; a worker-to-worker send returns
-//! [`MpiError::Disconnected`].
+//! The *physical* world is a star: every worker socket connects only
+//! to rank 0. Logical worker-to-worker sends (the tree collection
+//! topologies route subtotals through relay ranks) are wrapped as
+//! [`crate::frame::TAG_IPC_ROUTE`] frames; the hub unwraps them after
+//! dedup and forwards the inner frame to the destination's socket with
+//! the original source, so a relay receives exactly what a direct link
+//! would have delivered. A routed frame whose destination has no live
+//! connection is dropped after a brief retry — subtotals are
+//! cumulative, so the next emission heals the loss, and the liveness
+//! plane reparents children of dead relays.
 
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -35,7 +40,10 @@ use parmonc_obs::Monitor;
 
 use crate::backoff::{self, ReconnectPolicy};
 use crate::faulty::FaultyStream;
-use crate::frame::{read_frame, write_frame, FRAME_HEADER_LEN, TAG_IPC_HELLO};
+use crate::frame::{
+    decode_route, encode_route, read_frame, write_frame, FRAME_HEADER_LEN, TAG_IPC_HELLO,
+    TAG_IPC_ROUTE,
+};
 use crate::link::{
     pump_frames, ForwardSink, InboxStats, LinkHooks, Mailbox, SendGate, WireTelemetry,
 };
@@ -48,6 +56,11 @@ const ACCEPT_DEADLINE: Duration = Duration::from_secs(30);
 /// How long the parent waits for workers to exit on their own during
 /// [`ProcessTransport::shutdown`] before killing them.
 const EXIT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// The hub's writer slots, shared between the transport's own send
+/// path and the reader threads' route hooks; `None` slots are ranks
+/// whose connection has not been accepted (or has been shut down).
+type WriterSlots = Arc<Mutex<Vec<Option<Arc<Mutex<UnixStream>>>>>>;
 
 /// Distinguishes concurrent worlds spawned by one process (tests spawn
 /// several); combined with the pid this makes the socket directory
@@ -85,6 +98,11 @@ pub struct SpawnOptions {
     /// `span_started`/`span_ended` events. Requires a monitored run to
     /// have any effect.
     pub trace_spans: bool,
+    /// Parent assignment per worker rank (index `rank - 1`): the rank
+    /// each worker's subtotal envelopes should flow to under the run's
+    /// collection topology. Empty means a star — every worker reports
+    /// straight to rank 0.
+    pub parents: Vec<usize>,
 }
 
 /// Rank 0 of a multi-process world: the spawner, collector-side
@@ -102,9 +120,10 @@ pub struct ProcessTransport {
     mailbox: Mailbox,
     stats: Arc<InboxStats>,
     self_tx: Sender<Envelope>,
-    /// Write halves to each worker, indexed by `rank - 1`; emptied by
-    /// shutdown so late sends fail soft with `Disconnected`.
-    writers: Vec<Arc<Mutex<UnixStream>>>,
+    /// Write halves to each worker, indexed by `rank - 1`, shared with
+    /// the reader threads' route hooks; emptied by shutdown so late
+    /// sends fail soft with `Disconnected`.
+    writers: WriterSlots,
     /// Per-link wire counters, indexed by `rank - 1`; folded into the
     /// trace as one `wire_stats` event per link at shutdown.
     wire: Vec<Arc<WireTelemetry>>,
@@ -164,6 +183,7 @@ impl ProcessTransport {
                     token: token.clone(),
                     monitor: opts.monitor.is_enabled(),
                     spans: opts.trace_spans && opts.monitor.is_enabled(),
+                    parent: opts.parents.get(rank - 1).copied().unwrap_or(0),
                 };
                 let mut cmd = Command::new(&exe);
                 cmd.args(&base_args)
@@ -185,8 +205,11 @@ impl ProcessTransport {
 
         let (tx, rx) = mpsc::channel();
         let stats = Arc::new(InboxStats::default());
-        let mut writers: Vec<Option<Arc<Mutex<UnixStream>>>> = Vec::new();
-        writers.resize_with(opts.size.saturating_sub(1), || None);
+        let writers: WriterSlots = Arc::new(Mutex::new({
+            let mut slots: Vec<Option<Arc<Mutex<UnixStream>>>> = Vec::new();
+            slots.resize_with(opts.size.saturating_sub(1), || None);
+            slots
+        }));
         let wire: Vec<Arc<WireTelemetry>> = (0..opts.size.saturating_sub(1))
             .map(|_| Arc::new(WireTelemetry::default()))
             .collect();
@@ -199,7 +222,7 @@ impl ProcessTransport {
             &opts.monitor,
             &stats,
             &wire,
-            &mut writers,
+            &writers,
             &mut readers,
         );
         if let Err(e) = accepted {
@@ -220,10 +243,7 @@ impl ProcessTransport {
             mailbox: Mailbox::new(0, rx, opts.monitor, Some(Arc::clone(&stats))),
             stats,
             self_tx: tx,
-            writers: writers
-                .into_iter()
-                .map(|w| w.expect("all ranks accepted"))
-                .collect(),
+            writers,
             wire,
             children,
             readers,
@@ -244,7 +264,13 @@ impl ProcessTransport {
                 })
                 .map_err(|_| MpiError::Disconnected);
         }
-        let writer = self.writers.get(dest - 1).ok_or(MpiError::Disconnected)?;
+        let writer = {
+            let slots = self.writers.lock().map_err(|_| MpiError::Disconnected)?;
+            slots
+                .get(dest - 1)
+                .and_then(Clone::clone)
+                .ok_or(MpiError::Disconnected)?
+        };
         let mut stream = writer.lock().map_err(|_| MpiError::Disconnected)?;
         write_frame(&mut *stream, 0, tag.0, payload).map_err(|_| MpiError::Disconnected)?;
         self.wire[dest - 1].count_out(FRAME_HEADER_LEN + payload.len());
@@ -269,7 +295,9 @@ impl ProcessTransport {
         let _ = self
             .gate
             .flush_delayed(true, &|d, t, p| self.raw_send(d, t, p));
-        self.writers.clear();
+        if let Ok(mut slots) = self.writers.lock() {
+            slots.clear();
+        }
         let mut first_err = None;
         let deadline = Instant::now() + EXIT_DEADLINE;
         for child in &mut self.children {
@@ -320,7 +348,9 @@ impl Drop for ProcessTransport {
         // Unclean teardown (panic or early error): kill immediately
         // rather than waiting out the exit deadline.
         self.shut_down = true;
-        self.writers.clear();
+        if let Ok(mut slots) = self.writers.lock() {
+            slots.clear();
+        }
         reap(&mut self.children);
         for handle in self.readers.drain(..) {
             let _ = handle.join();
@@ -483,16 +513,20 @@ impl ChildTransport {
     }
 
     fn raw_send(&self, dest: usize, tag: Tag, payload: &Bytes) -> Result<(), MpiError> {
-        if dest != 0 {
-            // Star topology: workers cannot reach each other. PARMONC
-            // never needs it (subtotals flow worker -> collector, stop
-            // and reassignment flow collector -> worker).
-            return Err(MpiError::Disconnected);
-        }
         let mut stream = self.writer.lock().map_err(|_| MpiError::Disconnected)?;
-        write_frame(&mut *stream, self.rank as u32, tag.0, payload)
-            .map_err(|_| MpiError::Disconnected)?;
-        self.wire.count_out(FRAME_HEADER_LEN + payload.len());
+        if dest == 0 {
+            write_frame(&mut *stream, self.rank as u32, tag.0, payload)
+                .map_err(|_| MpiError::Disconnected)?;
+            self.wire.count_out(FRAME_HEADER_LEN + payload.len());
+        } else {
+            // The socket only reaches rank 0: wrap the frame and let
+            // the hub route it to the destination (tree collection
+            // topologies send subtotals through relay ranks).
+            let wrapped = encode_route(dest as u32, tag.0, payload);
+            write_frame(&mut *stream, self.rank as u32, TAG_IPC_ROUTE, &wrapped)
+                .map_err(|_| MpiError::Disconnected)?;
+            self.wire.count_out(FRAME_HEADER_LEN + wrapped.len());
+        }
         Ok(())
     }
 }
@@ -596,6 +630,59 @@ fn connect_with_retry(socket: &std::path::Path, seed: u64) -> io::Result<UnixStr
     backoff::retry(policy, seed, |_| UnixStream::connect(socket))
 }
 
+/// Builds the hub-side route hook for one reader thread: unwraps a
+/// [`TAG_IPC_ROUTE`] frame and forwards the inner frame to its
+/// destination with the original source. Destination 0 is delivered
+/// into the hub's own inbox; so is any frame whose destination has no
+/// live connection (still in the accept window, or already gone) — the
+/// hub is the collection root, so everything a relay would forward is
+/// absorbable directly and the replace-then-sum fold tolerates the
+/// duplicate. The hook must never block: it runs on the source
+/// connection's reader thread, and stalling it would starve that
+/// worker's heartbeats.
+fn route_hook(
+    size: usize,
+    writers: &WriterSlots,
+    wire: &[Arc<WireTelemetry>],
+    tx: &Sender<Envelope>,
+    monitor: &Monitor,
+    stats: &Arc<InboxStats>,
+) -> Box<dyn Fn(&crate::frame::Frame) + Send> {
+    let writers = Arc::clone(writers);
+    let wire = wire.to_vec();
+    let tx = tx.clone();
+    let monitor = monitor.clone();
+    let stats = Arc::clone(stats);
+    Box::new(move |frame| {
+        let Some((dest, tag, inner)) = decode_route(&frame.payload) else {
+            return;
+        };
+        let dest = dest as usize;
+        if dest != 0 && dest < size {
+            let writer = writers
+                .lock()
+                .ok()
+                .and_then(|slots| slots.get(dest - 1).and_then(Clone::clone));
+            if let Some(writer) = writer {
+                if let Ok(mut stream) = writer.lock() {
+                    if write_frame(&mut *stream, frame.source, tag, inner).is_ok() {
+                        wire[dest - 1].count_out(FRAME_HEADER_LEN + inner.len());
+                        return;
+                    }
+                }
+            }
+        } else if dest >= size {
+            return;
+        }
+        stats.note_enqueue(&monitor, 0);
+        let _ = tx.send(Envelope {
+            source: frame.source as usize,
+            tag: Tag(tag),
+            payload: Bytes::copy_from_slice(inner),
+        });
+    })
+}
+
 /// Accepts connections until every rank `1..size` has presented a
 /// valid hello; wires each accepted stream to a writer slot and a
 /// reader thread.
@@ -608,7 +695,7 @@ fn accept_workers(
     monitor: &Monitor,
     stats: &Arc<InboxStats>,
     wire: &[Arc<WireTelemetry>],
-    writers: &mut [Option<Arc<Mutex<UnixStream>>>],
+    writers: &WriterSlots,
     readers: &mut Vec<JoinHandle<()>>,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
@@ -639,21 +726,30 @@ fn accept_workers(
             Ok(None) | Err(_) => continue, // dead or silent connection: ignore it
         };
         let rank = hello.source as usize;
+        let slot_taken = writers
+            .lock()
+            .map_err(|_| io::Error::other("writer slots poisoned"))?
+            .get(rank.wrapping_sub(1))
+            .is_none_or(|slot| slot.is_some());
         if hello.tag != TAG_IPC_HELLO
             || hello.payload != token.as_bytes()
             || rank == 0
             || rank >= size
-            || writers[rank - 1].is_some()
+            || slot_taken
         {
             continue; // imposter, stray, or duplicate: drop the stream
         }
         stream.set_read_timeout(None)?;
-        writers[rank - 1] = Some(Arc::new(Mutex::new(stream.try_clone()?)));
+        writers
+            .lock()
+            .map_err(|_| io::Error::other("writer slots poisoned"))?[rank - 1] =
+            Some(Arc::new(Mutex::new(stream.try_clone()?)));
         let link_wire = Arc::clone(&wire[rank - 1]);
         link_wire.count_in(FRAME_HEADER_LEN + hello.payload.len());
         let thread_tx = tx.clone();
         let thread_monitor = monitor.clone();
         let thread_stats = Arc::clone(stats);
+        let route = route_hook(size, writers, wire, tx, monitor, stats);
         readers.push(
             std::thread::Builder::new()
                 .name(format!("parmonc-ipc-w{rank}"))
@@ -665,6 +761,7 @@ fn accept_workers(
                             stats: Some(thread_stats),
                             expect_source: Some(rank as u32),
                             wire: Some(link_wire),
+                            route: Some(route),
                             ..LinkHooks::bare(thread_monitor, 0)
                         },
                     )

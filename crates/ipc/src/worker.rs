@@ -21,6 +21,7 @@ const ENV_SOCKET: &str = "PARMONC_WORKER_SOCKET";
 const ENV_TOKEN: &str = "PARMONC_WORKER_TOKEN";
 const ENV_MONITOR: &str = "PARMONC_WORKER_MONITOR";
 const ENV_SPANS: &str = "PARMONC_WORKER_SPANS";
+const ENV_PARENT: &str = "PARMONC_WORKER_PARENT";
 
 /// Everything a spawned worker needs to join its parent's world.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +42,10 @@ pub struct WorkerInfo {
     /// phases in `span_started`/`span_ended` events. Only meaningful
     /// on monitored runs.
     pub spans: bool,
+    /// The rank this worker's subtotal envelopes should flow to under
+    /// the run's collection topology: 0 under a star (the default),
+    /// possibly an interior relay rank under a tree.
+    pub parent: usize,
 }
 
 impl WorkerInfo {
@@ -57,6 +62,7 @@ impl WorkerInfo {
                 String::from(if self.monitor { "1" } else { "0" }),
             ),
             (ENV_SPANS, String::from(if self.spans { "1" } else { "0" })),
+            (ENV_PARENT, self.parent.to_string()),
         ]
     }
 }
@@ -75,6 +81,13 @@ pub fn worker_env() -> Option<WorkerInfo> {
     }
     let monitor = std::env::var(ENV_MONITOR).ok().as_deref() == Some("1");
     let spans = std::env::var(ENV_SPANS).ok().as_deref() == Some("1");
+    // Absent or malformed means star (report to the collector): spawned
+    // by an older parent, or a hand-launched worker.
+    let parent = std::env::var(ENV_PARENT)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&p| p < size)
+        .unwrap_or(0);
     Some(WorkerInfo {
         rank,
         size,
@@ -82,6 +95,7 @@ pub fn worker_env() -> Option<WorkerInfo> {
         token,
         monitor,
         spans,
+        parent,
     })
 }
 
@@ -108,12 +122,14 @@ mod tests {
             token: "deadbeef".into(),
             monitor: true,
             spans: true,
+            parent: 1,
         };
         let env = info.to_env();
-        assert_eq!(env.len(), 6);
+        assert_eq!(env.len(), 7);
         assert!(env.iter().any(|(k, v)| *k == ENV_RANK && v == "2"));
         assert!(env.iter().any(|(k, v)| *k == ENV_MONITOR && v == "1"));
         assert!(env.iter().any(|(k, v)| *k == ENV_SPANS && v == "1"));
+        assert!(env.iter().any(|(k, v)| *k == ENV_PARENT && v == "1"));
     }
 
     // `worker_env()` itself reads real process environment; tests do

@@ -53,6 +53,7 @@ pub mod collective;
 pub mod comm;
 pub mod envelope;
 pub mod error;
+pub mod plan;
 pub mod pool;
 pub mod transport;
 
@@ -60,5 +61,6 @@ pub use bytes::{Bytes, BytesMut};
 pub use comm::{Communicator, World};
 pub use envelope::{Envelope, Tag};
 pub use error::MpiError;
+pub use plan::{CollectionPlan, Topology};
 pub use pool::BufferPool;
 pub use transport::Transport;

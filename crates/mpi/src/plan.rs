@@ -1,0 +1,329 @@
+//! Collection topology: who sends to whom when subtotals flow home.
+//!
+//! PARMONC's original shape is a star — every worker reports straight
+//! to the collector — which puts the whole per-message receive cost on
+//! one rank. A [`CollectionPlan`] generalizes the shape: it assigns
+//! every rank a parent (and, symmetrically, a set of children) so the
+//! same replace-then-sum collection can run over a k-ary reduction
+//! tree, with intermediate *relay* ranks coalescing their children's
+//! envelopes before forwarding upstream. The root then handles
+//! O(arity) coalesced frames per pass instead of O(m) messages.
+//!
+//! The plan is pure arithmetic over `(topology, root, size)`: every
+//! rank computes the identical plan locally, so nothing about the
+//! shape has to travel beyond those three values.
+//!
+//! Merging stays bit-identical across shapes because relays never
+//! pre-fold floating-point state: they keep the *latest raw payload
+//! per source rank* and forward those bytes verbatim. The root applies
+//! the same rank-ordered fold it always did, so `Star` and
+//! `Tree { .. }` produce byte-for-byte identical estimates.
+
+/// The shape of the collection plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Every non-root rank reports directly to the root — PARMONC's
+    /// original shape, and the default.
+    #[default]
+    Star,
+    /// A k-ary reduction tree: non-root ranks are arranged heap-style
+    /// under the root, and interior ranks relay their children's
+    /// subtotal envelopes upstream in coalesced batches.
+    Tree {
+        /// Children per interior rank; must be at least 1. `Tree` with
+        /// a huge arity degenerates to `Star`.
+        arity: usize,
+    },
+}
+
+impl Topology {
+    /// A stable one-byte tag for configuration digests: the shape must
+    /// be part of the run digest, or star and tree workers could join
+    /// the same world and disagree about who their parent is.
+    #[must_use]
+    pub fn digest_tag(self) -> u8 {
+        match self {
+            Self::Star => 0,
+            Self::Tree { .. } => 1,
+        }
+    }
+
+    /// The arity the digest should mix in (0 for star).
+    #[must_use]
+    pub fn digest_arity(self) -> u64 {
+        match self {
+            Self::Star => 0,
+            Self::Tree { arity } => arity as u64,
+        }
+    }
+}
+
+/// Parent/children assignment for every rank of a world, derived from
+/// a [`Topology`], an explicit root, and the world size.
+///
+/// Ranks are mapped onto heap positions with the root at position 0
+/// and all other ranks in ascending order, so the plan supports any
+/// root — the collectives in [`crate::collective`] no longer assume
+/// rank 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectionPlan {
+    topology: Topology,
+    root: usize,
+    size: usize,
+}
+
+impl CollectionPlan {
+    /// Builds the plan.
+    ///
+    /// # Panics
+    ///
+    /// If `root >= size`, if `size` is 0, or if a tree arity is 0 —
+    /// all three are configuration bugs, not runtime conditions.
+    #[must_use]
+    pub fn new(topology: Topology, root: usize, size: usize) -> Self {
+        assert!(size > 0, "a collection plan needs at least one rank");
+        assert!(root < size, "root {root} outside world of size {size}");
+        if let Topology::Tree { arity } = topology {
+            assert!(arity >= 1, "tree arity must be at least 1");
+        }
+        Self {
+            topology,
+            root,
+            size,
+        }
+    }
+
+    /// The shape this plan was built from.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The rank every subtotal ultimately folds into.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// World size, root included.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Heap position of a rank: root is position 0, the remaining
+    /// ranks keep their relative order at positions 1..size.
+    fn rank_to_pos(&self, rank: usize) -> usize {
+        if rank == self.root {
+            0
+        } else if rank < self.root {
+            rank + 1
+        } else {
+            rank
+        }
+    }
+
+    /// Inverse of [`Self::rank_to_pos`].
+    fn pos_to_rank(&self, pos: usize) -> usize {
+        if pos == 0 {
+            self.root
+        } else if pos - 1 < self.root {
+            pos - 1
+        } else {
+            pos
+        }
+    }
+
+    /// Position of a rank's parent position under the topology.
+    fn parent_pos(&self, pos: usize) -> usize {
+        match self.topology {
+            Topology::Star => 0,
+            Topology::Tree { arity } => (pos - 1) / arity,
+        }
+    }
+
+    /// The rank this rank reports to; `None` for the root.
+    #[must_use]
+    pub fn parent(&self, rank: usize) -> Option<usize> {
+        assert!(rank < self.size, "rank {rank} outside world {}", self.size);
+        if rank == self.root {
+            return None;
+        }
+        Some(self.pos_to_rank(self.parent_pos(self.rank_to_pos(rank))))
+    }
+
+    /// The ranks that report to this rank, in ascending rank order.
+    #[must_use]
+    pub fn children(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.size, "rank {rank} outside world {}", self.size);
+        let pos = self.rank_to_pos(rank);
+        match self.topology {
+            Topology::Star => {
+                if pos == 0 {
+                    let mut out: Vec<usize> = (0..self.size).filter(|&r| r != self.root).collect();
+                    out.sort_unstable();
+                    out
+                } else {
+                    Vec::new()
+                }
+            }
+            Topology::Tree { arity } => {
+                let first = pos * arity + 1;
+                let mut out: Vec<usize> = (first..first.saturating_add(arity))
+                    .take_while(|&p| p < self.size)
+                    .map(|p| self.pos_to_rank(p))
+                    .collect();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Whether the rank is an interior (relay) rank: not the root, but
+    /// with children whose envelopes it must absorb and forward.
+    #[must_use]
+    pub fn is_relay(&self, rank: usize) -> bool {
+        rank != self.root && !self.children(rank).is_empty()
+    }
+
+    /// Every rank in the subtree below `rank` (excluding `rank`
+    /// itself), in ascending rank order.
+    #[must_use]
+    pub fn descendants(&self, rank: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut frontier = self.children(rank);
+        while let Some(r) = frontier.pop() {
+            out.push(r);
+            frontier.extend(self.children(r));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of edges from `rank` up to the root.
+    #[must_use]
+    pub fn depth_of(&self, rank: usize) -> usize {
+        let mut depth = 0;
+        let mut cursor = rank;
+        while let Some(parent) = self.parent(cursor) {
+            depth += 1;
+            cursor = parent;
+        }
+        depth
+    }
+
+    /// The deepest rank's distance from the root — 0 for a world of
+    /// one, 1 for any star with workers.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        (0..self.size).map(|r| self.depth_of(r)).max().unwrap_or(0)
+    }
+
+    /// The largest number of children any rank has — the fan-in bound
+    /// that caps per-pass receive cost at every level.
+    #[must_use]
+    pub fn max_fan_in(&self) -> usize {
+        (0..self.size)
+            .map(|r| self.children(r).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every non-root rank must have a parent, parent/children must be
+    /// mutually consistent, and following parents must reach the root.
+    fn check_consistency(plan: &CollectionPlan) {
+        for rank in 0..plan.size() {
+            match plan.parent(rank) {
+                None => assert_eq!(rank, plan.root()),
+                Some(parent) => {
+                    assert!(
+                        plan.children(parent).contains(&rank),
+                        "rank {rank}'s parent {parent} disowns it"
+                    );
+                    // Termination doubles as a cycle check.
+                    assert!(plan.depth_of(rank) <= plan.size());
+                }
+            }
+        }
+        let reachable: usize = 1 + plan.descendants(plan.root()).len();
+        assert_eq!(reachable, plan.size(), "tree does not span the world");
+    }
+
+    #[test]
+    fn star_parents_everyone_to_root() {
+        let plan = CollectionPlan::new(Topology::Star, 0, 9);
+        check_consistency(&plan);
+        for rank in 1..9 {
+            assert_eq!(plan.parent(rank), Some(0));
+            assert!(!plan.is_relay(rank));
+        }
+        assert_eq!(plan.children(0).len(), 8);
+        assert_eq!(plan.depth(), 1);
+        assert_eq!(plan.max_fan_in(), 8);
+    }
+
+    #[test]
+    fn binary_tree_of_seven_has_depth_two() {
+        let plan = CollectionPlan::new(Topology::Tree { arity: 2 }, 0, 7);
+        check_consistency(&plan);
+        assert_eq!(plan.children(0), vec![1, 2]);
+        assert_eq!(plan.children(1), vec![3, 4]);
+        assert_eq!(plan.children(2), vec![5, 6]);
+        assert!(plan.is_relay(1) && plan.is_relay(2));
+        assert!(!plan.is_relay(3));
+        assert_eq!(plan.depth(), 2);
+        assert_eq!(plan.max_fan_in(), 2);
+        assert_eq!(plan.descendants(1), vec![3, 4]);
+        assert_eq!(plan.descendants(0).len(), 6);
+    }
+
+    #[test]
+    fn non_zero_root_keeps_the_shape() {
+        // Root 2 of 7: ranks {0,1,3,4,5,6} fill positions 1..7.
+        let plan = CollectionPlan::new(Topology::Tree { arity: 2 }, 2, 7);
+        check_consistency(&plan);
+        assert_eq!(plan.parent(2), None);
+        assert_eq!(plan.children(2), vec![0, 1]);
+        assert_eq!(plan.children(0), vec![3, 4]);
+        assert_eq!(plan.children(1), vec![5, 6]);
+        assert_eq!(plan.depth(), 2);
+
+        let star = CollectionPlan::new(Topology::Star, 3, 5);
+        check_consistency(&star);
+        assert_eq!(star.parent(0), Some(3));
+        assert_eq!(star.children(3), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn huge_arity_degenerates_to_star() {
+        let tree = CollectionPlan::new(Topology::Tree { arity: 64 }, 0, 9);
+        let star = CollectionPlan::new(Topology::Star, 0, 9);
+        for rank in 0..9 {
+            assert_eq!(tree.parent(rank), star.parent(rank));
+            assert_eq!(tree.children(rank), star.children(rank));
+        }
+    }
+
+    #[test]
+    fn single_rank_world_is_just_the_root() {
+        let plan = CollectionPlan::new(Topology::Tree { arity: 2 }, 0, 1);
+        check_consistency(&plan);
+        assert_eq!(plan.depth(), 0);
+        assert_eq!(plan.max_fan_in(), 0);
+        assert!(plan.children(0).is_empty());
+    }
+
+    #[test]
+    fn deep_chain_with_arity_one() {
+        let plan = CollectionPlan::new(Topology::Tree { arity: 1 }, 0, 4);
+        check_consistency(&plan);
+        assert_eq!(plan.depth(), 3);
+        assert_eq!(plan.parent(3), Some(2));
+        assert_eq!(plan.descendants(1), vec![2, 3]);
+    }
+}

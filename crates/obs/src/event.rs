@@ -135,6 +135,9 @@ pub enum SpanPhase {
     CollectorMerge,
     /// The collector writing a checkpoint / save-point.
     Checkpoint,
+    /// An interior relay rank (tree collection topology) coalescing
+    /// its children's latest subtotals into one upstream batch.
+    RelayMerge,
     /// A worker redialing the collector after a broken link.
     Reconnect,
 }
@@ -149,6 +152,7 @@ impl SpanPhase {
             Self::SubtotalSend => "subtotal_send",
             Self::CollectorMerge => "collector_merge",
             Self::Checkpoint => "checkpoint",
+            Self::RelayMerge => "relay_merge",
             Self::Reconnect => "reconnect",
         }
     }
@@ -162,18 +166,20 @@ impl SpanPhase {
             "subtotal_send" => Some(Self::SubtotalSend),
             "collector_merge" => Some(Self::CollectorMerge),
             "checkpoint" => Some(Self::Checkpoint),
+            "relay_merge" => Some(Self::RelayMerge),
             "reconnect" => Some(Self::Reconnect),
             _ => None,
         }
     }
 
     /// Every phase name, in schema order.
-    pub const ALL: [&'static str; 6] = [
+    pub const ALL: [&'static str; 7] = [
         "stream_position",
         "realization_batch",
         "subtotal_send",
         "collector_merge",
         "checkpoint",
+        "relay_merge",
         "reconnect",
     ];
 }

@@ -651,6 +651,7 @@ fn span_counter(phase: crate::event::SpanPhase) -> &'static str {
         SpanPhase::SubtotalSend => "parmonc_spans_total{phase=\"subtotal_send\"}",
         SpanPhase::CollectorMerge => "parmonc_spans_total{phase=\"collector_merge\"}",
         SpanPhase::Checkpoint => "parmonc_spans_total{phase=\"checkpoint\"}",
+        SpanPhase::RelayMerge => "parmonc_spans_total{phase=\"relay_merge\"}",
         SpanPhase::Reconnect => "parmonc_spans_total{phase=\"reconnect\"}",
     }
 }

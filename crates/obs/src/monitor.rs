@@ -412,7 +412,12 @@ mod tests {
     fn emit_aligned_preserves_the_raw_timestamp() {
         let sink = Arc::new(MemorySink::new());
         let m = Monitor::new(vec![Box::new(Arc::clone(&sink))]);
-        m.emit_aligned(1.5, Some(6.5), Some(2), EventKind::QueueHighWater { depth: 1 });
+        m.emit_aligned(
+            1.5,
+            Some(6.5),
+            Some(2),
+            EventKind::QueueHighWater { depth: 1 },
+        );
         let events = sink.snapshot();
         assert_eq!(events[0].time_s, 1.5);
         assert_eq!(events[0].raw_time_s, Some(6.5));

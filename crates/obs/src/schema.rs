@@ -334,8 +334,10 @@ pub fn validate_line(line: &str) -> Result<&'static str, String> {
         }
     }
     for (key, _) in &pairs {
-        let known = matches!(key.as_str(), "v" | "kind" | "time_s" | "raw_time_s" | "rank")
-            || required.iter().any(|(n, _)| n == key)
+        let known = matches!(
+            key.as_str(),
+            "v" | "kind" | "time_s" | "raw_time_s" | "rank"
+        ) || required.iter().any(|(n, _)| n == key)
             || optional.iter().any(|(n, _)| n == key);
         if !known {
             return Err(format!("kind {kind:?} has unknown field {key:?}"));

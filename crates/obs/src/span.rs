@@ -162,9 +162,7 @@ mod tests {
         let a = SpanEmitter::new(&monitor, 1, true);
         let b = SpanEmitter::new(&monitor, 2, true);
         let ids: Vec<u64> = (0..8)
-            .map(|i| {
-                if i % 2 == 0 { &a } else { &b }.start(SpanPhase::RealizationBatch, None)
-            })
+            .map(|i| if i % 2 == 0 { &a } else { &b }.start(SpanPhase::RealizationBatch, None))
             .collect();
         let mut dedup = ids.clone();
         dedup.sort_unstable();

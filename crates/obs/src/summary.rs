@@ -798,7 +798,14 @@ mod tests {
                     addr: None,
                 },
             ),
-            ev(0.2, Some(0), EventKind::WorkerJoined { worker: 2, addr: None }),
+            ev(
+                0.2,
+                Some(0),
+                EventKind::WorkerJoined {
+                    worker: 2,
+                    addr: None,
+                },
+            ),
         ];
         for (rank, skew) in [(1usize, 5.0f64), (2, -3.0)] {
             let span = (rank as u64 + 1) << 40;

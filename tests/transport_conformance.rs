@@ -35,7 +35,9 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use parmonc::prelude::{Exchange, Parmonc, ParmoncBuilder, RealizeFn, RunReport, Transport};
+use parmonc::prelude::{
+    Exchange, NetOptions, Parmonc, ParmoncBuilder, RealizeFn, RunReport, Topology, Transport,
+};
 use parmonc_faults::FaultPlan;
 
 /// Serializes the tests in this binary: each spawns child processes of
@@ -332,7 +334,7 @@ fn tcp_and_thread_backends_agree() {
         let dir = collector_dir.clone();
         std::thread::spawn(move || {
             configure(Parmonc::builder(1, 2), dir)
-                .listen("127.0.0.1:0")
+                .net(NetOptions::listen("127.0.0.1:0"))
                 .run(uniform())
         })
     };
@@ -345,7 +347,7 @@ fn tcp_and_thread_backends_agree() {
             let dir = scratch(&format!("tcp-agree-worker{i}"));
             std::thread::spawn(move || {
                 configure(Parmonc::builder(1, 2), dir)
-                    .join(addr)
+                    .net(NetOptions::join(addr))
                     .run_worker(uniform())
             })
         })
@@ -396,7 +398,7 @@ fn mid_run_tcp_joiner_keeps_estimates_bit_identical() {
         let dir = collector_dir.clone();
         std::thread::spawn(move || {
             configure(Parmonc::builder(2, 1), dir)
-                .listen("127.0.0.1:0")
+                .net(NetOptions::listen("127.0.0.1:0"))
                 .run(uniform())
         })
     };
@@ -407,7 +409,7 @@ fn mid_run_tcp_joiner_keeps_estimates_bit_identical() {
         std::thread::spawn(move || {
             std::thread::sleep(delay);
             configure(Parmonc::builder(2, 1), dir)
-                .join(addr)
+                .net(NetOptions::join(addr))
                 .run_worker(uniform())
         })
     };
@@ -454,7 +456,7 @@ fn faulted_tcp_run_completes_at_full_volume() {
         let dir = collector_dir.clone();
         std::thread::spawn(move || {
             configure(Parmonc::builder(1, 1), dir)
-                .listen("127.0.0.1:0")
+                .net(NetOptions::listen("127.0.0.1:0"))
                 .run(uniform())
         })
     };
@@ -465,7 +467,7 @@ fn faulted_tcp_run_completes_at_full_volume() {
             let dir = scratch(&format!("tcp-faulted-worker{i}"));
             std::thread::spawn(move || {
                 configure(Parmonc::builder(1, 1), dir)
-                    .join(addr)
+                    .net(NetOptions::join(addr))
                     .run_worker(uniform())
             })
         })
@@ -520,7 +522,7 @@ fn tcp_joiner_after_budget_reassignment_is_rejected() {
         let dir = collector_dir.clone();
         std::thread::spawn(move || {
             configure(Parmonc::builder(1, 1), dir)
-                .listen("127.0.0.1:0")
+                .net(NetOptions::listen("127.0.0.1:0"))
                 .run(slow())
         })
     };
@@ -529,7 +531,7 @@ fn tcp_joiner_after_budget_reassignment_is_rejected() {
     // has been reassigned (to the collector itself), then try to join.
     std::thread::sleep(Duration::from_millis(600));
     let err = configure(Parmonc::builder(1, 1), scratch("tcp-exhausted-worker"))
-        .join(addr)
+        .net(NetOptions::join(addr))
         .run_worker(slow())
         .unwrap_err();
     let msg = err.to_string();
@@ -568,8 +570,9 @@ fn severed_and_collector_crashed_tcp_run_resumes_bit_identically() {
     };
     // Generous retry budget: the workers must ride out the whole
     // collector outage (crash detection + restart) on their backoff.
-    let tune = |b: ParmoncBuilder| {
-        b.reconnect_attempts(200)
+    let tuned_join = |addr: String| {
+        NetOptions::join(addr)
+            .reconnect_attempts(200)
             .reconnect_base_delay(Duration::from_millis(10))
             .reconnect_max_delay(Duration::from_millis(100))
     };
@@ -583,7 +586,7 @@ fn severed_and_collector_crashed_tcp_run_resumes_bit_identically() {
         std::thread::spawn(move || {
             configure(Parmonc::builder(1, 2), dir)
                 .faults(crashing_plan())
-                .listen("127.0.0.1:0")
+                .net(NetOptions::listen("127.0.0.1:0"))
                 .run(uniform())
         })
     };
@@ -593,9 +596,9 @@ fn severed_and_collector_crashed_tcp_run_resumes_bit_identically() {
             let addr = addr.clone();
             let dir = scratch(&format!("tcp-resume-worker{i}"));
             std::thread::spawn(move || {
-                tune(configure(Parmonc::builder(1, 2), dir))
+                configure(Parmonc::builder(1, 2), dir)
                     .faults(crashing_plan())
-                    .join(addr)
+                    .net(tuned_join(addr))
                     .run_worker(uniform())
             })
         })
@@ -615,7 +618,7 @@ fn severed_and_collector_crashed_tcp_run_resumes_bit_identically() {
         let addr = addr.clone();
         std::thread::spawn(move || {
             configure(Parmonc::builder(1, 2), dir)
-                .resume_listen(addr)
+                .net(NetOptions::resume_listen(addr))
                 .run(uniform())
         })
     };
@@ -676,7 +679,11 @@ fn span_tracing_keeps_estimates_bit_identical_across_backends() {
     // The (single) process-backend run comes first: re-executed workers
     // divert here before reaching the thread and TCP runs below.
     let traced_processes = configure(
-        builder_for("span_tracing_keeps_estimates_bit_identical_across_backends", 1, 2),
+        builder_for(
+            "span_tracing_keeps_estimates_bit_identical_across_backends",
+            1,
+            2,
+        ),
         scratch("spans-processes"),
     )
     .trace_spans()
@@ -703,7 +710,7 @@ fn span_tracing_keeps_estimates_bit_identical_across_backends() {
         std::thread::spawn(move || {
             configure(Parmonc::builder(1, 2), dir)
                 .trace_spans()
-                .listen("127.0.0.1:0")
+                .net(NetOptions::listen("127.0.0.1:0"))
                 .run(uniform())
         })
     };
@@ -714,7 +721,7 @@ fn span_tracing_keeps_estimates_bit_identical_across_backends() {
             let dir = scratch(&format!("spans-tcp-worker{i}"));
             std::thread::spawn(move || {
                 configure(Parmonc::builder(1, 2), dir)
-                    .join(addr)
+                    .net(NetOptions::join(addr))
                     .run_worker(uniform())
             })
         })
@@ -778,7 +785,7 @@ fn tcp_clock_skew_is_normalized_on_the_collector() {
         std::thread::spawn(move || {
             configure(Parmonc::builder(1, 2), dir)
                 .trace_spans()
-                .listen("127.0.0.1:0")
+                .net(NetOptions::listen("127.0.0.1:0"))
                 .run(uniform())
         })
     };
@@ -792,7 +799,7 @@ fn tcp_clock_skew_is_normalized_on_the_collector() {
             std::thread::spawn(move || {
                 configure(Parmonc::builder(1, 2), dir)
                     .clock_skew(skew)
-                    .join(addr)
+                    .net(NetOptions::join(addr))
                     .run_worker(uniform())
             })
         })
@@ -860,4 +867,135 @@ fn tcp_clock_skew_is_normalized_on_the_collector() {
             "recovered skew {got} differs from injected {want}"
         );
     }
+}
+
+/// Collection topology is pure routing: a binary reduction tree
+/// (ranks 1 and 2 acting as relays for ranks 3..=6) must produce
+/// estimates bit-identical to the default rank-0 star, and surface the
+/// same monitor event vocabulary, on both in-process backends. The
+/// (single) process run comes first — see the module docs.
+#[test]
+fn tree_topology_agrees_with_star_on_thread_and_process_backends() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let configure = |b: ParmoncBuilder, dir: &str| {
+        b.max_sample_volume(2_100)
+            .processors(7)
+            .seqnum(5)
+            .exchange(Exchange::EveryRealization)
+            .monitor()
+            .output_dir(scratch(dir))
+    };
+    let tree_processes = configure(
+        builder_for(
+            "tree_topology_agrees_with_star_on_thread_and_process_backends",
+            1,
+            2,
+        ),
+        "tree-processes",
+    )
+    .topology(Topology::Tree { arity: 2 })
+    .transport(Transport::Processes)
+    .run(uniform())
+    .unwrap();
+    let tree_threads = configure(Parmonc::builder(1, 2), "tree-threads")
+        .topology(Topology::Tree { arity: 2 })
+        .transport(Transport::Threads)
+        .run(uniform())
+        .unwrap();
+    let star_threads = configure(Parmonc::builder(1, 2), "tree-star-baseline")
+        .transport(Transport::Threads)
+        .run(uniform())
+        .unwrap();
+
+    for tree in [&tree_processes, &tree_threads] {
+        assert_eq!(tree.summary, star_threads.summary);
+        assert_eq!(tree.total_volume, star_threads.total_volume);
+        assert_eq!(tree.new_volume, star_threads.new_volume);
+        assert_eq!(tree.worker_volumes, star_threads.worker_volumes);
+        assert!(tree.lost_workers.is_empty());
+    }
+
+    // Same observability vocabulary as the star on the same substrate;
+    // the socket backend's wire telemetry is its usual extra.
+    assert_eq!(trace_kinds(&tree_threads), trace_kinds(&star_threads));
+    let mut process_kinds = trace_kinds(&tree_processes);
+    assert!(process_kinds.remove("wire_stats"));
+    assert_eq!(process_kinds, trace_kinds(&star_threads));
+
+    assert_no_orphans();
+}
+
+/// The same tree-vs-star conformance over TCP: four remote workers
+/// dial loopback, rank 1 relays for ranks 3 and 4 (a depth-2 tree),
+/// and the estimate matches a star thread run bit for bit. The
+/// topology rides the handshake: workers configure the same shape or
+/// the digest check rejects them.
+#[test]
+fn tree_topology_agrees_with_star_over_tcp() {
+    let _guard = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let configure = |b: ParmoncBuilder, dir: PathBuf| {
+        b.max_sample_volume(2_000)
+            .processors(5)
+            .seqnum(5)
+            .exchange(Exchange::EveryRealization)
+            .topology(Topology::Tree { arity: 2 })
+            .monitor()
+            .output_dir(dir)
+    };
+    let collector_dir = scratch("tcp-tree-collector");
+    let collector = {
+        let dir = collector_dir.clone();
+        std::thread::spawn(move || {
+            configure(Parmonc::builder(1, 2), dir)
+                .net(NetOptions::listen("127.0.0.1:0"))
+                .run(uniform())
+        })
+    };
+    let addr = wait_for_addr(&collector_dir);
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            let dir = scratch(&format!("tcp-tree-worker{i}"));
+            std::thread::spawn(move || {
+                configure(Parmonc::builder(1, 2), dir)
+                    .net(NetOptions::join(addr))
+                    .run_worker(uniform())
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap().unwrap();
+    }
+    let tcp_tree = collector.join().unwrap().unwrap();
+
+    // Star baseline on threads: topology must not move the estimate.
+    let star_threads = {
+        let b = Parmonc::builder(1, 2)
+            .max_sample_volume(2_000)
+            .processors(5)
+            .seqnum(5)
+            .exchange(Exchange::EveryRealization)
+            .monitor()
+            .output_dir(scratch("tcp-tree-star-baseline"));
+        b.transport(Transport::Threads).run(uniform()).unwrap()
+    };
+
+    assert_eq!(tcp_tree.summary, star_threads.summary);
+    assert_eq!(tcp_tree.total_volume, star_threads.total_volume);
+    assert_eq!(tcp_tree.new_volume, star_threads.new_volume);
+    assert_eq!(tcp_tree.worker_volumes, star_threads.worker_volumes);
+    assert!(tcp_tree.lost_workers.is_empty());
+
+    // The TCP vocabulary is the star thread vocabulary plus its usual
+    // membership and wire extras — routing through a relay must not
+    // add or lose an event kind.
+    let mut tcp_kinds = trace_kinds(&tcp_tree);
+    assert!(tcp_kinds.remove("worker_joined"));
+    assert!(tcp_kinds.remove("worker_left"));
+    assert!(tcp_kinds.remove("wire_stats"));
+    assert_eq!(tcp_kinds, trace_kinds(&star_threads));
+
+    let summary = tcp_tree.monitor.expect("monitored run");
+    assert_eq!(summary.workers_joined, 4);
+    assert_eq!(summary.workers_left, 4);
 }
